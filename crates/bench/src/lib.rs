@@ -1,0 +1,17 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each paper table/figure has a bench target that regenerates it at
+//! smoke scale (the full-scale regeneration lives in the `xp` binaries,
+//! which print the same rows the paper reports). Component benches cover
+//! the hot paths of the simulator and energy model.
+
+use workloads::{scaling_suite, WorkloadSpec};
+
+/// A reduced workload set that keeps figure benches fast while spanning
+/// both Table II categories.
+pub fn bench_suite() -> Vec<WorkloadSpec> {
+    scaling_suite()
+        .into_iter()
+        .filter(|w| ["Hotspot", "CoMD", "Stream", "Nekbone-12"].contains(&w.name))
+        .collect()
+}

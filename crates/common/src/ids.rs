@@ -1,0 +1,210 @@
+//! Hardware and workload identifiers.
+//!
+//! Plain `usize` indices invite cross-wiring a GPM index into an SM array;
+//! these newtypes make the simulator's addressing explicit. All ids are
+//! cheap `Copy` types ordered by their raw value.
+
+use std::fmt;
+
+/// Identifies one GPU module (GPM) in a multi-module GPU (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GpmId(pub u16);
+
+impl GpmId {
+    /// Creates a GPM id.
+    #[inline]
+    pub fn new(idx: u16) -> Self {
+        GpmId(idx)
+    }
+
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GpmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GPM{}", self.0)
+    }
+}
+
+/// Identifies one streaming multiprocessor, globally across the GPU.
+///
+/// The SM knows which GPM it lives on and its local slot within that GPM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SmId {
+    /// The module housing this SM.
+    pub gpm: GpmId,
+    /// The SM slot inside the module.
+    pub local: u16,
+}
+
+impl SmId {
+    /// Creates an SM id from a module and a local slot.
+    #[inline]
+    pub fn new(gpm: GpmId, local: u16) -> Self {
+        SmId { gpm, local }
+    }
+
+    /// Global flat index given a fixed number of SMs per GPM.
+    #[inline]
+    pub fn flat_index(self, sms_per_gpm: usize) -> usize {
+        self.gpm.index() * sms_per_gpm + self.local as usize
+    }
+}
+
+impl fmt::Display for SmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:SM{}", self.gpm, self.local)
+    }
+}
+
+/// Identifies a kernel launch within a workload trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KernelId(pub u32);
+
+impl KernelId {
+    /// Creates a kernel id.
+    #[inline]
+    pub fn new(idx: u32) -> Self {
+        KernelId(idx)
+    }
+
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "K{}", self.0)
+    }
+}
+
+/// Identifies a cooperative thread array (thread block) within a kernel grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CtaId(pub u32);
+
+impl CtaId {
+    /// Creates a CTA id.
+    #[inline]
+    pub fn new(idx: u32) -> Self {
+        CtaId(idx)
+    }
+
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CtaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CTA{}", self.0)
+    }
+}
+
+/// Identifies a warp within a CTA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WarpId(pub u32);
+
+impl WarpId {
+    /// Creates a warp id.
+    #[inline]
+    pub fn new(idx: u32) -> Self {
+        WarpId(idx)
+    }
+
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WarpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{}", self.0)
+    }
+}
+
+/// Identifies a virtual memory page (used by first-touch placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Creates a page id from a page number.
+    #[inline]
+    pub fn new(num: u64) -> Self {
+        PageId(num)
+    }
+
+    /// Page number containing `addr` for the given page size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    #[inline]
+    pub fn containing(addr: u64, page_size: u64) -> Self {
+        assert!(page_size > 0, "page size must be non-zero");
+        PageId(addr / page_size)
+    }
+
+    /// Returns the raw page number.
+    #[inline]
+    pub fn number(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sm_flat_index_layout() {
+        let sm = SmId::new(GpmId::new(2), 5);
+        assert_eq!(sm.flat_index(16), 2 * 16 + 5);
+        assert_eq!(SmId::new(GpmId::new(0), 0).flat_index(16), 0);
+    }
+
+    #[test]
+    fn page_containing_addr() {
+        let p = PageId::containing(0x1_0000, 64 * 1024);
+        assert_eq!(p.number(), 1);
+        assert_eq!(PageId::containing(0xFFFF, 64 * 1024).number(), 0);
+        assert_eq!(PageId::containing(0x2_0000, 64 * 1024).number(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn page_zero_size_panics() {
+        let _ = PageId::containing(0x1000, 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", GpmId::new(3)), "GPM3");
+        assert_eq!(format!("{}", SmId::new(GpmId::new(1), 7)), "GPM1:SM7");
+        assert_eq!(format!("{}", KernelId::new(4)), "K4");
+        assert_eq!(format!("{}", CtaId::new(9)), "CTA9");
+        assert_eq!(format!("{}", WarpId::new(2)), "W2");
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(GpmId::new(1) < GpmId::new(2));
+        assert!(CtaId::new(10) > CtaId::new(9));
+    }
+}

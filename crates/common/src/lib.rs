@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Shared primitives for the multi-module GPU energy-efficiency study.
+//!
+//! This crate holds the strongly-typed physical quantities (energy, power,
+//! time, bandwidth, ...) and hardware identifiers used throughout the
+//! workspace. Newtypes keep joules from mixing with watts and GPM indices
+//! from mixing with SM indices at compile time (see the paper's Eq. 4/5
+//! plumbing, which is all unit arithmetic).
+//!
+//! # Examples
+//!
+//! ```
+//! use common::units::{Energy, Power, Time};
+//!
+//! let e = Power::from_watts(235.0) * Time::from_secs(2.0);
+//! assert_eq!(e, Energy::from_joules(470.0));
+//! assert_eq!(e / Time::from_secs(2.0), Power::from_watts(235.0));
+//! ```
+
+pub mod ids;
+pub mod stats;
+pub mod table;
+pub mod units;
+
+pub use ids::{CtaId, GpmId, KernelId, PageId, SmId, WarpId};
+pub use units::{Bandwidth, Bytes, Cycles, Energy, EnergyPerBit, Frequency, Power, Time};

@@ -1,0 +1,165 @@
+//! Small statistics helpers used when summarizing experiments.
+//!
+//! The paper reports arithmetic means (energy growth), geometric means
+//! (Fig. 4b's "GeoMean Error"), and mean absolute error (9.4% MAE across the
+//! validation suite). These helpers centralize that math.
+
+/// Arithmetic mean of a slice. Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(common::stats::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(common::stats::mean(&[]), None);
+/// ```
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Geometric mean of a slice of strictly positive values.
+///
+/// Returns `None` if the slice is empty or any value is not strictly
+/// positive (the geometric mean is undefined there).
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Mean of absolute values — the paper's "mean absolute error" when fed
+/// relative errors. Returns `None` for an empty slice.
+pub fn mean_abs(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().map(|v| v.abs()).sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Geometric mean of absolute values, ignoring zeros (which would collapse
+/// the product); mirrors the "GeoMean Error" bar in Fig. 4b.
+pub fn geomean_abs(values: &[f64]) -> Option<f64> {
+    let abs: Vec<f64> = values
+        .iter()
+        .map(|v| v.abs())
+        .filter(|&v| v > 0.0)
+        .collect();
+    geomean(&abs)
+}
+
+/// Relative error of `modeled` against `measured`, as a signed fraction.
+///
+/// Positive means the model over-predicts. Returns `None` when `measured`
+/// is zero (relative error undefined).
+pub fn relative_error(modeled: f64, measured: f64) -> Option<f64> {
+    if measured == 0.0 {
+        None
+    } else {
+        Some((modeled - measured) / measured)
+    }
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Maximum of a slice by value. Returns `None` for an empty slice or if any
+/// value is NaN.
+pub fn max(values: &[f64]) -> Option<f64> {
+    if values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    values.iter().copied().fold(None, |acc, v| {
+        Some(match acc {
+            None => v,
+            Some(a) => a.max(v),
+        })
+    })
+}
+
+/// Minimum of a slice by value. Returns `None` for an empty slice or if any
+/// value is NaN.
+pub fn min(values: &[f64]) -> Option<f64> {
+    if values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    values.iter().copied().fold(None, |acc, v| {
+        Some(match acc {
+            None => v,
+            Some(a) => a.min(v),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        let g = geomean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn geomean_is_scale_covariant() {
+        let vals = [0.5, 2.0, 8.0];
+        let scaled: Vec<f64> = vals.iter().map(|v| v * 3.0).collect();
+        let g1 = geomean(&vals).unwrap();
+        let g2 = geomean(&scaled).unwrap();
+        assert!((g2 / g1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_abs_mixes_signs() {
+        assert_eq!(mean_abs(&[-2.0, 2.0]), Some(2.0));
+        assert_eq!(mean_abs(&[]), None);
+    }
+
+    #[test]
+    fn geomean_abs_skips_zeros() {
+        let g = geomean_abs(&[-1.0, 4.0, 0.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_signs() {
+        assert_eq!(relative_error(110.0, 100.0), Some(0.1));
+        assert_eq!(relative_error(90.0, 100.0), Some(-0.1));
+        assert_eq!(relative_error(1.0, 0.0), None);
+    }
+
+    #[test]
+    fn std_dev_basics() {
+        let s = std_dev(&[2.0, 2.0, 2.0]).unwrap();
+        assert!(s.abs() < 1e-12);
+        let s = std_dev(&[1.0, 3.0]).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_basics() {
+        assert_eq!(max(&[1.0, 5.0, 3.0]), Some(5.0));
+        assert_eq!(min(&[1.0, 5.0, 3.0]), Some(1.0));
+        assert_eq!(max(&[]), None);
+        assert_eq!(max(&[f64::NAN, 1.0]), None);
+    }
+}

@@ -1,0 +1,206 @@
+//! Minimal fixed-width text table rendering for experiment output.
+//!
+//! The experiment binaries print the same rows the paper's tables and figure
+//! series report; this renderer keeps that output aligned and diff-friendly
+//! without pulling in a formatting dependency.
+
+use std::fmt::Write as _;
+
+/// A simple text table: a header row plus data rows, rendered with
+/// column-width alignment.
+///
+/// # Examples
+///
+/// ```
+/// use common::table::TextTable;
+///
+/// let mut t = TextTable::new(["config", "EDPSE (%)"]);
+/// t.row(["2-GPM", "94.0"]);
+/// t.row(["32-GPM", "36.0"]);
+/// let s = t.render();
+/// assert!(s.contains("2-GPM"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header cells.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row. Rows shorter than the header are padded with
+    /// empty cells; longer rows extend the table width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as RFC-4180-style CSV (quoting cells containing
+    /// commas, quotes, or newlines), for piping experiment output into
+    /// plotting tools.
+    pub fn render_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.header);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+
+    /// Renders the table to a string with a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i + 1 == widths.len() {
+                    let _ = write!(out, "{cell}");
+                } else {
+                    let _ = write!(out, "{cell:<w$}  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total.max(1)));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.368` →
+/// `"36.8"`.
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}", frac * 100.0)
+}
+
+/// Formats a ratio with two decimals, e.g. speedups (`"1.87"`).
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["a", "long-header"]);
+        t.row(["xxxxxx", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Header and row share the first column width.
+        assert!(lines[0].starts_with("a     "));
+        assert!(lines[2].starts_with("xxxxxx"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["1"]);
+        let s = t.render();
+        assert!(s.contains('1'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn handles_rows_wider_than_header() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["1", "2", "3"]);
+        let s = t.render();
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(["h1", "h2"]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["plain", "1"]);
+        t.row(["with,comma", "say \"hi\""]);
+        let csv = t.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(pct(0.368), "36.8");
+        assert_eq!(ratio(1.868), "1.87");
+    }
+}

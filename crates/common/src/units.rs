@@ -1,0 +1,808 @@
+//! Physical quantities used by the energy model and the simulator.
+//!
+//! All quantities are thin wrappers around `f64` (or `u64` for discrete
+//! counts) with the dimensional arithmetic the paper's equations need:
+//!
+//! * `Power * Time = Energy` and `Energy / Time = Power` (Eq. 5),
+//! * `EnergyPerBit * Bytes = Energy` (interconnect/DRAM costs, §V-A2),
+//! * `Bytes / Bandwidth = Time` and `Cycles / Frequency = Time`
+//!   (bandwidth accounting in the performance simulator).
+//!
+//! The types deliberately do not implement `Eq`/`Ord` (they carry `f64`s);
+//! they provide `PartialOrd` plus an [`Energy::abs_diff`]-style helper where
+//! tests need tolerant comparison.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An amount of energy, stored internally in joules.
+///
+/// # Examples
+///
+/// ```
+/// use common::units::Energy;
+/// let epi = Energy::from_nanojoules(0.05);
+/// let total = epi * 1_000_000.0;
+/// assert!((total.millijoules() - 0.05).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from joules.
+    #[inline]
+    pub fn from_joules(j: f64) -> Self {
+        Energy(j)
+    }
+
+    /// Creates an energy from millijoules.
+    #[inline]
+    pub fn from_millijoules(mj: f64) -> Self {
+        Energy(mj * 1e-3)
+    }
+
+    /// Creates an energy from microjoules.
+    #[inline]
+    pub fn from_microjoules(uj: f64) -> Self {
+        Energy(uj * 1e-6)
+    }
+
+    /// Creates an energy from nanojoules (the unit of the paper's EPI/EPT
+    /// table, Table Ib).
+    #[inline]
+    pub fn from_nanojoules(nj: f64) -> Self {
+        Energy(nj * 1e-9)
+    }
+
+    /// Creates an energy from picojoules (the unit of per-bit link costs).
+    #[inline]
+    pub fn from_picojoules(pj: f64) -> Self {
+        Energy(pj * 1e-12)
+    }
+
+    /// Returns the energy in joules.
+    #[inline]
+    pub fn joules(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the energy in millijoules.
+    #[inline]
+    pub fn millijoules(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the energy in nanojoules.
+    #[inline]
+    pub fn nanojoules(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the energy in picojoules.
+    #[inline]
+    pub fn picojoules(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Absolute difference, useful for tolerant test comparisons.
+    #[inline]
+    pub fn abs_diff(self, other: Energy) -> Energy {
+        Energy((self.0 - other.0).abs())
+    }
+
+    /// `true` if the value is finite (not NaN/inf).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Clamps a (possibly slightly negative, from sensor noise) energy at zero.
+    #[inline]
+    pub fn max_zero(self) -> Energy {
+        Energy(self.0.max(0.0))
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let j = self.0.abs();
+        if j >= 1.0 {
+            write!(f, "{:.3} J", self.0)
+        } else if j >= 1e-3 {
+            write!(f, "{:.3} mJ", self.0 * 1e3)
+        } else if j >= 1e-6 {
+            write!(f, "{:.3} uJ", self.0 * 1e6)
+        } else if j >= 1e-9 {
+            write!(f, "{:.3} nJ", self.0 * 1e9)
+        } else {
+            write!(f, "{:.3} pJ", self.0 * 1e12)
+        }
+    }
+}
+
+/// Electrical power, stored internally in watts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Creates a power from watts.
+    #[inline]
+    pub fn from_watts(w: f64) -> Self {
+        Power(w)
+    }
+
+    /// Creates a power from milliwatts (NVML reports milliwatts).
+    #[inline]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Power(mw * 1e-3)
+    }
+
+    /// Returns the power in watts.
+    #[inline]
+    pub fn watts(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the power in milliwatts.
+    #[inline]
+    pub fn milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Absolute difference between two powers.
+    #[inline]
+    pub fn abs_diff(self, other: Power) -> Power {
+        Power((self.0 - other.0).abs())
+    }
+
+    /// Clamps negative power readings at zero.
+    #[inline]
+    pub fn max_zero(self) -> Power {
+        Power(self.0.max(0.0))
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} W", self.0)
+    }
+}
+
+/// A duration, stored internally in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Time(f64);
+
+impl Time {
+    /// Zero duration.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Creates a time from seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        Time(s)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Time(ms * 1e-3)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Time(us * 1e-6)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Self {
+        Time(ns * 1e-9)
+    }
+
+    /// Returns the time in seconds.
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the time in milliseconds.
+    #[inline]
+    pub fn millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the time in microseconds.
+    #[inline]
+    pub fn micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the time in nanoseconds.
+    #[inline]
+    pub fn nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Absolute difference between two times.
+    #[inline]
+    pub fn abs_diff(self, other: Time) -> Time {
+        Time((self.0 - other.0).abs())
+    }
+
+    /// `true` if this duration is strictly positive.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 > 0.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0.abs();
+        if s >= 1.0 {
+            write!(f, "{:.3} s", self.0)
+        } else if s >= 1e-3 {
+            write!(f, "{:.3} ms", self.0 * 1e3)
+        } else if s >= 1e-6 {
+            write!(f, "{:.3} us", self.0 * 1e6)
+        } else {
+            write!(f, "{:.1} ns", self.0 * 1e9)
+        }
+    }
+}
+
+/// A count of clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub fn new(c: u64) -> Self {
+        Cycles(c)
+    }
+
+    /// Returns the raw count.
+    #[inline]
+    pub fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+/// A clock frequency, stored internally in hertz.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Frequency(f64);
+
+impl Frequency {
+    /// Creates a frequency from hertz.
+    #[inline]
+    pub fn from_hz(hz: f64) -> Self {
+        Frequency(hz)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[inline]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Frequency(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Frequency(ghz * 1e9)
+    }
+
+    /// Returns the frequency in hertz.
+    #[inline]
+    pub fn hz(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the frequency in gigahertz.
+    #[inline]
+    pub fn ghz(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Duration of a single clock period.
+    #[inline]
+    pub fn period(self) -> Time {
+        Time(1.0 / self.0)
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} GHz", self.ghz())
+    }
+}
+
+/// A byte count (data volume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(pub u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a byte count.
+    #[inline]
+    pub fn new(b: u64) -> Self {
+        Bytes(b)
+    }
+
+    /// Creates a byte count from kibibytes.
+    #[inline]
+    pub fn from_kib(k: u64) -> Self {
+        Bytes(k * 1024)
+    }
+
+    /// Creates a byte count from mebibytes.
+    #[inline]
+    pub fn from_mib(m: u64) -> Self {
+        Bytes(m * 1024 * 1024)
+    }
+
+    /// Creates a byte count from gibibytes.
+    #[inline]
+    pub fn from_gib(g: u64) -> Self {
+        Bytes(g * 1024 * 1024 * 1024)
+    }
+
+    /// Returns the raw byte count.
+    #[inline]
+    pub fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0 * 8
+    }
+
+    /// Returns the count in kibibytes as a float.
+    #[inline]
+    pub fn kib(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// Returns the count in mebibytes as a float.
+    #[inline]
+    pub fn mib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(other.0))
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0 as f64;
+        if b >= 1024.0 * 1024.0 * 1024.0 {
+            write!(f, "{:.2} GiB", b / (1024.0 * 1024.0 * 1024.0))
+        } else if b >= 1024.0 * 1024.0 {
+            write!(f, "{:.2} MiB", b / (1024.0 * 1024.0))
+        } else if b >= 1024.0 {
+            write!(f, "{:.2} KiB", b / 1024.0)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn mul(self, rhs: u64) -> Bytes {
+        Bytes(self.0 * rhs)
+    }
+}
+
+/// A data-transfer rate, stored internally in bytes per second.
+///
+/// The paper quotes bandwidths in decimal GB/s (e.g., 256 GB/s per HBM
+/// stack); [`Bandwidth::from_gb_per_sec`] uses the decimal convention.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Zero bandwidth.
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    /// Creates a bandwidth from bytes per second.
+    #[inline]
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        Bandwidth(bps)
+    }
+
+    /// Creates a bandwidth from decimal gigabytes per second.
+    #[inline]
+    pub fn from_gb_per_sec(gbps: f64) -> Self {
+        Bandwidth(gbps * 1e9)
+    }
+
+    /// Returns bytes per second.
+    #[inline]
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Returns decimal gigabytes per second.
+    #[inline]
+    pub fn gb_per_sec(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Bytes transferable per clock cycle at the given core frequency.
+    ///
+    /// The simulator turns link bandwidths into per-cycle byte budgets with
+    /// this; the result is fractional and accumulated as a token bucket.
+    #[inline]
+    pub fn bytes_per_cycle(self, clock: Frequency) -> f64 {
+        self.0 / clock.hz()
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} GB/s", self.gb_per_sec())
+    }
+}
+
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn mul(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn div(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 / rhs)
+    }
+}
+
+/// An energy cost per transferred bit, stored internally in joules per bit.
+///
+/// The paper's link/DRAM costs are quoted in pJ/bit: 0.54 pJ/bit on-package,
+/// 10 pJ/bit on-board, 21.1 pJ/bit HBM DRAM-to-L2 (§V-A2).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct EnergyPerBit(f64);
+
+impl EnergyPerBit {
+    /// Zero cost.
+    pub const ZERO: EnergyPerBit = EnergyPerBit(0.0);
+
+    /// Creates a per-bit energy from picojoules per bit.
+    #[inline]
+    pub fn from_pj_per_bit(pj: f64) -> Self {
+        EnergyPerBit(pj * 1e-12)
+    }
+
+    /// Returns picojoules per bit.
+    #[inline]
+    pub fn pj_per_bit(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Energy to move `bytes` at this per-bit cost.
+    #[inline]
+    pub fn energy_for(self, bytes: Bytes) -> Energy {
+        Energy(self.0 * bytes.bits() as f64)
+    }
+}
+
+impl fmt::Display for EnergyPerBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} pJ/bit", self.pj_per_bit())
+    }
+}
+
+impl Mul<f64> for EnergyPerBit {
+    type Output = EnergyPerBit;
+    #[inline]
+    fn mul(self, rhs: f64) -> EnergyPerBit {
+        EnergyPerBit(self.0 * rhs)
+    }
+}
+
+// ---- dimensional arithmetic -------------------------------------------------
+
+macro_rules! impl_linear_ops {
+    ($ty:ident) => {
+        impl Add for $ty {
+            type Output = $ty;
+            #[inline]
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+        impl Sub for $ty {
+            type Output = $ty;
+            #[inline]
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+        impl SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+        impl Neg for $ty {
+            type Output = $ty;
+            #[inline]
+            fn neg(self) -> $ty {
+                $ty(-self.0)
+            }
+        }
+        impl Mul<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+        impl Mul<$ty> for f64 {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+        impl Div<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+        impl Div<$ty> for $ty {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $ty) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                $ty(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+impl_linear_ops!(Energy);
+impl_linear_ops!(Power);
+impl_linear_ops!(Time);
+
+impl Mul<Time> for Power {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Time) -> Energy {
+        Energy(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Power> for Time {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Power) -> Energy {
+        Energy(self.0 * rhs.0)
+    }
+}
+
+impl Div<Time> for Energy {
+    type Output = Power;
+    #[inline]
+    fn div(self, rhs: Time) -> Power {
+        Power(self.0 / rhs.0)
+    }
+}
+
+impl Div<Power> for Energy {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: Power) -> Time {
+        Time(self.0 / rhs.0)
+    }
+}
+
+impl Div<Frequency> for Cycles {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: Frequency) -> Time {
+        Time(self.0 as f64 / rhs.hz())
+    }
+}
+
+impl Div<Bandwidth> for Bytes {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: Bandwidth) -> Time {
+        Time(self.0 as f64 / rhs.bytes_per_sec())
+    }
+}
+
+impl Mul<Bytes> for EnergyPerBit {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Bytes) -> Energy {
+        self.energy_for(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_unit_conversions_round_trip() {
+        let e = Energy::from_nanojoules(5.45);
+        assert!((e.picojoules() - 5450.0).abs() < 1e-9);
+        assert!((e.joules() - 5.45e-9).abs() < 1e-20);
+        let e2 = Energy::from_picojoules(e.picojoules());
+        assert!(e.abs_diff(e2).joules() < 1e-18);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let p = Power::from_watts(235.0);
+        let t = Time::from_millis(15.0);
+        let e = p * t;
+        assert!((e.joules() - 3.525).abs() < 1e-12);
+        assert!((e / t).abs_diff(p).watts() < 1e-12);
+        assert!((e / p).abs_diff(t).secs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_over_frequency_is_time() {
+        let c = Cycles::new(1_000_000_000);
+        let f = Frequency::from_ghz(1.0);
+        let t = c / f;
+        assert!((t.secs() - 1.0).abs() < 1e-12);
+        assert!((f.period().nanos() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_over_bandwidth_is_time() {
+        let b = Bytes::from_gib(1);
+        let bw = Bandwidth::from_gb_per_sec(256.0);
+        let t = b / bw;
+        // 1 GiB over 256 decimal GB/s: ~4.19 ms.
+        assert!((t.millis() - 4.194).abs() < 0.01);
+    }
+
+    #[test]
+    fn energy_per_bit_times_bytes_is_energy() {
+        // Paper: moving one 128 B transaction over a 10 pJ/bit on-board link.
+        let link = EnergyPerBit::from_pj_per_bit(10.0);
+        let e = link * Bytes::new(128);
+        assert!((e.nanojoules() - 10.24).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_bytes_per_cycle() {
+        let bw = Bandwidth::from_gb_per_sec(256.0);
+        let clk = Frequency::from_ghz(1.0);
+        assert!((bw.bytes_per_cycle(clk) - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", Energy::from_joules(1.5)), "1.500 J");
+        assert_eq!(format!("{}", Energy::from_nanojoules(5.0)), "5.000 nJ");
+        assert_eq!(format!("{}", Time::from_micros(250.0)), "250.000 us");
+        assert_eq!(format!("{}", Bytes::from_mib(2)), "2.00 MiB");
+        assert_eq!(format!("{}", Bandwidth::from_gb_per_sec(128.0)), "128.0 GB/s");
+        assert_eq!(format!("{}", EnergyPerBit::from_pj_per_bit(0.54)), "0.54 pJ/bit");
+    }
+
+    #[test]
+    fn sums_and_scaling() {
+        let total: Energy = (0..10).map(|_| Energy::from_joules(0.1)).sum();
+        assert!((total.joules() - 1.0).abs() < 1e-12);
+        let half = total / 2.0;
+        assert!((half.joules() - 0.5).abs() < 1e-12);
+        assert!((total / half - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_zero_clamps() {
+        assert_eq!(Energy::from_joules(-0.5).max_zero(), Energy::ZERO);
+        assert_eq!(Power::from_watts(-1.0).max_zero(), Power::ZERO);
+        assert_eq!(Energy::from_joules(2.0).max_zero(), Energy::from_joules(2.0));
+    }
+
+    #[test]
+    fn bytes_arithmetic() {
+        let mut b = Bytes::from_kib(32);
+        b += Bytes::new(768);
+        assert_eq!(b.count(), 32 * 1024 + 768);
+        assert_eq!(Bytes::new(100).saturating_sub(Bytes::new(200)), Bytes::ZERO);
+        assert_eq!(Bytes::new(4).bits(), 32);
+        assert_eq!(Bytes::new(64) * 2, Bytes::new(128));
+    }
+}

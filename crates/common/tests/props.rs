@@ -1,0 +1,78 @@
+//! Property tests for the unit types: dimensional arithmetic must behave
+//! like real algebra over the full numeric range the simulator uses.
+
+use common::units::{Bandwidth, Bytes, Energy, EnergyPerBit, Power, Time};
+use proptest::prelude::*;
+
+/// Values that occur in practice: picojoules up to kilojoules, and so on.
+fn magnitude() -> impl Strategy<Value = f64> {
+    (1e-12_f64..1e4).prop_map(|v| v)
+}
+
+proptest! {
+    #[test]
+    fn energy_addition_is_commutative(a in magnitude(), b in magnitude()) {
+        let x = Energy::from_joules(a) + Energy::from_joules(b);
+        let y = Energy::from_joules(b) + Energy::from_joules(a);
+        prop_assert!((x.joules() - y.joules()).abs() <= 1e-12 * (a + b));
+    }
+
+    #[test]
+    fn power_time_energy_round_trip(p in magnitude(), t in magnitude()) {
+        let e = Power::from_watts(p) * Time::from_secs(t);
+        let back = e / Time::from_secs(t);
+        prop_assert!((back.watts() - p).abs() <= 1e-9 * p);
+        let back_t = e / Power::from_watts(p);
+        prop_assert!((back_t.secs() - t).abs() <= 1e-9 * t);
+    }
+
+    #[test]
+    fn unit_conversions_round_trip(j in magnitude()) {
+        let e = Energy::from_joules(j);
+        prop_assert!((Energy::from_nanojoules(e.nanojoules()).joules() - j).abs() <= 1e-9 * j);
+        prop_assert!((Energy::from_picojoules(e.picojoules()).joules() - j).abs() <= 1e-9 * j);
+        let t = Time::from_secs(j);
+        prop_assert!((Time::from_nanos(t.nanos()).secs() - j).abs() <= 1e-9 * j);
+    }
+
+    #[test]
+    fn energy_per_bit_is_linear_in_bytes(pj in 0.01_f64..100.0, n in 0_u64..1 << 40) {
+        let cost = EnergyPerBit::from_pj_per_bit(pj);
+        let one = cost.energy_for(Bytes::new(1)).joules();
+        let many = cost.energy_for(Bytes::new(n)).joules();
+        prop_assert!((many - one * n as f64).abs() <= 1e-9 * many.max(1e-30));
+    }
+
+    #[test]
+    fn bytes_over_bandwidth_scales_inversely(
+        bytes in 1_u64..1 << 40,
+        gbps in 1.0_f64..10_000.0,
+    ) {
+        let t1 = Bytes::new(bytes) / Bandwidth::from_gb_per_sec(gbps);
+        let t2 = Bytes::new(bytes) / Bandwidth::from_gb_per_sec(2.0 * gbps);
+        prop_assert!((t1.secs() - 2.0 * t2.secs()).abs() <= 1e-9 * t1.secs());
+    }
+
+    #[test]
+    fn scalar_multiplication_distributes(e in magnitude(), k in 0.0_f64..1e4) {
+        let a = Energy::from_joules(e) * k + Energy::from_joules(e) * k;
+        let b = Energy::from_joules(e) * (2.0 * k);
+        prop_assert!((a.joules() - b.joules()).abs() <= 1e-9 * b.joules().max(1e-30));
+    }
+
+    #[test]
+    fn max_zero_is_idempotent_and_non_negative(v in -1e6_f64..1e6) {
+        let e = Energy::from_joules(v).max_zero();
+        prop_assert!(e.joules() >= 0.0);
+        prop_assert_eq!(e.max_zero(), e);
+    }
+
+    #[test]
+    fn sum_equals_fold(values in prop::collection::vec(magnitude(), 0..50)) {
+        let sum: Energy = values.iter().map(|&v| Energy::from_joules(v)).sum();
+        let fold = values
+            .iter()
+            .fold(Energy::ZERO, |acc, &v| acc + Energy::from_joules(v));
+        prop_assert!((sum.joules() - fold.joules()).abs() <= 1e-9 * sum.joules().max(1e-30));
+    }
+}

@@ -1,0 +1,248 @@
+//! Per-component energy breakdown (the stacked components of Fig. 7).
+//!
+//! The paper decomposes GPU energy into the pipeline-busy, pipeline-idle
+//! (stall), constant-overhead, and per-hierarchy-level data-movement
+//! contributions; this module carries that decomposition so experiments can
+//! report exactly the same stacks.
+
+use common::units::Energy;
+use std::fmt;
+use std::ops::AddAssign;
+
+/// A named component of the total energy estimate.
+///
+/// Matches the legend of the paper's Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EnergyComponent {
+    /// Dynamic energy of executed instructions (`Σ EPI·IC` — "SM Pipeline
+    /// (Busy)").
+    PipelineBusy,
+    /// Lane-stall energy (`EPStall·stalls` — "SM Pipeline (Idle)").
+    PipelineIdle,
+    /// Constant power × execution time ("Constant Energy Overhead").
+    ConstantOverhead,
+    /// Shared memory → register file transactions.
+    SharedToReg,
+    /// L1 cache → register file transactions ("L1 -> Reg").
+    L1ToReg,
+    /// L2 cache → L1 transactions ("L2 -> L1").
+    L2ToL1,
+    /// Inter-GPM link and switch traffic ("Inter-Module").
+    InterModule,
+    /// DRAM → L2 transactions ("DRAM -> L2").
+    DramToL2,
+}
+
+impl EnergyComponent {
+    /// Number of components.
+    pub const COUNT: usize = 8;
+
+    /// All components in display order (matching the Fig. 7 legend order,
+    /// with SharedToReg folded in next to L1).
+    pub const ALL: [EnergyComponent; EnergyComponent::COUNT] = [
+        EnergyComponent::PipelineBusy,
+        EnergyComponent::PipelineIdle,
+        EnergyComponent::ConstantOverhead,
+        EnergyComponent::SharedToReg,
+        EnergyComponent::L1ToReg,
+        EnergyComponent::L2ToL1,
+        EnergyComponent::InterModule,
+        EnergyComponent::DramToL2,
+    ];
+
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Label used in experiment output (Fig. 7 legend wording).
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyComponent::PipelineBusy => "SM Pipeline (Busy)",
+            EnergyComponent::PipelineIdle => "SM Pipeline (Idle)",
+            EnergyComponent::ConstantOverhead => "Constant Energy Overhead",
+            EnergyComponent::SharedToReg => "Shared -> Reg",
+            EnergyComponent::L1ToReg => "L1 -> Reg",
+            EnergyComponent::L2ToL1 => "L2 -> L1",
+            EnergyComponent::InterModule => "Inter-Module",
+            EnergyComponent::DramToL2 => "DRAM -> L2",
+        }
+    }
+}
+
+impl fmt::Display for EnergyComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An energy estimate decomposed by [`EnergyComponent`].
+///
+/// # Examples
+///
+/// ```
+/// use gpujoule::{EnergyBreakdown, EnergyComponent};
+/// use common::units::Energy;
+///
+/// let mut b = EnergyBreakdown::new();
+/// b.add(EnergyComponent::PipelineBusy, Energy::from_joules(3.0));
+/// b.add(EnergyComponent::DramToL2, Energy::from_joules(1.0));
+/// assert_eq!(b.total(), Energy::from_joules(4.0));
+/// assert!((b.fraction(EnergyComponent::DramToL2) - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyBreakdown {
+    values: [Energy; EnergyComponent::COUNT],
+}
+
+impl Default for EnergyBreakdown {
+    fn default() -> Self {
+        EnergyBreakdown { values: [Energy::ZERO; EnergyComponent::COUNT] }
+    }
+}
+
+impl EnergyBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds energy to one component.
+    #[inline]
+    pub fn add(&mut self, c: EnergyComponent, e: Energy) {
+        self.values[c.index()] += e;
+    }
+
+    /// Energy of one component.
+    #[inline]
+    pub fn get(&self, c: EnergyComponent) -> Energy {
+        self.values[c.index()]
+    }
+
+    /// Total energy across components (the Eq. 4 sum).
+    pub fn total(&self) -> Energy {
+        self.values.iter().copied().sum()
+    }
+
+    /// Fraction of the total contributed by one component; `0.0` when the
+    /// total is zero.
+    pub fn fraction(&self, c: EnergyComponent) -> f64 {
+        let total = self.total().joules();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.get(c).joules() / total
+        }
+    }
+
+    /// Sum of all data-movement components (everything but pipeline and
+    /// constant overhead).
+    pub fn data_movement(&self) -> Energy {
+        self.get(EnergyComponent::SharedToReg)
+            + self.get(EnergyComponent::L1ToReg)
+            + self.get(EnergyComponent::L2ToL1)
+            + self.get(EnergyComponent::InterModule)
+            + self.get(EnergyComponent::DramToL2)
+    }
+
+    /// Iterates over `(component, energy)` pairs in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (EnergyComponent, Energy)> + '_ {
+        EnergyComponent::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+
+    /// Component-wise difference `self − other`, clamped at zero: the
+    /// *increase* over a preceding configuration, as plotted in Fig. 7.
+    pub fn increase_over(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        let mut out = EnergyBreakdown::new();
+        for c in EnergyComponent::ALL {
+            out.values[c.index()] = (self.get(c) - other.get(c)).max_zero();
+        }
+        out
+    }
+}
+
+impl AddAssign<&EnergyBreakdown> for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: &EnergyBreakdown) {
+        for i in 0..EnergyComponent::COUNT {
+            self.values[i] += rhs.values[i];
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        writeln!(f, "total: {total}")?;
+        for (c, e) in self.iter() {
+            writeln!(f, "  {:<26} {:>12}  ({:>5.1}%)", c.label(), e.to_string(), self.fraction(c) * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let mut b = EnergyBreakdown::new();
+        b.add(EnergyComponent::PipelineBusy, Energy::from_joules(6.0));
+        b.add(EnergyComponent::ConstantOverhead, Energy::from_joules(2.0));
+        b.add(EnergyComponent::ConstantOverhead, Energy::from_joules(2.0));
+        assert_eq!(b.total(), Energy::from_joules(10.0));
+        assert!((b.fraction(EnergyComponent::ConstantOverhead) - 0.4).abs() < 1e-12);
+        assert_eq!(b.fraction(EnergyComponent::DramToL2), 0.0);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_total_and_fractions() {
+        let b = EnergyBreakdown::new();
+        assert_eq!(b.total(), Energy::ZERO);
+        assert_eq!(b.fraction(EnergyComponent::PipelineBusy), 0.0);
+    }
+
+    #[test]
+    fn data_movement_excludes_pipeline_and_constant() {
+        let mut b = EnergyBreakdown::new();
+        b.add(EnergyComponent::PipelineBusy, Energy::from_joules(5.0));
+        b.add(EnergyComponent::ConstantOverhead, Energy::from_joules(5.0));
+        b.add(EnergyComponent::L2ToL1, Energy::from_joules(1.0));
+        b.add(EnergyComponent::InterModule, Energy::from_joules(2.0));
+        assert_eq!(b.data_movement(), Energy::from_joules(3.0));
+    }
+
+    #[test]
+    fn increase_over_clamps_negative_deltas() {
+        let mut a = EnergyBreakdown::new();
+        a.add(EnergyComponent::DramToL2, Energy::from_joules(3.0));
+        a.add(EnergyComponent::PipelineBusy, Energy::from_joules(1.0));
+        let mut b = EnergyBreakdown::new();
+        b.add(EnergyComponent::DramToL2, Energy::from_joules(1.0));
+        b.add(EnergyComponent::PipelineBusy, Energy::from_joules(2.0));
+        let inc = a.increase_over(&b);
+        assert_eq!(inc.get(EnergyComponent::DramToL2), Energy::from_joules(2.0));
+        assert_eq!(inc.get(EnergyComponent::PipelineBusy), Energy::ZERO);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = EnergyBreakdown::new();
+        a.add(EnergyComponent::L1ToReg, Energy::from_joules(1.0));
+        let mut b = EnergyBreakdown::new();
+        b.add(EnergyComponent::L1ToReg, Energy::from_joules(2.0));
+        a += &b;
+        assert_eq!(a.get(EnergyComponent::L1ToReg), Energy::from_joules(3.0));
+    }
+
+    #[test]
+    fn display_lists_all_components() {
+        let b = EnergyBreakdown::new();
+        let s = b.to_string();
+        for c in EnergyComponent::ALL {
+            assert!(s.contains(c.label()), "missing {c}");
+        }
+    }
+}

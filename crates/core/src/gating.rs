@@ -1,0 +1,209 @@
+//! Idle-aware power gating — the §V-E extension quantified.
+//!
+//! The paper closes by noting that "system-level techniques that reduce
+//! the impact of constant power in the presence of large numbers of GPU
+//! modules are going to be crucial", naming clock- and power-gating. This
+//! module implements the first-order version: a fraction of the
+//! constant-power rail can be gated off while an SM sits idle, so the
+//! constant-energy exposure that dominates the 32-GPM configurations
+//! (Fig. 7) shrinks with gating effectiveness.
+
+use crate::breakdown::{EnergyBreakdown, EnergyComponent};
+use crate::model::EnergyModel;
+use isa::EventCounts;
+use std::fmt;
+
+/// A power-gating capability.
+///
+/// With gateable fraction `g` and effectiveness `e`, an idle SM-cycle
+/// burns `(1 − g·e)` of its share of constant power. Only the SM-side
+/// portion of the constant rail is gateable — regulators, fans and host
+/// I/O stay on — which `gateable_fraction` captures.
+///
+/// # Examples
+///
+/// ```
+/// use gpujoule::{EnergyModel, PowerGating};
+/// use isa::EventCounts;
+/// use common::units::Time;
+///
+/// let model = EnergyModel::k40();
+/// let mut ev = EventCounts::new();
+/// ev.busy_sm_cycles = 25;
+/// ev.idle_sm_cycles = 75;
+/// ev.elapsed = Time::from_millis(10.0);
+///
+/// let none = model.estimate(&ev).total();
+/// let gated = model.estimate_gated(&ev, &PowerGating::new(1.0)).total();
+/// assert!(gated < none);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerGating {
+    effectiveness: f64,
+    gateable_fraction: f64,
+}
+
+impl PowerGating {
+    /// Default gateable share of the constant rail (SM arrays and their
+    /// local distribution; PDN/fans/host-I/O are not gateable).
+    pub const DEFAULT_GATEABLE_FRACTION: f64 = 0.6;
+
+    /// Gating with the given effectiveness in `[0, 1]` and the default
+    /// gateable fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `effectiveness` is outside `[0, 1]`.
+    pub fn new(effectiveness: f64) -> Self {
+        Self::with_gateable_fraction(effectiveness, Self::DEFAULT_GATEABLE_FRACTION)
+    }
+
+    /// Gating with explicit effectiveness and gateable fraction, both in
+    /// `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is outside `[0, 1]`.
+    pub fn with_gateable_fraction(effectiveness: f64, gateable_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&effectiveness) && effectiveness.is_finite(),
+            "effectiveness must be within [0, 1], got {effectiveness}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&gateable_fraction) && gateable_fraction.is_finite(),
+            "gateable fraction must be within [0, 1], got {gateable_fraction}"
+        );
+        PowerGating { effectiveness, gateable_fraction }
+    }
+
+    /// No gating (the paper's baseline).
+    pub fn off() -> Self {
+        Self::new(0.0)
+    }
+
+    /// The gating effectiveness.
+    pub fn effectiveness(self) -> f64 {
+        self.effectiveness
+    }
+
+    /// Multiplier applied to constant energy for a run with the given
+    /// idle fraction.
+    pub fn constant_multiplier(self, idle_fraction: f64) -> f64 {
+        1.0 - self.effectiveness * self.gateable_fraction * idle_fraction.clamp(0.0, 1.0)
+    }
+}
+
+impl Default for PowerGating {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl fmt::Display for PowerGating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gating {:.0}% effective over {:.0}% of constant power",
+            self.effectiveness * 100.0,
+            self.gateable_fraction * 100.0
+        )
+    }
+}
+
+impl EnergyModel {
+    /// Like [`EnergyModel::estimate`], with idle-aware power gating
+    /// applied to the constant-overhead component.
+    pub fn estimate_gated(&self, ev: &EventCounts, gating: &PowerGating) -> EnergyBreakdown {
+        let mut b = self.estimate(ev);
+        let constant = b.get(EnergyComponent::ConstantOverhead);
+        let gated = constant * gating.constant_multiplier(ev.idle_fraction());
+        // Rebuild the component (EnergyBreakdown only accumulates).
+        let mut out = EnergyBreakdown::new();
+        for (c, e) in b.iter() {
+            if c == EnergyComponent::ConstantOverhead {
+                out.add(c, gated);
+            } else {
+                out.add(c, e);
+            }
+        }
+        b = out;
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::units::Time;
+
+    fn idle_heavy() -> EventCounts {
+        let mut ev = EventCounts::new();
+        ev.busy_sm_cycles = 20;
+        ev.idle_sm_cycles = 80;
+        ev.elapsed = Time::from_millis(5.0);
+        ev
+    }
+
+    #[test]
+    fn multiplier_scales_with_idle_and_effectiveness() {
+        let g = PowerGating::with_gateable_fraction(1.0, 1.0);
+        assert_eq!(g.constant_multiplier(0.0), 1.0);
+        assert!((g.constant_multiplier(1.0) - 0.0).abs() < 1e-12);
+        assert!((g.constant_multiplier(0.5) - 0.5).abs() < 1e-12);
+        let half = PowerGating::with_gateable_fraction(0.5, 1.0);
+        assert!((half.constant_multiplier(1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_is_identity() {
+        let model = EnergyModel::k40();
+        let ev = idle_heavy();
+        let plain = model.estimate(&ev);
+        let gated = model.estimate_gated(&ev, &PowerGating::off());
+        assert_eq!(plain, gated);
+    }
+
+    #[test]
+    fn gating_reduces_only_constant_overhead() {
+        let model = EnergyModel::k40();
+        let mut ev = idle_heavy();
+        ev.instrs.add(isa::Opcode::FAdd32, 1000);
+        let plain = model.estimate(&ev);
+        let gated = model.estimate_gated(&ev, &PowerGating::new(1.0));
+        assert!(
+            gated.get(EnergyComponent::ConstantOverhead)
+                < plain.get(EnergyComponent::ConstantOverhead)
+        );
+        assert_eq!(
+            gated.get(EnergyComponent::PipelineBusy),
+            plain.get(EnergyComponent::PipelineBusy)
+        );
+        // 80% idle, 60% gateable, 100% effective: 48% of constant saved.
+        let expected = plain.get(EnergyComponent::ConstantOverhead).joules() * (1.0 - 0.48);
+        assert!(
+            (gated.get(EnergyComponent::ConstantOverhead).joules() - expected).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn more_effectiveness_saves_more() {
+        let model = EnergyModel::k40();
+        let ev = idle_heavy();
+        let e25 = model.estimate_gated(&ev, &PowerGating::new(0.25)).total();
+        let e75 = model.estimate_gated(&ev, &PowerGating::new(0.75)).total();
+        assert!(e75 < e25);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn rejects_out_of_range() {
+        let _ = PowerGating::new(1.5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = PowerGating::new(0.5).to_string();
+        assert!(s.contains("50%"));
+        assert!(s.contains("60%"));
+    }
+}

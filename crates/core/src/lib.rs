@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! **GPUJoule** — a top-down, instruction-based GPU energy-estimation
+//! framework, plus the **EDPSE** scaling-efficiency metric.
+//!
+//! This crate is the primary contribution of *"Understanding the Future of
+//! Energy Efficiency in Multi-Module GPUs"* (HPCA 2019). The model rests on
+//! one insight: total GPU energy is the sum of the energy of every
+//! instruction executed, plus the data movement needed to feed those
+//! instructions, plus constant overheads (Eq. 4):
+//!
+//! ```text
+//! E_GPU = Σc EPI_c·IC_c  +  Σm EPT_m·TC_m  +  EPStall·stalls  +  ConstPower·T
+//! ```
+//!
+//! Being decoupled from microarchitectural detail, the same model scales
+//! from a single Tesla K40 (on which it is fitted and validated to ~10%)
+//! to hypothetical 32-module NUMA GPUs, where per-bit link and DRAM costs
+//! and constant-energy amortization are layered on top (§V-A2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpujoule::EnergyModel;
+//! use isa::{EventCounts, Opcode, Transaction};
+//! use common::units::Time;
+//!
+//! let model = EnergyModel::k40();
+//! let mut ev = EventCounts::new();
+//! ev.instrs.add(Opcode::FFma32, 1_000_000);
+//! ev.txns.add(Transaction::DramToL2, 10_000);
+//! ev.elapsed = Time::from_micros(50.0);
+//! let breakdown = model.estimate(&ev);
+//! assert!(breakdown.total().joules() > 0.0);
+//! ```
+
+pub mod breakdown;
+pub mod epi;
+pub mod gating;
+pub mod metrics;
+pub mod model;
+pub mod multigpm;
+pub mod validation;
+
+pub use breakdown::{EnergyBreakdown, EnergyComponent};
+pub use epi::{EpiTable, EptTable};
+pub use gating::PowerGating;
+pub use metrics::{
+    parallel_efficiency, EdipScalingEfficiency, EdpScalingEfficiency, EnergyDelay, MetricError,
+};
+pub use model::{EnergyModel, EnergyModelBuilder};
+pub use multigpm::{ConstantEnergyAmortization, IntegrationDomain, MultiGpmEnergyConfig};
+pub use validation::{ValidationItem, ValidationReport};

@@ -1,0 +1,392 @@
+//! Scaling-efficiency metrics: parallel efficiency, EDP, ED²P, and the
+//! paper's EDPSE / EDⁱPSE family (§III, Eqs. 1–3).
+//!
+//! EDPSE measures the fraction of *linear EDP scaling* a design realizes:
+//! a design that gets an N× speedup at constant energy scores 100%;
+//! sub-linear speedup or energy growth both reduce it. Super-linear
+//! speedups can push it above 100% (footnote 1 of the paper).
+
+use common::units::{Energy, Time};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from metric computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// The scaled-resource count `N` must be at least 1.
+    ZeroResources,
+    /// A delay was zero or negative, making EDP degenerate.
+    NonPositiveDelay,
+    /// An energy was negative.
+    NegativeEnergy,
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::ZeroResources => write!(f, "resource count must be at least 1"),
+            MetricError::NonPositiveDelay => write!(f, "delay must be positive"),
+            MetricError::NegativeEnergy => write!(f, "energy must be non-negative"),
+        }
+    }
+}
+
+impl Error for MetricError {}
+
+/// An (energy, delay) pair for one design point, from which all combined
+/// metrics derive.
+///
+/// # Examples
+///
+/// ```
+/// use gpujoule::EnergyDelay;
+/// use common::units::{Energy, Time};
+///
+/// let ed = EnergyDelay::new(Energy::from_joules(100.0), Time::from_secs(2.0));
+/// assert_eq!(ed.edp(), 200.0);
+/// assert_eq!(ed.edip(2), 400.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyDelay {
+    energy: Energy,
+    delay: Time,
+}
+
+impl EnergyDelay {
+    /// Creates a design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the energy is negative or the delay non-positive; use
+    /// [`EnergyDelay::try_new`] for fallible construction.
+    pub fn new(energy: Energy, delay: Time) -> Self {
+        Self::try_new(energy, delay).expect("invalid EnergyDelay")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::NegativeEnergy`] or
+    /// [`MetricError::NonPositiveDelay`] for out-of-domain values.
+    pub fn try_new(energy: Energy, delay: Time) -> Result<Self, MetricError> {
+        if energy.joules() < 0.0 {
+            return Err(MetricError::NegativeEnergy);
+        }
+        if !delay.is_positive() {
+            return Err(MetricError::NonPositiveDelay);
+        }
+        Ok(EnergyDelay { energy, delay })
+    }
+
+    /// The energy of this design point.
+    pub fn energy(self) -> Energy {
+        self.energy
+    }
+
+    /// The delay (time to solution) of this design point.
+    pub fn delay(self) -> Time {
+        self.delay
+    }
+
+    /// Energy-delay product, in joule-seconds.
+    pub fn edp(self) -> f64 {
+        self.energy.joules() * self.delay.secs()
+    }
+
+    /// Generalized EDⁱP: energy × delayⁱ (i = 1 is EDP, i = 2 is ED²P).
+    pub fn edip(self, i: u32) -> f64 {
+        self.energy.joules() * self.delay.secs().powi(i as i32)
+    }
+
+    /// Speedup of this point relative to `baseline` (baseline delay over
+    /// this delay).
+    pub fn speedup_over(self, baseline: EnergyDelay) -> f64 {
+        baseline.delay.secs() / self.delay.secs()
+    }
+
+    /// Energy of this point normalized to `baseline`.
+    pub fn energy_ratio_over(self, baseline: EnergyDelay) -> f64 {
+        self.energy.joules() / baseline.energy.joules()
+    }
+
+    /// Average power over the run.
+    pub fn average_power(self) -> common::units::Power {
+        self.energy / self.delay
+    }
+
+    /// Performance-per-watt of this point relative to `baseline` — the
+    /// other industry metric §V-D mentions. For a fixed problem size this
+    /// reduces to the inverse energy ratio: perf/W = (work/delay) /
+    /// (energy/delay) = work/energy.
+    pub fn perf_per_watt_over(self, baseline: EnergyDelay) -> f64 {
+        baseline.energy.joules() / self.energy.joules()
+    }
+}
+
+impl fmt::Display for EnergyDelay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} in {}", self.energy, self.delay)
+    }
+}
+
+/// Parallel efficiency (Eq. 1): `t1 × 100 / (N × tN)`, in percent.
+///
+/// # Errors
+///
+/// Returns an error if `n` is zero or either time is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use gpujoule::parallel_efficiency;
+/// use common::units::Time;
+///
+/// let pe = parallel_efficiency(Time::from_secs(10.0), Time::from_secs(2.5), 4).unwrap();
+/// assert!((pe - 100.0).abs() < 1e-12);
+/// ```
+pub fn parallel_efficiency(t1: Time, tn: Time, n: usize) -> Result<f64, MetricError> {
+    if n == 0 {
+        return Err(MetricError::ZeroResources);
+    }
+    if !t1.is_positive() || !tn.is_positive() {
+        return Err(MetricError::NonPositiveDelay);
+    }
+    Ok(t1.secs() * 100.0 / (n as f64 * tn.secs()))
+}
+
+/// EDP Scaling Efficiency (Eq. 2): the fraction of linear EDP scaling
+/// realized by a design with `n` replicated resources, in percent.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct EdpScalingEfficiency(f64);
+
+impl EdpScalingEfficiency {
+    /// Computes `EDP1 × 100 / (N × EDPN)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::ZeroResources`] if `n` is zero.
+    pub fn compute(
+        baseline: EnergyDelay,
+        scaled: EnergyDelay,
+        n: usize,
+    ) -> Result<Self, MetricError> {
+        if n == 0 {
+            return Err(MetricError::ZeroResources);
+        }
+        Ok(EdpScalingEfficiency(
+            baseline.edp() * 100.0 / (n as f64 * scaled.edp()),
+        ))
+    }
+
+    /// The efficiency in percent (100 = perfect linear scaling).
+    pub fn percent(self) -> f64 {
+        self.0
+    }
+
+    /// `true` if the design clears the paper's suggested 50% production
+    /// threshold.
+    pub fn meets_threshold(self) -> bool {
+        self.0 >= 50.0
+    }
+}
+
+impl fmt::Display for EdpScalingEfficiency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.0)
+    }
+}
+
+/// Generalized EDⁱP Scaling Efficiency (Eq. 3):
+/// `EDiP1 × 100 / (Nⁱ × EDiPN)`.
+///
+/// `i = 1` reduces to [`EdpScalingEfficiency`]; `i = 2` weighs delay
+/// quadratically (ED²P), for designs where performance matters more.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct EdipScalingEfficiency {
+    percent: f64,
+    exponent: u32,
+}
+
+impl EdipScalingEfficiency {
+    /// Computes the EDⁱPSE for delay exponent `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::ZeroResources`] if `n` is zero.
+    pub fn compute(
+        baseline: EnergyDelay,
+        scaled: EnergyDelay,
+        n: usize,
+        i: u32,
+    ) -> Result<Self, MetricError> {
+        if n == 0 {
+            return Err(MetricError::ZeroResources);
+        }
+        let percent = baseline.edip(i) * 100.0 / ((n as f64).powi(i as i32) * scaled.edip(i));
+        Ok(EdipScalingEfficiency { percent, exponent: i })
+    }
+
+    /// The efficiency in percent.
+    pub fn percent(self) -> f64 {
+        self.percent
+    }
+
+    /// The delay exponent `i`.
+    pub fn exponent(self) -> u32 {
+        self.exponent
+    }
+}
+
+impl fmt::Display for EdipScalingEfficiency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ED{}PSE {:.1}%", self.exponent, self.percent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ed(e: f64, t: f64) -> EnergyDelay {
+        EnergyDelay::new(Energy::from_joules(e), Time::from_secs(t))
+    }
+
+    #[test]
+    fn edp_and_edip() {
+        let p = ed(10.0, 3.0);
+        assert_eq!(p.edp(), 30.0);
+        assert_eq!(p.edip(1), 30.0);
+        assert_eq!(p.edip(2), 90.0);
+        assert_eq!(p.edip(0), 10.0);
+    }
+
+    #[test]
+    fn ideal_strong_scaling_scores_100() {
+        // N=8: delay /8, energy constant.
+        let base = ed(100.0, 8.0);
+        let scaled = ed(100.0, 1.0);
+        let se = EdpScalingEfficiency::compute(base, scaled, 8).unwrap();
+        assert!((se.percent() - 100.0).abs() < 1e-9);
+        assert!(se.meets_threshold());
+    }
+
+    #[test]
+    fn n_equals_one_identity() {
+        let base = ed(42.0, 7.0);
+        let se = EdpScalingEfficiency::compute(base, base, 1).unwrap();
+        assert!((se.percent() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_growth_reduces_edpse() {
+        let base = ed(100.0, 8.0);
+        // Perfect speedup but 2x the energy -> 50%.
+        let scaled = ed(200.0, 1.0);
+        let se = EdpScalingEfficiency::compute(base, scaled, 8).unwrap();
+        assert!((se.percent() - 50.0).abs() < 1e-9);
+        assert!(se.meets_threshold());
+    }
+
+    #[test]
+    fn sublinear_speedup_reduces_edpse() {
+        let base = ed(100.0, 8.0);
+        // Only 4x speedup at constant energy on 8 resources -> 50%.
+        let scaled = ed(100.0, 2.0);
+        let se = EdpScalingEfficiency::compute(base, scaled, 8).unwrap();
+        assert!((se.percent() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn superlinear_speedup_can_exceed_100() {
+        let base = ed(100.0, 8.0);
+        // 10x speedup on 8 resources at constant energy.
+        let scaled = ed(100.0, 0.8);
+        let se = EdpScalingEfficiency::compute(base, scaled, 8).unwrap();
+        assert!(se.percent() > 100.0);
+    }
+
+    #[test]
+    fn edipse_reduces_to_edpse_at_i1() {
+        let base = ed(100.0, 8.0);
+        let scaled = ed(130.0, 1.3);
+        let se1 = EdpScalingEfficiency::compute(base, scaled, 8).unwrap();
+        let sei = EdipScalingEfficiency::compute(base, scaled, 8, 1).unwrap();
+        assert!((se1.percent() - sei.percent()).abs() < 1e-12);
+        assert_eq!(sei.exponent(), 1);
+    }
+
+    #[test]
+    fn ed2pse_weighs_delay_quadratically() {
+        let base = ed(100.0, 8.0);
+        // Perfect speedup, 2x energy: EDPSE 50%, ED2PSE also 50%
+        let scaled = ed(200.0, 1.0);
+        let se2 = EdipScalingEfficiency::compute(base, scaled, 8, 2).unwrap();
+        assert!((se2.percent() - 50.0).abs() < 1e-9);
+        // Half speedup, constant energy: EDPSE 50%, ED2PSE 25%.
+        let slow = ed(100.0, 2.0);
+        let se2 = EdipScalingEfficiency::compute(base, slow, 8, 2).unwrap();
+        assert!((se2.percent() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_efficiency_matches_eq1() {
+        let pe = parallel_efficiency(Time::from_secs(16.0), Time::from_secs(2.0), 8).unwrap();
+        assert!((pe - 100.0).abs() < 1e-12);
+        let pe = parallel_efficiency(Time::from_secs(16.0), Time::from_secs(4.0), 8).unwrap();
+        assert!((pe - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            parallel_efficiency(Time::from_secs(1.0), Time::from_secs(1.0), 0),
+            Err(MetricError::ZeroResources)
+        );
+        assert_eq!(
+            parallel_efficiency(Time::ZERO, Time::from_secs(1.0), 2),
+            Err(MetricError::NonPositiveDelay)
+        );
+        assert_eq!(
+            EnergyDelay::try_new(Energy::from_joules(-1.0), Time::from_secs(1.0)),
+            Err(MetricError::NegativeEnergy)
+        );
+        assert_eq!(
+            EnergyDelay::try_new(Energy::ZERO, Time::ZERO),
+            Err(MetricError::NonPositiveDelay)
+        );
+        assert_eq!(
+            EdpScalingEfficiency::compute(ed(1.0, 1.0), ed(1.0, 1.0), 0),
+            Err(MetricError::ZeroResources)
+        );
+        // Errors format.
+        assert!(MetricError::ZeroResources.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn speedup_and_energy_ratio() {
+        let base = ed(100.0, 10.0);
+        let scaled = ed(150.0, 2.0);
+        assert!((scaled.speedup_over(base) - 5.0).abs() < 1e-12);
+        assert!((scaled.energy_ratio_over(base) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_per_watt_is_inverse_energy_for_fixed_work() {
+        let base = ed(100.0, 10.0);
+        let scaled = ed(150.0, 2.0);
+        assert!((scaled.perf_per_watt_over(base) - 100.0 / 150.0).abs() < 1e-12);
+        // Better perf/W exactly when energy shrinks, regardless of delay.
+        let cheap = ed(50.0, 9.0);
+        assert!(cheap.perf_per_watt_over(base) > 1.0);
+        assert!((base.average_power().watts() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let se = EdpScalingEfficiency::compute(ed(100.0, 8.0), ed(100.0, 1.0), 8).unwrap();
+        assert_eq!(se.to_string(), "100.0%");
+        let se2 = EdipScalingEfficiency::compute(ed(100.0, 8.0), ed(100.0, 1.0), 8, 2).unwrap();
+        assert!(se2.to_string().starts_with("ED2PSE"));
+    }
+}

@@ -1,0 +1,340 @@
+//! The GPUJoule energy model — Eq. 4 of the paper.
+//!
+//! [`EnergyModel`] turns an [`EventCounts`] record (produced by the
+//! performance simulator or the virtual silicon backend) into an
+//! [`EnergyBreakdown`]:
+//!
+//! ```text
+//! E = Σc EPI_c·IC_c + Σm EPT_m·TC_m + EPStall·stalls + ConstPower·T
+//! ```
+//!
+//! Multi-GPM designs extend this with per-bit inter-module link and switch
+//! costs and replicated (possibly amortized) constant power; use
+//! [`EnergyModelBuilder`] or [`crate::MultiGpmEnergyConfig::build_model`].
+
+use crate::breakdown::{EnergyBreakdown, EnergyComponent};
+use crate::epi::{EpiTable, EptTable};
+use common::units::{Energy, EnergyPerBit, Power};
+use isa::{EventCounts, Transaction};
+
+/// Default constant (idle) power of the modeled Tesla K40 class GPM:
+/// voltage regulators, power delivery, host I/O, leakage (Eq. 4's
+/// `Const_Power` term).
+pub const K40_CONST_POWER_WATTS: f64 = 62.0;
+
+/// Default energy per lane-stall: the dynamic energy an SM burns in an
+/// issue slot that stalls waiting on memory.
+pub const K40_EP_STALL_NANOJOULES: f64 = 0.30;
+
+/// A fitted, ready-to-evaluate instance of the GPUJoule model.
+///
+/// # Examples
+///
+/// ```
+/// use gpujoule::EnergyModel;
+/// use isa::{EventCounts, Opcode};
+/// use common::units::Time;
+///
+/// let model = EnergyModel::k40();
+/// let mut ev = EventCounts::new();
+/// ev.instrs.add(Opcode::FAdd32, 32_000);
+/// ev.elapsed = Time::from_micros(10.0);
+/// let b = model.estimate(&ev);
+/// // 32k thread-instructions at 0.06 nJ plus 10 us of constant power.
+/// let expected = 32_000.0 * 0.06e-9 + 62.0 * 10e-6;
+/// assert!((b.total().joules() - expected).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    epi: EpiTable,
+    ept: EptTable,
+    ep_stall: Energy,
+    const_power: Power,
+    link_per_bit: EnergyPerBit,
+    switch_per_bit: EnergyPerBit,
+}
+
+impl EnergyModel {
+    /// The model fitted to the Tesla K40 (Table Ib values, GDDR5 DRAM
+    /// cost), as validated against silicon in §IV-B.
+    pub fn k40() -> Self {
+        EnergyModelBuilder::new()
+            .epi_table(EpiTable::k40())
+            .ept_table(EptTable::k40())
+            .build()
+    }
+
+    /// Starts configuring a model.
+    pub fn builder() -> EnergyModelBuilder {
+        EnergyModelBuilder::new()
+    }
+
+    /// The fitted per-instruction table.
+    pub fn epi_table(&self) -> &EpiTable {
+        &self.epi
+    }
+
+    /// The fitted per-transaction table.
+    pub fn ept_table(&self) -> &EptTable {
+        &self.ept
+    }
+
+    /// The constant-power term.
+    pub fn const_power(&self) -> Power {
+        self.const_power
+    }
+
+    /// The per-lane-stall energy term.
+    pub fn ep_stall(&self) -> Energy {
+        self.ep_stall
+    }
+
+    /// The inter-GPM link cost per bit.
+    pub fn link_per_bit(&self) -> EnergyPerBit {
+        self.link_per_bit
+    }
+
+    /// The switch traversal cost per bit.
+    pub fn switch_per_bit(&self) -> EnergyPerBit {
+        self.switch_per_bit
+    }
+
+    /// Evaluates Eq. 4 on one run's event counts, returning the
+    /// per-component breakdown.
+    pub fn estimate(&self, ev: &EventCounts) -> EnergyBreakdown {
+        let mut out = EnergyBreakdown::new();
+
+        // Σ EPI_c × IC_c — "SM Pipeline (Busy)".
+        let mut busy = Energy::ZERO;
+        for (op, n) in ev.instrs.iter() {
+            busy += self.epi.get(op) * n as f64;
+        }
+        out.add(EnergyComponent::PipelineBusy, busy);
+
+        // EPStall × stalls — "SM Pipeline (Idle)".
+        out.add(EnergyComponent::PipelineIdle, self.ep_stall * ev.stall_cycles as f64);
+
+        // Σ EPT_m × TC_m per hierarchy level.
+        let txn = |t: Transaction| self.ept.get(t) * ev.txns.get(t) as f64;
+        out.add(EnergyComponent::SharedToReg, txn(Transaction::SharedToReg));
+        out.add(EnergyComponent::L1ToReg, txn(Transaction::L1ToReg));
+        out.add(EnergyComponent::L2ToL1, txn(Transaction::L2ToL1));
+        out.add(EnergyComponent::DramToL2, txn(Transaction::DramToL2));
+
+        // Inter-module traffic is charged per bit end-to-end, plus the
+        // switch traversal premium when a switch is present. The paper's
+        // §V-C sensitivity result (4x link energy moves EDPSE by <1%)
+        // implies this per-transfer accounting rather than per-hop.
+        let inter = self.link_per_bit.energy_for(ev.inter_gpm_bytes)
+            + self.switch_per_bit.energy_for(ev.switch_bytes);
+        out.add(EnergyComponent::InterModule, inter);
+
+        // ConstPower × Execution_Time.
+        out.add(EnergyComponent::ConstantOverhead, self.const_power * ev.elapsed);
+
+        out
+    }
+
+    /// Convenience: the total of [`EnergyModel::estimate`].
+    pub fn estimate_total(&self, ev: &EventCounts) -> Energy {
+        self.estimate(ev).total()
+    }
+
+    /// Average power over the run (total energy over elapsed time).
+    ///
+    /// Returns `None` for a zero-length run.
+    pub fn estimate_power(&self, ev: &EventCounts) -> Option<Power> {
+        if ev.elapsed.is_positive() {
+            Some(self.estimate_total(ev) / ev.elapsed)
+        } else {
+            None
+        }
+    }
+}
+
+/// Builder for [`EnergyModel`].
+///
+/// Starts from the K40 defaults; every term can be overridden. The
+/// multi-GPM experiments override constant power (replication and
+/// amortization), DRAM cost (HBM), and the link/switch per-bit costs.
+#[derive(Debug, Clone)]
+pub struct EnergyModelBuilder {
+    epi: EpiTable,
+    ept: EptTable,
+    ep_stall: Energy,
+    const_power: Power,
+    link_per_bit: EnergyPerBit,
+    switch_per_bit: EnergyPerBit,
+}
+
+impl Default for EnergyModelBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EnergyModelBuilder {
+    /// A builder primed with the K40 defaults.
+    pub fn new() -> Self {
+        EnergyModelBuilder {
+            epi: EpiTable::k40(),
+            ept: EptTable::k40(),
+            ep_stall: Energy::from_nanojoules(K40_EP_STALL_NANOJOULES),
+            const_power: Power::from_watts(K40_CONST_POWER_WATTS),
+            link_per_bit: EnergyPerBit::ZERO,
+            switch_per_bit: EnergyPerBit::ZERO,
+        }
+    }
+
+    /// Sets the per-instruction table.
+    pub fn epi_table(mut self, t: EpiTable) -> Self {
+        self.epi = t;
+        self
+    }
+
+    /// Sets the per-transaction table.
+    pub fn ept_table(mut self, t: EptTable) -> Self {
+        self.ept = t;
+        self
+    }
+
+    /// Sets the per-lane-stall energy.
+    pub fn ep_stall(mut self, e: Energy) -> Self {
+        self.ep_stall = e;
+        self
+    }
+
+    /// Sets the constant-power term.
+    pub fn const_power(mut self, p: Power) -> Self {
+        self.const_power = p;
+        self
+    }
+
+    /// Sets the inter-GPM link cost per bit (per traversed hop).
+    pub fn link_per_bit(mut self, e: EnergyPerBit) -> Self {
+        self.link_per_bit = e;
+        self
+    }
+
+    /// Sets the switch traversal cost per bit.
+    pub fn switch_per_bit(mut self, e: EnergyPerBit) -> Self {
+        self.switch_per_bit = e;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> EnergyModel {
+        EnergyModel {
+            epi: self.epi,
+            ept: self.ept,
+            ep_stall: self.ep_stall,
+            const_power: self.const_power,
+            link_per_bit: self.link_per_bit,
+            switch_per_bit: self.switch_per_bit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::units::{Bytes, Time};
+    use isa::Opcode;
+
+    fn sample_events() -> EventCounts {
+        let mut ev = EventCounts::new();
+        ev.instrs.add(Opcode::FFma32, 1_000);
+        ev.instrs.add(Opcode::IAdd32, 500);
+        ev.txns.add(Transaction::L1ToReg, 100);
+        ev.txns.add(Transaction::L2ToL1, 40);
+        ev.txns.add(Transaction::DramToL2, 10);
+        ev.stall_cycles = 200;
+        ev.elapsed = Time::from_micros(3.0);
+        ev
+    }
+
+    #[test]
+    fn eq4_terms_add_up() {
+        let model = EnergyModel::k40();
+        let ev = sample_events();
+        let b = model.estimate(&ev);
+
+        let busy = 1_000.0 * 0.05e-9 + 500.0 * 0.07e-9;
+        let idle = 200.0 * K40_EP_STALL_NANOJOULES * 1e-9;
+        let l1 = 100.0 * 5.99e-9;
+        let l2 = 40.0 * 3.96e-9;
+        let dram = 10.0 * 7.82e-9;
+        let constant = K40_CONST_POWER_WATTS * 3e-6;
+
+        assert!((b.get(EnergyComponent::PipelineBusy).joules() - busy).abs() < 1e-15);
+        assert!((b.get(EnergyComponent::PipelineIdle).joules() - idle).abs() < 1e-15);
+        assert!((b.get(EnergyComponent::L1ToReg).joules() - l1).abs() < 1e-15);
+        assert!((b.get(EnergyComponent::L2ToL1).joules() - l2).abs() < 1e-15);
+        assert!((b.get(EnergyComponent::DramToL2).joules() - dram).abs() < 1e-15);
+        assert!((b.get(EnergyComponent::ConstantOverhead).joules() - constant).abs() < 1e-12);
+        assert!(
+            (b.total().joules() - (busy + idle + l1 + l2 + dram + constant)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn inter_module_charges_per_bit_per_hop() {
+        let model = EnergyModel::builder()
+            .link_per_bit(EnergyPerBit::from_pj_per_bit(10.0))
+            .switch_per_bit(EnergyPerBit::from_pj_per_bit(10.0))
+            .const_power(Power::ZERO)
+            .build();
+        let mut ev = EventCounts::new();
+        ev.inter_gpm_bytes = Bytes::new(1000);
+        ev.switch_bytes = Bytes::new(500);
+        let b = model.estimate(&ev);
+        let expected = 10.0e-12 * 8.0 * 1500.0;
+        assert!((b.get(EnergyComponent::InterModule).joules() - expected).abs() < 1e-15);
+        assert_eq!(b.total(), b.get(EnergyComponent::InterModule));
+    }
+
+    #[test]
+    fn zero_events_cost_nothing() {
+        let model = EnergyModel::k40();
+        let b = model.estimate(&EventCounts::new());
+        assert_eq!(b.total(), Energy::ZERO);
+    }
+
+    #[test]
+    fn estimate_is_linear_in_counts() {
+        let model = EnergyModel::k40();
+        let ev = sample_events();
+        let mut doubled = ev.clone();
+        doubled.merge_sequential(&ev);
+        let e1 = model.estimate_total(&ev);
+        let e2 = model.estimate_total(&doubled);
+        assert!((e2.joules() - 2.0 * e1.joules()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn estimate_power_requires_positive_time() {
+        let model = EnergyModel::k40();
+        let mut ev = EventCounts::new();
+        assert_eq!(model.estimate_power(&ev), None);
+        ev.elapsed = Time::from_micros(1.0);
+        let p = model.estimate_power(&ev).unwrap();
+        // Only constant power contributes here.
+        assert!((p.watts() - K40_CONST_POWER_WATTS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_overrides_take_effect() {
+        let model = EnergyModel::builder()
+            .const_power(Power::from_watts(10.0))
+            .ep_stall(Energy::from_nanojoules(1.0))
+            .build();
+        assert_eq!(model.const_power(), Power::from_watts(10.0));
+        assert_eq!(model.ep_stall(), Energy::from_nanojoules(1.0));
+        let mut ev = EventCounts::new();
+        ev.stall_cycles = 5;
+        ev.elapsed = Time::from_secs(1.0);
+        let b = model.estimate(&ev);
+        assert!((b.get(EnergyComponent::ConstantOverhead).joules() - 10.0).abs() < 1e-12);
+        assert!((b.get(EnergyComponent::PipelineIdle).nanojoules() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,326 @@
+//! Multi-GPM energy-model configuration (§V-A2 of the paper).
+//!
+//! Scaling a K40-class GPM to an N-module GPU changes three things in the
+//! energy model:
+//!
+//! 1. **DRAM technology** — future GPMs pair with HBM at 21.1 pJ/bit
+//!    (DRAM → L2) instead of the K40's GDDR5 at 30.55 pJ/bit.
+//! 2. **Inter-GPM links** — on-package signaling costs 0.54 pJ/bit, on-board
+//!    links 10 pJ/bit, and an optional on-board switch adds another
+//!    10 pJ/bit per traversal.
+//! 3. **Constant power** — each GPM brings its own regulators/fans/I-O. On
+//!    board, this replicates linearly; on package, a fraction can be shared
+//!    (*constant energy amortization*, 50% in the paper's baseline).
+
+use crate::model::{EnergyModel, EnergyModelBuilder, K40_CONST_POWER_WATTS};
+use crate::epi::{EpiTable, EptTable};
+use common::units::{EnergyPerBit, Power};
+use std::fmt;
+
+/// Published per-bit cost of on-package signaling (Poulton et al., 28 nm
+/// ground-referenced single-ended link).
+pub const ON_PACKAGE_PJ_PER_BIT: f64 = 0.54;
+
+/// Estimated per-bit cost of on-board links (NVLink-class).
+pub const ON_BOARD_PJ_PER_BIT: f64 = 10.0;
+
+/// Additional per-bit cost of traversing an on-board high-radix switch.
+pub const SWITCH_PJ_PER_BIT: f64 = 10.0;
+
+/// Where the GPMs of a multi-module GPU are integrated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntegrationDomain {
+    /// Discrete GPMs on a PCB: cheap to build large, expensive links
+    /// (10 pJ/bit), no constant-energy sharing.
+    OnBoard,
+    /// GPMs on a single package: 0.54 pJ/bit links and shared
+    /// power-delivery/cooling overheads.
+    OnPackage,
+}
+
+impl IntegrationDomain {
+    /// Default link energy for this domain.
+    pub fn default_link_energy(self) -> EnergyPerBit {
+        match self {
+            IntegrationDomain::OnBoard => EnergyPerBit::from_pj_per_bit(ON_BOARD_PJ_PER_BIT),
+            IntegrationDomain::OnPackage => EnergyPerBit::from_pj_per_bit(ON_PACKAGE_PJ_PER_BIT),
+        }
+    }
+
+    /// Default constant-energy amortization for this domain (the paper
+    /// assumes 50% sharing on package, none on board).
+    pub fn default_amortization(self) -> ConstantEnergyAmortization {
+        match self {
+            IntegrationDomain::OnBoard => ConstantEnergyAmortization::none(),
+            IntegrationDomain::OnPackage => ConstantEnergyAmortization::new(0.5),
+        }
+    }
+}
+
+impl fmt::Display for IntegrationDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrationDomain::OnBoard => write!(f, "on-board"),
+            IntegrationDomain::OnPackage => write!(f, "on-package"),
+        }
+    }
+}
+
+/// The fraction of per-GPM constant energy that is *shared* across GPMs
+/// rather than replicated.
+///
+/// With sharing fraction `a` and `N` GPMs, effective constant power is
+/// `P0 × ((1 − a)·N + a)`: the replicated part grows linearly, the shared
+/// part is paid once. `a = 0` is on-board replication; the paper's
+/// on-package baseline is `a = 0.5`, with a 25% sensitivity point (§V-C).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ConstantEnergyAmortization(f64);
+
+impl ConstantEnergyAmortization {
+    /// No sharing: constant power replicates linearly with GPM count.
+    pub fn none() -> Self {
+        ConstantEnergyAmortization(0.0)
+    }
+
+    /// A sharing fraction in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]` or not finite.
+    pub fn new(fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "amortization fraction must be within [0, 1], got {fraction}"
+        );
+        ConstantEnergyAmortization(fraction)
+    }
+
+    /// The shared fraction.
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// Effective constant-power multiplier for `n` GPMs.
+    pub fn multiplier(self, n: usize) -> f64 {
+        (1.0 - self.0) * n as f64 + self.0
+    }
+}
+
+impl Default for ConstantEnergyAmortization {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl fmt::Display for ConstantEnergyAmortization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}% shared", self.0 * 100.0)
+    }
+}
+
+/// Everything needed to instantiate the energy model for an N-GPM GPU.
+///
+/// # Examples
+///
+/// ```
+/// use gpujoule::{IntegrationDomain, MultiGpmEnergyConfig};
+///
+/// // The paper's baseline 2x-BW on-package configuration at 8 GPMs:
+/// let cfg = MultiGpmEnergyConfig::new(8, IntegrationDomain::OnPackage);
+/// let model = cfg.build_model();
+/// // 50% amortization: 8 GPMs cost 4.5x one GPM's constant power.
+/// let expected = 62.0 * 4.5;
+/// assert!((model.const_power().watts() - expected).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiGpmEnergyConfig {
+    /// Number of GPU modules.
+    pub num_gpms: usize,
+    /// Integration domain (sets link-cost and amortization defaults).
+    pub domain: IntegrationDomain,
+    /// Inter-GPM link cost per bit per hop.
+    pub link_energy: EnergyPerBit,
+    /// Switch traversal cost per bit (zero when no switch is present).
+    pub switch_energy: EnergyPerBit,
+    /// Constant-energy sharing across GPMs.
+    pub amortization: ConstantEnergyAmortization,
+    /// Per-GPM constant power before replication.
+    pub const_power_per_gpm: Power,
+}
+
+impl MultiGpmEnergyConfig {
+    /// A configuration with the paper's defaults for `domain`: HBM DRAM,
+    /// the domain's link energy and amortization, no switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpms` is zero.
+    pub fn new(num_gpms: usize, domain: IntegrationDomain) -> Self {
+        assert!(num_gpms > 0, "a GPU needs at least one GPM");
+        MultiGpmEnergyConfig {
+            num_gpms,
+            domain,
+            link_energy: domain.default_link_energy(),
+            switch_energy: EnergyPerBit::ZERO,
+            amortization: domain.default_amortization(),
+            const_power_per_gpm: Power::from_watts(K40_CONST_POWER_WATTS),
+        }
+    }
+
+    /// Overrides the link energy (the §V-C interconnect-energy point study
+    /// multiplies it by 2× and 4×).
+    pub fn with_link_energy(mut self, e: EnergyPerBit) -> Self {
+        self.link_energy = e;
+        self
+    }
+
+    /// Adds an on-board switch at the default 10 pJ/bit traversal cost.
+    pub fn with_switch(mut self) -> Self {
+        self.switch_energy = EnergyPerBit::from_pj_per_bit(SWITCH_PJ_PER_BIT);
+        self
+    }
+
+    /// Overrides the amortization (the §V-C sensitivity study uses 0%,
+    /// 25%, and 50%).
+    pub fn with_amortization(mut self, a: ConstantEnergyAmortization) -> Self {
+        self.amortization = a;
+        self
+    }
+
+    /// Overrides per-GPM constant power.
+    pub fn with_const_power_per_gpm(mut self, p: Power) -> Self {
+        self.const_power_per_gpm = p;
+        self
+    }
+
+    /// Effective constant power of the whole GPU.
+    pub fn total_const_power(&self) -> Power {
+        self.const_power_per_gpm * self.amortization.multiplier(self.num_gpms)
+    }
+
+    /// Builds the energy model for this configuration using the K40 EPI
+    /// table and the HBM-adjusted EPT table.
+    pub fn build_model(&self) -> EnergyModel {
+        self.build_model_with_tables(EpiTable::k40(), EptTable::k40_with_hbm())
+    }
+
+    /// Builds the energy model with custom fitted tables (e.g. tables
+    /// re-derived by the `microbench` pipeline).
+    pub fn build_model_with_tables(&self, epi: EpiTable, ept: EptTable) -> EnergyModel {
+        EnergyModelBuilder::new()
+            .epi_table(epi)
+            .ept_table(ept)
+            .const_power(self.total_const_power())
+            .link_per_bit(self.link_energy)
+            .switch_per_bit(self.switch_energy)
+            .build()
+    }
+}
+
+impl fmt::Display for MultiGpmEnergyConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-GPM {} ({}, {})",
+            self.num_gpms, self.domain, self.link_energy, self.amortization
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_defaults_match_paper() {
+        assert!(
+            (IntegrationDomain::OnBoard.default_link_energy().pj_per_bit() - 10.0).abs() < 1e-12
+        );
+        assert!(
+            (IntegrationDomain::OnPackage.default_link_energy().pj_per_bit() - 0.54).abs()
+                < 1e-12
+        );
+        assert_eq!(
+            IntegrationDomain::OnBoard.default_amortization().fraction(),
+            0.0
+        );
+        assert_eq!(
+            IntegrationDomain::OnPackage.default_amortization().fraction(),
+            0.5
+        );
+    }
+
+    #[test]
+    fn amortization_multiplier() {
+        let none = ConstantEnergyAmortization::none();
+        assert_eq!(none.multiplier(32), 32.0);
+        let half = ConstantEnergyAmortization::new(0.5);
+        assert_eq!(half.multiplier(32), 16.5);
+        assert_eq!(half.multiplier(1), 1.0);
+        let full = ConstantEnergyAmortization::new(1.0);
+        assert_eq!(full.multiplier(32), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn amortization_rejects_out_of_range() {
+        let _ = ConstantEnergyAmortization::new(1.5);
+    }
+
+    #[test]
+    fn amortization_saves_energy_at_scale() {
+        // Paper §V-C: at 32 GPMs, 50% amortization vs none should cut
+        // constant power roughly in half.
+        let board = MultiGpmEnergyConfig::new(32, IntegrationDomain::OnBoard);
+        let pkg = MultiGpmEnergyConfig::new(32, IntegrationDomain::OnPackage);
+        let ratio = pkg.total_const_power().watts() / board.total_const_power().watts();
+        assert!((ratio - 16.5 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_model_uses_hbm_and_domain_link() {
+        let cfg = MultiGpmEnergyConfig::new(4, IntegrationDomain::OnPackage);
+        let model = cfg.build_model();
+        assert!((model.link_per_bit().pj_per_bit() - 0.54).abs() < 1e-12);
+        assert_eq!(model.switch_per_bit(), EnergyPerBit::ZERO);
+        assert!(
+            (model
+                .ept_table()
+                .per_bit(isa::Transaction::DramToL2)
+                .pj_per_bit()
+                - 21.1)
+                .abs()
+                < 0.01
+        );
+    }
+
+    #[test]
+    fn switch_adds_traversal_cost() {
+        let cfg = MultiGpmEnergyConfig::new(8, IntegrationDomain::OnBoard).with_switch();
+        let model = cfg.build_model();
+        assert!((model.switch_per_bit().pj_per_bit() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_energy_override() {
+        // 4x the on-board baseline, as in the §V-C point study.
+        let cfg = MultiGpmEnergyConfig::new(32, IntegrationDomain::OnBoard)
+            .with_link_energy(EnergyPerBit::from_pj_per_bit(40.0));
+        assert!((cfg.build_model().link_per_bit().pj_per_bit() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPM")]
+    fn zero_gpms_panics() {
+        let _ = MultiGpmEnergyConfig::new(0, IntegrationDomain::OnBoard);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let cfg = MultiGpmEnergyConfig::new(16, IntegrationDomain::OnPackage);
+        let s = cfg.to_string();
+        assert!(s.contains("16-GPM"));
+        assert!(s.contains("on-package"));
+        assert!(s.contains("50% shared"));
+    }
+}

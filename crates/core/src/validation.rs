@@ -1,0 +1,225 @@
+//! Model-vs-measurement validation reports (Figs. 4a/4b of the paper).
+//!
+//! The GPUJoule methodology validates its fitted model twice: against
+//! mixed-instruction microbenchmarks, then against full applications,
+//! reporting signed relative error per item and the mean absolute /
+//! geometric-mean error across the suite.
+
+use common::stats;
+use common::units::Energy;
+use std::fmt;
+
+/// One validated item: a benchmark name with modeled and measured energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationItem {
+    /// Benchmark or application name.
+    pub name: String,
+    /// Energy predicted by the fitted GPUJoule model.
+    pub modeled: Energy,
+    /// Energy measured on (virtual) silicon through the power sensor.
+    pub measured: Energy,
+}
+
+impl ValidationItem {
+    /// Creates a validation item.
+    pub fn new(name: impl Into<String>, modeled: Energy, measured: Energy) -> Self {
+        ValidationItem { name: name.into(), modeled, measured }
+    }
+
+    /// Signed relative error `(modeled − measured) / measured`, or `None`
+    /// when the measured energy is zero.
+    pub fn relative_error(&self) -> Option<f64> {
+        stats::relative_error(self.modeled.joules(), self.measured.joules())
+    }
+
+    /// Signed relative error in percent (0 when undefined).
+    pub fn error_percent(&self) -> f64 {
+        self.relative_error().unwrap_or(0.0) * 100.0
+    }
+}
+
+impl fmt::Display for ValidationItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} modeled {} measured {} ({:+.1}%)",
+            self.name,
+            self.modeled,
+            self.measured,
+            self.error_percent()
+        )
+    }
+}
+
+/// A suite-level validation report.
+///
+/// # Examples
+///
+/// ```
+/// use gpujoule::{ValidationItem, ValidationReport};
+/// use common::units::Energy;
+///
+/// let report: ValidationReport = [
+///     ValidationItem::new("a", Energy::from_joules(1.1), Energy::from_joules(1.0)),
+///     ValidationItem::new("b", Energy::from_joules(0.9), Energy::from_joules(1.0)),
+/// ].into_iter().collect();
+/// assert!((report.mean_abs_error_percent() - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ValidationReport {
+    items: Vec<ValidationItem>,
+}
+
+impl ValidationReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an item.
+    pub fn push(&mut self, item: ValidationItem) {
+        self.items.push(item);
+    }
+
+    /// The validated items, in insertion order.
+    pub fn items(&self) -> &[ValidationItem] {
+        &self.items
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the report has no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Signed relative errors (fractions), one per item with a defined
+    /// error.
+    pub fn errors(&self) -> Vec<f64> {
+        self.items.iter().filter_map(|i| i.relative_error()).collect()
+    }
+
+    /// Mean absolute relative error in percent (the paper reports 9.4%
+    /// across the 18-application suite).
+    pub fn mean_abs_error_percent(&self) -> f64 {
+        stats::mean_abs(&self.errors()).unwrap_or(0.0) * 100.0
+    }
+
+    /// Geometric mean of absolute relative errors in percent (the
+    /// "GeoMean Error" bar of Fig. 4b).
+    pub fn geomean_abs_error_percent(&self) -> f64 {
+        stats::geomean_abs(&self.errors()).unwrap_or(0.0) * 100.0
+    }
+
+    /// Largest absolute relative error in percent.
+    pub fn max_abs_error_percent(&self) -> f64 {
+        self.errors()
+            .iter()
+            .map(|e| e.abs())
+            .fold(0.0, f64::max)
+            * 100.0
+    }
+
+    /// Items whose absolute error exceeds `threshold_percent` (the paper
+    /// singles out the four apps beyond 30%).
+    pub fn outliers(&self, threshold_percent: f64) -> Vec<&ValidationItem> {
+        self.items
+            .iter()
+            .filter(|i| i.error_percent().abs() > threshold_percent)
+            .collect()
+    }
+}
+
+impl FromIterator<ValidationItem> for ValidationReport {
+    fn from_iter<I: IntoIterator<Item = ValidationItem>>(iter: I) -> Self {
+        ValidationReport { items: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<ValidationItem> for ValidationReport {
+    fn extend<I: IntoIterator<Item = ValidationItem>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for item in &self.items {
+            writeln!(f, "{item}")?;
+        }
+        writeln!(
+            f,
+            "mean |err| {:.1}%  geomean |err| {:.1}%  max |err| {:.1}%",
+            self.mean_abs_error_percent(),
+            self.geomean_abs_error_percent(),
+            self.max_abs_error_percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(name: &str, modeled: f64, measured: f64) -> ValidationItem {
+        ValidationItem::new(name, Energy::from_joules(modeled), Energy::from_joules(measured))
+    }
+
+    #[test]
+    fn item_error_signs() {
+        assert!((item("x", 1.1, 1.0).error_percent() - 10.0).abs() < 1e-9);
+        assert!((item("x", 0.7, 1.0).error_percent() + 30.0).abs() < 1e-9);
+        assert_eq!(item("x", 1.0, 0.0).error_percent(), 0.0);
+    }
+
+    #[test]
+    fn report_statistics() {
+        let report: ValidationReport =
+            [item("a", 1.2, 1.0), item("b", 0.9, 1.0), item("c", 1.0, 1.0)]
+                .into_iter()
+                .collect();
+        assert_eq!(report.len(), 3);
+        assert!((report.mean_abs_error_percent() - 10.0).abs() < 1e-9);
+        assert!((report.max_abs_error_percent() - 20.0).abs() < 1e-9);
+        // Geomean skips the zero-error item.
+        assert!((report.geomean_abs_error_percent() - (0.2f64 * 0.1).sqrt() * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outliers_filtering() {
+        let report: ValidationReport =
+            [item("ok", 1.05, 1.0), item("bad", 1.5, 1.0)].into_iter().collect();
+        let out = report.outliers(30.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].name, "bad");
+    }
+
+    #[test]
+    fn empty_report_is_all_zeros() {
+        let r = ValidationReport::new();
+        assert!(r.is_empty());
+        assert_eq!(r.mean_abs_error_percent(), 0.0);
+        assert_eq!(r.geomean_abs_error_percent(), 0.0);
+        assert_eq!(r.max_abs_error_percent(), 0.0);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut r = ValidationReport::new();
+        r.extend([item("a", 1.0, 1.0)]);
+        r.push(item("b", 2.0, 1.0));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.items()[1].name, "b");
+    }
+
+    #[test]
+    fn display_includes_summary() {
+        let r: ValidationReport = [item("a", 1.1, 1.0)].into_iter().collect();
+        let s = r.to_string();
+        assert!(s.contains("mean |err|"));
+        assert!(s.contains('a'));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the GPUJoule energy model and the EDPSE metric
+//! family: Eq. 4 must be linear and non-negative, Eq. 2 must behave like
+//! the algebra it claims to be.
+
+use common::units::{Bytes, Energy, Time};
+use gpujoule::{EdipScalingEfficiency, EdpScalingEfficiency, EnergyDelay, EnergyModel};
+use isa::{EventCounts, Opcode, Transaction};
+use proptest::prelude::*;
+
+fn event_counts() -> impl Strategy<Value = EventCounts> {
+    (
+        prop::collection::vec((0..Opcode::COUNT, 0_u64..1 << 28), 0..8),
+        prop::collection::vec((0..Transaction::COUNT, 0_u64..1 << 26), 0..8),
+        0_u64..1 << 32,
+        0_u64..1 << 28,
+        1_f64..1e7,
+    )
+        .prop_map(|(instrs, txns, bytes, stalls, micros)| {
+            let mut ev = EventCounts::new();
+            for (i, n) in instrs {
+                ev.instrs.add(Opcode::from_index(i).unwrap(), n);
+            }
+            for (t, n) in txns {
+                ev.txns.add(Transaction::from_index(t).unwrap(), n);
+            }
+            ev.inter_gpm_bytes = Bytes::new(bytes);
+            ev.switch_bytes = Bytes::new(bytes / 3);
+            ev.stall_cycles = stalls;
+            ev.elapsed = Time::from_micros(micros);
+            ev
+        })
+}
+
+fn energy_delay() -> impl Strategy<Value = EnergyDelay> {
+    (1e-6_f64..1e6, 1e-9_f64..1e3).prop_map(|(e, t)| {
+        EnergyDelay::new(Energy::from_joules(e), Time::from_secs(t))
+    })
+}
+
+proptest! {
+    #[test]
+    fn estimates_are_non_negative(ev in event_counts()) {
+        let model = EnergyModel::k40();
+        let b = model.estimate(&ev);
+        prop_assert!(b.total().joules() >= 0.0);
+        for (_, e) in b.iter() {
+            prop_assert!(e.joules() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn estimate_is_additive_over_runs(a in event_counts(), b in event_counts()) {
+        // Eq. 4 is a sum over events, so sequential composition must add.
+        let model = EnergyModel::k40();
+        let mut merged = a.clone();
+        merged.merge_sequential(&b);
+        let sum = model.estimate_total(&a) + model.estimate_total(&b);
+        let whole = model.estimate_total(&merged);
+        prop_assert!((sum.joules() - whole.joules()).abs()
+            <= 1e-9 * whole.joules().max(1e-30));
+    }
+
+    #[test]
+    fn breakdown_total_is_component_sum(ev in event_counts()) {
+        let model = EnergyModel::k40();
+        let b = model.estimate(&ev);
+        let sum: f64 = b.iter().map(|(_, e)| e.joules()).sum();
+        prop_assert!((b.total().joules() - sum).abs() <= 1e-9 * sum.max(1e-30));
+    }
+
+    #[test]
+    fn edpse_is_100_for_identity(ed in energy_delay()) {
+        let se = EdpScalingEfficiency::compute(ed, ed, 1).unwrap();
+        prop_assert!((se.percent() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edpse_is_unit_invariant(base in energy_delay(), scaled in energy_delay(), n in 1_usize..64) {
+        // Rescaling time and energy on both design points together must
+        // not change the score (Eq. 2 is dimensionless).
+        let k_e = 1e3;
+        let k_t = 1e-2;
+        let rescale = |ed: EnergyDelay| EnergyDelay::new(ed.energy() * k_e, ed.delay() * k_t);
+        let a = EdpScalingEfficiency::compute(base, scaled, n).unwrap();
+        let b = EdpScalingEfficiency::compute(rescale(base), rescale(scaled), n).unwrap();
+        prop_assert!((a.percent() - b.percent()).abs() <= 1e-6 * a.percent().abs().max(1.0));
+    }
+
+    #[test]
+    fn edpse_decreases_with_scaled_energy(base in energy_delay(), scaled in energy_delay(), n in 1_usize..64) {
+        let worse = EnergyDelay::new(scaled.energy() * 2.0, scaled.delay());
+        let a = EdpScalingEfficiency::compute(base, scaled, n).unwrap();
+        let b = EdpScalingEfficiency::compute(base, worse, n).unwrap();
+        prop_assert!((a.percent() / b.percent() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edipse_exponent_one_matches_edpse(base in energy_delay(), scaled in energy_delay(), n in 1_usize..64) {
+        let a = EdpScalingEfficiency::compute(base, scaled, n).unwrap();
+        let b = EdipScalingEfficiency::compute(base, scaled, n, 1).unwrap();
+        prop_assert!((a.percent() - b.percent()).abs() <= 1e-9 * a.percent().abs().max(1.0));
+    }
+
+    #[test]
+    fn perfect_strong_scaling_scores_100(base in energy_delay(), n in 1_usize..64) {
+        let scaled = EnergyDelay::new(base.energy(), base.delay() / n as f64);
+        let se = EdpScalingEfficiency::compute(base, scaled, n).unwrap();
+        prop_assert!((se.percent() - 100.0).abs() < 1e-6);
+    }
+}

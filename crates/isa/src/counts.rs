@@ -1,0 +1,371 @@
+//! Event-count records: the interface between performance simulation and
+//! the energy model.
+//!
+//! A simulation run produces an [`EventCounts`]: how many instructions of
+//! each opcode executed, how many transactions moved between each pair of
+//! hierarchy levels, how many bytes crossed inter-GPM links (per hop), how
+//! many lane-stall cycles SMs accumulated, and how long the run took. These
+//! are exactly the `IC`, `TC`, `stalls`, and `Execution_Time` terms of the
+//! paper's Eq. 4.
+
+use crate::{Opcode, Transaction};
+use common::units::{Bytes, Time};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Per-opcode instruction counts, stored densely.
+///
+/// # Examples
+///
+/// ```
+/// use isa::{Opcode, OpcodeCounts};
+/// let mut c = OpcodeCounts::new();
+/// c.add(Opcode::FFma32, 1000);
+/// c.add(Opcode::FFma32, 24);
+/// assert_eq!(c.get(Opcode::FFma32), 1024);
+/// assert_eq!(c.total(), 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpcodeCounts {
+    counts: [u64; Opcode::COUNT],
+}
+
+impl OpcodeCounts {
+    /// An empty count table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` executions of `op`.
+    #[inline]
+    pub fn add(&mut self, op: Opcode, n: u64) {
+        self.counts[op.index()] += n;
+    }
+
+    /// Count for one opcode.
+    #[inline]
+    pub fn get(&self, op: Opcode) -> u64 {
+        self.counts[op.index()]
+    }
+
+    /// Total dynamic instruction count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates over `(opcode, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (Opcode, u64)> + '_ {
+        Opcode::ALL
+            .iter()
+            .map(move |&op| (op, self.get(op)))
+            .filter(|&(_, n)| n > 0)
+    }
+
+    /// Merges another table into this one.
+    pub fn merge(&mut self, other: &OpcodeCounts) {
+        for i in 0..Opcode::COUNT {
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Multiplies every count by `k`.
+    pub fn scale(&mut self, k: u64) {
+        for c in &mut self.counts {
+            *c *= k;
+        }
+    }
+
+    /// `true` if every count is zero.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+}
+
+impl FromIterator<(Opcode, u64)> for OpcodeCounts {
+    fn from_iter<I: IntoIterator<Item = (Opcode, u64)>>(iter: I) -> Self {
+        let mut c = OpcodeCounts::new();
+        for (op, n) in iter {
+            c.add(op, n);
+        }
+        c
+    }
+}
+
+impl AddAssign<&OpcodeCounts> for OpcodeCounts {
+    fn add_assign(&mut self, rhs: &OpcodeCounts) {
+        self.merge(rhs);
+    }
+}
+
+/// Per-class transaction counts, stored densely.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TxnCounts {
+    counts: [u64; Transaction::COUNT],
+}
+
+impl TxnCounts {
+    /// An empty count table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` transactions of class `t`.
+    #[inline]
+    pub fn add(&mut self, t: Transaction, n: u64) {
+        self.counts[t.index()] += n;
+    }
+
+    /// Count for one transaction class.
+    #[inline]
+    pub fn get(&self, t: Transaction) -> u64 {
+        self.counts[t.index()]
+    }
+
+    /// Total transaction count across classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates over `(class, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (Transaction, u64)> + '_ {
+        Transaction::ALL
+            .iter()
+            .map(move |&t| (t, self.get(t)))
+            .filter(|&(_, n)| n > 0)
+    }
+
+    /// Merges another table into this one.
+    pub fn merge(&mut self, other: &TxnCounts) {
+        for i in 0..Transaction::COUNT {
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Multiplies every count by `k`.
+    pub fn scale(&mut self, k: u64) {
+        for c in &mut self.counts {
+            *c *= k;
+        }
+    }
+
+    /// `true` if every count is zero.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+}
+
+impl FromIterator<(Transaction, u64)> for TxnCounts {
+    fn from_iter<I: IntoIterator<Item = (Transaction, u64)>>(iter: I) -> Self {
+        let mut c = TxnCounts::new();
+        for (t, n) in iter {
+            c.add(t, n);
+        }
+        c
+    }
+}
+
+impl AddAssign<&TxnCounts> for TxnCounts {
+    fn add_assign(&mut self, rhs: &TxnCounts) {
+        self.merge(rhs);
+    }
+}
+
+/// Everything the energy model needs to know about one run.
+///
+/// Produced by the performance simulator (`sim` crate) or the virtual
+/// silicon backend (`silicon` crate); consumed by `gpujoule::EnergyModel`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventCounts {
+    /// Dynamic compute-instruction counts per opcode (warp-level; one count
+    /// is one warp instruction, matching how EPIs are derived).
+    pub instrs: OpcodeCounts,
+    /// Data-movement transaction counts per class.
+    pub txns: TxnCounts,
+    /// Total bytes moved between modules, counted once per transfer
+    /// (end-to-end). This is what the energy model charges at the
+    /// per-bit link cost — matching the paper's finding that inter-module
+    /// energy stays a small slice even on 10 pJ/bit boards (§V-C).
+    pub inter_gpm_bytes: Bytes,
+    /// Total bytes moved over inter-GPM links, counted once per traversed
+    /// hop (ring transfers at distance `d` contribute `d × bytes`).
+    /// A bandwidth-pressure diagnostic, not an energy input.
+    pub inter_gpm_hop_bytes: Bytes,
+    /// Total bytes routed through an on-board switch chip.
+    pub switch_bytes: Bytes,
+    /// Aggregate SM lane-stall cycles (pipeline issue slots lost waiting on
+    /// memory), summed over all SMs.
+    pub stall_cycles: u64,
+    /// Aggregate SM-cycles spent with at least one warp issuing.
+    pub busy_sm_cycles: u64,
+    /// Aggregate SM-cycles spent fully idle (no resident work or all warps
+    /// blocked), summed over all SMs. Idle time drives the constant-energy
+    /// exposure the paper identifies as the dominant inefficiency.
+    pub idle_sm_cycles: u64,
+    /// Wall-clock execution time of the run.
+    pub elapsed: Time,
+}
+
+impl EventCounts {
+    /// An empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges another record into this one, summing counts and elapsed
+    /// time (sequential composition of kernels/launches).
+    pub fn merge_sequential(&mut self, other: &EventCounts) {
+        self.instrs.merge(&other.instrs);
+        self.txns.merge(&other.txns);
+        self.inter_gpm_bytes += other.inter_gpm_bytes;
+        self.inter_gpm_hop_bytes += other.inter_gpm_hop_bytes;
+        self.switch_bytes += other.switch_bytes;
+        self.stall_cycles += other.stall_cycles;
+        self.busy_sm_cycles += other.busy_sm_cycles;
+        self.idle_sm_cycles += other.idle_sm_cycles;
+        self.elapsed += other.elapsed;
+    }
+
+    /// Scales every count and the elapsed time by `k`: the record of the
+    /// same kernel run `k` times back to back (used to extrapolate short
+    /// simulated microbenchmarks to sensor-resolvable durations).
+    pub fn scale(&mut self, k: u64) {
+        self.instrs.scale(k);
+        self.txns.scale(k);
+        self.inter_gpm_bytes = Bytes::new(self.inter_gpm_bytes.count() * k);
+        self.inter_gpm_hop_bytes = Bytes::new(self.inter_gpm_hop_bytes.count() * k);
+        self.switch_bytes = Bytes::new(self.switch_bytes.count() * k);
+        self.stall_cycles *= k;
+        self.busy_sm_cycles *= k;
+        self.idle_sm_cycles *= k;
+        self.elapsed = self.elapsed * k as f64;
+    }
+
+    /// Total dynamic instructions.
+    pub fn total_instructions(&self) -> u64 {
+        self.instrs.total()
+    }
+
+    /// Fraction of SM-cycles that were idle; `0.0` for an empty record.
+    pub fn idle_fraction(&self) -> f64 {
+        let total = self.busy_sm_cycles + self.idle_sm_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.idle_sm_cycles as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for EventCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instrs, {} txns, {} inter-GPM hop-bytes, {:.1}% idle, {}",
+            self.total_instructions(),
+            self.txns.total(),
+            self.inter_gpm_hop_bytes,
+            self.idle_fraction() * 100.0,
+            self.elapsed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_counts_accumulate() {
+        let mut c = OpcodeCounts::new();
+        assert!(c.is_empty());
+        c.add(Opcode::FAdd32, 5);
+        c.add(Opcode::FAdd32, 7);
+        c.add(Opcode::Bra, 1);
+        assert_eq!(c.get(Opcode::FAdd32), 12);
+        assert_eq!(c.total(), 13);
+        assert!(!c.is_empty());
+        assert_eq!(c.iter().count(), 2);
+    }
+
+    #[test]
+    fn opcode_counts_merge_and_add() {
+        let mut a: OpcodeCounts = [(Opcode::FFma32, 10)].into_iter().collect();
+        let b: OpcodeCounts = [(Opcode::FFma32, 5), (Opcode::IAdd32, 2)].into_iter().collect();
+        a += &b;
+        assert_eq!(a.get(Opcode::FFma32), 15);
+        assert_eq!(a.get(Opcode::IAdd32), 2);
+    }
+
+    #[test]
+    fn txn_counts_accumulate() {
+        let mut t = TxnCounts::new();
+        t.add(Transaction::DramToL2, 100);
+        t.add(Transaction::L2ToL1, 400);
+        assert_eq!(t.get(Transaction::DramToL2), 100);
+        assert_eq!(t.total(), 500);
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn event_counts_merge_sequential_sums_everything() {
+        let mut a = EventCounts::new();
+        a.instrs.add(Opcode::FAdd32, 10);
+        a.txns.add(Transaction::L1ToReg, 3);
+        a.inter_gpm_hop_bytes = Bytes::new(256);
+        a.stall_cycles = 7;
+        a.busy_sm_cycles = 90;
+        a.idle_sm_cycles = 10;
+        a.elapsed = Time::from_micros(5.0);
+
+        let mut b = EventCounts::new();
+        b.instrs.add(Opcode::FAdd32, 1);
+        b.idle_sm_cycles = 10;
+        b.busy_sm_cycles = 0;
+        b.elapsed = Time::from_micros(1.0);
+
+        a.merge_sequential(&b);
+        assert_eq!(a.total_instructions(), 11);
+        assert_eq!(a.txns.get(Transaction::L1ToReg), 3);
+        assert_eq!(a.inter_gpm_hop_bytes, Bytes::new(256));
+        assert_eq!(a.stall_cycles, 7);
+        assert!((a.elapsed.micros() - 6.0).abs() < 1e-9);
+        assert!((a.idle_fraction() - 20.0 / 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_multiplies_everything() {
+        let mut e = EventCounts::new();
+        e.instrs.add(Opcode::FAdd32, 3);
+        e.txns.add(Transaction::DramToL2, 2);
+        e.inter_gpm_hop_bytes = Bytes::new(10);
+        e.switch_bytes = Bytes::new(4);
+        e.stall_cycles = 5;
+        e.busy_sm_cycles = 7;
+        e.idle_sm_cycles = 1;
+        e.elapsed = Time::from_micros(2.0);
+        e.scale(10);
+        assert_eq!(e.instrs.get(Opcode::FAdd32), 30);
+        assert_eq!(e.txns.get(Transaction::DramToL2), 20);
+        assert_eq!(e.inter_gpm_hop_bytes, Bytes::new(100));
+        assert_eq!(e.switch_bytes, Bytes::new(40));
+        assert_eq!(e.stall_cycles, 50);
+        assert_eq!(e.busy_sm_cycles, 70);
+        assert_eq!(e.idle_sm_cycles, 10);
+        assert!((e.elapsed.micros() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_fraction_of_empty_record_is_zero() {
+        assert_eq!(EventCounts::new().idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let mut e = EventCounts::new();
+        e.instrs.add(Opcode::FAdd32, 2);
+        e.elapsed = Time::from_micros(1.0);
+        let s = e.to_string();
+        assert!(s.contains("2 instrs"));
+        assert!(s.contains("us"));
+    }
+}

@@ -1,0 +1,285 @@
+//! PTX compute opcodes covered by the GPUJoule EPI table.
+//!
+//! The variants mirror Table Ib of the paper: 32-bit float arithmetic and
+//! transcendentals, 32-bit integer arithmetic, 32-bit bitwise logic, and
+//! 64-bit float arithmetic, plus the cheap data-movement/control opcodes
+//! (`mov`, `setp`, `bra`) that appear in any real kernel and whose energy
+//! the microbenchmarks also isolate.
+
+use std::fmt;
+
+/// A native PTX compute instruction class.
+///
+/// `Opcode` is the unit at which GPUJoule assigns Energy-Per-Instruction
+/// values. Each variant corresponds to one microbenchmark in the suite.
+///
+/// # Examples
+///
+/// ```
+/// use isa::Opcode;
+/// assert_eq!(Opcode::FFma32.mnemonic(), "fma.rn.f32");
+/// assert!(Opcode::FAdd64.is_fp64());
+/// assert_eq!(Opcode::ALL.len(), Opcode::COUNT);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// 32-bit floating-point add (`add.f32`).
+    FAdd32,
+    /// 32-bit floating-point multiply (`mul.f32`).
+    FMul32,
+    /// 32-bit floating-point fused multiply-add (`fma.rn.f32`).
+    FFma32,
+    /// 32-bit integer add (`add.s32`).
+    IAdd32,
+    /// 32-bit integer subtract (`sub.s32`).
+    ISub32,
+    /// 32-bit bitwise AND (`and.b32`).
+    And32,
+    /// 32-bit bitwise OR (`or.b32`).
+    Or32,
+    /// 32-bit bitwise XOR (`xor.b32`).
+    Xor32,
+    /// 32-bit float sine approximation (`sin.approx.f32`).
+    FSin32,
+    /// 32-bit float cosine approximation (`cos.approx.f32`).
+    FCos32,
+    /// 32-bit integer multiply (`mul.lo.s32`).
+    IMul32,
+    /// 32-bit integer multiply-add (`mad.lo.s32`).
+    IMad32,
+    /// 64-bit floating-point add (`add.f64`).
+    FAdd64,
+    /// 64-bit floating-point multiply (`mul.f64`).
+    FMul64,
+    /// 64-bit floating-point fused multiply-add (`fma.rn.f64`).
+    FFma64,
+    /// 32-bit float square root (`sqrt.approx.f32`).
+    FSqrt32,
+    /// 32-bit float base-2 logarithm (`lg2.approx.f32`).
+    FLog232,
+    /// 32-bit float base-2 exponential (`ex2.approx.f32`).
+    FExp232,
+    /// 32-bit float reciprocal (`rcp.rn.f32`).
+    FRcp32,
+    /// 32-bit register move (`mov.b32`).
+    Mov32,
+    /// Predicate-setting compare (`setp.lt.s32`).
+    Setp,
+    /// Branch (`bra`).
+    Bra,
+}
+
+/// Broad functional-unit class an opcode executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Single-precision floating point (FP32 lanes).
+    Fp32,
+    /// Double-precision floating point (FP64 lanes).
+    Fp64,
+    /// Integer ALU.
+    Int,
+    /// Bitwise logic (integer ALU, logic path).
+    Logic,
+    /// Special-function unit (transcendentals).
+    Sfu,
+    /// Register moves, predicates, branches (control path).
+    Control,
+}
+
+impl Opcode {
+    /// Number of opcode variants.
+    pub const COUNT: usize = 22;
+
+    /// All opcodes, in `repr` order (index of each equals
+    /// [`Opcode::index`]).
+    pub const ALL: [Opcode; Opcode::COUNT] = [
+        Opcode::FAdd32,
+        Opcode::FMul32,
+        Opcode::FFma32,
+        Opcode::IAdd32,
+        Opcode::ISub32,
+        Opcode::And32,
+        Opcode::Or32,
+        Opcode::Xor32,
+        Opcode::FSin32,
+        Opcode::FCos32,
+        Opcode::IMul32,
+        Opcode::IMad32,
+        Opcode::FAdd64,
+        Opcode::FMul64,
+        Opcode::FFma64,
+        Opcode::FSqrt32,
+        Opcode::FLog232,
+        Opcode::FExp232,
+        Opcode::FRcp32,
+        Opcode::Mov32,
+        Opcode::Setp,
+        Opcode::Bra,
+    ];
+
+    /// Dense index for table lookups (`0..COUNT`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Opcode for a dense index, if in range.
+    #[inline]
+    pub fn from_index(idx: usize) -> Option<Opcode> {
+        Opcode::ALL.get(idx).copied()
+    }
+
+    /// PTX mnemonic, matching the inline-assembly the paper's
+    /// microbenchmarks emit (Algorithm 1).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::FAdd32 => "add.f32",
+            Opcode::FMul32 => "mul.f32",
+            Opcode::FFma32 => "fma.rn.f32",
+            Opcode::IAdd32 => "add.s32",
+            Opcode::ISub32 => "sub.s32",
+            Opcode::And32 => "and.b32",
+            Opcode::Or32 => "or.b32",
+            Opcode::Xor32 => "xor.b32",
+            Opcode::FSin32 => "sin.approx.f32",
+            Opcode::FCos32 => "cos.approx.f32",
+            Opcode::IMul32 => "mul.lo.s32",
+            Opcode::IMad32 => "mad.lo.s32",
+            Opcode::FAdd64 => "add.f64",
+            Opcode::FMul64 => "mul.f64",
+            Opcode::FFma64 => "fma.rn.f64",
+            Opcode::FSqrt32 => "sqrt.approx.f32",
+            Opcode::FLog232 => "lg2.approx.f32",
+            Opcode::FExp232 => "ex2.approx.f32",
+            Opcode::FRcp32 => "rcp.rn.f32",
+            Opcode::Mov32 => "mov.b32",
+            Opcode::Setp => "setp.lt.s32",
+            Opcode::Bra => "bra",
+        }
+    }
+
+    /// Functional-unit class.
+    pub fn class(self) -> OpClass {
+        match self {
+            Opcode::FAdd32 | Opcode::FMul32 | Opcode::FFma32 => OpClass::Fp32,
+            Opcode::FAdd64 | Opcode::FMul64 | Opcode::FFma64 => OpClass::Fp64,
+            Opcode::IAdd32 | Opcode::ISub32 | Opcode::IMul32 | Opcode::IMad32 => OpClass::Int,
+            Opcode::And32 | Opcode::Or32 | Opcode::Xor32 => OpClass::Logic,
+            Opcode::FSin32
+            | Opcode::FCos32
+            | Opcode::FSqrt32
+            | Opcode::FLog232
+            | Opcode::FExp232
+            | Opcode::FRcp32 => OpClass::Sfu,
+            Opcode::Mov32 | Opcode::Setp | Opcode::Bra => OpClass::Control,
+        }
+    }
+
+    /// `true` for double-precision floating-point opcodes.
+    #[inline]
+    pub fn is_fp64(self) -> bool {
+        self.class() == OpClass::Fp64
+    }
+
+    /// `true` for special-function-unit (transcendental) opcodes.
+    #[inline]
+    pub fn is_sfu(self) -> bool {
+        self.class() == OpClass::Sfu
+    }
+
+    /// Issue-to-completion latency in core cycles used by the performance
+    /// simulator. These are Kepler-era public figures: simple ALU ops are
+    /// fully pipelined (effective dependent-issue latency ~9–11 cycles),
+    /// FP64 and SFU ops are slower and issue at reduced rate.
+    pub fn latency_cycles(self) -> u32 {
+        match self.class() {
+            OpClass::Fp32 | OpClass::Int | OpClass::Logic => 9,
+            OpClass::Fp64 => 16,
+            OpClass::Sfu => 18,
+            OpClass::Control => 4,
+        }
+    }
+
+    /// Reciprocal throughput: core cycles between issuing consecutive
+    /// instructions of this class from one scheduler. FP64 on a K40-class
+    /// part issues at 1/3 FP32 rate; SFU at 1/4.
+    pub fn issue_interval(self) -> u32 {
+        match self.class() {
+            OpClass::Fp32 | OpClass::Int | OpClass::Logic | OpClass::Control => 1,
+            OpClass::Fp64 => 3,
+            OpClass::Sfu => 4,
+        }
+    }
+
+    /// `true` if Table Ib of the paper quotes an EPI for this opcode (the
+    /// control-path opcodes are below the measurement floor and carry a
+    /// derived default instead).
+    pub fn in_paper_table(self) -> bool {
+        !matches!(self, Opcode::Mov32 | Opcode::Setp | Opcode::Bra)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_has_every_variant_once() {
+        let set: HashSet<Opcode> = Opcode::ALL.iter().copied().collect();
+        assert_eq!(set.len(), Opcode::COUNT);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(Opcode::from_index(i), Some(*op));
+        }
+        assert_eq!(Opcode::from_index(Opcode::COUNT), None);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let set: HashSet<&str> = Opcode::ALL.iter().map(|o| o.mnemonic()).collect();
+        assert_eq!(set.len(), Opcode::COUNT);
+    }
+
+    #[test]
+    fn classes_partition_sensibly() {
+        assert_eq!(Opcode::FFma32.class(), OpClass::Fp32);
+        assert_eq!(Opcode::FFma64.class(), OpClass::Fp64);
+        assert_eq!(Opcode::IMad32.class(), OpClass::Int);
+        assert_eq!(Opcode::Xor32.class(), OpClass::Logic);
+        assert_eq!(Opcode::FRcp32.class(), OpClass::Sfu);
+        assert_eq!(Opcode::Bra.class(), OpClass::Control);
+    }
+
+    #[test]
+    fn fp64_issues_slower_than_fp32() {
+        assert!(Opcode::FAdd64.issue_interval() > Opcode::FAdd32.issue_interval());
+        assert!(Opcode::FSin32.issue_interval() > 1);
+        assert!(Opcode::FAdd64.latency_cycles() > Opcode::FAdd32.latency_cycles());
+    }
+
+    #[test]
+    fn paper_table_excludes_control() {
+        assert!(Opcode::FAdd32.in_paper_table());
+        assert!(!Opcode::Bra.in_paper_table());
+        assert!(!Opcode::Mov32.in_paper_table());
+        let covered = Opcode::ALL.iter().filter(|o| o.in_paper_table()).count();
+        assert_eq!(covered, 19);
+    }
+
+    #[test]
+    fn display_uses_mnemonic() {
+        assert_eq!(Opcode::FSqrt32.to_string(), "sqrt.approx.f32");
+    }
+}

@@ -1,0 +1,353 @@
+//! Warp instruction streams and kernel program descriptions.
+//!
+//! The performance simulator is *trace driven*: it executes per-warp
+//! instruction streams produced procedurally by a [`KernelProgram`]. Keeping
+//! streams procedural (iterators, not materialized vectors) lets a 32-GPM
+//! configuration with hundreds of thousands of warps run in constant memory.
+
+use common::{CtaId, WarpId};
+use std::fmt;
+
+/// Memory space targeted by a memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemSpace {
+    /// Global memory, backed by the L1/L2/DRAM hierarchy and subject to
+    /// first-touch page placement across GPMs.
+    Global,
+    /// Per-CTA shared memory (scratchpad); always local, never misses.
+    Shared,
+}
+
+/// One coalesced warp-level memory reference.
+///
+/// Addresses are *byte* addresses of the 128-byte cacheline the (coalesced)
+/// warp access touches. The generators in the `workloads` crate guarantee
+/// coalescing the same way the paper's microbenchmarks do; memory divergence
+/// is modeled by issuing several `MemRef`s for one logical instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Target memory space.
+    pub space: MemSpace,
+    /// Byte address (cacheline aligned by construction in the generators).
+    pub addr: u64,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+}
+
+impl MemRef {
+    /// A coalesced global load of the cacheline containing `addr`.
+    #[inline]
+    pub fn global_load(addr: u64) -> Self {
+        MemRef { space: MemSpace::Global, addr, is_store: false }
+    }
+
+    /// A coalesced global store to the cacheline containing `addr`.
+    #[inline]
+    pub fn global_store(addr: u64) -> Self {
+        MemRef { space: MemSpace::Global, addr, is_store: true }
+    }
+
+    /// A shared-memory access (never leaves the SM).
+    #[inline]
+    pub fn shared(addr: u64, is_store: bool) -> Self {
+        MemRef { space: MemSpace::Shared, addr, is_store }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = if self.is_store { "st" } else { "ld" };
+        let sp = match self.space {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+        };
+        write!(f, "{op}.{sp} [{:#x}]", self.addr)
+    }
+}
+
+/// One warp-level instruction in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WarpInstr {
+    /// A compute instruction executed by all active lanes.
+    Compute(crate::Opcode),
+    /// A coalesced memory reference.
+    Mem(MemRef),
+}
+
+impl fmt::Display for WarpInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarpInstr::Compute(op) => write!(f, "{op}"),
+            WarpInstr::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// A boxed per-warp instruction stream.
+pub type WarpInstrStream = Box<dyn Iterator<Item = WarpInstr> + Send>;
+
+/// Shape of a kernel launch grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridShape {
+    /// Number of CTAs (thread blocks) in the grid.
+    pub ctas: u32,
+    /// Warps per CTA.
+    pub warps_per_cta: u32,
+}
+
+impl GridShape {
+    /// Creates a grid shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(ctas: u32, warps_per_cta: u32) -> Self {
+        assert!(ctas > 0, "grid must have at least one CTA");
+        assert!(warps_per_cta > 0, "CTA must have at least one warp");
+        GridShape { ctas, warps_per_cta }
+    }
+
+    /// Total warps across the grid.
+    #[inline]
+    pub fn total_warps(self) -> u64 {
+        self.ctas as u64 * self.warps_per_cta as u64
+    }
+}
+
+impl fmt::Display for GridShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} CTAs x {} warps", self.ctas, self.warps_per_cta)
+    }
+}
+
+/// A kernel the simulator can launch: a grid shape plus a procedural
+/// instruction stream per warp.
+///
+/// Implementations live in the `workloads` crate (benchmark surrogates) and
+/// the `microbench` crate (EPI/EPT microbenchmarks). Implementations must be
+/// deterministic: the same `(cta, warp)` always yields the same stream, so
+/// that performance and energy runs replay identically.
+pub trait KernelProgram: Send + Sync {
+    /// Kernel name (for reports).
+    fn name(&self) -> &str;
+
+    /// Launch grid shape.
+    fn grid(&self) -> GridShape;
+
+    /// The instruction stream for warp `warp` of CTA `cta`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `cta`/`warp` are outside the grid.
+    fn warp_instructions(&self, cta: CtaId, warp: WarpId) -> WarpInstrStream;
+
+    /// Approximate bytes of the global-memory footprint, used by cache and
+    /// page-placement sizing heuristics. Zero if unknown.
+    fn footprint_bytes(&self) -> u64 {
+        0
+    }
+
+    /// The contiguous global-memory regions this kernel works on, as
+    /// `(base_address, length_bytes)` pairs, laid out so that address
+    /// order matches the CTA/warp ownership order (the natural layout an
+    /// initialization phase writes them in).
+    ///
+    /// Used by the simulator's pre-fault pass to model in-order
+    /// first-touch placement. The default (empty) makes the simulator
+    /// fall back to walking the instruction trace in CTA order.
+    fn data_regions(&self) -> Vec<(u64, u64)> {
+        Vec::new()
+    }
+}
+
+/// Renders the first `limit` instructions of one warp's stream as a
+/// PTX-flavoured listing — a debugging aid for inspecting generated
+/// traces.
+///
+/// # Examples
+///
+/// ```
+/// # use isa::{GridShape, KernelProgram, WarpInstr, WarpInstrStream, Opcode};
+/// # use common::{CtaId, WarpId};
+/// # struct K;
+/// # impl KernelProgram for K {
+/// #     fn name(&self) -> &str { "k" }
+/// #     fn grid(&self) -> GridShape { GridShape::new(1, 1) }
+/// #     fn warp_instructions(&self, _: CtaId, _: WarpId) -> WarpInstrStream {
+/// #         Box::new([WarpInstr::Compute(Opcode::FFma32)].into_iter())
+/// #     }
+/// # }
+/// let listing = isa::disassemble(&K, CtaId::new(0), WarpId::new(0), 10);
+/// assert!(listing.contains("fma.rn.f32"));
+/// ```
+pub fn disassemble(
+    program: &dyn KernelProgram,
+    cta: CtaId,
+    warp: WarpId,
+    limit: usize,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "// {} {cta} {warp}", program.name());
+    let mut stream = program.warp_instructions(cta, warp);
+    for i in 0..limit {
+        match stream.next() {
+            Some(instr) => {
+                let _ = writeln!(out, "{i:>6}:  {instr}");
+            }
+            None => {
+                let _ = writeln!(out, "{i:>6}:  <end of warp>");
+                return out;
+            }
+        }
+    }
+    if stream.next().is_some() {
+        let _ = writeln!(out, "        ... (truncated at {limit})");
+    }
+    out
+}
+
+/// A single kernel launch inside a workload: which program, and how many
+/// times the workload invokes it back-to-back.
+pub struct LaunchSpec {
+    /// The kernel to launch.
+    pub program: Box<dyn KernelProgram>,
+    /// Number of consecutive invocations (BFS/MiniAMR-style apps launch
+    /// hundreds of short kernels; §IV-B2 discusses the sensor implications).
+    pub invocations: u32,
+}
+
+impl LaunchSpec {
+    /// A launch spec for a single invocation.
+    pub fn once(program: Box<dyn KernelProgram>) -> Self {
+        LaunchSpec { program, invocations: 1 }
+    }
+
+    /// A launch spec for `n` back-to-back invocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn repeated(program: Box<dyn KernelProgram>, n: u32) -> Self {
+        assert!(n > 0, "invocation count must be positive");
+        LaunchSpec { program, invocations: n }
+    }
+}
+
+impl fmt::Debug for LaunchSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LaunchSpec")
+            .field("program", &self.program.name())
+            .field("grid", &self.program.grid())
+            .field("invocations", &self.invocations)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Opcode;
+
+    struct TinyKernel;
+
+    impl KernelProgram for TinyKernel {
+        fn name(&self) -> &str {
+            "tiny"
+        }
+        fn grid(&self) -> GridShape {
+            GridShape::new(2, 4)
+        }
+        fn warp_instructions(&self, cta: CtaId, warp: WarpId) -> WarpInstrStream {
+            let base = (cta.0 as u64 * 4 + warp.0 as u64) * 128;
+            Box::new(
+                vec![
+                    WarpInstr::Mem(MemRef::global_load(base)),
+                    WarpInstr::Compute(Opcode::FFma32),
+                    WarpInstr::Mem(MemRef::global_store(base)),
+                ]
+                .into_iter(),
+            )
+        }
+    }
+
+    #[test]
+    fn grid_shape_totals() {
+        let g = GridShape::new(3, 8);
+        assert_eq!(g.total_warps(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CTA")]
+    fn zero_ctas_panics() {
+        let _ = GridShape::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp")]
+    fn zero_warps_panics() {
+        let _ = GridShape::new(1, 0);
+    }
+
+    #[test]
+    fn kernel_streams_are_deterministic() {
+        let k = TinyKernel;
+        let a: Vec<WarpInstr> = k.warp_instructions(CtaId::new(1), WarpId::new(2)).collect();
+        let b: Vec<WarpInstr> = k.warp_instructions(CtaId::new(1), WarpId::new(2)).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn warps_get_distinct_addresses() {
+        let k = TinyKernel;
+        let a: Vec<WarpInstr> = k.warp_instructions(CtaId::new(0), WarpId::new(0)).collect();
+        let b: Vec<WarpInstr> = k.warp_instructions(CtaId::new(0), WarpId::new(1)).collect();
+        assert_ne!(a[0], b[0]);
+    }
+
+    #[test]
+    fn memref_constructors() {
+        assert!(!MemRef::global_load(0).is_store);
+        assert!(MemRef::global_store(0).is_store);
+        assert_eq!(MemRef::shared(4, false).space, MemSpace::Shared);
+    }
+
+    #[test]
+    fn launch_spec_repeats() {
+        let spec = LaunchSpec::repeated(Box::new(TinyKernel), 10);
+        assert_eq!(spec.invocations, 10);
+        let dbg = format!("{spec:?}");
+        assert!(dbg.contains("tiny"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_invocations_panics() {
+        let _ = LaunchSpec::repeated(Box::new(TinyKernel), 0);
+    }
+
+    #[test]
+    fn disassemble_lists_and_truncates() {
+        let k = TinyKernel;
+        let full = disassemble(&k, CtaId::new(0), WarpId::new(0), 10);
+        assert!(full.contains("fma.rn.f32"));
+        assert!(full.contains("ld.global"));
+        assert!(full.contains("<end of warp>"));
+        let cut = disassemble(&k, CtaId::new(0), WarpId::new(0), 2);
+        assert!(cut.contains("truncated at 2"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            WarpInstr::Mem(MemRef::global_load(0x80)).to_string(),
+            "ld.global [0x80]"
+        );
+        assert_eq!(
+            WarpInstr::Compute(Opcode::FAdd32).to_string(),
+            "add.f32"
+        );
+        assert_eq!(GridShape::new(2, 4).to_string(), "2 CTAs x 4 warps");
+    }
+}

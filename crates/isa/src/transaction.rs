@@ -1,0 +1,143 @@
+//! Data-movement transaction classes.
+//!
+//! GPUJoule charges energy per *transaction* between adjacent levels of the
+//! memory hierarchy (Table Ib bottom half), and — in the multi-GPM designs
+//! of §V — per bit moved over inter-module links and switch chips.
+
+use std::fmt;
+
+/// A class of data-movement transaction the energy model charges for.
+///
+/// The first four variants are the intra-GPM hierarchy levels measured on
+/// the Tesla K40; the last two are the multi-module extensions whose cost
+/// is configured per integration domain (pJ/bit × bytes, §V-A2).
+///
+/// # Examples
+///
+/// ```
+/// use isa::Transaction;
+/// assert!(Transaction::DramToL2.is_intra_gpm());
+/// assert!(!Transaction::InterGpmHop.is_intra_gpm());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Transaction {
+    /// Shared memory to register file.
+    SharedToReg,
+    /// L1 data cache to register file.
+    L1ToReg,
+    /// L2 cache to L1 cache (an L1 miss serviced by the L2).
+    L2ToL1,
+    /// DRAM to L2 cache (an L2 miss serviced by local DRAM).
+    DramToL2,
+    /// One hop over an inter-GPM link (ring or point-to-point); multi-hop
+    /// transfers are counted once per traversed link.
+    InterGpmHop,
+    /// A traversal through an on-board high-radix switch chip (charged in
+    /// addition to the link hops into and out of the switch, §V-C).
+    SwitchTraversal,
+}
+
+impl Transaction {
+    /// Number of transaction classes.
+    pub const COUNT: usize = 6;
+
+    /// All transaction classes in `repr` order.
+    pub const ALL: [Transaction; Transaction::COUNT] = [
+        Transaction::SharedToReg,
+        Transaction::L1ToReg,
+        Transaction::L2ToL1,
+        Transaction::DramToL2,
+        Transaction::InterGpmHop,
+        Transaction::SwitchTraversal,
+    ];
+
+    /// Dense index for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Transaction class for a dense index, if in range.
+    #[inline]
+    pub fn from_index(idx: usize) -> Option<Transaction> {
+        Transaction::ALL.get(idx).copied()
+    }
+
+    /// `true` for transactions inside a single GPM (the classes the K40
+    /// microbenchmarks can measure directly).
+    #[inline]
+    pub fn is_intra_gpm(self) -> bool {
+        !matches!(self, Transaction::InterGpmHop | Transaction::SwitchTraversal)
+    }
+
+    /// Bytes moved by one transaction of this class.
+    ///
+    /// The K40's L1-level transactions move full 128-byte cachelines; the
+    /// L2 and DRAM interfaces are sectored at 32 bytes (this is what makes
+    /// Table Ib's nJ and pJ/bit columns consistent). Inter-GPM transfers
+    /// are likewise counted in 32-byte sectors.
+    pub fn bytes_per_txn(self) -> u64 {
+        match self {
+            Transaction::SharedToReg | Transaction::L1ToReg => 128,
+            Transaction::L2ToL1
+            | Transaction::DramToL2
+            | Transaction::InterGpmHop
+            | Transaction::SwitchTraversal => 32,
+        }
+    }
+
+    /// Human-readable label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Transaction::SharedToReg => "Shared -> Reg",
+            Transaction::L1ToReg => "L1 -> Reg",
+            Transaction::L2ToL1 => "L2 -> L1",
+            Transaction::DramToL2 => "DRAM -> L2",
+            Transaction::InterGpmHop => "Inter-GPM hop",
+            Transaction::SwitchTraversal => "Switch traversal",
+        }
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for (i, t) in Transaction::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(Transaction::from_index(i), Some(*t));
+        }
+        assert_eq!(Transaction::from_index(Transaction::COUNT), None);
+    }
+
+    #[test]
+    fn intra_gpm_partition() {
+        let intra = Transaction::ALL.iter().filter(|t| t.is_intra_gpm()).count();
+        assert_eq!(intra, 4);
+    }
+
+    #[test]
+    fn txn_sizes_match_table_1b_sectoring() {
+        assert_eq!(Transaction::L1ToReg.bytes_per_txn(), 128);
+        assert_eq!(Transaction::SharedToReg.bytes_per_txn(), 128);
+        assert_eq!(Transaction::L2ToL1.bytes_per_txn(), 32);
+        assert_eq!(Transaction::DramToL2.bytes_per_txn(), 32);
+        assert_eq!(Transaction::InterGpmHop.bytes_per_txn(), 32);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let set: std::collections::HashSet<&str> =
+            Transaction::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(set.len(), Transaction::COUNT);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the event-count records: the energy model's inputs
+//! must compose linearly.
+
+use common::units::{Bytes, Time};
+use isa::{EventCounts, Opcode, OpcodeCounts, Transaction, TxnCounts};
+use proptest::prelude::*;
+
+fn opcode() -> impl Strategy<Value = Opcode> {
+    (0..Opcode::COUNT).prop_map(|i| Opcode::from_index(i).unwrap())
+}
+
+fn txn() -> impl Strategy<Value = Transaction> {
+    (0..Transaction::COUNT).prop_map(|i| Transaction::from_index(i).unwrap())
+}
+
+fn opcode_counts() -> impl Strategy<Value = OpcodeCounts> {
+    prop::collection::vec((opcode(), 0_u64..1 << 30), 0..20)
+        .prop_map(|v| v.into_iter().collect())
+}
+
+fn event_counts() -> impl Strategy<Value = EventCounts> {
+    (
+        opcode_counts(),
+        prop::collection::vec((txn(), 0_u64..1 << 30), 0..12),
+        0_u64..1 << 34,
+        0_u64..1 << 34,
+        0_u64..1 << 30,
+        (1_u64..1 << 30, 0_u64..1 << 30),
+    )
+        .prop_map(|(instrs, txns, e2e, hops, stalls, (busy, idle))| {
+            let mut ev = EventCounts::new();
+            ev.instrs = instrs;
+            ev.txns = txns.into_iter().collect::<TxnCounts>();
+            ev.inter_gpm_bytes = Bytes::new(e2e);
+            ev.inter_gpm_hop_bytes = Bytes::new(hops);
+            ev.stall_cycles = stalls;
+            ev.busy_sm_cycles = busy;
+            ev.idle_sm_cycles = idle;
+            ev.elapsed = Time::from_nanos(busy as f64);
+            ev
+        })
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative(a in event_counts(), b in event_counts(), c in event_counts()) {
+        let mut left = a.clone();
+        left.merge_sequential(&b);
+        left.merge_sequential(&c);
+
+        let mut bc = b.clone();
+        bc.merge_sequential(&c);
+        let mut right = a.clone();
+        right.merge_sequential(&bc);
+
+        prop_assert_eq!(left.instrs, right.instrs);
+        prop_assert_eq!(left.txns, right.txns);
+        prop_assert_eq!(left.stall_cycles, right.stall_cycles);
+        prop_assert!((left.elapsed.secs() - right.elapsed.secs()).abs()
+            <= 1e-9 * left.elapsed.secs().max(1e-30));
+    }
+
+    #[test]
+    fn scale_matches_repeated_merge(ev in event_counts(), k in 1_u64..6) {
+        let mut scaled = ev.clone();
+        scaled.scale(k);
+
+        let mut merged = EventCounts::new();
+        for _ in 0..k {
+            merged.merge_sequential(&ev);
+        }
+        prop_assert_eq!(scaled.instrs, merged.instrs);
+        prop_assert_eq!(scaled.txns, merged.txns);
+        prop_assert_eq!(scaled.inter_gpm_bytes, merged.inter_gpm_bytes);
+        prop_assert_eq!(scaled.inter_gpm_hop_bytes, merged.inter_gpm_hop_bytes);
+        prop_assert_eq!(scaled.stall_cycles, merged.stall_cycles);
+        prop_assert!((scaled.elapsed.secs() - merged.elapsed.secs()).abs()
+            <= 1e-9 * scaled.elapsed.secs().max(1e-30));
+    }
+
+    #[test]
+    fn totals_equal_sum_of_parts(counts in opcode_counts()) {
+        let by_iter: u64 = counts.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(counts.total(), by_iter);
+    }
+
+    #[test]
+    fn idle_fraction_is_a_fraction(ev in event_counts()) {
+        let f = ev.idle_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn opcode_index_bijection(op in opcode()) {
+        prop_assert_eq!(Opcode::from_index(op.index()), Some(op));
+    }
+}

@@ -1,0 +1,128 @@
+//! Glue between the performance simulator and the virtual silicon: run a
+//! kernel, extrapolate it to a sensor-resolvable duration, and measure it
+//! through the board sensor.
+//!
+//! The paper's microbenchmarks loop for seconds on real hardware; cycle
+//! simulation cannot afford that, but a steady-state loop's counts and
+//! duration scale exactly linearly with its iteration count, so we
+//! simulate a short run and replay it `R` times as one long kernel.
+
+use common::units::{Energy, Power, Time};
+use isa::{EventCounts, KernelProgram};
+use silicon::{HiddenBehavior, KernelActivity, Measurement, RunProfile, VirtualK40};
+use sim::{GpuConfig, GpuSim, KernelResult};
+
+/// A microbenchmark measurement: the (scaled) counter record plus the
+/// sensor measurement of the same run.
+#[derive(Debug, Clone)]
+pub struct ScaledMeasurement {
+    /// Counter-visible events, scaled to the measured duration.
+    pub counts: EventCounts,
+    /// The sensor measurement.
+    pub measurement: Measurement,
+    /// The replication factor applied to the simulated run.
+    pub replication: u64,
+}
+
+impl ScaledMeasurement {
+    /// Duration covered by the sensor windows (slightly over the run).
+    pub fn window_time(&self) -> Time {
+        let n = self.measurement.samples.len() as f64;
+        Time::from_millis(15.0 * n)
+    }
+
+    /// Dynamic (above-idle) energy implied by the measurement, given the
+    /// measured idle power (Eq. 5's numerator).
+    pub fn dynamic_energy(&self, idle: Power) -> Energy {
+        (self.measurement.measured_energy - idle * self.window_time()).max_zero()
+    }
+}
+
+/// Replication factor needed to stretch `duration` to at least `target`.
+pub fn replication_factor(duration: Time, target: Time) -> u64 {
+    if !duration.is_positive() {
+        return 1;
+    }
+    (target.secs() / duration.secs()).ceil().max(1.0) as u64
+}
+
+/// Runs `program` on a fresh simulator for `cfg`, stretches the result to
+/// `target` seconds, and measures it on `hw`.
+pub fn run_and_measure(
+    hw: &VirtualK40,
+    cfg: &GpuConfig,
+    program: &dyn KernelProgram,
+    behavior: HiddenBehavior,
+    target: Time,
+) -> ScaledMeasurement {
+    let mut sim = GpuSim::new(cfg);
+    let result = sim.run_kernel(program);
+    measure_scaled(hw, &result, behavior, target)
+}
+
+/// Stretches an existing simulation result to `target` and measures it.
+pub fn measure_scaled(
+    hw: &VirtualK40,
+    result: &KernelResult,
+    behavior: HiddenBehavior,
+    target: Time,
+) -> ScaledMeasurement {
+    let r = replication_factor(result.counts.elapsed, target);
+    let mut counts = result.counts.clone();
+    counts.scale(r);
+    let activity = KernelActivity::new(counts.elapsed, counts.clone(), behavior);
+    let profile = RunProfile::new(result.name.clone()).kernel(activity);
+    let measurement = hw.measure(&profile);
+    ScaledMeasurement { counts, measurement, replication: r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::Opcode;
+
+    #[test]
+    fn replication_reaches_target() {
+        let r = replication_factor(Time::from_micros(20.0), Time::from_millis(750.0));
+        assert_eq!(r, 37_500);
+        assert_eq!(replication_factor(Time::ZERO, Time::from_secs(1.0)), 1);
+        assert_eq!(replication_factor(Time::from_secs(2.0), Time::from_secs(1.0)), 1);
+    }
+
+    #[test]
+    fn run_and_measure_produces_steady_measurement() {
+        let hw = VirtualK40::new();
+        let cfg = GpuConfig::tiny(1);
+        let k = crate::kernels::ComputeUbench::new(Opcode::FFma32, 500, &cfg.gpm);
+        let m = run_and_measure(
+            &hw,
+            &cfg,
+            &k,
+            HiddenBehavior::regular(),
+            Time::from_millis(600.0),
+        );
+        assert!(m.counts.elapsed.secs() >= 0.6);
+        assert!(m.replication > 1);
+        assert!(m.measurement.samples.len() >= 40);
+        // Dynamic energy is positive and roughly ΔP × T.
+        let idle = hw.measure_idle(Time::from_secs(1.0));
+        assert!(m.dynamic_energy(idle).joules() > 0.0);
+    }
+
+    #[test]
+    fn dynamic_energy_clamps_at_zero() {
+        let hw = VirtualK40::new();
+        let cfg = GpuConfig::tiny(1);
+        let k = crate::kernels::ComputeUbench::new(Opcode::Mov32, 50, &cfg.gpm);
+        let m = run_and_measure(
+            &hw,
+            &cfg,
+            &k,
+            HiddenBehavior::regular(),
+            Time::from_millis(100.0),
+        );
+        // Even against an absurdly high idle estimate, no negative energy.
+        let e = m.dynamic_energy(Power::from_watts(10_000.0));
+        assert_eq!(e, Energy::ZERO);
+    }
+}

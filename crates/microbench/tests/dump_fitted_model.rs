@@ -1,0 +1,31 @@
+//! Manual inspection helper: dump the fitted model for either the fast
+//! (tiny) or the paper-scale configuration.
+//!
+//! ```sh
+//! cargo test -p microbench --test dump_fitted_model --release -- --ignored --nocapture
+//! ```
+
+use microbench::{fit, FitConfig};
+use silicon::VirtualK40;
+
+fn dump(label: &str, cfg: &FitConfig) {
+    let hw = VirtualK40::new();
+    let fitted = fit(&hw, cfg);
+    println!("== {label} ==");
+    println!("const_power {}", fitted.const_power);
+    println!("ep_stall {:.4} nJ", fitted.ep_stall.nanojoules());
+    println!("EPI:\n{}", fitted.epi);
+    println!("EPT:\n{}", fitted.ept);
+}
+
+#[test]
+#[ignore = "manual inspection helper"]
+fn dump_fit_fast() {
+    dump("fast (tiny configuration)", &FitConfig::fast());
+}
+
+#[test]
+#[ignore = "manual inspection helper"]
+fn dump_fit_paper_scale() {
+    dump("paper-scale (K40-class)", &FitConfig::default());
+}

@@ -1,0 +1,287 @@
+//! Run profiles: the timeline a measurement run executes on the virtual
+//! hardware.
+//!
+//! A [`RunProfile`] is a sequence of kernel phases and host-side idle gaps.
+//! Each kernel phase carries the event counts a profiler would report
+//! (instructions, transactions, stalls) plus [`HiddenBehavior`] knobs that
+//! only the silicon knows about — the things hardware counters do *not*
+//! expose, which is where model error comes from.
+
+use common::units::Time;
+use isa::EventCounts;
+use std::fmt;
+
+/// Per-kernel behavior visible to the silicon but not to performance
+/// counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HiddenBehavior {
+    /// Average fraction of active lanes per issued warp, in `(0, 1]`.
+    ///
+    /// Counters report active-lane (thread-level) instruction counts; the
+    /// hardware pays issue energy per warp slot. A value of `0.6` means
+    /// 40% of issue energy is invisible to the counters (control
+    /// divergence — the limitation §IV-A concedes).
+    pub lane_utilization: f64,
+    /// Scales the compute↔memory interaction energy for this kernel, in
+    /// `[0, 1]`; `1.0` applies the full cross-term.
+    pub interaction_scale: f64,
+    /// Scales the memory-subsystem floor power for this kernel.
+    ///
+    /// Applications that keep large lookup structures resident (RSBench's
+    /// cross-section tables, CoMD's neighbor lists) hold more of the
+    /// memory subsystem awake than their transaction counts suggest; a
+    /// top-down model fitted at microbenchmark rates cannot see this.
+    pub floor_scale: f64,
+}
+
+impl HiddenBehavior {
+    /// Full-warp, full-interaction behavior (regular dense kernels).
+    pub fn regular() -> Self {
+        HiddenBehavior { lane_utilization: 1.0, interaction_scale: 1.0, floor_scale: 1.0 }
+    }
+
+    /// Behavior with the given active-lane fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_utilization` is not within `(0, 1]`.
+    pub fn with_lane_utilization(lane_utilization: f64) -> Self {
+        assert!(
+            lane_utilization > 0.0 && lane_utilization <= 1.0,
+            "lane utilization must be in (0, 1], got {lane_utilization}"
+        );
+        HiddenBehavior { lane_utilization, ..Self::regular() }
+    }
+}
+
+impl Default for HiddenBehavior {
+    fn default() -> Self {
+        Self::regular()
+    }
+}
+
+/// One kernel execution on the timeline: how long it ran, what the
+/// counters saw, and how it really behaved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelActivity {
+    /// Kernel wall-clock duration.
+    pub duration: Time,
+    /// Counter-visible event counts for this kernel. The `elapsed` field
+    /// inside is ignored; `duration` is authoritative.
+    pub counts: EventCounts,
+    /// Counter-invisible behavior.
+    pub behavior: HiddenBehavior,
+}
+
+impl KernelActivity {
+    /// Creates a kernel activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not strictly positive.
+    pub fn new(duration: Time, counts: EventCounts, behavior: HiddenBehavior) -> Self {
+        assert!(duration.is_positive(), "kernel duration must be positive");
+        KernelActivity { duration, counts, behavior }
+    }
+
+    /// `true` if the kernel generates any DRAM or L2 traffic (which keeps
+    /// the memory clocks out of their low-power state).
+    pub fn touches_memory(&self) -> bool {
+        use isa::Transaction;
+        self.counts.txns.get(Transaction::DramToL2) > 0
+            || self.counts.txns.get(Transaction::L2ToL1) > 0
+    }
+}
+
+/// One phase of a run: a kernel, or a host-side gap at idle power.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // phases are built once per timeline, not hot
+pub enum Phase {
+    /// A kernel executing on the GPU.
+    Kernel(KernelActivity),
+    /// The GPU sitting idle (host work, launch latency) for the given
+    /// duration.
+    Idle(Time),
+}
+
+impl Phase {
+    /// Duration of this phase.
+    pub fn duration(&self) -> Time {
+        match self {
+            Phase::Kernel(k) => k.duration,
+            Phase::Idle(t) => *t,
+        }
+    }
+}
+
+/// A named measurement run: an ordered sequence of phases.
+///
+/// # Examples
+///
+/// ```
+/// use silicon::{HiddenBehavior, KernelActivity, RunProfile};
+/// use isa::EventCounts;
+/// use common::units::Time;
+///
+/// let k = KernelActivity::new(Time::from_millis(2.0), EventCounts::new(),
+///                             HiddenBehavior::default());
+/// let p = RunProfile::new("bfs")
+///     .kernel(k.clone())
+///     .idle(Time::from_micros(50.0))
+///     .kernel(k);
+/// assert_eq!(p.phases().len(), 3);
+/// assert!((p.total_duration().millis() - 4.05).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunProfile {
+    name: String,
+    phases: Vec<Phase>,
+}
+
+impl RunProfile {
+    /// An empty profile with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        RunProfile { name: name.into(), phases: Vec::new() }
+    }
+
+    /// Appends a kernel phase.
+    pub fn kernel(mut self, k: KernelActivity) -> Self {
+        self.phases.push(Phase::Kernel(k));
+        self
+    }
+
+    /// Appends an idle gap.
+    pub fn idle(mut self, t: Time) -> Self {
+        if t.is_positive() {
+            self.phases.push(Phase::Idle(t));
+        }
+        self
+    }
+
+    /// Appends an arbitrary phase.
+    pub fn push(&mut self, phase: Phase) {
+        self.phases.push(phase);
+    }
+
+    /// The run's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The phases in execution order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total wall-clock duration of the run.
+    pub fn total_duration(&self) -> Time {
+        self.phases.iter().map(Phase::duration).sum()
+    }
+
+    /// Number of kernel launches in the run.
+    pub fn launch_count(&self) -> usize {
+        self.phases
+            .iter()
+            .filter(|p| matches!(p, Phase::Kernel(_)))
+            .count()
+    }
+
+    /// Aggregated counter-visible event counts across all kernels, with
+    /// `elapsed` set to the total run duration (what a profiler would
+    /// report for the whole app).
+    pub fn aggregate_counts(&self) -> EventCounts {
+        let mut total = EventCounts::new();
+        for phase in &self.phases {
+            if let Phase::Kernel(k) = phase {
+                let mut counts = k.counts.clone();
+                counts.elapsed = Time::ZERO;
+                total.merge_sequential(&counts);
+            }
+        }
+        total.elapsed = self.total_duration();
+        total
+    }
+}
+
+impl fmt::Display for RunProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} launches over {}",
+            self.name,
+            self.launch_count(),
+            self.total_duration()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::{Opcode, Transaction};
+
+    fn kernel_ms(ms: f64) -> KernelActivity {
+        let mut c = EventCounts::new();
+        c.instrs.add(Opcode::FAdd32, 100);
+        KernelActivity::new(Time::from_millis(ms), c, HiddenBehavior::default())
+    }
+
+    #[test]
+    fn profile_accumulates_phases() {
+        let p = RunProfile::new("x")
+            .kernel(kernel_ms(1.0))
+            .idle(Time::from_millis(0.5))
+            .kernel(kernel_ms(2.0));
+        assert_eq!(p.launch_count(), 2);
+        assert_eq!(p.phases().len(), 3);
+        assert!((p.total_duration().millis() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_idle_gap_is_dropped() {
+        let p = RunProfile::new("x").idle(Time::ZERO);
+        assert!(p.phases().is_empty());
+    }
+
+    #[test]
+    fn aggregate_counts_sums_kernels_and_sets_elapsed() {
+        let p = RunProfile::new("x")
+            .kernel(kernel_ms(1.0))
+            .idle(Time::from_millis(1.0))
+            .kernel(kernel_ms(1.0));
+        let agg = p.aggregate_counts();
+        assert_eq!(agg.instrs.get(Opcode::FAdd32), 200);
+        assert!((agg.elapsed.millis() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn touches_memory_requires_l2_or_dram_traffic() {
+        let mut c = EventCounts::new();
+        c.txns.add(Transaction::L1ToReg, 100);
+        let k = KernelActivity::new(Time::from_millis(1.0), c.clone(), HiddenBehavior::default());
+        assert!(!k.touches_memory());
+        c.txns.add(Transaction::DramToL2, 1);
+        let k = KernelActivity::new(Time::from_millis(1.0), c, HiddenBehavior::default());
+        assert!(k.touches_memory());
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_kernel_panics() {
+        let _ = KernelActivity::new(Time::ZERO, EventCounts::new(), HiddenBehavior::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "lane utilization")]
+    fn bad_lane_utilization_panics() {
+        let _ = HiddenBehavior::with_lane_utilization(0.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let p = RunProfile::new("bfs").kernel(kernel_ms(1.0));
+        let s = p.to_string();
+        assert!(s.contains("bfs"));
+        assert!(s.contains("1 launches"));
+    }
+}

@@ -1,0 +1,233 @@
+//! The NVML-like on-board power sensor.
+//!
+//! The K40's board sensor refreshes roughly every 15 ms and reports a
+//! low-pass-filtered board power (§IV-B2 and [Guerreiro et al.]). The
+//! paper attributes its largest validation outliers (BFS, MiniAMR) to
+//! exactly this: kernels hundreds of microseconds long simply cannot be
+//! resolved. This module models the sensor as a first-order low-pass
+//! filter sampled at the refresh period, with mild quantization and
+//! reading noise.
+
+use common::units::{Power, Time};
+
+/// Sensor characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorConfig {
+    /// Interval between successive readings (the paper quotes 15 ms).
+    pub refresh_period: Time,
+    /// Time constant of the internal low-pass filter.
+    pub filter_tau: Time,
+    /// Standard deviation of per-reading noise, in watts.
+    pub noise_watts: f64,
+    /// Reading quantization step, in watts (NVML reports milliwatt fields
+    /// but the underlying ADC is far coarser).
+    pub quantum_watts: f64,
+    /// Seed for the deterministic noise generator.
+    pub seed: u64,
+}
+
+impl SensorConfig {
+    /// The K40 board sensor: 15 ms refresh, ~8 ms filter, 0.25 W steps.
+    pub fn k40() -> Self {
+        SensorConfig {
+            refresh_period: Time::from_millis(15.0),
+            filter_tau: Time::from_millis(8.0),
+            noise_watts: 0.4,
+            quantum_watts: 0.25,
+            seed: 0x004b_3430,
+        }
+    }
+
+    /// An idealized sensor: instantaneous, noiseless, unquantized.
+    /// Useful in tests to separate methodology error from sensor error.
+    pub fn ideal() -> Self {
+        SensorConfig {
+            refresh_period: Time::from_millis(15.0),
+            filter_tau: Time::from_nanos(1.0),
+            noise_watts: 0.0,
+            quantum_watts: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        Self::k40()
+    }
+}
+
+/// A stateful power sensor tracking a piecewise-constant true power input.
+///
+/// Drive it with [`PowerSensor::advance`] for each constant-power segment
+/// of the timeline and collect readings with [`PowerSensor::read`].
+///
+/// # Examples
+///
+/// ```
+/// use silicon::{PowerSensor, SensorConfig};
+/// use common::units::{Power, Time};
+///
+/// let mut s = PowerSensor::new(SensorConfig::ideal(), Power::from_watts(60.0));
+/// s.advance(Power::from_watts(200.0), Time::from_millis(100.0));
+/// let r = s.read();
+/// assert!((r.watts() - 200.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerSensor {
+    config: SensorConfig,
+    filtered: f64,
+    rng_state: u64,
+}
+
+impl PowerSensor {
+    /// Creates a sensor settled at `initial` power (e.g. idle power).
+    pub fn new(config: SensorConfig, initial: Power) -> Self {
+        let rng_state = config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        PowerSensor { config, filtered: initial.watts(), rng_state }
+    }
+
+    /// The sensor configuration.
+    pub fn config(&self) -> &SensorConfig {
+        &self.config
+    }
+
+    /// Advances the filter through a segment of constant true power.
+    ///
+    /// The first-order low-pass response to a constant input has the exact
+    /// solution `f(t+dt) = u + (f(t) − u)·e^(−dt/τ)`, so segments of any
+    /// length are integrated without time-stepping error.
+    pub fn advance(&mut self, true_power: Power, dt: Time) {
+        if !dt.is_positive() {
+            return;
+        }
+        let u = true_power.watts();
+        let alpha = (-dt.secs() / self.config.filter_tau.secs()).exp();
+        self.filtered = u + (self.filtered - u) * alpha;
+    }
+
+    /// Takes one reading: the filtered value plus noise, quantized, clamped
+    /// at zero.
+    pub fn read(&mut self) -> Power {
+        let noisy = self.filtered + self.noise();
+        let q = self.config.quantum_watts;
+        let quantized = if q > 0.0 { (noisy / q).round() * q } else { noisy };
+        Power::from_watts(quantized.max(0.0))
+    }
+
+    /// Gaussian-ish noise via the sum of three uniforms (Irwin–Hall),
+    /// scaled to the configured standard deviation. Deterministic per
+    /// seed; implemented inline to keep this crate dependency-free.
+    fn noise(&mut self) -> f64 {
+        if self.config.noise_watts == 0.0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for _ in 0..3 {
+            // xorshift64*
+            let mut x = self.rng_state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.rng_state = x;
+            let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            sum += u - 0.5;
+        }
+        // Var(sum of 3 uniforms(-0.5,0.5)) = 3/12 = 0.25 → sd 0.5.
+        sum * 2.0 * self.config.noise_watts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_settles_to_constant_input() {
+        let mut s = PowerSensor::new(SensorConfig::ideal(), Power::from_watts(62.0));
+        s.advance(Power::from_watts(180.0), Time::from_secs(1.0));
+        assert!((s.read().watts() - 180.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn filter_lags_short_bursts() {
+        let cfg = SensorConfig { noise_watts: 0.0, quantum_watts: 0.0, ..SensorConfig::k40() };
+        let mut s = PowerSensor::new(cfg, Power::from_watts(62.0));
+        // A 1 ms burst at 200 W against an 8 ms time constant barely moves
+        // the reading.
+        s.advance(Power::from_watts(200.0), Time::from_millis(1.0));
+        let r = s.read().watts();
+        assert!(r > 62.0 && r < 62.0 + 0.2 * (200.0 - 62.0), "reading {r}");
+    }
+
+    #[test]
+    fn exact_exponential_response() {
+        let cfg = SensorConfig { noise_watts: 0.0, quantum_watts: 0.0, ..SensorConfig::k40() };
+        let mut s = PowerSensor::new(cfg.clone(), Power::from_watts(0.0));
+        s.advance(Power::from_watts(100.0), cfg.filter_tau);
+        // After exactly one time constant: 1 - 1/e of the step.
+        let expected = 100.0 * (1.0 - (-1.0f64).exp());
+        assert!((s.read().watts() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segmented_advance_equals_single_advance() {
+        let cfg = SensorConfig { noise_watts: 0.0, quantum_watts: 0.0, ..SensorConfig::k40() };
+        let mut a = PowerSensor::new(cfg.clone(), Power::from_watts(50.0));
+        let mut b = PowerSensor::new(cfg, Power::from_watts(50.0));
+        a.advance(Power::from_watts(120.0), Time::from_millis(10.0));
+        for _ in 0..10 {
+            b.advance(Power::from_watts(120.0), Time::from_millis(1.0));
+        }
+        assert!((a.read().watts() - b.read().watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantization_rounds_to_step() {
+        let cfg = SensorConfig {
+            noise_watts: 0.0,
+            quantum_watts: 0.25,
+            ..SensorConfig::k40()
+        };
+        let mut s = PowerSensor::new(cfg, Power::from_watts(62.13));
+        let r = s.read().watts();
+        assert!((r - 62.25).abs() < 1e-9 || (r - 62.0).abs() < 1e-9);
+        assert_eq!((r / 0.25).fract(), 0.0);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let cfg = SensorConfig::k40();
+        let mut a = PowerSensor::new(cfg.clone(), Power::from_watts(62.0));
+        let mut b = PowerSensor::new(cfg, Power::from_watts(62.0));
+        for _ in 0..5 {
+            assert_eq!(a.read(), b.read());
+        }
+    }
+
+    #[test]
+    fn noise_magnitude_is_bounded() {
+        let mut s = PowerSensor::new(SensorConfig::k40(), Power::from_watts(62.0));
+        for _ in 0..1000 {
+            let r = s.read().watts();
+            // 3-uniform noise is hard-bounded at 3 sd.
+            assert!((r - 62.0).abs() <= 3.0 * 0.4 + 0.25 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn readings_never_negative() {
+        let mut s = PowerSensor::new(SensorConfig::k40(), Power::from_watts(0.0));
+        for _ in 0..100 {
+            assert!(s.read().watts() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_dt_advance_is_noop() {
+        let cfg = SensorConfig { noise_watts: 0.0, quantum_watts: 0.0, ..SensorConfig::k40() };
+        let mut s = PowerSensor::new(cfg, Power::from_watts(62.0));
+        s.advance(Power::from_watts(500.0), Time::ZERO);
+        assert!((s.read().watts() - 62.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,353 @@
+//! The hidden ground-truth energy model of the virtual K40.
+//!
+//! This is the "real silicon" side of the study: it knows the true energy
+//! of every event *plus* the effects no top-down model sees. GPUJoule never
+//! reads these parameters — it only sees the power sensor — so recovering
+//! Table Ib through the `microbench` pipeline is a genuine test of the
+//! methodology.
+
+use crate::profile::KernelActivity;
+use common::units::{Energy, Power};
+use isa::{Opcode, Transaction};
+
+/// Ground-truth energy parameters of the virtual K40.
+///
+/// The per-event values intentionally coincide with Table Ib (that is what
+/// a correct fitting pipeline should recover); the *additional* terms —
+/// interaction energy, memory floor power, launch ramps, divergence issue
+/// overhead — are the silicon-only effects that create the validation
+/// error structure of Fig. 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthModel {
+    epi: [Energy; Opcode::COUNT],
+    ept: [Energy; Transaction::COUNT],
+    ep_stall: Energy,
+    idle_power: Power,
+    mem_floor_power: Power,
+    launch_energy: Energy,
+    interaction_fraction: f64,
+}
+
+impl TruthModel {
+    /// The default virtual K40 parameterization.
+    pub fn k40() -> Self {
+        let nj = Energy::from_nanojoules;
+        let mut epi = [Energy::ZERO; Opcode::COUNT];
+        let set = |epi: &mut [Energy; Opcode::COUNT], op: Opcode, e: Energy| {
+            epi[op.index()] = e;
+        };
+        set(&mut epi, Opcode::FAdd32, nj(0.06));
+        set(&mut epi, Opcode::FMul32, nj(0.05));
+        set(&mut epi, Opcode::FFma32, nj(0.05));
+        set(&mut epi, Opcode::IAdd32, nj(0.07));
+        set(&mut epi, Opcode::ISub32, nj(0.07));
+        set(&mut epi, Opcode::And32, nj(0.06));
+        set(&mut epi, Opcode::Or32, nj(0.06));
+        set(&mut epi, Opcode::Xor32, nj(0.06));
+        set(&mut epi, Opcode::FSin32, nj(0.10));
+        set(&mut epi, Opcode::FCos32, nj(0.10));
+        set(&mut epi, Opcode::IMul32, nj(0.13));
+        set(&mut epi, Opcode::IMad32, nj(0.15));
+        set(&mut epi, Opcode::FAdd64, nj(0.15));
+        set(&mut epi, Opcode::FMul64, nj(0.13));
+        set(&mut epi, Opcode::FFma64, nj(0.16));
+        set(&mut epi, Opcode::FSqrt32, nj(0.02));
+        set(&mut epi, Opcode::FLog232, nj(0.03));
+        set(&mut epi, Opcode::FExp232, nj(0.08));
+        set(&mut epi, Opcode::FRcp32, nj(0.31));
+        set(&mut epi, Opcode::Mov32, nj(0.02));
+        set(&mut epi, Opcode::Setp, nj(0.02));
+        set(&mut epi, Opcode::Bra, nj(0.02));
+
+        // The L2/DRAM true per-transaction energies sit *below* the
+        // Table Ib figures: the memory-subsystem floor power (below) folds
+        // into what a peak-rate microbenchmark measures, so a fitting
+        // pipeline running at peak recovers approximately the published
+        // numbers (3.96 / 7.82 nJ) — and *underestimates* applications
+        // that keep the memory clocks up while moving little data, exactly
+        // the RSBench/CoMD error mode of Fig. 4b.
+        let mut ept = [Energy::ZERO; Transaction::COUNT];
+        ept[Transaction::SharedToReg.index()] = nj(5.45);
+        ept[Transaction::L1ToReg.index()] = nj(5.99);
+        ept[Transaction::L2ToL1.index()] = nj(3.07);
+        ept[Transaction::DramToL2.index()] = nj(5.02);
+
+        TruthModel {
+            epi,
+            ept,
+            ep_stall: Energy::from_nanojoules(0.30),
+            idle_power: Power::from_watts(62.0),
+            mem_floor_power: Power::from_watts(30.0),
+            launch_energy: Energy::from_microjoules(400.0),
+            interaction_fraction: 0.035,
+        }
+    }
+
+    /// A hypothetical 16 nm Pascal-class board (P100-flavoured): lower
+    /// per-operation energies from the process shrink, HBM2 memory, a
+    /// lower idle floor. Used to exercise the paper's §IV-B3 claim that
+    /// the methodology regenerates for any GPU.
+    pub fn pascal_class() -> Self {
+        let base = Self::k40();
+        let nj = Energy::from_nanojoules;
+        // 28 nm → 16 nm: roughly 0.6x energy per operation.
+        let mut epi = base.epi;
+        for e in &mut epi {
+            *e = *e * 0.6;
+        }
+        let mut ept = [Energy::ZERO; Transaction::COUNT];
+        ept[Transaction::SharedToReg.index()] = nj(3.30);
+        ept[Transaction::L1ToReg.index()] = nj(3.65);
+        // HBM2 and a denser L2: below the K40's per-transaction costs.
+        ept[Transaction::L2ToL1.index()] = nj(2.05);
+        ept[Transaction::DramToL2.index()] = nj(3.60);
+        TruthModel {
+            epi,
+            ept,
+            ep_stall: Energy::from_nanojoules(0.22),
+            idle_power: Power::from_watts(31.0),
+            mem_floor_power: Power::from_watts(24.0),
+            launch_energy: Energy::from_microjoules(260.0),
+            interaction_fraction: 0.03,
+        }
+    }
+
+    /// Idle (baseline) board power — regulators, PDN, host I/O, leakage.
+    pub fn idle_power(&self) -> Power {
+        self.idle_power
+    }
+
+    /// Extra power burned while memory clocks are out of their low-power
+    /// state (any kernel with L2/DRAM traffic). Counter-invisible.
+    pub fn mem_floor_power(&self) -> Power {
+        self.mem_floor_power
+    }
+
+    /// Fixed energy of one kernel launch (front-end ramp, driver work).
+    pub fn launch_energy(&self) -> Energy {
+        self.launch_energy
+    }
+
+    /// True per-instruction energy (what fitting should recover).
+    pub fn true_epi(&self, op: Opcode) -> Energy {
+        self.epi[op.index()]
+    }
+
+    /// True per-transaction energy (what fitting should recover).
+    pub fn true_ept(&self, t: Transaction) -> Energy {
+        self.ept[t.index()]
+    }
+
+    /// True per-lane-stall energy.
+    pub fn true_ep_stall(&self) -> Energy {
+        self.ep_stall
+    }
+
+    /// The dynamic (above-idle) energy one kernel really consumes,
+    /// including every hidden effect but *excluding* idle power and the
+    /// launch ramp (those are timeline-level, handled by the measurement
+    /// layer).
+    pub fn kernel_dynamic_energy(&self, k: &KernelActivity) -> Energy {
+        // Issue energy: counters saw active-lane counts; silicon pays per
+        // issued warp slot, so divergence inflates the true cost by 1/util.
+        let mut compute = Energy::ZERO;
+        for (op, n) in k.counts.instrs.iter() {
+            compute += self.epi[op.index()] * n as f64;
+        }
+        compute = compute * (1.0 / k.behavior.lane_utilization);
+
+        let mut movement = Energy::ZERO;
+        for (t, n) in k.counts.txns.iter() {
+            movement += self.ept[t.index()] * n as f64;
+        }
+
+        let stalls = self.ep_stall * k.counts.stall_cycles as f64;
+
+        // Memory floor power: charged per unit time while sustained L2 or
+        // DRAM traffic keeps the memory clocks out of their low-power
+        // state. The gate saturates at a very low transaction rate —
+        // trickling traffic (RSBench-style) pays the full floor, while a
+        // cache-resident kernel whose only traffic is its warm-up pays
+        // almost nothing.
+        let floor =
+            self.mem_floor_power * k.duration * self.floor_gate(k) * k.behavior.floor_scale;
+
+        // Compute<->memory interaction: scheduling/MSHR cross-term
+        // proportional to the weaker of the two activities.
+        let interaction = Energy::from_joules(
+            compute.joules().min(movement.joules())
+                * self.interaction_fraction
+                * k.behavior.interaction_scale,
+        );
+
+        compute + movement + stalls + floor + interaction
+    }
+
+    /// Fraction of the memory floor power a kernel pays: ramps linearly
+    /// up to full at 2.0 L2/DRAM sector-transactions per nanosecond
+    /// (~6% of the peak L2 rate) — sustained traffic keeps the memory
+    /// clocks up, a one-time warm-up fill does not.
+    pub fn floor_gate(&self, k: &KernelActivity) -> f64 {
+        let mem_txns = k.counts.txns.get(Transaction::L2ToL1)
+            + k.counts.txns.get(Transaction::DramToL2);
+        if mem_txns == 0 {
+            return 0.0;
+        }
+        let rate_per_ns = mem_txns as f64 / k.duration.nanos();
+        (rate_per_ns / 2.0).min(1.0)
+    }
+
+    /// Average dynamic power during one kernel.
+    pub fn kernel_dynamic_power(&self, k: &KernelActivity) -> Power {
+        self.kernel_dynamic_energy(k) / k.duration
+    }
+}
+
+impl Default for TruthModel {
+    fn default() -> Self {
+        Self::k40()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::HiddenBehavior;
+    use common::units::Time;
+    use isa::EventCounts;
+
+    fn kernel(
+        instrs: &[(Opcode, u64)],
+        txns: &[(Transaction, u64)],
+        ms: f64,
+        behavior: HiddenBehavior,
+    ) -> KernelActivity {
+        let mut c = EventCounts::new();
+        for &(op, n) in instrs {
+            c.instrs.add(op, n);
+        }
+        for &(t, n) in txns {
+            c.txns.add(t, n);
+        }
+        KernelActivity::new(Time::from_millis(ms), c, behavior)
+    }
+
+    #[test]
+    fn pure_compute_kernel_matches_epi_sum() {
+        let truth = TruthModel::k40();
+        let k = kernel(&[(Opcode::FAdd32, 1_000_000)], &[], 1.0, HiddenBehavior::regular());
+        let e = truth.kernel_dynamic_energy(&k);
+        // No memory traffic: no floor, no interaction, no divergence.
+        assert!((e.joules() - 1_000_000.0 * 0.06e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn divergence_inflates_true_compute_energy() {
+        let truth = TruthModel::k40();
+        let full = kernel(&[(Opcode::FAdd32, 1_000_000)], &[], 1.0, HiddenBehavior::regular());
+        let div = kernel(
+            &[(Opcode::FAdd32, 1_000_000)],
+            &[],
+            1.0,
+            HiddenBehavior::with_lane_utilization(0.5),
+        );
+        let e_full = truth.kernel_dynamic_energy(&full);
+        let e_div = truth.kernel_dynamic_energy(&div);
+        assert!((e_div.joules() / e_full.joules() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_floor_charged_per_time_when_memory_active() {
+        let truth = TruthModel::k40();
+        // Sustained traffic (4 sectors/ns over 1 ms vs 10 ms): full floor.
+        let short =
+            kernel(&[], &[(Transaction::DramToL2, 4_000_000)], 1.0, HiddenBehavior::regular());
+        let long =
+            kernel(&[], &[(Transaction::DramToL2, 40_000_000)], 10.0, HiddenBehavior::regular());
+        assert_eq!(truth.floor_gate(&short), 1.0);
+        assert_eq!(truth.floor_gate(&long), 1.0);
+        let delta = truth.kernel_dynamic_energy(&long) - truth.kernel_dynamic_energy(&short);
+        // 9x the traffic plus 9 ms more of floor power.
+        let expected = truth.true_ept(Transaction::DramToL2) * 36_000_000.0
+            + truth.mem_floor_power() * Time::from_millis(9.0);
+        assert!((delta.joules() - expected.joules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floor_gate_ramps_with_traffic_rate() {
+        let truth = TruthModel::k40();
+        // 10 transactions over 1 ms: essentially idle memory clocks.
+        let trickle =
+            kernel(&[], &[(Transaction::DramToL2, 10)], 1.0, HiddenBehavior::regular());
+        assert!(truth.floor_gate(&trickle) < 1e-4);
+        // Zero traffic: no gate at all.
+        let none = kernel(&[(Opcode::FAdd32, 100)], &[], 1.0, HiddenBehavior::regular());
+        assert_eq!(truth.floor_gate(&none), 0.0);
+        // Half-threshold traffic (1 sector/ns against the 2/ns knee):
+        // half gate.
+        let half =
+            kernel(&[], &[(Transaction::L2ToL1, 1_000_000)], 1.0, HiddenBehavior::regular());
+        assert!((truth.floor_gate(&half) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_floor_power_without_memory_traffic() {
+        let truth = TruthModel::k40();
+        let short = kernel(&[(Opcode::FMul32, 100)], &[], 1.0, HiddenBehavior::regular());
+        let long = kernel(&[(Opcode::FMul32, 100)], &[], 10.0, HiddenBehavior::regular());
+        assert_eq!(
+            truth.kernel_dynamic_energy(&short),
+            truth.kernel_dynamic_energy(&long)
+        );
+    }
+
+    #[test]
+    fn interaction_term_appears_only_for_mixed_kernels() {
+        let truth = TruthModel::k40();
+        let compute_only = kernel(&[(Opcode::FAdd64, 1_000_000)], &[], 1.0, HiddenBehavior::regular());
+        let mixed = kernel(
+            &[(Opcode::FAdd64, 1_000_000)],
+            &[(Transaction::L1ToReg, 10_000)],
+            1.0,
+            HiddenBehavior::regular(),
+        );
+        let e_compute: f64 = 1_000_000.0 * 0.15e-9;
+        let e_mem: f64 = 10_000.0 * 5.99e-9;
+        let expected_interaction = e_compute.min(e_mem) * 0.035;
+        let total = truth.kernel_dynamic_energy(&mixed).joules();
+        assert!((total - (e_compute + e_mem + expected_interaction)).abs() < 1e-12);
+        assert!(
+            (truth.kernel_dynamic_energy(&compute_only).joules() - e_compute).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn stall_energy_charged() {
+        let truth = TruthModel::k40();
+        let mut c = EventCounts::new();
+        c.stall_cycles = 1_000;
+        let k = KernelActivity::new(Time::from_millis(1.0), c, HiddenBehavior::regular());
+        let e = truth.kernel_dynamic_energy(&k);
+        assert!((e.nanojoules() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_power_is_energy_over_duration() {
+        let truth = TruthModel::k40();
+        let k = kernel(&[(Opcode::FFma32, 10_000_000)], &[], 2.0, HiddenBehavior::regular());
+        let p = truth.kernel_dynamic_power(&k);
+        let e = truth.kernel_dynamic_energy(&k);
+        assert!((p.watts() - e.joules() / 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_tables_match_paper_values() {
+        let truth = TruthModel::k40();
+        assert!((truth.true_epi(Opcode::FRcp32).nanojoules() - 0.31).abs() < 1e-12);
+        // True DRAM EPT sits below the Table Ib 7.82 nJ by the floor-power
+        // share a peak-rate fit absorbs.
+        assert!((truth.true_ept(Transaction::DramToL2).nanojoules() - 5.02).abs() < 1e-12);
+        assert!(truth.true_ept(Transaction::DramToL2).nanojoules() < 7.82);
+        assert!((truth.idle_power().watts() - 62.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the virtual silicon: measurement invariants that
+//! must hold for any run profile.
+
+use common::units::{Power, Time};
+use isa::{EventCounts, Opcode, Transaction};
+use proptest::prelude::*;
+use silicon::{HiddenBehavior, KernelActivity, RunProfile, SensorConfig, VirtualK40};
+
+fn kernel() -> impl Strategy<Value = KernelActivity> {
+    (
+        1.0_f64..200.0,       // duration ms
+        0_u64..2_000_000_000, // ffma thread-instrs
+        0_u64..20_000_000,    // dram sectors
+        0.2_f64..1.0,         // lane utilization
+    )
+        .prop_map(|(ms, instrs, dram, lanes)| {
+            let mut c = EventCounts::new();
+            c.instrs.add(Opcode::FFma32, instrs);
+            c.txns.add(Transaction::DramToL2, dram);
+            KernelActivity::new(
+                Time::from_millis(ms),
+                c,
+                HiddenBehavior { lane_utilization: lanes, ..HiddenBehavior::regular() },
+            )
+        })
+}
+
+fn profile() -> impl Strategy<Value = RunProfile> {
+    (prop::collection::vec((kernel(), 0.0_f64..5.0), 1..8), "[a-z]{3,8}").prop_map(
+        |(phases, name)| {
+            let mut p = RunProfile::new(name);
+            for (k, gap_ms) in phases {
+                p = p.kernel(k).idle(Time::from_millis(gap_ms));
+            }
+            p
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn true_energy_is_at_least_idle_floor(p in profile()) {
+        let hw = VirtualK40::new();
+        let e = hw.true_energy(&p);
+        let idle_floor = hw.truth().idle_power() * p.total_duration();
+        prop_assert!(e.joules() >= idle_floor.joules() * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn measurement_is_deterministic(p in profile()) {
+        let hw = VirtualK40::new();
+        let a = hw.measure(&p);
+        let b = hw.measure(&p);
+        prop_assert_eq!(a.measured_energy, b.measured_energy);
+        prop_assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn samples_cover_the_run(p in profile()) {
+        let hw = VirtualK40::new();
+        let m = hw.measure(&p);
+        let expected = (p.total_duration().secs() / 0.015).ceil().max(1.0) as usize;
+        prop_assert_eq!(m.samples.len(), expected);
+        prop_assert!(m.measured_energy.joules() >= 0.0);
+    }
+
+    #[test]
+    fn long_steady_runs_measure_within_five_percent(
+        instrs in 100_000_000_u64..3_000_000_000,
+        dram in 0_u64..10_000_000,
+    ) {
+        // One long kernel (>= 60 sensor windows): the sensor integral must
+        // track the truth closely regardless of the activity mix.
+        let mut c = EventCounts::new();
+        c.instrs.add(Opcode::FFma32, instrs);
+        c.txns.add(Transaction::DramToL2, dram);
+        let k = KernelActivity::new(
+            Time::from_millis(900.0),
+            c,
+            HiddenBehavior::regular(),
+        );
+        let p = RunProfile::new("steady").kernel(k);
+        let hw = VirtualK40::new();
+        let m = hw.measure(&p);
+        prop_assert!(
+            m.sensor_error().abs() < 0.05,
+            "sensor error {:.3}",
+            m.sensor_error()
+        );
+    }
+
+    #[test]
+    fn divergence_only_increases_true_energy(p_base in kernel()) {
+        let hw = VirtualK40::new();
+        let mut diverged = p_base.clone();
+        diverged.behavior.lane_utilization = (p_base.behavior.lane_utilization * 0.5).max(0.05);
+        let base = hw.truth().kernel_dynamic_energy(&p_base);
+        let div = hw.truth().kernel_dynamic_energy(&diverged);
+        prop_assert!(div.joules() >= base.joules());
+    }
+
+    #[test]
+    fn active_measurement_never_exceeds_duration_times_peak(p in profile()) {
+        let hw = VirtualK40::new().with_sensor(SensorConfig::ideal());
+        let m = hw.measure_active(&p);
+        // With an ideal (instantaneous) sensor, attributed energy is the
+        // true active energy.
+        prop_assert!(
+            m.measured_energy.joules() <= m.true_energy.joules() * 1.01 + 1e-9,
+            "measured {} vs true {}",
+            m.measured_energy,
+            m.true_energy
+        );
+        prop_assert!(m.duration <= p.total_duration());
+    }
+
+    #[test]
+    fn idle_reading_tracks_idle_power(secs in 0.1_f64..3.0) {
+        let hw = VirtualK40::new();
+        let r = hw.measure_idle(Time::from_secs(secs));
+        prop_assert!((r.watts() - 62.0).abs() < 2.0, "idle reading {r}");
+        let _ = Power::ZERO;
+    }
+}

@@ -1,0 +1,323 @@
+//! Set-associative cache model with LRU replacement and dirty tracking.
+//!
+//! Used for both the per-SM L1s (write-through, invalidated at kernel
+//! boundaries — the paper's software coherence) and the per-GPM
+//! module-side L2s (write-back, remote lines flushed at kernel
+//! boundaries).
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAccess {
+    /// The line was present.
+    Hit,
+    /// The line was not present; it has been allocated. If the victim was
+    /// dirty, its line address is returned for write-back.
+    Miss {
+        /// Dirty victim line that must be written back, if any.
+        writeback: Option<u64>,
+    },
+}
+
+impl CacheAccess {
+    /// `true` for a hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheAccess::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+const INVALID: Line = Line { tag: 0, valid: false, dirty: false, lru: 0 };
+
+/// A set-associative, LRU, write-back cache over 128-byte lines.
+///
+/// # Examples
+///
+/// ```
+/// use sim::cache::{Cache, CacheAccess};
+///
+/// let mut c = Cache::new(32 * 1024, 4, 128);
+/// assert!(!c.access(0x0, false).is_hit());
+/// assert!(c.access(0x0, false).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Line>,
+    num_sets: usize,
+    assoc: usize,
+    line_bytes: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity_bytes` with `assoc` ways and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, capacity not a
+    /// multiple of `assoc × line_bytes`).
+    pub fn new(capacity_bytes: u64, assoc: usize, line_bytes: u64) -> Self {
+        assert!(line_bytes > 0 && assoc > 0 && capacity_bytes > 0, "degenerate cache geometry");
+        let lines = capacity_bytes / line_bytes;
+        assert!(
+            lines.is_multiple_of(assoc as u64) && lines >= assoc as u64,
+            "capacity must be a whole number of sets"
+        );
+        let num_sets = (lines / assoc as u64) as usize;
+        Cache {
+            sets: vec![INVALID; num_sets * assoc],
+            num_sets,
+            assoc,
+            line_bytes,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    #[inline]
+    fn set_of(&self, line_addr: u64) -> usize {
+        // Simple modulo indexing over line number; line_addr is already a
+        // line-aligned byte address.
+        ((line_addr / self.line_bytes) % self.num_sets as u64) as usize
+    }
+
+    /// Accesses the line containing byte address `addr`, allocating on
+    /// miss. `is_store` marks the line dirty.
+    pub fn access(&mut self, addr: u64, is_store: bool) -> CacheAccess {
+        let line_addr = addr & !(self.line_bytes - 1);
+        let set = self.set_of(line_addr);
+        let base = set * self.assoc;
+        self.tick += 1;
+
+        // Probe for hit.
+        for i in 0..self.assoc {
+            let line = &mut self.sets[base + i];
+            if line.valid && line.tag == line_addr {
+                line.lru = self.tick;
+                line.dirty |= is_store;
+                self.hits += 1;
+                return CacheAccess::Hit;
+            }
+        }
+
+        // Miss: pick LRU victim (preferring invalid ways).
+        self.misses += 1;
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for i in 0..self.assoc {
+            let line = &self.sets[base + i];
+            if !line.valid {
+                victim = i;
+                break;
+            }
+            if line.lru < best {
+                best = line.lru;
+                victim = i;
+            }
+        }
+
+        let line = &mut self.sets[base + victim];
+        // Tags store the full line-aligned address, so the write-back
+        // address is the tag itself.
+        let writeback = if line.valid && line.dirty { Some(line.tag) } else { None };
+        *line = Line { tag: line_addr, valid: true, dirty: is_store, lru: self.tick };
+        CacheAccess::Miss { writeback }
+    }
+
+    /// `true` if the line containing `addr` is present (no LRU update).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_addr = addr & !(self.line_bytes - 1);
+        let set = self.set_of(line_addr);
+        let base = set * self.assoc;
+        (0..self.assoc).any(|i| {
+            let line = &self.sets[base + i];
+            line.valid && line.tag == line_addr
+        })
+    }
+
+    /// Invalidates everything, returning dirty line addresses that need
+    /// write-back.
+    pub fn flush_all(&mut self) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        for line in &mut self.sets {
+            if line.valid && line.dirty {
+                dirty.push(line.tag);
+            }
+            *line = INVALID;
+        }
+        dirty
+    }
+
+    /// Invalidates lines whose address satisfies `pred`, returning the
+    /// dirty ones for write-back. Used for the kernel-boundary flush of
+    /// remote-homed lines (software coherence among module-side L2s).
+    pub fn flush_matching<F: FnMut(u64) -> bool>(&mut self, mut pred: F) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        for line in &mut self.sets {
+            if line.valid && pred(line.tag) {
+                if line.dirty {
+                    dirty.push(line.tag);
+                }
+                *line = INVALID;
+            }
+        }
+        dirty
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate since construction; zero with no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 128 B = 1 KiB.
+        Cache::new(1024, 2, 128)
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false).is_hit());
+        assert!(c.access(0x100, false).is_hit());
+        assert!(c.access(0x17F, false).is_hit(), "same line, different offset");
+        assert!(!c.access(0x180, false).is_hit(), "next line");
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets*line = 512).
+        c.access(0x000, false);
+        c.access(0x200, false);
+        // Touch 0x000 so 0x200 is LRU.
+        c.access(0x000, false);
+        c.access(0x400, false); // evicts 0x200
+        assert!(c.access(0x000, false).is_hit());
+        assert!(!c.probe(0x200));
+        assert!(c.probe(0x400));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x200, false);
+        let res = c.access(0x400, false); // evicts dirty 0x000
+        match res {
+            CacheAccess::Miss { writeback: Some(addr) } => assert_eq!(addr, 0x000),
+            other => panic!("expected dirty writeback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x200, false);
+        let res = c.access(0x400, false);
+        assert_eq!(res, CacheAccess::Miss { writeback: None });
+    }
+
+    #[test]
+    fn store_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x000, true); // dirty via store hit
+        c.access(0x200, false);
+        match c.access(0x400, false) {
+            CacheAccess::Miss { writeback } => assert_eq!(writeback, Some(0x000)),
+            _ => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn flush_all_returns_dirty_lines() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x080, false);
+        c.access(0x100, true);
+        let mut dirty = c.flush_all();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![0x000, 0x100]);
+        assert!(!c.probe(0x080));
+    }
+
+    #[test]
+    fn flush_matching_is_selective() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x080, true);
+        let dirty = c.flush_matching(|addr| addr >= 0x080);
+        assert_eq!(dirty, vec![0x080]);
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+    }
+
+    #[test]
+    fn stats_and_hit_rate() {
+        let mut c = tiny();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.access(0x0, false);
+        c.access(0x0, false);
+        c.access(0x0, false);
+        let (h, m) = c.stats();
+        assert_eq!((h, m), (2, 1));
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_behaves_like_working_set_bound() {
+        // A working set that fits is all hits on the second pass.
+        let mut c = Cache::new(32 * 1024, 4, 128);
+        for addr in (0..32 * 1024).step_by(128) {
+            c.access(addr, false);
+        }
+        let (_, misses_first) = c.stats();
+        for addr in (0..32 * 1024).step_by(128) {
+            assert!(c.access(addr, false).is_hit());
+        }
+        assert_eq!(misses_first, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_capacity_panics() {
+        let _ = Cache::new(0, 2, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn non_integral_sets_panic() {
+        let _ = Cache::new(128 * 3, 2, 128);
+    }
+}

@@ -1,0 +1,448 @@
+//! Simulated GPU configurations (Tables III and IV of the paper).
+//!
+//! The building block is a K40-class GPM: 16 SMs, 32 KiB L1 per SM, a
+//! 2 MiB module-side L2, and one HBM stack at 256 GB/s. Multi-module GPUs
+//! replicate this block 2–32× and connect the modules with a ring or a
+//! high-radix switch at one of three per-GPM I/O bandwidth settings.
+
+use common::units::{Bandwidth, Bytes, Frequency};
+use std::fmt;
+
+/// Per-GPM I/O bandwidth settings (Table IV), expressed relative to the
+/// local DRAM bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BwSetting {
+    /// 128 GB/s — a 1:2 inter-GPM:DRAM ratio; on-board integration.
+    X1,
+    /// 256 GB/s — 1:1; baseline on-package integration.
+    X2,
+    /// 512 GB/s — 2:1; next-generation on-package signaling.
+    X4,
+}
+
+impl BwSetting {
+    /// All settings in increasing-bandwidth order.
+    pub const ALL: [BwSetting; 3] = [BwSetting::X1, BwSetting::X2, BwSetting::X4];
+
+    /// Inter-GPM bandwidth per GPM for a given DRAM bandwidth.
+    pub fn inter_gpm_bw(self, dram_bw: Bandwidth) -> Bandwidth {
+        match self {
+            BwSetting::X1 => dram_bw * 0.5,
+            BwSetting::X2 => dram_bw,
+            BwSetting::X4 => dram_bw * 2.0,
+        }
+    }
+
+    /// Table label ("1x-BW" etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            BwSetting::X1 => "1x-BW",
+            BwSetting::X2 => "2x-BW",
+            BwSetting::X4 => "4x-BW",
+        }
+    }
+}
+
+impl fmt::Display for BwSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How CTAs are distributed across modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtaSchedule {
+    /// Contiguous block partition: CTA `i` runs on module `i / (C/N)`.
+    /// This is the locality-aware distributed scheduling of MCM-GPU that
+    /// the paper adopts — consecutive CTAs (which share data) stay on one
+    /// module.
+    Contiguous,
+    /// Naive round-robin: CTA `i` runs on module `i % N`. Destroys the
+    /// CTA-adjacency locality that first-touch placement relies on; kept
+    /// as an ablation of the paper's scheduling choice.
+    RoundRobin,
+}
+
+impl fmt::Display for CtaSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtaSchedule::Contiguous => write!(f, "contiguous"),
+            CtaSchedule::RoundRobin => write!(f, "round-robin"),
+        }
+    }
+}
+
+/// Where pages are homed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PagePolicy {
+    /// First-touch: a page lives on the module that first accesses it
+    /// (the paper's policy, after MCM-GPU / NUMA-GPU).
+    FirstTouch,
+    /// Static round-robin interleaving by page number, as classic NUMA
+    /// systems default to; an ablation of the placement choice.
+    Interleaved,
+}
+
+impl fmt::Display for PagePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PagePolicy::FirstTouch => write!(f, "first-touch"),
+            PagePolicy::Interleaved => write!(f, "interleaved"),
+        }
+    }
+}
+
+/// Which side of the NUMA boundary the L2 sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L2Mode {
+    /// Module-side: each module's L2 caches whatever that module
+    /// accesses, local or remote, with software-coherence flushes of
+    /// remote lines at kernel boundaries. The organization the paper
+    /// switches to for 2+ GPMs (§V-A1).
+    ModuleSide,
+    /// Memory-side: each L2 caches only its local DRAM; remote requests
+    /// cross the NoC on every access and probe the *home* module's L2.
+    /// The monolithic-style organization the paper moves away from; kept
+    /// as an ablation.
+    MemorySide,
+}
+
+impl fmt::Display for L2Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            L2Mode::ModuleSide => write!(f, "module-side"),
+            L2Mode::MemorySide => write!(f, "memory-side"),
+        }
+    }
+}
+
+/// Warp-scheduling policy within an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WarpScheduler {
+    /// Loose round robin: rotate through ready warps (the default).
+    LooseRoundRobin,
+    /// Greedy-then-oldest: keep issuing the same warp until it stalls,
+    /// then fall back to the oldest ready warp (Rogers et al.). Kept as
+    /// an ablation — the paper's §II position is that such detail is
+    /// second-order for energy at system scale.
+    GreedyThenOldest,
+}
+
+impl fmt::Display for WarpScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarpScheduler::LooseRoundRobin => write!(f, "lrr"),
+            WarpScheduler::GreedyThenOldest => write!(f, "gto"),
+        }
+    }
+}
+
+/// Inter-GPM network topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// Bidirectional ring; transfers consume bandwidth on every traversed
+    /// link (the paper's on-package and baseline on-board organization).
+    Ring,
+    /// High-radix switch: every GPM has one full-bandwidth link to a
+    /// central non-blocking switch (NVSwitch-style, §V-C).
+    Switch,
+    /// Idealized interconnect with unlimited bandwidth and zero latency;
+    /// used for the hypothetical monolithic comparison in §V-B.
+    Ideal,
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Ring => write!(f, "ring"),
+            Topology::Switch => write!(f, "switch"),
+            Topology::Ideal => write!(f, "ideal"),
+        }
+    }
+}
+
+/// Configuration of one GPU module (the Table III building block).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpmConfig {
+    /// SMs per module.
+    pub sms: usize,
+    /// Core clock (1 GHz: one cycle is one nanosecond).
+    pub clock: Frequency,
+    /// Warp instructions each SM can issue per cycle.
+    pub issue_width: u32,
+    /// Maximum warps resident on one SM.
+    pub max_resident_warps: usize,
+    /// Independent loads one warp may have in flight (memory-level
+    /// parallelism from unrolled/pipelined code; the warp stalls when it
+    /// would exceed this).
+    pub mlp_per_warp: usize,
+    /// L1 data cache per SM.
+    pub l1_bytes: Bytes,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// Module-side L2 per GPM.
+    pub l2_bytes: Bytes,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// L2 aggregate bandwidth.
+    pub l2_bw: Bandwidth,
+    /// Local DRAM (HBM stack) bandwidth.
+    pub dram_bw: Bandwidth,
+    /// L1 hit latency, cycles.
+    pub l1_latency: u64,
+    /// Shared-memory latency, cycles.
+    pub shared_latency: u64,
+    /// L2 hit latency, cycles.
+    pub l2_latency: u64,
+    /// DRAM access latency, cycles.
+    pub dram_latency: u64,
+}
+
+impl GpmConfig {
+    /// The paper's basic GPM: 16 SMs, 32 KiB L1, 2 MiB L2, 256 GB/s HBM.
+    pub fn k40_class() -> Self {
+        GpmConfig {
+            sms: 16,
+            clock: Frequency::from_ghz(1.0),
+            issue_width: 4,
+            max_resident_warps: 32,
+            mlp_per_warp: 4,
+            l1_bytes: Bytes::from_kib(32),
+            l1_assoc: 4,
+            l2_bytes: Bytes::from_mib(2),
+            l2_assoc: 16,
+            l2_bw: Bandwidth::from_gb_per_sec(1024.0),
+            dram_bw: Bandwidth::from_gb_per_sec(256.0),
+            l1_latency: 28,
+            shared_latency: 24,
+            l2_latency: 120,
+            dram_latency: 260,
+        }
+    }
+
+    /// A hypothetical Pascal-class module (P100-flavoured): more SMs at a
+    /// higher clock, HBM2 bandwidth, a larger L2. Used by the §IV-B3
+    /// portability demonstration.
+    pub fn pascal_class() -> Self {
+        GpmConfig {
+            sms: 28,
+            clock: Frequency::from_ghz(1.3),
+            issue_width: 4,
+            max_resident_warps: 32,
+            mlp_per_warp: 4,
+            l1_bytes: Bytes::from_kib(24),
+            l1_assoc: 4,
+            l2_bytes: Bytes::from_mib(4),
+            l2_assoc: 16,
+            l2_bw: Bandwidth::from_gb_per_sec(2048.0),
+            dram_bw: Bandwidth::from_gb_per_sec(720.0),
+            l1_latency: 30,
+            shared_latency: 24,
+            l2_latency: 130,
+            dram_latency: 300,
+        }
+    }
+
+    /// A scaled-down GPM for fast unit tests (4 SMs, small caches).
+    pub fn tiny() -> Self {
+        GpmConfig {
+            sms: 4,
+            max_resident_warps: 16,
+            l1_bytes: Bytes::from_kib(8),
+            l2_bytes: Bytes::from_kib(256),
+            ..Self::k40_class()
+        }
+    }
+}
+
+/// Full multi-module GPU configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// The per-module building block.
+    pub gpm: GpmConfig,
+    /// Number of modules (1–32 in the paper's sweep).
+    pub num_gpms: usize,
+    /// Per-GPM inter-module I/O bandwidth (total egress per GPM).
+    pub inter_gpm_bw: Bandwidth,
+    /// Network topology.
+    pub topology: Topology,
+    /// Per-hop link latency, cycles.
+    pub link_latency: u64,
+    /// Additional switch traversal latency, cycles.
+    pub switch_latency: u64,
+    /// Page size for first-touch placement.
+    pub page_bytes: Bytes,
+    /// Inter-GPM link compression ratio (≥ 1.0; 1.0 = off). Compressed
+    /// transfers consume proportionally less link bandwidth — the §V-E
+    /// data-compression extension. The compression engine's energy is
+    /// charged by the energy model, not here.
+    pub link_compression: f64,
+    /// CTA distribution across modules.
+    pub cta_schedule: CtaSchedule,
+    /// Warp-scheduling policy within each SM.
+    pub warp_scheduler: WarpScheduler,
+    /// Page-placement policy.
+    pub page_policy: PagePolicy,
+    /// L2 organization.
+    pub l2_mode: L2Mode,
+}
+
+impl GpuConfig {
+    /// The paper's configuration for `num_gpms` modules at bandwidth
+    /// setting `bw` with topology `topology` (Tables III and IV).
+    ///
+    /// On-board settings (1x-BW) get a longer per-hop latency than
+    /// on-package ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpms` is zero.
+    pub fn paper(num_gpms: usize, bw: BwSetting, topology: Topology) -> Self {
+        assert!(num_gpms > 0, "a GPU needs at least one GPM");
+        let gpm = GpmConfig::k40_class();
+        let link_latency = match bw {
+            BwSetting::X1 => 180, // on-board (NVLink-class hop)
+            BwSetting::X2 | BwSetting::X4 => 60, // on-package
+        };
+        GpuConfig {
+            inter_gpm_bw: bw.inter_gpm_bw(gpm.dram_bw),
+            gpm,
+            num_gpms,
+            topology,
+            link_latency,
+            switch_latency: 100,
+            page_bytes: Bytes::from_kib(64),
+            link_compression: 1.0,
+            cta_schedule: CtaSchedule::Contiguous,
+            warp_scheduler: WarpScheduler::LooseRoundRobin,
+            page_policy: PagePolicy::FirstTouch,
+            l2_mode: L2Mode::ModuleSide,
+        }
+    }
+
+    /// The single-module baseline (Table III's 1-GPM column).
+    pub fn single_gpm() -> Self {
+        Self::paper(1, BwSetting::X2, Topology::Ring)
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny(num_gpms: usize) -> Self {
+        let gpm = GpmConfig::tiny();
+        GpuConfig {
+            inter_gpm_bw: BwSetting::X2.inter_gpm_bw(gpm.dram_bw),
+            gpm,
+            num_gpms,
+            topology: Topology::Ring,
+            link_latency: 40,
+            switch_latency: 40,
+            page_bytes: Bytes::from_kib(64),
+            link_compression: 1.0,
+            cta_schedule: CtaSchedule::Contiguous,
+            warp_scheduler: WarpScheduler::LooseRoundRobin,
+            page_policy: PagePolicy::FirstTouch,
+            l2_mode: L2Mode::ModuleSide,
+        }
+    }
+
+    /// Total SM count across all modules.
+    pub fn total_sms(&self) -> usize {
+        self.gpm.sms * self.num_gpms
+    }
+
+    /// Aggregate DRAM bandwidth (Table III row).
+    pub fn total_dram_bw(&self) -> Bandwidth {
+        self.gpm.dram_bw * self.num_gpms as f64
+    }
+
+    /// Aggregate L2 capacity (Table III row).
+    pub fn total_l2_bytes(&self) -> Bytes {
+        Bytes::new(self.gpm.l2_bytes.count() * self.num_gpms as u64)
+    }
+
+    /// Maximum warps resident across the whole GPU.
+    pub fn total_resident_warps(&self) -> usize {
+        self.total_sms() * self.gpm.max_resident_warps
+    }
+}
+
+impl fmt::Display for GpuConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-GPM ({} SMs, {} L2, {} DRAM, {} inter-GPM, {})",
+            self.num_gpms,
+            self.total_sms(),
+            self.total_l2_bytes(),
+            self.total_dram_bw(),
+            self.inter_gpm_bw,
+            self.topology
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bw_settings_match_table_iv() {
+        let dram = Bandwidth::from_gb_per_sec(256.0);
+        assert!((BwSetting::X1.inter_gpm_bw(dram).gb_per_sec() - 128.0).abs() < 1e-9);
+        assert!((BwSetting::X2.inter_gpm_bw(dram).gb_per_sec() - 256.0).abs() < 1e-9);
+        assert!((BwSetting::X4.inter_gpm_bw(dram).gb_per_sec() - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_iii_totals_scale_linearly() {
+        for (n, sms, l2_mb, dram) in
+            [(1usize, 16usize, 2u64, 256.0), (8, 128, 16, 2048.0), (32, 512, 64, 8192.0)]
+        {
+            let cfg = GpuConfig::paper(n, BwSetting::X2, Topology::Ring);
+            assert_eq!(cfg.total_sms(), sms);
+            assert_eq!(cfg.total_l2_bytes(), Bytes::from_mib(l2_mb));
+            assert!((cfg.total_dram_bw().gb_per_sec() - dram).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k40_class_matches_paper_gpm() {
+        let g = GpmConfig::k40_class();
+        assert_eq!(g.sms, 16);
+        assert_eq!(g.l1_bytes, Bytes::from_kib(32));
+        assert_eq!(g.l2_bytes, Bytes::from_mib(2));
+        assert!((g.dram_bw.gb_per_sec() - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pascal_class_is_a_bigger_faster_module() {
+        let k40 = GpmConfig::k40_class();
+        let pascal = GpmConfig::pascal_class();
+        assert!(pascal.sms > k40.sms);
+        assert!(pascal.clock.hz() > k40.clock.hz());
+        assert!(pascal.dram_bw.gb_per_sec() > k40.dram_bw.gb_per_sec());
+        assert!(pascal.l2_bytes > k40.l2_bytes);
+        // Cache geometry stays constructible.
+        let _ = crate::cache::Cache::new(pascal.l1_bytes.count(), pascal.l1_assoc, 128);
+        let _ = crate::cache::Cache::new(pascal.l2_bytes.count(), pascal.l2_assoc, 128);
+    }
+
+    #[test]
+    fn on_board_links_are_slower() {
+        let board = GpuConfig::paper(8, BwSetting::X1, Topology::Ring);
+        let pkg = GpuConfig::paper(8, BwSetting::X2, Topology::Ring);
+        assert!(board.link_latency > pkg.link_latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPM")]
+    fn zero_gpms_panics() {
+        let _ = GpuConfig::paper(0, BwSetting::X2, Topology::Ring);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = GpuConfig::paper(4, BwSetting::X2, Topology::Ring).to_string();
+        assert!(s.contains("4-GPM"));
+        assert!(s.contains("ring"));
+    }
+}

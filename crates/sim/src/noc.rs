@@ -1,0 +1,347 @@
+//! Inter-GPM interconnection networks: ring, high-radix switch, ideal.
+//!
+//! The ring consumes link bandwidth on **every traversed hop**, which is
+//! what amplifies NUMA bandwidth pressure at high GPM counts (§V-B); the
+//! switch reaches any module in one traversal at the cost of an extra
+//! per-bit energy premium (§V-C); the ideal network models the monolithic
+//! comparison point.
+
+use crate::bw::BwResource;
+use crate::config::{GpuConfig, Topology};
+use common::GpmId;
+
+/// The inter-module network.
+#[derive(Debug, Clone)]
+pub struct Noc {
+    topology: Topology,
+    num_gpms: usize,
+    link_latency: u64,
+    switch_latency: u64,
+    /// Ring: clockwise directed links, `cw[i]` carries `i → (i+1) % N`.
+    cw: Vec<BwResource>,
+    /// Ring: counter-clockwise directed links, `ccw[i]` carries
+    /// `i → (i−1+N) % N`.
+    ccw: Vec<BwResource>,
+    /// Switch: per-GPM uplinks (GPM → switch).
+    up: Vec<BwResource>,
+    /// Switch: per-GPM downlinks (switch → GPM).
+    down: Vec<BwResource>,
+    hop_bytes: u64,
+    transfer_bytes: u64,
+    switch_bytes: u64,
+    transfers: u64,
+    tie_breaker: u64,
+    compression: f64,
+}
+
+impl Noc {
+    /// Builds the network for a GPU configuration.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        let n = cfg.num_gpms;
+        let clock = cfg.gpm.clock;
+        let per_gpm = cfg.inter_gpm_bw.bytes_per_cycle(clock);
+        let (cw, ccw, up, down) = match cfg.topology {
+            Topology::Ring => {
+                // Per-GPM I/O bandwidth splits over the two egress
+                // directions.
+                let link = per_gpm / 2.0;
+                (
+                    (0..n).map(|_| BwResource::new(link)).collect(),
+                    (0..n).map(|_| BwResource::new(link)).collect(),
+                    Vec::new(),
+                    Vec::new(),
+                )
+            }
+            Topology::Switch => (
+                Vec::new(),
+                Vec::new(),
+                (0..n).map(|_| BwResource::new(per_gpm)).collect(),
+                (0..n).map(|_| BwResource::new(per_gpm)).collect(),
+            ),
+            Topology::Ideal => (Vec::new(), Vec::new(), Vec::new(), Vec::new()),
+        };
+        Noc {
+            topology: cfg.topology,
+            num_gpms: n,
+            link_latency: cfg.link_latency,
+            switch_latency: cfg.switch_latency,
+            cw,
+            ccw,
+            up,
+            down,
+            hop_bytes: 0,
+            transfer_bytes: 0,
+            switch_bytes: 0,
+            transfers: 0,
+            tie_breaker: 0,
+            compression: cfg.link_compression.max(1.0),
+        }
+    }
+
+    /// Shortest ring distance and direction between two modules:
+    /// `(hops, clockwise)`. Ties alternate via an internal counter so both
+    /// half-ring directions carry load.
+    fn ring_route(&mut self, src: usize, dst: usize) -> (usize, bool) {
+        let n = self.num_gpms;
+        let cw_dist = (dst + n - src) % n;
+        let ccw_dist = (src + n - dst) % n;
+        if cw_dist < ccw_dist {
+            (cw_dist, true)
+        } else if ccw_dist < cw_dist {
+            (ccw_dist, false)
+        } else {
+            self.tie_breaker = self.tie_breaker.wrapping_add(1);
+            (cw_dist, self.tie_breaker.is_multiple_of(2))
+        }
+    }
+
+    /// Transfers `bytes` from `src` to `dst`, starting no earlier than
+    /// cycle `now`; returns the arrival cycle. Same-module transfers are
+    /// free and instant.
+    ///
+    /// Routing is pipelined (wormhole-style): every link on the path
+    /// reserves bandwidth at `now`, and the arrival time is the slowest
+    /// link's queue completion plus the path's cumulative hop latency.
+    /// Acquiring at `now` (rather than chaining each hop's future
+    /// completion into the next) keeps the fluid queues fed in FIFO time
+    /// order, which they require to be stable.
+    pub fn transfer(&mut self, src: GpmId, dst: GpmId, bytes: u64, now: u64) -> u64 {
+        let (queue_ready, latency) = self.transfer_queued(src, dst, bytes, now);
+        queue_ready + latency
+    }
+
+    /// Like [`Noc::transfer`] but returns `(queue_ready, path_latency)`
+    /// separately, so a caller composing a round trip can pipeline queue
+    /// delays while keeping the physical latencies serial.
+    pub fn transfer_queued(
+        &mut self,
+        src: GpmId,
+        dst: GpmId,
+        bytes: u64,
+        now: u64,
+    ) -> (u64, u64) {
+        if src == dst || self.num_gpms <= 1 {
+            return (now, 0);
+        }
+        self.transfers += 1;
+        // Link compression (§V-E extension): fewer bytes on the wire.
+        let bytes = ((bytes as f64 / self.compression).ceil() as u64).max(1);
+        if self.topology != Topology::Ideal {
+            self.transfer_bytes += bytes;
+        }
+        match self.topology {
+            Topology::Ideal => (now, 0),
+            Topology::Ring => {
+                let (dist, clockwise) = self.ring_route(src.index(), dst.index());
+                debug_assert!(dist >= 1);
+                self.hop_bytes += dist as u64 * bytes;
+                let n = self.num_gpms;
+                let mut slowest = now;
+                let mut node = src.index();
+                for _ in 0..dist {
+                    let link = if clockwise {
+                        let l = &mut self.cw[node];
+                        node = (node + 1) % n;
+                        l
+                    } else {
+                        let l = &mut self.ccw[node];
+                        node = (node + n - 1) % n;
+                        l
+                    };
+                    slowest = slowest.max(link.acquire(bytes, now));
+                }
+                (slowest, dist as u64 * self.link_latency)
+            }
+            Topology::Switch => {
+                // GPM → switch → GPM: two physical link traversals plus
+                // the switch itself.
+                self.hop_bytes += 2 * bytes;
+                self.switch_bytes += bytes;
+                let up = self.up[src.index()].acquire(bytes, now);
+                let down = self.down[dst.index()].acquire(bytes, now);
+                (
+                    up.max(down),
+                    2 * self.link_latency + self.switch_latency,
+                )
+            }
+        }
+    }
+
+    /// Total bytes × hops carried over point-to-point links.
+    pub fn hop_bytes(&self) -> u64 {
+        self.hop_bytes
+    }
+
+    /// Total bytes moved between modules, counted once per transfer
+    /// (end-to-end; the energy model's input).
+    pub fn transfer_bytes(&self) -> u64 {
+        self.transfer_bytes
+    }
+
+    /// Total bytes routed through the switch.
+    pub fn switch_bytes(&self) -> u64 {
+        self.switch_bytes
+    }
+
+    /// Number of inter-module transfers.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Per-link `(bytes_served, backlog_until)` for all links in the
+    /// order cw, ccw, up, down (diagnostics).
+    pub fn link_stats(&self) -> Vec<(u64, u64)> {
+        self.cw
+            .iter()
+            .chain(&self.ccw)
+            .chain(&self.up)
+            .chain(&self.down)
+            .map(|l| (l.bytes_served(), l.backlog_until()))
+            .collect()
+    }
+
+    /// Maximum backlog horizon across all links (diagnostics).
+    pub fn max_backlog(&self) -> u64 {
+        self.cw
+            .iter()
+            .chain(&self.ccw)
+            .chain(&self.up)
+            .chain(&self.down)
+            .map(BwResource::backlog_until)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BwSetting, GpuConfig};
+
+    fn ring(n: usize) -> Noc {
+        Noc::new(&GpuConfig::paper(n, BwSetting::X2, Topology::Ring))
+    }
+
+    fn switch(n: usize) -> Noc {
+        Noc::new(&GpuConfig::paper(n, BwSetting::X1, Topology::Switch))
+    }
+
+    #[test]
+    fn same_module_is_free() {
+        let mut noc = ring(8);
+        assert_eq!(noc.transfer(GpmId::new(3), GpmId::new(3), 1 << 20, 42), 42);
+        assert_eq!(noc.hop_bytes(), 0);
+        assert_eq!(noc.transfers(), 0);
+    }
+
+    #[test]
+    fn ring_counts_bytes_per_hop() {
+        let mut noc = ring(8);
+        // 0 -> 3: 3 hops clockwise.
+        noc.transfer(GpmId::new(0), GpmId::new(3), 128, 0);
+        assert_eq!(noc.hop_bytes(), 3 * 128);
+        // 0 -> 7 is 1 hop counter-clockwise.
+        noc.transfer(GpmId::new(0), GpmId::new(7), 128, 0);
+        assert_eq!(noc.hop_bytes(), 4 * 128);
+    }
+
+    #[test]
+    fn ring_latency_grows_with_distance() {
+        let mut noc = ring(16);
+        let near = noc.transfer(GpmId::new(0), GpmId::new(1), 128, 0);
+        let far = noc.transfer(GpmId::new(0), GpmId::new(8), 128, 0);
+        assert!(far > near, "8 hops ({far}) should beat 1 hop ({near})");
+    }
+
+    #[test]
+    fn ring_half_distance_alternates_direction() {
+        let mut noc = ring(4);
+        // 0 -> 2 is distance 2 both ways; consecutive transfers should not
+        // all hammer the same links.
+        let t1 = noc.transfer(GpmId::new(0), GpmId::new(2), 1 << 16, 0);
+        let t2 = noc.transfer(GpmId::new(0), GpmId::new(2), 1 << 16, 0);
+        // If both went the same way the second would queue behind the
+        // first; alternation means they complete at the same cycle.
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn ring_saturation_queues() {
+        let mut noc = ring(8);
+        let first = noc.transfer(GpmId::new(0), GpmId::new(1), 1 << 20, 0);
+        let second = noc.transfer(GpmId::new(0), GpmId::new(1), 1 << 20, 0);
+        assert!(second > first);
+    }
+
+    #[test]
+    fn switch_is_two_link_traversals() {
+        let mut noc = switch(16);
+        noc.transfer(GpmId::new(0), GpmId::new(9), 128, 0);
+        assert_eq!(noc.hop_bytes(), 2 * 128);
+        assert_eq!(noc.switch_bytes(), 128);
+    }
+
+    #[test]
+    fn switch_distance_is_uniform() {
+        let mut a = switch(16);
+        let near = a.transfer(GpmId::new(0), GpmId::new(1), 128, 0);
+        let mut b = switch(16);
+        let far = b.transfer(GpmId::new(0), GpmId::new(8), 128, 0);
+        assert_eq!(near, far);
+    }
+
+    #[test]
+    fn switch_beats_ring_at_scale_for_far_traffic() {
+        // Same per-GPM I/O bandwidth; the ring pays per hop.
+        let mut r = Noc::new(&GpuConfig::paper(32, BwSetting::X1, Topology::Ring));
+        let mut s = Noc::new(&GpuConfig::paper(32, BwSetting::X1, Topology::Switch));
+        let mut ring_done = 0;
+        let mut switch_done = 0;
+        for i in 0..64u64 {
+            let dst = GpmId::new(16);
+            ring_done = r.transfer(GpmId::new((i % 8) as u16), dst, 4096, 0);
+            switch_done = s.transfer(GpmId::new((i % 8) as u16), dst, 4096, 0);
+        }
+        assert!(
+            switch_done < ring_done,
+            "switch {switch_done} should finish before ring {ring_done}"
+        );
+    }
+
+    #[test]
+    fn ideal_network_is_free_and_instant() {
+        let cfg = GpuConfig::paper(8, BwSetting::X2, Topology::Ideal);
+        let mut noc = Noc::new(&cfg);
+        assert_eq!(noc.transfer(GpmId::new(0), GpmId::new(5), 1 << 20, 17), 17);
+        assert_eq!(noc.hop_bytes(), 0);
+        assert_eq!(noc.switch_bytes(), 0);
+        assert_eq!(noc.max_backlog(), 0);
+    }
+
+    #[test]
+    fn compression_reduces_wire_bytes_and_time() {
+        let mut cfg = GpuConfig::paper(8, BwSetting::X1, Topology::Ring);
+        let mut plain = Noc::new(&cfg);
+        cfg.link_compression = 2.0;
+        let mut packed = Noc::new(&cfg);
+        let mut t_plain = 0;
+        let mut t_packed = 0;
+        for _ in 0..64 {
+            t_plain = plain.transfer(GpmId::new(0), GpmId::new(1), 4096, 0);
+            t_packed = packed.transfer(GpmId::new(0), GpmId::new(1), 4096, 0);
+        }
+        assert_eq!(packed.transfer_bytes() * 2, plain.transfer_bytes());
+        assert!(
+            t_packed < t_plain,
+            "compressed transfers should drain faster: {t_packed} vs {t_plain}"
+        );
+    }
+
+    #[test]
+    fn two_gpm_ring_uses_both_parallel_links() {
+        let mut noc = ring(2);
+        let t1 = noc.transfer(GpmId::new(0), GpmId::new(1), 1 << 16, 0);
+        let t2 = noc.transfer(GpmId::new(0), GpmId::new(1), 1 << 16, 0);
+        assert_eq!(t1, t2, "opposite-direction links should both carry load");
+    }
+}

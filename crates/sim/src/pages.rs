@@ -1,0 +1,161 @@
+//! First-touch page placement.
+//!
+//! Multi-module GPUs place each memory page on the module whose SM first
+//! touches it (the policy the paper adopts from the MCM-GPU and NUMA-GPU
+//! work). Combined with contiguous CTA partitioning this captures most
+//! private-data locality; shared/streamed structures end up distributed.
+
+use crate::config::PagePolicy;
+use common::{GpmId, PageId};
+use std::collections::HashMap;
+
+/// First-touch page table mapping pages to their home GPM.
+///
+/// # Examples
+///
+/// ```
+/// use sim::pages::PageTable;
+/// use common::GpmId;
+///
+/// let mut pt = PageTable::new(64 * 1024);
+/// let home = pt.home_of(0x1_0000, GpmId::new(3));
+/// assert_eq!(home, GpmId::new(3));
+/// // Subsequent touches from other modules see the established home.
+/// assert_eq!(pt.home_of(0x1_0040, GpmId::new(0)), GpmId::new(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    page_bytes: u64,
+    map: HashMap<PageId, GpmId>,
+    first_touches: u64,
+    policy: PagePolicy,
+    num_gpms: usize,
+}
+
+impl PageTable {
+    /// Creates a first-touch page table with the given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is zero.
+    pub fn new(page_bytes: u64) -> Self {
+        Self::with_policy(page_bytes, PagePolicy::FirstTouch, 1)
+    }
+
+    /// Creates a page table with an explicit placement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` or `num_gpms` is zero.
+    pub fn with_policy(page_bytes: u64, policy: PagePolicy, num_gpms: usize) -> Self {
+        assert!(page_bytes > 0, "page size must be non-zero");
+        assert!(num_gpms > 0, "a GPU needs at least one GPM");
+        PageTable { page_bytes, map: HashMap::new(), first_touches: 0, policy, num_gpms }
+    }
+
+    /// The placement policy.
+    pub fn policy(&self) -> PagePolicy {
+        self.policy
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Returns the home GPM of the page containing `addr`. Under
+    /// first-touch placement, an unplaced page is assigned to `toucher`;
+    /// under interleaving the home is a pure function of the page number.
+    pub fn home_of(&mut self, addr: u64, toucher: GpmId) -> GpmId {
+        let page = PageId::containing(addr, self.page_bytes);
+        match self.policy {
+            PagePolicy::FirstTouch => *self.map.entry(page).or_insert_with(|| {
+                self.first_touches += 1;
+                toucher
+            }),
+            PagePolicy::Interleaved => {
+                GpmId::new((page.number() % self.num_gpms as u64) as u16)
+            }
+        }
+    }
+
+    /// Home of the page containing `addr`, if determined.
+    pub fn lookup(&self, addr: u64) -> Option<GpmId> {
+        let page = PageId::containing(addr, self.page_bytes);
+        match self.policy {
+            PagePolicy::FirstTouch => self.map.get(&page).copied(),
+            PagePolicy::Interleaved => {
+                Some(GpmId::new((page.number() % self.num_gpms as u64) as u16))
+            }
+        }
+    }
+
+    /// Number of placed pages.
+    pub fn placed_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Pages homed on each GPM, for balance diagnostics.
+    pub fn pages_per_gpm(&self, num_gpms: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_gpms];
+        for home in self.map.values() {
+            if home.index() < num_gpms {
+                counts[home.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Clears all placements (a fresh workload: fresh allocations).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.first_touches = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_wins() {
+        let mut pt = PageTable::new(4096);
+        assert_eq!(pt.home_of(0, GpmId::new(1)), GpmId::new(1));
+        assert_eq!(pt.home_of(100, GpmId::new(2)), GpmId::new(1));
+        assert_eq!(pt.home_of(4096, GpmId::new(2)), GpmId::new(2));
+        assert_eq!(pt.placed_pages(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_place() {
+        let pt = PageTable::new(4096);
+        assert_eq!(pt.lookup(0), None);
+        let mut pt = pt;
+        pt.home_of(0, GpmId::new(0));
+        assert_eq!(pt.lookup(5), Some(GpmId::new(0)));
+    }
+
+    #[test]
+    fn pages_per_gpm_counts_balance() {
+        let mut pt = PageTable::new(4096);
+        pt.home_of(0, GpmId::new(0));
+        pt.home_of(4096, GpmId::new(1));
+        pt.home_of(8192, GpmId::new(1));
+        assert_eq!(pt.pages_per_gpm(2), vec![1, 2]);
+    }
+
+    #[test]
+    fn clear_resets_placements() {
+        let mut pt = PageTable::new(4096);
+        pt.home_of(0, GpmId::new(1));
+        pt.clear();
+        assert_eq!(pt.placed_pages(), 0);
+        assert_eq!(pt.home_of(0, GpmId::new(0)), GpmId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn zero_page_size_panics() {
+        let _ = PageTable::new(0);
+    }
+}

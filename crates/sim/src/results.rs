@@ -1,0 +1,113 @@
+//! Simulation results: per-kernel and per-workload event summaries.
+
+use common::units::Time;
+use isa::EventCounts;
+use std::fmt;
+
+/// The outcome of simulating one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// Kernel name.
+    pub name: String,
+    /// Event counts for this launch (including `elapsed`).
+    pub counts: EventCounts,
+    /// Core cycles the launch took.
+    pub cycles: u64,
+    /// CTAs executed.
+    pub ctas: u32,
+}
+
+impl KernelResult {
+    /// Wall-clock duration of the launch.
+    pub fn duration(&self) -> Time {
+        self.counts.elapsed
+    }
+}
+
+impl fmt::Display for KernelResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} cycles, {}", self.name, self.cycles, self.counts)
+    }
+}
+
+/// The outcome of simulating a whole workload (a sequence of launches).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadResult {
+    /// Per-launch results, in execution order.
+    pub kernels: Vec<KernelResult>,
+}
+
+impl WorkloadResult {
+    /// Aggregated event counts across all launches (sequential
+    /// composition: counts and elapsed time sum).
+    pub fn total_counts(&self) -> EventCounts {
+        let mut total = EventCounts::new();
+        for k in &self.kernels {
+            total.merge_sequential(&k.counts);
+        }
+        total
+    }
+
+    /// Total wall-clock duration.
+    pub fn total_duration(&self) -> Time {
+        self.kernels.iter().map(|k| k.counts.elapsed).sum()
+    }
+
+    /// Total simulated core cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.kernels.iter().map(|k| k.cycles).sum()
+    }
+
+    /// Number of kernel launches.
+    pub fn launches(&self) -> usize {
+        self.kernels.len()
+    }
+}
+
+impl fmt::Display for WorkloadResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} launches, {} cycles, {}",
+            self.launches(),
+            self.total_cycles(),
+            self.total_duration()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::Opcode;
+
+    fn kr(name: &str, cycles: u64, instrs: u64) -> KernelResult {
+        let mut counts = EventCounts::new();
+        counts.instrs.add(Opcode::FAdd32, instrs);
+        counts.elapsed = Time::from_nanos(cycles as f64);
+        KernelResult { name: name.into(), counts, cycles, ctas: 1 }
+    }
+
+    #[test]
+    fn totals_aggregate_sequentially() {
+        let w = WorkloadResult { kernels: vec![kr("a", 100, 5), kr("b", 200, 7)] };
+        assert_eq!(w.total_cycles(), 300);
+        assert_eq!(w.launches(), 2);
+        assert_eq!(w.total_counts().instrs.get(Opcode::FAdd32), 12);
+        assert!((w.total_duration().nanos() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workload_is_zero() {
+        let w = WorkloadResult::default();
+        assert_eq!(w.total_cycles(), 0);
+        assert_eq!(w.total_counts().total_instructions(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let w = WorkloadResult { kernels: vec![kr("a", 10, 1)] };
+        assert!(w.to_string().contains("1 launches"));
+        assert!(kr("a", 10, 1).to_string().contains("a: 10 cycles"));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Synthetic surrogates for the Rodinia/CORAL benchmark suite (Table II).
+//!
+//! The paper drives its simulator with traces of 18 real GPU applications;
+//! we have no CUDA toolchain or traces, so this crate provides
+//! *surrogates*: deterministic trace generators parameterized to match
+//! each application's published character — instruction mix (FP32 / FP64 /
+//! integer), compute-to-memory intensity (the Table II C/M categories),
+//! working-set size and reuse structure (which governs the cache-capacity
+//! response as aggregate L2 grows), sharing pattern (which governs
+//! first-touch NUMA traffic), kernel-launch granularity (BFS and MiniAMR
+//! launch hundreds of sub-millisecond kernels), and control divergence.
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::{scaling_suite, Scale};
+//!
+//! let suite = scaling_suite();
+//! assert_eq!(suite.len(), 14);
+//! let launches = suite[0].launches(Scale::Smoke);
+//! assert!(!launches.is_empty());
+//! ```
+
+pub mod gen;
+pub mod mix;
+pub mod suite;
+
+pub use gen::{AccessPattern, KernelParams, SurrogateKernel};
+pub use mix::InstMix;
+pub use suite::{by_name, scaling_suite, suite, Category, Scale, WorkloadSpec};

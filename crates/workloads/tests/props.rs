@@ -1,0 +1,126 @@
+//! Property tests for the surrogate generators: traces must be
+//! deterministic, exactly sized, and confined to their declared regions.
+
+use common::{CtaId, WarpId};
+use isa::{KernelProgram, MemSpace, WarpInstr};
+use proptest::prelude::*;
+use workloads::gen::{AccessPattern, KernelParams, SurrogateKernel};
+use workloads::mix::InstMix;
+
+fn pattern() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        (1_u32..4, 0.0_f64..0.5).prop_map(|(reuse, misalign)| {
+            AccessPattern::PrivateStream { reuse, misalign }
+        }),
+        (1_u32..16, 64_u64..4096, 0.0_f64..0.5).prop_map(|(tile, fp, spread)| {
+            AccessPattern::TiledShared { tile_lines: tile, footprint_lines: fp, spread }
+        }),
+        (64_u64..4096).prop_map(|fp| AccessPattern::RandomShared { footprint_lines: fp }),
+        (0.0_f64..0.5, 1_u32..4).prop_map(|(halo, reuse)| {
+            AccessPattern::Stencil { halo, reuse }
+        }),
+    ]
+}
+
+fn params() -> impl Strategy<Value = KernelParams> {
+    (
+        1_u32..32,          // ctas
+        1_u32..8,           // warps per cta
+        0_u32..8,           // compute per mem
+        0_u32..32,          // mem refs
+        0_u32..16,          // trailing
+        0.0_f64..1.0,       // store fraction
+        0_u32..3,           // shared per mem
+        pattern(),
+        any::<u64>(),       // seed
+    )
+        .prop_map(|(ctas, wpc, cpm, mem, trailing, store, shared, pattern, seed)| {
+            KernelParams {
+                name: "prop".into(),
+                ctas,
+                warps_per_cta: wpc,
+                compute_per_mem: cpm,
+                mem_refs_per_warp: mem,
+                trailing_compute: trailing,
+                store_fraction: store,
+                shared_per_mem: shared,
+                mix: InstMix::fp32_stream(),
+                pattern,
+                region: 1 << 40,
+                seed,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stream_length_matches_formula(p in params(), cta in 0_u32..32, warp in 0_u32..8) {
+        let cta = cta % p.ctas;
+        let warp = warp % p.warps_per_cta;
+        let expected = p.mem_refs_per_warp as usize
+            * (p.compute_per_mem + p.shared_per_mem + 1) as usize
+            + p.trailing_compute as usize;
+        let k = SurrogateKernel::new(p);
+        let n = k.warp_instructions(CtaId::new(cta), WarpId::new(warp)).count();
+        prop_assert_eq!(n, expected);
+    }
+
+    #[test]
+    fn streams_replay_identically(p in params(), cta in 0_u32..32, warp in 0_u32..8) {
+        let cta = cta % p.ctas;
+        let warp = warp % p.warps_per_cta;
+        let k = SurrogateKernel::new(p);
+        let a: Vec<WarpInstr> =
+            k.warp_instructions(CtaId::new(cta), WarpId::new(warp)).collect();
+        let b: Vec<WarpInstr> =
+            k.warp_instructions(CtaId::new(cta), WarpId::new(warp)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn global_addresses_stay_in_declared_region(p in params(), cta in 0_u32..32) {
+        let cta = cta % p.ctas;
+        let k = SurrogateKernel::new(p);
+        let regions = k.data_regions();
+        prop_assert_eq!(regions.len(), 1);
+        let (base, len) = regions[0];
+        for warp in 0..k.grid().warps_per_cta {
+            for instr in k.warp_instructions(CtaId::new(cta), WarpId::new(warp)) {
+                if let WarpInstr::Mem(m) = instr {
+                    if m.space == MemSpace::Global {
+                        prop_assert!(
+                            m.addr >= base && m.addr < base + len.max(128),
+                            "addr {:#x} outside [{:#x}, {:#x})",
+                            m.addr, base, base + len
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn addresses_are_line_aligned(p in params()) {
+        let k = SurrogateKernel::new(p);
+        for instr in k.warp_instructions(CtaId::new(0), WarpId::new(0)) {
+            if let WarpInstr::Mem(m) = instr {
+                if m.space == MemSpace::Global {
+                    prop_assert_eq!(m.addr % 128, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_fraction_zero_means_no_stores(mut p in params()) {
+        p.store_fraction = 0.0;
+        let k = SurrogateKernel::new(p);
+        for instr in k.warp_instructions(CtaId::new(0), WarpId::new(0)) {
+            if let WarpInstr::Mem(m) = instr {
+                prop_assert!(!m.is_store);
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Ablations of the design choices the paper (and the prior work it
+//! builds on) bakes into the multi-module GPU: locality-aware CTA
+//! scheduling, first-touch page placement, module-side L2 caching, and
+//! warp-level memory parallelism.
+//!
+//! Each study compares the adopted design against its naive alternative
+//! on the same workloads and reports speedup and EDPSE deltas — the
+//! quantified version of DESIGN.md's "modelling notes".
+
+use crate::configs::ExpConfig;
+use crate::lab::Lab;
+use common::stats;
+use common::table::TextTable;
+use sim::{BwSetting, CtaSchedule, L2Mode, PagePolicy, WarpScheduler};
+use workloads::WorkloadSpec;
+
+fn mean(v: &[f64]) -> f64 {
+    stats::mean(v).expect("non-empty")
+}
+
+/// One ablation row: the same configuration with one design knob flipped.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Knob label ("CTA schedule", ...).
+    pub knob: &'static str,
+    /// Variant label ("contiguous", "round-robin", ...).
+    pub variant: String,
+    /// GPM count of the comparison.
+    pub gpms: usize,
+    /// Mean speedup over the 1-GPM baseline.
+    pub speedup: f64,
+    /// Mean EDPSE in percent.
+    pub edpse: f64,
+    /// Mean energy normalized to the 1-GPM baseline.
+    pub energy: f64,
+}
+
+/// The full ablation study.
+#[derive(Debug, Clone)]
+pub struct AblationStudy {
+    /// All rows, grouped by knob.
+    pub rows: Vec<AblationRow>,
+}
+
+impl AblationStudy {
+    /// Runs every ablation at `gpms` modules, 2x-BW on-package.
+    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec], gpms: usize) -> Self {
+        let mut rows = Vec::new();
+        let base = ExpConfig::paper_default(gpms, BwSetting::X2);
+
+        let mut eval = |lab: &mut Lab, knob: &'static str, variant: String, cfg: &ExpConfig| {
+            let speedups: Vec<f64> = suite.iter().map(|w| lab.speedup(w, cfg)).collect();
+            let edpses: Vec<f64> = suite.iter().map(|w| lab.edpse(w, cfg)).collect();
+            let energies: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, cfg)).collect();
+            rows.push(AblationRow {
+                knob,
+                variant,
+                gpms,
+                speedup: mean(&speedups),
+                edpse: mean(&edpses),
+                energy: mean(&energies),
+            });
+        };
+
+        // CTA scheduling: locality-aware contiguous vs naive round-robin.
+        for s in [CtaSchedule::Contiguous, CtaSchedule::RoundRobin] {
+            let cfg = base.clone().with_cta_schedule(s);
+            eval(lab, "CTA schedule", s.to_string(), &cfg);
+        }
+
+        // Page placement: first-touch vs static interleaving.
+        for p in [PagePolicy::FirstTouch, PagePolicy::Interleaved] {
+            let cfg = base.clone().with_page_policy(p);
+            eval(lab, "page placement", p.to_string(), &cfg);
+        }
+
+        // L2 organization: module-side vs memory-side.
+        for m in [L2Mode::ModuleSide, L2Mode::MemorySide] {
+            let cfg = base.clone().with_l2_mode(m);
+            eval(lab, "L2 organization", m.to_string(), &cfg);
+        }
+
+        // Warp scheduling policy (should be near-neutral — the paper's
+        // §II abstraction argument).
+        for ws in [WarpScheduler::LooseRoundRobin, WarpScheduler::GreedyThenOldest] {
+            let cfg = base.clone().with_warp_scheduler(ws);
+            eval(lab, "warp scheduler", ws.to_string(), &cfg);
+        }
+
+        // Warp memory-level parallelism.
+        for mlp in [1usize, 2, 4, 8] {
+            let cfg = base.clone().with_mlp(mlp);
+            eval(lab, "MLP per warp", format!("{mlp} outstanding"), &cfg);
+        }
+
+        AblationStudy { rows }
+    }
+
+    /// The row for a `(knob, variant)` pair, if present.
+    pub fn get(&self, knob: &str, variant: &str) -> Option<&AblationRow> {
+        self.rows
+            .iter()
+            .find(|r| r.knob == knob && r.variant == variant)
+    }
+
+    /// Renders the study as a table.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(["design knob", "variant", "speedup", "energy", "EDPSE (%)"]);
+        for r in &self.rows {
+            t.row([
+                r.knob.to_string(),
+                r.variant.clone(),
+                format!("{:.2}", r.speedup),
+                format!("{:.2}", r.energy),
+                format!("{:.1}", r.edpse),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{by_name, Scale};
+
+    fn mini_suite() -> Vec<WorkloadSpec> {
+        ["Stream", "Hotspot"]
+            .iter()
+            .map(|n| by_name(n).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn ablation_produces_all_rows() {
+        let mut lab = Lab::new(Scale::Smoke);
+        let study = AblationStudy::run(&mut lab, &mini_suite(), 8);
+        assert_eq!(study.rows.len(), 2 + 2 + 2 + 2 + 4);
+        assert!(study.render().render().contains("round-robin"));
+    }
+
+    #[test]
+    fn first_touch_beats_interleaving_for_private_streams() {
+        let mut lab = Lab::new(Scale::Smoke);
+        let suite = vec![by_name("Stream").unwrap()];
+        let study = AblationStudy::run(&mut lab, &suite, 8);
+        let ft = study.get("page placement", "first-touch").unwrap();
+        let il = study.get("page placement", "interleaved").unwrap();
+        assert!(
+            ft.speedup >= il.speedup,
+            "first-touch {:.2} should be at least interleaved {:.2}",
+            ft.speedup,
+            il.speedup
+        );
+    }
+
+    #[test]
+    fn mlp_monotonically_helps_memory_bound_work() {
+        let mut lab = Lab::new(Scale::Smoke);
+        let suite = vec![by_name("Stream").unwrap()];
+        let study = AblationStudy::run(&mut lab, &suite, 8);
+        let one = study.get("MLP per warp", "1 outstanding").unwrap();
+        let eight = study.get("MLP per warp", "8 outstanding").unwrap();
+        assert!(
+            eight.speedup >= one.speedup,
+            "mlp8 {:.2} vs mlp1 {:.2}",
+            eight.speedup,
+            one.speedup
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Calibration diagnostics: per-workload scaling behavior at full scale.
+
+use common::table::TextTable;
+use gpujoule::EnergyComponent;
+use sim::BwSetting;
+use workloads::{scaling_suite, Scale};
+use xp::{ExpConfig, Lab};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") { Scale::Smoke } else { Scale::Full };
+    let mut lab = Lab::new(scale);
+    let suite = scaling_suite();
+
+    let mut t = TextTable::new([
+        "workload", "cat", "1G kcyc", "s2", "s4", "s8", "s16", "s32",
+        "E32/E1", "edpse32", "idle32", "hop32GB", "const32",
+    ]);
+    for w in &suite {
+        let base = lab.baseline(w);
+        let mut row = vec![
+            w.name.to_string(),
+            w.category.to_string(),
+            format!("{:.0}", base.counts.elapsed.nanos() / 1000.0),
+        ];
+        for n in [2usize, 4, 8, 16, 32] {
+            let cfg = ExpConfig::paper_default(n, BwSetting::X2);
+            row.push(format!("{:.1}", lab.speedup(w, &cfg)));
+        }
+        let cfg32 = ExpConfig::paper_default(32, BwSetting::X2);
+        let p32 = lab.point(w, &cfg32);
+        row.push(format!("{:.2}", lab.energy_ratio(w, &cfg32)));
+        row.push(format!("{:.0}", lab.edpse(w, &cfg32)));
+        row.push(format!("{:.2}", p32.counts.idle_fraction()));
+        row.push(format!("{:.2}", p32.counts.inter_gpm_hop_bytes.count() as f64 / 1e9));
+        row.push(format!("{:.2}", p32.breakdown.fraction(EnergyComponent::ConstantOverhead)));
+        t.row(row);
+    }
+    println!("{t}");
+
+    // On-board 1x-BW energy growth (Fig. 2 trajectory).
+    let mut t2 = TextTable::new(["workload", "E2", "E4", "E8", "E16", "E32 (1x-BW board)"]);
+    for w in &suite {
+        let mut row = vec![w.name.to_string()];
+        for n in [2usize, 4, 8, 16, 32] {
+            let cfg = ExpConfig::paper_default(n, BwSetting::X1);
+            row.push(format!("{:.2}", lab.energy_ratio(w, &cfg)));
+        }
+        t2.row(row);
+    }
+    println!("{t2}");
+}

@@ -1,0 +1,10 @@
+//! Figure 10: speedup and normalized energy across all GPM counts and
+//! bandwidth settings (amortization applied in the on-package domains).
+
+fn main() {
+    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let suite = xp::default_suite();
+    let fig = xp::Fig10::run(&mut lab, &suite);
+    println!("Figure 10: speedup and energy vs 1-GPM across bandwidth settings");
+    println!("{}", fig.render());
+}

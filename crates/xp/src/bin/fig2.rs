@@ -1,0 +1,10 @@
+//! Figure 2: average energy cost of strong scaling with on-board
+//! integration (1x-BW ring), normalized to a single GPU.
+
+fn main() {
+    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let suite = xp::default_suite();
+    let fig = xp::Fig2::run(&mut lab, &suite);
+    println!("Figure 2: energy of strong scaling, on-board integration (ideal = 1.0)");
+    println!("{}", fig.render());
+}

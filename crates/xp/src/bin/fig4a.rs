@@ -1,0 +1,14 @@
+//! Figure 4a: energy-estimation error for mixed-instruction
+//! microbenchmarks.
+
+use silicon::VirtualK40;
+
+fn main() {
+    let scale = xp::scale_from_args();
+    let hw = VirtualK40::new();
+    let fitted = xp::validation::fit_model(&hw, scale);
+    let model = fitted.to_energy_model();
+    let report = xp::validation::fig4a(&hw, &model, scale);
+    println!("Figure 4a: mixed-microbenchmark validation (paper band: +2.5% .. -6%)");
+    println!("{}", xp::validation::render_validation(&report));
+}

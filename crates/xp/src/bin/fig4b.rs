@@ -1,0 +1,19 @@
+//! Figure 4b: energy-estimation error for the 18-application suite.
+
+use silicon::VirtualK40;
+
+fn main() {
+    let scale = xp::scale_from_args();
+    let hw = VirtualK40::new();
+    let fitted = xp::validation::fit_model(&hw, scale);
+    let model = fitted.to_energy_model();
+    let suite = workloads::suite();
+    let report = xp::validation::fig4b(&hw, &model, &suite, scale);
+    println!("Figure 4b: application validation (paper: 9.4% mean |err|, 4 outliers >30%)");
+    println!("{}", xp::validation::render_validation(&report));
+    let outliers = report.outliers(30.0);
+    println!(
+        "outliers beyond 30%: {}",
+        outliers.iter().map(|i| i.name.as_str()).collect::<Vec<_>>().join(", ")
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 6: EDPSE of compute-/memory-intensive/all workloads for the
+//! baseline on-package (2x-BW) configuration.
+
+fn main() {
+    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let suite = xp::default_suite();
+    let fig = xp::Fig6::run(&mut lab, &suite);
+    println!("Figure 6: EDPSE, on-package baseline (2x-BW); paper avg: 94% @2-GPM -> 36% @32-GPM");
+    println!("{}", fig.render());
+}

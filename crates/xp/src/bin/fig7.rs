@@ -1,0 +1,14 @@
+//! Figure 7: incremental speedup and component-wise energy increase at
+//! each scaling step (2x-BW on-package).
+
+fn main() {
+    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let suite = xp::default_suite();
+    let fig = xp::Fig7::run(&mut lab, &suite);
+    println!("Figure 7: per-step speedup and energy increase breakdown (2x-BW)");
+    println!("{}", fig.render());
+    println!(
+        "monolithic (ideal interconnect) 16->32 speedup: {:.2} (paper: 1.808)",
+        fig.monolithic_16_to_32
+    );
+}

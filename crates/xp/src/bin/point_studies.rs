@@ -1,0 +1,12 @@
+//! §V-C/§V-D point studies: interconnect energy sensitivity, energy-for-
+//! bandwidth trade, constant-energy amortization, and the §V-D energy
+//! reduction chain.
+
+fn main() {
+    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let suite = xp::default_suite();
+    let studies = xp::PointStudies::run(&mut lab, &suite);
+    println!("Point studies (paper: <1% EDPSE impact of 4x link energy; +8.8% EDPSE for 4x-energy/2x-BW;");
+    println!("               22.3%/10.4% energy saving at 50%/25% amortization; 27.4% -> 45% energy reduction)");
+    println!("{}", studies.render());
+}

@@ -1,0 +1,17 @@
+//! The self-checking reproduction verdict: re-evaluates every scaling
+//! claim the paper makes against this repository's measurements.
+
+fn main() {
+    let scale = xp::scale_from_args();
+    let skip_validation = std::env::args().any(|a| a == "--no-validation");
+    let mut lab = xp::Lab::new(scale);
+    let suite = xp::default_suite();
+    let mut claims = xp::evaluate_scaling_claims(&mut lab, &suite);
+    if !skip_validation {
+        claims.extend(xp::report::evaluate_validation_claims(scale));
+    }
+    println!("Reproduction verdicts:");
+    println!("{}", xp::render_claims(&claims));
+    let passed = claims.iter().filter(|c| c.pass).count();
+    println!("{passed}/{} claims PASS", claims.len());
+}

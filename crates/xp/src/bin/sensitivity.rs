@@ -1,0 +1,88 @@
+//! Sensitivity of the scaling conclusions to the energy model's anchor
+//! parameters: per-GPM constant power and the DRAM technology (the
+//! paper's HBM adjustment, §V-A2).
+//!
+//! The paper's conclusions rest on the constant-power term dominating at
+//! scale; this study shows how the 32-GPM EDPSE moves as that anchor and
+//! the DRAM per-bit cost vary.
+
+use common::stats;
+use common::table::TextTable;
+use common::units::{Bytes, EnergyPerBit, Power};
+use gpujoule::{EpiTable, EptTable};
+use isa::Transaction;
+use sim::BwSetting;
+use workloads::WorkloadSpec;
+use xp::{ExpConfig, Lab};
+
+fn mean(v: &[f64]) -> f64 {
+    stats::mean(v).expect("non-empty")
+}
+
+/// EDPSE with an overridden energy model at 32-GPM 2x-BW.
+fn edpse_with(
+    lab: &mut Lab,
+    suite: &[WorkloadSpec],
+    const_per_gpm: Power,
+    dram_pj_per_bit: f64,
+) -> (f64, f64) {
+    let cfg = ExpConfig::paper_default(32, BwSetting::X2);
+    let mut ept = EptTable::k40();
+    ept.set(
+        Transaction::DramToL2,
+        EnergyPerBit::from_pj_per_bit(dram_pj_per_bit)
+            .energy_for(Bytes::new(Transaction::DramToL2.bytes_per_txn())),
+    );
+    let base_ecfg = ExpConfig::baseline()
+        .energy_config();
+    let mut scaled_ecfg = cfg.energy_config();
+    scaled_ecfg.const_power_per_gpm = const_per_gpm;
+    let mut base_ecfg = base_ecfg;
+    base_ecfg.const_power_per_gpm = const_per_gpm;
+
+    let base_model = base_ecfg.build_model_with_tables(EpiTable::k40(), ept.clone());
+    let scaled_model = scaled_ecfg.build_model_with_tables(EpiTable::k40(), ept);
+
+    let mut edpses = Vec::new();
+    let mut energies = Vec::new();
+    for w in suite {
+        let base_counts = lab.counts(w, &ExpConfig::baseline());
+        let counts = lab.counts(w, &cfg);
+        let e_base = base_model.estimate(&base_counts).total();
+        let e = scaled_model.estimate(&counts).total();
+        let edp_base = e_base.joules() * base_counts.elapsed.secs();
+        let edp = e.joules() * counts.elapsed.secs();
+        edpses.push(edp_base * 100.0 / (32.0 * edp));
+        energies.push(e.joules() / e_base.joules());
+    }
+    (mean(&edpses), mean(&energies))
+}
+
+fn main() {
+    let mut lab = Lab::new(xp::scale_from_args());
+    let suite = xp::default_suite();
+
+    println!("Sensitivity of the 32-GPM (2x-BW) conclusions:\n");
+
+    let mut t = TextTable::new(["per-GPM constant power", "energy vs 1-GPM", "EDPSE (%)"]);
+    for watts in [40.0, 62.0, 85.0] {
+        let (edpse, energy) =
+            edpse_with(&mut lab, &suite, Power::from_watts(watts), 21.1);
+        t.row([format!("{watts:.0} W"), format!("{energy:.2}"), format!("{edpse:.1}")]);
+    }
+    println!("constant-power anchor (baseline 62 W):");
+    println!("{t}");
+
+    let mut t = TextTable::new(["DRAM technology", "pJ/bit", "energy vs 1-GPM", "EDPSE (%)"]);
+    for (label, pj) in [("GDDR5 (K40)", 30.55), ("HBM (paper)", 21.1), ("HBM2-class", 15.0)] {
+        let (edpse, energy) = edpse_with(&mut lab, &suite, Power::from_watts(62.0), pj);
+        t.row([
+            label.to_string(),
+            format!("{pj:.2}"),
+            format!("{energy:.2}"),
+            format!("{edpse:.1}"),
+        ]);
+    }
+    println!("DRAM per-bit cost (the paper's §V-A2 HBM adjustment):");
+    println!("{t}");
+}

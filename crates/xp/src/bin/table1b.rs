@@ -1,0 +1,14 @@
+//! Table Ib: fit GPUJoule against the virtual K40 and print the recovered
+//! EPI/EPT table next to the paper's published values.
+
+use silicon::VirtualK40;
+
+fn main() {
+    let scale = xp::scale_from_args();
+    let hw = VirtualK40::new();
+    let fitted = xp::validation::fit_model(&hw, scale);
+    println!("Table Ib: fitted vs published energy per operation");
+    println!("{}", xp::validation::table1b(&fitted));
+    println!("const power (fitted idle): {}", fitted.const_power);
+    println!("EPStall (fitted): {:.3} nJ", fitted.ep_stall.nanojoules());
+}

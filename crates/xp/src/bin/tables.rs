@@ -1,0 +1,40 @@
+//! Tables III and IV: the simulated configuration space.
+
+use common::table::TextTable;
+use sim::{BwSetting, GpuConfig, Topology};
+
+fn main() {
+    println!("Table III: simulated multi-module GPU configurations");
+    let mut t = TextTable::new([
+        "configuration", "modules", "total SMs", "L1/SM", "total L2", "total DRAM BW",
+    ]);
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = GpuConfig::paper(n, BwSetting::X2, Topology::Ring);
+        t.row([
+            format!("{n}-GPM"),
+            n.to_string(),
+            cfg.total_sms().to_string(),
+            format!("{}", cfg.gpm.l1_bytes),
+            format!("{}", cfg.total_l2_bytes()),
+            format!("{}", cfg.total_dram_bw()),
+        ]);
+    }
+    println!("{t}");
+
+    println!("Table IV: per-GPM I/O bandwidth settings");
+    let mut t = TextTable::new(["setting", "inter-GPM BW", "inter-GPM:DRAM", "integration domain"]);
+    for (bw, ratio, domain) in [
+        (BwSetting::X1, "1:2", "on-board"),
+        (BwSetting::X2, "1:1", "on-package"),
+        (BwSetting::X4, "2:1", "on-package"),
+    ] {
+        let cfg = GpuConfig::paper(8, bw, Topology::Ring);
+        t.row([
+            bw.label().to_string(),
+            format!("{}", cfg.inter_gpm_bw),
+            ratio.to_string(),
+            domain.to_string(),
+        ]);
+    }
+    println!("{t}");
+}

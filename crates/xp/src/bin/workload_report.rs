@@ -1,0 +1,65 @@
+//! Per-workload characterization: what each Table II surrogate actually
+//! does on the simulator — instruction mix, cache behaviour, DRAM and
+//! link pressure, and how the behaviour shifts from 1 to 8 modules.
+
+use common::table::TextTable;
+use isa::Transaction;
+use sim::{BwSetting, GpuConfig, GpuSim, Topology};
+use workloads::{suite, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    let sim_cfg = |n: usize| match scale {
+        Scale::Full => GpuConfig::paper(n, BwSetting::X2, Topology::Ring),
+        Scale::Smoke => GpuConfig::tiny(n),
+    };
+
+    let mut t = TextTable::new([
+        "workload", "cat", "instrs", "fp64 %", "B/instr", "L1 hit", "L2 hit",
+        "dram util", "link max util (8-GPM)", "remote lat (8-GPM)",
+    ]);
+    for w in suite() {
+        let mut sim1 = GpuSim::new(&sim_cfg(1));
+        let r1 = sim1.run_workload(&w.launches(scale));
+        let c = r1.total_counts();
+        let u1 = sim1.memory().utilization_report(r1.total_cycles());
+
+        let mut sim8 = GpuSim::new(&sim_cfg(8));
+        let r8 = sim8.run_workload(&w.launches(scale));
+        let u8r = sim8.memory().utilization_report(r8.total_cycles());
+        let lat8 = sim8.memory().latency_stats();
+
+        let instrs = c.total_instructions();
+        let fp64: u64 = c
+            .instrs
+            .iter()
+            .filter(|(op, _)| op.is_fp64())
+            .map(|(_, n)| n)
+            .sum();
+        let dram_bytes = c.txns.get(Transaction::DramToL2)
+            * Transaction::DramToL2.bytes_per_txn();
+        t.row([
+            w.name.to_string(),
+            w.category.to_string(),
+            format!("{:.1}M", instrs as f64 / 1e6),
+            format!("{:.0}", fp64 as f64 / instrs.max(1) as f64 * 100.0),
+            format!("{:.2}", dram_bytes as f64 / instrs.max(1) as f64),
+            format!("{:.2}", u1.l1_hit_rate),
+            format!("{:.2}", u1.l2_hit_rate),
+            format!("{:.2}", u1.dram),
+            format!("{:.2}", u8r.link_max),
+            format!("{:.0} cyc", lat8.mean_remote()),
+        ]);
+    }
+    println!("Workload characterization ({:?} scale):", scale);
+    println!("{t}");
+
+    println!("Surrogate mapping:");
+    for w in suite() {
+        println!("  {:<11} {}", w.name, w.description.replace('\n', " "));
+    }
+}

@@ -1,0 +1,271 @@
+//! Experiment configurations: the cross product of Table III (GPM counts),
+//! Table IV (bandwidth settings), topology, and integration domain.
+
+use gpujoule::{ConstantEnergyAmortization, IntegrationDomain, MultiGpmEnergyConfig};
+use sim::{BwSetting, CtaSchedule, GpuConfig, L2Mode, PagePolicy, Topology, WarpScheduler};
+use std::fmt;
+
+/// GPM counts swept by the paper (Table III).
+pub const GPM_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// GPM counts of the scaled configurations (2–32).
+pub const SCALED_GPM_COUNTS: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// One fully specified experiment point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpConfig {
+    /// Number of GPU modules.
+    pub gpms: usize,
+    /// Inter-GPM bandwidth setting.
+    pub bw: BwSetting,
+    /// Network topology.
+    pub topology: Topology,
+    /// Integration domain (drives link energy, latency, amortization).
+    pub domain: IntegrationDomain,
+    /// Constant-energy amortization override (`None` = domain default).
+    pub amortization: Option<ConstantEnergyAmortization>,
+    /// Multiplier on the per-bit link energy (the §V-C point study uses
+    /// 2× and 4×).
+    pub link_energy_mult: f64,
+    /// CTA scheduling ablation.
+    pub cta_schedule: CtaSchedule,
+    /// Page-placement ablation.
+    pub page_policy: PagePolicy,
+    /// L2-organization ablation.
+    pub l2_mode: L2Mode,
+    /// Per-warp memory-level-parallelism override.
+    pub mlp_per_warp: Option<usize>,
+    /// Inter-GPM link compression ratio (§V-E extension; 1.0 = off).
+    pub link_compression: f64,
+    /// GPM clock scale for the DVFS extension (1.0 = nominal 1 GHz).
+    pub clock_scale: f64,
+    /// Warp-scheduling policy ablation.
+    pub warp_scheduler: WarpScheduler,
+}
+
+impl ExpConfig {
+    /// The paper's default pairing: 1x-BW is on-board, 2x/4x-BW are
+    /// on-package (Table IV), ring topology.
+    pub fn paper_default(gpms: usize, bw: BwSetting) -> Self {
+        let domain = match bw {
+            BwSetting::X1 => IntegrationDomain::OnBoard,
+            BwSetting::X2 | BwSetting::X4 => IntegrationDomain::OnPackage,
+        };
+        ExpConfig {
+            gpms,
+            bw,
+            topology: Topology::Ring,
+            domain,
+            amortization: None,
+            link_energy_mult: 1.0,
+            cta_schedule: CtaSchedule::Contiguous,
+            page_policy: PagePolicy::FirstTouch,
+            l2_mode: L2Mode::ModuleSide,
+            mlp_per_warp: None,
+            link_compression: 1.0,
+            clock_scale: 1.0,
+            warp_scheduler: WarpScheduler::LooseRoundRobin,
+        }
+    }
+
+    /// An on-board configuration at any bandwidth setting (used by the
+    /// Fig. 9 switch study, which stays on board even at 2x-BW).
+    pub fn on_board(gpms: usize, bw: BwSetting, topology: Topology) -> Self {
+        ExpConfig {
+            topology,
+            domain: IntegrationDomain::OnBoard,
+            ..Self::paper_default(gpms, bw)
+        }
+    }
+
+    /// Overrides the amortization.
+    pub fn with_amortization(mut self, a: ConstantEnergyAmortization) -> Self {
+        self.amortization = Some(a);
+        self
+    }
+
+    /// Multiplies the link energy (leaves bandwidth unchanged).
+    pub fn with_link_energy_mult(mut self, m: f64) -> Self {
+        self.link_energy_mult = m;
+        self
+    }
+
+    /// Uses the ideal (monolithic) interconnect.
+    pub fn monolithic(mut self) -> Self {
+        self.topology = Topology::Ideal;
+        self
+    }
+
+    /// Overrides the CTA schedule (ablation).
+    pub fn with_cta_schedule(mut self, s: CtaSchedule) -> Self {
+        self.cta_schedule = s;
+        self
+    }
+
+    /// Overrides the page-placement policy (ablation).
+    pub fn with_page_policy(mut self, p: PagePolicy) -> Self {
+        self.page_policy = p;
+        self
+    }
+
+    /// Overrides the L2 organization (ablation).
+    pub fn with_l2_mode(mut self, m: L2Mode) -> Self {
+        self.l2_mode = m;
+        self
+    }
+
+    /// Overrides per-warp memory-level parallelism (ablation).
+    pub fn with_mlp(mut self, mlp: usize) -> Self {
+        self.mlp_per_warp = Some(mlp);
+        self
+    }
+
+    /// Overrides the warp-scheduling policy (ablation).
+    pub fn with_warp_scheduler(mut self, s: WarpScheduler) -> Self {
+        self.warp_scheduler = s;
+        self
+    }
+
+    /// Enables inter-GPM link compression at the given ratio (§V-E
+    /// extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is below 1.
+    pub fn with_link_compression(mut self, ratio: f64) -> Self {
+        assert!(ratio >= 1.0, "compression ratio must be >= 1, got {ratio}");
+        self.link_compression = ratio;
+        self
+    }
+
+    /// Scales the GPM core clock (DVFS extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not within `(0, 1]`.
+    pub fn with_clock_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "clock scale must be in (0, 1], got {scale}"
+        );
+        self.clock_scale = scale;
+        self
+    }
+
+    /// The performance-simulator configuration for this point. Per-hop
+    /// latency follows the integration domain, not the bandwidth setting.
+    pub fn sim_config(&self) -> GpuConfig {
+        let mut cfg = GpuConfig::paper(self.gpms, self.bw, self.topology);
+        cfg.link_latency = match self.domain {
+            IntegrationDomain::OnBoard => 180,
+            IntegrationDomain::OnPackage => 60,
+        };
+        cfg.cta_schedule = self.cta_schedule;
+        cfg.warp_scheduler = self.warp_scheduler;
+        cfg.page_policy = self.page_policy;
+        cfg.l2_mode = self.l2_mode;
+        cfg.link_compression = self.link_compression;
+        if let Some(mlp) = self.mlp_per_warp {
+            cfg.gpm.mlp_per_warp = mlp;
+        }
+        if self.clock_scale != 1.0 {
+            cfg.gpm.clock =
+                common::units::Frequency::from_hz(cfg.gpm.clock.hz() * self.clock_scale);
+        }
+        cfg
+    }
+
+    /// The energy-model configuration for this point.
+    pub fn energy_config(&self) -> MultiGpmEnergyConfig {
+        let mut cfg = MultiGpmEnergyConfig::new(self.gpms, self.domain);
+        cfg.link_energy = cfg.link_energy * self.link_energy_mult;
+        if self.topology == Topology::Switch {
+            cfg = cfg.with_switch();
+        }
+        if let Some(a) = self.amortization {
+            cfg = cfg.with_amortization(a);
+        }
+        cfg
+    }
+
+    /// The single-GPM baseline every scaling metric normalizes against.
+    pub fn baseline() -> Self {
+        // Domain details are irrelevant at one module (no links, no
+        // replication); use the on-package defaults.
+        let mut cfg = Self::paper_default(1, BwSetting::X2);
+        // A single module shares nothing.
+        cfg.amortization = Some(ConstantEnergyAmortization::none());
+        cfg
+    }
+}
+
+impl fmt::Display for ExpConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-GPM {} {} {}",
+            self.gpms, self.bw, self.topology, self.domain
+        )?;
+        if self.link_energy_mult != 1.0 {
+            write!(f, " linkE x{}", self.link_energy_mult)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_setting_implies_domain() {
+        assert_eq!(
+            ExpConfig::paper_default(8, BwSetting::X1).domain,
+            IntegrationDomain::OnBoard
+        );
+        assert_eq!(
+            ExpConfig::paper_default(8, BwSetting::X2).domain,
+            IntegrationDomain::OnPackage
+        );
+        assert_eq!(
+            ExpConfig::paper_default(8, BwSetting::X4).domain,
+            IntegrationDomain::OnPackage
+        );
+    }
+
+    #[test]
+    fn sim_config_latency_tracks_domain() {
+        let board = ExpConfig::on_board(8, BwSetting::X2, Topology::Switch);
+        assert_eq!(board.sim_config().link_latency, 180);
+        let pkg = ExpConfig::paper_default(8, BwSetting::X2);
+        assert_eq!(pkg.sim_config().link_latency, 60);
+    }
+
+    #[test]
+    fn energy_config_reflects_overrides() {
+        let cfg = ExpConfig::paper_default(32, BwSetting::X1).with_link_energy_mult(4.0);
+        let e = cfg.energy_config();
+        assert!((e.link_energy.pj_per_bit() - 40.0).abs() < 1e-9);
+
+        let sw = ExpConfig::on_board(32, BwSetting::X1, Topology::Switch);
+        assert!(sw.energy_config().switch_energy.pj_per_bit() > 0.0);
+
+        let amort = ExpConfig::paper_default(32, BwSetting::X2)
+            .with_amortization(ConstantEnergyAmortization::new(0.25));
+        assert!((amort.energy_config().amortization.fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_is_single_gpm() {
+        let b = ExpConfig::baseline();
+        assert_eq!(b.gpms, 1);
+        assert_eq!(b.energy_config().total_const_power().watts(), 62.0);
+    }
+
+    #[test]
+    fn display_shows_point() {
+        let s = ExpConfig::paper_default(16, BwSetting::X4).to_string();
+        assert!(s.contains("16-GPM"));
+        assert!(s.contains("4x-BW"));
+    }
+}

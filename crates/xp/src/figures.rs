@@ -1,0 +1,624 @@
+//! Figure and table generators: one function per paper artifact.
+//!
+//! Every generator returns plain data (so integration tests can assert the
+//! paper's qualitative claims) plus a [`TextTable`] rendering that the
+//! `xp` binaries print. Averages follow the paper's conventions:
+//! arithmetic means for EDPSE percentages and normalized energies,
+//! geometric means for speedups.
+
+use crate::configs::{ExpConfig, SCALED_GPM_COUNTS};
+use crate::lab::Lab;
+use common::stats;
+use common::table::TextTable;
+use gpujoule::{ConstantEnergyAmortization, EnergyComponent};
+use sim::{BwSetting, Topology};
+use workloads::{scaling_suite, Category, WorkloadSpec};
+
+/// Arithmetic mean helper (panics on an empty slice — figure sweeps are
+/// never empty).
+fn mean(v: &[f64]) -> f64 {
+    stats::mean(v).expect("non-empty")
+}
+
+/// Geometric mean helper.
+fn geomean(v: &[f64]) -> f64 {
+    stats::geomean(v).expect("positive values")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+/// Figure 2: average energy (normalized to a single GPU) when strong
+/// scaling with on-board integration (1x-BW ring).
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// `(gpm_count, mean_energy_ratio)` for 2–32 GPMs.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Fig2 {
+    /// Runs the sweep.
+    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+        let points = SCALED_GPM_COUNTS
+            .iter()
+            .map(|&n| {
+                let cfg = ExpConfig::paper_default(n, BwSetting::X1);
+                let ratios: Vec<f64> =
+                    suite.iter().map(|w| lab.energy_ratio(w, &cfg)).collect();
+                (n, mean(&ratios))
+            })
+            .collect();
+        Fig2 { points }
+    }
+
+    /// Renders the figure as a table.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(["GPU capability", "energy vs 1-GPM (ideal = 1.0)"]);
+        for &(n, e) in &self.points {
+            t.row([format!("{n}x"), format!("{e:.2}")]);
+        }
+        t
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------------
+
+/// Figure 6: EDPSE by GPM count for the baseline on-package (2x-BW)
+/// configuration, split into compute-intensive, memory-intensive, and all
+/// workloads.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// `(gpm_count, compute_avg, memory_avg, all_avg)`, percentages.
+    pub rows: Vec<(usize, f64, f64, f64)>,
+}
+
+impl Fig6 {
+    /// Runs the sweep.
+    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+        let rows = SCALED_GPM_COUNTS
+            .iter()
+            .map(|&n| {
+                let cfg = ExpConfig::paper_default(n, BwSetting::X2);
+                let mut compute = Vec::new();
+                let mut memory = Vec::new();
+                for w in suite {
+                    let e = lab.edpse(w, &cfg);
+                    match w.category {
+                        Category::Compute => compute.push(e),
+                        Category::Memory => memory.push(e),
+                    }
+                }
+                let all: Vec<f64> = compute.iter().chain(&memory).copied().collect();
+                (n, mean(&compute), mean(&memory), mean(&all))
+            })
+            .collect();
+        Fig6 { rows }
+    }
+
+    /// The all-workloads EDPSE at a GPM count, if swept.
+    pub fn all_at(&self, gpms: usize) -> Option<f64> {
+        self.rows.iter().find(|r| r.0 == gpms).map(|r| r.3)
+    }
+
+    /// Renders the figure as a table.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new([
+            "config",
+            "compute EDPSE (%)",
+            "memory EDPSE (%)",
+            "all EDPSE (%)",
+        ]);
+        for &(n, c, m, a) in &self.rows {
+            t.row([
+                format!("{n}-GPM"),
+                format!("{c:.1}"),
+                format!("{m:.1}"),
+                format!("{a:.1}"),
+            ]);
+        }
+        t
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------------
+
+/// One scaling step of Fig. 7: speedup over the preceding configuration
+/// and the per-component energy increase relative to the preceding total.
+#[derive(Debug, Clone)]
+pub struct Fig7Step {
+    /// The scaled GPM count (the step is `gpms/2 → gpms`).
+    pub gpms: usize,
+    /// Geometric-mean speedup over the preceding configuration.
+    pub speedup: f64,
+    /// Total energy increase vs the preceding configuration, percent.
+    pub energy_increase_pct: f64,
+    /// Signed per-component contribution to the increase, percent of the
+    /// preceding total (sums to `energy_increase_pct`).
+    pub components_pct: Vec<(EnergyComponent, f64)>,
+}
+
+/// Figure 7: incremental speedup and component-wise energy growth at each
+/// scaling step (2x-BW on-package), plus the hypothetical monolithic
+/// 16→32 comparison quoted in §V-B.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// One entry per scaling step.
+    pub steps: Vec<Fig7Step>,
+    /// Geometric-mean 16→32 speedup of a monolithic (ideal-interconnect)
+    /// GPU, for the §V-B comparison (paper: 80.8% incremental speedup).
+    pub monolithic_16_to_32: f64,
+}
+
+impl Fig7 {
+    /// Runs the sweep.
+    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+        let mut steps = Vec::new();
+        for &n in &SCALED_GPM_COUNTS {
+            let prev_n = n / 2;
+            let cfg = ExpConfig::paper_default(n, BwSetting::X2);
+            let prev_cfg = if prev_n == 1 {
+                ExpConfig::baseline()
+            } else {
+                ExpConfig::paper_default(prev_n, BwSetting::X2)
+            };
+
+            let mut speedups = Vec::new();
+            let mut totals = Vec::new();
+            let mut comps: Vec<Vec<f64>> =
+                vec![Vec::new(); EnergyComponent::COUNT];
+            for w in suite {
+                let prev = lab.point(w, &prev_cfg);
+                let cur = lab.point(w, &cfg);
+                speedups.push(prev.duration().secs() / cur.duration().secs());
+                let prev_total = prev.breakdown.total().joules();
+                totals.push(
+                    (cur.breakdown.total().joules() - prev_total) / prev_total * 100.0,
+                );
+                for c in EnergyComponent::ALL {
+                    let delta =
+                        cur.breakdown.get(c).joules() - prev.breakdown.get(c).joules();
+                    comps[c.index()].push(delta / prev_total * 100.0);
+                }
+            }
+            steps.push(Fig7Step {
+                gpms: n,
+                speedup: geomean(&speedups),
+                energy_increase_pct: mean(&totals),
+                components_pct: EnergyComponent::ALL
+                    .iter()
+                    .map(|&c| (c, mean(&comps[c.index()])))
+                    .collect(),
+            });
+        }
+
+        // Monolithic comparison: same workloads, ideal interconnect.
+        let mono16 = ExpConfig::paper_default(16, BwSetting::X2).monolithic();
+        let mono32 = ExpConfig::paper_default(32, BwSetting::X2).monolithic();
+        let ratios: Vec<f64> = suite
+            .iter()
+            .map(|w| {
+                let t16 = lab.point(w, &mono16).duration().secs();
+                let t32 = lab.point(w, &mono32).duration().secs();
+                t16 / t32
+            })
+            .collect();
+
+        Fig7 { steps, monolithic_16_to_32: geomean(&ratios) }
+    }
+
+    /// Speedup of the `gpms/2 → gpms` step, if swept.
+    pub fn step_speedup(&self, gpms: usize) -> Option<f64> {
+        self.steps.iter().find(|s| s.gpms == gpms).map(|s| s.speedup)
+    }
+
+    /// Renders the figure as a table.
+    pub fn render(&self) -> TextTable {
+        let mut header = vec!["step".to_string(), "speedup".into(), "dE total (%)".into()];
+        header.extend(EnergyComponent::ALL.iter().map(|c| c.label().to_string()));
+        let mut t = TextTable::new(header);
+        for s in &self.steps {
+            let mut row = vec![
+                format!("{}-GPM", s.gpms),
+                format!("{:.2}", s.speedup),
+                format!("{:+.1}", s.energy_increase_pct),
+            ];
+            row.extend(s.components_pct.iter().map(|(_, v)| format!("{v:+.2}")));
+            t.row(row);
+        }
+        t
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8
+// ---------------------------------------------------------------------------
+
+/// Figure 8: EDPSE as a function of the interconnect-bandwidth setting.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// `(bw_setting_label, gpm_count, all-workloads EDPSE %)`.
+    pub rows: Vec<(&'static str, usize, f64)>,
+}
+
+impl Fig8 {
+    /// Runs the sweep over all three bandwidth settings.
+    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+        let mut rows = Vec::new();
+        for bw in BwSetting::ALL {
+            for &n in &SCALED_GPM_COUNTS {
+                let cfg = ExpConfig::paper_default(n, bw);
+                let vals: Vec<f64> = suite.iter().map(|w| lab.edpse(w, &cfg)).collect();
+                rows.push((bw.label(), n, mean(&vals)));
+            }
+        }
+        Fig8 { rows }
+    }
+
+    /// EDPSE at `(bw, gpms)`, if swept.
+    pub fn at(&self, bw: BwSetting, gpms: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.0 == bw.label() && r.1 == gpms)
+            .map(|r| r.2)
+    }
+
+    /// Renders the figure as a table (rows: GPM count; cols: bandwidth).
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(["config", "1x-BW EDPSE (%)", "2x-BW EDPSE (%)", "4x-BW EDPSE (%)"]);
+        for &n in &SCALED_GPM_COUNTS {
+            let get = |bw: BwSetting| {
+                self.at(bw, n).map(|v| format!("{v:.1}")).unwrap_or_default()
+            };
+            t.row([
+                format!("{n}-GPM"),
+                get(BwSetting::X1),
+                get(BwSetting::X2),
+                get(BwSetting::X4),
+            ]);
+        }
+        t
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9
+// ---------------------------------------------------------------------------
+
+/// Figure 9: EDPSE of on-board multi-module GPUs with a ring versus a
+/// high-radix switch.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// `(series_label, gpm_count, EDPSE %)` for Ring(1x), Switch(1x),
+    /// Switch(2x).
+    pub rows: Vec<(&'static str, usize, f64)>,
+}
+
+impl Fig9 {
+    /// Runs the sweep.
+    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+        let series: [(&'static str, BwSetting, Topology); 3] = [
+            ("Ring (1x-BW)", BwSetting::X1, Topology::Ring),
+            ("Switch (1x-BW)", BwSetting::X1, Topology::Switch),
+            ("Switch (2x-BW)", BwSetting::X2, Topology::Switch),
+        ];
+        let mut rows = Vec::new();
+        for (label, bw, topo) in series {
+            for &n in &SCALED_GPM_COUNTS {
+                let cfg = ExpConfig::on_board(n, bw, topo);
+                let vals: Vec<f64> = suite.iter().map(|w| lab.edpse(w, &cfg)).collect();
+                rows.push((label, n, mean(&vals)));
+            }
+        }
+        Fig9 { rows }
+    }
+
+    /// EDPSE for a series at a GPM count, if swept.
+    pub fn at(&self, label: &str, gpms: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.0 == label && r.1 == gpms)
+            .map(|r| r.2)
+    }
+
+    /// Renders the figure as a table.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(["config", "Ring (1x-BW)", "Switch (1x-BW)", "Switch (2x-BW)"]);
+        for &n in &SCALED_GPM_COUNTS {
+            let get = |label: &str| {
+                self.at(label, n).map(|v| format!("{v:.1}")).unwrap_or_default()
+            };
+            t.row([
+                format!("{n}-GPM"),
+                get("Ring (1x-BW)"),
+                get("Switch (1x-BW)"),
+                get("Switch (2x-BW)"),
+            ]);
+        }
+        t
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10
+// ---------------------------------------------------------------------------
+
+/// Figure 10: absolute speedup and normalized energy across all GPM
+/// counts and bandwidth settings, with constant-energy amortization in the
+/// on-package domains (2x/4x-BW).
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// `(gpm_count, bw_label, geomean_speedup, mean_energy_ratio)`.
+    pub rows: Vec<(usize, &'static str, f64, f64)>,
+}
+
+impl Fig10 {
+    /// Runs the sweep.
+    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+        let mut rows = Vec::new();
+        for &n in &SCALED_GPM_COUNTS {
+            for bw in BwSetting::ALL {
+                let cfg = ExpConfig::paper_default(n, bw);
+                let speedups: Vec<f64> =
+                    suite.iter().map(|w| lab.speedup(w, &cfg)).collect();
+                let energies: Vec<f64> =
+                    suite.iter().map(|w| lab.energy_ratio(w, &cfg)).collect();
+                rows.push((n, bw.label(), geomean(&speedups), mean(&energies)));
+            }
+        }
+        Fig10 { rows }
+    }
+
+    /// `(speedup, energy_ratio)` at `(gpms, bw)`, if swept.
+    pub fn at(&self, gpms: usize, bw: BwSetting) -> Option<(f64, f64)> {
+        self.rows
+            .iter()
+            .find(|r| r.0 == gpms && r.1 == bw.label())
+            .map(|r| (r.2, r.3))
+    }
+
+    /// Renders the figure as a table.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(["config", "BW", "speedup vs 1-GPM", "energy vs 1-GPM"]);
+        for &(n, bw, s, e) in &self.rows {
+            t.row([format!("{n}-GPM"), bw.to_string(), format!("{s:.2}"), format!("{e:.2}")]);
+        }
+        t
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Point studies (§V-C / §V-D)
+// ---------------------------------------------------------------------------
+
+/// The §V-C/§V-D point studies around the 32-GPM design.
+#[derive(Debug, Clone)]
+pub struct PointStudies {
+    /// EDPSE (%) of the 32-GPM on-board 1x-BW design at 1×/2×/4× link
+    /// energy per bit (paper: <1% total impact).
+    pub link_energy_edpse: Vec<(f64, f64)>,
+    /// EDPSE of 32-GPM with 4× link energy *and* 2× bandwidth, vs the
+    /// 1x-BW baseline (paper: +8.8% EDPSE).
+    pub energy_for_bandwidth_edpse: (f64, f64),
+    /// Energy saving and EDPSE gain at 32-GPM on-package (2x-BW) for
+    /// 25% and 50% amortization vs none:
+    /// `(fraction, energy_saving_pct, edpse_gain_pp)`.
+    pub amortization: Vec<(f64, f64, f64)>,
+    /// §V-D: energy reduction (%) at 32 GPMs from raising 1x→4x BW while
+    /// staying on board (paper: 27.4%).
+    pub energy_reduction_bw_only_pct: f64,
+    /// §V-D: energy reduction (%) from additionally moving on package
+    /// with constant-energy amortization (paper: 45%).
+    pub energy_reduction_package_pct: f64,
+}
+
+impl PointStudies {
+    /// Runs all point studies.
+    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+        let edpse_avg = |lab: &mut Lab, cfg: &ExpConfig| {
+            let v: Vec<f64> = suite.iter().map(|w| lab.edpse(w, cfg)).collect();
+            mean(&v)
+        };
+        let energy_avg = |lab: &mut Lab, cfg: &ExpConfig| {
+            let v: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, cfg)).collect();
+            mean(&v)
+        };
+
+        // Interconnect energy sensitivity.
+        let base = ExpConfig::paper_default(32, BwSetting::X1);
+        let link_energy_edpse = [1.0, 2.0, 4.0]
+            .iter()
+            .map(|&m| {
+                (m, edpse_avg(lab, &base.clone().with_link_energy_mult(m)))
+            })
+            .collect();
+
+        // 4x the energy buys 2x the bandwidth (stays on board).
+        let expensive_fast = ExpConfig::on_board(32, BwSetting::X2, Topology::Ring)
+            .with_link_energy_mult(4.0);
+        let energy_for_bandwidth_edpse =
+            (edpse_avg(lab, &base), edpse_avg(lab, &expensive_fast));
+
+        // Amortization sensitivity at 32-GPM on-package 2x-BW.
+        let no_amort = ExpConfig::paper_default(32, BwSetting::X2)
+            .with_amortization(ConstantEnergyAmortization::none());
+        let e_none = energy_avg(lab, &no_amort);
+        let d_none = edpse_avg(lab, &no_amort);
+        let amortization = [0.25, 0.5]
+            .iter()
+            .map(|&f| {
+                let cfg = ExpConfig::paper_default(32, BwSetting::X2)
+                    .with_amortization(ConstantEnergyAmortization::new(f));
+                let e = energy_avg(lab, &cfg);
+                let d = edpse_avg(lab, &cfg);
+                (f, (e_none - e) / e_none * 100.0, d - d_none)
+            })
+            .collect();
+
+        // §V-D: energy reductions at 32 GPMs.
+        let board_1x = energy_avg(lab, &ExpConfig::paper_default(32, BwSetting::X1));
+        let board_4x = energy_avg(
+            lab,
+            &ExpConfig::on_board(32, BwSetting::X4, Topology::Ring),
+        );
+        let package_4x = energy_avg(lab, &ExpConfig::paper_default(32, BwSetting::X4));
+
+        PointStudies {
+            link_energy_edpse,
+            energy_for_bandwidth_edpse,
+            amortization,
+            energy_reduction_bw_only_pct: (board_1x - board_4x) / board_1x * 100.0,
+            energy_reduction_package_pct: (board_1x - package_4x) / board_1x * 100.0,
+        }
+    }
+
+    /// Renders the studies as a table.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(["study", "value"]);
+        for &(m, e) in &self.link_energy_edpse {
+            t.row([
+                format!("EDPSE @ 32-GPM 1x-BW, link energy x{m:.0}"),
+                format!("{e:.2}%"),
+            ]);
+        }
+        let (base, fast) = self.energy_for_bandwidth_edpse;
+        t.row([
+            "EDPSE: 4x link energy for 2x bandwidth".to_string(),
+            format!("{base:.2}% -> {fast:.2}% ({:+.1}pp)", fast - base),
+        ]);
+        for &(f, save, gain) in &self.amortization {
+            t.row([
+                format!("amortization {:.0}% vs none @ 32-GPM 2x-BW", f * 100.0),
+                format!("energy -{save:.1}%, EDPSE {gain:+.1}pp"),
+            ]);
+        }
+        t.row([
+            "energy reduction, 32-GPM 1x->4x BW (board)".to_string(),
+            format!("{:.1}%", self.energy_reduction_bw_only_pct),
+        ]);
+        t.row([
+            "energy reduction, + on-package amortization".to_string(),
+            format!("{:.1}%", self.energy_reduction_package_pct),
+        ]);
+        t
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Headline (§VII)
+// ---------------------------------------------------------------------------
+
+/// The paper's concluding headline numbers.
+#[derive(Debug, Clone)]
+pub struct Headline {
+    /// Mean energy of the naive (on-board, 1x-BW) 32-GPM design,
+    /// normalized to 1-GPM (paper: ~2x).
+    pub naive_energy_ratio: f64,
+    /// Mean energy of the optimized (on-package, 4x-BW, amortized)
+    /// 32-GPM design (paper: ~1.1x).
+    pub optimized_energy_ratio: f64,
+    /// Geometric-mean speedup of the optimized design (paper: ~18x).
+    pub optimized_speedup: f64,
+}
+
+impl Headline {
+    /// Runs the comparison.
+    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+        let naive = ExpConfig::paper_default(32, BwSetting::X1);
+        let optimized = ExpConfig::paper_default(32, BwSetting::X4);
+        let naive_e: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, &naive)).collect();
+        let opt_e: Vec<f64> =
+            suite.iter().map(|w| lab.energy_ratio(w, &optimized)).collect();
+        let opt_s: Vec<f64> = suite.iter().map(|w| lab.speedup(w, &optimized)).collect();
+        Headline {
+            naive_energy_ratio: mean(&naive_e),
+            optimized_energy_ratio: mean(&opt_e),
+            optimized_speedup: geomean(&opt_s),
+        }
+    }
+
+    /// Renders the headline numbers.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(["quantity", "measured", "paper"]);
+        t.row([
+            "32-GPM naive energy vs 1-GPM".to_string(),
+            format!("{:.2}x", self.naive_energy_ratio),
+            "~2x".to_string(),
+        ]);
+        t.row([
+            "32-GPM optimized energy vs 1-GPM".to_string(),
+            format!("{:.2}x", self.optimized_energy_ratio),
+            "~1.1x".to_string(),
+        ]);
+        t.row([
+            "32-GPM optimized speedup".to_string(),
+            format!("{:.1}x", self.optimized_speedup),
+            "~18x".to_string(),
+        ]);
+        t
+    }
+}
+
+/// The default workload set for the scaling figures (the paper's
+/// 14-application subset).
+pub fn default_suite() -> Vec<WorkloadSpec> {
+    scaling_suite()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Scale;
+
+    fn smoke_suite() -> Vec<WorkloadSpec> {
+        // Three representative apps keep unit tests fast.
+        scaling_suite()
+            .into_iter()
+            .filter(|w| ["Hotspot", "Stream", "Nekbone-12"].contains(&w.name))
+            .collect()
+    }
+
+    #[test]
+    fn fig2_energy_grows_with_gpm_count() {
+        let mut lab = Lab::new(Scale::Smoke);
+        let fig = Fig2::run(&mut lab, &smoke_suite());
+        assert_eq!(fig.points.len(), 5);
+        let first = fig.points.first().unwrap().1;
+        let last = fig.points.last().unwrap().1;
+        assert!(last > first, "energy must grow when scaling on board: {first} -> {last}");
+        assert!(fig.render().render().contains("32x"));
+    }
+
+    #[test]
+    fn fig6_edpse_declines_at_scale() {
+        let mut lab = Lab::new(Scale::Smoke);
+        let fig = Fig6::run(&mut lab, &smoke_suite());
+        let e2 = fig.all_at(2).unwrap();
+        let e32 = fig.all_at(32).unwrap();
+        assert!(e2 > e32, "EDPSE must decline: {e2} vs {e32}");
+    }
+
+    #[test]
+    fn fig8_more_bandwidth_helps() {
+        let mut lab = Lab::new(Scale::Smoke);
+        let fig = Fig8::run(&mut lab, &smoke_suite());
+        let x1 = fig.at(BwSetting::X1, 32).unwrap();
+        let x4 = fig.at(BwSetting::X4, 32).unwrap();
+        assert!(x4 > x1, "4x-BW must beat 1x-BW at 32 GPMs: {x1} vs {x4}");
+    }
+
+    #[test]
+    fn fig10_reports_all_points() {
+        let mut lab = Lab::new(Scale::Smoke);
+        let fig = Fig10::run(&mut lab, &smoke_suite());
+        assert_eq!(fig.rows.len(), 15);
+        // Smoke-scale grids are tiny (2 CTAs per GPM at 32 modules), so
+        // only sanity-check that the sweep produced usable numbers.
+        let (s, e) = fig.at(32, BwSetting::X4).unwrap();
+        assert!(s > 0.3 && e > 0.0, "s={s} e={e}");
+    }
+}

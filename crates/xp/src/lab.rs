@@ -1,0 +1,204 @@
+//! The lab: runs (workload, configuration) points through the performance
+//! simulator, caches the event counts, and evaluates energy metrics.
+//!
+//! Simulation is the expensive half (seconds per point); energy evaluation
+//! is microseconds. The cache is keyed by everything that affects the
+//! *simulation* — energy-model knobs (link pJ/bit, amortization) reuse the
+//! same counts, which is exactly how the paper's point studies work.
+
+use crate::configs::ExpConfig;
+use common::units::Time;
+use gpujoule::{EdpScalingEfficiency, EnergyBreakdown, EnergyDelay};
+use isa::EventCounts;
+use sim::GpuSim;
+use std::collections::HashMap;
+use std::sync::Arc;
+use workloads::{Scale, WorkloadSpec};
+
+/// A fully evaluated experiment point.
+#[derive(Debug, Clone)]
+pub struct RunPoint {
+    /// Workload name.
+    pub workload: String,
+    /// The configuration evaluated.
+    pub config: ExpConfig,
+    /// Simulated event counts (workload total).
+    pub counts: Arc<EventCounts>,
+    /// Energy breakdown under this configuration's energy model.
+    pub breakdown: EnergyBreakdown,
+}
+
+impl RunPoint {
+    /// The (energy, delay) pair of this point.
+    pub fn energy_delay(&self) -> EnergyDelay {
+        EnergyDelay::new(self.breakdown.total(), self.counts.elapsed)
+    }
+
+    /// Time to solution.
+    pub fn duration(&self) -> Time {
+        self.counts.elapsed
+    }
+}
+
+/// Cache key: the simulation-relevant parts of a configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SimKey {
+    workload: String,
+    gpms: usize,
+    bw: &'static str,
+    topology: String,
+    link_latency: u64,
+    schedule: String,
+    pages: String,
+    l2_mode: String,
+    mlp: usize,
+    compression_milli: u64,
+    clock_milli: u64,
+    warp_scheduler: String,
+}
+
+/// The experiment runner with a per-process simulation cache.
+pub struct Lab {
+    scale: Scale,
+    cache: HashMap<SimKey, Arc<EventCounts>>,
+}
+
+impl Lab {
+    /// A lab running workloads at the given problem scale.
+    pub fn new(scale: Scale) -> Self {
+        Lab { scale, cache: HashMap::new() }
+    }
+
+    /// The problem scale this lab runs at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Simulated event counts for `(workload, config)`, cached.
+    pub fn counts(&mut self, workload: &WorkloadSpec, config: &ExpConfig) -> Arc<EventCounts> {
+        let sim_cfg = config.sim_config();
+        let key = SimKey {
+            workload: workload.name.to_string(),
+            gpms: config.gpms,
+            bw: config.bw.label(),
+            topology: config.topology.to_string(),
+            link_latency: sim_cfg.link_latency,
+            schedule: sim_cfg.cta_schedule.to_string(),
+            pages: sim_cfg.page_policy.to_string(),
+            l2_mode: sim_cfg.l2_mode.to_string(),
+            mlp: sim_cfg.gpm.mlp_per_warp,
+            compression_milli: (sim_cfg.link_compression * 1000.0) as u64,
+            clock_milli: (config.clock_scale * 1000.0) as u64,
+            warp_scheduler: sim_cfg.warp_scheduler.to_string(),
+        };
+        if let Some(hit) = self.cache.get(&key) {
+            return Arc::clone(hit);
+        }
+        let mut sim = GpuSim::new(&sim_cfg);
+        let result = sim.run_workload(&workload.launches(self.scale));
+        let counts = Arc::new(result.total_counts());
+        self.cache.insert(key, Arc::clone(&counts));
+        counts
+    }
+
+    /// Fully evaluates one experiment point.
+    pub fn point(&mut self, workload: &WorkloadSpec, config: &ExpConfig) -> RunPoint {
+        let counts = self.counts(workload, config);
+        let model = config.energy_config().build_model();
+        let breakdown = model.estimate(&counts);
+        RunPoint {
+            workload: workload.name.to_string(),
+            config: config.clone(),
+            counts,
+            breakdown,
+        }
+    }
+
+    /// The 1-GPM baseline point for a workload.
+    pub fn baseline(&mut self, workload: &WorkloadSpec) -> RunPoint {
+        self.point(workload, &ExpConfig::baseline())
+    }
+
+    /// EDPSE (%) of `config` for one workload against its 1-GPM baseline.
+    pub fn edpse(&mut self, workload: &WorkloadSpec, config: &ExpConfig) -> f64 {
+        let base = self.baseline(workload).energy_delay();
+        let scaled = self.point(workload, config).energy_delay();
+        EdpScalingEfficiency::compute(base, scaled, config.gpms)
+            .expect("gpms >= 1")
+            .percent()
+    }
+
+    /// Speedup of `config` over the 1-GPM baseline for one workload.
+    pub fn speedup(&mut self, workload: &WorkloadSpec, config: &ExpConfig) -> f64 {
+        let base = self.baseline(workload).energy_delay();
+        let scaled = self.point(workload, config).energy_delay();
+        scaled.speedup_over(base)
+    }
+
+    /// Energy of `config` normalized to the 1-GPM baseline.
+    pub fn energy_ratio(&mut self, workload: &WorkloadSpec, config: &ExpConfig) -> f64 {
+        let base = self.baseline(workload).energy_delay();
+        let scaled = self.point(workload, config).energy_delay();
+        scaled.energy_ratio_over(base)
+    }
+
+    /// Number of cached simulation results.
+    pub fn cached_runs(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::BwSetting;
+    use workloads::by_name;
+
+    #[test]
+    fn cache_hits_for_energy_only_variants() {
+        let mut lab = Lab::new(Scale::Smoke);
+        let w = by_name("Stream").unwrap();
+        let cfg = ExpConfig::paper_default(2, BwSetting::X2);
+        let _ = lab.point(&w, &cfg);
+        assert_eq!(lab.cached_runs(), 1);
+        // Same sim, different energy knob: no new simulation.
+        let cfg2 = cfg.clone().with_link_energy_mult(4.0);
+        let _ = lab.point(&w, &cfg2);
+        assert_eq!(lab.cached_runs(), 1);
+        // Different GPM count: new simulation.
+        let cfg3 = ExpConfig::paper_default(4, BwSetting::X2);
+        let _ = lab.point(&w, &cfg3);
+        assert_eq!(lab.cached_runs(), 2);
+    }
+
+    #[test]
+    fn edpse_of_baseline_is_100() {
+        let mut lab = Lab::new(Scale::Smoke);
+        let w = by_name("Hotspot").unwrap();
+        let pe = lab.edpse(&w, &ExpConfig::baseline());
+        assert!((pe - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_speeds_up_and_costs_energy() {
+        let mut lab = Lab::new(Scale::Smoke);
+        let w = by_name("Stream").unwrap();
+        let cfg = ExpConfig::paper_default(4, BwSetting::X2);
+        let s = lab.speedup(&w, &cfg);
+        assert!(s > 1.2, "4 GPMs should beat 1, got {s:.2}");
+        let e = lab.energy_ratio(&w, &cfg);
+        assert!(e > 0.8, "energy should not collapse, got {e:.2}");
+    }
+
+    #[test]
+    fn link_energy_multiplier_raises_energy_only() {
+        let mut lab = Lab::new(Scale::Smoke);
+        let w = by_name("Stream").unwrap();
+        let base_cfg = ExpConfig::paper_default(4, BwSetting::X1);
+        let hot_cfg = base_cfg.clone().with_link_energy_mult(4.0);
+        let a = lab.point(&w, &base_cfg);
+        let b = lab.point(&w, &hot_cfg);
+        assert_eq!(a.duration(), b.duration());
+        assert!(b.breakdown.total() > a.breakdown.total());
+    }
+}

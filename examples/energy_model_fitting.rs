@@ -1,0 +1,38 @@
+//! Fit GPUJoule from scratch against the virtual Tesla K40 — the paper's
+//! §IV workflow end to end: microbenchmarks, the power sensor, Eq. 5,
+//! and the mixed-instruction validation step.
+//!
+//! The fitting pipeline never reads the silicon's hidden parameters; it
+//! only sees NVML-style power readings. Recovering Table Ib is the test.
+//!
+//! ```sh
+//! cargo run --release --example energy_model_fitting            # full fit
+//! cargo run --release --example energy_model_fitting -- --fast  # reduced
+//! ```
+
+use mmgpu::common::units::Time;
+use mmgpu::microbench::{fit, validate_mixed, FitConfig};
+use mmgpu::silicon::VirtualK40;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let hw = VirtualK40::new();
+    let cfg = if fast { FitConfig::fast() } else { FitConfig::default() };
+
+    println!("fitting GPUJoule through the board power sensor...");
+    let fitted = fit(&hw, &cfg);
+
+    println!("\nfitted Energy-Per-Instruction table:");
+    println!("{}", fitted.epi);
+    println!("fitted Energy-Per-Transaction table:");
+    println!("{}", fitted.ept);
+    println!("fitted EPStall: {:.3} nJ", fitted.ep_stall.nanojoules());
+    println!("measured idle (Const_Power): {}", fitted.const_power);
+
+    // The Fig. 4a check: combine instruction types and compare model
+    // versus sensor.
+    let model = fitted.to_energy_model();
+    let report = validate_mixed(&hw, &model, &cfg.gpu, Time::from_millis(400.0));
+    println!("mixed-instruction validation (paper band +2.5% .. -6%):");
+    println!("{report}");
+}

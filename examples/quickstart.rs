@@ -1,0 +1,69 @@
+//! Quickstart: estimate GPU energy with GPUJoule and score a scaled
+//! design with EDPSE.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mmgpu::common::units::{Energy, Time};
+use mmgpu::gpujoule::{
+    EdpScalingEfficiency, EnergyComponent, EnergyDelay, EnergyModel, IntegrationDomain,
+    MultiGpmEnergyConfig,
+};
+use mmgpu::isa::{EventCounts, Opcode, Transaction};
+
+fn main() {
+    // --- 1. The fitted single-GPU model (Table Ib values) ---------------
+    let model = EnergyModel::k40();
+
+    // A hypothetical kernel: 200M FMA threads-instructions, a million
+    // DRAM transactions, 2 ms of runtime.
+    let mut events = EventCounts::new();
+    events.instrs.add(Opcode::FFma32, 200_000_000);
+    events.instrs.add(Opcode::IAdd32, 40_000_000);
+    events.txns.add(Transaction::L1ToReg, 3_000_000);
+    events.txns.add(Transaction::L2ToL1, 4_000_000);
+    events.txns.add(Transaction::DramToL2, 1_000_000);
+    events.stall_cycles = 5_000_000;
+    events.elapsed = Time::from_millis(2.0);
+
+    let breakdown = model.estimate(&events);
+    println!("single-GPU estimate (Eq. 4):");
+    println!("{breakdown}");
+
+    // --- 2. The same work on an 8-module on-package GPU -----------------
+    // Scaling gives a 6.5x speedup but adds NUMA traffic.
+    let config = MultiGpmEnergyConfig::new(8, IntegrationDomain::OnPackage);
+    let scaled_model = config.build_model();
+
+    let mut scaled_events = events.clone();
+    scaled_events.elapsed = Time::from_millis(2.0 / 6.5);
+    scaled_events.inter_gpm_bytes = mmgpu::common::Bytes::from_mib(96);
+    scaled_events.stall_cycles = 9_000_000;
+
+    let scaled = scaled_model.estimate(&scaled_events);
+    println!("8-GPM estimate under {config}:");
+    println!("{scaled}");
+    println!(
+        "inter-module share: {:.1}%",
+        scaled.fraction(EnergyComponent::InterModule) * 100.0
+    );
+
+    // --- 3. Was the scaling worth it? EDPSE (Eq. 2) ----------------------
+    let base = EnergyDelay::new(breakdown.total(), events.elapsed);
+    let big = EnergyDelay::new(scaled.total(), scaled_events.elapsed);
+    let edpse = EdpScalingEfficiency::compute(base, big, 8).expect("valid design points");
+    println!("EDPSE of the 8-GPM design: {edpse}");
+    println!(
+        "meets the paper's 50% production threshold: {}",
+        edpse.meets_threshold()
+    );
+
+    // ED2PSE weighs performance more heavily.
+    let ed2 = mmgpu::gpujoule::EdipScalingEfficiency::compute(base, big, 8, 2)
+        .expect("valid design points");
+    println!("{ed2}");
+
+    // Silence the unused-energy lint in case of refactors.
+    let _ = Energy::ZERO;
+}

@@ -1,0 +1,51 @@
+//! A miniature version of the paper's §V scaling study: run two
+//! workloads from the Table II suite across 1–32 GPMs, at all three
+//! bandwidth settings, and report speedup, energy, and EDPSE.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study            # full problem size
+//! cargo run --release --example scaling_study -- --smoke # fast small run
+//! ```
+
+use mmgpu::common::table::TextTable;
+use mmgpu::sim::BwSetting;
+use mmgpu::workloads::{by_name, Scale};
+use mmgpu::xp::{ExpConfig, Lab};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    let mut lab = Lab::new(scale);
+
+    for name in ["Hotspot", "Stream"] {
+        let workload = by_name(name).expect("workload in Table II suite");
+        println!("\n{workload} — scaling from 1 to 32 GPMs");
+        let mut table = TextTable::new([
+            "config", "BW", "speedup", "energy vs 1-GPM", "EDPSE (%)",
+        ]);
+        for gpms in [2usize, 4, 8, 16, 32] {
+            for bw in BwSetting::ALL {
+                let cfg = ExpConfig::paper_default(gpms, bw);
+                let speedup = lab.speedup(&workload, &cfg);
+                let energy = lab.energy_ratio(&workload, &cfg);
+                let edpse = lab.edpse(&workload, &cfg);
+                table.row([
+                    format!("{gpms}-GPM"),
+                    bw.to_string(),
+                    format!("{speedup:.2}"),
+                    format!("{energy:.2}"),
+                    format!("{edpse:.1}"),
+                ]);
+            }
+        }
+        println!("{table}");
+    }
+
+    println!(
+        "simulations run: {} (energy-model variants reuse cached runs)",
+        lab.cached_runs()
+    );
+}

@@ -1,0 +1,37 @@
+//! Umbrella crate for the HPCA 2019 multi-module GPU energy-efficiency
+//! reproduction.
+//!
+//! This crate re-exports the workspace members so that examples and
+//! integration tests can use one import root. The actual functionality
+//! lives in:
+//!
+//! * [`gpujoule`] — the paper's primary contribution: the top-down energy
+//!   model (Eq. 4), EPI/EPT tables, and the EDPSE metric family.
+//! * [`sim`] — the cycle-level multi-GPM performance simulator substrate.
+//! * [`workloads`] — synthetic surrogates for the Rodinia/CORAL suite.
+//! * [`silicon`] — the "virtual Tesla K40" ground-truth hardware model and
+//!   NVML-like power sensor used to fit and validate GPUJoule.
+//! * [`microbench`] — the microbenchmark suite and EPI/EPT derivation.
+//! * [`xp`] — the experiment harness regenerating every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mmgpu::gpujoule::{EdpScalingEfficiency, EnergyDelay};
+//! use mmgpu::common::units::{Energy, Time};
+//!
+//! // A 4-GPM design that runs 3.5x faster using 1.2x the energy:
+//! let base = EnergyDelay::new(Energy::from_joules(100.0), Time::from_secs(10.0));
+//! let scaled = EnergyDelay::new(Energy::from_joules(120.0), Time::from_secs(10.0 / 3.5));
+//! let edpse = EdpScalingEfficiency::compute(base, scaled, 4).unwrap();
+//! assert!(edpse.percent() > 70.0 && edpse.percent() < 75.0);
+//! ```
+
+pub use common;
+pub use gpujoule;
+pub use isa;
+pub use microbench;
+pub use silicon;
+pub use sim;
+pub use workloads;
+pub use xp;

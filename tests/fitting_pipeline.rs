@@ -1,0 +1,115 @@
+//! Integration test of the full GPUJoule fitting pipeline at the paper's
+//! configuration: microbenchmarks on the K40-class GPM, measured through
+//! the 15 ms board sensor, must recover Table Ib — and the fitted model
+//! must validate against mixed microbenchmarks within the Fig. 4a band.
+//!
+//! This is the repository's headline correctness test for §IV. It runs a
+//! few hundred milliseconds of virtual measurement per microbenchmark and
+//! takes tens of seconds; everything finer-grained lives in the crate
+//! unit tests.
+
+use mmgpu::common::units::Time;
+use mmgpu::isa::{Opcode, Transaction};
+use mmgpu::microbench::{fit, validate_mixed, FitConfig};
+use mmgpu::silicon::VirtualK40;
+use mmgpu::sim::GpuConfig;
+
+fn paper_fit_config() -> FitConfig {
+    // Slightly shortened targets keep the test under a minute while
+    // leaving dozens of sensor windows per benchmark.
+    FitConfig {
+        gpu: GpuConfig::single_gpm(),
+        target_duration: Time::from_millis(450.0),
+        compute_iterations: 1200,
+        rounds: 3,
+    }
+}
+
+#[test]
+fn fitted_tables_recover_table_1b_within_10_percent() {
+    let hw = VirtualK40::new();
+    let fitted = fit(&hw, &paper_fit_config());
+
+    // Idle power (Const_Power).
+    assert!(
+        (fitted.const_power.watts() - 62.0).abs() < 1.0,
+        "idle power {}",
+        fitted.const_power
+    );
+
+    // Every published EPI within 10% (the paper's own fidelity bar).
+    let expected_epi = [
+        (Opcode::FAdd32, 0.06),
+        (Opcode::FMul32, 0.05),
+        (Opcode::FFma32, 0.05),
+        (Opcode::IAdd32, 0.07),
+        (Opcode::ISub32, 0.07),
+        (Opcode::And32, 0.06),
+        (Opcode::Or32, 0.06),
+        (Opcode::Xor32, 0.06),
+        (Opcode::FSin32, 0.10),
+        (Opcode::FCos32, 0.10),
+        (Opcode::IMul32, 0.13),
+        (Opcode::IMad32, 0.15),
+        (Opcode::FAdd64, 0.15),
+        (Opcode::FMul64, 0.13),
+        (Opcode::FFma64, 0.16),
+        (Opcode::FSqrt32, 0.02),
+        (Opcode::FLog232, 0.03),
+        (Opcode::FExp232, 0.08),
+        (Opcode::FRcp32, 0.31),
+    ];
+    for (op, nj) in expected_epi {
+        let got = fitted.epi.get(op).nanojoules();
+        let err = (got - nj).abs() / nj;
+        assert!(err < 0.10, "{op}: fitted {got:.4} nJ vs Table Ib {nj} nJ ({:.1}%)", err * 100.0);
+    }
+
+    // Every published EPT within 10%.
+    let expected_ept = [
+        (Transaction::SharedToReg, 5.45),
+        (Transaction::L1ToReg, 5.99),
+        (Transaction::L2ToL1, 3.96),
+        (Transaction::DramToL2, 7.82),
+    ];
+    for (txn, nj) in expected_ept {
+        let got = fitted.ept.get(txn).nanojoules();
+        let err = (got - nj).abs() / nj;
+        assert!(
+            err < 0.10,
+            "{txn}: fitted {got:.3} nJ vs Table Ib {nj} nJ ({:.1}%)",
+            err * 100.0
+        );
+    }
+
+    // The derived per-bit column should reproduce Table Ib's second
+    // column (5.32 / 5.85 / 15.48 / 30.55 pJ/bit) within the same bar.
+    let per_bit = fitted.ept.per_bit(Transaction::DramToL2).pj_per_bit();
+    assert!((per_bit - 30.55).abs() / 30.55 < 0.10, "DRAM pJ/bit {per_bit:.2}");
+}
+
+#[test]
+fn mixed_validation_lands_in_fig4a_band() {
+    let hw = VirtualK40::new();
+    let cfg = paper_fit_config();
+    let fitted = fit(&hw, &cfg);
+    let model = fitted.to_energy_model();
+    let report = validate_mixed(&hw, &model, &cfg.gpu, Time::from_millis(450.0));
+
+    assert_eq!(report.len(), 5, "five Fig. 4a combinations");
+    for item in report.items() {
+        // Paper band: +2.5% to -6%; allow modest margin for the virtual
+        // sensor's noise realization.
+        assert!(
+            item.error_percent() < 5.0 && item.error_percent() > -9.0,
+            "{}: {:+.2}% outside the Fig. 4a band",
+            item.name,
+            item.error_percent()
+        );
+    }
+    assert!(
+        report.mean_abs_error_percent() < 6.0,
+        "mean |err| {:.2}%",
+        report.mean_abs_error_percent()
+    );
+}

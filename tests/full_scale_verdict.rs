@@ -1,0 +1,23 @@
+//! The complete full-scale reproduction verdict, as an (expensive,
+//! `--ignored`) integration test:
+//!
+//! ```sh
+//! cargo test --release --test full_scale_verdict -- --ignored --nocapture
+//! ```
+
+use mmgpu::workloads::Scale;
+use mmgpu::xp::{evaluate_scaling_claims, render_claims, default_suite, Lab};
+
+#[test]
+#[ignore = "runs the full paper-scale sweep (~10 minutes)"]
+fn full_scale_scaling_claims_pass() {
+    let mut lab = Lab::new(Scale::Full);
+    let suite = default_suite();
+    let claims = evaluate_scaling_claims(&mut lab, &suite);
+    println!("{}", render_claims(&claims));
+    let failing: Vec<&str> = claims.iter().filter(|c| !c.pass).map(|c| c.id).collect();
+    assert!(
+        failing.is_empty(),
+        "claims failing at full scale: {failing:?}"
+    );
+}

@@ -1,0 +1,61 @@
+//! §IV-B3 portability: the identical fitting pipeline recovers the hidden
+//! parameters of a *different* virtual GPU (16 nm Pascal-class) without
+//! any per-board changes.
+
+use mmgpu::common::units::Time;
+use mmgpu::isa::Opcode;
+use mmgpu::microbench::{fit, validate_mixed, FitConfig};
+use mmgpu::silicon::{TruthModel, VirtualK40};
+use mmgpu::sim::{BwSetting, GpmConfig, GpuConfig, Topology};
+
+fn pascal_fit_config() -> FitConfig {
+    let mut gpu = GpuConfig::paper(1, BwSetting::X2, Topology::Ring);
+    gpu.gpm = GpmConfig::pascal_class();
+    gpu.inter_gpm_bw = BwSetting::X2.inter_gpm_bw(gpu.gpm.dram_bw);
+    FitConfig {
+        gpu,
+        target_duration: Time::from_millis(300.0),
+        compute_iterations: 600,
+        rounds: 2,
+    }
+}
+
+#[test]
+fn pipeline_recovers_a_different_board_unchanged() {
+    let hw = VirtualK40::new().with_truth(TruthModel::pascal_class());
+    let cfg = pascal_fit_config();
+    let fitted = fit(&hw, &cfg);
+    let truth = hw.truth();
+
+    // Idle power.
+    assert!(
+        (fitted.const_power.watts() - truth.idle_power().watts()).abs() < 1.0,
+        "idle {}",
+        fitted.const_power
+    );
+
+    // Every compute EPI within 10% of the planted (scaled) values.
+    for op in Opcode::ALL {
+        let got = fitted.epi.get(op).nanojoules();
+        let want = truth.true_epi(op).nanojoules();
+        let err = (got - want).abs() / want;
+        assert!(err < 0.10, "{op}: fitted {got:.4} vs planted {want:.4}");
+    }
+
+    // EPTs land at or above the planted values (floor-power absorption),
+    // within a sane bound.
+    for txn in mmgpu::isa::Transaction::ALL.iter().filter(|t| t.is_intra_gpm()) {
+        let got = fitted.ept.get(*txn).nanojoules();
+        let want = truth.true_ept(*txn).nanojoules();
+        assert!(got > 0.8 * want && got < 2.0 * want, "{txn}: {got:.3} vs {want:.3}");
+    }
+
+    // And the fitted model validates on its own board.
+    let model = fitted.to_energy_model();
+    let report = validate_mixed(&hw, &model, &cfg.gpu, Time::from_millis(300.0));
+    assert!(
+        report.mean_abs_error_percent() < 8.0,
+        "mean |err| {:.1}%",
+        report.mean_abs_error_percent()
+    );
+}

@@ -1,0 +1,202 @@
+//! Integration tests asserting the paper's qualitative scaling claims on
+//! fast smoke-scale sweeps.
+//!
+//! These exercise the full stack — workload generators → multi-GPM
+//! performance simulator → energy model → metrics — and check the *shape*
+//! results the paper's evaluation section reports: who wins, in which
+//! direction, and where the crossovers sit.
+
+use mmgpu::gpujoule::ConstantEnergyAmortization;
+use mmgpu::sim::{BwSetting, Topology};
+use mmgpu::workloads::{by_name, Scale, WorkloadSpec};
+use mmgpu::xp::{ExpConfig, Lab};
+
+fn mini_suite() -> Vec<WorkloadSpec> {
+    ["Hotspot", "CoMD", "Stream", "Nekbone-12", "Lulesh-150"]
+        .iter()
+        .map(|n| by_name(n).expect("suite workload"))
+        .collect()
+}
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+#[test]
+fn scaling_speeds_up_everywhere() {
+    let mut lab = Lab::new(Scale::Smoke);
+    for w in mini_suite() {
+        let s4 = lab.speedup(&w, &ExpConfig::paper_default(4, BwSetting::X2));
+        assert!(s4 > 1.5, "{}: 4-GPM speedup {s4:.2}", w.name);
+    }
+}
+
+#[test]
+fn edpse_declines_with_module_count_on_average() {
+    // Fig. 6's headline trend.
+    let mut lab = Lab::new(Scale::Smoke);
+    let suite = mini_suite();
+    let at = |lab: &mut Lab, n: usize| {
+        let v: Vec<f64> = suite
+            .iter()
+            .map(|w| lab.edpse(w, &ExpConfig::paper_default(n, BwSetting::X2)))
+            .collect();
+        mean(&v)
+    };
+    let e2 = at(&mut lab, 2);
+    let e32 = at(&mut lab, 32);
+    assert!(
+        e2 > e32 + 10.0,
+        "average EDPSE must decline substantially: {e2:.1} @2 vs {e32:.1} @32"
+    );
+}
+
+#[test]
+fn interconnect_bandwidth_dominates_edpse_at_scale() {
+    // Fig. 8: higher inter-GPM bandwidth means higher EDPSE at 32 GPMs.
+    let mut lab = Lab::new(Scale::Smoke);
+    let w = by_name("Stream").unwrap();
+    let x1 = lab.edpse(&w, &ExpConfig::paper_default(32, BwSetting::X1));
+    let x4 = lab.edpse(&w, &ExpConfig::paper_default(32, BwSetting::X4));
+    assert!(x4 > x1, "4x-BW ({x4:.1}) must beat 1x-BW ({x1:.1}) at 32 GPMs");
+}
+
+#[test]
+fn interconnect_energy_barely_matters() {
+    // §V-C: 4x the per-bit link energy changes EDPSE by a few percent at
+    // most, because link energy is a small slice of the total.
+    let mut lab = Lab::new(Scale::Smoke);
+    let w = by_name("Stream").unwrap();
+    let base = ExpConfig::paper_default(32, BwSetting::X1);
+    let hot = base.clone().with_link_energy_mult(4.0);
+    let e_base = lab.edpse(&w, &base);
+    let e_hot = lab.edpse(&w, &hot);
+    let rel = (e_base - e_hot).abs() / e_base;
+    assert!(
+        rel < 0.10,
+        "4x link energy should move EDPSE by <10% relative, got {:.1}% ({e_base:.1} -> {e_hot:.1})",
+        rel * 100.0
+    );
+    // And it can only hurt, never help.
+    assert!(e_hot <= e_base + 1e-9);
+}
+
+#[test]
+fn energy_for_bandwidth_is_the_right_trade() {
+    // §V-C: paying 4x link energy for 2x bandwidth *raises* EDPSE.
+    let mut lab = Lab::new(Scale::Smoke);
+    let suite = mini_suite();
+    let slow_cheap = ExpConfig::paper_default(32, BwSetting::X1);
+    let fast_hot = ExpConfig::on_board(32, BwSetting::X2, Topology::Ring)
+        .with_link_energy_mult(4.0);
+    let a: Vec<f64> = suite.iter().map(|w| lab.edpse(w, &slow_cheap)).collect();
+    let b: Vec<f64> = suite.iter().map(|w| lab.edpse(w, &fast_hot)).collect();
+    assert!(
+        mean(&b) > mean(&a),
+        "4x-energy/2x-BW ({:.1}) must beat the baseline ({:.1})",
+        mean(&b),
+        mean(&a)
+    );
+}
+
+#[test]
+fn amortization_saves_energy_without_touching_performance() {
+    // §V-C: constant-energy amortization cuts energy at identical runtime.
+    let mut lab = Lab::new(Scale::Smoke);
+    let w = by_name("Nekbone-12").unwrap();
+    let none = ExpConfig::paper_default(32, BwSetting::X2)
+        .with_amortization(ConstantEnergyAmortization::none());
+    let half = ExpConfig::paper_default(32, BwSetting::X2)
+        .with_amortization(ConstantEnergyAmortization::new(0.5));
+    let p_none = lab.point(&w, &none);
+    let p_half = lab.point(&w, &half);
+    assert_eq!(p_none.duration(), p_half.duration());
+    assert!(p_half.breakdown.total() < p_none.breakdown.total());
+    // More amortization, more savings.
+    let quarter = ExpConfig::paper_default(32, BwSetting::X2)
+        .with_amortization(ConstantEnergyAmortization::new(0.25));
+    let p_quarter = lab.point(&w, &quarter);
+    assert!(p_half.breakdown.total() < p_quarter.breakdown.total());
+    assert!(p_quarter.breakdown.total() < p_none.breakdown.total());
+}
+
+#[test]
+fn switch_beats_ring_on_board_at_scale() {
+    // Fig. 9: a high-radix switch raises EDPSE over the ring at high GPM
+    // counts even with unchanged link bandwidth.
+    let mut lab = Lab::new(Scale::Smoke);
+    let suite = mini_suite();
+    let ring = ExpConfig::on_board(32, BwSetting::X1, Topology::Ring);
+    let switch = ExpConfig::on_board(32, BwSetting::X1, Topology::Switch);
+    let r: Vec<f64> = suite.iter().map(|w| lab.edpse(w, &ring)).collect();
+    let s: Vec<f64> = suite.iter().map(|w| lab.edpse(w, &switch)).collect();
+    assert!(
+        mean(&s) >= mean(&r) * 0.95,
+        "switch ({:.1}) should be at least competitive with ring ({:.1})",
+        mean(&s),
+        mean(&r)
+    );
+}
+
+#[test]
+fn monolithic_scales_better_than_numa_ring() {
+    // §V-B: the monolithic (ideal interconnect) comparison shows the
+    // penalty is NUMA-related.
+    let mut lab = Lab::new(Scale::Smoke);
+    let w = by_name("Stream").unwrap();
+    let ring = lab.speedup(&w, &ExpConfig::paper_default(32, BwSetting::X2));
+    let mono = lab.speedup(&w, &ExpConfig::paper_default(32, BwSetting::X2).monolithic());
+    assert!(
+        mono >= ring,
+        "monolithic speedup ({mono:.2}) must be at least the ring's ({ring:.2})"
+    );
+}
+
+#[test]
+fn naive_scaling_costs_energy_and_optimization_recovers_it() {
+    // The §VII headline chain: naive on-board scaling costs substantial
+    // energy; bandwidth + package amortization claw it back.
+    let mut lab = Lab::new(Scale::Smoke);
+    let suite = mini_suite();
+    let naive: Vec<f64> = suite
+        .iter()
+        .map(|w| lab.energy_ratio(w, &ExpConfig::paper_default(32, BwSetting::X1)))
+        .collect();
+    let optimized: Vec<f64> = suite
+        .iter()
+        .map(|w| lab.energy_ratio(w, &ExpConfig::paper_default(32, BwSetting::X4)))
+        .collect();
+    assert!(
+        mean(&naive) > mean(&optimized),
+        "optimization must reduce energy: naive {:.2} vs optimized {:.2}",
+        mean(&naive),
+        mean(&optimized)
+    );
+}
+
+#[test]
+fn idle_time_rises_with_module_count_for_memory_apps() {
+    // §V-B: insufficient inter-GPM bandwidth shows up as GPM idle time.
+    let mut lab = Lab::new(Scale::Smoke);
+    let w = by_name("Stream").unwrap();
+    let p2 = lab.point(&w, &ExpConfig::paper_default(2, BwSetting::X1));
+    let p32 = lab.point(&w, &ExpConfig::paper_default(32, BwSetting::X1));
+    assert!(
+        p32.counts.idle_fraction() > p2.counts.idle_fraction(),
+        "idle fraction must grow: {:.2} @2 vs {:.2} @32",
+        p2.counts.idle_fraction(),
+        p32.counts.idle_fraction()
+    );
+}
+
+#[test]
+fn results_are_deterministic_across_labs() {
+    let w = by_name("Hotspot").unwrap();
+    let cfg = ExpConfig::paper_default(4, BwSetting::X2);
+    let mut lab1 = Lab::new(Scale::Smoke);
+    let mut lab2 = Lab::new(Scale::Smoke);
+    let a = lab1.point(&w, &cfg);
+    let b = lab2.point(&w, &cfg);
+    assert_eq!(a.counts.as_ref(), b.counts.as_ref());
+    assert_eq!(a.breakdown, b.breakdown);
+}

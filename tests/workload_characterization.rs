@@ -1,0 +1,79 @@
+//! Integration checks that the Table II surrogates express their claimed
+//! character on the actual simulator — the compute/memory split is a
+//! property of behaviour, not just a label.
+
+use mmgpu::sim::{GpuConfig, GpuSim};
+use mmgpu::workloads::{scaling_suite, suite, Category, Scale};
+
+/// DRAM utilization of a workload on the single-GPM baseline.
+fn dram_utilization(name: &str) -> f64 {
+    let w = suite().into_iter().find(|w| w.name == name).unwrap();
+    let mut sim = GpuSim::new(&GpuConfig::tiny(1));
+    let result = sim.run_workload(&w.launches(Scale::Smoke));
+    sim.memory()
+        .utilization_report(result.total_cycles())
+        .dram
+}
+
+#[test]
+fn memory_apps_use_more_dram_bandwidth_than_compute_apps() {
+    let mut compute = Vec::new();
+    let mut memory = Vec::new();
+    for w in scaling_suite() {
+        let util = dram_utilization(w.name);
+        match w.category {
+            Category::Compute => compute.push((w.name, util)),
+            Category::Memory => memory.push((w.name, util)),
+        }
+    }
+    let avg = |v: &[(&str, f64)]| v.iter().map(|&(_, u)| u).sum::<f64>() / v.len() as f64;
+    let c = avg(&compute);
+    let m = avg(&memory);
+    assert!(
+        m > 1.5 * c,
+        "memory apps should be far more DRAM-hungry: C={c:.3} ({compute:?}) vs M={m:.3} ({memory:?})"
+    );
+}
+
+#[test]
+fn every_table_ii_app_runs_to_completion() {
+    for w in suite() {
+        let mut sim = GpuSim::new(&GpuConfig::tiny(2));
+        let result = sim.run_workload(&w.launches(Scale::Smoke));
+        assert!(result.total_cycles() > 0, "{} did nothing", w.name);
+        let counts = result.total_counts();
+        assert!(
+            counts.total_instructions() > 0,
+            "{} executed no instructions",
+            w.name
+        );
+        assert!(counts.elapsed.is_positive());
+    }
+}
+
+#[test]
+fn stream_is_the_most_bandwidth_bound_app() {
+    // The STREAM triad is the canonical bandwidth benchmark; the surrogate
+    // should saturate DRAM harder than any compute-intensive app.
+    let stream = dram_utilization("Stream");
+    for w in scaling_suite() {
+        if w.category == Category::Compute {
+            let u = dram_utilization(w.name);
+            assert!(
+                stream > u,
+                "Stream ({stream:.3}) should beat compute app {} ({u:.3})",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_replay_bit_identically() {
+    let w = suite().into_iter().find(|w| w.name == "Lulesh-150").unwrap();
+    let run = || {
+        let mut sim = GpuSim::new(&GpuConfig::tiny(2));
+        sim.run_workload(&w.launches(Scale::Smoke)).total_counts()
+    };
+    assert_eq!(run(), run());
+}
