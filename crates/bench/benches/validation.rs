@@ -2,9 +2,9 @@
 //! two validation passes at reduced scale.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use microbench::{fit, FitConfig};
 use silicon::VirtualK40;
+use std::time::Duration;
 use workloads::{by_name, Scale};
 
 fn bench_validation(c: &mut Criterion) {
@@ -24,9 +24,7 @@ fn bench_validation(c: &mut Criterion) {
         let hw = VirtualK40::new();
         let fitted = fit(&hw, &FitConfig::fast());
         let model = fitted.to_energy_model();
-        b.iter(|| {
-            xp::validation::fig4a(&hw, &model, Scale::Smoke)
-        })
+        b.iter(|| xp::validation::fig4a(&hw, &model, Scale::Smoke))
     });
 
     group.bench_function("fig4b_app_validation", |b| {

@@ -776,8 +776,14 @@ mod tests {
         assert_eq!(format!("{}", Energy::from_nanojoules(5.0)), "5.000 nJ");
         assert_eq!(format!("{}", Time::from_micros(250.0)), "250.000 us");
         assert_eq!(format!("{}", Bytes::from_mib(2)), "2.00 MiB");
-        assert_eq!(format!("{}", Bandwidth::from_gb_per_sec(128.0)), "128.0 GB/s");
-        assert_eq!(format!("{}", EnergyPerBit::from_pj_per_bit(0.54)), "0.54 pJ/bit");
+        assert_eq!(
+            format!("{}", Bandwidth::from_gb_per_sec(128.0)),
+            "128.0 GB/s"
+        );
+        assert_eq!(
+            format!("{}", EnergyPerBit::from_pj_per_bit(0.54)),
+            "0.54 pJ/bit"
+        );
     }
 
     #[test]
@@ -793,7 +799,10 @@ mod tests {
     fn max_zero_clamps() {
         assert_eq!(Energy::from_joules(-0.5).max_zero(), Energy::ZERO);
         assert_eq!(Power::from_watts(-1.0).max_zero(), Power::ZERO);
-        assert_eq!(Energy::from_joules(2.0).max_zero(), Energy::from_joules(2.0));
+        assert_eq!(
+            Energy::from_joules(2.0).max_zero(),
+            Energy::from_joules(2.0)
+        );
     }
 
     #[test]

@@ -99,7 +99,9 @@ pub struct EnergyBreakdown {
 
 impl Default for EnergyBreakdown {
     fn default() -> Self {
-        EnergyBreakdown { values: [Energy::ZERO; EnergyComponent::COUNT] }
+        EnergyBreakdown {
+            values: [Energy::ZERO; EnergyComponent::COUNT],
+        }
     }
 }
 
@@ -176,7 +178,13 @@ impl fmt::Display for EnergyBreakdown {
         let total = self.total();
         writeln!(f, "total: {total}")?;
         for (c, e) in self.iter() {
-            writeln!(f, "  {:<26} {:>12}  ({:>5.1}%)", c.label(), e.to_string(), self.fraction(c) * 100.0)?;
+            writeln!(
+                f,
+                "  {:<26} {:>12}  ({:>5.1}%)",
+                c.label(),
+                e.to_string(),
+                self.fraction(c) * 100.0
+            )?;
         }
         Ok(())
     }

@@ -33,7 +33,9 @@ pub struct EpiTable {
 
 impl Default for EpiTable {
     fn default() -> Self {
-        EpiTable { values: [Energy::ZERO; Opcode::COUNT] }
+        EpiTable {
+            values: [Energy::ZERO; Opcode::COUNT],
+        }
     }
 }
 
@@ -132,7 +134,9 @@ pub struct EptTable {
 
 impl Default for EptTable {
     fn default() -> Self {
-        EptTable { values: [Energy::ZERO; Transaction::COUNT] }
+        EptTable {
+            values: [Energy::ZERO; Transaction::COUNT],
+        }
     }
 }
 
@@ -164,7 +168,9 @@ impl EptTable {
         let hbm = EnergyPerBit::from_pj_per_bit(21.1);
         t.set(
             Transaction::DramToL2,
-            hbm.energy_for(common::units::Bytes::new(Transaction::DramToL2.bytes_per_txn())),
+            hbm.energy_for(common::units::Bytes::new(
+                Transaction::DramToL2.bytes_per_txn(),
+            )),
         );
         t
     }
@@ -264,7 +270,10 @@ mod tests {
         assert!(hbm.get(Transaction::DramToL2) < gddr5.get(Transaction::DramToL2));
         assert!((hbm.per_bit(Transaction::DramToL2).pj_per_bit() - 21.1).abs() < 0.01);
         // Other classes untouched.
-        assert_eq!(hbm.get(Transaction::L1ToReg), gddr5.get(Transaction::L1ToReg));
+        assert_eq!(
+            hbm.get(Transaction::L1ToReg),
+            gddr5.get(Transaction::L1ToReg)
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl PowerGating {
             (0.0..=1.0).contains(&gateable_fraction) && gateable_fraction.is_finite(),
             "gateable fraction must be within [0, 1], got {gateable_fraction}"
         );
-        PowerGating { effectiveness, gateable_fraction }
+        PowerGating {
+            effectiveness,
+            gateable_fraction,
+        }
     }
 
     /// No gating (the paper's baseline).
@@ -180,9 +183,7 @@ mod tests {
         );
         // 80% idle, 60% gateable, 100% effective: 48% of constant saved.
         let expected = plain.get(EnergyComponent::ConstantOverhead).joules() * (1.0 - 0.48);
-        assert!(
-            (gated.get(EnergyComponent::ConstantOverhead).joules() - expected).abs() < 1e-12
-        );
+        assert!((gated.get(EnergyComponent::ConstantOverhead).joules() - expected).abs() < 1e-12);
     }
 
     #[test]

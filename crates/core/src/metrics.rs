@@ -224,7 +224,10 @@ impl EdipScalingEfficiency {
             return Err(MetricError::ZeroResources);
         }
         let percent = baseline.edip(i) * 100.0 / ((n as f64).powi(i as i32) * scaled.edip(i));
-        Ok(EdipScalingEfficiency { percent, exponent: i })
+        Ok(EdipScalingEfficiency {
+            percent,
+            exponent: i,
+        })
     }
 
     /// The efficiency in percent.
@@ -360,7 +363,9 @@ mod tests {
             Err(MetricError::ZeroResources)
         );
         // Errors format.
-        assert!(MetricError::ZeroResources.to_string().contains("at least 1"));
+        assert!(MetricError::ZeroResources
+            .to_string()
+            .contains("at least 1"));
     }
 
     #[test]

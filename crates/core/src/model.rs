@@ -112,7 +112,10 @@ impl EnergyModel {
         out.add(EnergyComponent::PipelineBusy, busy);
 
         // EPStall × stalls — "SM Pipeline (Idle)".
-        out.add(EnergyComponent::PipelineIdle, self.ep_stall * ev.stall_cycles as f64);
+        out.add(
+            EnergyComponent::PipelineIdle,
+            self.ep_stall * ev.stall_cycles as f64,
+        );
 
         // Σ EPT_m × TC_m per hierarchy level.
         let txn = |t: Transaction| self.ept.get(t) * ev.txns.get(t) as f64;
@@ -130,7 +133,10 @@ impl EnergyModel {
         out.add(EnergyComponent::InterModule, inter);
 
         // ConstPower × Execution_Time.
-        out.add(EnergyComponent::ConstantOverhead, self.const_power * ev.elapsed);
+        out.add(
+            EnergyComponent::ConstantOverhead,
+            self.const_power * ev.elapsed,
+        );
 
         out
     }
@@ -272,9 +278,7 @@ mod tests {
         assert!((b.get(EnergyComponent::L2ToL1).joules() - l2).abs() < 1e-15);
         assert!((b.get(EnergyComponent::DramToL2).joules() - dram).abs() < 1e-15);
         assert!((b.get(EnergyComponent::ConstantOverhead).joules() - constant).abs() < 1e-12);
-        assert!(
-            (b.total().joules() - (busy + idle + l1 + l2 + dram + constant)).abs() < 1e-12
-        );
+        assert!((b.total().joules() - (busy + idle + l1 + l2 + dram + constant)).abs() < 1e-12);
     }
 
     #[test]

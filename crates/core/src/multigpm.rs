@@ -12,8 +12,8 @@
 //!    board, this replicates linearly; on package, a fraction can be shared
 //!    (*constant energy amortization*, 50% in the paper's baseline).
 
-use crate::model::{EnergyModel, EnergyModelBuilder, K40_CONST_POWER_WATTS};
 use crate::epi::{EpiTable, EptTable};
+use crate::model::{EnergyModel, EnergyModelBuilder, K40_CONST_POWER_WATTS};
 use common::units::{EnergyPerBit, Power};
 use std::fmt;
 
@@ -234,10 +234,19 @@ mod tests {
     #[test]
     fn domain_defaults_match_paper() {
         assert!(
-            (IntegrationDomain::OnBoard.default_link_energy().pj_per_bit() - 10.0).abs() < 1e-12
+            (IntegrationDomain::OnBoard
+                .default_link_energy()
+                .pj_per_bit()
+                - 10.0)
+                .abs()
+                < 1e-12
         );
         assert!(
-            (IntegrationDomain::OnPackage.default_link_energy().pj_per_bit() - 0.54).abs()
+            (IntegrationDomain::OnPackage
+                .default_link_energy()
+                .pj_per_bit()
+                - 0.54)
+                .abs()
                 < 1e-12
         );
         assert_eq!(
@@ -245,7 +254,9 @@ mod tests {
             0.0
         );
         assert_eq!(
-            IntegrationDomain::OnPackage.default_amortization().fraction(),
+            IntegrationDomain::OnPackage
+                .default_amortization()
+                .fraction(),
             0.5
         );
     }

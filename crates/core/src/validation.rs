@@ -23,7 +23,11 @@ pub struct ValidationItem {
 impl ValidationItem {
     /// Creates a validation item.
     pub fn new(name: impl Into<String>, modeled: Energy, measured: Energy) -> Self {
-        ValidationItem { name: name.into(), modeled, measured }
+        ValidationItem {
+            name: name.into(),
+            modeled,
+            measured,
+        }
     }
 
     /// Signed relative error `(modeled − measured) / measured`, or `None`
@@ -99,7 +103,10 @@ impl ValidationReport {
     /// Signed relative errors (fractions), one per item with a defined
     /// error.
     pub fn errors(&self) -> Vec<f64> {
-        self.items.iter().filter_map(|i| i.relative_error()).collect()
+        self.items
+            .iter()
+            .filter_map(|i| i.relative_error())
+            .collect()
     }
 
     /// Mean absolute relative error in percent (the paper reports 9.4%
@@ -116,11 +123,7 @@ impl ValidationReport {
 
     /// Largest absolute relative error in percent.
     pub fn max_abs_error_percent(&self) -> f64 {
-        self.errors()
-            .iter()
-            .map(|e| e.abs())
-            .fold(0.0, f64::max)
-            * 100.0
+        self.errors().iter().map(|e| e.abs()).fold(0.0, f64::max) * 100.0
     }
 
     /// Items whose absolute error exceeds `threshold_percent` (the paper
@@ -135,7 +138,9 @@ impl ValidationReport {
 
 impl FromIterator<ValidationItem> for ValidationReport {
     fn from_iter<I: IntoIterator<Item = ValidationItem>>(iter: I) -> Self {
-        ValidationReport { items: iter.into_iter().collect() }
+        ValidationReport {
+            items: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -165,7 +170,11 @@ mod tests {
     use super::*;
 
     fn item(name: &str, modeled: f64, measured: f64) -> ValidationItem {
-        ValidationItem::new(name, Energy::from_joules(modeled), Energy::from_joules(measured))
+        ValidationItem::new(
+            name,
+            Energy::from_joules(modeled),
+            Energy::from_joules(measured),
+        )
     }
 
     #[test]
@@ -177,10 +186,13 @@ mod tests {
 
     #[test]
     fn report_statistics() {
-        let report: ValidationReport =
-            [item("a", 1.2, 1.0), item("b", 0.9, 1.0), item("c", 1.0, 1.0)]
-                .into_iter()
-                .collect();
+        let report: ValidationReport = [
+            item("a", 1.2, 1.0),
+            item("b", 0.9, 1.0),
+            item("c", 1.0, 1.0),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(report.len(), 3);
         assert!((report.mean_abs_error_percent() - 10.0).abs() < 1e-9);
         assert!((report.max_abs_error_percent() - 20.0).abs() < 1e-9);
@@ -190,8 +202,9 @@ mod tests {
 
     #[test]
     fn outliers_filtering() {
-        let report: ValidationReport =
-            [item("ok", 1.05, 1.0), item("bad", 1.5, 1.0)].into_iter().collect();
+        let report: ValidationReport = [item("ok", 1.05, 1.0), item("bad", 1.5, 1.0)]
+            .into_iter()
+            .collect();
         let out = report.outliers(30.0);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].name, "bad");

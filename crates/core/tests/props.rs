@@ -32,9 +32,8 @@ fn event_counts() -> impl Strategy<Value = EventCounts> {
 }
 
 fn energy_delay() -> impl Strategy<Value = EnergyDelay> {
-    (1e-6_f64..1e6, 1e-9_f64..1e3).prop_map(|(e, t)| {
-        EnergyDelay::new(Energy::from_joules(e), Time::from_secs(t))
-    })
+    (1e-6_f64..1e6, 1e-9_f64..1e3)
+        .prop_map(|(e, t)| EnergyDelay::new(Energy::from_joules(e), Time::from_secs(t)))
 }
 
 proptest! {

@@ -1,0 +1,233 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the subset of the criterion 0.5 API the workspace's benches use:
+//! [`Criterion`], benchmark groups, `bench_function`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: after a warm-up period, the
+//! timing loop auto-scales its iteration count to fill the configured
+//! measurement time, then reports the mean wall-clock time per
+//! iteration. There are no statistical analyses, plots, or baselines —
+//! the numbers are honest but unadorned. A positional CLI argument
+//! filters benchmarks by substring, mirroring `cargo bench -- <filter>`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-group measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (a positional substring filter;
+    /// flags from `cargo bench` such as `--bench` are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut skip_value = false;
+        for arg in std::env::args().skip(1) {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            if arg == "--bench" || arg == "--test" {
+                continue;
+            }
+            if arg.starts_with("--") {
+                // Flags with values we don't implement, e.g. --save-baseline x.
+                skip_value = !arg.contains('=');
+                continue;
+            }
+            self.filter = Some(arg);
+            break;
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings: Settings::default(),
+        }
+    }
+
+    /// Benchmarks one function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.filter.as_deref(), &Settings::default(), id, f);
+        self
+    }
+
+    /// Prints the closing line (criterion API parity; a no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts a nominal sample count for API parity; the timing loop
+    /// here is time-budgeted, not sample-budgeted, so the value is
+    /// advisory only.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(self.criterion.filter.as_deref(), &self.settings, &full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(filter: Option<&str>, settings: &Settings, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        mode: Mode::WarmUp,
+        budget: settings.warm_up,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.mode = Mode::Measure;
+    b.budget = settings.measurement;
+    b.iters = 0;
+    b.elapsed = Duration::ZERO;
+    f(&mut b);
+    let per_iter = if b.iters > 0 {
+        b.elapsed.as_secs_f64() / b.iters as f64
+    } else {
+        f64::NAN
+    };
+    println!(
+        "{id:<50} time: [{}]   ({} iterations)",
+        format_time(per_iter),
+        b.iters
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs.is_nan() {
+        "n/a".to_string()
+    } else if secs < 1e-6 {
+        format!("{:.3} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+/// The timing loop handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, repeating it in growing batches until the time budget
+    /// is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut batch: u64 = 1;
+        let start = Instant::now();
+        loop {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.elapsed += batch_start.elapsed();
+            self.iters += batch;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+            // Grow geometrically so per-batch overhead vanishes.
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+}
+
+/// Collects benchmark functions into one runner (criterion API parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

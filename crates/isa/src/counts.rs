@@ -290,7 +290,9 @@ mod tests {
     #[test]
     fn opcode_counts_merge_and_add() {
         let mut a: OpcodeCounts = [(Opcode::FFma32, 10)].into_iter().collect();
-        let b: OpcodeCounts = [(Opcode::FFma32, 5), (Opcode::IAdd32, 2)].into_iter().collect();
+        let b: OpcodeCounts = [(Opcode::FFma32, 5), (Opcode::IAdd32, 2)]
+            .into_iter()
+            .collect();
         a += &b;
         assert_eq!(a.get(Opcode::FFma32), 15);
         assert_eq!(a.get(Opcode::IAdd32), 2);

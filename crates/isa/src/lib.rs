@@ -24,8 +24,7 @@ pub mod transaction;
 pub use counts::{EventCounts, OpcodeCounts, TxnCounts};
 pub use opcode::{OpClass, Opcode};
 pub use program::{
-    disassemble, GridShape, KernelProgram, LaunchSpec, MemRef, MemSpace, WarpInstr,
-    WarpInstrStream,
+    disassemble, GridShape, KernelProgram, LaunchSpec, MemRef, MemSpace, WarpInstr, WarpInstrStream,
 };
 pub use transaction::Transaction;
 

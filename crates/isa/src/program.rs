@@ -38,19 +38,31 @@ impl MemRef {
     /// A coalesced global load of the cacheline containing `addr`.
     #[inline]
     pub fn global_load(addr: u64) -> Self {
-        MemRef { space: MemSpace::Global, addr, is_store: false }
+        MemRef {
+            space: MemSpace::Global,
+            addr,
+            is_store: false,
+        }
     }
 
     /// A coalesced global store to the cacheline containing `addr`.
     #[inline]
     pub fn global_store(addr: u64) -> Self {
-        MemRef { space: MemSpace::Global, addr, is_store: true }
+        MemRef {
+            space: MemSpace::Global,
+            addr,
+            is_store: true,
+        }
     }
 
     /// A shared-memory access (never leaves the SM).
     #[inline]
     pub fn shared(addr: u64, is_store: bool) -> Self {
-        MemRef { space: MemSpace::Shared, addr, is_store }
+        MemRef {
+            space: MemSpace::Shared,
+            addr,
+            is_store,
+        }
     }
 }
 
@@ -104,7 +116,10 @@ impl GridShape {
     pub fn new(ctas: u32, warps_per_cta: u32) -> Self {
         assert!(ctas > 0, "grid must have at least one CTA");
         assert!(warps_per_cta > 0, "CTA must have at least one warp");
-        GridShape { ctas, warps_per_cta }
+        GridShape {
+            ctas,
+            warps_per_cta,
+        }
     }
 
     /// Total warps across the grid.
@@ -180,12 +195,7 @@ pub trait KernelProgram: Send + Sync {
 /// let listing = isa::disassemble(&K, CtaId::new(0), WarpId::new(0), 10);
 /// assert!(listing.contains("fma.rn.f32"));
 /// ```
-pub fn disassemble(
-    program: &dyn KernelProgram,
-    cta: CtaId,
-    warp: WarpId,
-    limit: usize,
-) -> String {
+pub fn disassemble(program: &dyn KernelProgram, cta: CtaId, warp: WarpId, limit: usize) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "// {} {cta} {warp}", program.name());
@@ -220,7 +230,10 @@ pub struct LaunchSpec {
 impl LaunchSpec {
     /// A launch spec for a single invocation.
     pub fn once(program: Box<dyn KernelProgram>) -> Self {
-        LaunchSpec { program, invocations: 1 }
+        LaunchSpec {
+            program,
+            invocations: 1,
+        }
     }
 
     /// A launch spec for `n` back-to-back invocations.
@@ -230,7 +243,10 @@ impl LaunchSpec {
     /// Panics if `n` is zero.
     pub fn repeated(program: Box<dyn KernelProgram>, n: u32) -> Self {
         assert!(n > 0, "invocation count must be positive");
-        LaunchSpec { program, invocations: n }
+        LaunchSpec {
+            program,
+            invocations: n,
+        }
     }
 }
 
@@ -344,10 +360,7 @@ mod tests {
             WarpInstr::Mem(MemRef::global_load(0x80)).to_string(),
             "ld.global [0x80]"
         );
-        assert_eq!(
-            WarpInstr::Compute(Opcode::FAdd32).to_string(),
-            "add.f32"
-        );
+        assert_eq!(WarpInstr::Compute(Opcode::FAdd32).to_string(), "add.f32");
         assert_eq!(GridShape::new(2, 4).to_string(), "2 CTAs x 4 warps");
     }
 }

@@ -68,7 +68,10 @@ impl Transaction {
     /// microbenchmarks can measure directly).
     #[inline]
     pub fn is_intra_gpm(self) -> bool {
-        !matches!(self, Transaction::InterGpmHop | Transaction::SwitchTraversal)
+        !matches!(
+            self,
+            Transaction::InterGpmHop | Transaction::SwitchTraversal
+        )
     }
 
     /// Bytes moved by one transaction of this class.

@@ -14,8 +14,7 @@ fn txn() -> impl Strategy<Value = Transaction> {
 }
 
 fn opcode_counts() -> impl Strategy<Value = OpcodeCounts> {
-    prop::collection::vec((opcode(), 0_u64..1 << 30), 0..20)
-        .prop_map(|v| v.into_iter().collect())
+    prop::collection::vec((opcode(), 0_u64..1 << 30), 0..20).prop_map(|v| v.into_iter().collect())
 }
 
 fn event_counts() -> impl Strategy<Value = EventCounts> {

@@ -101,7 +101,10 @@ pub fn fit(hw: &VirtualK40, cfg: &FitConfig) -> FittedModel {
         .iter()
         .map(|&op| {
             let k = ComputeUbench::new(op, cfg.compute_iterations, &cfg.gpu.gpm);
-            (op, run_and_measure(hw, &cfg.gpu, &k, behavior, cfg.target_duration))
+            (
+                op,
+                run_and_measure(hw, &cfg.gpu, &k, behavior, cfg.target_duration),
+            )
         })
         .collect();
 
@@ -109,7 +112,10 @@ pub fn fit(hw: &VirtualK40, cfg: &FitConfig) -> FittedModel {
         .iter()
         .map(|&level| {
             let k = MemoryUbench::new(level, &cfg.gpu.gpm);
-            (level, run_and_measure(hw, &cfg.gpu, &k, behavior, cfg.target_duration))
+            (
+                level,
+                run_and_measure(hw, &cfg.gpu, &k, behavior, cfg.target_duration),
+            )
         })
         .collect();
 
@@ -183,7 +189,13 @@ pub fn fit(hw: &VirtualK40, cfg: &FitConfig) -> FittedModel {
         }
     }
 
-    FittedModel { epi, ept, ep_stall, const_power: idle, rounds: cfg.rounds }
+    FittedModel {
+        epi,
+        ept,
+        ep_stall,
+        const_power: idle,
+        rounds: cfg.rounds,
+    }
 }
 
 /// Energy of a run explained by the already-fitted terms, *excluding* the
@@ -270,11 +282,19 @@ mod tests {
         assert!((fitted.const_power.watts() - truth.idle_power().watts()).abs() < 1.5);
 
         // Compute EPIs within ~12% (sensor noise + stall coupling).
-        for op in [Opcode::FFma32, Opcode::FAdd64, Opcode::FRcp32, Opcode::IAdd32] {
+        for op in [
+            Opcode::FFma32,
+            Opcode::FAdd64,
+            Opcode::FRcp32,
+            Opcode::IAdd32,
+        ] {
             let got = fitted.epi.get(op).nanojoules();
             let want = truth.true_epi(op).nanojoules();
             let err = (got - want).abs() / want;
-            assert!(err < 0.12, "{op}: fitted {got:.4} vs true {want:.4} ({err:.3})");
+            assert!(
+                err < 0.12,
+                "{op}: fitted {got:.4} vs true {want:.4} ({err:.3})"
+            );
         }
 
         // Memory EPTs: shared/L1 should recover truth closely; L2/DRAM

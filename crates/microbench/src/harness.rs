@@ -73,7 +73,11 @@ pub fn measure_scaled(
     let activity = KernelActivity::new(counts.elapsed, counts.clone(), behavior);
     let profile = RunProfile::new(result.name.clone()).kernel(activity);
     let measurement = hw.measure(&profile);
-    ScaledMeasurement { counts, measurement, replication: r }
+    ScaledMeasurement {
+        counts,
+        measurement,
+        replication: r,
+    }
 }
 
 #[cfg(test)]
@@ -86,7 +90,10 @@ mod tests {
         let r = replication_factor(Time::from_micros(20.0), Time::from_millis(750.0));
         assert_eq!(r, 37_500);
         assert_eq!(replication_factor(Time::ZERO, Time::from_secs(1.0)), 1);
-        assert_eq!(replication_factor(Time::from_secs(2.0), Time::from_secs(1.0)), 1);
+        assert_eq!(
+            replication_factor(Time::from_secs(2.0), Time::from_secs(1.0)),
+            1
+        );
     }
 
     #[test]

@@ -137,8 +137,7 @@ impl MemoryUbench {
     /// occupancy sweep that separates stall energy from transaction
     /// energy.
     pub fn with_grid(level: MemLevel, gpm: &GpmConfig, grid: GridShape) -> Self {
-        let warps_per_sm =
-            (grid.total_warps() as f64 / gpm.sms as f64).ceil().max(1.0) as u64;
+        let warps_per_sm = (grid.total_warps() as f64 / gpm.sms as f64).ceil().max(1.0) as u64;
         let l1_lines = gpm.l1_bytes.count() / 128;
         let l2_lines_per_warp = {
             // Over the L1s (per-SM footprint beyond L1 capacity), under the
@@ -197,7 +196,9 @@ impl KernelProgram for MemoryUbench {
         let slice = self.region + warp_global * lines * 128;
         let dram_stride = lines * 128;
         Box::new((0..lines * passes).map(move |i| match level {
-            MemLevel::Shared => WarpInstr::Mem(MemRef::shared((i % lines) * 128 % (48 * 1024), false)),
+            MemLevel::Shared => {
+                WarpInstr::Mem(MemRef::shared((i % lines) * 128 % (48 * 1024), false))
+            }
             MemLevel::L1 | MemLevel::L2 => {
                 WarpInstr::Mem(MemRef::global_load(slice + (i % lines) * 128))
             }
@@ -375,7 +376,10 @@ mod tests {
         let gpm = GpmConfig::tiny();
         let k = MixedUbench::new(Opcode::FAdd64, MemLevel::L1, 3, &gpm);
         let v: Vec<_> = k.warp_instructions(CtaId::new(0), WarpId::new(0)).collect();
-        let computes = v.iter().filter(|i| matches!(i, WarpInstr::Compute(_))).count();
+        let computes = v
+            .iter()
+            .filter(|i| matches!(i, WarpInstr::Compute(_)))
+            .count();
         let mems = v
             .iter()
             .filter(|i| matches!(i, WarpInstr::Mem(m) if m.space == MemSpace::Global))

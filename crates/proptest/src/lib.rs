@@ -1,0 +1,178 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this crate vendors
+//! the subset of the proptest 1.x API the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`, range/tuple/collection
+//! strategies, `any::<T>()`, `prop_oneof!`, simple `[a-z]{m,n}` string
+//! patterns, and the `proptest!` / `prop_assert*` macro family driven by
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the case index and the
+//!   assertion message; re-running is deterministic (cases are seeded
+//!   from a fixed per-test stream), so failures reproduce exactly.
+//! * **Uniform generation only** — no bias toward edge values.
+
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+use strategy::{Any, Arbitrary};
+
+/// The strategy producing any value of `T` (uniform over the domain).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any::new()
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced access mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case with
+/// a formatted message instead of panicking (so the runner can attach
+/// case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when the assumption does not hold (counted as
+/// a pass; this runner does not re-draw).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(bindings) { body }`
+/// block becomes a standard `#[test]` that runs the body over
+/// `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests $cfg; $($rest)*);
+    };
+    (@tests $cfg:expr; $($(#[$meta:meta])+ fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::rng::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        $crate::proptest!(@bind __proptest_rng; $body; $($params)*);
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest case {}/{} for `{}` failed:\n{}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (@bind $rng:ident; $body:block;) => {
+        (move || -> ::std::result::Result<(), ::std::string::String> {
+            $body
+            ::std::result::Result::Ok(())
+        })()
+    };
+    (@bind $rng:ident; $body:block; mut $name:ident in $strat:expr) => {{
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng; $body;)
+    }};
+    (@bind $rng:ident; $body:block; mut $name:ident in $strat:expr, $($rest:tt)*) => {{
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng; $body; $($rest)*)
+    }};
+    (@bind $rng:ident; $body:block; $name:ident in $strat:expr) => {{
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng; $body;)
+    }};
+    (@bind $rng:ident; $body:block; $name:ident in $strat:expr, $($rest:tt)*) => {{
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng; $body; $($rest)*)
+    }};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ::std::default::Default::default(); $($rest)*);
+    };
+}

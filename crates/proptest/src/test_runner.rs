@@ -1,0 +1,23 @@
+//! Runner configuration for the `proptest!` macro.
+
+/// How many cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; that keeps this workspace's
+        // heavier simulator properties comfortably fast too.
+        ProptestConfig { cases: 256 }
+    }
+}

@@ -1,0 +1,296 @@
+//! A lock-sharded concurrent memoization cache with in-flight
+//! deduplication.
+//!
+//! The sweep executor runs many `(workload, config)` points in
+//! parallel, and distinct experiment points frequently share a
+//! simulation (energy-model knobs don't affect the performance run).
+//! This cache gives every requester of the same key the **same**
+//! computed value while guaranteeing the computation runs **once**,
+//! even when several threads ask concurrently:
+//!
+//! * The key space is split across `shards` independent `Mutex<HashMap>`
+//!   shards, so unrelated keys never contend on one lock.
+//! * The first requester of a key installs an *in-flight* marker and
+//!   computes outside the shard lock; concurrent requesters of the same
+//!   key block on that marker's condvar instead of recomputing.
+//! * If the computation panics, the marker is removed — the cache is
+//!   **not poisoned**: waiters see the failure as an [`Err`] they can
+//!   surface per-point, and a later request simply recomputes.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned to waiters whose computation panicked in the owning
+/// thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComputePanicked {
+    /// Panic message of the owning computation, as best recoverable.
+    pub message: String,
+}
+
+impl std::fmt::Display for ComputePanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cached computation panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for ComputePanicked {}
+
+/// Extracts a human-readable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+enum Slot<V> {
+    /// Computation owned by some thread; waiters block on the handle.
+    InFlight(Arc<Flight<V>>),
+    /// Finished value.
+    Ready(V),
+}
+
+struct Flight<V> {
+    outcome: Mutex<Option<Result<V, ComputePanicked>>>,
+    done: Condvar,
+}
+
+impl<V: Clone> Flight<V> {
+    fn wait(&self) -> Result<V, ComputePanicked> {
+        let mut outcome = self.outcome.lock().unwrap();
+        while outcome.is_none() {
+            outcome = self.done.wait(outcome).unwrap();
+        }
+        outcome.as_ref().unwrap().clone()
+    }
+}
+
+/// Deterministic shard router (the per-process `RandomState` seeds of
+/// `HashMap` would still be *correct*, but a fixed hasher keeps shard
+/// assignment reproducible run to run, which makes contention profiles
+/// stable and debuggable).
+#[derive(Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // FxHash-style multiply-rotate mix.
+        for &b in bytes {
+            self.state =
+                (self.state.rotate_left(5) ^ b as u64).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        }
+    }
+}
+
+/// A concurrent memoization map sharded over independent locks.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, Slot<V>>>>,
+}
+
+impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    /// A cache with `shards` lock shards (rounded up to a power of two).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// A cache sized for `threads` concurrent requesters.
+    pub fn for_threads(threads: usize) -> Self {
+        // 4x the thread count keeps the collision probability of two
+        // active threads on one shard lock low without bloating memory.
+        Self::new(threads.saturating_mul(4).clamp(1, 256))
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<HashMap<K, Slot<V>>> {
+        let hash = BuildHasherDefault::<FxHasher>::default().hash_one(key);
+        let i = (hash as usize) & (self.shards.len() - 1);
+        &self.shards[i]
+    }
+
+    /// Number of finished entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap()
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds no finished entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached value for `key`, if finished.
+    pub fn get(&self, key: &K) -> Option<V> {
+        match self.shard_of(key).lock().unwrap().get(key) {
+            Some(Slot::Ready(v)) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// The value for `key`, computing it with `compute` on a miss.
+    ///
+    /// Exactly one thread computes each key; concurrent requesters block
+    /// until the owner publishes. If the owner panics, this call returns
+    /// `Err` for the owner *and* all waiters, the in-flight marker is
+    /// removed (no poisoning), and a subsequent call recomputes.
+    pub fn get_or_compute(
+        &self,
+        key: &K,
+        compute: impl FnOnce() -> V,
+    ) -> Result<V, ComputePanicked> {
+        // Fast path / claim.
+        let flight = {
+            let mut shard = self.shard_of(key).lock().unwrap();
+            match shard.get(key) {
+                Some(Slot::Ready(v)) => return Ok(v.clone()),
+                Some(Slot::InFlight(flight)) => {
+                    let flight = Arc::clone(flight);
+                    drop(shard);
+                    return flight.wait();
+                }
+                None => {
+                    let flight = Arc::new(Flight {
+                        outcome: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    shard.insert(key.clone(), Slot::InFlight(Arc::clone(&flight)));
+                    flight
+                }
+            }
+        };
+
+        // Own the computation, outside any shard lock.
+        let result = catch_unwind(AssertUnwindSafe(compute));
+        let outcome = match result {
+            Ok(v) => {
+                let mut shard = self.shard_of(key).lock().unwrap();
+                shard.insert(key.clone(), Slot::Ready(v.clone()));
+                Ok(v)
+            }
+            Err(payload) => {
+                let mut shard = self.shard_of(key).lock().unwrap();
+                shard.remove(key);
+                Err(ComputePanicked {
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        };
+        let mut slot = flight.outcome.lock().unwrap();
+        *slot = Some(outcome.clone());
+        drop(slot);
+        flight.done.notify_all();
+        outcome
+    }
+
+    /// Like [`Self::get_or_compute`], but re-raises the owner's panic in
+    /// the calling thread instead of returning it as a value. Waiters on
+    /// a panicked owner also panic.
+    pub fn get_or_compute_unwrap(&self, key: &K, compute: impl FnOnce() -> V) -> V {
+        match self.get_or_compute(key, compute) {
+            Ok(v) => v,
+            Err(e) => resume_unwind(Box::new(e.message)),
+        }
+    }
+
+    /// Removes every entry (finished and failed alike). In-flight
+    /// owners still publish to their waiters through the detached
+    /// flight handle; they just no longer populate the cache.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn computes_once_per_key() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(8);
+        let calls = AtomicU64::new(0);
+        for i in 0..100 {
+            let v = cache
+                .get_or_compute(&(i % 10), || {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    (i % 10) * 2
+                })
+                .unwrap();
+            assert_eq!(v, (i % 10) * 2);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 10);
+        assert_eq!(cache.len(), 10);
+    }
+
+    #[test]
+    fn concurrent_requesters_share_one_computation() {
+        let cache: Arc<ShardedCache<u32, Arc<Vec<u8>>>> = Arc::new(ShardedCache::new(4));
+        let calls = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let calls = Arc::clone(&calls);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache
+                        .get_or_compute(&7, || {
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Arc::new(vec![1, 2, 3])
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        let values: Vec<Arc<Vec<u8>>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        // Everyone got the same allocation, not equal copies.
+        for v in &values {
+            assert!(Arc::ptr_eq(v, &values[0]));
+        }
+    }
+
+    #[test]
+    fn panicking_computation_does_not_poison() {
+        let cache: ShardedCache<u8, u8> = ShardedCache::new(2);
+        let r = cache.get_or_compute(&1, || panic!("boom"));
+        assert!(r.is_err());
+        assert!(r.unwrap_err().message.contains("boom"));
+        // Same key recomputes cleanly afterwards.
+        assert_eq!(cache.get_or_compute(&1, || 42).unwrap(), 42);
+        assert_eq!(cache.get(&1), Some(42));
+    }
+}

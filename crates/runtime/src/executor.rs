@@ -1,0 +1,319 @@
+//! The sweep executor: schedules simulation points onto the pool,
+//! deduplicates shared work through the sharded cache, and collects
+//! results in submission order so parallel output is bit-identical to
+//! serial output.
+
+use crate::cache::{panic_message, ShardedCache};
+use crate::metrics::SweepMetrics;
+use crate::pool::{current_worker_index, ThreadPool};
+use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A point that failed instead of producing a value (its job panicked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Panic message of the failed point.
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep point failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Per-point outcome: the computed value or the panic that replaced it.
+pub type PointOutcome<O> = Result<O, SweepError>;
+
+/// Result of one sweep: submission-ordered outcomes plus the metrics
+/// gathered while running.
+#[derive(Debug)]
+pub struct SweepReport<O> {
+    /// One outcome per submitted point, in submission order.
+    pub outcomes: Vec<PointOutcome<O>>,
+    /// Counters and timings for the sweep.
+    pub metrics: Arc<SweepMetrics>,
+}
+
+impl<O> SweepReport<O> {
+    /// Unwraps every outcome, panicking with the first error message if
+    /// any point failed.
+    pub fn into_values(self) -> Vec<O> {
+        self.outcomes
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(e) => panic!("{e}"),
+            })
+            .collect()
+    }
+
+    /// Number of failed points.
+    pub fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|r| r.is_err()).count()
+    }
+}
+
+/// Submission-indexed result collector: jobs write into their slot and
+/// the submitting thread blocks until every slot is filled.
+struct Collector<O> {
+    slots: Mutex<CollectorState<O>>,
+    done: Condvar,
+}
+
+struct CollectorState<O> {
+    results: Vec<Option<PointOutcome<O>>>,
+    remaining: usize,
+}
+
+impl<O> Collector<O> {
+    fn new(n: usize) -> Self {
+        Collector {
+            slots: Mutex::new(CollectorState {
+                results: (0..n).map(|_| None).collect(),
+                remaining: n,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, indices: &[usize], outcome: &PointOutcome<O>)
+    where
+        O: Clone,
+    {
+        let mut state = self.slots.lock().unwrap();
+        for &i in indices {
+            debug_assert!(state.results[i].is_none(), "slot {i} filled twice");
+            state.results[i] = Some(outcome.clone());
+            state.remaining -= 1;
+        }
+        if state.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until all slots are filled, invoking `tick` periodically
+    /// (progress reporting).
+    fn wait(&self, mut tick: impl FnMut()) -> Vec<PointOutcome<O>> {
+        let mut state = self.slots.lock().unwrap();
+        while state.remaining > 0 {
+            let (next, _timeout) = self
+                .done
+                .wait_timeout(state, Duration::from_millis(100))
+                .unwrap();
+            state = next;
+            tick();
+        }
+        state
+            .results
+            .drain(..)
+            .map(|r| r.expect("slot filled"))
+            .collect()
+    }
+}
+
+/// Schedules `(key, item)` simulation points over a work-stealing pool
+/// with cache-backed deduplication and deterministic collection.
+///
+/// With one thread the executor runs points inline on the calling
+/// thread in submission order — the exact serial semantics the `xp`
+/// harness had before this crate existed. With more threads, points run
+/// concurrently, but results are still collected by submission index,
+/// so downstream output is identical.
+#[derive(Debug)]
+pub struct SweepExecutor {
+    pool: Option<ThreadPool>,
+    threads: usize,
+    progress: bool,
+}
+
+impl SweepExecutor {
+    /// An executor with `threads` workers (1 = serial, no pool).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        SweepExecutor {
+            pool: (threads > 1).then(|| ThreadPool::new(threads)),
+            threads,
+            progress: false,
+        }
+    }
+
+    /// Enables or disables the periodic stderr progress line.
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Number of worker threads (1 means serial execution).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one closure per item, collecting outcomes in submission
+    /// order. Panics in `f` become per-point [`SweepError`]s.
+    pub fn run<I, O, F>(&self, items: Vec<I>, f: F) -> SweepReport<O>
+    where
+        I: Send + 'static,
+        O: Clone + Send + 'static,
+        F: Fn(&I) -> O + Send + Sync + 'static,
+    {
+        // Uncached run: every item is its own unique "key" by index.
+        let total = items.len();
+        let unique = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| (i, vec![i], item))
+            .collect();
+        self.execute(unique, total, move |_key: &usize, item: &I| f(item))
+    }
+
+    /// Runs keyed points with deduplication: items sharing a key are
+    /// simulated once (first submission wins; the cache also serves
+    /// hits from earlier sweeps) and every submission index receives the
+    /// shared value. Outcomes are in submission order.
+    pub fn run_keyed<K, I, O, F>(
+        &self,
+        cache: &Arc<ShardedCache<K, O>>,
+        items: Vec<(K, I)>,
+        f: F,
+    ) -> SweepReport<O>
+    where
+        K: Hash + Eq + Clone + Send + Sync + 'static,
+        I: Send + 'static,
+        O: Clone + Send + Sync + 'static,
+        F: Fn(&K, &I) -> O + Send + Sync + 'static,
+    {
+        let total = items.len();
+        let cache = Arc::clone(cache);
+        let f = Arc::new(f);
+
+        // Group submission indices by key, keeping the first item as the
+        // representative input and preserving first-submission order of
+        // the unique keys (scheduling order matters for determinism of
+        // *side effects* like cache fill order in serial mode, and for
+        // giving long-pole jobs an early start in parallel mode).
+        let mut unique: Vec<(K, Vec<usize>, I)> = Vec::new();
+        let mut by_key: std::collections::HashMap<K, usize> = std::collections::HashMap::new();
+        for (i, (key, item)) in items.into_iter().enumerate() {
+            match by_key.get(&key) {
+                Some(&slot) => unique[slot].1.push(i),
+                None => {
+                    by_key.insert(key.clone(), unique.len());
+                    unique.push((key, vec![i], item));
+                }
+            }
+        }
+
+        let hit_counter = {
+            let cache = Arc::clone(&cache);
+            move |key: &K| cache.get(key).is_some()
+        };
+        let compute = move |key: &K, item: &I| cache.get_or_compute_unwrap(key, || f(key, item));
+        self.execute_with_hits(unique, total, compute, hit_counter)
+    }
+
+    fn execute<K, I, O, F>(
+        &self,
+        unique: Vec<(K, Vec<usize>, I)>,
+        total: usize,
+        f: F,
+    ) -> SweepReport<O>
+    where
+        K: Send + 'static,
+        I: Send + 'static,
+        O: Clone + Send + 'static,
+        F: Fn(&K, &I) -> O + Send + Sync + 'static,
+    {
+        self.execute_with_hits(unique, total, f, |_| false)
+    }
+
+    fn execute_with_hits<K, I, O, F, H>(
+        &self,
+        unique: Vec<(K, Vec<usize>, I)>,
+        total: usize,
+        f: F,
+        is_cache_hit: H,
+    ) -> SweepReport<O>
+    where
+        K: Send + 'static,
+        I: Send + 'static,
+        O: Clone + Send + 'static,
+        F: Fn(&K, &I) -> O + Send + Sync + 'static,
+        H: Fn(&K) -> bool + Send + Sync + 'static,
+    {
+        let metrics = Arc::new(SweepMetrics::new(self.threads));
+        metrics.submitted.store(total, Ordering::Relaxed);
+        let collector = Arc::new(Collector::new(total));
+        let f = Arc::new(f);
+        let is_cache_hit = Arc::new(is_cache_hit);
+
+        let run_point = {
+            let metrics = Arc::clone(&metrics);
+            let collector = Arc::clone(&collector);
+            let progress = self.progress;
+            move |key: K, indices: Vec<usize>, item: I| {
+                let hit = is_cache_hit(&key);
+                let start = Instant::now();
+                metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+                let outcome = match catch_unwind(AssertUnwindSafe(|| f(&key, &item))) {
+                    Ok(v) => Ok(v),
+                    Err(payload) => Err(SweepError {
+                        message: panic_message(payload.as_ref()),
+                    }),
+                };
+                metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+                metrics
+                    .completed
+                    .fetch_add(indices.len(), Ordering::Relaxed);
+                if outcome.is_err() {
+                    metrics.errors.fetch_add(indices.len(), Ordering::Relaxed);
+                }
+                if hit {
+                    // Every submission index was served by the cache.
+                    metrics
+                        .cache_hits
+                        .fetch_add(indices.len(), Ordering::Relaxed);
+                } else {
+                    let worker = current_worker_index().unwrap_or(0);
+                    metrics.record_point(worker, start.elapsed());
+                    // Duplicate submissions beyond the first ride the
+                    // fresh result like cache hits.
+                    metrics
+                        .cache_hits
+                        .fetch_add(indices.len() - 1, Ordering::Relaxed);
+                }
+                collector.fill(&indices, &outcome);
+                if progress {
+                    metrics.maybe_print_progress(Duration::from_millis(500));
+                }
+            }
+        };
+
+        match &self.pool {
+            None => {
+                for (key, indices, item) in unique {
+                    run_point(key, indices, item);
+                }
+            }
+            Some(pool) => {
+                let run_point = Arc::new(run_point);
+                for (key, indices, item) in unique {
+                    let run_point = Arc::clone(&run_point);
+                    pool.spawn(move || run_point(key, indices, item));
+                }
+            }
+        }
+
+        let outcomes = collector.wait(|| {
+            if self.progress {
+                metrics.maybe_print_progress(Duration::from_millis(500));
+            }
+        });
+        SweepReport { outcomes, metrics }
+    }
+}

@@ -1,0 +1,182 @@
+//! Live sweep metrics: counters the executor updates as points move
+//! through the pipeline, a periodic progress line, and a final summary
+//! table.
+
+use common::table::TextTable;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shared counters for one sweep (all methods are lock-free except the
+/// per-point wall-time record, which appends under a short mutex).
+#[derive(Debug)]
+pub struct SweepMetrics {
+    /// Points submitted to the executor.
+    pub submitted: AtomicUsize,
+    /// Points fully finished (simulated or served from cache).
+    pub completed: AtomicUsize,
+    /// Points whose simulation was served from the cache.
+    pub cache_hits: AtomicUsize,
+    /// Points currently being simulated.
+    pub in_flight: AtomicUsize,
+    /// Points that failed (panicked) instead of completing.
+    pub errors: AtomicUsize,
+    /// Sum of per-point simulation wall times, nanoseconds.
+    sim_nanos: AtomicU64,
+    /// Longest single point, nanoseconds.
+    max_point_nanos: AtomicU64,
+    /// Per-worker busy time, nanoseconds (indexed by worker slot).
+    busy_nanos: Vec<AtomicU64>,
+    start: Instant,
+    /// Last progress-line emission, for rate limiting.
+    last_progress: Mutex<Instant>,
+}
+
+impl SweepMetrics {
+    /// Fresh metrics for a sweep executed by `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        let now = Instant::now();
+        SweepMetrics {
+            submitted: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            errors: AtomicUsize::new(0),
+            sim_nanos: AtomicU64::new(0),
+            max_point_nanos: AtomicU64::new(0),
+            busy_nanos: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            start: now,
+            last_progress: Mutex::new(now),
+        }
+    }
+
+    /// Records one simulated point's wall time against a worker slot.
+    pub fn record_point(&self, worker: usize, wall: Duration) {
+        let nanos = wall.as_nanos() as u64;
+        self.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_point_nanos.fetch_max(nanos, Ordering::Relaxed);
+        self.busy_nanos[worker % self.busy_nanos.len()].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Elapsed wall time since the metrics were created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Mean simulated-point wall time, if any point finished.
+    pub fn mean_point_time(&self) -> Option<Duration> {
+        let simulated = self
+            .completed
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.cache_hits.load(Ordering::Relaxed));
+        if simulated == 0 {
+            return None;
+        }
+        Some(Duration::from_nanos(
+            self.sim_nanos.load(Ordering::Relaxed) / simulated as u64,
+        ))
+    }
+
+    /// Aggregate worker utilization in `[0, 1]`: busy time over
+    /// `workers x elapsed`.
+    pub fn worker_utilization(&self) -> f64 {
+        let wall = self.elapsed().as_nanos() as f64;
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        let busy: u64 = self
+            .busy_nanos
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        (busy as f64 / (wall * self.busy_nanos.len() as f64)).min(1.0)
+    }
+
+    /// Emits a progress line to stderr, rate-limited to one per
+    /// `interval`. Stdout stays clean for table output.
+    pub fn maybe_print_progress(&self, interval: Duration) {
+        let mut last = self.last_progress.lock().unwrap();
+        if last.elapsed() < interval {
+            return;
+        }
+        *last = Instant::now();
+        drop(last);
+        eprintln!(
+            "[sweep {:6.1}s] {}/{} points done ({} cached, {} in flight, {} failed), workers {:.0}% busy",
+            self.elapsed().as_secs_f64(),
+            self.completed.load(Ordering::Relaxed),
+            self.submitted.load(Ordering::Relaxed),
+            self.cache_hits.load(Ordering::Relaxed),
+            self.in_flight.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.worker_utilization() * 100.0,
+        );
+    }
+
+    /// Renders the final summary as a `common` text table.
+    pub fn summary_table(&self) -> TextTable {
+        let mut t = TextTable::new(["sweep metric", "value"]);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        t.row(["points completed".to_string(), completed.to_string()]);
+        t.row(["served from cache".to_string(), hits.to_string()]);
+        t.row([
+            "simulated".to_string(),
+            completed.saturating_sub(hits).to_string(),
+        ]);
+        t.row([
+            "failed".to_string(),
+            self.errors.load(Ordering::Relaxed).to_string(),
+        ]);
+        t.row([
+            "wall time".to_string(),
+            format!("{:.2}s", self.elapsed().as_secs_f64()),
+        ]);
+        if let Some(mean) = self.mean_point_time() {
+            t.row([
+                "mean point time".to_string(),
+                format!("{:.1}ms", mean.as_secs_f64() * 1e3),
+            ]);
+            t.row([
+                "max point time".to_string(),
+                format!(
+                    "{:.1}ms",
+                    self.max_point_nanos.load(Ordering::Relaxed) as f64 / 1e6
+                ),
+            ]);
+        }
+        t.row([
+            "worker utilization".to_string(),
+            format!("{:.0}%", self.worker_utilization() * 100.0),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let m = SweepMetrics::new(2);
+        m.submitted.store(3, Ordering::Relaxed);
+        m.completed.store(3, Ordering::Relaxed);
+        m.cache_hits.store(1, Ordering::Relaxed);
+        m.record_point(0, Duration::from_millis(10));
+        m.record_point(1, Duration::from_millis(30));
+        let mean = m.mean_point_time().unwrap();
+        assert_eq!(mean, Duration::from_millis(20));
+        let rendered = m.summary_table().render();
+        assert!(rendered.contains("served from cache"));
+        assert!(rendered.contains("simulated"));
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let m = SweepMetrics::new(4);
+        m.record_point(0, Duration::from_secs(1000));
+        assert!(m.worker_utilization() <= 1.0);
+        assert!(m.worker_utilization() >= 0.0);
+    }
+}

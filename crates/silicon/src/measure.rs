@@ -143,8 +143,9 @@ impl VirtualK40 {
         // of the refresh period.
         let mut now = Time::ZERO; // time within current window
         let mut phase_iter = profile.phases().iter();
-        let mut current: Option<(Power, Time)> =
-            phase_iter.next().map(|p| (self.true_phase_power(p), p.duration()));
+        let mut current: Option<(Power, Time)> = phase_iter
+            .next()
+            .map(|p| (self.true_phase_power(p), p.duration()));
 
         let n_windows = (total.secs() / refresh.secs()).ceil().max(1.0) as usize;
         for _ in 0..n_windows {
@@ -159,8 +160,9 @@ impl VirtualK40 {
                         if new_left.is_positive() {
                             current = Some((power, new_left));
                         } else {
-                            current =
-                                phase_iter.next().map(|p| (self.true_phase_power(p), p.duration()));
+                            current = phase_iter
+                                .next()
+                                .map(|p| (self.true_phase_power(p), p.duration()));
                         }
                     }
                     None => {
@@ -323,9 +325,7 @@ mod tests {
         let hw = VirtualK40::new();
         let k = steady_kernel(10.0);
         let dynamic = hw.truth().kernel_dynamic_energy(&k);
-        let profile = RunProfile::new("x")
-            .kernel(k)
-            .idle(Time::from_millis(5.0));
+        let profile = RunProfile::new("x").kernel(k).idle(Time::from_millis(5.0));
         let e = hw.true_energy(&profile);
         let expected = hw.truth().idle_power() * Time::from_millis(15.0)
             + dynamic

@@ -37,7 +37,11 @@ pub struct HiddenBehavior {
 impl HiddenBehavior {
     /// Full-warp, full-interaction behavior (regular dense kernels).
     pub fn regular() -> Self {
-        HiddenBehavior { lane_utilization: 1.0, interaction_scale: 1.0, floor_scale: 1.0 }
+        HiddenBehavior {
+            lane_utilization: 1.0,
+            interaction_scale: 1.0,
+            floor_scale: 1.0,
+        }
     }
 
     /// Behavior with the given active-lane fraction.
@@ -50,7 +54,10 @@ impl HiddenBehavior {
             lane_utilization > 0.0 && lane_utilization <= 1.0,
             "lane utilization must be in (0, 1], got {lane_utilization}"
         );
-        HiddenBehavior { lane_utilization, ..Self::regular() }
+        HiddenBehavior {
+            lane_utilization,
+            ..Self::regular()
+        }
     }
 }
 
@@ -81,7 +88,11 @@ impl KernelActivity {
     /// Panics if `duration` is not strictly positive.
     pub fn new(duration: Time, counts: EventCounts, behavior: HiddenBehavior) -> Self {
         assert!(duration.is_positive(), "kernel duration must be positive");
-        KernelActivity { duration, counts, behavior }
+        KernelActivity {
+            duration,
+            counts,
+            behavior,
+        }
     }
 
     /// `true` if the kernel generates any DRAM or L2 traffic (which keeps
@@ -141,7 +152,10 @@ pub struct RunProfile {
 impl RunProfile {
     /// An empty profile with a name.
     pub fn new(name: impl Into<String>) -> Self {
-        RunProfile { name: name.into(), phases: Vec::new() }
+        RunProfile {
+            name: name.into(),
+            phases: Vec::new(),
+        }
     }
 
     /// Appends a kernel phase.

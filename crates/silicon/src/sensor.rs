@@ -84,7 +84,11 @@ impl PowerSensor {
     /// Creates a sensor settled at `initial` power (e.g. idle power).
     pub fn new(config: SensorConfig, initial: Power) -> Self {
         let rng_state = config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-        PowerSensor { config, filtered: initial.watts(), rng_state }
+        PowerSensor {
+            config,
+            filtered: initial.watts(),
+            rng_state,
+        }
     }
 
     /// The sensor configuration.
@@ -111,7 +115,11 @@ impl PowerSensor {
     pub fn read(&mut self) -> Power {
         let noisy = self.filtered + self.noise();
         let q = self.config.quantum_watts;
-        let quantized = if q > 0.0 { (noisy / q).round() * q } else { noisy };
+        let quantized = if q > 0.0 {
+            (noisy / q).round() * q
+        } else {
+            noisy
+        };
         Power::from_watts(quantized.max(0.0))
     }
 
@@ -151,7 +159,11 @@ mod tests {
 
     #[test]
     fn filter_lags_short_bursts() {
-        let cfg = SensorConfig { noise_watts: 0.0, quantum_watts: 0.0, ..SensorConfig::k40() };
+        let cfg = SensorConfig {
+            noise_watts: 0.0,
+            quantum_watts: 0.0,
+            ..SensorConfig::k40()
+        };
         let mut s = PowerSensor::new(cfg, Power::from_watts(62.0));
         // A 1 ms burst at 200 W against an 8 ms time constant barely moves
         // the reading.
@@ -162,7 +174,11 @@ mod tests {
 
     #[test]
     fn exact_exponential_response() {
-        let cfg = SensorConfig { noise_watts: 0.0, quantum_watts: 0.0, ..SensorConfig::k40() };
+        let cfg = SensorConfig {
+            noise_watts: 0.0,
+            quantum_watts: 0.0,
+            ..SensorConfig::k40()
+        };
         let mut s = PowerSensor::new(cfg.clone(), Power::from_watts(0.0));
         s.advance(Power::from_watts(100.0), cfg.filter_tau);
         // After exactly one time constant: 1 - 1/e of the step.
@@ -172,7 +188,11 @@ mod tests {
 
     #[test]
     fn segmented_advance_equals_single_advance() {
-        let cfg = SensorConfig { noise_watts: 0.0, quantum_watts: 0.0, ..SensorConfig::k40() };
+        let cfg = SensorConfig {
+            noise_watts: 0.0,
+            quantum_watts: 0.0,
+            ..SensorConfig::k40()
+        };
         let mut a = PowerSensor::new(cfg.clone(), Power::from_watts(50.0));
         let mut b = PowerSensor::new(cfg, Power::from_watts(50.0));
         a.advance(Power::from_watts(120.0), Time::from_millis(10.0));
@@ -225,7 +245,11 @@ mod tests {
 
     #[test]
     fn zero_dt_advance_is_noop() {
-        let cfg = SensorConfig { noise_watts: 0.0, quantum_watts: 0.0, ..SensorConfig::k40() };
+        let cfg = SensorConfig {
+            noise_watts: 0.0,
+            quantum_watts: 0.0,
+            ..SensorConfig::k40()
+        };
         let mut s = PowerSensor::new(cfg, Power::from_watts(62.0));
         s.advance(Power::from_watts(500.0), Time::ZERO);
         assert!((s.read().watts() - 62.0).abs() < 1e-9);

@@ -169,8 +169,7 @@ impl TruthModel {
         // trickling traffic (RSBench-style) pays the full floor, while a
         // cache-resident kernel whose only traffic is its warm-up pays
         // almost nothing.
-        let floor =
-            self.mem_floor_power * k.duration * self.floor_gate(k) * k.behavior.floor_scale;
+        let floor = self.mem_floor_power * k.duration * self.floor_gate(k) * k.behavior.floor_scale;
 
         // Compute<->memory interaction: scheduling/MSHR cross-term
         // proportional to the weaker of the two activities.
@@ -188,8 +187,8 @@ impl TruthModel {
     /// (~6% of the peak L2 rate) — sustained traffic keeps the memory
     /// clocks up, a one-time warm-up fill does not.
     pub fn floor_gate(&self, k: &KernelActivity) -> f64 {
-        let mem_txns = k.counts.txns.get(Transaction::L2ToL1)
-            + k.counts.txns.get(Transaction::DramToL2);
+        let mem_txns =
+            k.counts.txns.get(Transaction::L2ToL1) + k.counts.txns.get(Transaction::DramToL2);
         if mem_txns == 0 {
             return 0.0;
         }
@@ -235,7 +234,12 @@ mod tests {
     #[test]
     fn pure_compute_kernel_matches_epi_sum() {
         let truth = TruthModel::k40();
-        let k = kernel(&[(Opcode::FAdd32, 1_000_000)], &[], 1.0, HiddenBehavior::regular());
+        let k = kernel(
+            &[(Opcode::FAdd32, 1_000_000)],
+            &[],
+            1.0,
+            HiddenBehavior::regular(),
+        );
         let e = truth.kernel_dynamic_energy(&k);
         // No memory traffic: no floor, no interaction, no divergence.
         assert!((e.joules() - 1_000_000.0 * 0.06e-9).abs() < 1e-15);
@@ -244,7 +248,12 @@ mod tests {
     #[test]
     fn divergence_inflates_true_compute_energy() {
         let truth = TruthModel::k40();
-        let full = kernel(&[(Opcode::FAdd32, 1_000_000)], &[], 1.0, HiddenBehavior::regular());
+        let full = kernel(
+            &[(Opcode::FAdd32, 1_000_000)],
+            &[],
+            1.0,
+            HiddenBehavior::regular(),
+        );
         let div = kernel(
             &[(Opcode::FAdd32, 1_000_000)],
             &[],
@@ -260,10 +269,18 @@ mod tests {
     fn memory_floor_charged_per_time_when_memory_active() {
         let truth = TruthModel::k40();
         // Sustained traffic (4 sectors/ns over 1 ms vs 10 ms): full floor.
-        let short =
-            kernel(&[], &[(Transaction::DramToL2, 4_000_000)], 1.0, HiddenBehavior::regular());
-        let long =
-            kernel(&[], &[(Transaction::DramToL2, 40_000_000)], 10.0, HiddenBehavior::regular());
+        let short = kernel(
+            &[],
+            &[(Transaction::DramToL2, 4_000_000)],
+            1.0,
+            HiddenBehavior::regular(),
+        );
+        let long = kernel(
+            &[],
+            &[(Transaction::DramToL2, 40_000_000)],
+            10.0,
+            HiddenBehavior::regular(),
+        );
         assert_eq!(truth.floor_gate(&short), 1.0);
         assert_eq!(truth.floor_gate(&long), 1.0);
         let delta = truth.kernel_dynamic_energy(&long) - truth.kernel_dynamic_energy(&short);
@@ -277,24 +294,47 @@ mod tests {
     fn floor_gate_ramps_with_traffic_rate() {
         let truth = TruthModel::k40();
         // 10 transactions over 1 ms: essentially idle memory clocks.
-        let trickle =
-            kernel(&[], &[(Transaction::DramToL2, 10)], 1.0, HiddenBehavior::regular());
+        let trickle = kernel(
+            &[],
+            &[(Transaction::DramToL2, 10)],
+            1.0,
+            HiddenBehavior::regular(),
+        );
         assert!(truth.floor_gate(&trickle) < 1e-4);
         // Zero traffic: no gate at all.
-        let none = kernel(&[(Opcode::FAdd32, 100)], &[], 1.0, HiddenBehavior::regular());
+        let none = kernel(
+            &[(Opcode::FAdd32, 100)],
+            &[],
+            1.0,
+            HiddenBehavior::regular(),
+        );
         assert_eq!(truth.floor_gate(&none), 0.0);
         // Half-threshold traffic (1 sector/ns against the 2/ns knee):
         // half gate.
-        let half =
-            kernel(&[], &[(Transaction::L2ToL1, 1_000_000)], 1.0, HiddenBehavior::regular());
+        let half = kernel(
+            &[],
+            &[(Transaction::L2ToL1, 1_000_000)],
+            1.0,
+            HiddenBehavior::regular(),
+        );
         assert!((truth.floor_gate(&half) - 0.5).abs() < 1e-9);
     }
 
     #[test]
     fn no_floor_power_without_memory_traffic() {
         let truth = TruthModel::k40();
-        let short = kernel(&[(Opcode::FMul32, 100)], &[], 1.0, HiddenBehavior::regular());
-        let long = kernel(&[(Opcode::FMul32, 100)], &[], 10.0, HiddenBehavior::regular());
+        let short = kernel(
+            &[(Opcode::FMul32, 100)],
+            &[],
+            1.0,
+            HiddenBehavior::regular(),
+        );
+        let long = kernel(
+            &[(Opcode::FMul32, 100)],
+            &[],
+            10.0,
+            HiddenBehavior::regular(),
+        );
         assert_eq!(
             truth.kernel_dynamic_energy(&short),
             truth.kernel_dynamic_energy(&long)
@@ -304,7 +344,12 @@ mod tests {
     #[test]
     fn interaction_term_appears_only_for_mixed_kernels() {
         let truth = TruthModel::k40();
-        let compute_only = kernel(&[(Opcode::FAdd64, 1_000_000)], &[], 1.0, HiddenBehavior::regular());
+        let compute_only = kernel(
+            &[(Opcode::FAdd64, 1_000_000)],
+            &[],
+            1.0,
+            HiddenBehavior::regular(),
+        );
         let mixed = kernel(
             &[(Opcode::FAdd64, 1_000_000)],
             &[(Transaction::L1ToReg, 10_000)],
@@ -316,9 +361,7 @@ mod tests {
         let expected_interaction = e_compute.min(e_mem) * 0.035;
         let total = truth.kernel_dynamic_energy(&mixed).joules();
         assert!((total - (e_compute + e_mem + expected_interaction)).abs() < 1e-12);
-        assert!(
-            (truth.kernel_dynamic_energy(&compute_only).joules() - e_compute).abs() < 1e-15
-        );
+        assert!((truth.kernel_dynamic_energy(&compute_only).joules() - e_compute).abs() < 1e-15);
     }
 
     #[test]
@@ -334,7 +377,12 @@ mod tests {
     #[test]
     fn dynamic_power_is_energy_over_duration() {
         let truth = TruthModel::k40();
-        let k = kernel(&[(Opcode::FFma32, 10_000_000)], &[], 2.0, HiddenBehavior::regular());
+        let k = kernel(
+            &[(Opcode::FFma32, 10_000_000)],
+            &[],
+            2.0,
+            HiddenBehavior::regular(),
+        );
         let p = truth.kernel_dynamic_power(&k);
         let e = truth.kernel_dynamic_energy(&k);
         assert!((p.watts() - e.joules() / 2e-3).abs() < 1e-12);

@@ -20,21 +20,26 @@ fn kernel() -> impl Strategy<Value = KernelActivity> {
             KernelActivity::new(
                 Time::from_millis(ms),
                 c,
-                HiddenBehavior { lane_utilization: lanes, ..HiddenBehavior::regular() },
+                HiddenBehavior {
+                    lane_utilization: lanes,
+                    ..HiddenBehavior::regular()
+                },
             )
         })
 }
 
 fn profile() -> impl Strategy<Value = RunProfile> {
-    (prop::collection::vec((kernel(), 0.0_f64..5.0), 1..8), "[a-z]{3,8}").prop_map(
-        |(phases, name)| {
+    (
+        prop::collection::vec((kernel(), 0.0_f64..5.0), 1..8),
+        "[a-z]{3,8}",
+    )
+        .prop_map(|(phases, name)| {
             let mut p = RunProfile::new(name);
             for (k, gap_ms) in phases {
                 p = p.kernel(k).idle(Time::from_millis(gap_ms));
             }
             p
-        },
-    )
+        })
 }
 
 proptest! {

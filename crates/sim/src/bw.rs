@@ -41,13 +41,21 @@ impl BwResource {
             bytes_per_cycle > 0.0,
             "bandwidth must be positive, got {bytes_per_cycle}"
         );
-        BwResource { bytes_per_cycle, virtual_time: 0.0, busy_byte_cycles: 0.0 }
+        BwResource {
+            bytes_per_cycle,
+            virtual_time: 0.0,
+            busy_byte_cycles: 0.0,
+        }
     }
 
     /// A resource with unbounded bandwidth (zero service time). Used for
     /// the ideal-interconnect (monolithic) comparison runs.
     pub fn unlimited() -> Self {
-        BwResource { bytes_per_cycle: f64::INFINITY, virtual_time: 0.0, busy_byte_cycles: 0.0 }
+        BwResource {
+            bytes_per_cycle: f64::INFINITY,
+            virtual_time: 0.0,
+            busy_byte_cycles: 0.0,
+        }
     }
 
     /// Requests service for `bytes` starting no earlier than cycle `now`;

@@ -33,7 +33,12 @@ struct Line {
     lru: u64,
 }
 
-const INVALID: Line = Line { tag: 0, valid: false, dirty: false, lru: 0 };
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    lru: 0,
+};
 
 /// A set-associative, LRU, write-back cache over 128-byte lines.
 ///
@@ -66,7 +71,10 @@ impl Cache {
     /// Panics if the geometry is degenerate (zero sizes, capacity not a
     /// multiple of `assoc × line_bytes`).
     pub fn new(capacity_bytes: u64, assoc: usize, line_bytes: u64) -> Self {
-        assert!(line_bytes > 0 && assoc > 0 && capacity_bytes > 0, "degenerate cache geometry");
+        assert!(
+            line_bytes > 0 && assoc > 0 && capacity_bytes > 0,
+            "degenerate cache geometry"
+        );
         let lines = capacity_bytes / line_bytes;
         assert!(
             lines.is_multiple_of(assoc as u64) && lines >= assoc as u64,
@@ -134,8 +142,17 @@ impl Cache {
         let line = &mut self.sets[base + victim];
         // Tags store the full line-aligned address, so the write-back
         // address is the tag itself.
-        let writeback = if line.valid && line.dirty { Some(line.tag) } else { None };
-        *line = Line { tag: line_addr, valid: true, dirty: is_store, lru: self.tick };
+        let writeback = if line.valid && line.dirty {
+            Some(line.tag)
+        } else {
+            None
+        };
+        *line = Line {
+            tag: line_addr,
+            valid: true,
+            dirty: is_store,
+            lru: self.tick,
+        };
         CacheAccess::Miss { writeback }
     }
 
@@ -209,7 +226,10 @@ mod tests {
         let mut c = tiny();
         assert!(!c.access(0x100, false).is_hit());
         assert!(c.access(0x100, false).is_hit());
-        assert!(c.access(0x17F, false).is_hit(), "same line, different offset");
+        assert!(
+            c.access(0x17F, false).is_hit(),
+            "same line, different offset"
+        );
         assert!(!c.access(0x180, false).is_hit(), "next line");
     }
 
@@ -234,7 +254,9 @@ mod tests {
         c.access(0x200, false);
         let res = c.access(0x400, false); // evicts dirty 0x000
         match res {
-            CacheAccess::Miss { writeback: Some(addr) } => assert_eq!(addr, 0x000),
+            CacheAccess::Miss {
+                writeback: Some(addr),
+            } => assert_eq!(addr, 0x000),
             other => panic!("expected dirty writeback, got {other:?}"),
         }
     }

@@ -301,7 +301,7 @@ impl GpuConfig {
         assert!(num_gpms > 0, "a GPU needs at least one GPM");
         let gpm = GpmConfig::k40_class();
         let link_latency = match bw {
-            BwSetting::X1 => 180, // on-board (NVLink-class hop)
+            BwSetting::X1 => 180,                // on-board (NVLink-class hop)
             BwSetting::X2 | BwSetting::X4 => 60, // on-package
         };
         GpuConfig {
@@ -394,9 +394,11 @@ mod tests {
 
     #[test]
     fn table_iii_totals_scale_linearly() {
-        for (n, sms, l2_mb, dram) in
-            [(1usize, 16usize, 2u64, 256.0), (8, 128, 16, 2048.0), (32, 512, 64, 8192.0)]
-        {
+        for (n, sms, l2_mb, dram) in [
+            (1usize, 16usize, 2u64, 256.0),
+            (8, 128, 16, 2048.0),
+            (32, 512, 64, 8192.0),
+        ] {
             let cfg = GpuConfig::paper(n, BwSetting::X2, Topology::Ring);
             assert_eq!(cfg.total_sms(), sms);
             assert_eq!(cfg.total_l2_bytes(), Bytes::from_mib(l2_mb));

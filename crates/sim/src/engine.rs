@@ -49,7 +49,12 @@ struct CtaPartition {
 
 impl CtaPartition {
     fn new(schedule: crate::config::CtaSchedule, ctas: usize, num_gpms: usize) -> Self {
-        CtaPartition { schedule, ctas, num_gpms, per_gpm: ctas.div_ceil(num_gpms) }
+        CtaPartition {
+            schedule,
+            ctas,
+            num_gpms,
+            per_gpm: ctas.div_ceil(num_gpms),
+        }
     }
 
     /// The module CTA `cta` runs on.
@@ -153,7 +158,11 @@ pub struct GpuSim {
 impl GpuSim {
     /// Creates a simulator for a configuration.
     pub fn new(cfg: &GpuConfig) -> Self {
-        GpuSim { cfg: cfg.clone(), mem: MemorySystem::new(cfg), now: 0 }
+        GpuSim {
+            cfg: cfg.clone(),
+            mem: MemorySystem::new(cfg),
+            now: 0,
+        }
     }
 
     /// The configuration this simulator runs.
@@ -256,8 +265,7 @@ impl GpuSim {
                 // loose round robin rotates; greedy-then-oldest prefers
                 // the warp it issued from last, then the oldest ready.
                 let n = sm.warps.len();
-                let gto = self.cfg.warp_scheduler
-                    == crate::config::WarpScheduler::GreedyThenOldest;
+                let gto = self.cfg.warp_scheduler == crate::config::WarpScheduler::GreedyThenOldest;
                 if gto && n > 0 {
                     sm.scratch.clear();
                     sm.scratch.extend(0..n);
@@ -274,7 +282,11 @@ impl GpuSim {
                         if issued == issue_width {
                             break;
                         }
-                        let i = if gto { sm.scratch[k] } else { (start_rr + k) % n };
+                        let i = if gto {
+                            sm.scratch[k]
+                        } else {
+                            (start_rr + k) % n
+                        };
                         let warp = &mut sm.warps[i];
                         let Some(instr) = warp.pending else { continue };
                         if warp.ready_at > now {
@@ -314,12 +326,8 @@ impl GpuSim {
                             // Stream exhausted: the warp drains its
                             // outstanding loads and retires in a later
                             // cleanup pass.
-                            warp.ready_at = warp
-                                .outstanding
-                                .iter()
-                                .copied()
-                                .max()
-                                .unwrap_or(now + 1);
+                            warp.ready_at =
+                                warp.outstanding.iter().copied().max().unwrap_or(now + 1);
                         }
                         if first_issued_age.is_none() {
                             first_issued_age = Some(warp.age);
@@ -430,7 +438,12 @@ impl GpuSim {
         counts.inter_gpm_hop_bytes = common::Bytes::new(hop_bytes);
         counts.switch_bytes = common::Bytes::new(switch_bytes);
 
-        KernelResult { name: program.name().to_string(), counts, cycles, ctas: done_ctas }
+        KernelResult {
+            name: program.name().to_string(),
+            counts,
+            cycles,
+            ctas: done_ctas,
+        }
     }
 
     /// Walks a kernel's trace in CTA order and first-touch-places every
@@ -445,11 +458,8 @@ impl GpuSim {
     /// home.
     pub fn prefault(&mut self, program: &dyn KernelProgram) {
         let grid = program.grid();
-        let partition = CtaPartition::new(
-            self.cfg.cta_schedule,
-            grid.ctas as usize,
-            self.cfg.num_gpms,
-        );
+        let partition =
+            CtaPartition::new(self.cfg.cta_schedule, grid.ctas as usize, self.cfg.num_gpms);
         let regions = program.data_regions();
         if !regions.is_empty() {
             // Address order matches ownership order: place each region's
@@ -496,7 +506,9 @@ impl GpuSim {
         for launch in launches {
             self.prefault(launch.program.as_ref());
             for _ in 0..launch.invocations {
-                result.kernels.push(self.run_kernel(launch.program.as_ref()));
+                result
+                    .kernels
+                    .push(self.run_kernel(launch.program.as_ref()));
             }
         }
         result
@@ -565,7 +577,11 @@ mod tests {
     #[test]
     fn compute_kernel_counts_thread_instructions() {
         let mut sim = GpuSim::new(&GpuConfig::tiny(1));
-        let k = ComputeKernel { ctas: 8, warps: 4, len: 50 };
+        let k = ComputeKernel {
+            ctas: 8,
+            warps: 4,
+            len: 50,
+        };
         let r = sim.run_kernel(&k);
         assert_eq!(r.ctas, 8);
         assert_eq!(
@@ -577,19 +593,30 @@ mod tests {
 
     #[test]
     fn compute_kernel_scales_with_sm_count() {
-        let k = ComputeKernel { ctas: 64, warps: 8, len: 100 };
+        let k = ComputeKernel {
+            ctas: 64,
+            warps: 8,
+            len: 100,
+        };
         let mut sim1 = GpuSim::new(&GpuConfig::tiny(1));
         let c1 = sim1.run_kernel(&k).cycles;
         let mut sim4 = GpuSim::new(&GpuConfig::tiny(4));
         let c4 = sim4.run_kernel(&k).cycles;
         let speedup = c1 as f64 / c4 as f64;
-        assert!(speedup > 2.5, "4x SMs should speed up compute ~4x, got {speedup:.2}");
+        assert!(
+            speedup > 2.5,
+            "4x SMs should speed up compute ~4x, got {speedup:.2}"
+        );
     }
 
     #[test]
     fn stream_kernel_is_dram_bound() {
         let mut sim = GpuSim::new(&GpuConfig::tiny(1));
-        let k = StreamKernel { ctas: 16, warps: 4, lines_per_warp: 64 };
+        let k = StreamKernel {
+            ctas: 16,
+            warps: 4,
+            lines_per_warp: 64,
+        };
         let r = sim.run_kernel(&k);
         // 16*4*64 lines * 128 B at 256 B/cycle = at least 2048 cycles.
         let min_cycles = (16 * 4 * 64 * 128) / 256;
@@ -606,7 +633,11 @@ mod tests {
     #[test]
     fn elapsed_matches_cycles_at_1ghz() {
         let mut sim = GpuSim::new(&GpuConfig::tiny(1));
-        let r = sim.run_kernel(&ComputeKernel { ctas: 4, warps: 2, len: 20 });
+        let r = sim.run_kernel(&ComputeKernel {
+            ctas: 4,
+            warps: 2,
+            len: 20,
+        });
         assert!((r.counts.elapsed.nanos() - r.cycles as f64).abs() < 1e-6);
     }
 
@@ -614,7 +645,11 @@ mod tests {
     fn workload_runs_repeated_launches() {
         let mut sim = GpuSim::new(&GpuConfig::tiny(1));
         let launches = vec![LaunchSpec::repeated(
-            Box::new(ComputeKernel { ctas: 2, warps: 2, len: 10 }),
+            Box::new(ComputeKernel {
+                ctas: 2,
+                warps: 2,
+                len: 10,
+            }),
             3,
         )];
         let result = sim.run_workload(&launches);
@@ -624,7 +659,11 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let k = StreamKernel { ctas: 8, warps: 4, lines_per_warp: 16 };
+        let k = StreamKernel {
+            ctas: 8,
+            warps: 4,
+            lines_per_warp: 16,
+        };
         let mut a = GpuSim::new(&GpuConfig::tiny(2));
         let mut b = GpuSim::new(&GpuConfig::tiny(2));
         let ra = a.run_kernel(&k);
@@ -664,7 +703,11 @@ mod tests {
 
     #[test]
     fn ideal_interconnect_removes_numa_penalty() {
-        let k = StreamKernel { ctas: 32, warps: 4, lines_per_warp: 32 };
+        let k = StreamKernel {
+            ctas: 32,
+            warps: 4,
+            lines_per_warp: 32,
+        };
         let ring_cfg = GpuConfig {
             topology: Topology::Ring,
             ..GpuConfig::tiny(4)
@@ -695,16 +738,20 @@ mod tests {
             }
             fn warp_instructions(&self, cta: CtaId, warp: WarpId) -> WarpInstrStream {
                 let base = (cta.0 as u64 * 2 + warp.0 as u64) * 4096;
-                Box::new((0..16u64).map(move |i| {
-                    WarpInstr::Mem(MemRef::global_store(base + i * 128))
-                }))
+                Box::new(
+                    (0..16u64).map(move |i| WarpInstr::Mem(MemRef::global_store(base + i * 128))),
+                )
             }
         }
         let mut sim = GpuSim::new(&GpuConfig::tiny(1));
         let r = sim.run_kernel(&StoreKernel);
         assert!(r.counts.txns.get(isa::Transaction::L2ToL1) >= 2 * 2 * 16 * 4);
         // Store-only kernels retire fast (no blocking).
-        assert!(r.cycles < 2000, "stores should not serialize, got {}", r.cycles);
+        assert!(
+            r.cycles < 2000,
+            "stores should not serialize, got {}",
+            r.cycles
+        );
     }
 
     #[test]
@@ -713,7 +760,11 @@ mod tests {
         // paper's §II abstraction argument in one test: event counts that
         // feed the energy model are schedule-invariant up to stall/idle
         // timing.
-        let k = StreamKernel { ctas: 16, warps: 4, lines_per_warp: 24 };
+        let k = StreamKernel {
+            ctas: 16,
+            warps: 4,
+            lines_per_warp: 24,
+        };
         let mut lrr_sim = GpuSim::new(&GpuConfig::tiny(2));
         let lrr = lrr_sim.run_kernel(&k);
         let gto_cfg = GpuConfig {
@@ -730,12 +781,21 @@ mod tests {
         assert_eq!(lrr.ctas, gto.ctas);
         // Cycle counts are allowed to differ, but not wildly.
         let ratio = lrr.cycles as f64 / gto.cycles as f64;
-        assert!((0.5..2.0).contains(&ratio), "LRR {} vs GTO {}", lrr.cycles, gto.cycles);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "LRR {} vs GTO {}",
+            lrr.cycles,
+            gto.cycles
+        );
     }
 
     #[test]
     fn round_robin_scheduling_still_completes_all_ctas() {
-        let k = StreamKernel { ctas: 17, warps: 3, lines_per_warp: 8 };
+        let k = StreamKernel {
+            ctas: 17,
+            warps: 3,
+            lines_per_warp: 8,
+        };
         let cfg = GpuConfig {
             cta_schedule: crate::config::CtaSchedule::RoundRobin,
             ..GpuConfig::tiny(4)
@@ -755,7 +815,11 @@ mod tests {
         // A private stream under first-touch is local; interleaved pages
         // make most of it remote — the ablation the paper's placement
         // choice avoids.
-        let k = StreamKernel { ctas: 32, warps: 4, lines_per_warp: 64 };
+        let k = StreamKernel {
+            ctas: 32,
+            warps: 4,
+            lines_per_warp: 64,
+        };
         let ft = GpuSim::new(&GpuConfig::tiny(4)).run_and_hops(&k);
         let il = GpuSim::new(&GpuConfig {
             page_policy: crate::config::PagePolicy::Interleaved,
@@ -787,9 +851,11 @@ mod tests {
                 // and lands in an L2: the *local* one under module-side
                 // caching, the *home* one (across the NoC) under
                 // memory-side.
-                Box::new((0..256u64).map(move |i| {
-                    WarpInstr::Mem(MemRef::global_load(((i + w * 7) % 128) * 128))
-                }))
+                Box::new(
+                    (0..256u64).map(move |i| {
+                        WarpInstr::Mem(MemRef::global_load(((i + w * 7) % 128) * 128))
+                    }),
+                )
             }
             fn data_regions(&self) -> Vec<(u64, u64)> {
                 vec![(0, 128 * 128)]
@@ -821,9 +887,9 @@ mod tests {
             }
             fn warp_instructions(&self, _cta: CtaId, warp: WarpId) -> WarpInstrStream {
                 let base = warp.0 as u64 * 512 * 128;
-                Box::new((0..512u64).map(move |i| {
-                    WarpInstr::Mem(MemRef::global_load(base + i * 128))
-                }))
+                Box::new(
+                    (0..512u64).map(move |i| WarpInstr::Mem(MemRef::global_load(base + i * 128))),
+                )
             }
         }
         struct Reader;

@@ -156,11 +156,7 @@ impl MemorySystem {
             .collect();
         MemorySystem {
             noc: Noc::new(cfg),
-            pages: PageTable::with_policy(
-                cfg.page_bytes.count(),
-                cfg.page_policy,
-                cfg.num_gpms,
-            ),
+            pages: PageTable::with_policy(cfg.page_bytes.count(), cfg.page_policy, cfg.num_gpms),
             l1,
             lsu,
             gpms,
@@ -261,13 +257,19 @@ impl MemorySystem {
             // Backpressure: block the warp until the store is accepted
             // into the (bounded) write buffer.
             let accepted = (t0 + 1).max(t1.saturating_sub(STORE_BUFFER_SLACK));
-            return MemOutcome { completion: accepted, blocking: accepted > t0 + 1 };
+            return MemOutcome {
+                completion: accepted,
+                blocking: accepted > t0 + 1,
+            };
         }
 
         // Load: probe the L1.
         if self.l1[flat].access(line, false).is_hit() {
             self.txns.add(Transaction::L1ToReg, 1);
-            return MemOutcome { completion: t0 + self.cfg.gpm.l1_latency, blocking: true };
+            return MemOutcome {
+                completion: t0 + self.cfg.gpm.l1_latency,
+                blocking: true,
+            };
         }
 
         // L1 miss: the fill moves a line from L2 to L1 and on to the RF.
@@ -298,7 +300,10 @@ impl MemorySystem {
                         mem.pending.remove(&line);
                     }
                 }
-                MemOutcome { completion, blocking: true }
+                MemOutcome {
+                    completion,
+                    blocking: true,
+                }
             }
             CacheAccess::Miss { writeback } => {
                 if let Some(victim) = writeback {
@@ -313,11 +318,9 @@ impl MemorySystem {
                     let dram_t = self.gpms[gpm.index()].dram.acquire(128, t0);
                     t1.max(dram_t) + self.cfg.gpm.dram_latency + l2_lat
                 } else {
-                    let (req_q, req_lat) =
-                        self.noc.transfer_queued(gpm, home, REQ_BYTES, t0);
+                    let (req_q, req_lat) = self.noc.transfer_queued(gpm, home, REQ_BYTES, t0);
                     let dram_q = self.gpms[home.index()].dram.acquire(128, t0);
-                    let (resp_q, resp_lat) =
-                        self.noc.transfer_queued(home, gpm, DATA_BYTES, t0);
+                    let (resp_q, resp_lat) = self.noc.transfer_queued(home, gpm, DATA_BYTES, t0);
                     // Queue delays overlap; the physical round trip
                     // (request hops + DRAM access + response hops) is
                     // serial.
@@ -336,7 +339,10 @@ impl MemorySystem {
                     self.lat.remote_loads += 1;
                     self.lat.remote_cycles += latency;
                 }
-                MemOutcome { completion, blocking: true }
+                MemOutcome {
+                    completion,
+                    blocking: true,
+                }
             }
         }
     }
@@ -353,7 +359,10 @@ impl MemorySystem {
         // Merge with an in-flight fetch of the same line from this module.
         if let Some(&ready) = self.gpms[gpm.index()].pending.get(&line) {
             if ready > t0 {
-                return MemOutcome { completion: ready, blocking: true };
+                return MemOutcome {
+                    completion: ready,
+                    blocking: true,
+                };
             }
             self.gpms[gpm.index()].pending.remove(&line);
         }
@@ -376,8 +385,7 @@ impl MemorySystem {
             }
         };
         let (resp_q, resp_lat) = self.noc.transfer_queued(home, gpm, DATA_BYTES, t0);
-        let completion =
-            req_q.max(l2_q).max(resp_q) + req_lat + extra + l2_lat + resp_lat;
+        let completion = req_q.max(l2_q).max(resp_q) + req_lat + extra + l2_lat + resp_lat;
 
         self.gpms[gpm.index()].pending.insert(line, completion);
         let latency = completion - t0;
@@ -386,7 +394,10 @@ impl MemorySystem {
         self.lat.max_cycles = self.lat.max_cycles.max(latency);
         self.lat.remote_loads += 1;
         self.lat.remote_cycles += latency;
-        MemOutcome { completion, blocking: true }
+        MemOutcome {
+            completion,
+            blocking: true,
+        }
     }
 
     /// Writes a dirty L2 victim back to its home DRAM (possibly remote).
@@ -441,39 +452,36 @@ impl MemorySystem {
                 v.iter().sum::<f64>() / v.len() as f64
             }
         };
-        let dram =
-            avg(&mut self.gpms.iter().map(|g| g.dram.utilization(elapsed_cycles)));
-        let l2 = avg(&mut self.gpms.iter().map(|g| g.l2_bw.utilization(elapsed_cycles)));
+        let dram = avg(&mut self.gpms.iter().map(|g| g.dram.utilization(elapsed_cycles)));
+        let l2 = avg(&mut self
+            .gpms
+            .iter()
+            .map(|g| g.l2_bw.utilization(elapsed_cycles)));
         let link_stats = self.noc.link_stats();
         let link_capacity_bytes = {
             // Reconstruct per-link capacity from config.
-            let per_gpm = self
-                .cfg
-                .inter_gpm_bw
-                .bytes_per_cycle(self.cfg.gpm.clock);
+            let per_gpm = self.cfg.inter_gpm_bw.bytes_per_cycle(self.cfg.gpm.clock);
             match self.cfg.topology {
                 crate::config::Topology::Ring => per_gpm / 2.0,
                 crate::config::Topology::Switch => per_gpm,
                 crate::config::Topology::Ideal => f64::INFINITY,
             }
         };
-        let (avg_link, max_link) = if link_stats.is_empty()
-            || elapsed_cycles == 0
-            || !link_capacity_bytes.is_finite()
-        {
-            (0.0, 0.0)
-        } else {
-            let utils: Vec<f64> = link_stats
-                .iter()
-                .map(|&(served, _)| {
-                    (served as f64 / (link_capacity_bytes * elapsed_cycles as f64)).min(1.0)
-                })
-                .collect();
-            (
-                utils.iter().sum::<f64>() / utils.len() as f64,
-                utils.iter().copied().fold(0.0, f64::max),
-            )
-        };
+        let (avg_link, max_link) =
+            if link_stats.is_empty() || elapsed_cycles == 0 || !link_capacity_bytes.is_finite() {
+                (0.0, 0.0)
+            } else {
+                let utils: Vec<f64> = link_stats
+                    .iter()
+                    .map(|&(served, _)| {
+                        (served as f64 / (link_capacity_bytes * elapsed_cycles as f64)).min(1.0)
+                    })
+                    .collect();
+                (
+                    utils.iter().sum::<f64>() / utils.len() as f64,
+                    utils.iter().copied().fold(0.0, f64::max),
+                )
+            };
         UtilizationReport {
             dram,
             l2,
@@ -540,7 +548,11 @@ mod tests {
 
         let second = m.access(sm(0, 0), MemRef::global_load(0x1000), first.completion);
         assert_eq!(m.txns().get(Transaction::L1ToReg), 2);
-        assert_eq!(m.txns().get(Transaction::DramToL2), 4, "no extra DRAM traffic");
+        assert_eq!(
+            m.txns().get(Transaction::DramToL2),
+            4,
+            "no extra DRAM traffic"
+        );
         assert!(second.completion < first.completion + 100);
     }
 
@@ -597,7 +609,10 @@ mod tests {
         let hop_before = m.inter_gpm_hop_bytes();
         let done = m.kernel_boundary(1000);
         assert!(done > 1000, "flush should take time");
-        assert!(m.inter_gpm_hop_bytes() > hop_before, "flush crossed the NoC");
+        assert!(
+            m.inter_gpm_hop_bytes() > hop_before,
+            "flush crossed the NoC"
+        );
     }
 
     #[test]
@@ -609,7 +624,11 @@ mod tests {
         // After the boundary the L1 must miss again (L2 still hits).
         m.access(sm(0, 0), MemRef::global_load(0x100), 20_000);
         assert_eq!(m.txns().get(Transaction::L2ToL1), 8, "two L1 fills");
-        assert_eq!(m.txns().get(Transaction::DramToL2), before, "L2 retained the line");
+        assert_eq!(
+            m.txns().get(Transaction::DramToL2),
+            before,
+            "L2 retained the line"
+        );
     }
 
     #[test]

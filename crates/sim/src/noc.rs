@@ -113,13 +113,7 @@ impl Noc {
     /// Like [`Noc::transfer`] but returns `(queue_ready, path_latency)`
     /// separately, so a caller composing a round trip can pipeline queue
     /// delays while keeping the physical latencies serial.
-    pub fn transfer_queued(
-        &mut self,
-        src: GpmId,
-        dst: GpmId,
-        bytes: u64,
-        now: u64,
-    ) -> (u64, u64) {
+    pub fn transfer_queued(&mut self, src: GpmId, dst: GpmId, bytes: u64, now: u64) -> (u64, u64) {
         if src == dst || self.num_gpms <= 1 {
             return (now, 0);
         }
@@ -159,10 +153,7 @@ impl Noc {
                 self.switch_bytes += bytes;
                 let up = self.up[src.index()].acquire(bytes, now);
                 let down = self.down[dst.index()].acquire(bytes, now);
-                (
-                    up.max(down),
-                    2 * self.link_latency + self.switch_latency,
-                )
+                (up.max(down), 2 * self.link_latency + self.switch_latency)
             }
         }
     }

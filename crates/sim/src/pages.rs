@@ -50,7 +50,13 @@ impl PageTable {
     pub fn with_policy(page_bytes: u64, policy: PagePolicy, num_gpms: usize) -> Self {
         assert!(page_bytes > 0, "page size must be non-zero");
         assert!(num_gpms > 0, "a GPU needs at least one GPM");
-        PageTable { page_bytes, map: HashMap::new(), first_touches: 0, policy, num_gpms }
+        PageTable {
+            page_bytes,
+            map: HashMap::new(),
+            first_touches: 0,
+            policy,
+            num_gpms,
+        }
     }
 
     /// The placement policy.
@@ -73,9 +79,7 @@ impl PageTable {
                 self.first_touches += 1;
                 toucher
             }),
-            PagePolicy::Interleaved => {
-                GpmId::new((page.number() % self.num_gpms as u64) as u16)
-            }
+            PagePolicy::Interleaved => GpmId::new((page.number() % self.num_gpms as u64) as u16),
         }
     }
 

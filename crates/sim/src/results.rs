@@ -85,12 +85,19 @@ mod tests {
         let mut counts = EventCounts::new();
         counts.instrs.add(Opcode::FAdd32, instrs);
         counts.elapsed = Time::from_nanos(cycles as f64);
-        KernelResult { name: name.into(), counts, cycles, ctas: 1 }
+        KernelResult {
+            name: name.into(),
+            counts,
+            cycles,
+            ctas: 1,
+        }
     }
 
     #[test]
     fn totals_aggregate_sequentially() {
-        let w = WorkloadResult { kernels: vec![kr("a", 100, 5), kr("b", 200, 7)] };
+        let w = WorkloadResult {
+            kernels: vec![kr("a", 100, 5), kr("b", 200, 7)],
+        };
         assert_eq!(w.total_cycles(), 300);
         assert_eq!(w.launches(), 2);
         assert_eq!(w.total_counts().instrs.get(Opcode::FAdd32), 12);
@@ -106,7 +113,9 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let w = WorkloadResult { kernels: vec![kr("a", 10, 1)] };
+        let w = WorkloadResult {
+            kernels: vec![kr("a", 10, 1)],
+        };
         assert!(w.to_string().contains("1 launches"));
         assert!(kr("a", 10, 1).to_string().contains("a: 10 cycles"));
     }

@@ -98,7 +98,9 @@ impl KernelParams {
     fn slice_lines(&self) -> u64 {
         match self.pattern {
             AccessPattern::PrivateStream { reuse, .. } | AccessPattern::Stencil { reuse, .. } => {
-                (self.mem_refs_per_warp as u64).div_ceil(reuse.max(1) as u64).max(1)
+                (self.mem_refs_per_warp as u64)
+                    .div_ceil(reuse.max(1) as u64)
+                    .max(1)
             }
             _ => 0,
         }
@@ -110,7 +112,9 @@ impl KernelParams {
             AccessPattern::PrivateStream { .. } | AccessPattern::Stencil { .. } => {
                 self.total_warps() * self.slice_lines() * LINE
             }
-            AccessPattern::TiledShared { footprint_lines, .. }
+            AccessPattern::TiledShared {
+                footprint_lines, ..
+            }
             | AccessPattern::RandomShared { footprint_lines } => footprint_lines * LINE,
         }
     }
@@ -155,7 +159,10 @@ impl SurrogateKernel {
     ///
     /// Panics if the grid is degenerate or probabilities are out of range.
     pub fn new(params: KernelParams) -> Self {
-        assert!(params.ctas > 0 && params.warps_per_cta > 0, "degenerate grid");
+        assert!(
+            params.ctas > 0 && params.warps_per_cta > 0,
+            "degenerate grid"
+        );
         assert!(
             (0.0..=1.0).contains(&params.store_fraction),
             "store fraction out of range"
@@ -163,7 +170,9 @@ impl SurrogateKernel {
         if let AccessPattern::PrivateStream { misalign, .. } = params.pattern {
             assert!((0.0..=1.0).contains(&misalign), "misalign out of range");
         }
-        SurrogateKernel { params: Arc::new(params) }
+        SurrogateKernel {
+            params: Arc::new(params),
+        }
     }
 
     /// The kernel's parameters.
@@ -248,7 +257,11 @@ impl SurrogateStream {
                     // placement cannot localize and that pressures the
                     // inter-GPM links at scale.
                     let other = self.rng.gen_range(0..self.total_warps.max(2) - 1);
-                    if other >= self.warp_global { other + 1 } else { other }
+                    if other >= self.warp_global {
+                        other + 1
+                    } else {
+                        other
+                    }
                 } else {
                     self.warp_global
                 };
@@ -259,14 +272,22 @@ impl SurrogateStream {
                 let offset = self.cursor % slice;
                 self.cursor += 1;
                 let owner = if halo > 0.0 && self.rng.gen::<f64>() < halo {
-                    let dir = if self.rng.gen::<bool>() { 1 } else { self.total_warps - 1 };
+                    let dir = if self.rng.gen::<bool>() {
+                        1
+                    } else {
+                        self.total_warps - 1
+                    };
                     (self.warp_global + dir) % self.total_warps
                 } else {
                     self.warp_global
                 };
                 p.region + (owner * slice + offset) * LINE
             }
-            AccessPattern::TiledShared { tile_lines, footprint_lines, spread } => {
+            AccessPattern::TiledShared {
+                tile_lines,
+                footprint_lines,
+                spread,
+            } => {
                 let tiles = (footprint_lines / tile_lines.max(1) as u64).max(1);
                 if self.tile_pos == 0 {
                     self.cur_tile = if self.rng.gen::<f64>() < spread {
@@ -339,14 +360,18 @@ mod tests {
             store_fraction: 0.0,
             shared_per_mem: 1,
             mix: InstMix::fp32_stream(),
-            pattern: AccessPattern::PrivateStream { reuse: 2, misalign: 0.0 },
+            pattern: AccessPattern::PrivateStream {
+                reuse: 2,
+                misalign: 0.0,
+            },
             region: 0x1000_0000,
             seed: 9,
         }
     }
 
     fn collect(k: &SurrogateKernel, cta: u32, warp: u32) -> Vec<WarpInstr> {
-        k.warp_instructions(CtaId::new(cta), WarpId::new(warp)).collect()
+        k.warp_instructions(CtaId::new(cta), WarpId::new(warp))
+            .collect()
     }
 
     #[test]
@@ -384,7 +409,11 @@ mod tests {
                 if m.space == MemSpace::Global {
                     let warp_global = 2 + 1;
                     let lo = p.region + warp_global * slice_bytes;
-                    assert!(m.addr >= lo && m.addr < lo + slice_bytes, "addr {:#x}", m.addr);
+                    assert!(
+                        m.addr >= lo && m.addr < lo + slice_bytes,
+                        "addr {:#x}",
+                        m.addr
+                    );
                 }
             }
         }
@@ -409,7 +438,10 @@ mod tests {
     #[test]
     fn misalign_leaves_own_slice() {
         let mut p = base_params();
-        p.pattern = AccessPattern::PrivateStream { reuse: 1, misalign: 1.0 };
+        p.pattern = AccessPattern::PrivateStream {
+            reuse: 1,
+            misalign: 1.0,
+        };
         let k = SurrogateKernel::new(p);
         let params = k.params();
         let slice_bytes = params.footprint_bytes() / params.total_warps();
@@ -431,7 +463,9 @@ mod tests {
     #[test]
     fn random_shared_stays_in_footprint() {
         let mut p = base_params();
-        p.pattern = AccessPattern::RandomShared { footprint_lines: 64 };
+        p.pattern = AccessPattern::RandomShared {
+            footprint_lines: 64,
+        };
         let k = SurrogateKernel::new(p);
         for i in collect(&k, 3, 1) {
             if let WarpInstr::Mem(m) = i {
@@ -448,8 +482,11 @@ mod tests {
     fn tiled_shared_is_mostly_sequential_within_tiles() {
         let mut p = base_params();
         p.mem_refs_per_warp = 32;
-        p.pattern =
-            AccessPattern::TiledShared { tile_lines: 8, footprint_lines: 1024, spread: 0.0 };
+        p.pattern = AccessPattern::TiledShared {
+            tile_lines: 8,
+            footprint_lines: 1024,
+            spread: 0.0,
+        };
         let k = SurrogateKernel::new(p);
         let addrs: Vec<u64> = collect(&k, 0, 0)
             .into_iter()
@@ -466,7 +503,10 @@ mod tests {
     #[test]
     fn stencil_halo_touches_neighbors() {
         let mut p = base_params();
-        p.pattern = AccessPattern::Stencil { halo: 0.5, reuse: 1 };
+        p.pattern = AccessPattern::Stencil {
+            halo: 0.5,
+            reuse: 1,
+        };
         p.mem_refs_per_warp = 100;
         let k = SurrogateKernel::new(p);
         let params = k.params();

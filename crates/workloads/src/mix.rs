@@ -49,7 +49,10 @@ impl InstMix {
         if let Some(last) = cumulative.last_mut() {
             *last = 1.0;
         }
-        InstMix { entries, cumulative }
+        InstMix {
+            entries,
+            cumulative,
+        }
     }
 
     /// The normalized weight of an opcode (zero if absent).

@@ -75,6 +75,7 @@ impl Scale {
 }
 
 /// One application surrogate.
+#[derive(Clone)]
 pub struct WorkloadSpec {
     /// Abbreviated name from Table II.
     pub name: &'static str,
@@ -145,16 +146,18 @@ fn kernel(
     seed: u64,
 ) -> Box<SurrogateKernel> {
     let pattern = match pattern {
-        AccessPattern::TiledShared { tile_lines, footprint_lines, spread } => {
-            AccessPattern::TiledShared {
-                tile_lines,
-                footprint_lines: scale.lines(footprint_lines),
-                spread,
-            }
-        }
-        AccessPattern::RandomShared { footprint_lines } => {
-            AccessPattern::RandomShared { footprint_lines: scale.lines(footprint_lines) }
-        }
+        AccessPattern::TiledShared {
+            tile_lines,
+            footprint_lines,
+            spread,
+        } => AccessPattern::TiledShared {
+            tile_lines,
+            footprint_lines: scale.lines(footprint_lines),
+            spread,
+        },
+        AccessPattern::RandomShared { footprint_lines } => AccessPattern::RandomShared {
+            footprint_lines: scale.lines(footprint_lines),
+        },
         other => other,
     };
     Box::new(SurrogateKernel::new(KernelParams {
@@ -209,193 +212,563 @@ macro_rules! spec {
 pub fn suite() -> Vec<WorkloadSpec> {
     vec![
         // ---- Compute intensive -------------------------------------------
-        spec!("BPROP", Compute, true, 0.96, 30.0, false, 1.0,
+        spec!(
+            "BPROP",
+            Compute,
+            true,
+            0.96,
+            30.0,
+            false,
+            1.0,
             "Back-propagation layer update: FMA-dense FP32 over tiled weight \
-             matrices with strong reuse; compute-bound with modest shared traffic.", |s| vec![LaunchSpec::once(kernel(
-            s, "bprop-fw", 12, 16, 60, 0.15, 1,
-            InstMix::fp32_dense(),
-            AccessPattern::TiledShared { tile_lines: 16, footprint_lines: 48 * 1024, spread: 0.03 },
-            region(1), 0xB1,
-        ))]),
-        spec!("BTREE", Compute, true, 0.88, 30.0, false, 1.0,
+             matrices with strong reuse; compute-bound with modest shared traffic.",
+            |s| vec![LaunchSpec::once(kernel(
+                s,
+                "bprop-fw",
+                12,
+                16,
+                60,
+                0.15,
+                1,
+                InstMix::fp32_dense(),
+                AccessPattern::TiledShared {
+                    tile_lines: 16,
+                    footprint_lines: 48 * 1024,
+                    spread: 0.03
+                },
+                region(1),
+                0xB1,
+            ))]
+        ),
+        spec!(
+            "BTREE",
+            Compute,
+            true,
+            0.88,
+            30.0,
+            false,
+            1.0,
             "B+Tree range queries: integer compares and pointer math over an 8 MiB \
-             index; short tiles model node walks, mild divergence.", |s| vec![LaunchSpec::once(kernel(
-            s, "btree-find", 10, 20, 40, 0.02, 0,
-            InstMix::int_graph(),
-            AccessPattern::TiledShared { tile_lines: 4, footprint_lines: 64 * 1024, spread: 0.05 },
-            region(2), 0xB2,
-        ))]),
-        spec!("CoMD", Compute, true, 0.93, 40.0, false, 8.4,
+             index; short tiles model node walks, mild divergence.",
+            |s| vec![LaunchSpec::once(kernel(
+                s,
+                "btree-find",
+                10,
+                20,
+                40,
+                0.02,
+                0,
+                InstMix::int_graph(),
+                AccessPattern::TiledShared {
+                    tile_lines: 4,
+                    footprint_lines: 64 * 1024,
+                    spread: 0.05
+                },
+                region(2),
+                0xB2,
+            ))]
+        ),
+        spec!(
+            "CoMD",
+            Compute,
+            true,
+            0.93,
+            40.0,
+            false,
+            8.4,
             "Classical molecular dynamics force loop: FP64 FMA/sqrt chains over a \
              cache-resident neighbor structure; memory subsystem nearly idle — the \
-             Fig. 4b underestimation case.", |s| vec![LaunchSpec::once(kernel(
-            s, "comd-force", 32, 7, 240, 0.10, 2,
-            InstMix::fp64_hpc(),
-            AccessPattern::TiledShared { tile_lines: 8, footprint_lines: 2 * 1024, spread: 0.05 },
-            region(3), 0xC0,
-        ))]),
-        spec!("Hotspot", Compute, true, 0.97, 30.0, false, 1.0,
+             Fig. 4b underestimation case.",
+            |s| vec![LaunchSpec::once(kernel(
+                s,
+                "comd-force",
+                32,
+                7,
+                240,
+                0.10,
+                2,
+                InstMix::fp64_hpc(),
+                AccessPattern::TiledShared {
+                    tile_lines: 8,
+                    footprint_lines: 2 * 1024,
+                    spread: 0.05
+                },
+                region(3),
+                0xC0,
+            ))]
+        ),
+        spec!(
+            "Hotspot",
+            Compute,
+            true,
+            0.97,
+            30.0,
+            false,
+            1.0,
             "2D thermal stencil: FP32 with neighbor halos and two passes of reuse \
-             per sweep; scales nearly ideally.", |s| vec![LaunchSpec::once(kernel(
-            s, "hotspot-step", 10, 18, 40, 0.30, 1,
-            InstMix::fp32_dense(),
-            AccessPattern::Stencil { halo: 0.08, reuse: 2 },
-            region(4), 0x40,
-        ))]),
-        spec!("LuleshUns", Compute, false, 0.70, 50.0, false, 1.0,
+             per sweep; scales nearly ideally.",
+            |s| vec![LaunchSpec::once(kernel(
+                s,
+                "hotspot-step",
+                10,
+                18,
+                40,
+                0.30,
+                1,
+                InstMix::fp32_dense(),
+                AccessPattern::Stencil {
+                    halo: 0.08,
+                    reuse: 2
+                },
+                region(4),
+                0x40,
+            ))]
+        ),
+        spec!(
+            "LuleshUns",
+            Compute,
+            false,
+            0.70,
+            50.0,
+            false,
+            1.0,
             "Unstructured-mesh Lulesh: FP64 gathers over a 12 MiB irregular \
-             connectivity; divergent lanes (validation suite only).", |s| vec![LaunchSpec::once(kernel(
-            s, "lulesh-uns", 10, 20, 30, 0.20, 0,
-            InstMix::fp64_hpc(),
-            AccessPattern::RandomShared { footprint_lines: 96 * 1024 },
-            region(5), 0x15,
-        ))]),
-        spec!("PathF", Compute, true, 0.90, 25.0, false, 1.0,
+             connectivity; divergent lanes (validation suite only).",
+            |s| vec![LaunchSpec::once(kernel(
+                s,
+                "lulesh-uns",
+                10,
+                20,
+                30,
+                0.20,
+                0,
+                InstMix::fp64_hpc(),
+                AccessPattern::RandomShared {
+                    footprint_lines: 96 * 1024
+                },
+                region(5),
+                0x15,
+            ))]
+        ),
+        spec!(
+            "PathF",
+            Compute,
+            true,
+            0.90,
+            25.0,
+            false,
+            1.0,
             "PathFinder dynamic programming: row-streamed FP32/int compares with \
-             row-to-row reuse.", |s| vec![LaunchSpec::once(kernel(
-            s, "pathfinder", 9, 14, 30, 0.20, 1,
-            InstMix::fp32_control(),
-            AccessPattern::PrivateStream { reuse: 2, misalign: 0.02 },
-            region(6), 0x9F,
-        ))]),
-        spec!("RSBench", Compute, true, 0.92, 40.0, false, 6.8,
+             row-to-row reuse.",
+            |s| vec![LaunchSpec::once(kernel(
+                s,
+                "pathfinder",
+                9,
+                14,
+                30,
+                0.20,
+                1,
+                InstMix::fp32_control(),
+                AccessPattern::PrivateStream {
+                    reuse: 2,
+                    misalign: 0.02
+                },
+                region(6),
+                0x9F,
+            ))]
+        ),
+        spec!(
+            "RSBench",
+            Compute,
+            true,
+            0.92,
+            40.0,
+            false,
+            6.8,
             "Multipole cross-section lookups: FP64 evaluation against ~1 MiB \
              L2-resident tables; trickling memory traffic keeps the memory clocks \
-             up — the other Fig. 4b underestimation case.", |s| vec![LaunchSpec::once(kernel(
-            s, "rsbench-xs", 30, 8, 160, 0.02, 1,
-            InstMix::lookup_physics(),
-            AccessPattern::TiledShared { tile_lines: 2, footprint_lines: 8 * 1024, spread: 0.12 },
-            region(7), 0x25,
-        ))]),
-        spec!("Srad-v1", Compute, false, 0.94, 30.0, false, 1.0,
+             up — the other Fig. 4b underestimation case.",
+            |s| vec![LaunchSpec::once(kernel(
+                s,
+                "rsbench-xs",
+                30,
+                8,
+                160,
+                0.02,
+                1,
+                InstMix::lookup_physics(),
+                AccessPattern::TiledShared {
+                    tile_lines: 2,
+                    footprint_lines: 8 * 1024,
+                    spread: 0.12
+                },
+                region(7),
+                0x25,
+            ))]
+        ),
+        spec!(
+            "Srad-v1",
+            Compute,
+            false,
+            0.94,
+            30.0,
+            false,
+            1.0,
             "Speckle-reducing anisotropic diffusion, v1: small-image FP32 stencil \
-             (validation suite only).", |s| vec![LaunchSpec::once(kernel(
-            s, "srad1-step", 11, 16, 30, 0.25, 0,
-            InstMix::fp32_dense(),
-            AccessPattern::Stencil { halo: 0.10, reuse: 2 },
-            region(8), 0x51,
-        ))]),
+             (validation suite only).",
+            |s| vec![LaunchSpec::once(kernel(
+                s,
+                "srad1-step",
+                11,
+                16,
+                30,
+                0.25,
+                0,
+                InstMix::fp32_dense(),
+                AccessPattern::Stencil {
+                    halo: 0.10,
+                    reuse: 2
+                },
+                region(8),
+                0x51,
+            ))]
+        ),
         // ---- Memory-bandwidth intensive ----------------------------------
-        spec!("MiniAMR", Memory, true, 0.85, 25.0, true, 1.0,
+        spec!(
+            "MiniAMR",
+            Memory,
+            true,
+            0.85,
+            25.0,
+            true,
+            1.0,
             "Adaptive mesh refinement: dozens of sub-100 us FP64 stencil launches \
-             on fresh regions — the short-kernel sensor-resolution case.", |s| {
-            // Each refinement step works on a fresh mesh region: many
-            // short launches with no cross-launch cache reuse.
-            (0..s.invocations(24) as u64)
-                .map(|i| {
-                    LaunchSpec::once(kernel(
-                        s, &format!("amr-stencil-{i}"), 3, 4, 4, 0.30, 0,
-                        InstMix::fp64_hpc(),
-                        AccessPattern::PrivateStream { reuse: 1, misalign: 0.15 },
-                        region(9) + i * (REGION_STRIDE / 32), 0xA3 + i,
-                    ))
-                })
-                .collect()
-        }),
-        spec!("BFS", Memory, false, 0.35, 55.0, true, 1.0,
+             on fresh regions — the short-kernel sensor-resolution case.",
+            |s| {
+                // Each refinement step works on a fresh mesh region: many
+                // short launches with no cross-launch cache reuse.
+                (0..s.invocations(24) as u64)
+                    .map(|i| {
+                        LaunchSpec::once(kernel(
+                            s,
+                            &format!("amr-stencil-{i}"),
+                            3,
+                            4,
+                            4,
+                            0.30,
+                            0,
+                            InstMix::fp64_hpc(),
+                            AccessPattern::PrivateStream {
+                                reuse: 1,
+                                misalign: 0.15,
+                            },
+                            region(9) + i * (REGION_STRIDE / 32),
+                            0xA3 + i,
+                        ))
+                    })
+                    .collect()
+            }
+        ),
+        spec!(
+            "BFS",
+            Memory,
+            false,
+            0.35,
+            55.0,
+            true,
+            1.0,
             "Level-synchronized breadth-first search: many short, divergent, \
              random-access launches over a 16 MiB graph — the other \
-             sensor-resolution case (validation suite only).", |s| vec![LaunchSpec::repeated(
-            kernel(
-                s, "bfs-level", 6, 5, 6, 0.15, 0,
-                InstMix::int_graph(),
-                AccessPattern::RandomShared { footprint_lines: 128 * 1024 },
-                region(10), 0xBF,
-            ),
-            s.invocations(80),
-        )]),
-        spec!("Kmeans", Memory, true, 0.90, 35.0, false, 1.0,
+             sensor-resolution case (validation suite only).",
+            |s| vec![LaunchSpec::repeated(
+                kernel(
+                    s,
+                    "bfs-level",
+                    6,
+                    5,
+                    6,
+                    0.15,
+                    0,
+                    InstMix::int_graph(),
+                    AccessPattern::RandomShared {
+                        footprint_lines: 128 * 1024
+                    },
+                    region(10),
+                    0xBF,
+                ),
+                s.invocations(80),
+            )]
+        ),
+        spec!(
+            "Kmeans",
+            Memory,
+            true,
+            0.90,
+            35.0,
+            false,
+            1.0,
             "K-means assignment: streams a 66 MiB point set each iteration with \
-             scattered centroid sharing; DRAM-bandwidth bound.", |s| vec![LaunchSpec::repeated(
-            kernel(
-                s, "kmeans-assign", 4, 32, 10, 0.10, 1,
-                InstMix::fp32_stream(),
-                AccessPattern::PrivateStream { reuse: 1, misalign: 0.20 },
-                region(11), 0x33,
-            ),
-            s.invocations(3),
-        )]),
-        spec!("Lulesh-150", Memory, true, 0.88, 45.0, false, 1.0,
+             scattered centroid sharing; DRAM-bandwidth bound.",
+            |s| vec![LaunchSpec::repeated(
+                kernel(
+                    s,
+                    "kmeans-assign",
+                    4,
+                    32,
+                    10,
+                    0.10,
+                    1,
+                    InstMix::fp32_stream(),
+                    AccessPattern::PrivateStream {
+                        reuse: 1,
+                        misalign: 0.20
+                    },
+                    region(11),
+                    0x33,
+                ),
+                s.invocations(3),
+            )]
+        ),
+        spec!(
+            "Lulesh-150",
+            Memory,
+            true,
+            0.88,
+            45.0,
+            false,
+            1.0,
             "Lulesh size 150: an FP64 streaming phase plus a gather phase over a \
-             20 MiB mesh with 35% scattered sharing — the NUMA-pressure profile.", |s| vec![
-            LaunchSpec::once(kernel(
-                s, "lulesh150-stream", 5, 14, 10, 0.30, 0,
-                InstMix::fp64_hpc(),
-                AccessPattern::PrivateStream { reuse: 1, misalign: 0.10 },
-                region(12), 0x96,
-            )),
-            LaunchSpec::once(kernel(
-                s, "lulesh150-gather", 5, 14, 10, 0.10, 0,
-                InstMix::fp64_hpc(),
-                AccessPattern::TiledShared { tile_lines: 8, footprint_lines: 160 * 1024, spread: 0.35 },
-                region(12) + REGION_STRIDE / 2, 0x97,
-            )),
-        ]),
-        spec!("Lulesh-190", Memory, true, 0.88, 45.0, false, 1.0,
+             20 MiB mesh with 35% scattered sharing — the NUMA-pressure profile.",
+            |s| vec![
+                LaunchSpec::once(kernel(
+                    s,
+                    "lulesh150-stream",
+                    5,
+                    14,
+                    10,
+                    0.30,
+                    0,
+                    InstMix::fp64_hpc(),
+                    AccessPattern::PrivateStream {
+                        reuse: 1,
+                        misalign: 0.10
+                    },
+                    region(12),
+                    0x96,
+                )),
+                LaunchSpec::once(kernel(
+                    s,
+                    "lulesh150-gather",
+                    5,
+                    14,
+                    10,
+                    0.10,
+                    0,
+                    InstMix::fp64_hpc(),
+                    AccessPattern::TiledShared {
+                        tile_lines: 8,
+                        footprint_lines: 160 * 1024,
+                        spread: 0.35
+                    },
+                    region(12) + REGION_STRIDE / 2,
+                    0x97,
+                )),
+            ]
+        ),
+        spec!(
+            "Lulesh-190",
+            Memory,
+            true,
+            0.88,
+            45.0,
+            false,
+            1.0,
             "Lulesh size 190: as Lulesh-150 with a 32 MiB mesh and heavier \
-             gather scatter.", |s| vec![
-            LaunchSpec::once(kernel(
-                s, "lulesh190-stream", 4, 16, 10, 0.30, 0,
-                InstMix::fp64_hpc(),
-                AccessPattern::PrivateStream { reuse: 1, misalign: 0.12 },
-                region(13), 0xBE,
-            )),
-            LaunchSpec::once(kernel(
-                s, "lulesh190-gather", 4, 16, 10, 0.10, 0,
-                InstMix::fp64_hpc(),
-                AccessPattern::TiledShared { tile_lines: 8, footprint_lines: 256 * 1024, spread: 0.40 },
-                region(13) + REGION_STRIDE / 2, 0xBF,
-            )),
-        ]),
-        spec!("Nekbone-12", Memory, true, 0.92, 40.0, false, 1.0,
+             gather scatter.",
+            |s| vec![
+                LaunchSpec::once(kernel(
+                    s,
+                    "lulesh190-stream",
+                    4,
+                    16,
+                    10,
+                    0.30,
+                    0,
+                    InstMix::fp64_hpc(),
+                    AccessPattern::PrivateStream {
+                        reuse: 1,
+                        misalign: 0.12
+                    },
+                    region(13),
+                    0xBE,
+                )),
+                LaunchSpec::once(kernel(
+                    s,
+                    "lulesh190-gather",
+                    4,
+                    16,
+                    10,
+                    0.10,
+                    0,
+                    InstMix::fp64_hpc(),
+                    AccessPattern::TiledShared {
+                        tile_lines: 8,
+                        footprint_lines: 256 * 1024,
+                        spread: 0.40
+                    },
+                    region(13) + REGION_STRIDE / 2,
+                    0xBF,
+                )),
+            ]
+        ),
+        spec!(
+            "Nekbone-12",
+            Memory,
+            true,
+            0.92,
+            40.0,
+            false,
+            1.0,
             "Nekbone spectral-element Ax kernel, size 12: FP64 tiles over 12 MiB \
-             with element-boundary sharing.", |s| vec![LaunchSpec::once(kernel(
-            s, "nekbone12-ax", 6, 20, 20, 0.15, 2,
-            InstMix::fp64_hpc(),
-            AccessPattern::TiledShared { tile_lines: 16, footprint_lines: 96 * 1024, spread: 0.15 },
-            region(14), 0x12,
-        ))]),
-        spec!("Nekbone-18", Memory, true, 0.92, 40.0, false, 1.0,
-            "Nekbone size 18: the 24 MiB instance with more boundary exchange.", |s| vec![LaunchSpec::once(kernel(
-            s, "nekbone18-ax", 5, 24, 20, 0.15, 2,
-            InstMix::fp64_hpc(),
-            AccessPattern::TiledShared { tile_lines: 16, footprint_lines: 192 * 1024, spread: 0.18 },
-            region(15), 0x18,
-        ))]),
-        spec!("MnCtct", Memory, false, 0.60, 70.0, false, 1.0,
+             with element-boundary sharing.",
+            |s| vec![LaunchSpec::once(kernel(
+                s,
+                "nekbone12-ax",
+                6,
+                20,
+                20,
+                0.15,
+                2,
+                InstMix::fp64_hpc(),
+                AccessPattern::TiledShared {
+                    tile_lines: 16,
+                    footprint_lines: 96 * 1024,
+                    spread: 0.15
+                },
+                region(14),
+                0x12,
+            ))]
+        ),
+        spec!(
+            "Nekbone-18",
+            Memory,
+            true,
+            0.92,
+            40.0,
+            false,
+            1.0,
+            "Nekbone size 18: the 24 MiB instance with more boundary exchange.",
+            |s| vec![LaunchSpec::once(kernel(
+                s,
+                "nekbone18-ax",
+                5,
+                24,
+                20,
+                0.15,
+                2,
+                InstMix::fp64_hpc(),
+                AccessPattern::TiledShared {
+                    tile_lines: 16,
+                    footprint_lines: 192 * 1024,
+                    spread: 0.18
+                },
+                region(15),
+                0x18,
+            ))]
+        ),
+        spec!(
+            "MnCtct",
+            Memory,
+            false,
+            0.60,
+            70.0,
+            false,
+            1.0,
             "Mini-Contact search: divergent random probes over an 8 MiB contact \
-             structure across many launches (validation suite only).", |s| vec![LaunchSpec::repeated(
-            kernel(
-                s, "mnctct-search", 4, 8, 6, 0.20, 0,
-                InstMix::fp32_control(),
-                AccessPattern::RandomShared { footprint_lines: 64 * 1024 },
-                region(16), 0x3C,
-            ),
-            s.invocations(40),
-        )]),
-        spec!("Srad-v2", Memory, true, 0.94, 30.0, false, 1.0,
+             structure across many launches (validation suite only).",
+            |s| vec![LaunchSpec::repeated(
+                kernel(
+                    s,
+                    "mnctct-search",
+                    4,
+                    8,
+                    6,
+                    0.20,
+                    0,
+                    InstMix::fp32_control(),
+                    AccessPattern::RandomShared {
+                        footprint_lines: 64 * 1024
+                    },
+                    region(16),
+                    0x3C,
+                ),
+                s.invocations(40),
+            )]
+        ),
+        spec!(
+            "Srad-v2",
+            Memory,
+            true,
+            0.94,
+            30.0,
+            false,
+            1.0,
             "SRAD v2: large-image FP32 stencil streamed at low arithmetic \
-             intensity with scattered halo sharing.", |s| vec![LaunchSpec::once(kernel(
-            s, "srad2-step", 3, 36, 10, 0.30, 0,
-            InstMix::fp32_stream(),
-            AccessPattern::PrivateStream { reuse: 1, misalign: 0.18 },
-            region(17), 0x52,
-        ))]),
-        spec!("Stream", Memory, true, 0.99, 20.0, false, 1.0,
+             intensity with scattered halo sharing.",
+            |s| vec![LaunchSpec::once(kernel(
+                s,
+                "srad2-step",
+                3,
+                36,
+                10,
+                0.30,
+                0,
+                InstMix::fp32_stream(),
+                AccessPattern::PrivateStream {
+                    reuse: 1,
+                    misalign: 0.18
+                },
+                region(17),
+                0x52,
+            ))]
+        ),
+        spec!(
+            "Stream",
+            Memory,
+            true,
+            0.99,
+            20.0,
+            false,
+            1.0,
             "STREAM triad: one FMA per three 100 MiB-array references; the pure \
-             bandwidth yardstick, with a 25% producer/consumer index mismatch.", |s| vec![LaunchSpec::once(kernel(
-            s, "stream-triad", 1, 48, 0, 0.33, 0,
-            InstMix::fp32_stream(),
-            AccessPattern::PrivateStream { reuse: 1, misalign: 0.25 },
-            region(18), 0x57,
-        ))]),
+             bandwidth yardstick, with a 25% producer/consumer index mismatch.",
+            |s| vec![LaunchSpec::once(kernel(
+                s,
+                "stream-triad",
+                1,
+                48,
+                0,
+                0.33,
+                0,
+                InstMix::fp32_stream(),
+                AccessPattern::PrivateStream {
+                    reuse: 1,
+                    misalign: 0.25
+                },
+                region(18),
+                0x57,
+            ))]
+        ),
     ]
 }
 
 /// The 14-application scaling subset (§V-A): all of [`suite`] except BFS,
 /// LuleshUns, MnCtct, and Srad-v1.
 pub fn scaling_suite() -> Vec<WorkloadSpec> {
-    suite().into_iter().filter(|w| w.in_scaling_subset).collect()
+    suite()
+        .into_iter()
+        .filter(|w| w.in_scaling_subset)
+        .collect()
 }
 
 /// Looks up one workload by its Table II abbreviation.
@@ -418,7 +791,10 @@ mod tests {
         let excluded = ["BFS", "LuleshUns", "MnCtct", "Srad-v1"];
         let subset = scaling_suite();
         for name in excluded {
-            assert!(subset.iter().all(|w| w.name != name), "{name} must be excluded");
+            assert!(
+                subset.iter().all(|w| w.name != name),
+                "{name} must be excluded"
+            );
             assert!(by_name(name).is_some(), "{name} still in the full suite");
         }
     }
@@ -426,18 +802,30 @@ mod tests {
     #[test]
     fn category_split_matches_table_ii() {
         let all = suite();
-        let compute = all.iter().filter(|w| w.category == Category::Compute).count();
-        let memory = all.iter().filter(|w| w.category == Category::Memory).count();
+        let compute = all
+            .iter()
+            .filter(|w| w.category == Category::Compute)
+            .count();
+        let memory = all
+            .iter()
+            .filter(|w| w.category == Category::Memory)
+            .count();
         assert_eq!(compute, 8);
         assert_eq!(memory, 10);
         // Scaling subset: 6 compute, 8 memory.
         let subset = scaling_suite();
         assert_eq!(
-            subset.iter().filter(|w| w.category == Category::Compute).count(),
+            subset
+                .iter()
+                .filter(|w| w.category == Category::Compute)
+                .count(),
             6
         );
         assert_eq!(
-            subset.iter().filter(|w| w.category == Category::Memory).count(),
+            subset
+                .iter()
+                .filter(|w| w.category == Category::Memory)
+                .count(),
             8
         );
     }
@@ -468,7 +856,11 @@ mod tests {
     fn smoke_scale_is_small() {
         for w in suite() {
             for launch in w.launches(Scale::Smoke) {
-                assert!(launch.program.grid().ctas <= 256, "{} smoke too big", w.name);
+                assert!(
+                    launch.program.grid().ctas <= 256,
+                    "{} smoke too big",
+                    w.name
+                );
             }
         }
     }
@@ -480,7 +872,11 @@ mod tests {
         let total: u32 = launches.iter().map(|l| l.invocations).sum();
         assert!(total >= 50, "BFS must be many short kernels, got {total}");
         let stream = by_name("Stream").unwrap();
-        let total: u32 = stream.launches(Scale::Full).iter().map(|l| l.invocations).sum();
+        let total: u32 = stream
+            .launches(Scale::Full)
+            .iter()
+            .map(|l| l.invocations)
+            .sum();
         assert_eq!(total, 1);
     }
 
@@ -495,9 +891,7 @@ mod tests {
                 .collect();
             let mems = instrs
                 .iter()
-                .filter(|i| {
-                    matches!(i, isa::WarpInstr::Mem(m) if m.space == isa::MemSpace::Global)
-                })
+                .filter(|i| matches!(i, isa::WarpInstr::Mem(m) if m.space == isa::MemSpace::Global))
                 .count()
                 .max(1);
             let ratio = instrs.len() as f64 / mems as f64;

@@ -9,33 +9,37 @@ use workloads::mix::InstMix;
 
 fn pattern() -> impl Strategy<Value = AccessPattern> {
     prop_oneof![
-        (1_u32..4, 0.0_f64..0.5).prop_map(|(reuse, misalign)| {
-            AccessPattern::PrivateStream { reuse, misalign }
-        }),
+        (1_u32..4, 0.0_f64..0.5)
+            .prop_map(|(reuse, misalign)| { AccessPattern::PrivateStream { reuse, misalign } }),
         (1_u32..16, 64_u64..4096, 0.0_f64..0.5).prop_map(|(tile, fp, spread)| {
-            AccessPattern::TiledShared { tile_lines: tile, footprint_lines: fp, spread }
+            AccessPattern::TiledShared {
+                tile_lines: tile,
+                footprint_lines: fp,
+                spread,
+            }
         }),
-        (64_u64..4096).prop_map(|fp| AccessPattern::RandomShared { footprint_lines: fp }),
-        (0.0_f64..0.5, 1_u32..4).prop_map(|(halo, reuse)| {
-            AccessPattern::Stencil { halo, reuse }
+        (64_u64..4096).prop_map(|fp| AccessPattern::RandomShared {
+            footprint_lines: fp
         }),
+        (0.0_f64..0.5, 1_u32..4)
+            .prop_map(|(halo, reuse)| { AccessPattern::Stencil { halo, reuse } }),
     ]
 }
 
 fn params() -> impl Strategy<Value = KernelParams> {
     (
-        1_u32..32,          // ctas
-        1_u32..8,           // warps per cta
-        0_u32..8,           // compute per mem
-        0_u32..32,          // mem refs
-        0_u32..16,          // trailing
-        0.0_f64..1.0,       // store fraction
-        0_u32..3,           // shared per mem
+        1_u32..32,    // ctas
+        1_u32..8,     // warps per cta
+        0_u32..8,     // compute per mem
+        0_u32..32,    // mem refs
+        0_u32..16,    // trailing
+        0.0_f64..1.0, // store fraction
+        0_u32..3,     // shared per mem
         pattern(),
-        any::<u64>(),       // seed
+        any::<u64>(), // seed
     )
-        .prop_map(|(ctas, wpc, cpm, mem, trailing, store, shared, pattern, seed)| {
-            KernelParams {
+        .prop_map(
+            |(ctas, wpc, cpm, mem, trailing, store, shared, pattern, seed)| KernelParams {
                 name: "prop".into(),
                 ctas,
                 warps_per_cta: wpc,
@@ -48,8 +52,8 @@ fn params() -> impl Strategy<Value = KernelParams> {
                 pattern,
                 region: 1 << 40,
                 seed,
-            }
-        })
+            },
+        )
 }
 
 proptest! {

@@ -44,54 +44,78 @@ pub struct AblationStudy {
 
 impl AblationStudy {
     /// Runs every ablation at `gpms` modules, 2x-BW on-package.
-    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec], gpms: usize) -> Self {
-        let mut rows = Vec::new();
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Self {
         let base = ExpConfig::paper_default(gpms, BwSetting::X2);
-
-        let mut eval = |lab: &mut Lab, knob: &'static str, variant: String, cfg: &ExpConfig| {
-            let speedups: Vec<f64> = suite.iter().map(|w| lab.speedup(w, cfg)).collect();
-            let edpses: Vec<f64> = suite.iter().map(|w| lab.edpse(w, cfg)).collect();
-            let energies: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, cfg)).collect();
-            rows.push(AblationRow {
-                knob,
-                variant,
-                gpms,
-                speedup: mean(&speedups),
-                edpse: mean(&edpses),
-                energy: mean(&energies),
-            });
-        };
+        let mut variants: Vec<(&'static str, String, ExpConfig)> = Vec::new();
 
         // CTA scheduling: locality-aware contiguous vs naive round-robin.
         for s in [CtaSchedule::Contiguous, CtaSchedule::RoundRobin] {
-            let cfg = base.clone().with_cta_schedule(s);
-            eval(lab, "CTA schedule", s.to_string(), &cfg);
+            variants.push((
+                "CTA schedule",
+                s.to_string(),
+                base.clone().with_cta_schedule(s),
+            ));
         }
 
         // Page placement: first-touch vs static interleaving.
         for p in [PagePolicy::FirstTouch, PagePolicy::Interleaved] {
-            let cfg = base.clone().with_page_policy(p);
-            eval(lab, "page placement", p.to_string(), &cfg);
+            variants.push((
+                "page placement",
+                p.to_string(),
+                base.clone().with_page_policy(p),
+            ));
         }
 
         // L2 organization: module-side vs memory-side.
         for m in [L2Mode::ModuleSide, L2Mode::MemorySide] {
-            let cfg = base.clone().with_l2_mode(m);
-            eval(lab, "L2 organization", m.to_string(), &cfg);
+            variants.push((
+                "L2 organization",
+                m.to_string(),
+                base.clone().with_l2_mode(m),
+            ));
         }
 
         // Warp scheduling policy (should be near-neutral — the paper's
         // §II abstraction argument).
-        for ws in [WarpScheduler::LooseRoundRobin, WarpScheduler::GreedyThenOldest] {
-            let cfg = base.clone().with_warp_scheduler(ws);
-            eval(lab, "warp scheduler", ws.to_string(), &cfg);
+        for ws in [
+            WarpScheduler::LooseRoundRobin,
+            WarpScheduler::GreedyThenOldest,
+        ] {
+            variants.push((
+                "warp scheduler",
+                ws.to_string(),
+                base.clone().with_warp_scheduler(ws),
+            ));
         }
 
         // Warp memory-level parallelism.
         for mlp in [1usize, 2, 4, 8] {
-            let cfg = base.clone().with_mlp(mlp);
-            eval(lab, "MLP per warp", format!("{mlp} outstanding"), &cfg);
+            variants.push((
+                "MLP per warp",
+                format!("{mlp} outstanding"),
+                base.clone().with_mlp(mlp),
+            ));
         }
+
+        let cfgs: Vec<ExpConfig> = variants.iter().map(|(_, _, c)| c.clone()).collect();
+        lab.prime_suite(suite, &cfgs);
+
+        let rows = variants
+            .into_iter()
+            .map(|(knob, variant, cfg)| {
+                let speedups: Vec<f64> = suite.iter().map(|w| lab.speedup(w, &cfg)).collect();
+                let edpses: Vec<f64> = suite.iter().map(|w| lab.edpse(w, &cfg)).collect();
+                let energies: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, &cfg)).collect();
+                AblationRow {
+                    knob,
+                    variant,
+                    gpms,
+                    speedup: mean(&speedups),
+                    edpse: mean(&edpses),
+                    energy: mean(&energies),
+                }
+            })
+            .collect();
 
         AblationStudy { rows }
     }
@@ -133,17 +157,17 @@ mod tests {
 
     #[test]
     fn ablation_produces_all_rows() {
-        let mut lab = Lab::new(Scale::Smoke);
-        let study = AblationStudy::run(&mut lab, &mini_suite(), 8);
+        let lab = Lab::new(Scale::Smoke);
+        let study = AblationStudy::run(&lab, &mini_suite(), 8);
         assert_eq!(study.rows.len(), 2 + 2 + 2 + 2 + 4);
         assert!(study.render().render().contains("round-robin"));
     }
 
     #[test]
     fn first_touch_beats_interleaving_for_private_streams() {
-        let mut lab = Lab::new(Scale::Smoke);
+        let lab = Lab::new(Scale::Smoke);
         let suite = vec![by_name("Stream").unwrap()];
-        let study = AblationStudy::run(&mut lab, &suite, 8);
+        let study = AblationStudy::run(&lab, &suite, 8);
         let ft = study.get("page placement", "first-touch").unwrap();
         let il = study.get("page placement", "interleaved").unwrap();
         assert!(
@@ -156,9 +180,9 @@ mod tests {
 
     #[test]
     fn mlp_monotonically_helps_memory_bound_work() {
-        let mut lab = Lab::new(Scale::Smoke);
+        let lab = Lab::new(Scale::Smoke);
         let suite = vec![by_name("Stream").unwrap()];
-        let study = AblationStudy::run(&mut lab, &suite, 8);
+        let study = AblationStudy::run(&lab, &suite, 8);
         let one = study.get("MLP per warp", "1 outstanding").unwrap();
         let eight = study.get("MLP per warp", "8 outstanding").unwrap();
         assert!(

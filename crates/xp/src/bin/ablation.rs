@@ -2,11 +2,12 @@
 //! page placement, L2 organization, and warp MLP.
 
 fn main() {
-    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let lab = xp::lab_from_args();
     let suite = xp::default_suite();
     for gpms in [8usize, 32] {
-        let study = xp::AblationStudy::run(&mut lab, &suite, gpms);
+        let study = xp::AblationStudy::run(&lab, &suite, gpms);
         println!("Design-choice ablations at {gpms}-GPM, 2x-BW on-package");
         println!("{}", study.render());
     }
+    lab.print_sweep_summary();
 }

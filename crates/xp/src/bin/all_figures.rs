@@ -7,18 +7,18 @@ use silicon::VirtualK40;
 fn main() {
     let scale = xp::scale_from_args();
     let skip_validation = std::env::args().any(|a| a == "--no-validation");
-    let mut lab = xp::Lab::new(scale);
+    let lab = xp::Lab::with_threads(scale, xp::threads_from_args());
     let suite = xp::default_suite();
 
-    let fig2 = xp::Fig2::run(&mut lab, &suite);
+    let fig2 = xp::Fig2::run(&lab, &suite);
     println!("\n== Figure 2: on-board scaling energy (paper: ~2x at 32-GPM) ==");
     println!("{}", fig2.render());
 
-    let fig6 = xp::Fig6::run(&mut lab, &suite);
+    let fig6 = xp::Fig6::run(&lab, &suite);
     println!("\n== Figure 6: EDPSE at 2x-BW (paper: 94% @2 -> 36% @32) ==");
     println!("{}", fig6.render());
 
-    let fig7 = xp::Fig7::run(&mut lab, &suite);
+    let fig7 = xp::Fig7::run(&lab, &suite);
     println!("\n== Figure 7: per-step speedup + energy breakdown ==");
     println!("{}", fig7.render());
     println!(
@@ -26,23 +26,23 @@ fn main() {
         fig7.monolithic_16_to_32
     );
 
-    let fig8 = xp::Fig8::run(&mut lab, &suite);
+    let fig8 = xp::Fig8::run(&lab, &suite);
     println!("\n== Figure 8: EDPSE vs bandwidth ==");
     println!("{}", fig8.render());
 
-    let fig9 = xp::Fig9::run(&mut lab, &suite);
+    let fig9 = xp::Fig9::run(&lab, &suite);
     println!("\n== Figure 9: on-board ring vs switch ==");
     println!("{}", fig9.render());
 
-    let fig10 = xp::Fig10::run(&mut lab, &suite);
+    let fig10 = xp::Fig10::run(&lab, &suite);
     println!("\n== Figure 10: speedup + energy across settings ==");
     println!("{}", fig10.render());
 
-    let ps = xp::PointStudies::run(&mut lab, &suite);
+    let ps = xp::PointStudies::run(&lab, &suite);
     println!("\n== Point studies ==");
     println!("{}", ps.render());
 
-    let h = xp::Headline::run(&mut lab, &suite);
+    let h = xp::Headline::run(&lab, &suite);
     println!("\n== Headline ==");
     println!("{}", h.render());
 
@@ -60,4 +60,5 @@ fn main() {
         println!("\n== Figure 4b ==");
         println!("{}", xp::validation::render_validation(&r4b));
     }
+    lab.print_sweep_summary();
 }

@@ -7,13 +7,17 @@ use workloads::{scaling_suite, Scale};
 use xp::{ExpConfig, Lab};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--smoke") { Scale::Smoke } else { Scale::Full };
-    let mut lab = Lab::new(scale);
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    let lab = Lab::with_threads(scale, xp::threads_from_args());
     let suite = scaling_suite();
 
     let mut t = TextTable::new([
-        "workload", "cat", "1G kcyc", "s2", "s4", "s8", "s16", "s32",
-        "E32/E1", "edpse32", "idle32", "hop32GB", "const32",
+        "workload", "cat", "1G kcyc", "s2", "s4", "s8", "s16", "s32", "E32/E1", "edpse32",
+        "idle32", "hop32GB", "const32",
     ]);
     for w in &suite {
         let base = lab.baseline(w);
@@ -31,8 +35,14 @@ fn main() {
         row.push(format!("{:.2}", lab.energy_ratio(w, &cfg32)));
         row.push(format!("{:.0}", lab.edpse(w, &cfg32)));
         row.push(format!("{:.2}", p32.counts.idle_fraction()));
-        row.push(format!("{:.2}", p32.counts.inter_gpm_hop_bytes.count() as f64 / 1e9));
-        row.push(format!("{:.2}", p32.breakdown.fraction(EnergyComponent::ConstantOverhead)));
+        row.push(format!(
+            "{:.2}",
+            p32.counts.inter_gpm_hop_bytes.count() as f64 / 1e9
+        ));
+        row.push(format!(
+            "{:.2}",
+            p32.breakdown.fraction(EnergyComponent::ConstantOverhead)
+        ));
         t.row(row);
     }
     println!("{t}");
@@ -48,4 +58,5 @@ fn main() {
         t2.row(row);
     }
     println!("{t2}");
+    lab.print_sweep_summary();
 }

@@ -2,22 +2,23 @@
 //! link compression, and metric weighting.
 
 fn main() {
-    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let lab = xp::lab_from_args();
     let suite = xp::default_suite();
 
-    let gating = xp::GatingStudy::run(&mut lab, &suite, 32);
+    let gating = xp::GatingStudy::run(&lab, &suite, 32);
     println!("Idle-aware power gating at 32-GPM, 2x-BW (§V-E):");
     println!("{}", gating.render());
 
-    let compression = xp::CompressionStudy::run(&mut lab, &suite, 32);
+    let compression = xp::CompressionStudy::run(&lab, &suite, 32);
     println!("Inter-GPM link compression at 32-GPM, 1x-BW on-board (§V-E):");
     println!("{}", compression.render());
 
-    let dvfs = xp::DvfsStudy::run(&mut lab, &suite, 32);
+    let dvfs = xp::DvfsStudy::run(&lab, &suite, 32);
     println!("Module DVFS at 32-GPM, 2x-BW (bracketed out in §V-A2):");
     println!("{}", dvfs.render());
 
-    let metrics = xp::MetricWeightStudy::run(&mut lab, &suite);
+    let metrics = xp::MetricWeightStudy::run(&lab, &suite);
     println!("Metric weighting (ED^iPSE) at 2x-BW (§III):");
     println!("{}", metrics.render());
+    lab.print_sweep_summary();
 }

@@ -2,9 +2,10 @@
 //! bandwidth settings (amortization applied in the on-package domains).
 
 fn main() {
-    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let lab = xp::lab_from_args();
     let suite = xp::default_suite();
-    let fig = xp::Fig10::run(&mut lab, &suite);
+    let fig = xp::Fig10::run(&lab, &suite);
     println!("Figure 10: speedup and energy vs 1-GPM across bandwidth settings");
     println!("{}", fig.render());
+    lab.print_sweep_summary();
 }

@@ -2,9 +2,10 @@
 //! integration (1x-BW ring), normalized to a single GPU.
 
 fn main() {
-    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let lab = xp::lab_from_args();
     let suite = xp::default_suite();
-    let fig = xp::Fig2::run(&mut lab, &suite);
+    let fig = xp::Fig2::run(&lab, &suite);
     println!("Figure 2: energy of strong scaling, on-board integration (ideal = 1.0)");
     println!("{}", fig.render());
+    lab.print_sweep_summary();
 }

@@ -14,6 +14,10 @@ fn main() {
     let outliers = report.outliers(30.0);
     println!(
         "outliers beyond 30%: {}",
-        outliers.iter().map(|i| i.name.as_str()).collect::<Vec<_>>().join(", ")
+        outliers
+            .iter()
+            .map(|i| i.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 }

@@ -2,9 +2,10 @@
 //! baseline on-package (2x-BW) configuration.
 
 fn main() {
-    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let lab = xp::lab_from_args();
     let suite = xp::default_suite();
-    let fig = xp::Fig6::run(&mut lab, &suite);
+    let fig = xp::Fig6::run(&lab, &suite);
     println!("Figure 6: EDPSE, on-package baseline (2x-BW); paper avg: 94% @2-GPM -> 36% @32-GPM");
     println!("{}", fig.render());
+    lab.print_sweep_summary();
 }

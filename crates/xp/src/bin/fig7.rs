@@ -2,13 +2,14 @@
 //! each scaling step (2x-BW on-package).
 
 fn main() {
-    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let lab = xp::lab_from_args();
     let suite = xp::default_suite();
-    let fig = xp::Fig7::run(&mut lab, &suite);
+    let fig = xp::Fig7::run(&lab, &suite);
     println!("Figure 7: per-step speedup and energy increase breakdown (2x-BW)");
     println!("{}", fig.render());
     println!(
         "monolithic (ideal interconnect) 16->32 speedup: {:.2} (paper: 1.808)",
         fig.monolithic_16_to_32
     );
+    lab.print_sweep_summary();
 }

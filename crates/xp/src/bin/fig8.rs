@@ -1,9 +1,10 @@
 //! Figure 8: EDPSE as a function of the interconnect bandwidth setting.
 
 fn main() {
-    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let lab = xp::lab_from_args();
     let suite = xp::default_suite();
-    let fig = xp::Fig8::run(&mut lab, &suite);
+    let fig = xp::Fig8::run(&lab, &suite);
     println!("Figure 8: EDPSE vs interconnect bandwidth (paper: ~3x EDPSE from 4x BW at 32-GPM)");
     println!("{}", fig.render());
+    lab.print_sweep_summary();
 }

@@ -1,9 +1,10 @@
 //! Figure 9: EDPSE for on-board ring vs high-radix switch networks.
 
 fn main() {
-    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let lab = xp::lab_from_args();
     let suite = xp::default_suite();
-    let fig = xp::Fig9::run(&mut lab, &suite);
+    let fig = xp::Fig9::run(&lab, &suite);
     println!("Figure 9: on-board ring vs switch (paper: switch ~2x EDPSE at 32-GPM)");
     println!("{}", fig.render());
+    lab.print_sweep_summary();
 }

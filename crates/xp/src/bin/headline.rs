@@ -1,9 +1,10 @@
 //! §VII headline: naive vs optimized 32-GPM energy and speedup.
 
 fn main() {
-    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let lab = xp::lab_from_args();
     let suite = xp::default_suite();
-    let h = xp::Headline::run(&mut lab, &suite);
+    let h = xp::Headline::run(&lab, &suite);
     println!("Headline comparison (paper §VII)");
     println!("{}", h.render());
+    lab.print_sweep_summary();
 }

@@ -3,10 +3,11 @@
 //! reduction chain.
 
 fn main() {
-    let mut lab = xp::Lab::new(xp::scale_from_args());
+    let lab = xp::lab_from_args();
     let suite = xp::default_suite();
-    let studies = xp::PointStudies::run(&mut lab, &suite);
+    let studies = xp::PointStudies::run(&lab, &suite);
     println!("Point studies (paper: <1% EDPSE impact of 4x link energy; +8.8% EDPSE for 4x-energy/2x-BW;");
     println!("               22.3%/10.4% energy saving at 50%/25% amortization; 27.4% -> 45% energy reduction)");
     println!("{}", studies.render());
+    lab.print_sweep_summary();
 }

@@ -45,13 +45,21 @@ fn fit_and_report(label: &str, hw: &VirtualK40, cfg: &FitConfig) {
             format!("{:+.1}", (got - want) / want * 100.0),
         ]);
     }
-    println!("{label}: idle fitted {} (planted {})", fitted.const_power, truth.idle_power());
+    println!(
+        "{label}: idle fitted {} (planted {})",
+        fitted.const_power,
+        truth.idle_power()
+    );
     println!("{t}");
 }
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--smoke");
-    let target = if fast { Time::from_millis(300.0) } else { Time::from_millis(600.0) };
+    let target = if fast {
+        Time::from_millis(300.0)
+    } else {
+        Time::from_millis(600.0)
+    };
     let iterations = if fast { 500 } else { 1200 };
 
     // Board 1: the K40-class baseline.
@@ -78,9 +86,10 @@ fn main() {
     fit_and_report("Pascal-class board", &pascal, &pascal_cfg);
 
     // The fitted models validate on their own boards.
-    for (label, hw, cfg) in
-        [("K40-class", &k40, &k40_cfg), ("Pascal-class", &pascal, &pascal_cfg)]
-    {
+    for (label, hw, cfg) in [
+        ("K40-class", &k40, &k40_cfg),
+        ("Pascal-class", &pascal, &pascal_cfg),
+    ] {
         let model = fit(hw, cfg).to_energy_model();
         let report = microbench::validate_mixed(hw, &model, &cfg.gpu, target);
         println!(

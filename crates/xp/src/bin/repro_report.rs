@@ -4,9 +4,9 @@
 fn main() {
     let scale = xp::scale_from_args();
     let skip_validation = std::env::args().any(|a| a == "--no-validation");
-    let mut lab = xp::Lab::new(scale);
+    let lab = xp::Lab::with_threads(scale, xp::threads_from_args());
     let suite = xp::default_suite();
-    let mut claims = xp::evaluate_scaling_claims(&mut lab, &suite);
+    let mut claims = xp::evaluate_scaling_claims(&lab, &suite);
     if !skip_validation {
         claims.extend(xp::report::evaluate_validation_claims(scale));
     }
@@ -14,4 +14,5 @@ fn main() {
     println!("{}", xp::render_claims(&claims));
     let passed = claims.iter().filter(|c| c.pass).count();
     println!("{passed}/{} claims PASS", claims.len());
+    lab.print_sweep_summary();
 }

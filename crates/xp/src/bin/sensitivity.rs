@@ -21,7 +21,7 @@ fn mean(v: &[f64]) -> f64 {
 
 /// EDPSE with an overridden energy model at 32-GPM 2x-BW.
 fn edpse_with(
-    lab: &mut Lab,
+    lab: &Lab,
     suite: &[WorkloadSpec],
     const_per_gpm: Power,
     dram_pj_per_bit: f64,
@@ -33,8 +33,7 @@ fn edpse_with(
         EnergyPerBit::from_pj_per_bit(dram_pj_per_bit)
             .energy_for(Bytes::new(Transaction::DramToL2.bytes_per_txn())),
     );
-    let base_ecfg = ExpConfig::baseline()
-        .energy_config();
+    let base_ecfg = ExpConfig::baseline().energy_config();
     let mut scaled_ecfg = cfg.energy_config();
     scaled_ecfg.const_power_per_gpm = const_per_gpm;
     let mut base_ecfg = base_ecfg;
@@ -59,23 +58,30 @@ fn edpse_with(
 }
 
 fn main() {
-    let mut lab = Lab::new(xp::scale_from_args());
+    let lab = xp::lab_from_args();
     let suite = xp::default_suite();
 
     println!("Sensitivity of the 32-GPM (2x-BW) conclusions:\n");
 
     let mut t = TextTable::new(["per-GPM constant power", "energy vs 1-GPM", "EDPSE (%)"]);
     for watts in [40.0, 62.0, 85.0] {
-        let (edpse, energy) =
-            edpse_with(&mut lab, &suite, Power::from_watts(watts), 21.1);
-        t.row([format!("{watts:.0} W"), format!("{energy:.2}"), format!("{edpse:.1}")]);
+        let (edpse, energy) = edpse_with(&lab, &suite, Power::from_watts(watts), 21.1);
+        t.row([
+            format!("{watts:.0} W"),
+            format!("{energy:.2}"),
+            format!("{edpse:.1}"),
+        ]);
     }
     println!("constant-power anchor (baseline 62 W):");
     println!("{t}");
 
     let mut t = TextTable::new(["DRAM technology", "pJ/bit", "energy vs 1-GPM", "EDPSE (%)"]);
-    for (label, pj) in [("GDDR5 (K40)", 30.55), ("HBM (paper)", 21.1), ("HBM2-class", 15.0)] {
-        let (edpse, energy) = edpse_with(&mut lab, &suite, Power::from_watts(62.0), pj);
+    for (label, pj) in [
+        ("GDDR5 (K40)", 30.55),
+        ("HBM (paper)", 21.1),
+        ("HBM2-class", 15.0),
+    ] {
+        let (edpse, energy) = edpse_with(&lab, &suite, Power::from_watts(62.0), pj);
         t.row([
             label.to_string(),
             format!("{pj:.2}"),
@@ -85,4 +91,5 @@ fn main() {
     }
     println!("DRAM per-bit cost (the paper's §V-A2 HBM adjustment):");
     println!("{t}");
+    lab.print_sweep_summary();
 }

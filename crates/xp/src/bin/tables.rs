@@ -6,7 +6,12 @@ use sim::{BwSetting, GpuConfig, Topology};
 fn main() {
     println!("Table III: simulated multi-module GPU configurations");
     let mut t = TextTable::new([
-        "configuration", "modules", "total SMs", "L1/SM", "total L2", "total DRAM BW",
+        "configuration",
+        "modules",
+        "total SMs",
+        "L1/SM",
+        "total L2",
+        "total DRAM BW",
     ]);
     for n in [1usize, 2, 4, 8, 16, 32] {
         let cfg = GpuConfig::paper(n, BwSetting::X2, Topology::Ring);
@@ -22,7 +27,12 @@ fn main() {
     println!("{t}");
 
     println!("Table IV: per-GPM I/O bandwidth settings");
-    let mut t = TextTable::new(["setting", "inter-GPM BW", "inter-GPM:DRAM", "integration domain"]);
+    let mut t = TextTable::new([
+        "setting",
+        "inter-GPM BW",
+        "inter-GPM:DRAM",
+        "integration domain",
+    ]);
     for (bw, ratio, domain) in [
         (BwSetting::X1, "1:2", "on-board"),
         (BwSetting::X2, "1:1", "on-package"),

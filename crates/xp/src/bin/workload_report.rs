@@ -19,8 +19,16 @@ fn main() {
     };
 
     let mut t = TextTable::new([
-        "workload", "cat", "instrs", "fp64 %", "B/instr", "L1 hit", "L2 hit",
-        "dram util", "link max util (8-GPM)", "remote lat (8-GPM)",
+        "workload",
+        "cat",
+        "instrs",
+        "fp64 %",
+        "B/instr",
+        "L1 hit",
+        "L2 hit",
+        "dram util",
+        "link max util (8-GPM)",
+        "remote lat (8-GPM)",
     ]);
     for w in suite() {
         let mut sim1 = GpuSim::new(&sim_cfg(1));
@@ -40,8 +48,7 @@ fn main() {
             .filter(|(op, _)| op.is_fp64())
             .map(|(_, n)| n)
             .sum();
-        let dram_bytes = c.txns.get(Transaction::DramToL2)
-            * Transaction::DramToL2.bytes_per_txn();
+        let dram_bytes = c.txns.get(Transaction::DramToL2) * Transaction::DramToL2.bytes_per_txn();
         t.row([
             w.name.to_string(),
             w.category.to_string(),

@@ -7,9 +7,7 @@ use crate::lab::Lab;
 use common::stats;
 use common::table::TextTable;
 use common::units::Energy;
-use gpujoule::{
-    EdipScalingEfficiency, EnergyModelBuilder, EpiTable, EptTable, PowerGating,
-};
+use gpujoule::{EdipScalingEfficiency, EnergyModelBuilder, EpiTable, EptTable, PowerGating};
 use isa::Opcode;
 use sim::BwSetting;
 use workloads::WorkloadSpec;
@@ -31,8 +29,9 @@ pub struct GatingStudy {
 
 impl GatingStudy {
     /// Sweeps gating effectiveness at `gpms` modules, 2x-BW on-package.
-    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec], gpms: usize) -> Self {
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Self {
         let cfg = ExpConfig::paper_default(gpms, BwSetting::X2);
+        lab.prime_suite(suite, std::slice::from_ref(&cfg));
         let rows = [0.0, 0.25, 0.5, 0.75, 1.0]
             .iter()
             .map(|&eff| {
@@ -45,15 +44,10 @@ impl GatingStudy {
                     // Gating applies to the scaled design; the 1-GPM
                     // baseline rarely idles, but gate it identically for
                     // fairness.
-                    let model_base =
-                        ExpConfig::baseline().energy_config().build_model();
+                    let model_base = ExpConfig::baseline().energy_config().build_model();
                     let model_scaled = cfg.energy_config().build_model();
-                    let e_base = model_base
-                        .estimate_gated(&base.counts, &gating)
-                        .total();
-                    let e_scaled = model_scaled
-                        .estimate_gated(&point.counts, &gating)
-                        .total();
+                    let e_base = model_base.estimate_gated(&base.counts, &gating).total();
+                    let e_scaled = model_scaled.estimate_gated(&point.counts, &gating).total();
                     energies.push(e_scaled.joules() / e_base.joules());
                     let edp_base = e_base.joules() * base.duration().secs();
                     let edp_scaled = e_scaled.joules() * point.duration().secs();
@@ -67,13 +61,13 @@ impl GatingStudy {
 
     /// Renders the study as a table.
     pub fn render(&self) -> TextTable {
-        let mut t = TextTable::new([
-            "gating effectiveness",
-            "energy vs 1-GPM",
-            "EDPSE (%)",
-        ]);
+        let mut t = TextTable::new(["gating effectiveness", "energy vs 1-GPM", "EDPSE (%)"]);
         for &(eff, e, d) in &self.rows {
-            t.row([format!("{:.0}%", eff * 100.0), format!("{e:.2}"), format!("{d:.1}")]);
+            t.row([
+                format!("{:.0}%", eff * 100.0),
+                format!("{e:.2}"),
+                format!("{d:.1}"),
+            ]);
         }
         t
     }
@@ -96,12 +90,18 @@ impl CompressionStudy {
     /// Sweeps the compression ratio at `gpms` modules on the bandwidth-
     /// starved on-board 1x-BW configuration, charging the engines'
     /// energy on top.
-    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec], gpms: usize) -> Self {
-        let rows = [1.0, 1.5, 2.0, 3.0]
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Self {
+        let ratios = [1.0, 1.5, 2.0, 3.0];
+        let cfgs: Vec<ExpConfig> = ratios
+            .iter()
+            .map(|&r| ExpConfig::paper_default(gpms, BwSetting::X1).with_link_compression(r))
+            .collect();
+        lab.prime_suite(suite, &cfgs);
+        let rows = ratios
             .iter()
             .map(|&ratio| {
-                let cfg = ExpConfig::paper_default(gpms, BwSetting::X1)
-                    .with_link_compression(ratio);
+                let cfg =
+                    ExpConfig::paper_default(gpms, BwSetting::X1).with_link_compression(ratio);
                 let mut speedups = Vec::new();
                 let mut energies = Vec::new();
                 let mut edpses = Vec::new();
@@ -109,8 +109,7 @@ impl CompressionStudy {
                     let base = lab.baseline(w);
                     let point = lab.point(w, &cfg);
                     // Compression-engine energy: per uncompressed bit.
-                    let uncompressed_bytes =
-                        point.counts.inter_gpm_bytes.count() as f64 * ratio;
+                    let uncompressed_bytes = point.counts.inter_gpm_bytes.count() as f64 * ratio;
                     let engine = common::units::Energy::from_picojoules(
                         COMPRESSION_PJ_PER_BIT * uncompressed_bytes * 8.0,
                     );
@@ -137,7 +136,11 @@ impl CompressionStudy {
         ]);
         for &(r, s, e, d) in &self.rows {
             t.row([
-                if r == 1.0 { "off".to_string() } else { format!("{r:.1}x") },
+                if r == 1.0 {
+                    "off".to_string()
+                } else {
+                    format!("{r:.1}x")
+                },
                 format!("{s:.2}"),
                 format!("{e:.2}"),
                 format!("{d:.1}"),
@@ -167,12 +170,17 @@ impl DvfsStudy {
     /// Sweeps the GPM clock at `gpms` modules, 2x-BW on-package, with
     /// dynamic energy scaled by the classic `V ∝ f` assumption (energy
     /// per operation ∝ `scale²`).
-    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec], gpms: usize) -> Self {
-        let rows = [1.0_f64, 0.85, 0.7, 0.55]
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Self {
+        let scales = [1.0_f64, 0.85, 0.7, 0.55];
+        let cfgs: Vec<ExpConfig> = scales
+            .iter()
+            .map(|&s| ExpConfig::paper_default(gpms, BwSetting::X2).with_clock_scale(s))
+            .collect();
+        lab.prime_suite(suite, &cfgs);
+        let rows = scales
             .iter()
             .map(|&scale| {
-                let cfg = ExpConfig::paper_default(gpms, BwSetting::X2)
-                    .with_clock_scale(scale);
+                let cfg = ExpConfig::paper_default(gpms, BwSetting::X2).with_clock_scale(scale);
                 let v2 = scale * scale;
                 // Dynamic (core-domain) energies scale with V²; memory
                 // transaction energies and constant power do not.
@@ -239,7 +247,12 @@ pub struct MetricWeightStudy {
 
 impl MetricWeightStudy {
     /// Runs the comparison across GPM counts at 2x-BW.
-    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
+        let cfgs: Vec<ExpConfig> = crate::configs::SCALED_GPM_COUNTS
+            .iter()
+            .map(|&n| ExpConfig::paper_default(n, BwSetting::X2))
+            .collect();
+        lab.prime_suite(suite, &cfgs);
         let rows = crate::configs::SCALED_GPM_COUNTS
             .iter()
             .map(|&n| {
@@ -249,9 +262,8 @@ impl MetricWeightStudy {
                     let base = lab.baseline(w).energy_delay();
                     let scaled = lab.point(w, &cfg).energy_delay();
                     for (i, acc) in per_i.iter_mut().enumerate() {
-                        let se =
-                            EdipScalingEfficiency::compute(base, scaled, n, i as u32)
-                                .expect("valid points");
+                        let se = EdipScalingEfficiency::compute(base, scaled, n, i as u32)
+                            .expect("valid points");
                         acc.push(se.percent());
                     }
                 }
@@ -295,23 +307,26 @@ mod tests {
 
     #[test]
     fn gating_monotonically_improves_energy() {
-        let mut lab = Lab::new(Scale::Smoke);
-        let s = GatingStudy::run(&mut lab, &mini_suite(), 8);
+        let lab = Lab::new(Scale::Smoke);
+        let s = GatingStudy::run(&lab, &mini_suite(), 8);
         assert_eq!(s.rows.len(), 5);
         for pair in s.rows.windows(2) {
             assert!(
                 pair[1].1 <= pair[0].1 + 1e-9,
                 "energy must not grow with effectiveness: {pair:?}"
             );
-            assert!(pair[1].2 >= pair[0].2 - 1e-9, "EDPSE must not drop: {pair:?}");
+            assert!(
+                pair[1].2 >= pair[0].2 - 1e-9,
+                "EDPSE must not drop: {pair:?}"
+            );
         }
     }
 
     #[test]
     fn compression_relieves_bandwidth_starved_designs() {
-        let mut lab = Lab::new(Scale::Smoke);
+        let lab = Lab::new(Scale::Smoke);
         let suite = vec![by_name("Stream").unwrap()];
-        let s = CompressionStudy::run(&mut lab, &suite, 8);
+        let s = CompressionStudy::run(&lab, &suite, 8);
         let off = s.rows[0];
         let two = s.rows[2];
         assert!(
@@ -324,8 +339,8 @@ mod tests {
 
     #[test]
     fn dvfs_trades_speed_for_dynamic_energy() {
-        let mut lab = Lab::new(Scale::Smoke);
-        let s = DvfsStudy::run(&mut lab, &mini_suite(), 8);
+        let lab = Lab::new(Scale::Smoke);
+        let s = DvfsStudy::run(&lab, &mini_suite(), 8);
         assert_eq!(s.rows.len(), 4);
         let nominal = s.rows[0];
         let slow = s.rows[3];
@@ -336,8 +351,8 @@ mod tests {
 
     #[test]
     fn metric_weights_order_sensibly_at_scale() {
-        let mut lab = Lab::new(Scale::Smoke);
-        let s = MetricWeightStudy::run(&mut lab, &mini_suite());
+        let lab = Lab::new(Scale::Smoke);
+        let s = MetricWeightStudy::run(&lab, &mini_suite());
         assert_eq!(s.rows.len(), 5);
         // At large counts, performance-weighted metrics forgive sub-linear
         // scaling less than energy-only ones.

@@ -39,13 +39,17 @@ pub struct Fig2 {
 
 impl Fig2 {
     /// Runs the sweep.
-    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
+        let cfgs: Vec<ExpConfig> = SCALED_GPM_COUNTS
+            .iter()
+            .map(|&n| ExpConfig::paper_default(n, BwSetting::X1))
+            .collect();
+        lab.prime_suite(suite, &cfgs);
         let points = SCALED_GPM_COUNTS
             .iter()
-            .map(|&n| {
-                let cfg = ExpConfig::paper_default(n, BwSetting::X1);
-                let ratios: Vec<f64> =
-                    suite.iter().map(|w| lab.energy_ratio(w, &cfg)).collect();
+            .zip(&cfgs)
+            .map(|(&n, cfg)| {
+                let ratios: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, cfg)).collect();
                 (n, mean(&ratios))
             })
             .collect();
@@ -77,7 +81,12 @@ pub struct Fig6 {
 
 impl Fig6 {
     /// Runs the sweep.
-    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
+        let cfgs: Vec<ExpConfig> = SCALED_GPM_COUNTS
+            .iter()
+            .map(|&n| ExpConfig::paper_default(n, BwSetting::X2))
+            .collect();
+        lab.prime_suite(suite, &cfgs);
         let rows = SCALED_GPM_COUNTS
             .iter()
             .map(|&n| {
@@ -156,7 +165,14 @@ pub struct Fig7 {
 
 impl Fig7 {
     /// Runs the sweep.
-    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
+        let mut cfgs: Vec<ExpConfig> = SCALED_GPM_COUNTS
+            .iter()
+            .map(|&n| ExpConfig::paper_default(n, BwSetting::X2))
+            .collect();
+        cfgs.push(ExpConfig::paper_default(16, BwSetting::X2).monolithic());
+        cfgs.push(ExpConfig::paper_default(32, BwSetting::X2).monolithic());
+        lab.prime_suite(suite, &cfgs);
         let mut steps = Vec::new();
         for &n in &SCALED_GPM_COUNTS {
             let prev_n = n / 2;
@@ -169,19 +185,15 @@ impl Fig7 {
 
             let mut speedups = Vec::new();
             let mut totals = Vec::new();
-            let mut comps: Vec<Vec<f64>> =
-                vec![Vec::new(); EnergyComponent::COUNT];
+            let mut comps: Vec<Vec<f64>> = vec![Vec::new(); EnergyComponent::COUNT];
             for w in suite {
                 let prev = lab.point(w, &prev_cfg);
                 let cur = lab.point(w, &cfg);
                 speedups.push(prev.duration().secs() / cur.duration().secs());
                 let prev_total = prev.breakdown.total().joules();
-                totals.push(
-                    (cur.breakdown.total().joules() - prev_total) / prev_total * 100.0,
-                );
+                totals.push((cur.breakdown.total().joules() - prev_total) / prev_total * 100.0);
                 for c in EnergyComponent::ALL {
-                    let delta =
-                        cur.breakdown.get(c).joules() - prev.breakdown.get(c).joules();
+                    let delta = cur.breakdown.get(c).joules() - prev.breakdown.get(c).joules();
                     comps[c.index()].push(delta / prev_total * 100.0);
                 }
             }
@@ -208,12 +220,18 @@ impl Fig7 {
             })
             .collect();
 
-        Fig7 { steps, monolithic_16_to_32: geomean(&ratios) }
+        Fig7 {
+            steps,
+            monolithic_16_to_32: geomean(&ratios),
+        }
     }
 
     /// Speedup of the `gpms/2 → gpms` step, if swept.
     pub fn step_speedup(&self, gpms: usize) -> Option<f64> {
-        self.steps.iter().find(|s| s.gpms == gpms).map(|s| s.speedup)
+        self.steps
+            .iter()
+            .find(|s| s.gpms == gpms)
+            .map(|s| s.speedup)
     }
 
     /// Renders the figure as a table.
@@ -247,7 +265,16 @@ pub struct Fig8 {
 
 impl Fig8 {
     /// Runs the sweep over all three bandwidth settings.
-    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
+        let cfgs: Vec<ExpConfig> = BwSetting::ALL
+            .into_iter()
+            .flat_map(|bw| {
+                SCALED_GPM_COUNTS
+                    .iter()
+                    .map(move |&n| ExpConfig::paper_default(n, bw))
+            })
+            .collect();
+        lab.prime_suite(suite, &cfgs);
         let mut rows = Vec::new();
         for bw in BwSetting::ALL {
             for &n in &SCALED_GPM_COUNTS {
@@ -269,10 +296,17 @@ impl Fig8 {
 
     /// Renders the figure as a table (rows: GPM count; cols: bandwidth).
     pub fn render(&self) -> TextTable {
-        let mut t = TextTable::new(["config", "1x-BW EDPSE (%)", "2x-BW EDPSE (%)", "4x-BW EDPSE (%)"]);
+        let mut t = TextTable::new([
+            "config",
+            "1x-BW EDPSE (%)",
+            "2x-BW EDPSE (%)",
+            "4x-BW EDPSE (%)",
+        ]);
         for &n in &SCALED_GPM_COUNTS {
             let get = |bw: BwSetting| {
-                self.at(bw, n).map(|v| format!("{v:.1}")).unwrap_or_default()
+                self.at(bw, n)
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_default()
             };
             t.row([
                 format!("{n}-GPM"),
@@ -300,12 +334,21 @@ pub struct Fig9 {
 
 impl Fig9 {
     /// Runs the sweep.
-    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
         let series: [(&'static str, BwSetting, Topology); 3] = [
             ("Ring (1x-BW)", BwSetting::X1, Topology::Ring),
             ("Switch (1x-BW)", BwSetting::X1, Topology::Switch),
             ("Switch (2x-BW)", BwSetting::X2, Topology::Switch),
         ];
+        let cfgs: Vec<ExpConfig> = series
+            .iter()
+            .flat_map(|&(_, bw, topo)| {
+                SCALED_GPM_COUNTS
+                    .iter()
+                    .map(move |&n| ExpConfig::on_board(n, bw, topo))
+            })
+            .collect();
+        lab.prime_suite(suite, &cfgs);
         let mut rows = Vec::new();
         for (label, bw, topo) in series {
             for &n in &SCALED_GPM_COUNTS {
@@ -330,7 +373,9 @@ impl Fig9 {
         let mut t = TextTable::new(["config", "Ring (1x-BW)", "Switch (1x-BW)", "Switch (2x-BW)"]);
         for &n in &SCALED_GPM_COUNTS {
             let get = |label: &str| {
-                self.at(label, n).map(|v| format!("{v:.1}")).unwrap_or_default()
+                self.at(label, n)
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_default()
             };
             t.row([
                 format!("{n}-GPM"),
@@ -358,15 +403,22 @@ pub struct Fig10 {
 
 impl Fig10 {
     /// Runs the sweep.
-    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
+        let cfgs: Vec<ExpConfig> = SCALED_GPM_COUNTS
+            .iter()
+            .flat_map(|&n| {
+                BwSetting::ALL
+                    .into_iter()
+                    .map(move |bw| ExpConfig::paper_default(n, bw))
+            })
+            .collect();
+        lab.prime_suite(suite, &cfgs);
         let mut rows = Vec::new();
         for &n in &SCALED_GPM_COUNTS {
             for bw in BwSetting::ALL {
                 let cfg = ExpConfig::paper_default(n, bw);
-                let speedups: Vec<f64> =
-                    suite.iter().map(|w| lab.speedup(w, &cfg)).collect();
-                let energies: Vec<f64> =
-                    suite.iter().map(|w| lab.energy_ratio(w, &cfg)).collect();
+                let speedups: Vec<f64> = suite.iter().map(|w| lab.speedup(w, &cfg)).collect();
+                let energies: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, &cfg)).collect();
                 rows.push((n, bw.label(), geomean(&speedups), mean(&energies)));
             }
         }
@@ -385,7 +437,12 @@ impl Fig10 {
     pub fn render(&self) -> TextTable {
         let mut t = TextTable::new(["config", "BW", "speedup vs 1-GPM", "energy vs 1-GPM"]);
         for &(n, bw, s, e) in &self.rows {
-            t.row([format!("{n}-GPM"), bw.to_string(), format!("{s:.2}"), format!("{e:.2}")]);
+            t.row([
+                format!("{n}-GPM"),
+                bw.to_string(),
+                format!("{s:.2}"),
+                format!("{e:.2}"),
+            ]);
         }
         t
     }
@@ -418,12 +475,24 @@ pub struct PointStudies {
 
 impl PointStudies {
     /// Runs all point studies.
-    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
-        let edpse_avg = |lab: &mut Lab, cfg: &ExpConfig| {
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
+        // Every study point reduces to one of these four simulations (the
+        // energy-model knobs — link pJ/bit, amortization — share counts).
+        lab.prime_suite(
+            suite,
+            &[
+                ExpConfig::paper_default(32, BwSetting::X1),
+                ExpConfig::on_board(32, BwSetting::X2, Topology::Ring),
+                ExpConfig::on_board(32, BwSetting::X4, Topology::Ring),
+                ExpConfig::paper_default(32, BwSetting::X2),
+                ExpConfig::paper_default(32, BwSetting::X4),
+            ],
+        );
+        let edpse_avg = |lab: &Lab, cfg: &ExpConfig| {
             let v: Vec<f64> = suite.iter().map(|w| lab.edpse(w, cfg)).collect();
             mean(&v)
         };
-        let energy_avg = |lab: &mut Lab, cfg: &ExpConfig| {
+        let energy_avg = |lab: &Lab, cfg: &ExpConfig| {
             let v: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, cfg)).collect();
             mean(&v)
         };
@@ -432,16 +501,13 @@ impl PointStudies {
         let base = ExpConfig::paper_default(32, BwSetting::X1);
         let link_energy_edpse = [1.0, 2.0, 4.0]
             .iter()
-            .map(|&m| {
-                (m, edpse_avg(lab, &base.clone().with_link_energy_mult(m)))
-            })
+            .map(|&m| (m, edpse_avg(lab, &base.clone().with_link_energy_mult(m))))
             .collect();
 
         // 4x the energy buys 2x the bandwidth (stays on board).
-        let expensive_fast = ExpConfig::on_board(32, BwSetting::X2, Topology::Ring)
-            .with_link_energy_mult(4.0);
-        let energy_for_bandwidth_edpse =
-            (edpse_avg(lab, &base), edpse_avg(lab, &expensive_fast));
+        let expensive_fast =
+            ExpConfig::on_board(32, BwSetting::X2, Topology::Ring).with_link_energy_mult(4.0);
+        let energy_for_bandwidth_edpse = (edpse_avg(lab, &base), edpse_avg(lab, &expensive_fast));
 
         // Amortization sensitivity at 32-GPM on-package 2x-BW.
         let no_amort = ExpConfig::paper_default(32, BwSetting::X2)
@@ -461,10 +527,7 @@ impl PointStudies {
 
         // §V-D: energy reductions at 32 GPMs.
         let board_1x = energy_avg(lab, &ExpConfig::paper_default(32, BwSetting::X1));
-        let board_4x = energy_avg(
-            lab,
-            &ExpConfig::on_board(32, BwSetting::X4, Topology::Ring),
-        );
+        let board_4x = energy_avg(lab, &ExpConfig::on_board(32, BwSetting::X4, Topology::Ring));
         let package_4x = energy_avg(lab, &ExpConfig::paper_default(32, BwSetting::X4));
 
         PointStudies {
@@ -527,12 +590,15 @@ pub struct Headline {
 
 impl Headline {
     /// Runs the comparison.
-    pub fn run(lab: &mut Lab, suite: &[WorkloadSpec]) -> Self {
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
         let naive = ExpConfig::paper_default(32, BwSetting::X1);
         let optimized = ExpConfig::paper_default(32, BwSetting::X4);
+        lab.prime_suite(suite, &[naive.clone(), optimized.clone()]);
         let naive_e: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, &naive)).collect();
-        let opt_e: Vec<f64> =
-            suite.iter().map(|w| lab.energy_ratio(w, &optimized)).collect();
+        let opt_e: Vec<f64> = suite
+            .iter()
+            .map(|w| lab.energy_ratio(w, &optimized))
+            .collect();
         let opt_s: Vec<f64> = suite.iter().map(|w| lab.speedup(w, &optimized)).collect();
         Headline {
             naive_energy_ratio: mean(&naive_e),
@@ -584,19 +650,22 @@ mod tests {
 
     #[test]
     fn fig2_energy_grows_with_gpm_count() {
-        let mut lab = Lab::new(Scale::Smoke);
-        let fig = Fig2::run(&mut lab, &smoke_suite());
+        let lab = Lab::new(Scale::Smoke);
+        let fig = Fig2::run(&lab, &smoke_suite());
         assert_eq!(fig.points.len(), 5);
         let first = fig.points.first().unwrap().1;
         let last = fig.points.last().unwrap().1;
-        assert!(last > first, "energy must grow when scaling on board: {first} -> {last}");
+        assert!(
+            last > first,
+            "energy must grow when scaling on board: {first} -> {last}"
+        );
         assert!(fig.render().render().contains("32x"));
     }
 
     #[test]
     fn fig6_edpse_declines_at_scale() {
-        let mut lab = Lab::new(Scale::Smoke);
-        let fig = Fig6::run(&mut lab, &smoke_suite());
+        let lab = Lab::new(Scale::Smoke);
+        let fig = Fig6::run(&lab, &smoke_suite());
         let e2 = fig.all_at(2).unwrap();
         let e32 = fig.all_at(32).unwrap();
         assert!(e2 > e32, "EDPSE must decline: {e2} vs {e32}");
@@ -604,8 +673,8 @@ mod tests {
 
     #[test]
     fn fig8_more_bandwidth_helps() {
-        let mut lab = Lab::new(Scale::Smoke);
-        let fig = Fig8::run(&mut lab, &smoke_suite());
+        let lab = Lab::new(Scale::Smoke);
+        let fig = Fig8::run(&lab, &smoke_suite());
         let x1 = fig.at(BwSetting::X1, 32).unwrap();
         let x4 = fig.at(BwSetting::X4, 32).unwrap();
         assert!(x4 > x1, "4x-BW must beat 1x-BW at 32 GPMs: {x1} vs {x4}");
@@ -613,8 +682,8 @@ mod tests {
 
     #[test]
     fn fig10_reports_all_points() {
-        let mut lab = Lab::new(Scale::Smoke);
-        let fig = Fig10::run(&mut lab, &smoke_suite());
+        let lab = Lab::new(Scale::Smoke);
+        let fig = Fig10::run(&lab, &smoke_suite());
         assert_eq!(fig.rows.len(), 15);
         // Smoke-scale grids are tiny (2 CTAs per GPM at 32 modules), so
         // only sanity-check that the sweep produced usable numbers.

@@ -5,14 +5,21 @@
 //! is microseconds. The cache is keyed by everything that affects the
 //! *simulation* — energy-model knobs (link pJ/bit, amortization) reuse the
 //! same counts, which is exactly how the paper's point studies work.
+//!
+//! Since the runtime port, the cache is a [`runtime::ShardedCache`] shared
+//! across threads and sweeps go through a [`runtime::SweepExecutor`]:
+//! figure generators call [`Lab::prime`] (or [`Lab::prime_suite`]) to
+//! simulate every point of their sweep in parallel, then evaluate
+//! serially against the warm cache, so the printed output is byte-for-byte
+//! identical no matter how many worker threads ran the simulations.
 
 use crate::configs::ExpConfig;
 use common::units::Time;
 use gpujoule::{EdpScalingEfficiency, EnergyBreakdown, EnergyDelay};
 use isa::EventCounts;
+use runtime::{ShardedCache, SweepExecutor, SweepMetrics, SweepReport};
 use sim::GpuSim;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use workloads::{Scale, WorkloadSpec};
 
 /// A fully evaluated experiment point.
@@ -57,16 +64,63 @@ struct SimKey {
     warp_scheduler: String,
 }
 
-/// The experiment runner with a per-process simulation cache.
+/// The simulation cache key for `(workload, config)`.
+fn sim_key(workload: &WorkloadSpec, config: &ExpConfig) -> SimKey {
+    let sim_cfg = config.sim_config();
+    SimKey {
+        workload: workload.name.to_string(),
+        gpms: config.gpms,
+        bw: config.bw.label(),
+        topology: config.topology.to_string(),
+        link_latency: sim_cfg.link_latency,
+        schedule: sim_cfg.cta_schedule.to_string(),
+        pages: sim_cfg.page_policy.to_string(),
+        l2_mode: sim_cfg.l2_mode.to_string(),
+        mlp: sim_cfg.gpm.mlp_per_warp,
+        compression_milli: (sim_cfg.link_compression * 1000.0) as u64,
+        clock_milli: (config.clock_scale * 1000.0) as u64,
+        warp_scheduler: sim_cfg.warp_scheduler.to_string(),
+    }
+}
+
+/// Runs the simulator for one `(workload, config)` point.
+fn simulate(scale: Scale, workload: &WorkloadSpec, config: &ExpConfig) -> Arc<EventCounts> {
+    let sim_cfg = config.sim_config();
+    let mut sim = GpuSim::new(&sim_cfg);
+    let result = sim.run_workload(&workload.launches(scale));
+    Arc::new(result.total_counts())
+}
+
+/// The experiment runner: a parallel sweep executor in front of a
+/// process-wide simulation cache.
+///
+/// [`Lab::new`] is serial (one thread, no pool) — the exact semantics the
+/// lab had before the runtime port, which unit tests and benches rely on.
+/// Binaries construct a parallel lab through [`crate::lab_from_args`],
+/// which honors `--threads N` and `MMGPU_THREADS`.
 pub struct Lab {
     scale: Scale,
-    cache: HashMap<SimKey, Arc<EventCounts>>,
+    cache: Arc<ShardedCache<SimKey, Arc<EventCounts>>>,
+    executor: SweepExecutor,
+    /// Metrics of the most recent [`Lab::prime`] sweep.
+    last_metrics: Mutex<Option<Arc<SweepMetrics>>>,
 }
 
 impl Lab {
-    /// A lab running workloads at the given problem scale.
+    /// A serial lab running workloads at the given problem scale.
     pub fn new(scale: Scale) -> Self {
-        Lab { scale, cache: HashMap::new() }
+        Lab::with_threads(scale, 1)
+    }
+
+    /// A lab whose sweeps run on `threads` worker threads (1 = serial).
+    pub fn with_threads(scale: Scale, threads: usize) -> Self {
+        let threads = threads.max(1);
+        Lab {
+            scale,
+            cache: Arc::new(ShardedCache::for_threads(threads)),
+            executor: SweepExecutor::new(threads).with_progress(threads > 1),
+            last_metrics: Mutex::new(None),
+        }
     }
 
     /// The problem scale this lab runs at.
@@ -74,35 +128,87 @@ impl Lab {
         self.scale
     }
 
+    /// Number of sweep worker threads (1 means serial).
+    pub fn threads(&self) -> usize {
+        self.executor.threads()
+    }
+
     /// Simulated event counts for `(workload, config)`, cached.
-    pub fn counts(&mut self, workload: &WorkloadSpec, config: &ExpConfig) -> Arc<EventCounts> {
-        let sim_cfg = config.sim_config();
-        let key = SimKey {
-            workload: workload.name.to_string(),
-            gpms: config.gpms,
-            bw: config.bw.label(),
-            topology: config.topology.to_string(),
-            link_latency: sim_cfg.link_latency,
-            schedule: sim_cfg.cta_schedule.to_string(),
-            pages: sim_cfg.page_policy.to_string(),
-            l2_mode: sim_cfg.l2_mode.to_string(),
-            mlp: sim_cfg.gpm.mlp_per_warp,
-            compression_milli: (sim_cfg.link_compression * 1000.0) as u64,
-            clock_milli: (config.clock_scale * 1000.0) as u64,
-            warp_scheduler: sim_cfg.warp_scheduler.to_string(),
-        };
-        if let Some(hit) = self.cache.get(&key) {
-            return Arc::clone(hit);
+    pub fn counts(&self, workload: &WorkloadSpec, config: &ExpConfig) -> Arc<EventCounts> {
+        let key = sim_key(workload, config);
+        self.cache
+            .get_or_compute_unwrap(&key, || simulate(self.scale, workload, config))
+    }
+
+    /// Simulates every `(workload, config)` pair on the executor's worker
+    /// threads, filling the cache. Duplicate pairs — and pairs already
+    /// cached by earlier sweeps — are simulated once. Returns the sweep
+    /// report (submission-ordered outcomes plus metrics); a panicking
+    /// point surfaces as a per-point [`runtime::SweepError`] without
+    /// aborting the rest of the sweep.
+    pub fn prime(&self, points: &[(WorkloadSpec, ExpConfig)]) -> SweepReport<Arc<EventCounts>> {
+        let scale = self.scale;
+        let items: Vec<(SimKey, (WorkloadSpec, ExpConfig))> = points
+            .iter()
+            .map(|(w, c)| (sim_key(w, c), (w.clone(), c.clone())))
+            .collect();
+        let report = self
+            .executor
+            .run_keyed(&self.cache, items, move |_key, (w, c)| {
+                simulate(scale, w, c)
+            });
+        *self.last_metrics.lock().unwrap() = Some(Arc::clone(&report.metrics));
+        report
+    }
+
+    /// Primes the cross product `suite x (configs + the 1-GPM baseline)`.
+    /// Figure generators call this before their serial evaluation loops:
+    /// every metric (EDPSE, speedup, energy ratio) needs the baseline, so
+    /// it is always included.
+    pub fn prime_suite(&self, suite: &[WorkloadSpec], configs: &[ExpConfig]) {
+        let mut points = Vec::with_capacity(suite.len() * (configs.len() + 1));
+        for w in suite {
+            points.push((w.clone(), ExpConfig::baseline()));
+            for cfg in configs {
+                points.push((w.clone(), cfg.clone()));
+            }
         }
-        let mut sim = GpuSim::new(&sim_cfg);
-        let result = sim.run_workload(&workload.launches(self.scale));
-        let counts = Arc::new(result.total_counts());
-        self.cache.insert(key, Arc::clone(&counts));
-        counts
+        let report = self.prime(points.as_slice());
+        if report.failures() > 0 {
+            // Leave the panic surfacing to the serial evaluation pass,
+            // which recomputes the failed point inline and panics on the
+            // calling thread with the original message.
+            eprintln!(
+                "warning: {} sweep point(s) failed during priming",
+                report.failures()
+            );
+        }
+    }
+
+    /// Metrics of the most recent [`Lab::prime`] sweep, if any ran.
+    pub fn last_sweep_metrics(&self) -> Option<Arc<SweepMetrics>> {
+        self.last_metrics.lock().unwrap().clone()
+    }
+
+    /// Prints the most recent sweep's summary table to stderr, plus the
+    /// total number of cached simulations. No-op for serial labs (the
+    /// historical quiet behavior) and before any sweep has run.
+    pub fn print_sweep_summary(&self) {
+        if self.threads() <= 1 {
+            return;
+        }
+        if let Some(metrics) = self.last_sweep_metrics() {
+            eprintln!(
+                "\nlast sweep ({} threads):\n{}total cached simulations: {}",
+                self.threads(),
+                metrics.summary_table().render(),
+                self.cached_runs()
+            );
+        }
     }
 
     /// Fully evaluates one experiment point.
-    pub fn point(&mut self, workload: &WorkloadSpec, config: &ExpConfig) -> RunPoint {
+    pub fn point(&self, workload: &WorkloadSpec, config: &ExpConfig) -> RunPoint {
         let counts = self.counts(workload, config);
         let model = config.energy_config().build_model();
         let breakdown = model.estimate(&counts);
@@ -115,12 +221,12 @@ impl Lab {
     }
 
     /// The 1-GPM baseline point for a workload.
-    pub fn baseline(&mut self, workload: &WorkloadSpec) -> RunPoint {
+    pub fn baseline(&self, workload: &WorkloadSpec) -> RunPoint {
         self.point(workload, &ExpConfig::baseline())
     }
 
     /// EDPSE (%) of `config` for one workload against its 1-GPM baseline.
-    pub fn edpse(&mut self, workload: &WorkloadSpec, config: &ExpConfig) -> f64 {
+    pub fn edpse(&self, workload: &WorkloadSpec, config: &ExpConfig) -> f64 {
         let base = self.baseline(workload).energy_delay();
         let scaled = self.point(workload, config).energy_delay();
         EdpScalingEfficiency::compute(base, scaled, config.gpms)
@@ -129,14 +235,14 @@ impl Lab {
     }
 
     /// Speedup of `config` over the 1-GPM baseline for one workload.
-    pub fn speedup(&mut self, workload: &WorkloadSpec, config: &ExpConfig) -> f64 {
+    pub fn speedup(&self, workload: &WorkloadSpec, config: &ExpConfig) -> f64 {
         let base = self.baseline(workload).energy_delay();
         let scaled = self.point(workload, config).energy_delay();
         scaled.speedup_over(base)
     }
 
     /// Energy of `config` normalized to the 1-GPM baseline.
-    pub fn energy_ratio(&mut self, workload: &WorkloadSpec, config: &ExpConfig) -> f64 {
+    pub fn energy_ratio(&self, workload: &WorkloadSpec, config: &ExpConfig) -> f64 {
         let base = self.baseline(workload).energy_delay();
         let scaled = self.point(workload, config).energy_delay();
         scaled.energy_ratio_over(base)
@@ -148,6 +254,18 @@ impl Lab {
     }
 }
 
+// The executor moves these across worker threads; keep the bound explicit
+// so a future `Rc`/`RefCell` in the simulator fails here, with a clear
+// message, instead of deep inside a closure bound.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GpuSim>();
+    assert_send_sync::<WorkloadSpec>();
+    assert_send_sync::<ExpConfig>();
+    assert_send_sync::<EventCounts>();
+    assert_send_sync::<Lab>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,7 +274,7 @@ mod tests {
 
     #[test]
     fn cache_hits_for_energy_only_variants() {
-        let mut lab = Lab::new(Scale::Smoke);
+        let lab = Lab::new(Scale::Smoke);
         let w = by_name("Stream").unwrap();
         let cfg = ExpConfig::paper_default(2, BwSetting::X2);
         let _ = lab.point(&w, &cfg);
@@ -173,7 +291,7 @@ mod tests {
 
     #[test]
     fn edpse_of_baseline_is_100() {
-        let mut lab = Lab::new(Scale::Smoke);
+        let lab = Lab::new(Scale::Smoke);
         let w = by_name("Hotspot").unwrap();
         let pe = lab.edpse(&w, &ExpConfig::baseline());
         assert!((pe - 100.0).abs() < 1e-9);
@@ -181,7 +299,7 @@ mod tests {
 
     #[test]
     fn scaling_speeds_up_and_costs_energy() {
-        let mut lab = Lab::new(Scale::Smoke);
+        let lab = Lab::new(Scale::Smoke);
         let w = by_name("Stream").unwrap();
         let cfg = ExpConfig::paper_default(4, BwSetting::X2);
         let s = lab.speedup(&w, &cfg);
@@ -192,7 +310,7 @@ mod tests {
 
     #[test]
     fn link_energy_multiplier_raises_energy_only() {
-        let mut lab = Lab::new(Scale::Smoke);
+        let lab = Lab::new(Scale::Smoke);
         let w = by_name("Stream").unwrap();
         let base_cfg = ExpConfig::paper_default(4, BwSetting::X1);
         let hot_cfg = base_cfg.clone().with_link_energy_mult(4.0);
@@ -200,5 +318,46 @@ mod tests {
         let b = lab.point(&w, &hot_cfg);
         assert_eq!(a.duration(), b.duration());
         assert!(b.breakdown.total() > a.breakdown.total());
+    }
+
+    #[test]
+    fn prime_fills_cache_in_parallel() {
+        let lab = Lab::with_threads(Scale::Smoke, 4);
+        let w = by_name("Stream").unwrap();
+        let cfgs = [
+            ExpConfig::paper_default(2, BwSetting::X2),
+            ExpConfig::paper_default(4, BwSetting::X2),
+        ];
+        let points: Vec<(WorkloadSpec, ExpConfig)> =
+            cfgs.iter().map(|c| (w.clone(), c.clone())).collect();
+        let report = lab.prime(&points);
+        assert_eq!(report.failures(), 0);
+        assert_eq!(lab.cached_runs(), 2);
+        // Evaluation after priming is pure cache hits.
+        let before = lab.cached_runs();
+        let _ = lab.edpse(&w, &cfgs[0]);
+        // (edpse also needs the baseline, which prime() did not include.)
+        assert_eq!(lab.cached_runs(), before + 1);
+        let metrics = lab.last_sweep_metrics().expect("sweep ran");
+        assert_eq!(
+            metrics.completed.load(std::sync::atomic::Ordering::Relaxed),
+            2
+        );
+    }
+
+    #[test]
+    fn parallel_results_match_serial() {
+        let serial = Lab::new(Scale::Smoke);
+        let parallel = Lab::with_threads(Scale::Smoke, 8);
+        let w = by_name("Hotspot").unwrap();
+        let cfgs = [
+            ExpConfig::paper_default(2, BwSetting::X2),
+            ExpConfig::paper_default(4, BwSetting::X1),
+        ];
+        parallel.prime_suite(std::slice::from_ref(&w), &cfgs);
+        for cfg in &cfgs {
+            assert_eq!(serial.edpse(&w, cfg), parallel.edpse(&w, cfg));
+            assert_eq!(serial.speedup(&w, cfg), parallel.speedup(&w, cfg));
+        }
     }
 }

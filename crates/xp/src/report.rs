@@ -32,7 +32,7 @@ pub struct Claim {
 /// on the given workload suite. Validation claims (Table Ib, Fig. 4) are
 /// separate because they need the fitting pipeline — see
 /// [`crate::validation`].
-pub fn evaluate_scaling_claims(lab: &mut Lab, suite: &[WorkloadSpec]) -> Vec<Claim> {
+pub fn evaluate_scaling_claims(lab: &Lab, suite: &[WorkloadSpec]) -> Vec<Claim> {
     let mut claims = Vec::new();
 
     // --- Figure 2 ---------------------------------------------------------
@@ -58,11 +58,7 @@ pub fn evaluate_scaling_claims(lab: &mut Lab, suite: &[WorkloadSpec]) -> Vec<Cla
         measured: format!("{all2:.1} -> {all32:.1}"),
         pass: all2 >= 85.0 && (20.0..=50.0).contains(&all32),
     });
-    let compute_wins = fig6
-        .rows
-        .iter()
-        .filter(|r| r.0 >= 16)
-        .all(|r| r.1 > r.2);
+    let compute_wins = fig6.rows.iter().filter(|r| r.0 >= 16).all(|r| r.1 > r.2);
     claims.push(Claim {
         id: "F6.categories",
         description: "compute-intensive apps out-scale memory-intensive ones",
@@ -74,18 +70,15 @@ pub fn evaluate_scaling_claims(lab: &mut Lab, suite: &[WorkloadSpec]) -> Vec<Cla
     // --- Figure 7 ---------------------------------------------------------
     let fig7 = Fig7::run(lab, suite);
     let last = fig7.steps.last().expect("steps");
-    let constant_dominates = last
-        .components_pct
-        .iter()
-        .all(|&(c, v)| {
-            c == EnergyComponent::ConstantOverhead
-                || v <= last
-                    .components_pct
-                    .iter()
-                    .find(|&&(cc, _)| cc == EnergyComponent::ConstantOverhead)
-                    .map(|&(_, v)| v)
-                    .unwrap_or(0.0)
-        });
+    let constant_dominates = last.components_pct.iter().all(|&(c, v)| {
+        c == EnergyComponent::ConstantOverhead
+            || v <= last
+                .components_pct
+                .iter()
+                .find(|&&(cc, _)| cc == EnergyComponent::ConstantOverhead)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0)
+    });
     claims.push(Claim {
         id: "F7.constant",
         description: "constant energy overhead dominates the 16->32 energy increase",
@@ -270,11 +263,14 @@ pub fn evaluate_validation_claims(scale: workloads::Scale) -> Vec<Claim> {
     let suite = workloads::suite();
     let fig4b = crate::validation::fig4b(&hw, &model, &suite, scale);
     let mae = fig4b.mean_abs_error_percent();
-    let outliers: Vec<String> =
-        fig4b.outliers(30.0).iter().map(|i| i.name.clone()).collect();
+    let outliers: Vec<String> = fig4b
+        .outliers(30.0)
+        .iter()
+        .map(|i| i.name.clone())
+        .collect();
     let expected = ["RSBench", "CoMD", "BFS", "MiniAMR"];
-    let outliers_ok = outliers.len() >= 3
-        && outliers.iter().all(|o| expected.contains(&o.as_str()));
+    let outliers_ok =
+        outliers.len() >= 3 && outliers.iter().all(|o| expected.contains(&o.as_str()));
     claims.push(Claim {
         id: "F4b.errors",
         description: "application validation matches the paper's error structure",
@@ -294,7 +290,11 @@ pub fn render_claims(claims: &[Claim]) -> TextTable {
             format!("{} — {}", c.id, c.description),
             c.paper.clone(),
             c.measured.clone(),
-            if c.pass { "PASS".to_string() } else { "FAIL".to_string() },
+            if c.pass {
+                "PASS".to_string()
+            } else {
+                "FAIL".to_string()
+            },
         ]);
     }
     t
@@ -309,19 +309,23 @@ mod tests {
     fn smoke_claims_mostly_pass() {
         // At smoke scale the magnitudes drift but the directional claims
         // must survive; require a clear majority and no crash.
-        let mut lab = Lab::new(Scale::Smoke);
+        let lab = Lab::new(Scale::Smoke);
         let suite: Vec<WorkloadSpec> = ["Hotspot", "CoMD", "Stream", "Nekbone-12", "Kmeans"]
             .iter()
             .map(|n| by_name(n).unwrap())
             .collect();
-        let claims = evaluate_scaling_claims(&mut lab, &suite);
+        let claims = evaluate_scaling_claims(&lab, &suite);
         assert!(claims.len() >= 12);
         let passed = claims.iter().filter(|c| c.pass).count();
         assert!(
             passed * 3 >= claims.len() * 2,
             "only {passed}/{} claims pass at smoke scale: {:?}",
             claims.len(),
-            claims.iter().filter(|c| !c.pass).map(|c| c.id).collect::<Vec<_>>()
+            claims
+                .iter()
+                .filter(|c| !c.pass)
+                .map(|c| c.id)
+                .collect::<Vec<_>>()
         );
         assert!(render_claims(&claims).render().contains("PASS"));
     }

@@ -55,8 +55,14 @@ pub fn table1b(fitted: &FittedModel) -> TextTable {
         let ref_nj = paper_ept.get(txn).nanojoules();
         t.row([
             txn.label().to_string(),
-            format!("{fit_nj:.3} nJ ({:.2} pJ/bit)", fitted.ept.per_bit(txn).pj_per_bit()),
-            format!("{ref_nj:.2} nJ ({:.2} pJ/bit)", paper_ept.per_bit(txn).pj_per_bit()),
+            format!(
+                "{fit_nj:.3} nJ ({:.2} pJ/bit)",
+                fitted.ept.per_bit(txn).pj_per_bit()
+            ),
+            format!(
+                "{ref_nj:.2} nJ ({:.2} pJ/bit)",
+                paper_ept.per_bit(txn).pj_per_bit()
+            ),
             format!("{:+.1}", (fit_nj - ref_nj) / ref_nj * 100.0),
         ]);
     }
@@ -113,8 +119,7 @@ pub fn fig4b(
             // study.
             let mut profile = RunProfile::new(w.name);
             if w.short_kernels {
-                let rep_time =
-                    result.total_duration() + w.host_gap * result.kernels.len() as f64;
+                let rep_time = result.total_duration() + w.host_gap * result.kernels.len() as f64;
                 let reps = (target.secs() / rep_time.secs()).ceil().max(1.0) as usize;
                 for _ in 0..reps {
                     for k in &result.kernels {

@@ -48,7 +48,10 @@ impl KernelProgram for TiledGemm {
             let smem = WarpInstr::Mem(MemRef::shared((w * 128) % (48 * 1024), false));
             let fmas = std::iter::repeat_n(WarpInstr::Compute(Opcode::FFma32), 16);
             let store = WarpInstr::Mem(MemRef::global_store(c_base + k * 1024 + w * 128));
-            [a, b, smem].into_iter().chain(fmas).chain(std::iter::once(store))
+            [a, b, smem]
+                .into_iter()
+                .chain(fmas)
+                .chain(std::iter::once(store))
         }))
     }
 

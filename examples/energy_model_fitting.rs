@@ -17,7 +17,11 @@ use mmgpu::silicon::VirtualK40;
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
     let hw = VirtualK40::new();
-    let cfg = if fast { FitConfig::fast() } else { FitConfig::default() };
+    let cfg = if fast {
+        FitConfig::fast()
+    } else {
+        FitConfig::default()
+    };
 
     println!("fitting GPUJoule through the board power sensor...");
     let fitted = fit(&hw, &cfg);

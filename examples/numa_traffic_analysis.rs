@@ -29,8 +29,14 @@ fn main() {
 
     println!("NUMA scaling diagnosis for {workload}\n");
     let mut t = TextTable::new([
-        "GPMs", "cycles", "idle %", "dram util", "link avg/max", "remote lat",
-        "const share", "inter-module share",
+        "GPMs",
+        "cycles",
+        "idle %",
+        "dram util",
+        "link avg/max",
+        "remote lat",
+        "const share",
+        "inter-module share",
     ]);
     for gpms in [1usize, 4, 16, 32] {
         let cfg = GpuConfig::paper(gpms, BwSetting::X2, Topology::Ring);
@@ -50,8 +56,14 @@ fn main() {
             format!("{:.2}", util.dram),
             format!("{:.2}/{:.2}", util.link_avg, util.link_max),
             format!("{:.0} cyc", lat.mean_remote()),
-            format!("{:.0}%", breakdown.fraction(EnergyComponent::ConstantOverhead) * 100.0),
-            format!("{:.1}%", breakdown.fraction(EnergyComponent::InterModule) * 100.0),
+            format!(
+                "{:.0}%",
+                breakdown.fraction(EnergyComponent::ConstantOverhead) * 100.0
+            ),
+            format!(
+                "{:.1}%",
+                breakdown.fraction(EnergyComponent::InterModule) * 100.0
+            ),
         ]);
     }
     println!("{t}");

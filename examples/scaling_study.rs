@@ -18,14 +18,12 @@ fn main() {
     } else {
         Scale::Full
     };
-    let mut lab = Lab::new(scale);
+    let lab = Lab::new(scale);
 
     for name in ["Hotspot", "Stream"] {
         let workload = by_name(name).expect("workload in Table II suite");
         println!("\n{workload} — scaling from 1 to 32 GPMs");
-        let mut table = TextTable::new([
-            "config", "BW", "speedup", "energy vs 1-GPM", "EDPSE (%)",
-        ]);
+        let mut table = TextTable::new(["config", "BW", "speedup", "energy vs 1-GPM", "EDPSE (%)"]);
         for gpms in [2usize, 4, 8, 16, 32] {
             for bw in BwSetting::ALL {
                 let cfg = ExpConfig::paper_default(gpms, bw);

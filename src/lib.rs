@@ -31,6 +31,7 @@ pub use common;
 pub use gpujoule;
 pub use isa;
 pub use microbench;
+pub use runtime;
 pub use silicon;
 pub use sim;
 pub use workloads;

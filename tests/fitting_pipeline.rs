@@ -62,7 +62,11 @@ fn fitted_tables_recover_table_1b_within_10_percent() {
     for (op, nj) in expected_epi {
         let got = fitted.epi.get(op).nanojoules();
         let err = (got - nj).abs() / nj;
-        assert!(err < 0.10, "{op}: fitted {got:.4} nJ vs Table Ib {nj} nJ ({:.1}%)", err * 100.0);
+        assert!(
+            err < 0.10,
+            "{op}: fitted {got:.4} nJ vs Table Ib {nj} nJ ({:.1}%)",
+            err * 100.0
+        );
     }
 
     // Every published EPT within 10%.
@@ -85,7 +89,10 @@ fn fitted_tables_recover_table_1b_within_10_percent() {
     // The derived per-bit column should reproduce Table Ib's second
     // column (5.32 / 5.85 / 15.48 / 30.55 pJ/bit) within the same bar.
     let per_bit = fitted.ept.per_bit(Transaction::DramToL2).pj_per_bit();
-    assert!((per_bit - 30.55).abs() / 30.55 < 0.10, "DRAM pJ/bit {per_bit:.2}");
+    assert!(
+        (per_bit - 30.55).abs() / 30.55 < 0.10,
+        "DRAM pJ/bit {per_bit:.2}"
+    );
 }
 
 #[test]

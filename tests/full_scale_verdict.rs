@@ -6,14 +6,14 @@
 //! ```
 
 use mmgpu::workloads::Scale;
-use mmgpu::xp::{evaluate_scaling_claims, render_claims, default_suite, Lab};
+use mmgpu::xp::{default_suite, evaluate_scaling_claims, render_claims, Lab};
 
 #[test]
 #[ignore = "runs the full paper-scale sweep (~10 minutes)"]
 fn full_scale_scaling_claims_pass() {
-    let mut lab = Lab::new(Scale::Full);
+    let lab = Lab::new(Scale::Full);
     let suite = default_suite();
-    let claims = evaluate_scaling_claims(&mut lab, &suite);
+    let claims = evaluate_scaling_claims(&lab, &suite);
     println!("{}", render_claims(&claims));
     let failing: Vec<&str> = claims.iter().filter(|c| !c.pass).map(|c| c.id).collect();
     assert!(

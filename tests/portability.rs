@@ -44,10 +44,16 @@ fn pipeline_recovers_a_different_board_unchanged() {
 
     // EPTs land at or above the planted values (floor-power absorption),
     // within a sane bound.
-    for txn in mmgpu::isa::Transaction::ALL.iter().filter(|t| t.is_intra_gpm()) {
+    for txn in mmgpu::isa::Transaction::ALL
+        .iter()
+        .filter(|t| t.is_intra_gpm())
+    {
         let got = fitted.ept.get(*txn).nanojoules();
         let want = truth.true_ept(*txn).nanojoules();
-        assert!(got > 0.8 * want && got < 2.0 * want, "{txn}: {got:.3} vs {want:.3}");
+        assert!(
+            got > 0.8 * want && got < 2.0 * want,
+            "{txn}: {got:.3} vs {want:.3}"
+        );
     }
 
     // And the fitted model validates on its own board.

@@ -24,7 +24,7 @@ fn mean(v: &[f64]) -> f64 {
 
 #[test]
 fn scaling_speeds_up_everywhere() {
-    let mut lab = Lab::new(Scale::Smoke);
+    let lab = Lab::new(Scale::Smoke);
     for w in mini_suite() {
         let s4 = lab.speedup(&w, &ExpConfig::paper_default(4, BwSetting::X2));
         assert!(s4 > 1.5, "{}: 4-GPM speedup {s4:.2}", w.name);
@@ -34,17 +34,17 @@ fn scaling_speeds_up_everywhere() {
 #[test]
 fn edpse_declines_with_module_count_on_average() {
     // Fig. 6's headline trend.
-    let mut lab = Lab::new(Scale::Smoke);
+    let lab = Lab::new(Scale::Smoke);
     let suite = mini_suite();
-    let at = |lab: &mut Lab, n: usize| {
+    let at = |lab: &Lab, n: usize| {
         let v: Vec<f64> = suite
             .iter()
             .map(|w| lab.edpse(w, &ExpConfig::paper_default(n, BwSetting::X2)))
             .collect();
         mean(&v)
     };
-    let e2 = at(&mut lab, 2);
-    let e32 = at(&mut lab, 32);
+    let e2 = at(&lab, 2);
+    let e32 = at(&lab, 32);
     assert!(
         e2 > e32 + 10.0,
         "average EDPSE must decline substantially: {e2:.1} @2 vs {e32:.1} @32"
@@ -54,18 +54,21 @@ fn edpse_declines_with_module_count_on_average() {
 #[test]
 fn interconnect_bandwidth_dominates_edpse_at_scale() {
     // Fig. 8: higher inter-GPM bandwidth means higher EDPSE at 32 GPMs.
-    let mut lab = Lab::new(Scale::Smoke);
+    let lab = Lab::new(Scale::Smoke);
     let w = by_name("Stream").unwrap();
     let x1 = lab.edpse(&w, &ExpConfig::paper_default(32, BwSetting::X1));
     let x4 = lab.edpse(&w, &ExpConfig::paper_default(32, BwSetting::X4));
-    assert!(x4 > x1, "4x-BW ({x4:.1}) must beat 1x-BW ({x1:.1}) at 32 GPMs");
+    assert!(
+        x4 > x1,
+        "4x-BW ({x4:.1}) must beat 1x-BW ({x1:.1}) at 32 GPMs"
+    );
 }
 
 #[test]
 fn interconnect_energy_barely_matters() {
     // §V-C: 4x the per-bit link energy changes EDPSE by a few percent at
     // most, because link energy is a small slice of the total.
-    let mut lab = Lab::new(Scale::Smoke);
+    let lab = Lab::new(Scale::Smoke);
     let w = by_name("Stream").unwrap();
     let base = ExpConfig::paper_default(32, BwSetting::X1);
     let hot = base.clone().with_link_energy_mult(4.0);
@@ -84,11 +87,11 @@ fn interconnect_energy_barely_matters() {
 #[test]
 fn energy_for_bandwidth_is_the_right_trade() {
     // §V-C: paying 4x link energy for 2x bandwidth *raises* EDPSE.
-    let mut lab = Lab::new(Scale::Smoke);
+    let lab = Lab::new(Scale::Smoke);
     let suite = mini_suite();
     let slow_cheap = ExpConfig::paper_default(32, BwSetting::X1);
-    let fast_hot = ExpConfig::on_board(32, BwSetting::X2, Topology::Ring)
-        .with_link_energy_mult(4.0);
+    let fast_hot =
+        ExpConfig::on_board(32, BwSetting::X2, Topology::Ring).with_link_energy_mult(4.0);
     let a: Vec<f64> = suite.iter().map(|w| lab.edpse(w, &slow_cheap)).collect();
     let b: Vec<f64> = suite.iter().map(|w| lab.edpse(w, &fast_hot)).collect();
     assert!(
@@ -102,7 +105,7 @@ fn energy_for_bandwidth_is_the_right_trade() {
 #[test]
 fn amortization_saves_energy_without_touching_performance() {
     // §V-C: constant-energy amortization cuts energy at identical runtime.
-    let mut lab = Lab::new(Scale::Smoke);
+    let lab = Lab::new(Scale::Smoke);
     let w = by_name("Nekbone-12").unwrap();
     let none = ExpConfig::paper_default(32, BwSetting::X2)
         .with_amortization(ConstantEnergyAmortization::none());
@@ -124,7 +127,7 @@ fn amortization_saves_energy_without_touching_performance() {
 fn switch_beats_ring_on_board_at_scale() {
     // Fig. 9: a high-radix switch raises EDPSE over the ring at high GPM
     // counts even with unchanged link bandwidth.
-    let mut lab = Lab::new(Scale::Smoke);
+    let lab = Lab::new(Scale::Smoke);
     let suite = mini_suite();
     let ring = ExpConfig::on_board(32, BwSetting::X1, Topology::Ring);
     let switch = ExpConfig::on_board(32, BwSetting::X1, Topology::Switch);
@@ -142,10 +145,13 @@ fn switch_beats_ring_on_board_at_scale() {
 fn monolithic_scales_better_than_numa_ring() {
     // §V-B: the monolithic (ideal interconnect) comparison shows the
     // penalty is NUMA-related.
-    let mut lab = Lab::new(Scale::Smoke);
+    let lab = Lab::new(Scale::Smoke);
     let w = by_name("Stream").unwrap();
     let ring = lab.speedup(&w, &ExpConfig::paper_default(32, BwSetting::X2));
-    let mono = lab.speedup(&w, &ExpConfig::paper_default(32, BwSetting::X2).monolithic());
+    let mono = lab.speedup(
+        &w,
+        &ExpConfig::paper_default(32, BwSetting::X2).monolithic(),
+    );
     assert!(
         mono >= ring,
         "monolithic speedup ({mono:.2}) must be at least the ring's ({ring:.2})"
@@ -156,7 +162,7 @@ fn monolithic_scales_better_than_numa_ring() {
 fn naive_scaling_costs_energy_and_optimization_recovers_it() {
     // The §VII headline chain: naive on-board scaling costs substantial
     // energy; bandwidth + package amortization claw it back.
-    let mut lab = Lab::new(Scale::Smoke);
+    let lab = Lab::new(Scale::Smoke);
     let suite = mini_suite();
     let naive: Vec<f64> = suite
         .iter()
@@ -177,7 +183,7 @@ fn naive_scaling_costs_energy_and_optimization_recovers_it() {
 #[test]
 fn idle_time_rises_with_module_count_for_memory_apps() {
     // §V-B: insufficient inter-GPM bandwidth shows up as GPM idle time.
-    let mut lab = Lab::new(Scale::Smoke);
+    let lab = Lab::new(Scale::Smoke);
     let w = by_name("Stream").unwrap();
     let p2 = lab.point(&w, &ExpConfig::paper_default(2, BwSetting::X1));
     let p32 = lab.point(&w, &ExpConfig::paper_default(32, BwSetting::X1));
@@ -193,8 +199,8 @@ fn idle_time_rises_with_module_count_for_memory_apps() {
 fn results_are_deterministic_across_labs() {
     let w = by_name("Hotspot").unwrap();
     let cfg = ExpConfig::paper_default(4, BwSetting::X2);
-    let mut lab1 = Lab::new(Scale::Smoke);
-    let mut lab2 = Lab::new(Scale::Smoke);
+    let lab1 = Lab::new(Scale::Smoke);
+    let lab2 = Lab::new(Scale::Smoke);
     let a = lab1.point(&w, &cfg);
     let b = lab2.point(&w, &cfg);
     assert_eq!(a.counts.as_ref(), b.counts.as_ref());

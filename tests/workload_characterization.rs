@@ -10,9 +10,7 @@ fn dram_utilization(name: &str) -> f64 {
     let w = suite().into_iter().find(|w| w.name == name).unwrap();
     let mut sim = GpuSim::new(&GpuConfig::tiny(1));
     let result = sim.run_workload(&w.launches(Scale::Smoke));
-    sim.memory()
-        .utilization_report(result.total_cycles())
-        .dram
+    sim.memory().utilization_report(result.total_cycles()).dram
 }
 
 #[test]
@@ -70,7 +68,10 @@ fn stream_is_the_most_bandwidth_bound_app() {
 
 #[test]
 fn runs_replay_bit_identically() {
-    let w = suite().into_iter().find(|w| w.name == "Lulesh-150").unwrap();
+    let w = suite()
+        .into_iter()
+        .find(|w| w.name == "Lulesh-150")
+        .unwrap();
     let run = || {
         let mut sim = GpuSim::new(&GpuConfig::tiny(2));
         sim.run_workload(&w.launches(Scale::Smoke)).total_counts()
