@@ -17,49 +17,49 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig2_onboard_energy", |b| {
         b.iter(|| {
             let lab = Lab::new(Scale::Smoke);
-            Fig2::run(&lab, &suite)
+            Fig2::run(&lab, &suite).unwrap()
         })
     });
     group.bench_function("fig6_edpse_2xbw", |b| {
         b.iter(|| {
             let lab = Lab::new(Scale::Smoke);
-            Fig6::run(&lab, &suite)
+            Fig6::run(&lab, &suite).unwrap()
         })
     });
     group.bench_function("fig7_step_breakdown", |b| {
         b.iter(|| {
             let lab = Lab::new(Scale::Smoke);
-            Fig7::run(&lab, &suite)
+            Fig7::run(&lab, &suite).unwrap()
         })
     });
     group.bench_function("fig8_bandwidth_sweep", |b| {
         b.iter(|| {
             let lab = Lab::new(Scale::Smoke);
-            Fig8::run(&lab, &suite)
+            Fig8::run(&lab, &suite).unwrap()
         })
     });
     group.bench_function("fig9_ring_vs_switch", |b| {
         b.iter(|| {
             let lab = Lab::new(Scale::Smoke);
-            Fig9::run(&lab, &suite)
+            Fig9::run(&lab, &suite).unwrap()
         })
     });
     group.bench_function("fig10_speedup_energy", |b| {
         b.iter(|| {
             let lab = Lab::new(Scale::Smoke);
-            Fig10::run(&lab, &suite)
+            Fig10::run(&lab, &suite).unwrap()
         })
     });
     group.bench_function("point_studies", |b| {
         b.iter(|| {
             let lab = Lab::new(Scale::Smoke);
-            PointStudies::run(&lab, &suite)
+            PointStudies::run(&lab, &suite).unwrap()
         })
     });
     group.bench_function("headline", |b| {
         b.iter(|| {
             let lab = Lab::new(Scale::Smoke);
-            Headline::run(&lab, &suite)
+            Headline::run(&lab, &suite).unwrap()
         })
     });
     group.finish();

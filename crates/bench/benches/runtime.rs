@@ -22,7 +22,7 @@ use xp::{Fig6, Lab};
 
 fn fig6_sweep(threads: usize) -> Fig6 {
     let lab = Lab::with_threads(Scale::Smoke, threads);
-    Fig6::run(&lab, &bench::bench_suite())
+    Fig6::run(&lab, &bench::bench_suite()).unwrap()
 }
 
 /// 24 points of 5 ms each: 120 ms serial, ~120/threads ms parallel.

@@ -19,6 +19,7 @@
 //! ```
 
 pub mod ids;
+pub mod json;
 pub mod stats;
 pub mod table;
 pub mod units;

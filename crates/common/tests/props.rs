@@ -76,3 +76,65 @@ proptest! {
         prop_assert!((sum.joules() - fold.joules()).abs() <= 1e-9 * sum.joules().max(1e-30));
     }
 }
+
+// ---------------------------------------------------------------------------
+// common::json round-trip properties
+// ---------------------------------------------------------------------------
+
+mod json_props {
+    use common::json::Json;
+    use proptest::prelude::*;
+
+    /// Unicode scalar values, skipping the surrogate gap.
+    fn any_char() -> impl Strategy<Value = char> {
+        (0u32..0x11_0000).prop_map(|v| {
+            let v = if (0xD800..0xE000).contains(&v) {
+                0x20
+            } else {
+                v
+            };
+            char::from_u32(v).unwrap_or('\u{fffd}')
+        })
+    }
+
+    fn any_string() -> impl Strategy<Value = String> {
+        prop::collection::vec(any_char(), 0..24).prop_map(|cs| cs.into_iter().collect())
+    }
+
+    proptest! {
+        #[test]
+        fn strings_round_trip(s in any_string()) {
+            let rendered = Json::str(s.clone()).render();
+            let back = Json::parse(&rendered).unwrap();
+            prop_assert_eq!(back, Json::str(s));
+        }
+
+        #[test]
+        fn numbers_round_trip_bit_exact(v in -1e18_f64..1e18) {
+            let rendered = Json::Number(v).render();
+            let back = Json::parse(&rendered).unwrap().as_f64().unwrap();
+            prop_assert_eq!(back.to_bits(), v.to_bits());
+        }
+
+        #[test]
+        fn artifact_shaped_documents_round_trip(
+            ids in prop::collection::vec("[a-z0-9_]{1,12}", 1..6),
+            values in prop::collection::vec(-1e9_f64..1e9, 1..6),
+            pretty in 0u32..2,
+        ) {
+            let mut doc = Json::object();
+            doc.insert("schema_version", 1u64);
+            let mut rows = Json::array();
+            for (id, v) in ids.iter().zip(values.iter().cycle()) {
+                let mut row = Json::object();
+                row.insert("id", id.as_str());
+                row.insert("value", *v);
+                rows.push(row);
+            }
+            doc.insert("rows", rows);
+            let text = if pretty == 1 { doc.render_pretty() } else { doc.render() };
+            let back = Json::parse(&text).unwrap();
+            prop_assert_eq!(back, doc);
+        }
+    }
+}

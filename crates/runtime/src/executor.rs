@@ -57,6 +57,29 @@ impl<O> SweepReport<O> {
     pub fn failures(&self) -> usize {
         self.outcomes.iter().filter(|r| r.is_err()).count()
     }
+
+    /// The stable serialized form of the report: point/failure counts,
+    /// the distinct failure messages (deduplicated, submission order),
+    /// and the sweep's [`SweepMetrics`] under `"metrics"`.
+    pub fn to_json(&self) -> common::json::Json {
+        use common::json::Json;
+        let mut errors = Json::array();
+        let mut seen: Vec<&str> = Vec::new();
+        for outcome in &self.outcomes {
+            if let Err(e) = outcome {
+                if !seen.contains(&e.message.as_str()) {
+                    seen.push(&e.message);
+                    errors.push(e.message.as_str());
+                }
+            }
+        }
+        let mut o = Json::object();
+        o.insert("points", self.outcomes.len());
+        o.insert("failures", self.failures());
+        o.insert("errors", errors);
+        o.insert("metrics", self.metrics.to_json());
+        o
+    }
 }
 
 /// Submission-indexed result collector: jobs write into their slot and
@@ -315,5 +338,32 @@ impl SweepExecutor {
             }
         });
         SweepReport { outcomes, metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_captures_failures_and_metrics() {
+        let executor = SweepExecutor::new(1);
+        let report = executor.run(vec![1u32, 2, 3], |&n| {
+            if n == 2 {
+                panic!("boom on {n}");
+            }
+            n * 10
+        });
+        assert_eq!(report.failures(), 1);
+        let j = report.to_json();
+        assert_eq!(j.keys(), vec!["points", "failures", "errors", "metrics"]);
+        assert_eq!(j.get("points").unwrap().as_f64(), Some(3.0));
+        assert_eq!(j.get("failures").unwrap().as_f64(), Some(1.0));
+        let errors = j.get("errors").unwrap().as_array().unwrap();
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].as_str().unwrap().contains("boom on 2"));
+        assert!(j.get("metrics").unwrap().get("submitted").is_some());
+        // The serialized report survives the strict parser.
+        assert!(common::json::Json::parse(&j.render()).is_ok());
     }
 }

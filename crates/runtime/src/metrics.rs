@@ -2,6 +2,7 @@
 //! through the pipeline, a periodic progress line, and a final summary
 //! table.
 
+use common::json::Json;
 use common::table::TextTable;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -113,6 +114,46 @@ impl SweepMetrics {
         );
     }
 
+    /// The stable serialized form of the sweep counters, used by the
+    /// `xp` driver's `manifest.json`. Schema (all keys always present):
+    /// `submitted`, `completed`, `cache_hits`, `simulated`, `failed`,
+    /// `workers`, `worker_utilization` (0–1), `wall_time_secs`,
+    /// `sim_time_secs` (sum of per-point wall times), and
+    /// `mean_point_secs` / `max_point_secs` (`null` until a point has
+    /// been simulated).
+    pub fn to_json(&self) -> Json {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let mut o = Json::object();
+        o.insert("submitted", self.submitted.load(Ordering::Relaxed));
+        o.insert("completed", completed);
+        o.insert("cache_hits", hits);
+        o.insert("simulated", completed.saturating_sub(hits));
+        o.insert("failed", self.errors.load(Ordering::Relaxed));
+        o.insert("workers", self.busy_nanos.len());
+        o.insert("worker_utilization", self.worker_utilization());
+        o.insert("wall_time_secs", self.elapsed().as_secs_f64());
+        o.insert(
+            "sim_time_secs",
+            self.sim_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        );
+        o.insert(
+            "mean_point_secs",
+            match self.mean_point_time() {
+                Some(d) => Json::Number(d.as_secs_f64()),
+                None => Json::Null,
+            },
+        );
+        o.insert(
+            "max_point_secs",
+            match self.max_point_nanos.load(Ordering::Relaxed) {
+                0 => Json::Null,
+                nanos => Json::Number(nanos as f64 / 1e9),
+            },
+        );
+        o
+    }
+
     /// Renders the final summary as a `common` text table.
     pub fn summary_table(&self) -> TextTable {
         let mut t = TextTable::new(["sweep metric", "value"]);
@@ -170,6 +211,45 @@ mod tests {
         let rendered = m.summary_table().render();
         assert!(rendered.contains("served from cache"));
         assert!(rendered.contains("simulated"));
+    }
+
+    #[test]
+    fn json_form_is_schema_stable() {
+        let m = SweepMetrics::new(2);
+        m.submitted.store(3, Ordering::Relaxed);
+        m.completed.store(3, Ordering::Relaxed);
+        m.cache_hits.store(1, Ordering::Relaxed);
+        m.record_point(0, Duration::from_millis(10));
+        let j = m.to_json();
+        assert_eq!(
+            j.keys(),
+            vec![
+                "submitted",
+                "completed",
+                "cache_hits",
+                "simulated",
+                "failed",
+                "workers",
+                "worker_utilization",
+                "wall_time_secs",
+                "sim_time_secs",
+                "mean_point_secs",
+                "max_point_secs",
+            ]
+        );
+        assert_eq!(j.get("simulated").unwrap().as_f64(), Some(2.0));
+        assert_eq!(j.get("cache_hits").unwrap().as_f64(), Some(1.0));
+        // Round-trips through the strict parser.
+        let back = common::json::Json::parse(&j.render_pretty()).unwrap();
+        assert_eq!(back.get("submitted").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn json_form_before_any_point_has_null_timings() {
+        let m = SweepMetrics::new(1);
+        let j = m.to_json();
+        assert!(j.get("mean_point_secs").unwrap().is_null());
+        assert!(j.get("max_point_secs").unwrap().is_null());
     }
 
     #[test]

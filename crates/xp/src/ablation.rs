@@ -7,16 +7,13 @@
 //! on the same workloads and reports speedup and EDPSE deltas — the
 //! quantified version of DESIGN.md's "modelling notes".
 
+use crate::artifact::{mean_of, ArtifactError};
 use crate::configs::ExpConfig;
 use crate::lab::Lab;
-use common::stats;
+use common::json::Json;
 use common::table::TextTable;
 use sim::{BwSetting, CtaSchedule, L2Mode, PagePolicy, WarpScheduler};
 use workloads::WorkloadSpec;
-
-fn mean(v: &[f64]) -> f64 {
-    stats::mean(v).expect("non-empty")
-}
 
 /// One ablation row: the same configuration with one design knob flipped.
 #[derive(Debug, Clone)]
@@ -42,82 +39,96 @@ pub struct AblationStudy {
     pub rows: Vec<AblationRow>,
 }
 
+/// Every `(knob, variant, config)` triple the study compares at `gpms`
+/// modules, 2x-BW on-package.
+fn variants(gpms: usize) -> Vec<(&'static str, String, ExpConfig)> {
+    let base = ExpConfig::paper_default(gpms, BwSetting::X2);
+    let mut variants: Vec<(&'static str, String, ExpConfig)> = Vec::new();
+
+    // CTA scheduling: locality-aware contiguous vs naive round-robin.
+    for s in [CtaSchedule::Contiguous, CtaSchedule::RoundRobin] {
+        variants.push((
+            "CTA schedule",
+            s.to_string(),
+            base.clone().with_cta_schedule(s),
+        ));
+    }
+
+    // Page placement: first-touch vs static interleaving.
+    for p in [PagePolicy::FirstTouch, PagePolicy::Interleaved] {
+        variants.push((
+            "page placement",
+            p.to_string(),
+            base.clone().with_page_policy(p),
+        ));
+    }
+
+    // L2 organization: module-side vs memory-side.
+    for m in [L2Mode::ModuleSide, L2Mode::MemorySide] {
+        variants.push((
+            "L2 organization",
+            m.to_string(),
+            base.clone().with_l2_mode(m),
+        ));
+    }
+
+    // Warp scheduling policy (should be near-neutral — the paper's
+    // §II abstraction argument).
+    for ws in [
+        WarpScheduler::LooseRoundRobin,
+        WarpScheduler::GreedyThenOldest,
+    ] {
+        variants.push((
+            "warp scheduler",
+            ws.to_string(),
+            base.clone().with_warp_scheduler(ws),
+        ));
+    }
+
+    // Warp memory-level parallelism.
+    for mlp in [1usize, 2, 4, 8] {
+        variants.push((
+            "MLP per warp",
+            format!("{mlp} outstanding"),
+            base.clone().with_mlp(mlp),
+        ));
+    }
+
+    variants
+}
+
 impl AblationStudy {
+    /// The sweep plan at `gpms` modules (shared by `run` and the artifact
+    /// registry).
+    pub fn plan_configs(gpms: usize) -> Vec<ExpConfig> {
+        variants(gpms).into_iter().map(|(_, _, c)| c).collect()
+    }
+
     /// Runs every ablation at `gpms` modules, 2x-BW on-package.
-    pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Self {
-        let base = ExpConfig::paper_default(gpms, BwSetting::X2);
-        let mut variants: Vec<(&'static str, String, ExpConfig)> = Vec::new();
-
-        // CTA scheduling: locality-aware contiguous vs naive round-robin.
-        for s in [CtaSchedule::Contiguous, CtaSchedule::RoundRobin] {
-            variants.push((
-                "CTA schedule",
-                s.to_string(),
-                base.clone().with_cta_schedule(s),
-            ));
-        }
-
-        // Page placement: first-touch vs static interleaving.
-        for p in [PagePolicy::FirstTouch, PagePolicy::Interleaved] {
-            variants.push((
-                "page placement",
-                p.to_string(),
-                base.clone().with_page_policy(p),
-            ));
-        }
-
-        // L2 organization: module-side vs memory-side.
-        for m in [L2Mode::ModuleSide, L2Mode::MemorySide] {
-            variants.push((
-                "L2 organization",
-                m.to_string(),
-                base.clone().with_l2_mode(m),
-            ));
-        }
-
-        // Warp scheduling policy (should be near-neutral — the paper's
-        // §II abstraction argument).
-        for ws in [
-            WarpScheduler::LooseRoundRobin,
-            WarpScheduler::GreedyThenOldest,
-        ] {
-            variants.push((
-                "warp scheduler",
-                ws.to_string(),
-                base.clone().with_warp_scheduler(ws),
-            ));
-        }
-
-        // Warp memory-level parallelism.
-        for mlp in [1usize, 2, 4, 8] {
-            variants.push((
-                "MLP per warp",
-                format!("{mlp} outstanding"),
-                base.clone().with_mlp(mlp),
-            ));
-        }
-
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Result<Self, ArtifactError> {
+        let variants = variants(gpms);
         let cfgs: Vec<ExpConfig> = variants.iter().map(|(_, _, c)| c.clone()).collect();
         lab.prime_suite(suite, &cfgs);
 
         let rows = variants
             .into_iter()
             .map(|(knob, variant, cfg)| {
+                let point = format!("{knob} {variant} @ {gpms}-GPM");
                 let speedups: Vec<f64> = suite.iter().map(|w| lab.speedup(w, &cfg)).collect();
                 let edpses: Vec<f64> = suite.iter().map(|w| lab.edpse(w, &cfg)).collect();
                 let energies: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, &cfg)).collect();
-                AblationRow {
+                Ok(AblationRow {
                     knob,
                     variant,
                     gpms,
-                    speedup: mean(&speedups),
-                    edpse: mean(&edpses),
-                    energy: mean(&energies),
-                }
+                    speedup: mean_of("ablation", &point, &speedups)?,
+                    edpse: mean_of("ablation", &point, &edpses)?,
+                    energy: mean_of("ablation", &point, &energies)?,
+                })
             })
-            .collect();
+            .collect::<Result<_, ArtifactError>>()?;
 
-        AblationStudy { rows }
+        Ok(AblationStudy { rows })
     }
 
     /// The row for a `(knob, variant)` pair, if present.
@@ -141,6 +152,24 @@ impl AblationStudy {
         }
         t
     }
+
+    /// The JSON payload: one object per `(knob, variant)` row.
+    pub fn to_json(&self) -> Json {
+        let mut rows = Json::array();
+        for r in &self.rows {
+            let mut o = Json::object();
+            o.insert("knob", r.knob);
+            o.insert("variant", r.variant.as_str());
+            o.insert("gpms", r.gpms);
+            o.insert("speedup", r.speedup);
+            o.insert("energy_ratio", r.energy);
+            o.insert("edpse_pct", r.edpse);
+            rows.push(o);
+        }
+        let mut o = Json::object();
+        o.insert("rows", rows);
+        o
+    }
 }
 
 #[cfg(test)]
@@ -158,7 +187,7 @@ mod tests {
     #[test]
     fn ablation_produces_all_rows() {
         let lab = Lab::new(Scale::Smoke);
-        let study = AblationStudy::run(&lab, &mini_suite(), 8);
+        let study = AblationStudy::run(&lab, &mini_suite(), 8).unwrap();
         assert_eq!(study.rows.len(), 2 + 2 + 2 + 2 + 4);
         assert!(study.render().render().contains("round-robin"));
     }
@@ -167,7 +196,7 @@ mod tests {
     fn first_touch_beats_interleaving_for_private_streams() {
         let lab = Lab::new(Scale::Smoke);
         let suite = vec![by_name("Stream").unwrap()];
-        let study = AblationStudy::run(&lab, &suite, 8);
+        let study = AblationStudy::run(&lab, &suite, 8).unwrap();
         let ft = study.get("page placement", "first-touch").unwrap();
         let il = study.get("page placement", "interleaved").unwrap();
         assert!(
@@ -182,7 +211,7 @@ mod tests {
     fn mlp_monotonically_helps_memory_bound_work() {
         let lab = Lab::new(Scale::Smoke);
         let suite = vec![by_name("Stream").unwrap()];
-        let study = AblationStudy::run(&lab, &suite, 8);
+        let study = AblationStudy::run(&lab, &suite, 8).unwrap();
         let one = study.get("MLP per warp", "1 outstanding").unwrap();
         let eight = study.get("MLP per warp", "8 outstanding").unwrap();
         assert!(

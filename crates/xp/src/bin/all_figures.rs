@@ -1,64 +1,9 @@
-//! Runs every scaling figure and point study with one shared simulation
-//! cache, printing all results. The validation experiments (Table Ib,
-//! Figs. 4a/4b) are included unless `--no-validation` is passed.
-
-use silicon::VirtualK40;
+//! Every scaling figure and point study in one run. Thin alias for
+//! `xp run all_figures`; accepts the historical `--smoke`,
+//! `--threads N`, and `--no-validation` flags unchanged.
 
 fn main() {
-    let scale = xp::scale_from_args();
-    let skip_validation = std::env::args().any(|a| a == "--no-validation");
-    let lab = xp::Lab::with_threads(scale, xp::threads_from_args());
-    let suite = xp::default_suite();
-
-    let fig2 = xp::Fig2::run(&lab, &suite);
-    println!("\n== Figure 2: on-board scaling energy (paper: ~2x at 32-GPM) ==");
-    println!("{}", fig2.render());
-
-    let fig6 = xp::Fig6::run(&lab, &suite);
-    println!("\n== Figure 6: EDPSE at 2x-BW (paper: 94% @2 -> 36% @32) ==");
-    println!("{}", fig6.render());
-
-    let fig7 = xp::Fig7::run(&lab, &suite);
-    println!("\n== Figure 7: per-step speedup + energy breakdown ==");
-    println!("{}", fig7.render());
-    println!(
-        "monolithic 16->32 step speedup: {:.2} (paper: 1.808)",
-        fig7.monolithic_16_to_32
-    );
-
-    let fig8 = xp::Fig8::run(&lab, &suite);
-    println!("\n== Figure 8: EDPSE vs bandwidth ==");
-    println!("{}", fig8.render());
-
-    let fig9 = xp::Fig9::run(&lab, &suite);
-    println!("\n== Figure 9: on-board ring vs switch ==");
-    println!("{}", fig9.render());
-
-    let fig10 = xp::Fig10::run(&lab, &suite);
-    println!("\n== Figure 10: speedup + energy across settings ==");
-    println!("{}", fig10.render());
-
-    let ps = xp::PointStudies::run(&lab, &suite);
-    println!("\n== Point studies ==");
-    println!("{}", ps.render());
-
-    let h = xp::Headline::run(&lab, &suite);
-    println!("\n== Headline ==");
-    println!("{}", h.render());
-
-    if !skip_validation {
-        let hw = VirtualK40::new();
-        let fitted = xp::validation::fit_model(&hw, scale);
-        println!("\n== Table Ib ==");
-        println!("{}", xp::validation::table1b(&fitted));
-        let model = fitted.to_energy_model();
-        let r4a = xp::validation::fig4a(&hw, &model, scale);
-        println!("\n== Figure 4a ==");
-        println!("{}", xp::validation::render_validation(&r4a));
-        let full_suite = workloads::suite();
-        let r4b = xp::validation::fig4b(&hw, &model, &full_suite, scale);
-        println!("\n== Figure 4b ==");
-        println!("{}", xp::validation::render_validation(&r4b));
-    }
-    lab.print_sweep_summary();
+    let mut args = vec!["run".to_string(), "all_figures".to_string()];
+    args.extend(std::env::args().skip(1));
+    std::process::exit(xp::cli::main(&args));
 }

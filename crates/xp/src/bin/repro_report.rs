@@ -1,18 +1,9 @@
-//! The self-checking reproduction verdict: re-evaluates every scaling
-//! claim the paper makes against this repository's measurements.
+//! The self-checking reproduction verdict. Thin alias for
+//! `xp run repro_report`; accepts the historical `--smoke`,
+//! `--threads N`, and `--no-validation` flags unchanged.
 
 fn main() {
-    let scale = xp::scale_from_args();
-    let skip_validation = std::env::args().any(|a| a == "--no-validation");
-    let lab = xp::Lab::with_threads(scale, xp::threads_from_args());
-    let suite = xp::default_suite();
-    let mut claims = xp::evaluate_scaling_claims(&lab, &suite);
-    if !skip_validation {
-        claims.extend(xp::report::evaluate_validation_claims(scale));
-    }
-    println!("Reproduction verdicts:");
-    println!("{}", xp::render_claims(&claims));
-    let passed = claims.iter().filter(|c| c.pass).count();
-    println!("{passed}/{} claims PASS", claims.len());
-    lab.print_sweep_summary();
+    let mut args = vec!["run".to_string(), "repro_report".to_string()];
+    args.extend(std::env::args().skip(1));
+    std::process::exit(xp::cli::main(&args));
 }

@@ -1,0 +1,6 @@
+//! The unified experiment driver. Run `xp list` for the artifact index.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(xp::cli::main(&args));
+}

@@ -1,0 +1,464 @@
+//! The `xp` driver: one CLI for every experiment artifact.
+//!
+//! ```text
+//! xp list                                   # what can be reproduced
+//! xp run fig6 fig8                          # run two artifacts (text)
+//! xp run all --format json --out results/   # everything, as JSON files
+//! xp check results/                         # CI: re-parse emitted JSON
+//! ```
+//!
+//! `run` unions the selected artifacts' sweep plans into one batch prime
+//! through the runtime executor, then evaluates each artifact against the
+//! warm cache; per-artifact internal primes become cache hits. With
+//! `--out`, the driver writes one `<id>.json` per artifact plus a
+//! `manifest.json` recording the configuration digest, suite, thread
+//! count, wall time, and the prime sweep's report and metrics.
+
+use crate::artifact::SweepPlan;
+use crate::configs::ExpConfig;
+use crate::figures::default_suite;
+use crate::lab::Lab;
+use crate::registry::{ArtifactRegistry, RegistryOptions};
+use crate::validation;
+use common::json::Json;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use workloads::Scale;
+
+/// Output format for `xp run`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Historical text tables on stdout (the default).
+    Text,
+    /// Structured JSON (stdout, or files with `--out`).
+    Json,
+    /// Both text on stdout and JSON files/stdout.
+    Both,
+}
+
+impl Format {
+    fn wants_text(self) -> bool {
+        matches!(self, Format::Text | Format::Both)
+    }
+
+    fn wants_json(self) -> bool {
+        matches!(self, Format::Json | Format::Both)
+    }
+}
+
+/// A parsed `xp` invocation.
+#[derive(Debug)]
+enum Command {
+    List,
+    Run(RunOptions),
+    Check { dir: PathBuf },
+}
+
+/// Options for `xp run`.
+#[derive(Debug)]
+struct RunOptions {
+    ids: Vec<String>,
+    scale: Scale,
+    threads: usize,
+    validation: bool,
+    format: Format,
+    out: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: xp <command> [options]
+
+commands:
+  list                     list every artifact id and title
+  run <id>... | run all    evaluate artifacts (see options below)
+  check <dir>              re-parse JSON results emitted by `run --out`
+
+run options:
+  --smoke                  smoke-scale problems (fast; CI default)
+  --threads N              sweep worker threads (default: auto)
+  --no-validation          skip the fitting pipeline in repro_report/all_figures
+  --format text|json|both  output format (default: text)
+  --out DIR                write one <id>.json per artifact plus manifest.json
+";
+
+fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().peekable();
+    let cmd = it.next().ok_or_else(|| USAGE.to_string())?;
+    match cmd.as_str() {
+        "list" => Ok(Command::List),
+        "check" => {
+            let dir = it
+                .next()
+                .ok_or_else(|| "xp check: missing results directory".to_string())?;
+            Ok(Command::Check {
+                dir: PathBuf::from(dir),
+            })
+        }
+        "run" => {
+            let mut opts = RunOptions {
+                ids: Vec::new(),
+                scale: Scale::Full,
+                threads: runtime::resolve_threads(None),
+                validation: true,
+                format: Format::Text,
+                out: None,
+            };
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--smoke" => opts.scale = Scale::Smoke,
+                    "--no-validation" => opts.validation = false,
+                    "--threads" => {
+                        // Lenient like the historical binaries: a missing
+                        // or unparsable value warns and keeps the default.
+                        let requested = it.next().and_then(|v| v.parse().ok());
+                        if requested.is_none() {
+                            eprintln!("warning: --threads expects a positive integer");
+                        }
+                        opts.threads = runtime::resolve_threads(requested);
+                    }
+                    "--format" => {
+                        let f = it
+                            .next()
+                            .ok_or_else(|| "--format: missing value".to_string())?;
+                        opts.format = match f.as_str() {
+                            "text" => Format::Text,
+                            "json" => Format::Json,
+                            "both" => Format::Both,
+                            other => return Err(format!("--format: unknown format {other:?}")),
+                        };
+                    }
+                    "--out" => {
+                        let dir = it
+                            .next()
+                            .ok_or_else(|| "--out: missing directory".to_string())?;
+                        opts.out = Some(PathBuf::from(dir));
+                    }
+                    other if other.starts_with("--threads=") => {
+                        let v = &other["--threads=".len()..];
+                        let requested = v.parse().ok();
+                        if requested.is_none() {
+                            eprintln!("warning: --threads expects a positive integer, got {v:?}");
+                        }
+                        opts.threads = runtime::resolve_threads(requested);
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(format!("xp run: unknown option {other}"));
+                    }
+                    id => opts.ids.push(id.to_string()),
+                }
+            }
+            if opts.ids.is_empty() {
+                return Err(
+                    "xp run: no artifact ids given (try `xp list`, or `xp run all`)".to_string(),
+                );
+            }
+            Ok(Command::Run(opts))
+        }
+        other => Err(format!("xp: unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+/// FNV-1a over the Debug form of every planned config: a stable,
+/// dependency-free fingerprint of what the sweep covered.
+fn config_digest(configs: &[ExpConfig]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for cfg in configs {
+        for b in format!("{cfg:?}\n").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Entry point for the `xp` binary. Returns the process exit code:
+/// 0 on success, 1 on evaluation/IO failure, 2 on usage errors
+/// (including unknown artifact ids).
+pub fn main(args: &[String]) -> i32 {
+    match parse(args) {
+        Err(msg) => {
+            eprintln!("{msg}");
+            2
+        }
+        Ok(Command::List) => {
+            let registry = ArtifactRegistry::standard(&RegistryOptions::default());
+            for artifact in registry.iter() {
+                let marker = if artifact.composite() { "*" } else { " " };
+                println!("{:<16}{marker} {}", artifact.id(), artifact.title());
+            }
+            println!("\n* composite: included in `run <id>` but not in `run all`");
+            0
+        }
+        Ok(Command::Check { dir }) => check(&dir),
+        Ok(Command::Run(opts)) => run(&opts),
+    }
+}
+
+fn run(opts: &RunOptions) -> i32 {
+    let registry = ArtifactRegistry::standard(&RegistryOptions {
+        validation: opts.validation,
+    });
+
+    // Resolve ids; `all` expands to every non-composite artifact.
+    let mut ids: Vec<&str> = Vec::new();
+    for id in &opts.ids {
+        if id == "all" {
+            for a in registry.all_ids() {
+                if !ids.contains(&a) {
+                    ids.push(a);
+                }
+            }
+        } else if registry.get(id).is_some() {
+            if !ids.contains(&id.as_str()) {
+                ids.push(registry.get(id).unwrap().id());
+            }
+        } else {
+            eprintln!("xp run: unknown artifact {id:?} (try `xp list`)");
+            return 2;
+        }
+    }
+
+    let started = Instant::now();
+    let lab = Lab::with_threads(opts.scale, opts.threads);
+    let suite = default_suite();
+
+    // Union the selected artifacts' plans into one sweep.
+    let mut plan = SweepPlan::none();
+    for id in &ids {
+        plan.merge(registry.get(id).unwrap().plan());
+    }
+    let mut configs: Vec<ExpConfig> = Vec::new();
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for cfg in plan.configs {
+        if seen.insert(format!("{cfg:?}")) {
+            configs.push(cfg);
+        }
+    }
+    let digest = config_digest(&configs);
+
+    // Pre-warm the shared fit cache so per-artifact fits are lookups.
+    if plan.needs_fit {
+        let _ = validation::fit_model_cached(opts.scale);
+    }
+
+    // One batch prime through the executor; artifact-internal primes
+    // against the same points become cache hits.
+    let mut points = Vec::with_capacity(suite.len() * (configs.len() + 1));
+    for w in &suite {
+        points.push((w.clone(), ExpConfig::baseline()));
+        for cfg in &configs {
+            points.push((w.clone(), cfg.clone()));
+        }
+    }
+    let sweep_report = lab.prime(&points);
+
+    if let Some(dir) = &opts.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("xp run: cannot create {}: {e}", dir.display());
+            return 1;
+        }
+    }
+
+    let mut manifest_artifacts = Json::array();
+    let multi = ids.len() > 1;
+    for id in &ids {
+        let artifact = registry.get(id).unwrap();
+        let eval_started = Instant::now();
+        let data = match artifact.evaluate(&lab, &suite) {
+            Ok(data) => data,
+            Err(err) => {
+                eprintln!("xp run: {err}");
+                return 1;
+            }
+        };
+        let elapsed = eval_started.elapsed().as_secs_f64();
+
+        if opts.format.wants_text() {
+            if multi {
+                println!("== {id} ==");
+            }
+            print!("{}", data.text);
+        }
+
+        let mut entry = Json::object();
+        entry.insert("id", artifact.id());
+        entry.insert("title", artifact.title());
+        entry.insert("eval_secs", elapsed);
+        if let Some(dir) = &opts.out {
+            let file = format!("{id}.json");
+            let path = dir.join(&file);
+            if let Err(e) = std::fs::write(&path, format!("{}\n", data.json.render_pretty())) {
+                eprintln!("xp run: cannot write {}: {e}", path.display());
+                return 1;
+            }
+            entry.insert("file", file.as_str());
+        } else if opts.format.wants_json() {
+            println!("{}", data.json.render_pretty());
+        }
+        manifest_artifacts.push(entry);
+    }
+
+    if let Some(dir) = &opts.out {
+        let mut manifest = Json::object();
+        manifest.insert("schema_version", 1usize);
+        manifest.insert("scale", format!("{:?}", opts.scale).as_str());
+        manifest.insert("threads", lab.threads());
+        manifest.insert("validation", opts.validation);
+        manifest.insert("config_digest", digest.as_str());
+        manifest.insert("planned_configs", configs.len());
+        let mut suite_names = Json::array();
+        for w in &suite {
+            suite_names.push(w.name);
+        }
+        manifest.insert("suite", suite_names);
+        manifest.insert("artifacts", manifest_artifacts);
+        manifest.insert("sweep", sweep_report.to_json());
+        let mut history = Json::array();
+        for m in lab.sweep_history() {
+            history.push(m.to_json());
+        }
+        manifest.insert("sweeps", history);
+        manifest.insert("cached_runs", lab.cached_runs());
+        manifest.insert("wall_time_secs", started.elapsed().as_secs_f64());
+        let path = dir.join("manifest.json");
+        if let Err(e) = std::fs::write(&path, format!("{}\n", manifest.render_pretty())) {
+            eprintln!("xp run: cannot write {}: {e}", path.display());
+            return 1;
+        }
+        eprintln!(
+            "wrote {} artifact file(s) + manifest.json to {}",
+            ids.len(),
+            dir.display()
+        );
+    }
+
+    lab.print_sweep_summary();
+    0
+}
+
+/// `xp check <dir>`: every JSON file `run --out` emitted must re-parse
+/// through the strict parser, and the manifest must reference only files
+/// that exist. The CI gate against schema regressions.
+fn check(dir: &Path) -> i32 {
+    let manifest_path = dir.join("manifest.json");
+    let manifest = match std::fs::read_to_string(&manifest_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xp check: cannot read {}: {e}", manifest_path.display());
+            return 1;
+        }
+    };
+    let manifest = match Json::parse(&manifest) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!(
+                "xp check: {} is not valid JSON: {e}",
+                manifest_path.display()
+            );
+            return 1;
+        }
+    };
+
+    let artifacts = match manifest.get("artifacts").and_then(Json::as_array) {
+        Some(a) => a,
+        None => {
+            eprintln!(
+                "xp check: {} has no `artifacts` array",
+                manifest_path.display()
+            );
+            return 1;
+        }
+    };
+
+    let mut checked = 0usize;
+    for entry in artifacts {
+        let id = entry.get("id").and_then(Json::as_str).unwrap_or("?");
+        let Some(file) = entry.get("file").and_then(Json::as_str) else {
+            continue;
+        };
+        let path = dir.join(file);
+        let body = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!(
+                    "xp check: artifact {id}: cannot read {}: {e}",
+                    path.display()
+                );
+                return 1;
+            }
+        };
+        let json = match Json::parse(&body) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!(
+                    "xp check: artifact {id}: {} is not valid JSON: {e}",
+                    path.display()
+                );
+                return 1;
+            }
+        };
+        if json.get("id").and_then(Json::as_str) != Some(id) {
+            eprintln!(
+                "xp check: artifact {id}: {} has mismatched `id`",
+                path.display()
+            );
+            return 1;
+        }
+        checked += 1;
+    }
+    println!("xp check: manifest.json + {checked} artifact file(s) parse cleanly");
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_rejects_unknown_commands_and_empty_runs() {
+        assert!(parse(&argv(&["frobnicate"])).is_err());
+        assert!(parse(&argv(&["run"])).is_err());
+        assert!(parse(&argv(&["run", "--format", "yaml", "fig2"])).is_err());
+        assert!(parse(&argv(&["check"])).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_flags() {
+        let Ok(Command::Run(opts)) = parse(&argv(&[
+            "run",
+            "all",
+            "--smoke",
+            "--threads",
+            "2",
+            "--no-validation",
+            "--format",
+            "both",
+            "--out",
+            "results",
+        ])) else {
+            panic!("expected a run command");
+        };
+        assert_eq!(opts.ids, vec!["all"]);
+        assert_eq!(opts.scale, Scale::Smoke);
+        assert_eq!(opts.threads, 2);
+        assert!(!opts.validation);
+        assert_eq!(opts.format, Format::Both);
+        assert_eq!(opts.out.as_deref(), Some(Path::new("results")));
+    }
+
+    #[test]
+    fn digest_is_stable_and_order_sensitive() {
+        let a = vec![ExpConfig::baseline()];
+        let b = vec![ExpConfig::baseline()];
+        assert_eq!(config_digest(&a), config_digest(&b));
+        assert_ne!(config_digest(&a), config_digest(&[]));
+    }
+
+    #[test]
+    fn unknown_artifact_id_is_a_usage_error() {
+        assert_eq!(main(&argv(&["run", "no_such_artifact", "--smoke"])), 2);
+    }
+}

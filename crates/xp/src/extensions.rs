@@ -2,19 +2,16 @@
 //! idle-aware power gating, inter-GPM link compression, and the EDⁱPSE
 //! metric-weighting discussion of §III/§V-D.
 
+use crate::artifact::{mean_of, ArtifactError};
 use crate::configs::ExpConfig;
 use crate::lab::Lab;
-use common::stats;
+use common::json::Json;
 use common::table::TextTable;
 use common::units::Energy;
 use gpujoule::{EdipScalingEfficiency, EnergyModelBuilder, EpiTable, EptTable, PowerGating};
 use isa::Opcode;
 use sim::BwSetting;
 use workloads::WorkloadSpec;
-
-fn mean(v: &[f64]) -> f64 {
-    stats::mean(v).expect("non-empty")
-}
 
 /// §V-E: how much of the constant-energy exposure at 32 GPMs can
 /// idle-aware power gating claw back?
@@ -28,13 +25,20 @@ pub struct GatingStudy {
 }
 
 impl GatingStudy {
+    /// The sweep plan at `gpms` modules (shared by `run` and the artifact
+    /// registry).
+    pub fn plan_configs(gpms: usize) -> Vec<ExpConfig> {
+        vec![ExpConfig::paper_default(gpms, BwSetting::X2)]
+    }
+
     /// Sweeps gating effectiveness at `gpms` modules, 2x-BW on-package.
-    pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Self {
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Result<Self, ArtifactError> {
         let cfg = ExpConfig::paper_default(gpms, BwSetting::X2);
         lab.prime_suite(suite, std::slice::from_ref(&cfg));
         let rows = [0.0, 0.25, 0.5, 0.75, 1.0]
             .iter()
             .map(|&eff| {
+                let label = format!("gating {:.0}% @ {gpms}-GPM", eff * 100.0);
                 let gating = PowerGating::new(eff);
                 let mut energies = Vec::new();
                 let mut edpses = Vec::new();
@@ -53,10 +57,14 @@ impl GatingStudy {
                     let edp_scaled = e_scaled.joules() * point.duration().secs();
                     edpses.push(edp_base * 100.0 / (gpms as f64 * edp_scaled));
                 }
-                (eff, mean(&energies), mean(&edpses))
+                Ok((
+                    eff,
+                    mean_of("extensions", &label, &energies)?,
+                    mean_of("extensions", &label, &edpses)?,
+                ))
             })
-            .collect();
-        GatingStudy { rows, gpms }
+            .collect::<Result<_, ArtifactError>>()?;
+        Ok(GatingStudy { rows, gpms })
     }
 
     /// Renders the study as a table.
@@ -70,6 +78,22 @@ impl GatingStudy {
             ]);
         }
         t
+    }
+
+    /// The JSON payload: one row per gating effectiveness.
+    pub fn to_json(&self) -> Json {
+        let mut rows = Json::array();
+        for &(eff, e, d) in &self.rows {
+            let mut o = Json::object();
+            o.insert("effectiveness", eff);
+            o.insert("energy_ratio", e);
+            o.insert("edpse_pct", d);
+            rows.push(o);
+        }
+        let mut o = Json::object();
+        o.insert("gpms", self.gpms);
+        o.insert("rows", rows);
+        o
     }
 }
 
@@ -86,20 +110,28 @@ pub struct CompressionStudy {
 /// across modules (compress + decompress).
 const COMPRESSION_PJ_PER_BIT: f64 = 2.0;
 
+/// The compression ratios swept.
+const COMPRESSION_RATIOS: [f64; 4] = [1.0, 1.5, 2.0, 3.0];
+
 impl CompressionStudy {
+    /// The sweep plan at `gpms` modules (shared by `run` and the artifact
+    /// registry).
+    pub fn plan_configs(gpms: usize) -> Vec<ExpConfig> {
+        COMPRESSION_RATIOS
+            .iter()
+            .map(|&r| ExpConfig::paper_default(gpms, BwSetting::X1).with_link_compression(r))
+            .collect()
+    }
+
     /// Sweeps the compression ratio at `gpms` modules on the bandwidth-
     /// starved on-board 1x-BW configuration, charging the engines'
     /// energy on top.
-    pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Self {
-        let ratios = [1.0, 1.5, 2.0, 3.0];
-        let cfgs: Vec<ExpConfig> = ratios
-            .iter()
-            .map(|&r| ExpConfig::paper_default(gpms, BwSetting::X1).with_link_compression(r))
-            .collect();
-        lab.prime_suite(suite, &cfgs);
-        let rows = ratios
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Result<Self, ArtifactError> {
+        lab.prime_suite(suite, &Self::plan_configs(gpms));
+        let rows = COMPRESSION_RATIOS
             .iter()
             .map(|&ratio| {
+                let label = format!("compression {ratio:.1}x @ {gpms}-GPM");
                 let cfg =
                     ExpConfig::paper_default(gpms, BwSetting::X1).with_link_compression(ratio);
                 let mut speedups = Vec::new();
@@ -120,10 +152,15 @@ impl CompressionStudy {
                     let edp_scaled = e_scaled.joules() * point.duration().secs();
                     edpses.push(base_ed.edp() * 100.0 / (gpms as f64 * edp_scaled));
                 }
-                (ratio, mean(&speedups), mean(&energies), mean(&edpses))
+                Ok((
+                    ratio,
+                    mean_of("extensions", &label, &speedups)?,
+                    mean_of("extensions", &label, &energies)?,
+                    mean_of("extensions", &label, &edpses)?,
+                ))
             })
-            .collect();
-        CompressionStudy { rows, gpms }
+            .collect::<Result<_, ArtifactError>>()?;
+        Ok(CompressionStudy { rows, gpms })
     }
 
     /// Renders the study as a table.
@@ -148,6 +185,23 @@ impl CompressionStudy {
         }
         t
     }
+
+    /// The JSON payload: one row per compression ratio.
+    pub fn to_json(&self) -> Json {
+        let mut rows = Json::array();
+        for &(r, s, e, d) in &self.rows {
+            let mut o = Json::object();
+            o.insert("ratio", r);
+            o.insert("speedup", s);
+            o.insert("energy_ratio", e);
+            o.insert("edpse_pct", d);
+            rows.push(o);
+        }
+        let mut o = Json::object();
+        o.insert("gpms", self.gpms);
+        o.insert("rows", rows);
+        o
+    }
 }
 
 /// Module-level DVFS — the knob the paper explicitly brackets out of its
@@ -166,20 +220,28 @@ pub struct DvfsStudy {
     pub gpms: usize,
 }
 
+/// The clock scales swept.
+const DVFS_SCALES: [f64; 4] = [1.0, 0.85, 0.7, 0.55];
+
 impl DvfsStudy {
+    /// The sweep plan at `gpms` modules (shared by `run` and the artifact
+    /// registry).
+    pub fn plan_configs(gpms: usize) -> Vec<ExpConfig> {
+        DVFS_SCALES
+            .iter()
+            .map(|&s| ExpConfig::paper_default(gpms, BwSetting::X2).with_clock_scale(s))
+            .collect()
+    }
+
     /// Sweeps the GPM clock at `gpms` modules, 2x-BW on-package, with
     /// dynamic energy scaled by the classic `V ∝ f` assumption (energy
     /// per operation ∝ `scale²`).
-    pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Self {
-        let scales = [1.0_f64, 0.85, 0.7, 0.55];
-        let cfgs: Vec<ExpConfig> = scales
-            .iter()
-            .map(|&s| ExpConfig::paper_default(gpms, BwSetting::X2).with_clock_scale(s))
-            .collect();
-        lab.prime_suite(suite, &cfgs);
-        let rows = scales
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Result<Self, ArtifactError> {
+        lab.prime_suite(suite, &Self::plan_configs(gpms));
+        let rows = DVFS_SCALES
             .iter()
             .map(|&scale| {
+                let label = format!("clock {:.0}% @ {gpms}-GPM", scale * 100.0);
                 let cfg = ExpConfig::paper_default(gpms, BwSetting::X2).with_clock_scale(scale);
                 let v2 = scale * scale;
                 // Dynamic (core-domain) energies scale with V²; memory
@@ -211,10 +273,15 @@ impl DvfsStudy {
                     let edp = e.joules() * counts.elapsed.secs();
                     edpses.push(base.edp() * 100.0 / (gpms as f64 * edp));
                 }
-                (scale, mean(&speedups), mean(&energies), mean(&edpses))
+                Ok((
+                    scale,
+                    mean_of("extensions", &label, &speedups)?,
+                    mean_of("extensions", &label, &energies)?,
+                    mean_of("extensions", &label, &edpses)?,
+                ))
             })
-            .collect();
-        DvfsStudy { rows, gpms }
+            .collect::<Result<_, ArtifactError>>()?;
+        Ok(DvfsStudy { rows, gpms })
     }
 
     /// Renders the study as a table.
@@ -235,6 +302,23 @@ impl DvfsStudy {
         }
         t
     }
+
+    /// The JSON payload: one row per clock scale.
+    pub fn to_json(&self) -> Json {
+        let mut rows = Json::array();
+        for &(scale, s, e, d) in &self.rows {
+            let mut o = Json::object();
+            o.insert("clock_scale", scale);
+            o.insert("speedup", s);
+            o.insert("energy_ratio", e);
+            o.insert("edpse_pct", d);
+            rows.push(o);
+        }
+        let mut o = Json::object();
+        o.insert("gpms", self.gpms);
+        o.insert("rows", rows);
+        o
+    }
 }
 
 /// §III/§V-D: the same designs scored under EDⁱPSE for i = 0, 1, 2 —
@@ -246,13 +330,17 @@ pub struct MetricWeightStudy {
 }
 
 impl MetricWeightStudy {
-    /// Runs the comparison across GPM counts at 2x-BW.
-    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
-        let cfgs: Vec<ExpConfig> = crate::configs::SCALED_GPM_COUNTS
+    /// The sweep plan (shared by `run` and the artifact registry).
+    pub fn plan_configs() -> Vec<ExpConfig> {
+        crate::configs::SCALED_GPM_COUNTS
             .iter()
             .map(|&n| ExpConfig::paper_default(n, BwSetting::X2))
-            .collect();
-        lab.prime_suite(suite, &cfgs);
+            .collect()
+    }
+
+    /// Runs the comparison across GPM counts at 2x-BW.
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
+        lab.prime_suite(suite, &Self::plan_configs());
         let rows = crate::configs::SCALED_GPM_COUNTS
             .iter()
             .map(|&n| {
@@ -267,10 +355,15 @@ impl MetricWeightStudy {
                         acc.push(se.percent());
                     }
                 }
-                (n, mean(&per_i[0]), mean(&per_i[1]), mean(&per_i[2]))
+                Ok((
+                    n,
+                    mean_of("extensions", &format!("ED0PSE @ {n}-GPM"), &per_i[0])?,
+                    mean_of("extensions", &format!("EDPSE @ {n}-GPM"), &per_i[1])?,
+                    mean_of("extensions", &format!("ED2PSE @ {n}-GPM"), &per_i[2])?,
+                ))
             })
-            .collect();
-        MetricWeightStudy { rows }
+            .collect::<Result<_, ArtifactError>>()?;
+        Ok(MetricWeightStudy { rows })
     }
 
     /// Renders the study as a table.
@@ -291,6 +384,22 @@ impl MetricWeightStudy {
         }
         t
     }
+
+    /// The JSON payload: one row per GPM count.
+    pub fn to_json(&self) -> Json {
+        let mut rows = Json::array();
+        for &(n, e0, e1, e2) in &self.rows {
+            let mut o = Json::object();
+            o.insert("gpms", n);
+            o.insert("ed0pse_pct", e0);
+            o.insert("edpse_pct", e1);
+            o.insert("ed2pse_pct", e2);
+            rows.push(o);
+        }
+        let mut o = Json::object();
+        o.insert("rows", rows);
+        o
+    }
 }
 
 #[cfg(test)]
@@ -308,7 +417,7 @@ mod tests {
     #[test]
     fn gating_monotonically_improves_energy() {
         let lab = Lab::new(Scale::Smoke);
-        let s = GatingStudy::run(&lab, &mini_suite(), 8);
+        let s = GatingStudy::run(&lab, &mini_suite(), 8).unwrap();
         assert_eq!(s.rows.len(), 5);
         for pair in s.rows.windows(2) {
             assert!(
@@ -326,7 +435,7 @@ mod tests {
     fn compression_relieves_bandwidth_starved_designs() {
         let lab = Lab::new(Scale::Smoke);
         let suite = vec![by_name("Stream").unwrap()];
-        let s = CompressionStudy::run(&lab, &suite, 8);
+        let s = CompressionStudy::run(&lab, &suite, 8).unwrap();
         let off = s.rows[0];
         let two = s.rows[2];
         assert!(
@@ -340,7 +449,7 @@ mod tests {
     #[test]
     fn dvfs_trades_speed_for_dynamic_energy() {
         let lab = Lab::new(Scale::Smoke);
-        let s = DvfsStudy::run(&lab, &mini_suite(), 8);
+        let s = DvfsStudy::run(&lab, &mini_suite(), 8).unwrap();
         assert_eq!(s.rows.len(), 4);
         let nominal = s.rows[0];
         let slow = s.rows[3];
@@ -352,7 +461,7 @@ mod tests {
     #[test]
     fn metric_weights_order_sensibly_at_scale() {
         let lab = Lab::new(Scale::Smoke);
-        let s = MetricWeightStudy::run(&lab, &mini_suite());
+        let s = MetricWeightStudy::run(&lab, &mini_suite()).unwrap();
         assert_eq!(s.rows.len(), 5);
         // At large counts, performance-weighted metrics forgive sub-linear
         // scaling less than energy-only ones.

@@ -2,28 +2,23 @@
 //!
 //! Every generator returns plain data (so integration tests can assert the
 //! paper's qualitative claims) plus a [`TextTable`] rendering that the
-//! `xp` binaries print. Averages follow the paper's conventions:
-//! arithmetic means for EDPSE percentages and normalized energies,
-//! geometric means for speedups.
+//! `xp` driver prints and a `to_json` payload it serializes. Averages
+//! follow the paper's conventions: arithmetic means for EDPSE percentages
+//! and normalized energies, geometric means for speedups.
+//!
+//! `run` is fallible: statistics over an empty or out-of-domain sample set
+//! (possible with a filtered suite) surface as a typed
+//! [`ArtifactError`](crate::artifact::ArtifactError) naming the artifact
+//! and sweep point instead of panicking mid-run.
 
+use crate::artifact::{geomean_of, mean_of, ArtifactError};
 use crate::configs::{ExpConfig, SCALED_GPM_COUNTS};
 use crate::lab::Lab;
-use common::stats;
+use common::json::Json;
 use common::table::TextTable;
 use gpujoule::{ConstantEnergyAmortization, EnergyComponent};
 use sim::{BwSetting, Topology};
 use workloads::{scaling_suite, Category, WorkloadSpec};
-
-/// Arithmetic mean helper (panics on an empty slice — figure sweeps are
-/// never empty).
-fn mean(v: &[f64]) -> f64 {
-    stats::mean(v).expect("non-empty")
-}
-
-/// Geometric mean helper.
-fn geomean(v: &[f64]) -> f64 {
-    stats::geomean(v).expect("positive values")
-}
 
 // ---------------------------------------------------------------------------
 // Figure 2
@@ -38,22 +33,27 @@ pub struct Fig2 {
 }
 
 impl Fig2 {
-    /// Runs the sweep.
-    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
-        let cfgs: Vec<ExpConfig> = SCALED_GPM_COUNTS
+    /// The sweep plan (shared by `run` and the artifact registry).
+    pub fn plan_configs() -> Vec<ExpConfig> {
+        SCALED_GPM_COUNTS
             .iter()
             .map(|&n| ExpConfig::paper_default(n, BwSetting::X1))
-            .collect();
+            .collect()
+    }
+
+    /// Runs the sweep.
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
+        let cfgs = Self::plan_configs();
         lab.prime_suite(suite, &cfgs);
         let points = SCALED_GPM_COUNTS
             .iter()
             .zip(&cfgs)
             .map(|(&n, cfg)| {
                 let ratios: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, cfg)).collect();
-                (n, mean(&ratios))
+                Ok((n, mean_of("fig2", &format!("{n}-GPM"), &ratios)?))
             })
-            .collect();
-        Fig2 { points }
+            .collect::<Result<_, _>>()?;
+        Ok(Fig2 { points })
     }
 
     /// Renders the figure as a table.
@@ -63,6 +63,20 @@ impl Fig2 {
             t.row([format!("{n}x"), format!("{e:.2}")]);
         }
         t
+    }
+
+    /// The JSON payload: `points` as `{gpms, energy_ratio}` objects.
+    pub fn to_json(&self) -> Json {
+        let mut points = Json::array();
+        for &(n, e) in &self.points {
+            let mut p = Json::object();
+            p.insert("gpms", n);
+            p.insert("energy_ratio", e);
+            points.push(p);
+        }
+        let mut o = Json::object();
+        o.insert("points", points);
+        o
     }
 }
 
@@ -80,13 +94,17 @@ pub struct Fig6 {
 }
 
 impl Fig6 {
-    /// Runs the sweep.
-    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
-        let cfgs: Vec<ExpConfig> = SCALED_GPM_COUNTS
+    /// The sweep plan (shared by `run` and the artifact registry).
+    pub fn plan_configs() -> Vec<ExpConfig> {
+        SCALED_GPM_COUNTS
             .iter()
             .map(|&n| ExpConfig::paper_default(n, BwSetting::X2))
-            .collect();
-        lab.prime_suite(suite, &cfgs);
+            .collect()
+    }
+
+    /// Runs the sweep.
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
+        lab.prime_suite(suite, &Self::plan_configs());
         let rows = SCALED_GPM_COUNTS
             .iter()
             .map(|&n| {
@@ -101,10 +119,15 @@ impl Fig6 {
                     }
                 }
                 let all: Vec<f64> = compute.iter().chain(&memory).copied().collect();
-                (n, mean(&compute), mean(&memory), mean(&all))
+                Ok((
+                    n,
+                    mean_of("fig6", &format!("{n}-GPM compute"), &compute)?,
+                    mean_of("fig6", &format!("{n}-GPM memory"), &memory)?,
+                    mean_of("fig6", &format!("{n}-GPM all"), &all)?,
+                ))
             })
-            .collect();
-        Fig6 { rows }
+            .collect::<Result<_, _>>()?;
+        Ok(Fig6 { rows })
     }
 
     /// The all-workloads EDPSE at a GPM count, if swept.
@@ -129,6 +152,22 @@ impl Fig6 {
             ]);
         }
         t
+    }
+
+    /// The JSON payload: per-GPM-count EDPSE percentages by category.
+    pub fn to_json(&self) -> Json {
+        let mut rows = Json::array();
+        for &(n, c, m, a) in &self.rows {
+            let mut r = Json::object();
+            r.insert("gpms", n);
+            r.insert("compute_edpse_pct", c);
+            r.insert("memory_edpse_pct", m);
+            r.insert("all_edpse_pct", a);
+            rows.push(r);
+        }
+        let mut o = Json::object();
+        o.insert("rows", rows);
+        o
     }
 }
 
@@ -164,18 +203,24 @@ pub struct Fig7 {
 }
 
 impl Fig7 {
-    /// Runs the sweep.
-    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
+    /// The sweep plan (shared by `run` and the artifact registry).
+    pub fn plan_configs() -> Vec<ExpConfig> {
         let mut cfgs: Vec<ExpConfig> = SCALED_GPM_COUNTS
             .iter()
             .map(|&n| ExpConfig::paper_default(n, BwSetting::X2))
             .collect();
         cfgs.push(ExpConfig::paper_default(16, BwSetting::X2).monolithic());
         cfgs.push(ExpConfig::paper_default(32, BwSetting::X2).monolithic());
-        lab.prime_suite(suite, &cfgs);
+        cfgs
+    }
+
+    /// Runs the sweep.
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
+        lab.prime_suite(suite, &Self::plan_configs());
         let mut steps = Vec::new();
         for &n in &SCALED_GPM_COUNTS {
             let prev_n = n / 2;
+            let step = format!("step {prev_n}->{n}");
             let cfg = ExpConfig::paper_default(n, BwSetting::X2);
             let prev_cfg = if prev_n == 1 {
                 ExpConfig::baseline()
@@ -199,12 +244,17 @@ impl Fig7 {
             }
             steps.push(Fig7Step {
                 gpms: n,
-                speedup: geomean(&speedups),
-                energy_increase_pct: mean(&totals),
+                speedup: geomean_of("fig7", &step, &speedups)?,
+                energy_increase_pct: mean_of("fig7", &format!("{step} total energy"), &totals)?,
                 components_pct: EnergyComponent::ALL
                     .iter()
-                    .map(|&c| (c, mean(&comps[c.index()])))
-                    .collect(),
+                    .map(|&c| {
+                        Ok((
+                            c,
+                            mean_of("fig7", &format!("{step} {}", c.label()), &comps[c.index()])?,
+                        ))
+                    })
+                    .collect::<Result<_, ArtifactError>>()?,
             });
         }
 
@@ -220,10 +270,10 @@ impl Fig7 {
             })
             .collect();
 
-        Fig7 {
+        Ok(Fig7 {
             steps,
-            monolithic_16_to_32: geomean(&ratios),
-        }
+            monolithic_16_to_32: geomean_of("fig7", "monolithic 16->32", &ratios)?,
+        })
     }
 
     /// Speedup of the `gpms/2 → gpms` step, if swept.
@@ -250,6 +300,31 @@ impl Fig7 {
         }
         t
     }
+
+    /// The JSON payload: per-step speedup/energy deltas with component
+    /// contributions, plus the §V-B monolithic comparison.
+    pub fn to_json(&self) -> Json {
+        let mut steps = Json::array();
+        for s in &self.steps {
+            let mut components = Json::array();
+            for (c, v) in &s.components_pct {
+                let mut e = Json::object();
+                e.insert("component", c.label());
+                e.insert("delta_pct", *v);
+                components.push(e);
+            }
+            let mut r = Json::object();
+            r.insert("gpms", s.gpms);
+            r.insert("speedup", s.speedup);
+            r.insert("energy_increase_pct", s.energy_increase_pct);
+            r.insert("components", components);
+            steps.push(r);
+        }
+        let mut o = Json::object();
+        o.insert("steps", steps);
+        o.insert("monolithic_16_to_32_speedup", self.monolithic_16_to_32);
+        o
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -264,26 +339,34 @@ pub struct Fig8 {
 }
 
 impl Fig8 {
-    /// Runs the sweep over all three bandwidth settings.
-    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
-        let cfgs: Vec<ExpConfig> = BwSetting::ALL
+    /// The sweep plan (shared by `run` and the artifact registry).
+    pub fn plan_configs() -> Vec<ExpConfig> {
+        BwSetting::ALL
             .into_iter()
             .flat_map(|bw| {
                 SCALED_GPM_COUNTS
                     .iter()
                     .map(move |&n| ExpConfig::paper_default(n, bw))
             })
-            .collect();
-        lab.prime_suite(suite, &cfgs);
+            .collect()
+    }
+
+    /// Runs the sweep over all three bandwidth settings.
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
+        lab.prime_suite(suite, &Self::plan_configs());
         let mut rows = Vec::new();
         for bw in BwSetting::ALL {
             for &n in &SCALED_GPM_COUNTS {
                 let cfg = ExpConfig::paper_default(n, bw);
                 let vals: Vec<f64> = suite.iter().map(|w| lab.edpse(w, &cfg)).collect();
-                rows.push((bw.label(), n, mean(&vals)));
+                rows.push((
+                    bw.label(),
+                    n,
+                    mean_of("fig8", &format!("{} {n}-GPM", bw.label()), &vals)?,
+                ));
             }
         }
-        Fig8 { rows }
+        Ok(Fig8 { rows })
     }
 
     /// EDPSE at `(bw, gpms)`, if swept.
@@ -317,6 +400,21 @@ impl Fig8 {
         }
         t
     }
+
+    /// The JSON payload: one `{bw, gpms, edpse_pct}` row per point.
+    pub fn to_json(&self) -> Json {
+        let mut rows = Json::array();
+        for &(bw, n, e) in &self.rows {
+            let mut r = Json::object();
+            r.insert("bw", bw);
+            r.insert("gpms", n);
+            r.insert("edpse_pct", e);
+            rows.push(r);
+        }
+        let mut o = Json::object();
+        o.insert("rows", rows);
+        o
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -333,31 +431,40 @@ pub struct Fig9 {
 }
 
 impl Fig9 {
-    /// Runs the sweep.
-    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
-        let series: [(&'static str, BwSetting, Topology); 3] = [
-            ("Ring (1x-BW)", BwSetting::X1, Topology::Ring),
-            ("Switch (1x-BW)", BwSetting::X1, Topology::Switch),
-            ("Switch (2x-BW)", BwSetting::X2, Topology::Switch),
-        ];
-        let cfgs: Vec<ExpConfig> = series
+    const SERIES: [(&'static str, BwSetting, Topology); 3] = [
+        ("Ring (1x-BW)", BwSetting::X1, Topology::Ring),
+        ("Switch (1x-BW)", BwSetting::X1, Topology::Switch),
+        ("Switch (2x-BW)", BwSetting::X2, Topology::Switch),
+    ];
+
+    /// The sweep plan (shared by `run` and the artifact registry).
+    pub fn plan_configs() -> Vec<ExpConfig> {
+        Self::SERIES
             .iter()
             .flat_map(|&(_, bw, topo)| {
                 SCALED_GPM_COUNTS
                     .iter()
                     .map(move |&n| ExpConfig::on_board(n, bw, topo))
             })
-            .collect();
-        lab.prime_suite(suite, &cfgs);
+            .collect()
+    }
+
+    /// Runs the sweep.
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
+        lab.prime_suite(suite, &Self::plan_configs());
         let mut rows = Vec::new();
-        for (label, bw, topo) in series {
+        for (label, bw, topo) in Self::SERIES {
             for &n in &SCALED_GPM_COUNTS {
                 let cfg = ExpConfig::on_board(n, bw, topo);
                 let vals: Vec<f64> = suite.iter().map(|w| lab.edpse(w, &cfg)).collect();
-                rows.push((label, n, mean(&vals)));
+                rows.push((
+                    label,
+                    n,
+                    mean_of("fig9", &format!("{label} {n}-GPM"), &vals)?,
+                ));
             }
         }
-        Fig9 { rows }
+        Ok(Fig9 { rows })
     }
 
     /// EDPSE for a series at a GPM count, if swept.
@@ -386,6 +493,21 @@ impl Fig9 {
         }
         t
     }
+
+    /// The JSON payload: one `{series, gpms, edpse_pct}` row per point.
+    pub fn to_json(&self) -> Json {
+        let mut rows = Json::array();
+        for &(label, n, e) in &self.rows {
+            let mut r = Json::object();
+            r.insert("series", label);
+            r.insert("gpms", n);
+            r.insert("edpse_pct", e);
+            rows.push(r);
+        }
+        let mut o = Json::object();
+        o.insert("rows", rows);
+        o
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -402,27 +524,37 @@ pub struct Fig10 {
 }
 
 impl Fig10 {
-    /// Runs the sweep.
-    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
-        let cfgs: Vec<ExpConfig> = SCALED_GPM_COUNTS
+    /// The sweep plan (shared by `run` and the artifact registry).
+    pub fn plan_configs() -> Vec<ExpConfig> {
+        SCALED_GPM_COUNTS
             .iter()
             .flat_map(|&n| {
                 BwSetting::ALL
                     .into_iter()
                     .map(move |bw| ExpConfig::paper_default(n, bw))
             })
-            .collect();
-        lab.prime_suite(suite, &cfgs);
+            .collect()
+    }
+
+    /// Runs the sweep.
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
+        lab.prime_suite(suite, &Self::plan_configs());
         let mut rows = Vec::new();
         for &n in &SCALED_GPM_COUNTS {
             for bw in BwSetting::ALL {
+                let point = format!("{n}-GPM {}", bw.label());
                 let cfg = ExpConfig::paper_default(n, bw);
                 let speedups: Vec<f64> = suite.iter().map(|w| lab.speedup(w, &cfg)).collect();
                 let energies: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, &cfg)).collect();
-                rows.push((n, bw.label(), geomean(&speedups), mean(&energies)));
+                rows.push((
+                    n,
+                    bw.label(),
+                    geomean_of("fig10", &format!("{point} speedup"), &speedups)?,
+                    mean_of("fig10", &format!("{point} energy"), &energies)?,
+                ));
             }
         }
-        Fig10 { rows }
+        Ok(Fig10 { rows })
     }
 
     /// `(speedup, energy_ratio)` at `(gpms, bw)`, if swept.
@@ -445,6 +577,23 @@ impl Fig10 {
             ]);
         }
         t
+    }
+
+    /// The JSON payload: one `{gpms, bw, speedup, energy_ratio}` row per
+    /// point.
+    pub fn to_json(&self) -> Json {
+        let mut rows = Json::array();
+        for &(n, bw, s, e) in &self.rows {
+            let mut r = Json::object();
+            r.insert("gpms", n);
+            r.insert("bw", bw);
+            r.insert("speedup", s);
+            r.insert("energy_ratio", e);
+            rows.push(r);
+        }
+        let mut o = Json::object();
+        o.insert("rows", rows);
+        o
     }
 }
 
@@ -474,69 +623,96 @@ pub struct PointStudies {
 }
 
 impl PointStudies {
+    /// The sweep plan (shared by `run` and the artifact registry).
+    pub fn plan_configs() -> Vec<ExpConfig> {
+        vec![
+            ExpConfig::paper_default(32, BwSetting::X1),
+            ExpConfig::on_board(32, BwSetting::X2, Topology::Ring),
+            ExpConfig::on_board(32, BwSetting::X4, Topology::Ring),
+            ExpConfig::paper_default(32, BwSetting::X2),
+            ExpConfig::paper_default(32, BwSetting::X4),
+        ]
+    }
+
     /// Runs all point studies.
-    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
-        // Every study point reduces to one of these four simulations (the
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
+        // Every study point reduces to one of these simulations (the
         // energy-model knobs — link pJ/bit, amortization — share counts).
-        lab.prime_suite(
-            suite,
-            &[
-                ExpConfig::paper_default(32, BwSetting::X1),
-                ExpConfig::on_board(32, BwSetting::X2, Topology::Ring),
-                ExpConfig::on_board(32, BwSetting::X4, Topology::Ring),
-                ExpConfig::paper_default(32, BwSetting::X2),
-                ExpConfig::paper_default(32, BwSetting::X4),
-            ],
-        );
-        let edpse_avg = |lab: &Lab, cfg: &ExpConfig| {
+        lab.prime_suite(suite, &Self::plan_configs());
+        let edpse_avg = |lab: &Lab, cfg: &ExpConfig, point: &str| {
             let v: Vec<f64> = suite.iter().map(|w| lab.edpse(w, cfg)).collect();
-            mean(&v)
+            mean_of("point_studies", point, &v)
         };
-        let energy_avg = |lab: &Lab, cfg: &ExpConfig| {
+        let energy_avg = |lab: &Lab, cfg: &ExpConfig, point: &str| {
             let v: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, cfg)).collect();
-            mean(&v)
+            mean_of("point_studies", point, &v)
         };
 
         // Interconnect energy sensitivity.
         let base = ExpConfig::paper_default(32, BwSetting::X1);
         let link_energy_edpse = [1.0, 2.0, 4.0]
             .iter()
-            .map(|&m| (m, edpse_avg(lab, &base.clone().with_link_energy_mult(m))))
-            .collect();
+            .map(|&m| {
+                Ok((
+                    m,
+                    edpse_avg(
+                        lab,
+                        &base.clone().with_link_energy_mult(m),
+                        &format!("link energy x{m:.0}"),
+                    )?,
+                ))
+            })
+            .collect::<Result<_, ArtifactError>>()?;
 
         // 4x the energy buys 2x the bandwidth (stays on board).
         let expensive_fast =
             ExpConfig::on_board(32, BwSetting::X2, Topology::Ring).with_link_energy_mult(4.0);
-        let energy_for_bandwidth_edpse = (edpse_avg(lab, &base), edpse_avg(lab, &expensive_fast));
+        let energy_for_bandwidth_edpse = (
+            edpse_avg(lab, &base, "1x-BW baseline")?,
+            edpse_avg(lab, &expensive_fast, "4x energy for 2x BW")?,
+        );
 
         // Amortization sensitivity at 32-GPM on-package 2x-BW.
         let no_amort = ExpConfig::paper_default(32, BwSetting::X2)
             .with_amortization(ConstantEnergyAmortization::none());
-        let e_none = energy_avg(lab, &no_amort);
-        let d_none = edpse_avg(lab, &no_amort);
+        let e_none = energy_avg(lab, &no_amort, "amortization none")?;
+        let d_none = edpse_avg(lab, &no_amort, "amortization none")?;
         let amortization = [0.25, 0.5]
             .iter()
             .map(|&f| {
+                let point = format!("amortization {:.0}%", f * 100.0);
                 let cfg = ExpConfig::paper_default(32, BwSetting::X2)
                     .with_amortization(ConstantEnergyAmortization::new(f));
-                let e = energy_avg(lab, &cfg);
-                let d = edpse_avg(lab, &cfg);
-                (f, (e_none - e) / e_none * 100.0, d - d_none)
+                let e = energy_avg(lab, &cfg, &point)?;
+                let d = edpse_avg(lab, &cfg, &point)?;
+                Ok((f, (e_none - e) / e_none * 100.0, d - d_none))
             })
-            .collect();
+            .collect::<Result<_, ArtifactError>>()?;
 
         // §V-D: energy reductions at 32 GPMs.
-        let board_1x = energy_avg(lab, &ExpConfig::paper_default(32, BwSetting::X1));
-        let board_4x = energy_avg(lab, &ExpConfig::on_board(32, BwSetting::X4, Topology::Ring));
-        let package_4x = energy_avg(lab, &ExpConfig::paper_default(32, BwSetting::X4));
+        let board_1x = energy_avg(
+            lab,
+            &ExpConfig::paper_default(32, BwSetting::X1),
+            "board 1x-BW",
+        )?;
+        let board_4x = energy_avg(
+            lab,
+            &ExpConfig::on_board(32, BwSetting::X4, Topology::Ring),
+            "board 4x-BW",
+        )?;
+        let package_4x = energy_avg(
+            lab,
+            &ExpConfig::paper_default(32, BwSetting::X4),
+            "package 4x-BW",
+        )?;
 
-        PointStudies {
+        Ok(PointStudies {
             link_energy_edpse,
             energy_for_bandwidth_edpse,
             amortization,
             energy_reduction_bw_only_pct: (board_1x - board_4x) / board_1x * 100.0,
             energy_reduction_package_pct: (board_1x - package_4x) / board_1x * 100.0,
-        }
+        })
     }
 
     /// Renders the studies as a table.
@@ -569,6 +745,42 @@ impl PointStudies {
         ]);
         t
     }
+
+    /// The JSON payload: all §V-C/§V-D study numbers.
+    pub fn to_json(&self) -> Json {
+        let mut link = Json::array();
+        for &(m, e) in &self.link_energy_edpse {
+            let mut r = Json::object();
+            r.insert("link_energy_mult", m);
+            r.insert("edpse_pct", e);
+            link.push(r);
+        }
+        let (base, fast) = self.energy_for_bandwidth_edpse;
+        let mut efb = Json::object();
+        efb.insert("base_edpse_pct", base);
+        efb.insert("fast_edpse_pct", fast);
+        let mut amort = Json::array();
+        for &(f, save, gain) in &self.amortization {
+            let mut r = Json::object();
+            r.insert("fraction", f);
+            r.insert("energy_saving_pct", save);
+            r.insert("edpse_gain_pp", gain);
+            amort.push(r);
+        }
+        let mut o = Json::object();
+        o.insert("link_energy_edpse", link);
+        o.insert("energy_for_bandwidth", efb);
+        o.insert("amortization", amort);
+        o.insert(
+            "energy_reduction_bw_only_pct",
+            self.energy_reduction_bw_only_pct,
+        );
+        o.insert(
+            "energy_reduction_package_pct",
+            self.energy_reduction_package_pct,
+        );
+        o
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -589,8 +801,16 @@ pub struct Headline {
 }
 
 impl Headline {
+    /// The sweep plan (shared by `run` and the artifact registry).
+    pub fn plan_configs() -> Vec<ExpConfig> {
+        vec![
+            ExpConfig::paper_default(32, BwSetting::X1),
+            ExpConfig::paper_default(32, BwSetting::X4),
+        ]
+    }
+
     /// Runs the comparison.
-    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Self {
+    pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
         let naive = ExpConfig::paper_default(32, BwSetting::X1);
         let optimized = ExpConfig::paper_default(32, BwSetting::X4);
         lab.prime_suite(suite, &[naive.clone(), optimized.clone()]);
@@ -600,11 +820,11 @@ impl Headline {
             .map(|w| lab.energy_ratio(w, &optimized))
             .collect();
         let opt_s: Vec<f64> = suite.iter().map(|w| lab.speedup(w, &optimized)).collect();
-        Headline {
-            naive_energy_ratio: mean(&naive_e),
-            optimized_energy_ratio: mean(&opt_e),
-            optimized_speedup: geomean(&opt_s),
-        }
+        Ok(Headline {
+            naive_energy_ratio: mean_of("headline", "naive 32-GPM energy", &naive_e)?,
+            optimized_energy_ratio: mean_of("headline", "optimized 32-GPM energy", &opt_e)?,
+            optimized_speedup: geomean_of("headline", "optimized 32-GPM speedup", &opt_s)?,
+        })
     }
 
     /// Renders the headline numbers.
@@ -627,6 +847,15 @@ impl Headline {
         ]);
         t
     }
+
+    /// The JSON payload: the three §VII headline numbers.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.insert("naive_energy_ratio", self.naive_energy_ratio);
+        o.insert("optimized_energy_ratio", self.optimized_energy_ratio);
+        o.insert("optimized_speedup", self.optimized_speedup);
+        o
+    }
 }
 
 /// The default workload set for the scaling figures (the paper's
@@ -638,6 +867,7 @@ pub fn default_suite() -> Vec<WorkloadSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::artifact::ArtifactErrorKind;
     use workloads::Scale;
 
     fn smoke_suite() -> Vec<WorkloadSpec> {
@@ -651,7 +881,7 @@ mod tests {
     #[test]
     fn fig2_energy_grows_with_gpm_count() {
         let lab = Lab::new(Scale::Smoke);
-        let fig = Fig2::run(&lab, &smoke_suite());
+        let fig = Fig2::run(&lab, &smoke_suite()).unwrap();
         assert_eq!(fig.points.len(), 5);
         let first = fig.points.first().unwrap().1;
         let last = fig.points.last().unwrap().1;
@@ -665,16 +895,31 @@ mod tests {
     #[test]
     fn fig6_edpse_declines_at_scale() {
         let lab = Lab::new(Scale::Smoke);
-        let fig = Fig6::run(&lab, &smoke_suite());
+        let fig = Fig6::run(&lab, &smoke_suite()).unwrap();
         let e2 = fig.all_at(2).unwrap();
         let e32 = fig.all_at(32).unwrap();
         assert!(e2 > e32, "EDPSE must decline: {e2} vs {e32}");
     }
 
     #[test]
+    fn fig6_empty_category_is_a_typed_error_not_a_panic() {
+        let lab = Lab::new(Scale::Smoke);
+        // A compute-only suite leaves the memory category empty.
+        let compute_only: Vec<WorkloadSpec> = scaling_suite()
+            .into_iter()
+            .filter(|w| w.category == Category::Compute)
+            .take(1)
+            .collect();
+        let err = Fig6::run(&lab, &compute_only).unwrap_err();
+        assert_eq!(err.artifact, "fig6");
+        assert_eq!(err.point, "2-GPM memory");
+        assert_eq!(err.kind, ArtifactErrorKind::EmptyMean);
+    }
+
+    #[test]
     fn fig8_more_bandwidth_helps() {
         let lab = Lab::new(Scale::Smoke);
-        let fig = Fig8::run(&lab, &smoke_suite());
+        let fig = Fig8::run(&lab, &smoke_suite()).unwrap();
         let x1 = fig.at(BwSetting::X1, 32).unwrap();
         let x4 = fig.at(BwSetting::X4, 32).unwrap();
         assert!(x4 > x1, "4x-BW must beat 1x-BW at 32 GPMs: {x1} vs {x4}");
@@ -683,11 +928,19 @@ mod tests {
     #[test]
     fn fig10_reports_all_points() {
         let lab = Lab::new(Scale::Smoke);
-        let fig = Fig10::run(&lab, &smoke_suite());
+        let fig = Fig10::run(&lab, &smoke_suite()).unwrap();
         assert_eq!(fig.rows.len(), 15);
         // Smoke-scale grids are tiny (2 CTAs per GPM at 32 modules), so
         // only sanity-check that the sweep produced usable numbers.
         let (s, e) = fig.at(32, BwSetting::X4).unwrap();
         assert!(s > 0.3 && e > 0.0, "s={s} e={e}");
+    }
+
+    #[test]
+    fn empty_suite_fails_with_named_point() {
+        let lab = Lab::new(Scale::Smoke);
+        let err = Fig2::run(&lab, &[]).unwrap_err();
+        assert_eq!(err.artifact, "fig2");
+        assert_eq!(err.point, "2-GPM");
     }
 }

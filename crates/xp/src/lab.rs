@@ -102,8 +102,9 @@ pub struct Lab {
     scale: Scale,
     cache: Arc<ShardedCache<SimKey, Arc<EventCounts>>>,
     executor: SweepExecutor,
-    /// Metrics of the most recent [`Lab::prime`] sweep.
-    last_metrics: Mutex<Option<Arc<SweepMetrics>>>,
+    /// Metrics of every [`Lab::prime`] sweep, in execution order (the
+    /// `xp` driver records the whole history in its run manifest).
+    sweeps: Mutex<Vec<Arc<SweepMetrics>>>,
 }
 
 impl Lab {
@@ -119,7 +120,7 @@ impl Lab {
             scale,
             cache: Arc::new(ShardedCache::for_threads(threads)),
             executor: SweepExecutor::new(threads).with_progress(threads > 1),
-            last_metrics: Mutex::new(None),
+            sweeps: Mutex::new(Vec::new()),
         }
     }
 
@@ -157,7 +158,10 @@ impl Lab {
             .run_keyed(&self.cache, items, move |_key, (w, c)| {
                 simulate(scale, w, c)
             });
-        *self.last_metrics.lock().unwrap() = Some(Arc::clone(&report.metrics));
+        self.sweeps
+            .lock()
+            .unwrap()
+            .push(Arc::clone(&report.metrics));
         report
     }
 
@@ -187,7 +191,12 @@ impl Lab {
 
     /// Metrics of the most recent [`Lab::prime`] sweep, if any ran.
     pub fn last_sweep_metrics(&self) -> Option<Arc<SweepMetrics>> {
-        self.last_metrics.lock().unwrap().clone()
+        self.sweeps.lock().unwrap().last().cloned()
+    }
+
+    /// Metrics of every sweep this lab has run, in execution order.
+    pub fn sweep_history(&self) -> Vec<Arc<SweepMetrics>> {
+        self.sweeps.lock().unwrap().clone()
     }
 
     /// Prints the most recent sweep's summary table to stderr, plus the

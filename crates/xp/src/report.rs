@@ -6,8 +6,10 @@
 //! row per claim; the same checks back the (slow, `--ignored`) full-scale
 //! integration test.
 
+use crate::artifact::{ArtifactError, ArtifactErrorKind};
 use crate::figures::{Fig10, Fig2, Fig6, Fig7, Fig8, Fig9, Headline, PointStudies};
 use crate::lab::Lab;
+use common::json::Json;
 use common::table::TextTable;
 use gpujoule::EnergyComponent;
 use sim::BwSetting;
@@ -32,11 +34,14 @@ pub struct Claim {
 /// on the given workload suite. Validation claims (Table Ib, Fig. 4) are
 /// separate because they need the fitting pipeline — see
 /// [`crate::validation`].
-pub fn evaluate_scaling_claims(lab: &Lab, suite: &[WorkloadSpec]) -> Vec<Claim> {
+pub fn evaluate_scaling_claims(
+    lab: &Lab,
+    suite: &[WorkloadSpec],
+) -> Result<Vec<Claim>, ArtifactError> {
     let mut claims = Vec::new();
 
     // --- Figure 2 ---------------------------------------------------------
-    let fig2 = Fig2::run(lab, suite);
+    let fig2 = Fig2::run(lab, suite)?;
     let monotone = fig2.points.windows(2).all(|w| w[1].1 >= w[0].1 - 0.02);
     let e32 = fig2.points.last().map(|p| p.1).unwrap_or(0.0);
     claims.push(Claim {
@@ -48,7 +53,7 @@ pub fn evaluate_scaling_claims(lab: &Lab, suite: &[WorkloadSpec]) -> Vec<Claim> 
     });
 
     // --- Figure 6 ---------------------------------------------------------
-    let fig6 = Fig6::run(lab, suite);
+    let fig6 = Fig6::run(lab, suite)?;
     let all2 = fig6.all_at(2).unwrap_or(0.0);
     let all32 = fig6.all_at(32).unwrap_or(0.0);
     claims.push(Claim {
@@ -68,8 +73,10 @@ pub fn evaluate_scaling_claims(lab: &Lab, suite: &[WorkloadSpec]) -> Vec<Claim> 
     });
 
     // --- Figure 7 ---------------------------------------------------------
-    let fig7 = Fig7::run(lab, suite);
-    let last = fig7.steps.last().expect("steps");
+    let fig7 = Fig7::run(lab, suite)?;
+    let last = fig7.steps.last().ok_or_else(|| {
+        ArtifactError::new("repro_report", "fig7 steps", ArtifactErrorKind::EmptyMean)
+    })?;
     let constant_dominates = last.components_pct.iter().all(|&(c, v)| {
         c == EnergyComponent::ConstantOverhead
             || v <= last
@@ -117,7 +124,7 @@ pub fn evaluate_scaling_claims(lab: &Lab, suite: &[WorkloadSpec]) -> Vec<Claim> 
     });
 
     // --- Figure 8 ---------------------------------------------------------
-    let fig8 = Fig8::run(lab, suite);
+    let fig8 = Fig8::run(lab, suite)?;
     let x1 = fig8.at(BwSetting::X1, 32).unwrap_or(0.0);
     let x4 = fig8.at(BwSetting::X4, 32).unwrap_or(0.0);
     claims.push(Claim {
@@ -129,7 +136,7 @@ pub fn evaluate_scaling_claims(lab: &Lab, suite: &[WorkloadSpec]) -> Vec<Claim> 
     });
 
     // --- Figure 9 ---------------------------------------------------------
-    let fig9 = Fig9::run(lab, suite);
+    let fig9 = Fig9::run(lab, suite)?;
     let ring = fig9.at("Ring (1x-BW)", 32).unwrap_or(0.0);
     let switch = fig9.at("Switch (1x-BW)", 32).unwrap_or(0.0);
     claims.push(Claim {
@@ -141,7 +148,7 @@ pub fn evaluate_scaling_claims(lab: &Lab, suite: &[WorkloadSpec]) -> Vec<Claim> 
     });
 
     // --- Figure 10 --------------------------------------------------------
-    let fig10 = Fig10::run(lab, suite);
+    let fig10 = Fig10::run(lab, suite)?;
     let (s16, e16) = fig10.at(16, BwSetting::X2).unwrap_or((0.0, f64::MAX));
     let (s32, e32b) = fig10.at(32, BwSetting::X1).unwrap_or((f64::MAX, 0.0));
     claims.push(Claim {
@@ -153,7 +160,7 @@ pub fn evaluate_scaling_claims(lab: &Lab, suite: &[WorkloadSpec]) -> Vec<Claim> 
     });
 
     // --- Point studies ----------------------------------------------------
-    let ps = PointStudies::run(lab, suite);
+    let ps = PointStudies::run(lab, suite)?;
     let (base, quad) = (
         ps.link_energy_edpse.first().map(|&(_, e)| e).unwrap_or(0.0),
         ps.link_energy_edpse.last().map(|&(_, e)| e).unwrap_or(0.0),
@@ -196,7 +203,7 @@ pub fn evaluate_scaling_claims(lab: &Lab, suite: &[WorkloadSpec]) -> Vec<Claim> 
     });
 
     // --- Headline -----------------------------------------------------------
-    let h = Headline::run(lab, suite);
+    let h = Headline::run(lab, suite)?;
     claims.push(Claim {
         id: "H.optimized",
         description: "the optimized 32-GPM design approaches 1-GPM energy at >10x speedup",
@@ -215,7 +222,21 @@ pub fn evaluate_scaling_claims(lab: &Lab, suite: &[WorkloadSpec]) -> Vec<Claim> 
         pass: h.naive_energy_ratio > 1.7,
     });
 
-    claims
+    Ok(claims)
+}
+
+/// Every configuration the scaling claims simulate — the union of the
+/// individual figure plans, for the artifact registry's batch prime.
+pub fn scaling_claims_plan() -> Vec<crate::configs::ExpConfig> {
+    let mut cfgs = Fig2::plan_configs();
+    cfgs.extend(Fig6::plan_configs());
+    cfgs.extend(Fig7::plan_configs());
+    cfgs.extend(Fig8::plan_configs());
+    cfgs.extend(Fig9::plan_configs());
+    cfgs.extend(Fig10::plan_configs());
+    cfgs.extend(PointStudies::plan_configs());
+    cfgs.extend(Headline::plan_configs());
+    cfgs
 }
 
 /// Evaluates the §IV validation claims (Table Ib recovery, Fig. 4a band,
@@ -226,7 +247,7 @@ pub fn evaluate_validation_claims(scale: workloads::Scale) -> Vec<Claim> {
     use silicon::VirtualK40;
 
     let hw = VirtualK40::new();
-    let fitted = crate::validation::fit_model(&hw, scale);
+    let fitted = crate::validation::fit_model_cached(scale);
     let mut claims = Vec::new();
 
     let epi_err = fitted.epi.max_relative_error(&EpiTable::k40());
@@ -282,6 +303,27 @@ pub fn evaluate_validation_claims(scale: workloads::Scale) -> Vec<Claim> {
     claims
 }
 
+/// The JSON form of a claim list: one object per claim plus a summary.
+pub fn claims_to_json(claims: &[Claim]) -> Json {
+    let mut rows = Json::array();
+    for c in claims {
+        let mut o = Json::object();
+        o.insert("id", c.id);
+        o.insert("description", c.description);
+        o.insert("paper", c.paper.as_str());
+        o.insert("measured", c.measured.as_str());
+        o.insert("pass", c.pass);
+        rows.push(o);
+    }
+    let mut summary = Json::object();
+    summary.insert("passed", claims.iter().filter(|c| c.pass).count());
+    summary.insert("total", claims.len());
+    let mut o = Json::object();
+    o.insert("claims", rows);
+    o.insert("summary", summary);
+    o
+}
+
 /// Renders claims as a verdict table.
 pub fn render_claims(claims: &[Claim]) -> TextTable {
     let mut t = TextTable::new(["claim", "paper", "measured", "verdict"]);
@@ -314,7 +356,7 @@ mod tests {
             .iter()
             .map(|n| by_name(n).unwrap())
             .collect();
-        let claims = evaluate_scaling_claims(&lab, &suite);
+        let claims = evaluate_scaling_claims(&lab, &suite).unwrap();
         assert!(claims.len() >= 12);
         let passed = claims.iter().filter(|c| c.pass).count();
         assert!(

@@ -1,0 +1,110 @@
+//! Golden snapshot tests for the artifact JSON schema.
+//!
+//! These pin the *shape* of the emitted JSON (key names, nesting, row
+//! counts), not the floating-point values — the values are covered by
+//! the figure tests and the reproduction verdicts. A failure here means
+//! downstream consumers of `xp run --format json` would break.
+
+use common::json::Json;
+use workloads::{by_name, Scale};
+use xp::{ArtifactRegistry, Lab, RegistryOptions};
+
+fn smoke_suite() -> Vec<workloads::WorkloadSpec> {
+    ["Stream", "Hotspot", "Nekbone-12"]
+        .iter()
+        .map(|n| by_name(n).unwrap())
+        .collect()
+}
+
+fn evaluate(id: &str) -> Json {
+    let registry = ArtifactRegistry::standard(&RegistryOptions::default());
+    let artifact = registry.get(id).expect("artifact registered");
+    let lab = Lab::new(Scale::Smoke);
+    let data = artifact
+        .evaluate(&lab, &smoke_suite())
+        .expect("smoke evaluation succeeds");
+    data.json
+}
+
+/// Round-trips a document through the strict parser and checks the
+/// envelope every artifact shares.
+fn roundtrip(id: &str, json: &Json) -> Json {
+    assert_eq!(json.get("id").and_then(Json::as_str), Some(id));
+    assert!(json.get("title").and_then(Json::as_str).is_some());
+    let compact = Json::parse(&json.render()).expect("compact form parses");
+    let pretty = Json::parse(&json.render_pretty()).expect("pretty form parses");
+    assert_eq!(compact, pretty, "compact and pretty forms must agree");
+    pretty
+}
+
+#[test]
+fn fig2_json_schema_is_stable() {
+    let json = evaluate("fig2");
+    let parsed = roundtrip("fig2", &json);
+
+    // Envelope first, then the payload: one point per GPM count.
+    assert_eq!(parsed.keys()[..2], ["id", "title"]);
+    let points = parsed
+        .get("points")
+        .and_then(Json::as_array)
+        .expect("fig2 payload has a points array");
+    assert_eq!(points.len(), 5, "one point per scaled GPM count");
+    let mut last_gpms = 0.0;
+    for point in points {
+        assert_eq!(point.keys(), vec!["gpms", "energy_ratio"]);
+        let gpms = point.get("gpms").and_then(Json::as_f64).unwrap();
+        assert!(gpms > last_gpms, "points ordered by GPM count");
+        last_gpms = gpms;
+        let ratio = point.get("energy_ratio").and_then(Json::as_f64).unwrap();
+        assert!(ratio >= 1.0, "scaling never reduces energy below ideal");
+    }
+}
+
+#[test]
+fn fig6_json_schema_is_stable() {
+    let json = evaluate("fig6");
+    let parsed = roundtrip("fig6", &json);
+
+    assert_eq!(parsed.keys()[..2], ["id", "title"]);
+    let rows = parsed
+        .get("rows")
+        .and_then(Json::as_array)
+        .expect("fig6 payload has a rows array");
+    assert_eq!(rows.len(), 5, "one row per scaled GPM count");
+    for row in rows {
+        assert_eq!(
+            row.keys(),
+            vec![
+                "gpms",
+                "compute_edpse_pct",
+                "memory_edpse_pct",
+                "all_edpse_pct"
+            ]
+        );
+        for key in ["compute_edpse_pct", "memory_edpse_pct", "all_edpse_pct"] {
+            let v = row.get(key).and_then(Json::as_f64).unwrap();
+            assert!(v > 0.0 && v <= 110.0, "{key} out of range: {v}");
+        }
+    }
+}
+
+#[test]
+fn every_registered_artifact_declares_a_consistent_plan() {
+    // Static schema properties that need no evaluation: unique ids,
+    // non-empty titles, and plans that the driver can merge.
+    let registry = ArtifactRegistry::standard(&RegistryOptions::default());
+    let mut union = xp::SweepPlan::none();
+    for artifact in registry.iter() {
+        assert!(
+            !artifact.title().is_empty(),
+            "{} has no title",
+            artifact.id()
+        );
+        union.merge(artifact.plan());
+    }
+    assert!(union.needs_fit, "validation artifacts require the fit");
+    assert!(
+        union.configs.len() > 50,
+        "the union plan covers the full sweep space"
+    );
+}

@@ -13,7 +13,7 @@ use mmgpu::xp::{default_suite, evaluate_scaling_claims, render_claims, Lab};
 fn full_scale_scaling_claims_pass() {
     let lab = Lab::new(Scale::Full);
     let suite = default_suite();
-    let claims = evaluate_scaling_claims(&lab, &suite);
+    let claims = evaluate_scaling_claims(&lab, &suite).expect("full-scale sweep evaluates");
     println!("{}", render_claims(&claims));
     let failing: Vec<&str> = claims.iter().filter(|c| !c.pass).map(|c| c.id).collect();
     assert!(
