@@ -34,7 +34,7 @@ fn overlap_sweep(threads: usize) -> usize {
         std::thread::sleep(Duration::from_millis(5));
         k
     });
-    report.into_values().len()
+    report.try_into_values().unwrap().len()
 }
 
 fn bench_runtime(c: &mut Criterion) {

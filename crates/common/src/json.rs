@@ -250,6 +250,28 @@ impl Json {
         }
         Ok(value)
     }
+
+    /// Parses a JSON-lines document: one value per line, blank lines
+    /// skipped. Used for append-only journals, where each record is
+    /// written (and fsync'd) independently so a killed run loses at
+    /// most its last line.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<Json>, JsonError> {
+        let mut values = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            values.push(Json::parse(line)?);
+        }
+        Ok(values)
+    }
+
+    /// Renders one JSON-lines record: the compact form plus a newline
+    /// (compact rendering never contains raw newlines, so one record is
+    /// always exactly one line).
+    pub fn render_jsonl_line(&self) -> String {
+        format!("{}\n", self.render())
+    }
 }
 
 fn push_indent(out: &mut String, indent: usize) {
@@ -630,6 +652,19 @@ impl fmt::Display for Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn jsonl_round_trips_and_skips_blank_lines() {
+        let mut a = Json::object();
+        a.insert("artifact", "fig2").insert("status", "ok");
+        let mut b = Json::object();
+        b.insert("artifact", "fig6").insert("status", "failed");
+        let text = format!("{}\n{}", a.render_jsonl_line(), b.render_jsonl_line());
+        let back = Json::parse_jsonl(&text).unwrap();
+        assert_eq!(back, vec![a, b]);
+        assert_eq!(Json::parse_jsonl("").unwrap(), Vec::<Json>::new());
+        assert!(Json::parse_jsonl("{\"x\": }\n").is_err());
+    }
 
     #[test]
     fn renders_scalars() {

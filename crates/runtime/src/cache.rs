@@ -187,8 +187,14 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             }
         };
 
-        // Own the computation, outside any shard lock.
-        let result = catch_unwind(AssertUnwindSafe(compute));
+        // Own the computation, outside any shard lock. An armed
+        // cache-poison fault (see [`crate::faults`]) fires here — after
+        // the in-flight claim — so injected failures exercise the same
+        // waiter-wakeup path as a real panicking computation.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            crate::faults::fire_armed_cache_poison();
+            compute()
+        }));
         let outcome = match result {
             Ok(v) => {
                 let mut shard = self.shard_of(key).lock().unwrap();

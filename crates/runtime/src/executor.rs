@@ -4,6 +4,7 @@
 //! serial output.
 
 use crate::cache::{panic_message, ShardedCache};
+use crate::faults::{self, FaultKind, FaultPlan};
 use crate::metrics::SweepMetrics;
 use crate::pool::{current_worker_index, ThreadPool};
 use std::hash::Hash;
@@ -12,11 +13,49 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// A point that failed instead of producing a value (its job panicked).
+/// Why a sweep point failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepErrorKind {
+    /// The point's computation panicked on its final attempt.
+    Panic,
+    /// The point's final attempt finished after the per-point deadline.
+    DeadlineExceeded,
+}
+
+/// A point that failed instead of producing a value, after exhausting
+/// its [`RetryPolicy`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepError {
-    /// Panic message of the failed point.
+    /// Panic message (or deadline description) of the failed point.
     pub message: String,
+    /// What kind of failure ended the point.
+    pub kind: SweepErrorKind,
+    /// Total attempts made (1 = no retries were available or needed).
+    pub attempts: u32,
+}
+
+impl SweepError {
+    /// A panicked point.
+    pub fn panicked(message: impl Into<String>, attempts: u32) -> Self {
+        SweepError {
+            message: message.into(),
+            kind: SweepErrorKind::Panic,
+            attempts,
+        }
+    }
+
+    /// A point whose attempt outlived the per-point deadline.
+    pub fn timed_out(elapsed: Duration, deadline: Duration, attempts: u32) -> Self {
+        SweepError {
+            message: format!(
+                "point exceeded deadline: {:.3}s > {:.3}s",
+                elapsed.as_secs_f64(),
+                deadline.as_secs_f64()
+            ),
+            kind: SweepErrorKind::DeadlineExceeded,
+            attempts,
+        }
+    }
 }
 
 impl std::fmt::Display for SweepError {
@@ -26,6 +65,70 @@ impl std::fmt::Display for SweepError {
 }
 
 impl std::error::Error for SweepError {}
+
+/// How the executor retries failed sweep points.
+///
+/// The default policy is one attempt, no backoff, no deadline — the
+/// exact semantics the executor had before retries existed.
+///
+/// The deadline is **cooperative**: a std-only runtime cannot preempt a
+/// running closure, so the attempt's elapsed time is checked after it
+/// completes. A late-but-successful attempt is counted as a timeout and
+/// retried (the retry typically hits the cache the slow attempt just
+/// filled, so it is cheap); a late attempt on the last allowed try
+/// fails the point with [`SweepErrorKind::DeadlineExceeded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per point (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `backoff << (n - 1)`, capped at
+    /// `max_backoff`.
+    pub backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Per-point deadline; `None` disables timeout detection.
+    pub point_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::from_secs(1),
+            point_deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `retries` retries (so `retries + 1` attempts)
+    /// with a small exponential backoff.
+    pub fn retries(retries: u32) -> Self {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1).max(1),
+            backoff: Duration::from_millis(10),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sets the per-point deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.point_deadline = Some(deadline);
+        self
+    }
+
+    /// The sleep before attempt number `attempt` (1-based retry index).
+    fn backoff_before(&self, attempt: u32) -> Duration {
+        if self.backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let shift = attempt.saturating_sub(1).min(16);
+        self.backoff
+            .saturating_mul(1 << shift)
+            .min(self.max_backoff)
+    }
+}
 
 /// Per-point outcome: the computed value or the panic that replaced it.
 pub type PointOutcome<O> = Result<O, SweepError>;
@@ -41,16 +144,14 @@ pub struct SweepReport<O> {
 }
 
 impl<O> SweepReport<O> {
-    /// Unwraps every outcome, panicking with the first error message if
-    /// any point failed.
-    pub fn into_values(self) -> Vec<O> {
-        self.outcomes
-            .into_iter()
-            .map(|r| match r {
-                Ok(v) => v,
-                Err(e) => panic!("{e}"),
-            })
-            .collect()
+    /// Every outcome's value, or the first failure if any point failed.
+    pub fn try_into_values(self) -> Result<Vec<O>, SweepError> {
+        self.outcomes.into_iter().collect()
+    }
+
+    /// The first failed outcome, if any point failed.
+    pub fn first_error(&self) -> Option<&SweepError> {
+        self.outcomes.iter().find_map(|r| r.as_ref().err())
     }
 
     /// Number of failed points.
@@ -64,11 +165,10 @@ impl<O> SweepReport<O> {
     pub fn to_json(&self) -> common::json::Json {
         use common::json::Json;
         let mut errors = Json::array();
-        let mut seen: Vec<&str> = Vec::new();
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
         for outcome in &self.outcomes {
             if let Err(e) = outcome {
-                if !seen.contains(&e.message.as_str()) {
-                    seen.push(&e.message);
+                if seen.insert(e.message.as_str()) {
                     errors.push(e.message.as_str());
                 }
             }
@@ -153,6 +253,8 @@ pub struct SweepExecutor {
     pool: Option<ThreadPool>,
     threads: usize,
     progress: bool,
+    policy: RetryPolicy,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl SweepExecutor {
@@ -163,6 +265,8 @@ impl SweepExecutor {
             pool: (threads > 1).then(|| ThreadPool::new(threads)),
             threads,
             progress: false,
+            policy: RetryPolicy::default(),
+            faults: None,
         }
     }
 
@@ -170,6 +274,31 @@ impl SweepExecutor {
     pub fn with_progress(mut self, progress: bool) -> Self {
         self.progress = progress;
         self
+    }
+
+    /// Sets the retry policy for subsequent sweeps.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.set_retry_policy(policy);
+        self
+    }
+
+    /// Arms a fault plan: every attempt of every point consults it.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.set_faults(Some(plan));
+        self
+    }
+
+    /// In-place form of [`Self::with_retry_policy`].
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = RetryPolicy {
+            max_attempts: policy.max_attempts.max(1),
+            ..policy
+        };
+    }
+
+    /// In-place form of [`Self::with_faults`] (`None` disarms).
+    pub fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan.filter(|p| !p.is_noop()).map(Arc::new);
     }
 
     /// Number of worker threads (1 means serial execution).
@@ -279,15 +408,60 @@ impl SweepExecutor {
             let metrics = Arc::clone(&metrics);
             let collector = Arc::clone(&collector);
             let progress = self.progress;
+            let policy = self.policy;
+            let faults = self.faults.clone();
             move |key: K, indices: Vec<usize>, item: I| {
                 let hit = is_cache_hit(&key);
+                // Fault decisions key on the first submission index:
+                // stable across thread counts and duplicate submissions.
+                let point = indices[0];
                 let start = Instant::now();
                 metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-                let outcome = match catch_unwind(AssertUnwindSafe(|| f(&key, &item))) {
-                    Ok(v) => Ok(v),
-                    Err(payload) => Err(SweepError {
-                        message: panic_message(payload.as_ref()),
-                    }),
+                let mut attempt: u32 = 0;
+                let outcome = loop {
+                    let fault = faults.as_ref().and_then(|p| p.decide(point, attempt));
+                    if fault == Some(FaultKind::PoisonCache) {
+                        faults::arm_cache_poison();
+                    }
+                    let attempt_start = Instant::now();
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        match fault {
+                            Some(FaultKind::Panic) => {
+                                panic!("fault injection: forced panic at point {point}")
+                            }
+                            Some(FaultKind::Delay(d)) => std::thread::sleep(d),
+                            _ => {}
+                        }
+                        f(&key, &item)
+                    }));
+                    faults::disarm_cache_poison();
+                    let elapsed = attempt_start.elapsed();
+                    let attempts = attempt + 1;
+                    let attempt_outcome = match result {
+                        Ok(v) => match policy.point_deadline {
+                            Some(deadline) if elapsed > deadline => {
+                                metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                                Err(SweepError::timed_out(elapsed, deadline, attempts))
+                            }
+                            _ => Ok(v),
+                        },
+                        Err(payload) => Err(SweepError::panicked(
+                            panic_message(payload.as_ref()),
+                            attempts,
+                        )),
+                    };
+                    if attempt_outcome.is_ok() || attempts >= policy.max_attempts {
+                        if attempt_outcome.is_err() {
+                            metrics.gave_up.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break attempt_outcome;
+                    }
+                    metrics.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                    let backoff = policy.backoff_before(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
                 };
                 metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
                 metrics
@@ -365,5 +539,108 @@ mod tests {
         assert!(j.get("metrics").unwrap().get("submitted").is_some());
         // The serialized report survives the strict parser.
         assert!(common::json::Json::parse(&j.render()).is_ok());
+    }
+
+    #[test]
+    fn try_into_values_surfaces_the_first_failure() {
+        let executor = SweepExecutor::new(1);
+        let ok = executor.run(vec![1u32, 2], |&n| n);
+        assert_eq!(ok.try_into_values().unwrap(), vec![1, 2]);
+
+        let bad = executor.run(vec![1u32, 2, 3], |&n| {
+            if n > 1 {
+                panic!("bad point {n}");
+            }
+            n
+        });
+        assert!(bad.first_error().is_some());
+        let err = bad.try_into_values().unwrap_err();
+        assert_eq!(err.kind, SweepErrorKind::Panic);
+        assert!(err.message.contains("bad point 2"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_dedup_preserves_submission_order() {
+        let executor = SweepExecutor::new(1);
+        let report = executor.run(vec![3u32, 1, 3, 2], |&n| -> u32 { panic!("err {n}") });
+        let j = report.to_json();
+        let errors: Vec<&str> = j
+            .get("errors")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|e| e.as_str().unwrap())
+            .collect();
+        assert_eq!(errors, vec!["err 3", "err 1", "err 2"]);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        let plan = FaultPlan::new(0).with_forced_panics(&[0, 2]);
+        let executor = SweepExecutor::new(1)
+            .with_retry_policy(RetryPolicy::retries(2))
+            .with_faults(plan);
+        let report = executor.run(vec![10u32, 20, 30], |&n| n * 2);
+        let m = Arc::clone(&report.metrics);
+        assert_eq!(report.try_into_values().unwrap(), vec![20, 40, 60]);
+        assert_eq!(m.retries.load(Ordering::Relaxed), 2);
+        assert_eq!(m.gave_up.load(Ordering::Relaxed), 0);
+        assert_eq!(m.errors.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn sticky_faults_exhaust_retries_and_give_up() {
+        let plan = FaultPlan::new(0)
+            .with_forced_panics(&[1])
+            .with_faulted_attempts(u32::MAX);
+        let executor = SweepExecutor::new(1)
+            .with_retry_policy(RetryPolicy::retries(2))
+            .with_faults(plan);
+        let report = executor.run(vec![10u32, 20], |&n| n);
+        assert_eq!(report.failures(), 1);
+        let err = report.outcomes[1].as_ref().unwrap_err();
+        assert_eq!(err.kind, SweepErrorKind::Panic);
+        assert_eq!(err.attempts, 3);
+        assert_eq!(report.metrics.retries.load(Ordering::Relaxed), 2);
+        assert_eq!(report.metrics.gave_up.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn late_attempts_count_as_timeouts_and_retry() {
+        let plan = FaultPlan::new(0).with_delay_rate(1.0, Duration::from_millis(40));
+        let policy = RetryPolicy::retries(1).with_deadline(Duration::from_millis(15));
+        let executor = SweepExecutor::new(1)
+            .with_retry_policy(policy)
+            .with_faults(plan);
+        let report = executor.run(vec![1u32], |&n| n);
+        // Attempt 0 is delayed past the deadline; the transient fault
+        // clears and attempt 1 succeeds in time.
+        assert_eq!(report.try_into_values().unwrap(), vec![1]);
+
+        // With no retries left, the deadline fails the point.
+        let plan = FaultPlan::new(0).with_delay_rate(1.0, Duration::from_millis(40));
+        let executor = SweepExecutor::new(1)
+            .with_retry_policy(RetryPolicy::default().with_deadline(Duration::from_millis(15)))
+            .with_faults(plan);
+        let report = executor.run(vec![1u32], |&n| n);
+        let err = report.outcomes[0].as_ref().unwrap_err();
+        assert_eq!(err.kind, SweepErrorKind::DeadlineExceeded);
+        assert_eq!(report.metrics.timeouts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn poison_faults_recover_through_the_cache() {
+        let plan = FaultPlan::new(0)
+            .with_poison_rate(1.0)
+            .with_faulted_attempts(1);
+        let executor = SweepExecutor::new(1)
+            .with_retry_policy(RetryPolicy::retries(1))
+            .with_faults(plan);
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new(4));
+        let items: Vec<(u64, u64)> = (0..4).map(|i| (i, i)).collect();
+        let report = executor.run_keyed(&cache, items, |&k, _| k + 100);
+        assert_eq!(report.try_into_values().unwrap(), vec![100, 101, 102, 103]);
+        assert_eq!(cache.len(), 4, "retries repopulate the poisoned slots");
     }
 }

@@ -17,8 +17,15 @@
 //!   collects results by submission index so parallel order never leaks
 //!   into output.
 //! * [`SweepMetrics`] — live counters (completed / cached / in-flight /
-//!   failed), per-point wall times, worker utilization, a periodic
-//!   stderr progress line, and a final summary table.
+//!   failed / retried / timed-out / gave-up), per-point wall times,
+//!   worker utilization, a periodic stderr progress line, and a final
+//!   summary table.
+//! * [`RetryPolicy`] — per-point retries with bounded exponential
+//!   backoff and a cooperative deadline; panicked or timed-out points
+//!   recompute on a fresh cache slot instead of poisoning the report.
+//! * [`FaultPlan`] — deterministic, seeded fault injection (forced
+//!   panics, artificial latency, poisoned cache entries) so every
+//!   recovery path above is testable in CI without real flakiness.
 //!
 //! # Examples
 //!
@@ -31,7 +38,7 @@
 //! // Nine points over three unique keys: each key simulates once.
 //! let items: Vec<(u64, u64)> = (0..9).map(|i| (i % 3, i)).collect();
 //! let report = executor.run_keyed(&cache, items, |key, _item| key * 100);
-//! let values = report.into_values();
+//! let values = report.try_into_values().expect("no point failed");
 //! assert_eq!(values[0], 0);
 //! assert_eq!(values[4], 100);
 //! assert_eq!(values[8], 200);
@@ -40,11 +47,15 @@
 
 pub mod cache;
 pub mod executor;
+pub mod faults;
 pub mod metrics;
 pub mod pool;
 
 pub use cache::{ComputePanicked, ShardedCache};
-pub use executor::{PointOutcome, SweepError, SweepExecutor, SweepReport};
+pub use executor::{
+    PointOutcome, RetryPolicy, SweepError, SweepErrorKind, SweepExecutor, SweepReport,
+};
+pub use faults::{FaultKind, FaultPlan};
 pub use metrics::SweepMetrics;
 pub use pool::ThreadPool;
 

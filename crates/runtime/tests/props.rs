@@ -3,9 +3,9 @@
 //! counts, and panic containment in the executor.
 
 use proptest::prelude::*;
-use runtime::{ShardedCache, SweepExecutor, ThreadPool};
+use runtime::{FaultPlan, RetryPolicy, ShardedCache, SweepExecutor, ThreadPool};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 
 /// A deterministic stand-in for a simulation: expensive enough to overlap
 /// across workers, pure in its key.
@@ -30,13 +30,15 @@ proptest! {
         let serial_cache = Arc::new(ShardedCache::for_threads(1));
         let expected = serial
             .run_keyed(&serial_cache, items.clone(), |&k, _| fake_simulate(k))
-            .into_values();
+            .try_into_values()
+            .unwrap();
 
         let parallel = SweepExecutor::new(threads);
         let parallel_cache = Arc::new(ShardedCache::for_threads(threads));
         let got = parallel
             .run_keyed(&parallel_cache, items, |&k, _| fake_simulate(k))
-            .into_values();
+            .try_into_values()
+            .unwrap();
 
         prop_assert_eq!(expected, got);
     }
@@ -57,7 +59,8 @@ proptest! {
                 counter.fetch_add(1, Ordering::Relaxed);
                 Arc::new(fake_simulate(k))
             })
-            .into_values();
+            .try_into_values()
+            .unwrap();
 
         let unique: std::collections::HashSet<u64> = keys.iter().copied().collect();
         // One computation per distinct key, no matter the thread count.
@@ -130,5 +133,93 @@ proptest! {
             cache.get_or_compute(&poison, || fake_simulate(poison)).unwrap(),
             fake_simulate(poison)
         );
+    }
+
+    /// A panicked in-flight cache entry never deadlocks its waiters: every
+    /// concurrent requester of the panicking key gets an `Err` (or a value
+    /// from a clean recompute), and the slot is recomputable afterwards.
+    #[test]
+    fn panicked_inflight_entry_never_deadlocks_waiters(
+        waiters in 2_usize..8,
+        key in 0_u64..16,
+    ) {
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new(4));
+        let barrier = Arc::new(Barrier::new(waiters + 1));
+
+        // The owner claims the in-flight slot, releases the waiters while
+        // still computing, then panics.
+        let owner = {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let _ = cache.get_or_compute(&key, || {
+                    barrier.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    panic!("injected in-flight failure");
+                });
+            })
+        };
+        let handles: Vec<_> = (0..waiters)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_compute(&key, || fake_simulate(key))
+                })
+            })
+            .collect();
+        owner.join().unwrap();
+        for h in handles {
+            // Each waiter either joined the doomed flight (Err) or arrived
+            // after the slot was cleared and recomputed cleanly (Ok) —
+            // but must never hang.
+            match h.join().unwrap() {
+                Err(e) => prop_assert!(e.message.contains("injected in-flight failure")),
+                Ok(v) => prop_assert_eq!(v, fake_simulate(key)),
+            }
+        }
+
+        // The slot is recomputable: a retried point repopulates it.
+        prop_assert_eq!(
+            cache.get_or_compute(&key, || fake_simulate(key)).unwrap(),
+            fake_simulate(key)
+        );
+        prop_assert_eq!(cache.get(&key), Some(fake_simulate(key)));
+    }
+
+    /// Injected transient faults plus retries reproduce the fault-free
+    /// sweep exactly: same values, repopulated cache, retries recorded.
+    #[test]
+    fn injected_faults_with_retries_match_fault_free(
+        keys in prop::collection::vec(0_u64..24, 1..60),
+        threads in 1_usize..9,
+        seed in 0_u64..1000,
+    ) {
+        let items: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+
+        let clean_cache = Arc::new(ShardedCache::for_threads(1));
+        let expected = SweepExecutor::new(1)
+            .run_keyed(&clean_cache, items.clone(), |&k, _| fake_simulate(k))
+            .try_into_values()
+            .unwrap();
+
+        let plan = FaultPlan::new(seed)
+            .with_panic_rate(0.25)
+            .with_poison_rate(0.25);
+        let faulted = SweepExecutor::new(threads)
+            .with_retry_policy(RetryPolicy::retries(2))
+            .with_faults(plan);
+        let cache = Arc::new(ShardedCache::for_threads(threads));
+        let report = faulted.run_keyed(&cache, items, |&k, _| fake_simulate(k));
+        let retries = report.metrics.retries.load(Ordering::Relaxed);
+        let gave_up = report.metrics.gave_up.load(Ordering::Relaxed);
+        let got = report.try_into_values().unwrap();
+
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(gave_up, 0);
+        // Every faulted point was retried at least once.
+        let unique: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        prop_assert!(retries <= 2 * unique.len());
     }
 }

@@ -49,5 +49,5 @@ pub mod truth;
 
 pub use measure::{Measurement, VirtualK40};
 pub use profile::{HiddenBehavior, KernelActivity, Phase, RunProfile};
-pub use sensor::{PowerSensor, SensorConfig};
+pub use sensor::{arm_sensor_faults, armed_sensor_faults, PowerSensor, SensorConfig, SensorFaults};
 pub use truth::TruthModel;

@@ -31,13 +31,21 @@ pub struct Measurement {
 }
 
 impl Measurement {
-    /// Average measured power over the sampled windows.
+    /// Average measured power over the sampled windows. NaN readings
+    /// (injected sensor glitches) are excluded from the average.
     pub fn average_power(&self) -> Power {
-        if self.samples.is_empty() {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for p in &self.samples {
+            if p.watts().is_finite() {
+                sum += p.watts();
+                n += 1;
+            }
+        }
+        if n == 0 {
             Power::ZERO
         } else {
-            let sum: f64 = self.samples.iter().map(|p| p.watts()).sum();
-            Power::from_watts(sum / self.samples.len() as f64)
+            Power::from_watts(sum / n as f64)
         }
     }
 
@@ -177,7 +185,20 @@ impl VirtualK40 {
             samples.push(sensor.read());
         }
 
-        let measured: Energy = samples.iter().map(|&p| p * refresh).sum();
+        // Integrate reading × window, holding the last finite reading
+        // over NaN glitches — a measurement script cannot integrate NaN,
+        // and holding the previous sample is what NVML pollers
+        // effectively do when a query fails.
+        let mut hold = self.truth.idle_power();
+        let measured: Energy = samples
+            .iter()
+            .map(|&p| {
+                if p.watts().is_finite() {
+                    hold = p;
+                }
+                hold * refresh
+            })
+            .sum();
 
         Measurement {
             name: profile.name().to_string(),
@@ -210,6 +231,8 @@ impl VirtualK40 {
         let mut measured = common::units::Energy::ZERO;
         let mut active = Time::ZERO;
         let mut true_active = common::units::Energy::ZERO;
+        // Holds the last finite reading over NaN glitches (see `measure`).
+        let mut hold = self.truth.idle_power();
 
         for phase in profile.phases() {
             let power = self.true_phase_power(phase);
@@ -228,13 +251,19 @@ impl VirtualK40 {
                         sensor.advance(power, refresh);
                         let r = sensor.read();
                         samples.push(r);
-                        measured += r * refresh;
+                        if r.watts().is_finite() {
+                            hold = r;
+                        }
+                        measured += hold * refresh;
                         left -= refresh;
                     }
                     sensor.advance(power, left);
                     let r = sensor.read();
                     samples.push(r);
-                    measured += r * left;
+                    if r.watts().is_finite() {
+                        hold = r;
+                    }
+                    measured += hold * left;
                 }
             }
         }
@@ -290,6 +319,38 @@ mod tests {
             "long steady run should measure within 3%, got {:.2}%",
             m.sensor_error() * 100.0
         );
+    }
+
+    #[test]
+    fn faulted_sensor_still_yields_finite_nearby_energy() {
+        use crate::sensor::{SensorConfig, SensorFaults};
+        let profile = RunProfile::new("steady").kernel(steady_kernel(1500.0));
+        let clean = VirtualK40::new().measure(&profile);
+        let faulted = VirtualK40::new()
+            .with_sensor(SensorConfig {
+                faults: SensorFaults {
+                    nan_rate: 0.15,
+                    dropout_rate: 0.1,
+                    seed: 99,
+                },
+                ..SensorConfig::k40()
+            })
+            .measure(&profile);
+        // Glitched readings are in the sample trace…
+        assert!(faulted.samples.iter().any(|p| p.watts().is_nan()));
+        // …but the hold-last-finite protocol keeps the integral finite
+        // and close to the clean measurement.
+        let (c, f) = (
+            clean.measured_energy.joules(),
+            faulted.measured_energy.joules(),
+        );
+        assert!(f.is_finite());
+        assert!(
+            (f - c).abs() / c < 0.05,
+            "clean {c:.1} J vs faulted {f:.1} J"
+        );
+        assert!(faulted.average_power().watts().is_finite());
+        assert!(faulted.sensor_error().is_finite());
     }
 
     #[test]

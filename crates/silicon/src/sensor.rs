@@ -9,6 +9,47 @@
 //! reading noise.
 
 use common::units::{Power, Time};
+use std::sync::Mutex;
+
+/// Injected sensor failure modes: NVML driver glitches (NaN readings)
+/// and stale-register dropouts (the previous reading repeats).
+///
+/// Like the noise generator, the fault stream is seeded and
+/// deterministic — the same plan produces the same glitch pattern on
+/// every run, so recovery paths are testable in CI. The default plan
+/// injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SensorFaults {
+    /// Probability per reading of returning NaN.
+    pub nan_rate: f64,
+    /// Probability per reading of repeating the previous reading.
+    pub dropout_rate: f64,
+    /// Seed for the fault stream (independent of the noise stream).
+    pub seed: u64,
+}
+
+impl SensorFaults {
+    /// Whether this plan can ever inject anything.
+    pub fn is_noop(&self) -> bool {
+        self.nan_rate <= 0.0 && self.dropout_rate <= 0.0
+    }
+}
+
+/// Process-wide armed sensor faults, merged into every sensor built
+/// while armed. The `xp` driver arms this from `--faults` because the
+/// fitting pipeline constructs its sensors many layers down; tests that
+/// need isolation should set [`SensorConfig::faults`] directly instead.
+static ARMED_FAULTS: Mutex<Option<SensorFaults>> = Mutex::new(None);
+
+/// Arms process-wide sensor faults (pass `None` to disarm).
+pub fn arm_sensor_faults(faults: Option<SensorFaults>) {
+    *ARMED_FAULTS.lock().unwrap() = faults.filter(|f| !f.is_noop());
+}
+
+/// The currently armed process-wide sensor faults, if any.
+pub fn armed_sensor_faults() -> Option<SensorFaults> {
+    *ARMED_FAULTS.lock().unwrap()
+}
 
 /// Sensor characteristics.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +65,9 @@ pub struct SensorConfig {
     pub quantum_watts: f64,
     /// Seed for the deterministic noise generator.
     pub seed: u64,
+    /// Injected failure modes (none by default; process-wide armed
+    /// faults override this when set).
+    pub faults: SensorFaults,
 }
 
 impl SensorConfig {
@@ -35,6 +79,7 @@ impl SensorConfig {
             noise_watts: 0.4,
             quantum_watts: 0.25,
             seed: 0x004b_3430,
+            faults: SensorFaults::default(),
         }
     }
 
@@ -47,6 +92,7 @@ impl SensorConfig {
             noise_watts: 0.0,
             quantum_watts: 0.0,
             seed: 0,
+            faults: SensorFaults::default(),
         }
     }
 }
@@ -76,18 +122,31 @@ impl Default for SensorConfig {
 #[derive(Debug, Clone)]
 pub struct PowerSensor {
     config: SensorConfig,
+    faults: SensorFaults,
     filtered: f64,
     rng_state: u64,
+    fault_rng: u64,
+    /// Last value returned by [`PowerSensor::read`] (what a dropout
+    /// repeats); starts at the settled initial power.
+    last_reading: f64,
 }
 
 impl PowerSensor {
     /// Creates a sensor settled at `initial` power (e.g. idle power).
+    ///
+    /// Process-wide faults armed via [`arm_sensor_faults`] take
+    /// precedence over [`SensorConfig::faults`].
     pub fn new(config: SensorConfig, initial: Power) -> Self {
         let rng_state = config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let faults = armed_sensor_faults().unwrap_or(config.faults);
+        let fault_rng = (config.seed ^ faults.seed).wrapping_mul(0xD129_0B2C_2F6C_64A5) | 1;
         PowerSensor {
             config,
+            faults,
             filtered: initial.watts(),
             rng_state,
+            fault_rng,
+            last_reading: initial.watts(),
         }
     }
 
@@ -111,7 +170,9 @@ impl PowerSensor {
     }
 
     /// Takes one reading: the filtered value plus noise, quantized, clamped
-    /// at zero.
+    /// at zero. Injected faults apply last: a dropout repeats the previous
+    /// reading, a NaN glitch returns `NaN` (measurement protocols must
+    /// tolerate both — see `measure`).
     pub fn read(&mut self) -> Power {
         let noisy = self.filtered + self.noise();
         let q = self.config.quantum_watts;
@@ -120,7 +181,38 @@ impl PowerSensor {
         } else {
             noisy
         };
-        Power::from_watts(quantized.max(0.0))
+        let clean = quantized.max(0.0);
+        let value = match self.roll_fault() {
+            SensorFaultKind::Nan => f64::NAN,
+            SensorFaultKind::Dropout => self.last_reading,
+            SensorFaultKind::None => clean,
+        };
+        if value.is_finite() {
+            self.last_reading = value;
+        }
+        Power::from_watts(value)
+    }
+
+    /// Draws from the fault stream: which fault (if any) hits this
+    /// reading. Advances the fault RNG exactly once per reading so the
+    /// glitch pattern is independent of the noise settings.
+    fn roll_fault(&mut self) -> SensorFaultKind {
+        if self.faults.is_noop() {
+            return SensorFaultKind::None;
+        }
+        let mut x = self.fault_rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.fault_rng = x;
+        let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.faults.nan_rate {
+            SensorFaultKind::Nan
+        } else if u < self.faults.nan_rate + self.faults.dropout_rate {
+            SensorFaultKind::Dropout
+        } else {
+            SensorFaultKind::None
+        }
     }
 
     /// Gaussian-ish noise via the sum of three uniforms (Irwin–Hall),
@@ -144,6 +236,12 @@ impl PowerSensor {
         // Var(sum of 3 uniforms(-0.5,0.5)) = 3/12 = 0.25 → sd 0.5.
         sum * 2.0 * self.config.noise_watts
     }
+}
+
+enum SensorFaultKind {
+    None,
+    Nan,
+    Dropout,
 }
 
 #[cfg(test)]
@@ -240,6 +338,64 @@ mod tests {
         let mut s = PowerSensor::new(SensorConfig::k40(), Power::from_watts(0.0));
         for _ in 0..100 {
             assert!(s.read().watts() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn nan_faults_poison_single_readings_only() {
+        let cfg = SensorConfig {
+            faults: SensorFaults {
+                nan_rate: 0.5,
+                dropout_rate: 0.0,
+                seed: 11,
+            },
+            ..SensorConfig::k40()
+        };
+        let mut s = PowerSensor::new(cfg, Power::from_watts(62.0));
+        let readings: Vec<f64> = (0..200).map(|_| s.read().watts()).collect();
+        let nans = readings.iter().filter(|w| w.is_nan()).count();
+        assert!((50..150).contains(&nans), "got {nans} NaNs");
+        // Finite readings between glitches stay sane.
+        for w in readings.iter().filter(|w| w.is_finite()) {
+            assert!((*w - 62.0).abs() < 5.0, "reading {w}");
+        }
+    }
+
+    #[test]
+    fn dropouts_repeat_the_previous_reading() {
+        let cfg = SensorConfig {
+            noise_watts: 0.0,
+            quantum_watts: 0.0,
+            faults: SensorFaults {
+                nan_rate: 0.0,
+                dropout_rate: 1.0,
+                seed: 1,
+            },
+            ..SensorConfig::k40()
+        };
+        let mut s = PowerSensor::new(cfg, Power::from_watts(62.0));
+        // Every reading drops out: the settled initial value repeats
+        // forever, no matter what the filter tracks.
+        s.advance(Power::from_watts(200.0), Time::from_secs(1.0));
+        assert_eq!(s.read().watts(), 62.0);
+        assert_eq!(s.read().watts(), 62.0);
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_per_seed() {
+        let cfg = SensorConfig {
+            faults: SensorFaults {
+                nan_rate: 0.3,
+                dropout_rate: 0.2,
+                seed: 77,
+            },
+            ..SensorConfig::k40()
+        };
+        let mut a = PowerSensor::new(cfg.clone(), Power::from_watts(62.0));
+        let mut b = PowerSensor::new(cfg, Power::from_watts(62.0));
+        for _ in 0..50 {
+            let (ra, rb) = (a.read().watts(), b.read().watts());
+            assert!(ra == rb || (ra.is_nan() && rb.is_nan()));
         }
     }
 

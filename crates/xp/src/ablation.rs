@@ -108,7 +108,8 @@ impl AblationStudy {
     pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Result<Self, ArtifactError> {
         let variants = variants(gpms);
         let cfgs: Vec<ExpConfig> = variants.iter().map(|(_, _, c)| c.clone()).collect();
-        lab.prime_suite(suite, &cfgs);
+        lab.prime_suite(suite, &cfgs)
+            .map_err(|e| ArtifactError::from_sweep("ablation", e))?;
 
         let rows = variants
             .into_iter()

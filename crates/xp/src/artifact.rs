@@ -66,6 +66,16 @@ impl ArtifactError {
         }
     }
 
+    /// Wraps a failed sweep prime, naming the artifact whose plan was
+    /// being simulated.
+    pub fn from_sweep(artifact: impl Into<String>, err: runtime::SweepError) -> Self {
+        ArtifactError::new(
+            artifact,
+            "sweep prime",
+            ArtifactErrorKind::Sweep(err.message),
+        )
+    }
+
     /// The serialized form recorded in run manifests.
     pub fn to_json(&self) -> Json {
         let mut o = Json::object();

@@ -14,15 +14,18 @@
 //! `manifest.json` recording the configuration digest, suite, thread
 //! count, wall time, and the prime sweep's report and metrics.
 
-use crate::artifact::SweepPlan;
+use crate::artifact::{ArtifactError, ArtifactErrorKind, SweepPlan};
 use crate::configs::ExpConfig;
 use crate::figures::default_suite;
 use crate::lab::Lab;
 use crate::registry::{ArtifactRegistry, RegistryOptions};
 use crate::validation;
 use common::json::Json;
+use runtime::{FaultPlan, RetryPolicy};
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use workloads::Scale;
 
 /// Output format for `xp run`.
@@ -63,6 +66,14 @@ struct RunOptions {
     validation: bool,
     format: Format,
     out: Option<PathBuf>,
+    /// Skip journaled artifacts whose config digest still matches.
+    resume: bool,
+    /// Retries per sweep point beyond the first attempt.
+    retries: u32,
+    /// Cooperative per-point deadline.
+    point_timeout: Option<Duration>,
+    /// Parsed `--faults` specification, if any.
+    faults: Option<FaultSpec>,
 }
 
 const USAGE: &str = "usage: xp <command> [options]
@@ -78,7 +89,114 @@ run options:
   --no-validation          skip the fitting pipeline in repro_report/all_figures
   --format text|json|both  output format (default: text)
   --out DIR                write one <id>.json per artifact plus manifest.json
+                           and journal.jsonl (one record per finished artifact)
+  --resume DIR             like --out DIR, but skip artifacts already recorded
+                           in DIR/journal.jsonl with a matching config digest
+  --retries N              retry failed sweep points up to N times (default: 0)
+  --point-timeout-ms MS    per-point deadline; late points count as timeouts
+                           and are retried under --retries
+  --faults SPEC            deterministic fault injection, e.g.
+                           seed=7,panic=0.1,delay=0.05,delay-ms=100,poison=0.1,nan=0.05,dropout=0.05
 ";
+
+/// Parsed `--faults` specification: rates for each injected fault kind
+/// plus the seed that makes the schedule deterministic.
+#[derive(Debug, Clone, PartialEq)]
+struct FaultSpec {
+    seed: u64,
+    panic: f64,
+    delay: f64,
+    delay_ms: u64,
+    poison: f64,
+    nan: f64,
+    dropout: f64,
+}
+
+impl FaultSpec {
+    fn parse(spec: &str) -> Result<FaultSpec, String> {
+        let mut f = FaultSpec {
+            seed: 0,
+            panic: 0.0,
+            delay: 0.0,
+            delay_ms: 100,
+            poison: 0.0,
+            nan: 0.0,
+            dropout: 0.0,
+        };
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("--faults: expected key=value, got {part:?}"))?;
+            let rate = |what: &str| -> Result<f64, String> {
+                let v: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--faults: {what} expects a number, got {value:?}"))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("--faults: {what} must be in [0, 1], got {value}"));
+                }
+                Ok(v)
+            };
+            match key.trim() {
+                "seed" => {
+                    f.seed = value
+                        .parse()
+                        .map_err(|_| format!("--faults: seed expects an integer, got {value:?}"))?
+                }
+                "panic" => f.panic = rate("panic")?,
+                "delay" => f.delay = rate("delay")?,
+                "delay-ms" => {
+                    f.delay_ms = value.parse().map_err(|_| {
+                        format!("--faults: delay-ms expects an integer, got {value:?}")
+                    })?
+                }
+                "poison" => f.poison = rate("poison")?,
+                "nan" => f.nan = rate("nan")?,
+                "dropout" => f.dropout = rate("dropout")?,
+                other => return Err(format!("--faults: unknown key {other:?}")),
+            }
+        }
+        Ok(f)
+    }
+
+    /// The runtime half: panics, latency, poisoned cache entries.
+    fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::new(self.seed)
+            .with_panic_rate(self.panic)
+            .with_delay_rate(self.delay, Duration::from_millis(self.delay_ms))
+            .with_poison_rate(self.poison)
+    }
+
+    /// The silicon half: sensor NaN glitches and dropouts.
+    fn sensor_faults(&self) -> Option<silicon::SensorFaults> {
+        let f = silicon::SensorFaults {
+            nan_rate: self.nan,
+            dropout_rate: self.dropout,
+            seed: self.seed,
+        };
+        (!f.is_noop()).then_some(f)
+    }
+}
+
+/// Disarms process-wide sensor faults when the run ends, on every exit
+/// path.
+struct SensorFaultGuard;
+
+impl Drop for SensorFaultGuard {
+    fn drop(&mut self) {
+        silicon::arm_sensor_faults(None);
+    }
+}
+
+/// Strict `--threads` parsing: the historical lenient warn-and-default
+/// path hid typos like `--threads 08x` behind surprising autodetection.
+fn parse_threads(value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "xp run: --threads expects a positive integer, got {value:?} (e.g. --threads 4)"
+        )),
+    }
+}
 
 fn parse(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().peekable();
@@ -101,19 +219,21 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 validation: true,
                 format: Format::Text,
                 out: None,
+                resume: false,
+                retries: 0,
+                point_timeout: None,
+                faults: None,
             };
+            let mut explicit_out = false;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--smoke" => opts.scale = Scale::Smoke,
                     "--no-validation" => opts.validation = false,
                     "--threads" => {
-                        // Lenient like the historical binaries: a missing
-                        // or unparsable value warns and keeps the default.
-                        let requested = it.next().and_then(|v| v.parse().ok());
-                        if requested.is_none() {
-                            eprintln!("warning: --threads expects a positive integer");
-                        }
-                        opts.threads = runtime::resolve_threads(requested);
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "xp run: --threads: missing value".to_string())?;
+                        opts.threads = parse_threads(v)?;
                     }
                     "--format" => {
                         let f = it
@@ -131,20 +251,55 @@ fn parse(args: &[String]) -> Result<Command, String> {
                             .next()
                             .ok_or_else(|| "--out: missing directory".to_string())?;
                         opts.out = Some(PathBuf::from(dir));
+                        explicit_out = true;
+                    }
+                    "--resume" => {
+                        let dir = it
+                            .next()
+                            .ok_or_else(|| "--resume: missing directory".to_string())?;
+                        opts.out = Some(PathBuf::from(dir));
+                        opts.resume = true;
+                    }
+                    "--retries" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "xp run: --retries: missing value".to_string())?;
+                        opts.retries = v.parse().map_err(|_| {
+                            format!("xp run: --retries expects a non-negative integer, got {v:?}")
+                        })?;
+                    }
+                    "--point-timeout-ms" => {
+                        let v = it.next().ok_or_else(|| {
+                            "xp run: --point-timeout-ms: missing value".to_string()
+                        })?;
+                        let ms: u64 = v.parse().map_err(|_| {
+                            format!("xp run: --point-timeout-ms expects milliseconds, got {v:?}")
+                        })?;
+                        if ms == 0 {
+                            return Err("xp run: --point-timeout-ms must be positive".to_string());
+                        }
+                        opts.point_timeout = Some(Duration::from_millis(ms));
+                    }
+                    "--faults" => {
+                        let spec = it
+                            .next()
+                            .ok_or_else(|| "xp run: --faults: missing specification".to_string())?;
+                        opts.faults = Some(FaultSpec::parse(spec)?);
                     }
                     other if other.starts_with("--threads=") => {
-                        let v = &other["--threads=".len()..];
-                        let requested = v.parse().ok();
-                        if requested.is_none() {
-                            eprintln!("warning: --threads expects a positive integer, got {v:?}");
-                        }
-                        opts.threads = runtime::resolve_threads(requested);
+                        opts.threads = parse_threads(&other["--threads=".len()..])?;
                     }
                     other if other.starts_with("--") => {
                         return Err(format!("xp run: unknown option {other}"));
                     }
                     id => opts.ids.push(id.to_string()),
                 }
+            }
+            if opts.resume && explicit_out {
+                return Err(
+                    "xp run: --out and --resume are mutually exclusive (resume implies the directory)"
+                        .to_string(),
+                );
             }
             if opts.ids.is_empty() {
                 return Err(
@@ -157,17 +312,93 @@ fn parse(args: &[String]) -> Result<Command, String> {
     }
 }
 
+/// One FNV-1a step over a string.
+fn fnv1a(mut h: u64, s: &str) -> u64 {
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// FNV-1a over the Debug form of every planned config: a stable,
 /// dependency-free fingerprint of what the sweep covered.
 fn config_digest(configs: &[ExpConfig]) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = FNV_OFFSET;
     for cfg in configs {
-        for b in format!("{cfg:?}\n").bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        h = fnv1a(h, &format!("{cfg:?}\n"));
     }
     format!("{h:016x}")
+}
+
+/// Per-artifact fingerprint over everything its journaled result depends
+/// on: problem scale, validation mode, and the artifact's own sweep plan.
+/// `--resume` only trusts a journal record whose digest still matches.
+fn artifact_digest(plan: &SweepPlan, scale: Scale, validation: bool) -> String {
+    let mut h = fnv1a(
+        FNV_OFFSET,
+        &format!("{scale:?}|{validation}|{}\n", plan.needs_fit),
+    );
+    for cfg in &plan.configs {
+        h = fnv1a(h, &format!("{cfg:?}\n"));
+    }
+    format!("{h:016x}")
+}
+
+/// Creates the output directory and proves it is writable *before* any
+/// expensive simulation work starts, so a bad `--out` fails in
+/// milliseconds instead of after the sweep.
+fn prepare_out_dir(dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("xp run: cannot create {}: {e}", dir.display()))?;
+    let probe = dir.join(".xp-write-probe");
+    std::fs::write(&probe, b"probe\n").map_err(|e| {
+        format!(
+            "xp run: {} is not writable: {e} (fix permissions or pick another --out)",
+            dir.display()
+        )
+    })?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
+}
+
+/// Reads `journal.jsonl` from a prior `--out` run, keeping the last
+/// record per artifact id. A missing journal means nothing to resume;
+/// a corrupt one is an error (silently rerunning everything would mask
+/// data loss).
+fn load_journal(dir: &Path) -> Result<Vec<(String, Json)>, String> {
+    let path = dir.join("journal.jsonl");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!(
+                "xp run: no journal at {}; running everything",
+                path.display()
+            );
+            return Ok(Vec::new());
+        }
+        Err(e) => return Err(format!("xp run: cannot read {}: {e}", path.display())),
+    };
+    let records = Json::parse_jsonl(&text)
+        .map_err(|e| format!("xp run: {} is corrupt: {e}", path.display()))?;
+    let mut latest: Vec<(String, Json)> = Vec::new();
+    for rec in records {
+        let Some(id) = rec.get("artifact").and_then(Json::as_str) else {
+            return Err(format!(
+                "xp run: {}: record missing `artifact`",
+                path.display()
+            ));
+        };
+        let id = id.to_string();
+        if let Some(slot) = latest.iter_mut().find(|(k, _)| *k == id) {
+            slot.1 = rec;
+        } else {
+            latest.push((id, rec));
+        }
+    }
+    Ok(latest)
 }
 
 /// Entry point for the `xp` binary. Returns the process exit code:
@@ -217,13 +448,82 @@ fn run(opts: &RunOptions) -> i32 {
         }
     }
 
+    // Fail fast on an unusable --out before any simulation work.
+    if let Some(dir) = &opts.out {
+        if let Err(msg) = prepare_out_dir(dir) {
+            eprintln!("{msg}");
+            return 1;
+        }
+    }
+
+    // Prior journal records (last per artifact) when resuming.
+    let prior: Vec<(String, Json)> = if opts.resume {
+        match load_journal(opts.out.as_deref().expect("--resume implies --out")) {
+            Ok(j) => j,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return 1;
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
     let started = Instant::now();
-    let lab = Lab::with_threads(opts.scale, opts.threads);
+
+    // Decide, per artifact, whether a journaled result still stands:
+    // status ok, same config digest, artifact file still on disk.
+    let mut digests: Vec<(String, String)> = Vec::new();
+    let mut to_run: Vec<&str> = Vec::new();
+    let mut resumed: Vec<&str> = Vec::new();
+    for id in &ids {
+        let art_digest = artifact_digest(
+            &registry.get(id).unwrap().plan(),
+            opts.scale,
+            opts.validation,
+        );
+        let keep = opts.resume
+            && prior.iter().any(|(k, rec)| {
+                k == *id
+                    && rec.get("status").and_then(Json::as_str) == Some("ok")
+                    && rec.get("digest").and_then(Json::as_str) == Some(art_digest.as_str())
+            })
+            && opts
+                .out
+                .as_ref()
+                .map(|d| d.join(format!("{id}.json")).is_file())
+                .unwrap_or(false);
+        digests.push(((*id).to_string(), art_digest));
+        if keep {
+            resumed.push(id);
+        } else {
+            to_run.push(id);
+        }
+    }
+    if opts.resume {
+        eprintln!(
+            "xp run: resuming; {} artifact(s) up to date, {} to run",
+            resumed.len(),
+            to_run.len()
+        );
+    }
+
+    let mut lab = Lab::with_threads(opts.scale, opts.threads);
+    let mut policy = RetryPolicy::retries(opts.retries);
+    if let Some(deadline) = opts.point_timeout {
+        policy = policy.with_deadline(deadline);
+    }
+    lab = lab.with_retry_policy(policy);
+    if let Some(spec) = &opts.faults {
+        lab = lab.with_faults(spec.fault_plan());
+        silicon::arm_sensor_faults(spec.sensor_faults());
+    }
+    let _sensor_guard = SensorFaultGuard;
     let suite = default_suite();
 
-    // Union the selected artifacts' plans into one sweep.
+    // Union the plans of the artifacts that will actually run.
     let mut plan = SweepPlan::none();
-    for id in &ids {
+    for id in &to_run {
         plan.merge(registry.get(id).unwrap().plan());
     }
     let mut configs: Vec<ExpConfig> = Vec::new();
@@ -241,60 +541,134 @@ fn run(opts: &RunOptions) -> i32 {
     }
 
     // One batch prime through the executor; artifact-internal primes
-    // against the same points become cache hits.
+    // against the same points become cache hits. A fully-resumed batch
+    // primes nothing.
     let mut points = Vec::with_capacity(suite.len() * (configs.len() + 1));
-    for w in &suite {
-        points.push((w.clone(), ExpConfig::baseline()));
-        for cfg in &configs {
-            points.push((w.clone(), cfg.clone()));
+    if !to_run.is_empty() {
+        for w in &suite {
+            points.push((w.clone(), ExpConfig::baseline()));
+            for cfg in &configs {
+                points.push((w.clone(), cfg.clone()));
+            }
         }
     }
     let sweep_report = lab.prime(&points);
 
-    if let Some(dir) = &opts.out {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("xp run: cannot create {}: {e}", dir.display());
-            return 1;
+    // The journal is rewritten each run: surviving records are carried
+    // over as artifacts are visited, fresh records appended and flushed
+    // as each artifact finishes, so a crash loses at most the artifact
+    // in flight.
+    let mut journal_file = match &opts.out {
+        Some(dir) => {
+            let path = dir.join("journal.jsonl");
+            match std::fs::File::create(&path) {
+                Ok(f) => Some(f),
+                Err(e) => {
+                    eprintln!("xp run: cannot write {}: {e}", path.display());
+                    return 1;
+                }
+            }
         }
-    }
+        None => None,
+    };
+    let journal_append = |file: &mut Option<std::fs::File>, rec: &Json| -> Result<(), String> {
+        if let Some(f) = file.as_mut() {
+            f.write_all(rec.render_jsonl_line().as_bytes())
+                .and_then(|()| f.flush())
+                .map_err(|e| format!("xp run: cannot append to journal: {e}"))?;
+        }
+        Ok(())
+    };
 
     let mut manifest_artifacts = Json::array();
+    let mut failures: Vec<ArtifactError> = Vec::new();
     let multi = ids.len() > 1;
     for id in &ids {
         let artifact = registry.get(id).unwrap();
-        let eval_started = Instant::now();
-        let data = match artifact.evaluate(&lab, &suite) {
-            Ok(data) => data,
-            Err(err) => {
-                eprintln!("xp run: {err}");
-                return 1;
-            }
-        };
-        let elapsed = eval_started.elapsed().as_secs_f64();
-
-        if opts.format.wants_text() {
-            if multi {
-                println!("== {id} ==");
-            }
-            print!("{}", data.text);
-        }
+        let art_digest = digests
+            .iter()
+            .find(|(k, _)| k == *id)
+            .map(|(_, d)| d.clone())
+            .unwrap();
 
         let mut entry = Json::object();
         entry.insert("id", artifact.id());
         entry.insert("title", artifact.title());
-        entry.insert("eval_secs", elapsed);
-        if let Some(dir) = &opts.out {
-            let file = format!("{id}.json");
-            let path = dir.join(&file);
-            if let Err(e) = std::fs::write(&path, format!("{}\n", data.json.render_pretty())) {
-                eprintln!("xp run: cannot write {}: {e}", path.display());
+
+        if resumed.contains(id) {
+            eprintln!("xp run: {id}: up to date, skipped (resume)");
+            entry.insert("resumed", true);
+            entry.insert("file", format!("{id}.json").as_str());
+            manifest_artifacts.push(entry);
+            let rec = prior
+                .iter()
+                .find(|(k, _)| k == *id)
+                .map(|(_, r)| r.clone())
+                .unwrap();
+            if let Err(msg) = journal_append(&mut journal_file, &rec) {
+                eprintln!("{msg}");
                 return 1;
             }
-            entry.insert("file", file.as_str());
-        } else if opts.format.wants_json() {
-            println!("{}", data.json.render_pretty());
+            continue;
         }
+
+        let eval_started = Instant::now();
+        // Isolate each artifact: a panic (e.g. an injected fault that
+        // exhausted its retries) fails this artifact, not the batch.
+        let outcome = catch_unwind(AssertUnwindSafe(|| artifact.evaluate(&lab, &suite)));
+        let elapsed = eval_started.elapsed().as_secs_f64();
+        let result = match outcome {
+            Ok(r) => r,
+            Err(payload) => Err(ArtifactError::new(
+                *id,
+                "evaluate",
+                ArtifactErrorKind::Sweep(runtime::cache::panic_message(payload.as_ref())),
+            )),
+        };
+        entry.insert("eval_secs", elapsed);
+
+        let mut journal_rec = Json::object();
+        journal_rec.insert("artifact", *id);
+        journal_rec.insert("digest", art_digest.as_str());
+
+        match result {
+            Ok(data) => {
+                if opts.format.wants_text() {
+                    if multi {
+                        println!("== {id} ==");
+                    }
+                    print!("{}", data.text);
+                }
+                journal_rec.insert("status", "ok");
+                if let Some(dir) = &opts.out {
+                    let file = format!("{id}.json");
+                    let path = dir.join(&file);
+                    if let Err(e) =
+                        std::fs::write(&path, format!("{}\n", data.json.render_pretty()))
+                    {
+                        eprintln!("xp run: cannot write {}: {e}", path.display());
+                        return 1;
+                    }
+                    entry.insert("file", file.as_str());
+                    journal_rec.insert("file", file.as_str());
+                } else if opts.format.wants_json() {
+                    println!("{}", data.json.render_pretty());
+                }
+            }
+            Err(err) => {
+                eprintln!("xp run: {err} (continuing with remaining artifacts)");
+                entry.insert("error", err.to_json());
+                journal_rec.insert("status", "failed");
+                journal_rec.insert("error", err.to_string().as_str());
+                failures.push(err);
+            }
+        }
+        journal_rec.insert("eval_secs", elapsed);
         manifest_artifacts.push(entry);
+        if let Err(msg) = journal_append(&mut journal_file, &journal_rec) {
+            eprintln!("{msg}");
+            return 1;
+        }
     }
 
     if let Some(dir) = &opts.out {
@@ -311,6 +685,12 @@ fn run(opts: &RunOptions) -> i32 {
         }
         manifest.insert("suite", suite_names);
         manifest.insert("artifacts", manifest_artifacts);
+        let mut failed = Json::array();
+        for err in &failures {
+            failed.push(err.to_json());
+        }
+        manifest.insert("failed_artifacts", failed);
+        manifest.insert("resumed_artifacts", resumed.len());
         manifest.insert("sweep", sweep_report.to_json());
         let mut history = Json::array();
         for m in lab.sweep_history() {
@@ -332,7 +712,16 @@ fn run(opts: &RunOptions) -> i32 {
     }
 
     lab.print_sweep_summary();
-    0
+    if failures.is_empty() {
+        0
+    } else {
+        eprintln!(
+            "xp run: {} of {} artifact(s) failed",
+            failures.len(),
+            ids.len()
+        );
+        1
+    }
 }
 
 /// `xp check <dir>`: every JSON file `run --out` emitted must re-parse
@@ -438,6 +827,12 @@ mod tests {
             "both",
             "--out",
             "results",
+            "--retries",
+            "3",
+            "--point-timeout-ms",
+            "1500",
+            "--faults",
+            "seed=7,panic=0.2,poison=0.1",
         ])) else {
             panic!("expected a run command");
         };
@@ -447,6 +842,58 @@ mod tests {
         assert!(!opts.validation);
         assert_eq!(opts.format, Format::Both);
         assert_eq!(opts.out.as_deref(), Some(Path::new("results")));
+        assert!(!opts.resume);
+        assert_eq!(opts.retries, 3);
+        assert_eq!(opts.point_timeout, Some(Duration::from_millis(1500)));
+        let spec = opts.faults.expect("faults parsed");
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.panic, 0.2);
+        assert_eq!(spec.poison, 0.1);
+        assert_eq!(spec.nan, 0.0);
+    }
+
+    #[test]
+    fn threads_parsing_is_strict() {
+        assert!(parse(&argv(&["run", "fig2", "--threads", "0"])).is_err());
+        assert!(parse(&argv(&["run", "fig2", "--threads", "two"])).is_err());
+        assert!(parse(&argv(&["run", "fig2", "--threads"])).is_err());
+        assert!(parse(&argv(&["run", "fig2", "--threads=08x"])).is_err());
+        let Ok(Command::Run(opts)) = parse(&argv(&["run", "fig2", "--threads=3"])) else {
+            panic!("expected a run command");
+        };
+        assert_eq!(opts.threads, 3);
+    }
+
+    #[test]
+    fn resume_and_out_are_mutually_exclusive() {
+        assert!(parse(&argv(&["run", "fig2", "--out", "a", "--resume", "a"])).is_err());
+        let Ok(Command::Run(opts)) = parse(&argv(&["run", "fig2", "--resume", "prior"])) else {
+            panic!("expected a run command");
+        };
+        assert!(opts.resume);
+        assert_eq!(opts.out.as_deref(), Some(Path::new("prior")));
+    }
+
+    #[test]
+    fn fault_specs_parse_and_reject_bad_input() {
+        let spec = FaultSpec::parse(
+            "seed=9,panic=0.1,delay=0.05,delay-ms=20,poison=0.2,nan=0.3,dropout=0.4",
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.delay_ms, 20);
+        assert_eq!(spec.dropout, 0.4);
+        assert!(spec.sensor_faults().is_some());
+        assert!(!spec.fault_plan().is_noop());
+
+        // Rates outside [0, 1], unknown keys, and bare words are errors.
+        assert!(FaultSpec::parse("panic=1.5").is_err());
+        assert!(FaultSpec::parse("frobnicate=1").is_err());
+        assert!(FaultSpec::parse("panic").is_err());
+
+        // A runtime-only spec arms no sensor faults.
+        let spec = FaultSpec::parse("seed=1,panic=0.5").unwrap();
+        assert!(spec.sensor_faults().is_none());
     }
 
     #[test]
@@ -455,6 +902,16 @@ mod tests {
         let b = vec![ExpConfig::baseline()];
         assert_eq!(config_digest(&a), config_digest(&b));
         assert_ne!(config_digest(&a), config_digest(&[]));
+    }
+
+    #[test]
+    fn artifact_digests_track_scale_and_plan() {
+        let plan = SweepPlan::sweep(vec![ExpConfig::baseline()]);
+        let a = artifact_digest(&plan, Scale::Smoke, true);
+        assert_eq!(a, artifact_digest(&plan, Scale::Smoke, true));
+        assert_ne!(a, artifact_digest(&plan, Scale::Full, true));
+        assert_ne!(a, artifact_digest(&plan, Scale::Smoke, false));
+        assert_ne!(a, artifact_digest(&SweepPlan::none(), Scale::Smoke, true));
     }
 
     #[test]

@@ -34,7 +34,8 @@ impl GatingStudy {
     /// Sweeps gating effectiveness at `gpms` modules, 2x-BW on-package.
     pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Result<Self, ArtifactError> {
         let cfg = ExpConfig::paper_default(gpms, BwSetting::X2);
-        lab.prime_suite(suite, std::slice::from_ref(&cfg));
+        lab.prime_suite(suite, std::slice::from_ref(&cfg))
+            .map_err(|e| ArtifactError::from_sweep("extensions", e))?;
         let rows = [0.0, 0.25, 0.5, 0.75, 1.0]
             .iter()
             .map(|&eff| {
@@ -127,7 +128,8 @@ impl CompressionStudy {
     /// starved on-board 1x-BW configuration, charging the engines'
     /// energy on top.
     pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Result<Self, ArtifactError> {
-        lab.prime_suite(suite, &Self::plan_configs(gpms));
+        lab.prime_suite(suite, &Self::plan_configs(gpms))
+            .map_err(|e| ArtifactError::from_sweep("extensions", e))?;
         let rows = COMPRESSION_RATIOS
             .iter()
             .map(|&ratio| {
@@ -237,7 +239,8 @@ impl DvfsStudy {
     /// dynamic energy scaled by the classic `V ∝ f` assumption (energy
     /// per operation ∝ `scale²`).
     pub fn run(lab: &Lab, suite: &[WorkloadSpec], gpms: usize) -> Result<Self, ArtifactError> {
-        lab.prime_suite(suite, &Self::plan_configs(gpms));
+        lab.prime_suite(suite, &Self::plan_configs(gpms))
+            .map_err(|e| ArtifactError::from_sweep("extensions", e))?;
         let rows = DVFS_SCALES
             .iter()
             .map(|&scale| {
@@ -340,7 +343,8 @@ impl MetricWeightStudy {
 
     /// Runs the comparison across GPM counts at 2x-BW.
     pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
-        lab.prime_suite(suite, &Self::plan_configs());
+        lab.prime_suite(suite, &Self::plan_configs())
+            .map_err(|e| ArtifactError::from_sweep("extensions", e))?;
         let rows = crate::configs::SCALED_GPM_COUNTS
             .iter()
             .map(|&n| {

@@ -44,7 +44,8 @@ impl Fig2 {
     /// Runs the sweep.
     pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
         let cfgs = Self::plan_configs();
-        lab.prime_suite(suite, &cfgs);
+        lab.prime_suite(suite, &cfgs)
+            .map_err(|e| ArtifactError::from_sweep("fig2", e))?;
         let points = SCALED_GPM_COUNTS
             .iter()
             .zip(&cfgs)
@@ -104,7 +105,8 @@ impl Fig6 {
 
     /// Runs the sweep.
     pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
-        lab.prime_suite(suite, &Self::plan_configs());
+        lab.prime_suite(suite, &Self::plan_configs())
+            .map_err(|e| ArtifactError::from_sweep("fig6", e))?;
         let rows = SCALED_GPM_COUNTS
             .iter()
             .map(|&n| {
@@ -216,7 +218,8 @@ impl Fig7 {
 
     /// Runs the sweep.
     pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
-        lab.prime_suite(suite, &Self::plan_configs());
+        lab.prime_suite(suite, &Self::plan_configs())
+            .map_err(|e| ArtifactError::from_sweep("fig7", e))?;
         let mut steps = Vec::new();
         for &n in &SCALED_GPM_COUNTS {
             let prev_n = n / 2;
@@ -353,7 +356,8 @@ impl Fig8 {
 
     /// Runs the sweep over all three bandwidth settings.
     pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
-        lab.prime_suite(suite, &Self::plan_configs());
+        lab.prime_suite(suite, &Self::plan_configs())
+            .map_err(|e| ArtifactError::from_sweep("fig8", e))?;
         let mut rows = Vec::new();
         for bw in BwSetting::ALL {
             for &n in &SCALED_GPM_COUNTS {
@@ -451,7 +455,8 @@ impl Fig9 {
 
     /// Runs the sweep.
     pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
-        lab.prime_suite(suite, &Self::plan_configs());
+        lab.prime_suite(suite, &Self::plan_configs())
+            .map_err(|e| ArtifactError::from_sweep("fig9", e))?;
         let mut rows = Vec::new();
         for (label, bw, topo) in Self::SERIES {
             for &n in &SCALED_GPM_COUNTS {
@@ -538,7 +543,8 @@ impl Fig10 {
 
     /// Runs the sweep.
     pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
-        lab.prime_suite(suite, &Self::plan_configs());
+        lab.prime_suite(suite, &Self::plan_configs())
+            .map_err(|e| ArtifactError::from_sweep("fig10", e))?;
         let mut rows = Vec::new();
         for &n in &SCALED_GPM_COUNTS {
             for bw in BwSetting::ALL {
@@ -638,7 +644,8 @@ impl PointStudies {
     pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
         // Every study point reduces to one of these simulations (the
         // energy-model knobs — link pJ/bit, amortization — share counts).
-        lab.prime_suite(suite, &Self::plan_configs());
+        lab.prime_suite(suite, &Self::plan_configs())
+            .map_err(|e| ArtifactError::from_sweep("point_studies", e))?;
         let edpse_avg = |lab: &Lab, cfg: &ExpConfig, point: &str| {
             let v: Vec<f64> = suite.iter().map(|w| lab.edpse(w, cfg)).collect();
             mean_of("point_studies", point, &v)
@@ -813,7 +820,8 @@ impl Headline {
     pub fn run(lab: &Lab, suite: &[WorkloadSpec]) -> Result<Self, ArtifactError> {
         let naive = ExpConfig::paper_default(32, BwSetting::X1);
         let optimized = ExpConfig::paper_default(32, BwSetting::X4);
-        lab.prime_suite(suite, &[naive.clone(), optimized.clone()]);
+        lab.prime_suite(suite, &[naive.clone(), optimized.clone()])
+            .map_err(|e| ArtifactError::from_sweep("headline", e))?;
         let naive_e: Vec<f64> = suite.iter().map(|w| lab.energy_ratio(w, &naive)).collect();
         let opt_e: Vec<f64> = suite
             .iter()

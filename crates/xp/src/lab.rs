@@ -17,7 +17,9 @@ use crate::configs::ExpConfig;
 use common::units::Time;
 use gpujoule::{EdpScalingEfficiency, EnergyBreakdown, EnergyDelay};
 use isa::EventCounts;
-use runtime::{ShardedCache, SweepExecutor, SweepMetrics, SweepReport};
+use runtime::{
+    FaultPlan, RetryPolicy, ShardedCache, SweepError, SweepExecutor, SweepMetrics, SweepReport,
+};
 use sim::GpuSim;
 use std::sync::{Arc, Mutex};
 use workloads::{Scale, WorkloadSpec};
@@ -124,6 +126,19 @@ impl Lab {
         }
     }
 
+    /// Sets the executor's retry policy for subsequent sweeps.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.executor.set_retry_policy(policy);
+        self
+    }
+
+    /// Arms a deterministic fault plan on the executor (tests and the
+    /// `xp --faults` flag).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.executor.set_faults(Some(plan));
+        self
+    }
+
     /// The problem scale this lab runs at.
     pub fn scale(&self) -> Scale {
         self.scale
@@ -169,7 +184,16 @@ impl Lab {
     /// Figure generators call this before their serial evaluation loops:
     /// every metric (EDPSE, speedup, energy ratio) needs the baseline, so
     /// it is always included.
-    pub fn prime_suite(&self, suite: &[WorkloadSpec], configs: &[ExpConfig]) {
+    ///
+    /// A point that fails even after the executor's retries surfaces
+    /// here as the sweep's first [`SweepError`], so callers report a
+    /// typed artifact failure instead of re-panicking during the serial
+    /// evaluation pass.
+    pub fn prime_suite(
+        &self,
+        suite: &[WorkloadSpec],
+        configs: &[ExpConfig],
+    ) -> Result<(), SweepError> {
         let mut points = Vec::with_capacity(suite.len() * (configs.len() + 1));
         for w in suite {
             points.push((w.clone(), ExpConfig::baseline()));
@@ -178,14 +202,9 @@ impl Lab {
             }
         }
         let report = self.prime(points.as_slice());
-        if report.failures() > 0 {
-            // Leave the panic surfacing to the serial evaluation pass,
-            // which recomputes the failed point inline and panics on the
-            // calling thread with the original message.
-            eprintln!(
-                "warning: {} sweep point(s) failed during priming",
-                report.failures()
-            );
+        match report.first_error() {
+            Some(err) => Err(err.clone()),
+            None => Ok(()),
         }
     }
 
@@ -363,7 +382,9 @@ mod tests {
             ExpConfig::paper_default(2, BwSetting::X2),
             ExpConfig::paper_default(4, BwSetting::X1),
         ];
-        parallel.prime_suite(std::slice::from_ref(&w), &cfgs);
+        parallel
+            .prime_suite(std::slice::from_ref(&w), &cfgs)
+            .unwrap();
         for cfg in &cfgs {
             assert_eq!(serial.edpse(&w, cfg), parallel.edpse(&w, cfg));
             assert_eq!(serial.speedup(&w, cfg), parallel.speedup(&w, cfg));

@@ -517,7 +517,8 @@ fn sensitivity_artifact() -> DynArtifact {
         composite: false,
         plan: Box::new(|| SweepPlan::sweep(vec![ExpConfig::paper_default(32, BwSetting::X2)])),
         eval: Box::new(move |lab, suite| {
-            lab.prime_suite(suite, &[ExpConfig::paper_default(32, BwSetting::X2)]);
+            lab.prime_suite(suite, &[ExpConfig::paper_default(32, BwSetting::X2)])
+                .map_err(|e| ArtifactError::from_sweep("sensitivity", e))?;
             let mut text = String::from("Sensitivity of the 32-GPM (2x-BW) conclusions:\n\n");
 
             let mut t = TextTable::new(["per-GPM constant power", "energy vs 1-GPM", "EDPSE (%)"]);

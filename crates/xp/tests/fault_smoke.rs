@@ -1,0 +1,195 @@
+//! End-to-end fault-injection smoke for the `xp` driver.
+//!
+//! One scenario, run as a single test because sensor faults are armed
+//! process-wide: a fault-free reference run, a faulted run with retries
+//! (must be byte-identical — injected runtime faults are transient), a
+//! resume that skips up-to-date artifacts, a run whose faults exhaust
+//! the retry budget (isolated failure, exit code 1, journaled), a
+//! resume that heals it, and a sensor-fault run that must complete with
+//! valid JSON (sensor glitches perturb measured data by design, so no
+//! byte comparison there).
+
+use common::json::Json;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xp-fault-smoke-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn argv(args: &[&str]) -> Vec<String> {
+    args.iter().map(|s| s.to_string()).collect()
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn faulted_runs_are_byte_identical_journaled_and_resumable() {
+    // Fault-free reference run.
+    let clean = temp_dir("clean");
+    assert_eq!(
+        xp::cli::main(&argv(&[
+            "run",
+            "fig2",
+            "--smoke",
+            "--format",
+            "json",
+            "--out",
+            clean.to_str().unwrap(),
+        ])),
+        0
+    );
+
+    // Runtime faults well above 10%, retried to success: the artifact
+    // JSON must match the fault-free run byte for byte.
+    let faulted = temp_dir("faulted");
+    assert_eq!(
+        xp::cli::main(&argv(&[
+            "run",
+            "fig2",
+            "--smoke",
+            "--format",
+            "json",
+            "--out",
+            faulted.to_str().unwrap(),
+            "--faults",
+            "seed=7,panic=0.2,delay=0.1,delay-ms=5,poison=0.15",
+            "--retries",
+            "3",
+        ])),
+        0
+    );
+    assert_eq!(
+        read(&clean.join("fig2.json")),
+        read(&faulted.join("fig2.json")),
+        "transient faults with retries must not change results"
+    );
+
+    // The manifest's sweep metrics record the retries the faults forced.
+    let manifest = Json::parse(&read(&faulted.join("manifest.json"))).unwrap();
+    let retries: f64 = manifest
+        .get("sweeps")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(|m| m.get("retries").and_then(Json::as_f64))
+        .sum();
+    assert!(retries > 0.0, "injected faults should force retries");
+
+    // The journal has exactly one ok record for fig2.
+    let journal = Json::parse_jsonl(&read(&faulted.join("journal.jsonl"))).unwrap();
+    assert_eq!(journal.len(), 1);
+    assert_eq!(
+        journal[0].get("artifact").and_then(Json::as_str),
+        Some("fig2")
+    );
+    assert_eq!(journal[0].get("status").and_then(Json::as_str), Some("ok"));
+    assert!(journal[0].get("digest").and_then(Json::as_str).is_some());
+
+    // Resume skips the up-to-date artifact.
+    assert_eq!(
+        xp::cli::main(&argv(&[
+            "run",
+            "fig2",
+            "--smoke",
+            "--format",
+            "json",
+            "--resume",
+            faulted.to_str().unwrap(),
+        ])),
+        0
+    );
+    let manifest = Json::parse(&read(&faulted.join("manifest.json"))).unwrap();
+    assert_eq!(
+        manifest.get("resumed_artifacts").and_then(Json::as_f64),
+        Some(1.0)
+    );
+    let entry = &manifest.get("artifacts").and_then(Json::as_array).unwrap()[0];
+    assert_eq!(entry.get("resumed").and_then(Json::as_bool), Some(true));
+
+    // Certain faults with no retry budget fail the artifact but leave a
+    // usable directory: exit 1, typed error in the manifest, journaled.
+    let failing = temp_dir("failing");
+    assert_eq!(
+        xp::cli::main(&argv(&[
+            "run",
+            "fig2",
+            "--smoke",
+            "--format",
+            "json",
+            "--out",
+            failing.to_str().unwrap(),
+            "--faults",
+            "seed=7,panic=1.0",
+        ])),
+        1
+    );
+    let manifest = Json::parse(&read(&failing.join("manifest.json"))).unwrap();
+    let failed = manifest
+        .get("failed_artifacts")
+        .and_then(Json::as_array)
+        .unwrap();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(
+        failed[0].get("artifact").and_then(Json::as_str),
+        Some("fig2")
+    );
+    let journal = Json::parse_jsonl(&read(&failing.join("journal.jsonl"))).unwrap();
+    assert_eq!(
+        journal[0].get("status").and_then(Json::as_str),
+        Some("failed")
+    );
+
+    // Resuming with a retry budget reruns only the failed artifact and
+    // heals it: every fault is transient, so attempt two succeeds.
+    assert_eq!(
+        xp::cli::main(&argv(&[
+            "run",
+            "fig2",
+            "--smoke",
+            "--format",
+            "json",
+            "--resume",
+            failing.to_str().unwrap(),
+            "--faults",
+            "seed=7,panic=1.0",
+            "--retries",
+            "2",
+        ])),
+        0
+    );
+    assert_eq!(
+        read(&clean.join("fig2.json")),
+        read(&failing.join("fig2.json")),
+        "a healed resume must converge on the fault-free results"
+    );
+    let journal = Json::parse_jsonl(&read(&failing.join("journal.jsonl"))).unwrap();
+    assert_eq!(journal.len(), 1);
+    assert_eq!(journal[0].get("status").and_then(Json::as_str), Some("ok"));
+
+    // Sensor faults (NaN readings, dropouts) perturb measured data by
+    // design: assert completion and valid JSON, not byte identity.
+    let sensors = temp_dir("sensors");
+    assert_eq!(
+        xp::cli::main(&argv(&[
+            "run",
+            "fig2",
+            "--smoke",
+            "--format",
+            "json",
+            "--out",
+            sensors.to_str().unwrap(),
+            "--faults",
+            "seed=11,nan=0.1,dropout=0.1",
+        ])),
+        0
+    );
+    assert!(Json::parse(&read(&sensors.join("fig2.json"))).is_ok());
+
+    for dir in [clean, faulted, failing, sensors] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
