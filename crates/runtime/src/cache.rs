@@ -170,13 +170,19 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         let flight = {
             let mut shard = self.shard_of(key).lock().unwrap();
             match shard.get(key) {
-                Some(Slot::Ready(v)) => return Ok(v.clone()),
+                Some(Slot::Ready(v)) => {
+                    trace::count("cache.hit", 1);
+                    return Ok(v.clone());
+                }
                 Some(Slot::InFlight(flight)) => {
                     let flight = Arc::clone(flight);
                     drop(shard);
+                    trace::count("cache.in_flight_wait", 1);
+                    let _span = trace::span("cache.wait");
                     return flight.wait();
                 }
                 None => {
+                    trace::count("cache.miss", 1);
                     let flight = Arc::new(Flight {
                         outcome: Mutex::new(None),
                         done: Condvar::new(),
@@ -191,10 +197,13 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         // cache-poison fault (see [`crate::faults`]) fires here — after
         // the in-flight claim — so injected failures exercise the same
         // waiter-wakeup path as a real panicking computation.
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            crate::faults::fire_armed_cache_poison();
-            compute()
-        }));
+        let result = {
+            let _span = trace::span("cache.compute");
+            catch_unwind(AssertUnwindSafe(|| {
+                crate::faults::fire_armed_cache_poison();
+                compute()
+            }))
+        };
         let outcome = match result {
             Ok(v) => {
                 let mut shard = self.shard_of(key).lock().unwrap();

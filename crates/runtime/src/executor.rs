@@ -415,6 +415,7 @@ impl SweepExecutor {
                 // Fault decisions key on the first submission index:
                 // stable across thread counts and duplicate submissions.
                 let point = indices[0];
+                let _point_span = trace::span("executor.point");
                 let start = Instant::now();
                 metrics.in_flight.fetch_add(1, Ordering::Relaxed);
                 let mut attempt: u32 = 0;
@@ -424,16 +425,19 @@ impl SweepExecutor {
                         faults::arm_cache_poison();
                     }
                     let attempt_start = Instant::now();
-                    let result = catch_unwind(AssertUnwindSafe(|| {
-                        match fault {
-                            Some(FaultKind::Panic) => {
-                                panic!("fault injection: forced panic at point {point}")
+                    let result = {
+                        let _attempt_span = trace::span("executor.attempt");
+                        catch_unwind(AssertUnwindSafe(|| {
+                            match fault {
+                                Some(FaultKind::Panic) => {
+                                    panic!("fault injection: forced panic at point {point}")
+                                }
+                                Some(FaultKind::Delay(d)) => std::thread::sleep(d),
+                                _ => {}
                             }
-                            Some(FaultKind::Delay(d)) => std::thread::sleep(d),
-                            _ => {}
-                        }
-                        f(&key, &item)
-                    }));
+                            f(&key, &item)
+                        }))
+                    };
                     faults::disarm_cache_poison();
                     let elapsed = attempt_start.elapsed();
                     let attempts = attempt + 1;
@@ -441,6 +445,7 @@ impl SweepExecutor {
                         Ok(v) => match policy.point_deadline {
                             Some(deadline) if elapsed > deadline => {
                                 metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                                trace::count("executor.timeout", 1);
                                 Err(SweepError::timed_out(elapsed, deadline, attempts))
                             }
                             _ => Ok(v),
@@ -453,10 +458,12 @@ impl SweepExecutor {
                     if attempt_outcome.is_ok() || attempts >= policy.max_attempts {
                         if attempt_outcome.is_err() {
                             metrics.gave_up.fetch_add(1, Ordering::Relaxed);
+                            trace::count("executor.give_up", 1);
                         }
                         break attempt_outcome;
                     }
                     metrics.retries.fetch_add(1, Ordering::Relaxed);
+                    trace::count("executor.retry", 1);
                     attempt += 1;
                     let backoff = policy.backoff_before(attempt);
                     if !backoff.is_zero() {
@@ -511,6 +518,11 @@ impl SweepExecutor {
                 metrics.maybe_print_progress(Duration::from_millis(500));
             }
         });
+        if self.progress {
+            // Close an in-place progress line so the summary (or the
+            // shell prompt) starts on a fresh line.
+            metrics.finish_progress();
+        }
         SweepReport { outcomes, metrics }
     }
 }

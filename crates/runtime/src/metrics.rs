@@ -4,9 +4,36 @@
 
 use common::json::Json;
 use common::table::TextTable;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::io::IsTerminal;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// How the progress line is emitted to stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressMode {
+    /// Rewrite one line in place (`\r` + erase). Only when stderr is an
+    /// interactive terminal.
+    Ansi,
+    /// Append plain full lines: non-tty stderr (logs, CI), `NO_COLOR`
+    /// set, or `TERM=dumb`.
+    Plain,
+}
+
+impl ProgressMode {
+    /// Picks the mode from the environment, honoring the `NO_COLOR`
+    /// convention (any non-empty value disables escapes) and `TERM=dumb`
+    /// alongside the basic is-a-tty check.
+    pub fn detect() -> ProgressMode {
+        let no_color = std::env::var_os("NO_COLOR").is_some_and(|v| !v.is_empty());
+        let dumb = std::env::var_os("TERM").is_some_and(|v| v == *"dumb");
+        if no_color || dumb || !std::io::stderr().is_terminal() {
+            ProgressMode::Plain
+        } else {
+            ProgressMode::Ansi
+        }
+    }
+}
 
 /// Shared counters for one sweep (all methods are lock-free except the
 /// per-point wall-time record, which appends under a short mutex).
@@ -38,11 +65,23 @@ pub struct SweepMetrics {
     start: Instant,
     /// Last progress-line emission, for rate limiting.
     last_progress: Mutex<Instant>,
+    /// How progress lines are rendered (in-place ANSI vs. plain).
+    progress_mode: ProgressMode,
+    /// Whether an in-place ANSI progress line is open (no trailing
+    /// newline yet).
+    progress_line_open: AtomicBool,
 }
 
 impl SweepMetrics {
-    /// Fresh metrics for a sweep executed by `workers` threads.
+    /// Fresh metrics for a sweep executed by `workers` threads, with the
+    /// progress style detected from the environment.
     pub fn new(workers: usize) -> Self {
+        Self::with_progress_mode(workers, ProgressMode::detect())
+    }
+
+    /// Fresh metrics with an explicit progress style (tests force
+    /// [`ProgressMode::Plain`] to stay deterministic).
+    pub fn with_progress_mode(workers: usize, progress_mode: ProgressMode) -> Self {
         let now = Instant::now();
         SweepMetrics {
             submitted: AtomicUsize::new(0),
@@ -58,6 +97,8 @@ impl SweepMetrics {
             busy_nanos: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
             start: now,
             last_progress: Mutex::new(now),
+            progress_mode,
+            progress_line_open: AtomicBool::new(false),
         }
     }
 
@@ -104,7 +145,11 @@ impl SweepMetrics {
     }
 
     /// Emits a progress line to stderr, rate-limited to one per
-    /// `interval`. Stdout stays clean for table output.
+    /// `interval`. Stdout stays clean for table output. On an
+    /// interactive terminal ([`ProgressMode::Ansi`]) the line is
+    /// rewritten in place; otherwise ([`ProgressMode::Plain`] — non-tty,
+    /// `NO_COLOR`, `TERM=dumb`) plain full lines are appended with no
+    /// escape sequences.
     pub fn maybe_print_progress(&self, interval: Duration) {
         let mut last = self.last_progress.lock().unwrap();
         if last.elapsed() < interval {
@@ -112,7 +157,7 @@ impl SweepMetrics {
         }
         *last = Instant::now();
         drop(last);
-        eprintln!(
+        let line = format!(
             "[sweep {:6.1}s] {}/{} points done ({} cached, {} in flight, {} failed), workers {:.0}% busy",
             self.elapsed().as_secs_f64(),
             self.completed.load(Ordering::Relaxed),
@@ -122,13 +167,31 @@ impl SweepMetrics {
             self.errors.load(Ordering::Relaxed),
             self.worker_utilization() * 100.0,
         );
+        match self.progress_mode {
+            ProgressMode::Ansi => {
+                // Carriage return + erase-line: rewrite in place.
+                eprint!("\r\x1b[2K{line}");
+                self.progress_line_open.store(true, Ordering::Relaxed);
+            }
+            ProgressMode::Plain => eprintln!("{line}"),
+        }
+    }
+
+    /// Closes an open in-place progress line with a newline so the next
+    /// write (summary table, shell prompt) starts on a fresh line. Safe
+    /// to call unconditionally; a no-op unless a line is open.
+    pub fn finish_progress(&self) {
+        if self.progress_line_open.swap(false, Ordering::Relaxed) {
+            eprintln!();
+        }
     }
 
     /// The stable serialized form of the sweep counters, used by the
     /// `xp` driver's `manifest.json`. Schema (all keys always present):
     /// `submitted`, `completed`, `cache_hits`, `simulated`, `failed`,
     /// `retries`, `timeouts`, `gave_up`, `workers`,
-    /// `worker_utilization` (0–1), `wall_time_secs`,
+    /// `worker_busy_secs` (per-worker busy time, indexed by worker
+    /// slot), `worker_utilization` (0–1), `wall_time_secs`,
     /// `sim_time_secs` (sum of per-point wall times), and
     /// `mean_point_secs` / `max_point_secs` (`null` until a point has
     /// been simulated).
@@ -145,6 +208,11 @@ impl SweepMetrics {
         o.insert("timeouts", self.timeouts.load(Ordering::Relaxed));
         o.insert("gave_up", self.gave_up.load(Ordering::Relaxed));
         o.insert("workers", self.busy_nanos.len());
+        let mut busy = Json::array();
+        for b in &self.busy_nanos {
+            busy.push(b.load(Ordering::Relaxed) as f64 / 1e9);
+        }
+        o.insert("worker_busy_secs", busy);
         o.insert("worker_utilization", self.worker_utilization());
         o.insert("wall_time_secs", self.elapsed().as_secs_f64());
         o.insert(
@@ -218,6 +286,15 @@ impl SweepMetrics {
             "worker utilization".to_string(),
             format!("{:.0}%", self.worker_utilization() * 100.0),
         ]);
+        let wall = self.elapsed().as_nanos() as f64;
+        if wall > 0.0 && self.busy_nanos.len() > 1 {
+            let per_worker: Vec<String> = self
+                .busy_nanos
+                .iter()
+                .map(|b| format!("{:.0}%", b.load(Ordering::Relaxed) as f64 / wall * 100.0))
+                .collect();
+            t.row(["per-worker busy".to_string(), per_worker.join(" ")]);
+        }
         t
     }
 }
@@ -261,6 +338,7 @@ mod tests {
                 "timeouts",
                 "gave_up",
                 "workers",
+                "worker_busy_secs",
                 "worker_utilization",
                 "wall_time_secs",
                 "sim_time_secs",
@@ -289,5 +367,39 @@ mod tests {
         m.record_point(0, Duration::from_secs(1000));
         assert!(m.worker_utilization() <= 1.0);
         assert!(m.worker_utilization() >= 0.0);
+    }
+
+    #[test]
+    fn json_exports_per_worker_busy_time() {
+        let m = SweepMetrics::new(2);
+        m.record_point(0, Duration::from_secs(1));
+        m.record_point(1, Duration::from_secs(3));
+        let j = m.to_json();
+        let busy = j.get("worker_busy_secs").unwrap().as_array().unwrap();
+        assert_eq!(busy.len(), 2);
+        assert_eq!(busy[0].as_f64(), Some(1.0));
+        assert_eq!(busy[1].as_f64(), Some(3.0));
+        assert!(j.get("wall_time_secs").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn per_worker_busy_row_appears_in_summary() {
+        let m = SweepMetrics::with_progress_mode(2, ProgressMode::Plain);
+        m.completed.store(2, Ordering::Relaxed);
+        m.record_point(0, Duration::from_millis(5));
+        m.record_point(1, Duration::from_millis(5));
+        let rendered = m.summary_table().render();
+        assert!(rendered.contains("per-worker busy"), "{rendered}");
+    }
+
+    #[test]
+    fn finish_progress_is_noop_without_open_line() {
+        // Plain mode never opens an in-place line, so finish_progress
+        // must not emit anything (the flag stays false).
+        let m = SweepMetrics::with_progress_mode(1, ProgressMode::Plain);
+        m.maybe_print_progress(Duration::ZERO);
+        assert!(!m.progress_line_open.load(Ordering::Relaxed));
+        m.finish_progress();
+        assert!(!m.progress_line_open.load(Ordering::Relaxed));
     }
 }

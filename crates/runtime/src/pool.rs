@@ -68,15 +68,18 @@ impl Shared {
     /// Claims one job: own deque (back), injector, then steal (front).
     fn find_job(&self, worker: usize) -> Option<Job> {
         if let Some(job) = self.deques[worker].lock().unwrap().pop_back() {
+            trace::count("pool.pop_local", 1);
             return Some(job);
         }
         if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            trace::count("pool.pop_injector", 1);
             return Some(job);
         }
         let n = self.deques.len();
         for offset in 1..n {
             let victim = (worker + offset) % n;
             if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                trace::count("pool.steal", 1);
                 return Some(job);
             }
         }
@@ -118,6 +121,7 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         };
         // The job is responsible for reporting its own outcome; the
         // catch here only shields the worker thread.
+        let _span = trace::span("pool.job");
         let _ = catch_unwind(AssertUnwindSafe(job));
     }
 }

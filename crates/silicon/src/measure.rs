@@ -138,6 +138,7 @@ impl VirtualK40 {
     /// run; the board sits at idle power for that tail, exactly as a real
     /// measurement script would record.
     pub fn measure(&self, profile: &RunProfile) -> Measurement {
+        let _span = trace::span("silicon.measure");
         let mut cfg = self.sensor.clone();
         cfg.seed ^= fxhash(profile.name());
         let mut sensor = PowerSensor::new(cfg, self.truth.idle_power());
@@ -183,6 +184,7 @@ impl VirtualK40 {
             now += refresh;
             let _ = now;
             samples.push(sensor.read());
+            trace::count("silicon.sensor.read", 1);
         }
 
         // Integrate reading × window, holding the last finite reading
@@ -222,6 +224,7 @@ impl VirtualK40 {
     /// below the truth. This is the §IV-B2 sensor-resolution limitation
     /// behind the paper's BFS/MiniAMR outliers.
     pub fn measure_active(&self, profile: &RunProfile) -> Measurement {
+        let _span = trace::span("silicon.measure_active");
         let mut cfg = self.sensor.clone();
         cfg.seed ^= fxhash(profile.name()).rotate_left(17);
         let mut sensor = PowerSensor::new(cfg, self.truth.idle_power());
@@ -251,6 +254,7 @@ impl VirtualK40 {
                         sensor.advance(power, refresh);
                         let r = sensor.read();
                         samples.push(r);
+                        trace::count("silicon.sensor.read", 1);
                         if r.watts().is_finite() {
                             hold = r;
                         }
@@ -260,6 +264,7 @@ impl VirtualK40 {
                     sensor.advance(power, left);
                     let r = sensor.read();
                     samples.push(r);
+                    trace::count("silicon.sensor.read", 1);
                     if r.watts().is_finite() {
                         hold = r;
                     }

@@ -177,6 +177,7 @@ impl GpuSim {
 
     /// Runs one kernel to completion and returns its event counts.
     pub fn run_kernel(&mut self, program: &dyn KernelProgram) -> KernelResult {
+        let _span = trace::span("sim.kernel");
         let grid = program.grid();
         let num_gpms = self.cfg.num_gpms;
         let sms_per_gpm = self.cfg.gpm.sms;
@@ -457,6 +458,7 @@ impl GpuSim {
     /// already placed (by an earlier kernel of the workload) keep their
     /// home.
     pub fn prefault(&mut self, program: &dyn KernelProgram) {
+        let _span = trace::span("sim.prefault");
         let grid = program.grid();
         let partition =
             CtaPartition::new(self.cfg.cta_schedule, grid.ctas as usize, self.cfg.num_gpms);
@@ -502,6 +504,7 @@ impl GpuSim {
     /// repeated its configured number of times. Each program is
     /// pre-faulted (see [`GpuSim::prefault`]) before its first launch.
     pub fn run_workload(&mut self, launches: &[LaunchSpec]) -> WorkloadResult {
+        let _span = trace::span("sim.workload");
         let mut result = WorkloadResult::default();
         for launch in launches {
             self.prefault(launch.program.as_ref());

@@ -1,0 +1,331 @@
+//! Exporters: Chrome trace-event JSON and compact summaries.
+//!
+//! [`chrome_trace`] renders a [`Snapshot`] as a trace-event array that
+//! loads directly in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev):
+//! one `ph: "M"` metadata event naming each thread, then balanced
+//! `ph: "B"` / `ph: "E"` events with microsecond timestamps. [`summary`]
+//! renders the aggregate view (per-span histograms, counters, drop
+//! count) as JSON, and [`summary_table`] as text for terminals.
+//!
+//! [`span_stats_from_chrome_trace`] goes the other way: it rebuilds
+//! per-span statistics from a previously exported trace file, which is
+//! what `xp trace summary <file>` runs on.
+
+use crate::hist::HistogramSnapshot;
+use crate::ring::Phase;
+use crate::Snapshot;
+use common::json::Json;
+use common::table::TextTable;
+
+/// Renders a snapshot as a Chrome trace-event JSON array.
+pub fn chrome_trace(snapshot: &Snapshot) -> Json {
+    let mut events = Json::array();
+    for (tid, name) in &snapshot.threads {
+        let mut meta = Json::object();
+        meta.insert("name", "thread_name");
+        meta.insert("ph", "M");
+        meta.insert("pid", 1u64);
+        meta.insert("tid", *tid);
+        let mut args = Json::object();
+        args.insert("name", name.as_str());
+        meta.insert("args", args);
+        events.push(meta);
+    }
+    for event in &snapshot.events {
+        let mut e = Json::object();
+        e.insert("name", event.name.as_str());
+        e.insert("cat", "mmgpu");
+        e.insert(
+            "ph",
+            match event.phase {
+                Phase::Begin => "B",
+                Phase::End => "E",
+            },
+        );
+        // Trace-event timestamps are microseconds.
+        e.insert("ts", event.ts_nanos as f64 / 1000.0);
+        e.insert("pid", 1u64);
+        e.insert("tid", event.tid);
+        events.push(e);
+    }
+    events
+}
+
+/// Renders a snapshot's aggregate view (per-span statistics, counters,
+/// drop count) as a JSON object.
+pub fn summary(snapshot: &Snapshot) -> Json {
+    let mut spans = Json::object();
+    for (name, hist) in &snapshot.histograms {
+        spans.insert(name.as_str(), hist_json(hist));
+    }
+    let mut counters = Json::object();
+    for (name, value) in &snapshot.counters {
+        counters.insert(name.as_str(), *value);
+    }
+    let mut out = Json::object();
+    out.insert("spans", spans);
+    out.insert("counters", counters);
+    out.insert("events", snapshot.events.len());
+    out.insert("dropped_events", snapshot.dropped_events);
+    out
+}
+
+fn hist_json(hist: &HistogramSnapshot) -> Json {
+    let mut h = Json::object();
+    h.insert("count", hist.count);
+    h.insert("total_secs", hist.sum as f64 / 1e9);
+    h.insert("mean_secs", hist.mean() / 1e9);
+    h.insert("p50_secs", hist.quantile(0.50) as f64 / 1e9);
+    h.insert("p90_secs", hist.quantile(0.90) as f64 / 1e9);
+    h.insert("p99_secs", hist.quantile(0.99) as f64 / 1e9);
+    h.insert("max_secs", hist.max as f64 / 1e9);
+    h
+}
+
+/// Per-span statistics rebuilt from an exported trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: String,
+    /// Duration distribution of the matched begin/end pairs.
+    pub hist: HistogramSnapshot,
+}
+
+/// Rebuilds per-span statistics from a Chrome trace-event array, pairing
+/// each `ph: "E"` with the most recent open `ph: "B"` on the same
+/// thread (spans nest). `ph: "X"` complete events use their `dur`
+/// directly; metadata and unknown phases are skipped. Unmatched events —
+/// possible when a ring dropped its oldest entries — are tolerated and
+/// reported in the returned drop count.
+///
+/// Returns `(stats sorted by total time descending, unmatched events)`.
+pub fn span_stats_from_chrome_trace(trace: &Json) -> Result<(Vec<SpanStats>, u64), String> {
+    let events = trace
+        .as_array()
+        .ok_or_else(|| "trace file is not a JSON array of events".to_string())?;
+    let mut stats: Vec<SpanStats> = Vec::new();
+    let mut record = |name: &str, dur_nanos: u64| match stats.iter_mut().find(|s| s.name == name) {
+        Some(s) => s.hist.record(dur_nanos),
+        None => {
+            let mut hist = HistogramSnapshot::default();
+            hist.record(dur_nanos);
+            stats.push(SpanStats {
+                name: name.to_string(),
+                hist,
+            });
+        }
+    };
+    // Per-tid stack of open (name, ts_nanos) begin events.
+    let mut open: Vec<(u64, Vec<(String, u64)>)> = Vec::new();
+    let mut unmatched = 0u64;
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} has no \"ph\" field"))?;
+        if ph != "B" && ph != "E" && ph != "X" {
+            continue;
+        }
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} ({ph}) has no \"name\" field"))?;
+        let ts = event
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i} ({ph} {name:?}) has no numeric \"ts\""))?;
+        let ts_nanos = (ts * 1000.0).round().max(0.0) as u64;
+        if ph == "X" {
+            let dur = event.get("dur").and_then(Json::as_f64).unwrap_or(0.0);
+            record(name, (dur * 1000.0).round().max(0.0) as u64);
+            continue;
+        }
+        let tid = event.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let stack = match open.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, stack)) => stack,
+            None => {
+                open.push((tid, Vec::new()));
+                &mut open.last_mut().expect("just pushed").1
+            }
+        };
+        if ph == "B" {
+            stack.push((name.to_string(), ts_nanos));
+        } else {
+            match stack.pop() {
+                Some((open_name, start)) if open_name == name => {
+                    record(name, ts_nanos.saturating_sub(start));
+                }
+                Some(other) => {
+                    // Interleaved begin lost to a ring drop; put it back
+                    // and skip this end.
+                    stack.push(other);
+                    unmatched += 1;
+                }
+                None => unmatched += 1,
+            }
+        }
+    }
+    unmatched += open
+        .iter()
+        .map(|(_, stack)| stack.len() as u64)
+        .sum::<u64>();
+    stats.sort_by(|a, b| b.hist.sum.cmp(&a.hist.sum).then(a.name.cmp(&b.name)));
+    Ok((stats, unmatched))
+}
+
+/// Renders span statistics as an aligned text table, sorted by total
+/// time descending.
+pub fn summary_table(stats: &[SpanStats]) -> String {
+    let mut table = TextTable::new(["span", "count", "total", "p50", "p90", "p99", "max"]);
+    for s in stats {
+        table.row([
+            s.name.clone(),
+            s.hist.count.to_string(),
+            fmt_nanos(s.hist.sum),
+            fmt_nanos(s.hist.quantile(0.50)),
+            fmt_nanos(s.hist.quantile(0.90)),
+            fmt_nanos(s.hist.quantile(0.99)),
+            fmt_nanos(s.hist.max),
+        ]);
+    }
+    table.render()
+}
+
+/// Formats a nanosecond duration with a human-scale unit.
+pub fn fmt_nanos(nanos: u64) -> String {
+    let n = nanos as f64;
+    if n >= 1e9 {
+        format!("{:.2}s", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.2}ms", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.2}us", n / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{Event, SpanName};
+
+    fn snapshot() -> Snapshot {
+        let span = |name: &'static str, phase: Phase, ts: u64, tid: u64| Event {
+            name: SpanName::Static(name),
+            phase,
+            ts_nanos: ts,
+            tid,
+        };
+        let mut hist = HistogramSnapshot::default();
+        hist.record(3_000);
+        Snapshot {
+            events: vec![
+                span("a", Phase::Begin, 1_000, 0),
+                span("b", Phase::Begin, 2_000, 1),
+                span("a", Phase::End, 4_000, 0),
+                span("b", Phase::End, 5_000, 1),
+            ],
+            threads: vec![(0, "main".to_string()), (1, "worker-1".to_string())],
+            counters: vec![("cache.hit".to_string(), 42)],
+            histograms: vec![("a".to_string(), hist)],
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_then_balanced_events() {
+        let json = chrome_trace(&snapshot());
+        let events = json.as_array().unwrap();
+        assert_eq!(events.len(), 6);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(events[2].get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(events[2].get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(events[2].get("pid").unwrap().as_f64(), Some(1.0));
+        // Round-trips through the strict parser.
+        let reparsed = Json::parse(&json.render()).unwrap();
+        assert_eq!(reparsed.as_array().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn stats_rebuild_from_exported_trace() {
+        let json = chrome_trace(&snapshot());
+        let (stats, unmatched) = span_stats_from_chrome_trace(&json).unwrap();
+        assert_eq!(unmatched, 0);
+        assert_eq!(stats.len(), 2);
+        // "a" ran 3us, "b" 3us; sorted by total then name.
+        assert_eq!(stats[0].name, "a");
+        assert_eq!(stats[0].hist.count, 1);
+        assert_eq!(stats[0].hist.sum, 3_000);
+        let table = summary_table(&stats);
+        assert!(table.contains("span"), "{table}");
+        assert!(table.contains("3.00us"), "{table}");
+    }
+
+    #[test]
+    fn unmatched_events_are_counted_not_fatal() {
+        let mut trace = Json::array();
+        let mut begin = Json::object();
+        begin.insert("name", "orphan");
+        begin.insert("ph", "B");
+        begin.insert("ts", 1.0);
+        begin.insert("pid", 1u64);
+        begin.insert("tid", 0u64);
+        trace.push(begin);
+        let mut end = Json::object();
+        end.insert("name", "other");
+        end.insert("ph", "E");
+        end.insert("ts", 2.0);
+        end.insert("pid", 1u64);
+        end.insert("tid", 7u64);
+        trace.push(end);
+        let (stats, unmatched) = span_stats_from_chrome_trace(&trace).unwrap();
+        assert!(stats.is_empty());
+        assert_eq!(unmatched, 2);
+    }
+
+    #[test]
+    fn complete_events_use_dur() {
+        let mut trace = Json::array();
+        let mut x = Json::object();
+        x.insert("name", "whole");
+        x.insert("ph", "X");
+        x.insert("ts", 0.0);
+        x.insert("dur", 2.5);
+        x.insert("pid", 1u64);
+        x.insert("tid", 0u64);
+        trace.push(x);
+        let (stats, unmatched) = span_stats_from_chrome_trace(&trace).unwrap();
+        assert_eq!(unmatched, 0);
+        assert_eq!(stats[0].hist.sum, 2_500);
+    }
+
+    #[test]
+    fn summary_exports_spans_and_counters() {
+        let json = summary(&snapshot());
+        assert_eq!(
+            json.keys(),
+            vec!["spans", "counters", "events", "dropped_events"]
+        );
+        let a = json.get("spans").unwrap().get("a").unwrap();
+        assert_eq!(a.get("count").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            json.get("counters")
+                .unwrap()
+                .get("cache.hit")
+                .unwrap()
+                .as_f64(),
+            Some(42.0)
+        );
+        Json::parse(&json.render()).unwrap();
+    }
+
+    #[test]
+    fn nanos_format_picks_readable_units() {
+        assert_eq!(fmt_nanos(0), "0ns");
+        assert_eq!(fmt_nanos(999), "999ns");
+        assert_eq!(fmt_nanos(1_500), "1.50us");
+        assert_eq!(fmt_nanos(2_000_000), "2.00ms");
+        assert_eq!(fmt_nanos(3_200_000_000), "3.20s");
+    }
+}

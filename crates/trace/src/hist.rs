@@ -1,0 +1,237 @@
+//! Log-bucketed latency histograms.
+//!
+//! Durations (in nanoseconds) land in power-of-two buckets: bucket 0
+//! holds the value 0 and bucket `i >= 1` covers `[2^(i-1), 2^i - 1]`.
+//! That makes recording a `leading_zeros` plus one relaxed atomic
+//! increment, bounds the relative quantile error at 2x, and keeps the
+//! whole histogram a fixed 65-slot array — no allocation, no locks, and
+//! merges are plain element-wise sums (associative and commutative, a
+//! property the test suite checks).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket index a value lands in.
+pub fn bucket_of(nanos: u64) -> usize {
+    if nanos == 0 {
+        0
+    } else {
+        64 - nanos.leading_zeros() as usize
+    }
+}
+
+/// Smallest value bucket `i` can hold.
+pub fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Largest value bucket `i` can hold.
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A concurrent log-bucketed histogram of nanosecond durations.
+///
+/// All operations are relaxed atomics; cross-counter consistency is only
+/// guaranteed once recording has quiesced (which is when snapshots are
+/// taken — at session teardown).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one duration, in nanoseconds.
+    pub fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values (nanoseconds).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket occupancy (see [`bucket_of`]).
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Records into the snapshot directly (for offline aggregation, e.g.
+    /// rebuilding span statistics from an exported trace file).
+    pub fn record(&mut self, nanos: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(nanos);
+        self.max = self.max.max(nanos);
+        self.buckets[bucket_of(nanos)] += 1;
+    }
+
+    /// The quantile estimate for `q` in `[0, 1]`: the upper bound of the
+    /// smallest bucket whose cumulative count reaches `ceil(q * count)`,
+    /// clamped to the observed maximum. The estimate never undershoots
+    /// the true quantile and overshoots it by at most 2x (one bucket).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The element-wise sum of two snapshots (the histogram of the
+    /// combined sample sets). Associative and commutative.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut merged = self.clone();
+        merged.count += other.count;
+        merged.sum = merged.sum.saturating_add(other.sum);
+        merged.max = merged.max.max(other.max);
+        for (slot, n) in merged.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot += n;
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..NUM_BUCKETS {
+            assert!(bucket_lower(i) <= bucket_upper(i));
+            assert_eq!(bucket_of(bucket_lower(i)), i);
+            assert_eq!(bucket_of(bucket_upper(i)), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_values() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max, 1000);
+        // p100 hits the exact max (clamped); p50 is within 2x of the
+        // true median (50).
+        assert_eq!(s.quantile(1.0), 1000);
+        let p50 = s.quantile(0.5);
+        assert!((50..=100).contains(&p50), "p50 {p50}");
+        // Monotone in q.
+        assert!(s.quantile(0.5) <= s.quantile(0.9));
+        assert!(s.quantile(0.9) <= s.quantile(0.99));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_the_combined_sample_set() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 1000] {
+            b.record(v);
+            all.record(v);
+        }
+        assert_eq!(a.snapshot().merge(&b.snapshot()), all.snapshot());
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-thread event ring buffers.
+//!
+//! Every instrumented thread owns one [`ThreadBuffer`]: a bounded ring
+//! the thread appends span begin/end events to. The ring drops its
+//! *oldest* events when full (the most recent activity is what a trace
+//! viewer needs) and counts what it dropped, so exports can report
+//! truncation instead of silently pretending full coverage.
+//!
+//! The buffer is registered globally on first use so the exporter can
+//! drain all threads at session teardown. The owning thread is the only
+//! writer; the mutex it takes is therefore uncontended on the hot path
+//! (a single compare-and-swap) — the exporter only touches it once
+//! recording has been disabled.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A span name: either a static string (hot paths, zero allocation) or a
+/// shared owned string (dynamic names such as per-artifact spans).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SpanName {
+    /// A compile-time name; the common case for hot-path spans.
+    Static(&'static str),
+    /// A runtime-built name; cloning only bumps a refcount.
+    Owned(Arc<str>),
+}
+
+impl SpanName {
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        match self {
+            SpanName::Static(s) => s,
+            SpanName::Owned(s) => s,
+        }
+    }
+}
+
+impl From<&'static str> for SpanName {
+    fn from(s: &'static str) -> Self {
+        SpanName::Static(s)
+    }
+}
+
+impl From<String> for SpanName {
+    fn from(s: String) -> Self {
+        SpanName::Owned(s.into())
+    }
+}
+
+impl std::fmt::Display for SpanName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which side of a span an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span entry (Chrome trace `ph: "B"`).
+    Begin,
+    /// Span exit (Chrome trace `ph: "E"`).
+    End,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Span name.
+    pub name: SpanName,
+    /// Begin or end.
+    pub phase: Phase,
+    /// Nanoseconds since the process trace epoch.
+    pub ts_nanos: u64,
+    /// Trace thread id (dense, assigned in first-event order).
+    pub tid: u64,
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// One thread's bounded event buffer plus its identity.
+pub(crate) struct ThreadBuffer {
+    pub(crate) tid: u64,
+    pub(crate) thread_name: String,
+    ring: Mutex<Ring>,
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+impl ThreadBuffer {
+    pub(crate) fn new(capacity: usize) -> Arc<ThreadBuffer> {
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let thread_name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{tid}"));
+        Arc::new(ThreadBuffer {
+            tid,
+            thread_name,
+            ring: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(1024)),
+                capacity,
+                dropped: 0,
+            }),
+        })
+    }
+
+    /// Appends one event, dropping the oldest when the ring is full.
+    pub(crate) fn push(&self, event: Event) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.events.len() >= ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event);
+    }
+
+    /// Copies out the buffered events and the drop count.
+    pub(crate) fn collect(&self) -> (Vec<Event>, u64) {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        (ring.events.iter().cloned().collect(), ring.dropped)
+    }
+
+    /// Empties the ring and resets its capacity (new session).
+    pub(crate) fn reset(&self, capacity: usize) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.events.clear();
+        ring.capacity = capacity;
+        ring.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(ts: u64) -> Event {
+        Event {
+            name: "t".into(),
+            phase: Phase::Begin,
+            ts_nanos: ts,
+            tid: 0,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let buf = ThreadBuffer::new(3);
+        for ts in 0..5 {
+            buf.push(event(ts));
+        }
+        let (events, dropped) = buf.collect();
+        assert_eq!(dropped, 2);
+        let ts: Vec<u64> = events.iter().map(|e| e.ts_nanos).collect();
+        assert_eq!(ts, vec![2, 3, 4], "oldest events dropped first");
+    }
+
+    #[test]
+    fn reset_clears_events_and_drop_counter() {
+        let buf = ThreadBuffer::new(2);
+        buf.push(event(0));
+        buf.push(event(1));
+        buf.push(event(2));
+        buf.reset(8);
+        let (events, dropped) = buf.collect();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+        for ts in 0..8 {
+            buf.push(event(ts));
+        }
+        assert_eq!(buf.collect().0.len(), 8, "new capacity in effect");
+    }
+
+    #[test]
+    fn span_names_compare_across_variants() {
+        let a: SpanName = "sim.kernel".into();
+        let b: SpanName = String::from("sim.kernel").into();
+        assert_eq!(a.as_str(), b.as_str());
+        assert_eq!(a.to_string(), "sim.kernel");
+    }
+}

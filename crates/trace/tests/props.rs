@@ -1,0 +1,120 @@
+//! Property tests for the trace crate: histogram bucketing invariants
+//! (monotone buckets, quantile bounds, merge associativity) and a
+//! session round trip — exported Chrome-trace JSON must re-parse under
+//! `common::json`'s strict parser with balanced begin/end events.
+
+use common::json::Json;
+use proptest::prelude::*;
+use trace::{bucket_lower, bucket_of, bucket_upper, Histogram, HistogramSnapshot, NUM_BUCKETS};
+
+proptest! {
+    #[test]
+    fn bucket_assignment_is_monotone_and_within_bounds(
+        values in prop::collection::vec(0_u64..u64::MAX, 1..64),
+    ) {
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        // Larger values never land in a smaller bucket.
+        for pair in sorted.windows(2) {
+            prop_assert!(bucket_of(pair[0]) <= bucket_of(pair[1]));
+        }
+        // Every value lies inside its bucket's [lower, upper] range.
+        for &v in &values {
+            let i = bucket_of(v);
+            prop_assert!(i < NUM_BUCKETS);
+            prop_assert!(bucket_lower(i) <= v && v <= bucket_upper(i));
+        }
+    }
+
+    #[test]
+    fn quantiles_never_undershoot_and_overshoot_at_most_2x(
+        values in prop::collection::vec(1_u64..1_000_000_000, 1..100),
+        q in 0.0_f64..1.0,
+    ) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snapshot = hist.snapshot();
+        prop_assert_eq!(snapshot.count, values.len() as u64);
+
+        // True quantile with the same rank rule the histogram uses:
+        // smallest value whose cumulative count reaches ceil(q * n).
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+
+        let estimate = snapshot.quantile(q);
+        prop_assert!(estimate >= truth, "estimate {estimate} < true quantile {truth}");
+        prop_assert!(estimate <= truth.saturating_mul(2), "estimate {estimate} > 2x {truth}");
+        prop_assert!(estimate <= snapshot.max);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(0_u64..1_000_000, 0..40),
+        b in prop::collection::vec(0_u64..1_000_000, 0..40),
+        c in prop::collection::vec(0_u64..1_000_000, 0..40),
+    ) {
+        let snap = |values: &[u64]| {
+            let mut s = HistogramSnapshot::default();
+            for &v in values {
+                s.record(v);
+            }
+            s
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        // Merging matches recording the concatenated sample set.
+        let mut all = a.clone();
+        all.extend(&b);
+        prop_assert_eq!(sa.merge(&sb), snap(&all));
+    }
+
+    #[test]
+    fn exported_chrome_trace_round_trips_with_balanced_events(
+        span_counts in prop::collection::vec(1_usize..6, 1..8),
+    ) {
+        // Serialized across proptest cases by the crate-global session
+        // lock; nested spans per case, varying depth.
+        let session = trace::session(trace::TraceConfig::default());
+        for (i, &depth) in span_counts.iter().enumerate() {
+            let spans: Vec<trace::Span> = (0..depth)
+                .map(|d| trace::span(format!("prop.case{i}.depth{d}")))
+                .collect();
+            trace::count("prop.spans", depth as u64);
+            drop(spans);
+        }
+        let snapshot = session.finish();
+        let rendered = trace::export::chrome_trace(&snapshot).render();
+
+        // Strict re-parse, then check begin/end balance per name.
+        let parsed = Json::parse(&rendered).expect("exported trace must re-parse strictly");
+        let events = parsed.as_array().unwrap();
+        let mut balance: Vec<(String, i64)> = Vec::new();
+        for e in events {
+            let ph = e.get("ph").and_then(Json::as_str).unwrap();
+            if ph == "M" {
+                continue;
+            }
+            prop_assert!(ph == "B" || ph == "E");
+            let name = e.get("name").and_then(Json::as_str).unwrap().to_string();
+            prop_assert!(e.get("ts").and_then(Json::as_f64).is_some());
+            prop_assert!(e.get("pid").and_then(Json::as_f64).is_some());
+            prop_assert!(e.get("tid").and_then(Json::as_f64).is_some());
+            let delta = if ph == "B" { 1 } else { -1 };
+            match balance.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, d)) => *d += delta,
+                None => balance.push((name, delta)),
+            }
+        }
+        let total: usize = span_counts.iter().sum();
+        prop_assert_eq!(balance.len(), total, "one span name per (case, depth)");
+        for (name, delta) in &balance {
+            prop_assert_eq!(*delta, 0, "unbalanced span {}", name);
+        }
+        prop_assert_eq!(snapshot.counter("prop.spans"), Some(total as u64));
+    }
+}

@@ -55,6 +55,7 @@ enum Command {
     List,
     Run(RunOptions),
     Check { dir: PathBuf },
+    TraceSummary { file: PathBuf },
 }
 
 /// Options for `xp run`.
@@ -74,6 +75,10 @@ struct RunOptions {
     point_timeout: Option<Duration>,
     /// Parsed `--faults` specification, if any.
     faults: Option<FaultSpec>,
+    /// Write a Chrome trace-event JSON of the run here.
+    trace: Option<PathBuf>,
+    /// Write the trace/sweep metrics summary JSON here.
+    metrics_out: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: xp <command> [options]
@@ -82,6 +87,7 @@ commands:
   list                     list every artifact id and title
   run <id>... | run all    evaluate artifacts (see options below)
   check <dir>              re-parse JSON results emitted by `run --out`
+  trace summary <file>     per-span statistics from a --trace output file
 
 run options:
   --smoke                  smoke-scale problems (fast; CI default)
@@ -97,6 +103,10 @@ run options:
                            and are retried under --retries
   --faults SPEC            deterministic fault injection, e.g.
                            seed=7,panic=0.1,delay=0.05,delay-ms=100,poison=0.1,nan=0.05,dropout=0.05
+  --trace FILE             record spans across runtime/sim/silicon/xp and write
+                           Chrome trace-event JSON (perfetto / chrome://tracing)
+  --metrics-out FILE       write per-span histograms, counters, and the sweep
+                           report as one JSON summary
 ";
 
 /// Parsed `--faults` specification: rates for each injected fault kind
@@ -211,6 +221,23 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 dir: PathBuf::from(dir),
             })
         }
+        "trace" => {
+            match it.next().map(String::as_str) {
+                Some("summary") => {}
+                Some(other) => {
+                    return Err(format!(
+                        "xp trace: unknown subcommand {other:?} (expected `summary`)"
+                    ))
+                }
+                None => return Err("xp trace: missing subcommand `summary`".to_string()),
+            }
+            let file = it
+                .next()
+                .ok_or_else(|| "xp trace summary: missing trace file".to_string())?;
+            Ok(Command::TraceSummary {
+                file: PathBuf::from(file),
+            })
+        }
         "run" => {
             let mut opts = RunOptions {
                 ids: Vec::new(),
@@ -223,6 +250,8 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 retries: 0,
                 point_timeout: None,
                 faults: None,
+                trace: None,
+                metrics_out: None,
             };
             let mut explicit_out = false;
             while let Some(arg) = it.next() {
@@ -285,6 +314,18 @@ fn parse(args: &[String]) -> Result<Command, String> {
                             .next()
                             .ok_or_else(|| "xp run: --faults: missing specification".to_string())?;
                         opts.faults = Some(FaultSpec::parse(spec)?);
+                    }
+                    "--trace" => {
+                        let file = it
+                            .next()
+                            .ok_or_else(|| "xp run: --trace: missing output file".to_string())?;
+                        opts.trace = Some(PathBuf::from(file));
+                    }
+                    "--metrics-out" => {
+                        let file = it.next().ok_or_else(|| {
+                            "xp run: --metrics-out: missing output file".to_string()
+                        })?;
+                        opts.metrics_out = Some(PathBuf::from(file));
                     }
                     other if other.starts_with("--threads=") => {
                         opts.threads = parse_threads(&other["--threads=".len()..])?;
@@ -420,8 +461,51 @@ pub fn main(args: &[String]) -> i32 {
             0
         }
         Ok(Command::Check { dir }) => check(&dir),
+        Ok(Command::TraceSummary { file }) => trace_summary(&file),
         Ok(Command::Run(opts)) => run(&opts),
     }
+}
+
+/// `xp trace summary <file>`: rebuild per-span statistics (count, total,
+/// p50/p90/p99, max) from an exported Chrome trace and print them as a
+/// table, largest total first.
+fn trace_summary(file: &Path) -> i32 {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xp trace summary: cannot read {}: {e}", file.display());
+            return 1;
+        }
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!(
+                "xp trace summary: {} is not valid JSON: {e}",
+                file.display()
+            );
+            return 1;
+        }
+    };
+    let (stats, unmatched) = match trace::export::span_stats_from_chrome_trace(&json) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xp trace summary: {}: {e}", file.display());
+            return 1;
+        }
+    };
+    if stats.is_empty() {
+        println!("no span events in {}", file.display());
+        return 0;
+    }
+    print!("{}", trace::export::summary_table(&stats));
+    if unmatched > 0 {
+        eprintln!(
+            "xp trace summary: {unmatched} unmatched event(s) skipped \
+             (ring buffers dropped their oldest events during capture)"
+        );
+    }
+    0
 }
 
 fn run(opts: &RunOptions) -> i32 {
@@ -507,6 +591,12 @@ fn run(opts: &RunOptions) -> i32 {
             to_run.len()
         );
     }
+
+    // Recording starts before the lab exists so the batch prime, every
+    // artifact evaluation, and all runtime/sim/silicon activity under
+    // them land in one session.
+    let trace_session = (opts.trace.is_some() || opts.metrics_out.is_some())
+        .then(|| trace::session(trace::TraceConfig::default()));
 
     let mut lab = Lab::with_threads(opts.scale, opts.threads);
     let mut policy = RetryPolicy::retries(opts.retries);
@@ -613,6 +703,13 @@ fn run(opts: &RunOptions) -> i32 {
         }
 
         let eval_started = Instant::now();
+        // Per-artifact span with a dynamic name; the string only
+        // materializes while a session records.
+        let _artifact_span = if trace::enabled() {
+            trace::span(format!("xp.artifact.{id}"))
+        } else {
+            trace::Span::disabled()
+        };
         // Isolate each artifact: a panic (e.g. an injected fault that
         // exhausted its retries) fails this artifact, not the batch.
         let outcome = catch_unwind(AssertUnwindSafe(|| artifact.evaluate(&lab, &suite)));
@@ -709,6 +806,40 @@ fn run(opts: &RunOptions) -> i32 {
             ids.len(),
             dir.display()
         );
+    }
+
+    if let Some(session) = trace_session {
+        let snapshot = session.finish();
+        if let Some(path) = &opts.trace {
+            let body = format!("{}\n", trace::export::chrome_trace(&snapshot).render());
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("xp run: cannot write {}: {e}", path.display());
+                return 1;
+            }
+            eprintln!(
+                "wrote {} trace event(s) to {} (load in perfetto or chrome://tracing)",
+                snapshot.events.len(),
+                path.display()
+            );
+            if snapshot.dropped_events > 0 {
+                eprintln!(
+                    "xp run: trace ring buffers dropped {} oldest event(s); \
+                     histograms still cover every span",
+                    snapshot.dropped_events
+                );
+            }
+        }
+        if let Some(path) = &opts.metrics_out {
+            let mut metrics = Json::object();
+            metrics.insert("schema_version", 1usize);
+            metrics.insert("trace", trace::export::summary(&snapshot));
+            metrics.insert("sweep", sweep_report.to_json());
+            if let Err(e) = std::fs::write(path, format!("{}\n", metrics.render_pretty())) {
+                eprintln!("xp run: cannot write {}: {e}", path.display());
+                return 1;
+            }
+            eprintln!("wrote metrics summary to {}", path.display());
+        }
     }
 
     lab.print_sweep_summary();
@@ -833,6 +964,10 @@ mod tests {
             "1500",
             "--faults",
             "seed=7,panic=0.2,poison=0.1",
+            "--trace",
+            "out.trace.json",
+            "--metrics-out",
+            "metrics.json",
         ])) else {
             panic!("expected a run command");
         };
@@ -850,6 +985,23 @@ mod tests {
         assert_eq!(spec.panic, 0.2);
         assert_eq!(spec.poison, 0.1);
         assert_eq!(spec.nan, 0.0);
+        assert_eq!(opts.trace.as_deref(), Some(Path::new("out.trace.json")));
+        assert_eq!(opts.metrics_out.as_deref(), Some(Path::new("metrics.json")));
+    }
+
+    #[test]
+    fn trace_summary_parses_and_rejects_bad_forms() {
+        let Ok(Command::TraceSummary { file }) = parse(&argv(&["trace", "summary", "t.json"]))
+        else {
+            panic!("expected a trace summary command");
+        };
+        assert_eq!(file, Path::new("t.json"));
+        assert!(parse(&argv(&["trace"])).is_err());
+        assert!(parse(&argv(&["trace", "summary"])).is_err());
+        assert!(parse(&argv(&["trace", "frobnicate", "t.json"])).is_err());
+        // Flags stay run-only.
+        assert!(parse(&argv(&["run", "fig2", "--trace"])).is_err());
+        assert!(parse(&argv(&["run", "fig2", "--metrics-out"])).is_err());
     }
 
     #[test]

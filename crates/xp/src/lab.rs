@@ -163,6 +163,7 @@ impl Lab {
     /// point surfaces as a per-point [`runtime::SweepError`] without
     /// aborting the rest of the sweep.
     pub fn prime(&self, points: &[(WorkloadSpec, ExpConfig)]) -> SweepReport<Arc<EventCounts>> {
+        let _span = trace::span("xp.prime");
         let scale = self.scale;
         let items: Vec<(SimKey, (WorkloadSpec, ExpConfig))> = points
             .iter()
