@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Shared primitives for the multi-module GPU energy-efficiency study.
 //!

@@ -174,6 +174,64 @@ fn format_time(secs: f64) -> String {
     }
 }
 
+/// One programmatic measurement, as produced by [`measure`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Iterations executed during the measurement phase.
+    pub iters: u64,
+    /// Total wall-clock time of the measurement phase, in seconds.
+    pub total_secs: f64,
+    /// Mean wall-clock time per iteration, in seconds.
+    pub mean_secs: f64,
+}
+
+/// Times a closure programmatically and returns the [`Measurement`]
+/// instead of printing it — the API `xp bench` builds on.
+///
+/// The closure runs through the same two-phase loop as a regular
+/// benchmark: a warm-up pass of at least `warm_up`, then a measurement
+/// pass of at least `measurement`, with geometrically growing batches so
+/// per-batch timer overhead vanishes.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// let m = criterion::measure(Duration::from_millis(1), Duration::from_millis(5), || {
+///     criterion::black_box((0..1000u64).sum::<u64>())
+/// });
+/// assert!(m.iters > 0);
+/// assert!(m.mean_secs > 0.0);
+/// ```
+pub fn measure<O, F: FnMut() -> O>(
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) -> Measurement {
+    let mut b = Bencher {
+        mode: Mode::WarmUp,
+        budget: warm_up,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    b.iter(&mut f);
+    b.mode = Mode::Measure;
+    b.budget = measurement;
+    b.iters = 0;
+    b.elapsed = Duration::ZERO;
+    b.iter(&mut f);
+    let total_secs = b.elapsed.as_secs_f64();
+    Measurement {
+        iters: b.iters,
+        total_secs,
+        mean_secs: if b.iters > 0 {
+            total_secs / b.iters as f64
+        } else {
+            f64::NAN
+        },
+    }
+}
+
 #[derive(Debug, PartialEq)]
 enum Mode {
     WarmUp,

@@ -4,7 +4,8 @@
 //!
 //! The build environment cannot reach crates.io, so this crate vendors
 //! the subset of the proptest 1.x API the workspace's property tests
-//! use: the [`Strategy`] trait with `prop_map`, range/tuple/collection
+//! use: the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//! range/tuple/collection
 //! strategies, `any::<T>()`, `prop_oneof!`, simple `[a-z]{m,n}` string
 //! patterns, and the `proptest!` / `prop_assert*` macro family driven by
 //! [`test_runner::ProptestConfig`].

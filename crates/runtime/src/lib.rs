@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Parallel sweep-execution engine for the multi-module GPU study.
 //!

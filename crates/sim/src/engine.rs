@@ -4,14 +4,39 @@
 //! resident CTAs and issues up to `issue_width` warp instructions per
 //! cycle, round-robin among ready warps (a GTO-less but
 //! latency-tolerance-faithful scheduler). Warps block on loads; stores
-//! retire through the write buffer. When no SM can issue, the engine jumps
-//! straight to the next wake-up cycle, charging the skipped cycles as
-//! memory-wait (stall) time — the quantity that drives the paper's
-//! constant-energy exposure at scale.
+//! retire through the write buffer.
 //!
 //! CTAs are partitioned contiguously across GPMs (distributed, locality-
 //! aware thread-block scheduling per MCM-GPU), then handed to SMs within
 //! a module on demand.
+//!
+//! # The event-driven hot path
+//!
+//! The paper's §V scaling study reruns this engine across 1–32 GPMs ×
+//! 3 bandwidths × topologies, and the bandwidth-bound workloads that
+//! drive Figures 2 and 6 spend most of their cycles with every warp
+//! stalled on memory. Two clock-advance strategies are implemented,
+//! selectable per [`GpuSim`] via [`EngineMode`]:
+//!
+//! * [`EngineMode::Naive`] — the reference loop: every SM is scanned on
+//!   every visited cycle; when no warp anywhere can issue, the clock
+//!   jumps to the minimum `SmRuntime::next_ready` wake-up, charging
+//!   the skipped cycles as memory-wait (stall) time.
+//! * [`EngineMode::EventDriven`] (the default) — per-SM wake times: an
+//!   SM whose earliest ready warp lies in the future (and which cannot
+//!   accept a CTA) *sleeps*, is skipped entirely — no warp scan, no
+//!   scheduler sort — and is charged its idle/stall cycles lazily when
+//!   it next wakes. Memory and NoC wake-ups need no separate queue scan
+//!   because every queue-drain time is already reflected in some warp's
+//!   `ready_at`/`outstanding` timestamps when the access is issued.
+//!
+//! Both strategies visit the *same* cycle sequence, issue the *same*
+//! memory accesses in the *same* order, and accumulate the *same*
+//! [`EventCounts`] — bit-for-bit. [`EngineMode::Shadow`] enforces this:
+//! it runs both loops on cloned machine state and asserts the results
+//! (and the memory-side counters) are identical. The equivalence
+//! argument is written out in DESIGN.md §12; the `event_equivalence`
+//! proptests and the repo-level golden test pin it in CI.
 
 use crate::config::GpuConfig;
 use crate::memory::MemorySystem;
@@ -82,6 +107,9 @@ impl CtaPartition {
 }
 
 /// Per-SM runtime state.
+///
+/// `warps` is the SM's *live* warp list: retired warps are removed
+/// eagerly (`swap_remove`), so iterating it never touches dead state.
 struct SmRuntime {
     warps: Vec<WarpRun>,
     slots: Vec<CtaSlot>,
@@ -115,6 +143,120 @@ impl SmRuntime {
             .map(|w| w.ready_at)
             .min()
     }
+}
+
+/// How [`GpuSim::run_kernel`] advances the simulated clock.
+///
+/// All modes produce bit-identical [`KernelResult`]s; they differ only in
+/// wall-clock cost. The default is read once per process from the
+/// `MMGPU_SIM_ENGINE` environment variable (`event`, `naive`, or
+/// `shadow`), falling back to [`EngineMode::EventDriven`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Per-SM wake times with fast-forward over sleeping SMs (the
+    /// default; fastest, especially for memory-bound multi-GPM runs).
+    #[default]
+    EventDriven,
+    /// The reference per-cycle loop that scans every SM on every visited
+    /// cycle (slow; kept as the ground truth the other modes are checked
+    /// against).
+    Naive,
+    /// Runs *both* loops on cloned machine state and asserts their
+    /// results and memory-side counters are identical (slowest; for
+    /// validation runs and CI equivalence smokes).
+    Shadow,
+}
+
+impl EngineMode {
+    /// The process-wide default: `MMGPU_SIM_ENGINE` if set and valid,
+    /// otherwise [`EngineMode::EventDriven`]. Read once and cached.
+    pub fn from_env() -> EngineMode {
+        use std::sync::OnceLock;
+        static MODE: OnceLock<EngineMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("MMGPU_SIM_ENGINE") {
+            Ok(v) => match v.as_str() {
+                "event" | "event-driven" => EngineMode::EventDriven,
+                "naive" => EngineMode::Naive,
+                "shadow" => EngineMode::Shadow,
+                other => {
+                    eprintln!(
+                        "sim: ignoring unknown MMGPU_SIM_ENGINE={other:?} \
+                         (expected event, naive, or shadow)"
+                    );
+                    EngineMode::EventDriven
+                }
+            },
+            Err(_) => EngineMode::EventDriven,
+        })
+    }
+}
+
+/// Counters describing how much work the event-driven loop avoided,
+/// accumulated across every kernel a [`GpuSim`] has run.
+///
+/// `visited_cycles * total_sms - sm_steps` is the number of per-SM scans
+/// the naive loop would have performed that the event-driven loop
+/// skipped; `skipped_cycles` is the number of whole cycles neither loop
+/// visits (both fast-forward those, charging them as stall/idle time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastForwardStats {
+    /// Clock advances of more than one cycle.
+    pub jumps: u64,
+    /// Cycles skipped by those jumps (never visited by the loop).
+    pub skipped_cycles: u64,
+    /// Cycles the loop actually visited.
+    pub visited_cycles: u64,
+    /// Per-SM processing steps actually executed (the naive loop would
+    /// have executed `visited_cycles * total_sms`).
+    pub sm_steps: u64,
+}
+
+/// Immutable per-kernel parameters shared by both loop implementations.
+struct KernelCtx<'a> {
+    program: &'a dyn KernelProgram,
+    partition: CtaPartition,
+    warps_per_cta: usize,
+    issue_width: usize,
+    sms_per_gpm: usize,
+    mlp_per_warp: usize,
+    gto: bool,
+}
+
+/// Mutable per-kernel state shared by both loop implementations.
+struct KernelState {
+    sms: Vec<SmRuntime>,
+    gpm_issued: Vec<usize>,
+    counts: EventCounts,
+    done_ctas: u32,
+}
+
+impl KernelState {
+    /// Accounting for one SM over one visited cycle — the same charges
+    /// whether the SM was processed (naive) or slept through it (event-
+    /// driven lazy catch-up with `issued == 0`).
+    fn charge_cycle(&mut self, issued: usize, resident: bool, issue_width: usize) {
+        if issued > 0 {
+            self.counts.busy_sm_cycles += 1;
+            self.counts.stall_cycles += (issue_width - issued) as u64;
+        } else if resident {
+            self.counts.idle_sm_cycles += 1;
+            self.counts.stall_cycles += issue_width as u64;
+        } else {
+            self.counts.idle_sm_cycles += 1;
+        }
+    }
+}
+
+/// Outcome of processing one SM at one visited cycle.
+struct SmStep {
+    /// Instructions issued this cycle (0..=issue_width).
+    issued: usize,
+    /// Post-step: the SM still holds live warps.
+    resident: bool,
+    /// Post-step: a CTA remains unassigned for this SM's module.
+    cta_pending: bool,
+    /// Post-step: the SM has a free resident-CTA slot.
+    free_slot: bool,
 }
 
 /// The multi-module GPU simulator.
@@ -153,15 +295,25 @@ pub struct GpuSim {
     cfg: GpuConfig,
     mem: MemorySystem,
     now: u64,
+    mode: EngineMode,
+    ff: FastForwardStats,
 }
 
 impl GpuSim {
-    /// Creates a simulator for a configuration.
+    /// Creates a simulator for a configuration, using the process-wide
+    /// default [`EngineMode`] (see [`EngineMode::from_env`]).
     pub fn new(cfg: &GpuConfig) -> Self {
+        GpuSim::with_mode(cfg, EngineMode::from_env())
+    }
+
+    /// Creates a simulator with an explicit clock-advance strategy.
+    pub fn with_mode(cfg: &GpuConfig, mode: EngineMode) -> Self {
         GpuSim {
             cfg: cfg.clone(),
             mem: MemorySystem::new(cfg),
             now: 0,
+            mode,
+            ff: FastForwardStats::default(),
         }
     }
 
@@ -175,241 +327,125 @@ impl GpuSim {
         &self.mem
     }
 
+    /// The clock-advance strategy this simulator uses.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Fast-forward counters accumulated over every kernel run so far
+    /// (all zero under [`EngineMode::Naive`]).
+    pub fn fast_forward_stats(&self) -> FastForwardStats {
+        self.ff
+    }
+
     /// Runs one kernel to completion and returns its event counts.
     pub fn run_kernel(&mut self, program: &dyn KernelProgram) -> KernelResult {
+        match self.mode {
+            EngineMode::EventDriven => self.run_kernel_with(program, false),
+            EngineMode::Naive => self.run_kernel_with(program, true),
+            EngineMode::Shadow => {
+                // Run the naive reference on a clone of the machine so
+                // the event-driven run (on `self`) stays authoritative.
+                let mut reference = GpuSim {
+                    cfg: self.cfg.clone(),
+                    mem: self.mem.clone(),
+                    now: self.now,
+                    mode: EngineMode::Naive,
+                    ff: FastForwardStats::default(),
+                };
+                let expected = reference.run_kernel_with(program, true);
+                let got = self.run_kernel_with(program, false);
+                assert_eq!(
+                    got, expected,
+                    "shadow mode: event-driven result diverged from the naive reference"
+                );
+                assert_eq!(
+                    self.now,
+                    reference.now,
+                    "shadow mode: clocks diverged after kernel {:?}",
+                    program.name()
+                );
+                assert_eq!(
+                    self.mem.txns(),
+                    reference.mem.txns(),
+                    "shadow mode: memory-side transaction counts diverged"
+                );
+                assert_eq!(
+                    self.mem.inter_gpm_hop_bytes(),
+                    reference.mem.inter_gpm_hop_bytes(),
+                    "shadow mode: NoC hop-byte counters diverged"
+                );
+                got
+            }
+        }
+    }
+
+    /// Shared kernel setup/teardown around the selected cycle loop.
+    fn run_kernel_with(&mut self, program: &dyn KernelProgram, naive: bool) -> KernelResult {
         let _span = trace::span("sim.kernel");
         let grid = program.grid();
         let num_gpms = self.cfg.num_gpms;
         let sms_per_gpm = self.cfg.gpm.sms;
         let total_sms = self.cfg.total_sms();
-        let issue_width = self.cfg.gpm.issue_width as usize;
 
         // CTA partition across GPMs (contiguous by default, round-robin
         // under the scheduling ablation).
         let ctas = grid.ctas as usize;
-        let partition = CtaPartition::new(self.cfg.cta_schedule, ctas, num_gpms);
-        // Per-GPM count of CTAs already dispatched.
-        let mut gpm_issued: Vec<usize> = vec![0; num_gpms];
-
         let warps_per_cta = grid.warps_per_cta as usize;
         let max_ctas_per_sm = (self.cfg.gpm.max_resident_warps / warps_per_cta).max(1);
 
-        let mut sms: Vec<SmRuntime> = (0..total_sms)
-            .map(|_| SmRuntime {
-                warps: Vec::with_capacity(max_ctas_per_sm * warps_per_cta),
-                slots: vec![CtaSlot { live_warps: 0 }; max_ctas_per_sm],
-                rr: 0,
-                next_age: 0,
-                greedy_age: None,
-                scratch: Vec::new(),
-            })
-            .collect();
+        let ctx = KernelCtx {
+            program,
+            partition: CtaPartition::new(self.cfg.cta_schedule, ctas, num_gpms),
+            warps_per_cta,
+            issue_width: self.cfg.gpm.issue_width as usize,
+            sms_per_gpm,
+            mlp_per_warp: self.cfg.gpm.mlp_per_warp,
+            gto: self.cfg.warp_scheduler == crate::config::WarpScheduler::GreedyThenOldest,
+        };
+        let mut st = KernelState {
+            sms: (0..total_sms)
+                .map(|_| SmRuntime {
+                    warps: Vec::with_capacity(max_ctas_per_sm * warps_per_cta),
+                    slots: vec![CtaSlot { live_warps: 0 }; max_ctas_per_sm],
+                    rr: 0,
+                    next_age: 0,
+                    greedy_age: None,
+                    scratch: Vec::new(),
+                })
+                .collect(),
+            gpm_issued: vec![0; num_gpms],
+            counts: EventCounts::new(),
+            done_ctas: 0,
+        };
 
         // Event accumulation (memory-side counts snapshot for deltas).
         let txns_before = self.mem.txns().clone();
         let hop_before = self.mem.inter_gpm_hop_bytes();
         let e2e_before = self.mem.inter_gpm_bytes();
         let switch_before = self.mem.switch_bytes();
-        let mut counts = EventCounts::new();
 
         let start = self.now;
-        let mut now = self.now;
-        let mut done_ctas: u32 = 0;
-
-        loop {
-            let mut issued_any = false;
-            let mut all_drained = true;
-
-            #[allow(clippy::needless_range_loop)] // indices also derive GPM/SM ids
-            for flat in 0..total_sms {
-                let gpm = flat / sms_per_gpm;
-                let sm_id = SmId::new(GpmId::new(gpm as u16), (flat % sms_per_gpm) as u16);
-                let sm = &mut sms[flat];
-
-                // Refill at most one CTA per SM per cycle (breadth-first
-                // across the module's SMs, like a hardware CTA scheduler;
-                // filling one SM's slots greedily would cluster small
-                // grids onto SM0).
-                if let Some(cta) = partition.nth_for(gpm, gpm_issued[gpm]) {
-                    if let Some(slot_idx) =
-                        (0..sm.slots.len()).find(|&s| sm.slots[s].live_warps == 0)
-                    {
-                        gpm_issued[gpm] += 1;
-                        sm.slots[slot_idx].live_warps = warps_per_cta;
-                        for w in 0..warps_per_cta {
-                            let mut stream = program
-                                .warp_instructions(CtaId::new(cta as u32), WarpId::new(w as u32));
-                            let pending = stream.next();
-                            if pending.is_none() {
-                                // Degenerate empty warp: retire instantly.
-                                sm.slots[slot_idx].live_warps -= 1;
-                                if sm.slots[slot_idx].live_warps == 0 {
-                                    done_ctas += 1;
-                                }
-                                continue;
-                            }
-                            let age = sm.next_age;
-                            sm.next_age += 1;
-                            sm.warps.push(WarpRun {
-                                stream,
-                                pending,
-                                ready_at: now,
-                                slot: slot_idx,
-                                age,
-                                outstanding: Vec::with_capacity(self.cfg.gpm.mlp_per_warp),
-                            });
-                        }
-                    }
-                }
-
-                // Issue up to issue_width instructions, in policy order:
-                // loose round robin rotates; greedy-then-oldest prefers
-                // the warp it issued from last, then the oldest ready.
-                let n = sm.warps.len();
-                let gto = self.cfg.warp_scheduler == crate::config::WarpScheduler::GreedyThenOldest;
-                if gto && n > 0 {
-                    sm.scratch.clear();
-                    sm.scratch.extend(0..n);
-                    let greedy = sm.greedy_age;
-                    let warps = &sm.warps;
-                    sm.scratch
-                        .sort_by_key(|&i| (Some(warps[i].age) != greedy, warps[i].age));
-                }
-                let mut issued = 0usize;
-                let mut first_issued_age = None;
-                if n > 0 {
-                    let start_rr = sm.rr % n;
-                    for k in 0..n {
-                        if issued == issue_width {
-                            break;
-                        }
-                        let i = if gto {
-                            sm.scratch[k]
-                        } else {
-                            (start_rr + k) % n
-                        };
-                        let warp = &mut sm.warps[i];
-                        let Some(instr) = warp.pending else { continue };
-                        if warp.ready_at > now {
-                            continue;
-                        }
-                        // Loads are pipelined per warp up to the MLP
-                        // limit; a warp at the limit stalls until one of
-                        // its loads returns.
-                        if matches!(instr, WarpInstr::Mem(m) if !m.is_store) {
-                            warp.outstanding.retain(|&t| t > now);
-                            if warp.outstanding.len() >= self.cfg.gpm.mlp_per_warp {
-                                warp.ready_at =
-                                    warp.outstanding.iter().copied().min().unwrap_or(now + 1);
-                                continue;
-                            }
-                        }
-                        match instr {
-                            WarpInstr::Compute(op) => {
-                                counts.instrs.add(op, WARP_SIZE as u64);
-                                warp.ready_at = now + op.latency_cycles() as u64;
-                            }
-                            WarpInstr::Mem(mref) => {
-                                let out = self.mem.access(sm_id, mref, now);
-                                if out.blocking && !mref.is_store {
-                                    warp.outstanding.push(out.completion);
-                                    warp.ready_at = now + 1;
-                                } else if out.blocking {
-                                    // Write-buffer backpressure.
-                                    warp.ready_at = out.completion;
-                                } else {
-                                    warp.ready_at = now + 1;
-                                }
-                            }
-                        }
-                        warp.pending = warp.stream.next();
-                        if warp.pending.is_none() {
-                            // Stream exhausted: the warp drains its
-                            // outstanding loads and retires in a later
-                            // cleanup pass.
-                            warp.ready_at =
-                                warp.outstanding.iter().copied().max().unwrap_or(now + 1);
-                        }
-                        if first_issued_age.is_none() {
-                            first_issued_age = Some(warp.age);
-                        }
-                        issued += 1;
-                    }
-                    sm.rr = (start_rr + 1) % n;
-                    if gto && first_issued_age.is_some() {
-                        sm.greedy_age = first_issued_age;
-                    }
-                }
-
-                // Retire warps whose stream is exhausted once their last
-                // loads have returned (a warp never abandons in-flight
-                // memory).
-                let mut wi = 0;
-                while wi < sm.warps.len() {
-                    let w = &mut sm.warps[wi];
-                    if w.pending.is_none() {
-                        w.outstanding.retain(|&t| t > now);
-                        if w.outstanding.is_empty() {
-                            let slot = w.slot;
-                            sm.slots[slot].live_warps -= 1;
-                            if sm.slots[slot].live_warps == 0 {
-                                done_ctas += 1;
-                            }
-                            sm.warps.swap_remove(wi);
-                            continue;
-                        }
-                        // Wake exactly when the last load lands.
-                        w.ready_at = w.outstanding.iter().copied().max().unwrap_or(now + 1);
-                    }
-                    wi += 1;
-                }
-
-                // Accounting.
-                let resident = sm.has_resident_work();
-                if issued > 0 {
-                    issued_any = true;
-                    counts.busy_sm_cycles += 1;
-                    counts.stall_cycles += (issue_width - issued) as u64;
-                } else if resident {
-                    counts.idle_sm_cycles += 1;
-                    counts.stall_cycles += issue_width as u64;
-                } else {
-                    counts.idle_sm_cycles += 1;
-                }
-
-                if resident || partition.nth_for(gpm, gpm_issued[gpm]).is_some() {
-                    all_drained = false;
-                }
-            }
-
-            if all_drained {
-                break;
-            }
-
-            if issued_any {
-                now += 1;
-            } else {
-                // Nothing issued anywhere: jump to the next wake-up.
-                let next = sms
-                    .iter()
-                    .filter_map(SmRuntime::next_ready)
-                    .min()
-                    .unwrap_or(now + 1)
-                    .max(now + 1);
-                let skipped = next - now - 1; // the current cycle is already accounted
-                if skipped > 0 {
-                    for sm in &sms {
-                        if sm.has_resident_work() {
-                            counts.idle_sm_cycles += skipped;
-                            counts.stall_cycles += issue_width as u64 * skipped;
-                        } else {
-                            counts.idle_sm_cycles += skipped;
-                        }
-                    }
-                }
-                now = next;
-            }
+        let ff_before = self.ff;
+        let mut now = if naive {
+            self.run_loop_naive(&ctx, &mut st, start)
+        } else {
+            self.run_loop_event(&ctx, &mut st, start)
+        };
+        if !naive {
+            let d = self.ff;
+            trace::count("sim.ff.jumps", d.jumps - ff_before.jumps);
+            trace::count(
+                "sim.ff.skipped_cycles",
+                d.skipped_cycles - ff_before.skipped_cycles,
+            );
+            trace::count(
+                "sim.ff.visited_cycles",
+                d.visited_cycles - ff_before.visited_cycles,
+            );
+            trace::count("sim.ff.sm_steps", d.sm_steps - ff_before.sm_steps);
         }
+        let mut counts = st.counts;
 
         // Software coherence at the kernel boundary.
         now = self.mem.kernel_boundary(now).max(now);
@@ -443,8 +479,358 @@ impl GpuSim {
             name: program.name().to_string(),
             counts,
             cycles,
-            ctas: done_ctas,
+            ctas: st.done_ctas,
         }
+    }
+
+    /// Processes one SM for one visited cycle: refill at most one CTA,
+    /// issue up to `issue_width` instructions, retire drained warps.
+    /// Accounting is left to the caller (the two loops charge visited
+    /// and slept cycles differently, but through the same rates).
+    fn step_sm(&mut self, ctx: &KernelCtx, st: &mut KernelState, flat: usize, now: u64) -> SmStep {
+        let gpm = flat / ctx.sms_per_gpm;
+        let sm_id = SmId::new(GpmId::new(gpm as u16), (flat % ctx.sms_per_gpm) as u16);
+        let issue_width = ctx.issue_width;
+        let sm = &mut st.sms[flat];
+
+        // Refill at most one CTA per SM per cycle (breadth-first across
+        // the module's SMs, like a hardware CTA scheduler; filling one
+        // SM's slots greedily would cluster small grids onto SM0).
+        if let Some(cta) = ctx.partition.nth_for(gpm, st.gpm_issued[gpm]) {
+            if let Some(slot_idx) = (0..sm.slots.len()).find(|&s| sm.slots[s].live_warps == 0) {
+                st.gpm_issued[gpm] += 1;
+                sm.slots[slot_idx].live_warps = ctx.warps_per_cta;
+                for w in 0..ctx.warps_per_cta {
+                    let mut stream = ctx
+                        .program
+                        .warp_instructions(CtaId::new(cta as u32), WarpId::new(w as u32));
+                    let pending = stream.next();
+                    if pending.is_none() {
+                        // Degenerate empty warp: retire instantly.
+                        sm.slots[slot_idx].live_warps -= 1;
+                        if sm.slots[slot_idx].live_warps == 0 {
+                            st.done_ctas += 1;
+                        }
+                        continue;
+                    }
+                    let age = sm.next_age;
+                    sm.next_age += 1;
+                    sm.warps.push(WarpRun {
+                        stream,
+                        pending,
+                        ready_at: now,
+                        slot: slot_idx,
+                        age,
+                        outstanding: Vec::with_capacity(ctx.mlp_per_warp),
+                    });
+                }
+            }
+        }
+
+        // Issue up to issue_width instructions, in policy order: loose
+        // round robin rotates; greedy-then-oldest prefers the warp it
+        // issued from last, then the oldest ready.
+        let n = sm.warps.len();
+        if ctx.gto && n > 0 {
+            sm.scratch.clear();
+            sm.scratch.extend(0..n);
+            let greedy = sm.greedy_age;
+            let warps = &sm.warps;
+            sm.scratch
+                .sort_by_key(|&i| (Some(warps[i].age) != greedy, warps[i].age));
+        }
+        let mut issued = 0usize;
+        let mut first_issued_age = None;
+        if n > 0 {
+            let start_rr = sm.rr % n;
+            for k in 0..n {
+                if issued == issue_width {
+                    break;
+                }
+                let i = if ctx.gto {
+                    sm.scratch[k]
+                } else {
+                    (start_rr + k) % n
+                };
+                let warp = &mut sm.warps[i];
+                let Some(instr) = warp.pending else { continue };
+                if warp.ready_at > now {
+                    continue;
+                }
+                // Loads are pipelined per warp up to the MLP limit; a
+                // warp at the limit stalls until one of its loads
+                // returns.
+                if matches!(instr, WarpInstr::Mem(m) if !m.is_store) {
+                    warp.outstanding.retain(|&t| t > now);
+                    if warp.outstanding.len() >= ctx.mlp_per_warp {
+                        warp.ready_at = warp.outstanding.iter().copied().min().unwrap_or(now + 1);
+                        continue;
+                    }
+                }
+                match instr {
+                    WarpInstr::Compute(op) => {
+                        st.counts.instrs.add(op, WARP_SIZE as u64);
+                        warp.ready_at = now + op.latency_cycles() as u64;
+                    }
+                    WarpInstr::Mem(mref) => {
+                        let out = self.mem.access(sm_id, mref, now);
+                        if out.blocking && !mref.is_store {
+                            warp.outstanding.push(out.completion);
+                            warp.ready_at = now + 1;
+                        } else if out.blocking {
+                            // Write-buffer backpressure.
+                            warp.ready_at = out.completion;
+                        } else {
+                            warp.ready_at = now + 1;
+                        }
+                    }
+                }
+                warp.pending = warp.stream.next();
+                if warp.pending.is_none() {
+                    // Stream exhausted: the warp drains its outstanding
+                    // loads and retires in a later cleanup pass.
+                    warp.ready_at = warp.outstanding.iter().copied().max().unwrap_or(now + 1);
+                }
+                if first_issued_age.is_none() {
+                    first_issued_age = Some(warp.age);
+                }
+                issued += 1;
+            }
+            sm.rr = (start_rr + 1) % n;
+            if ctx.gto && first_issued_age.is_some() {
+                sm.greedy_age = first_issued_age;
+            }
+        }
+
+        // Retire warps whose stream is exhausted once their last loads
+        // have returned (a warp never abandons in-flight memory).
+        let mut wi = 0;
+        while wi < sm.warps.len() {
+            let w = &mut sm.warps[wi];
+            if w.pending.is_none() {
+                w.outstanding.retain(|&t| t > now);
+                if w.outstanding.is_empty() {
+                    let slot = w.slot;
+                    sm.slots[slot].live_warps -= 1;
+                    if sm.slots[slot].live_warps == 0 {
+                        st.done_ctas += 1;
+                    }
+                    sm.warps.swap_remove(wi);
+                    continue;
+                }
+                // Wake exactly when the last load lands.
+                w.ready_at = w.outstanding.iter().copied().max().unwrap_or(now + 1);
+            }
+            wi += 1;
+        }
+
+        SmStep {
+            issued,
+            resident: sm.has_resident_work(),
+            cta_pending: ctx.partition.nth_for(gpm, st.gpm_issued[gpm]).is_some(),
+            free_slot: sm.slots.iter().any(|s| s.live_warps == 0),
+        }
+    }
+
+    /// The reference loop: every SM is processed on every visited cycle;
+    /// when no warp anywhere issued, the clock jumps to the next wake-up,
+    /// charging the skipped cycles as memory-wait (stall) time — the
+    /// quantity that drives the paper's constant-energy exposure at
+    /// scale. This is the historical seed behavior, kept bit-for-bit.
+    fn run_loop_naive(&mut self, ctx: &KernelCtx, st: &mut KernelState, start: u64) -> u64 {
+        let total_sms = st.sms.len();
+        let issue_width = ctx.issue_width;
+        let mut now = start;
+        loop {
+            let mut issued_any = false;
+            let mut all_drained = true;
+
+            for flat in 0..total_sms {
+                let step = self.step_sm(ctx, st, flat, now);
+                if step.issued > 0 {
+                    issued_any = true;
+                }
+                st.charge_cycle(step.issued, step.resident, issue_width);
+                if step.resident || step.cta_pending {
+                    all_drained = false;
+                }
+            }
+
+            if all_drained {
+                break;
+            }
+
+            if issued_any {
+                now += 1;
+            } else {
+                // Nothing issued anywhere: jump to the next wake-up.
+                let next = st
+                    .sms
+                    .iter()
+                    .filter_map(SmRuntime::next_ready)
+                    .min()
+                    .unwrap_or(now + 1)
+                    .max(now + 1);
+                let skipped = next - now - 1; // the current cycle is already accounted
+                if skipped > 0 {
+                    for sm in &st.sms {
+                        if sm.has_resident_work() {
+                            st.counts.idle_sm_cycles += skipped;
+                            st.counts.stall_cycles += issue_width as u64 * skipped;
+                        } else {
+                            st.counts.idle_sm_cycles += skipped;
+                        }
+                    }
+                }
+                now = next;
+            }
+        }
+        now
+    }
+
+    /// The event-driven loop. Equivalent to `run_loop_naive`
+    /// but it only *processes* SMs that can make progress at the visited
+    /// cycle; the rest sleep. Per SM it tracks:
+    ///
+    /// * `ready_wake` — the earliest `ready_at` among its live warps
+    ///   (what `SmRuntime::next_ready` computes, maintained
+    ///   incrementally). Valid while the SM sleeps because sleeping SMs
+    ///   are exactly those whose state no cycle can change.
+    /// * `refill_eligible` — a free CTA slot plus a CTA remaining for its
+    ///   module. Such an SM is processed at *every visited* cycle (the
+    ///   naive loop refills on visited cycles only, so refill times must
+    ///   not influence which cycles are visited — see DESIGN.md §12).
+    /// * lazy accounting — a sleeping SM's idle/stall charges and its
+    ///   round-robin pointer advances are applied in one batch when it
+    ///   wakes, at the same rates the naive loop applies per cycle.
+    ///
+    /// The visited-cycle sequence is therefore identical to the naive
+    /// loop's: `now + 1` when any SM issued, else the minimum
+    /// `ready_wake` (debug asserts check no ready event is ever jumped
+    /// over).
+    fn run_loop_event(&mut self, ctx: &KernelCtx, st: &mut KernelState, start: u64) -> u64 {
+        let total_sms = st.sms.len();
+        let issue_width = ctx.issue_width;
+        let iw = issue_width as u64;
+        let mut now = start;
+
+        // Earliest ready_at among live warps; u64::MAX when none.
+        let mut ready_wake: Vec<u64> = vec![u64::MAX; total_sms];
+        // Free slot && CTA pending — processed at every visited cycle.
+        // True initially so every SM is processed at `start`, as naive.
+        let mut refill_eligible: Vec<bool> = vec![true; total_sms];
+        // First cycle not yet charged to this SM.
+        let mut acct: Vec<u64> = vec![start; total_sms];
+        // Resident status while sleeping (constant between processings).
+        let mut sleeping_resident: Vec<bool> = vec![false; total_sms];
+        // Visited-cycle iteration of the SM's last processing (for
+        // round-robin pointer catch-up: naive advances rr once per
+        // *visited* cycle with warps resident, not per calendar cycle).
+        let mut last_iter: Vec<u64> = vec![0; total_sms];
+        let mut dead: Vec<bool> = vec![false; total_sms];
+        let mut live = total_sms;
+        let mut iter: u64 = 0;
+
+        loop {
+            iter += 1;
+            self.ff.visited_cycles += 1;
+            let mut issued_any = false;
+
+            for flat in 0..total_sms {
+                if dead[flat] || !(refill_eligible[flat] || ready_wake[flat] <= now) {
+                    continue; // dead or sleeping
+                }
+
+                // Lazy catch-up for the cycles this SM slept through.
+                let slept = now - acct[flat];
+                if slept > 0 {
+                    st.counts.idle_sm_cycles += slept;
+                    if sleeping_resident[flat] {
+                        st.counts.stall_cycles += iw * slept;
+                    }
+                    let missed_iters = iter - 1 - last_iter[flat];
+                    let n = st.sms[flat].warps.len();
+                    if n > 0 && missed_iters > 0 {
+                        let sm = &mut st.sms[flat];
+                        sm.rr = (sm.rr % n + (missed_iters % n as u64) as usize) % n;
+                    }
+                }
+
+                let step = self.step_sm(ctx, st, flat, now);
+                self.ff.sm_steps += 1;
+                if step.issued > 0 {
+                    issued_any = true;
+                }
+                st.charge_cycle(step.issued, step.resident, issue_width);
+                acct[flat] = now + 1;
+                last_iter[flat] = iter;
+                sleeping_resident[flat] = step.resident;
+                refill_eligible[flat] = step.cta_pending && step.free_slot;
+                if !step.resident && !step.cta_pending {
+                    dead[flat] = true;
+                    live -= 1;
+                    ready_wake[flat] = u64::MAX;
+                } else {
+                    ready_wake[flat] = st.sms[flat]
+                        .warps
+                        .iter()
+                        .map(|w| w.ready_at)
+                        .min()
+                        .unwrap_or(u64::MAX);
+                }
+            }
+
+            if live == 0 {
+                break;
+            }
+
+            // Advance the clock exactly as the naive loop would: one
+            // cycle while anything issued, else straight to the earliest
+            // warp wake-up (refill-eligible SMs deliberately do not pull
+            // the jump target closer — the naive loop skips their refill
+            // opportunities on unvisited cycles too).
+            let next = if issued_any {
+                now + 1
+            } else {
+                let min_ready = ready_wake.iter().copied().min().unwrap_or(u64::MAX);
+                if min_ready == u64::MAX {
+                    now + 1
+                } else {
+                    min_ready.max(now + 1)
+                }
+            };
+
+            #[cfg(debug_assertions)]
+            if next > now + 1 {
+                // Fast-forward must never skip past a ready event: every
+                // live warp's wake-up lies at or beyond the jump target.
+                for sm in st.sms.iter() {
+                    for w in sm.warps.iter().filter(|w| w.is_live()) {
+                        debug_assert!(
+                            w.ready_at <= now || w.ready_at >= next,
+                            "fast-forward from {now} to {next} skips a warp ready at {}",
+                            w.ready_at
+                        );
+                    }
+                }
+            }
+
+            if next > now + 1 {
+                self.ff.jumps += 1;
+                self.ff.skipped_cycles += next - now - 1;
+            }
+            now = next;
+        }
+
+        // Final flush: the naive loop keeps charging drained SMs one
+        // idle cycle per visited cycle until the whole kernel drains.
+        let through = now + 1;
+        for &charged in acct.iter().take(total_sms) {
+            if charged < through {
+                st.counts.idle_sm_cycles += through - charged;
+            }
+        }
+        now
     }
 
     /// Walks a kernel's trace in CTA order and first-touch-places every
@@ -928,5 +1314,110 @@ mod tests {
             fast < slow,
             "4x inter-GPM bandwidth should speed up remote reads: {fast} vs {slow}"
         );
+    }
+
+    #[test]
+    fn event_and_naive_loops_agree_on_streams() {
+        let k = StreamKernel {
+            ctas: 24,
+            warps: 4,
+            lines_per_warp: 32,
+        };
+        let cfg = GpuConfig::tiny(4);
+        let mut event = GpuSim::with_mode(&cfg, EngineMode::EventDriven);
+        let mut naive = GpuSim::with_mode(&cfg, EngineMode::Naive);
+        event.prefault(&k);
+        naive.prefault(&k);
+        assert_eq!(event.run_kernel(&k), naive.run_kernel(&k));
+        assert_eq!(event.memory().txns(), naive.memory().txns());
+        // The stall-heavy stream must actually exercise fast-forward.
+        let ff = event.fast_forward_stats();
+        assert!(ff.skipped_cycles > 0, "stream kernels must fast-forward");
+        assert!(ff.sm_steps < ff.visited_cycles * cfg.total_sms() as u64);
+        assert_eq!(naive.fast_forward_stats(), FastForwardStats::default());
+    }
+
+    #[test]
+    fn event_and_naive_loops_agree_under_gto() {
+        let k = StreamKernel {
+            ctas: 16,
+            warps: 4,
+            lines_per_warp: 24,
+        };
+        let cfg = GpuConfig {
+            warp_scheduler: crate::config::WarpScheduler::GreedyThenOldest,
+            ..GpuConfig::tiny(2)
+        };
+        let mut event = GpuSim::with_mode(&cfg, EngineMode::EventDriven);
+        let mut naive = GpuSim::with_mode(&cfg, EngineMode::Naive);
+        assert_eq!(event.run_kernel(&k), naive.run_kernel(&k));
+    }
+
+    #[test]
+    fn shadow_mode_runs_and_matches_event_driven() {
+        let k = StreamKernel {
+            ctas: 8,
+            warps: 4,
+            lines_per_warp: 16,
+        };
+        let cfg = GpuConfig::tiny(2);
+        let mut shadow = GpuSim::with_mode(&cfg, EngineMode::Shadow);
+        let mut event = GpuSim::with_mode(&cfg, EngineMode::EventDriven);
+        // Shadow asserts internally; its visible result equals the
+        // event-driven one.
+        assert_eq!(shadow.run_kernel(&k), event.run_kernel(&k));
+        assert_eq!(shadow.mode(), EngineMode::Shadow);
+    }
+
+    #[test]
+    fn shadow_mode_holds_across_multi_kernel_workloads() {
+        // State persists across launches (L2 contents, pages, clock);
+        // shadow must stay bit-equal kernel after kernel.
+        let mut sim = GpuSim::with_mode(&GpuConfig::tiny(4), EngineMode::Shadow);
+        let launches = vec![
+            LaunchSpec::repeated(
+                Box::new(StreamKernel {
+                    ctas: 16,
+                    warps: 4,
+                    lines_per_warp: 16,
+                }),
+                2,
+            ),
+            LaunchSpec::repeated(
+                Box::new(ComputeKernel {
+                    ctas: 8,
+                    warps: 4,
+                    len: 40,
+                }),
+                1,
+            ),
+        ];
+        let result = sim.run_workload(&launches);
+        assert_eq!(result.launches(), 3);
+    }
+
+    #[test]
+    fn degenerate_grids_agree_across_modes() {
+        // Empty-stream warps retire instantly; grids smaller than the
+        // GPM count leave whole modules idle. Both paths must agree.
+        struct EmptyKernel;
+        impl KernelProgram for EmptyKernel {
+            fn name(&self) -> &str {
+                "empty"
+            }
+            fn grid(&self) -> GridShape {
+                GridShape::new(3, 2)
+            }
+            fn warp_instructions(&self, _cta: CtaId, _warp: WarpId) -> WarpInstrStream {
+                Box::new(std::iter::empty())
+            }
+        }
+        let cfg = GpuConfig::tiny(4);
+        let mut event = GpuSim::with_mode(&cfg, EngineMode::EventDriven);
+        let mut naive = GpuSim::with_mode(&cfg, EngineMode::Naive);
+        let re = event.run_kernel(&EmptyKernel);
+        let rn = naive.run_kernel(&EmptyKernel);
+        assert_eq!(re, rn);
+        assert_eq!(re.ctas, 3);
     }
 }

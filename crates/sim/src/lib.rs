@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Cycle-level, trace-driven multi-module (NUMA) GPU performance
 //! simulator.
@@ -43,6 +43,6 @@ pub mod results;
 pub use config::{
     BwSetting, CtaSchedule, GpmConfig, GpuConfig, L2Mode, PagePolicy, Topology, WarpScheduler,
 };
-pub use engine::GpuSim;
+pub use engine::{EngineMode, FastForwardStats, GpuSim};
 pub use memory::{MemOutcome, MemorySystem, UtilizationReport};
 pub use results::{KernelResult, WorkloadResult};

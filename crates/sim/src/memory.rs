@@ -90,7 +90,10 @@ struct GpmMem {
 }
 
 /// The full memory system of a simulated multi-module GPU.
-#[derive(Debug)]
+///
+/// `Clone` is derived so [`crate::EngineMode::Shadow`] can run the naive
+/// reference loop on an identical copy of the machine state.
+#[derive(Debug, Clone)]
 pub struct MemorySystem {
     cfg: GpuConfig,
     l1: Vec<Cache>,

@@ -3,13 +3,16 @@
 //! [`chrome_trace`] renders a [`Snapshot`] as a trace-event array that
 //! loads directly in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev):
 //! one `ph: "M"` metadata event naming each thread, then balanced
-//! `ph: "B"` / `ph: "E"` events with microsecond timestamps. [`summary`]
+//! `ph: "B"` / `ph: "E"` events with microsecond timestamps, then one
+//! `ph: "C"` counter event per named counter holding its final value
+//! (e.g. the `sim.ff.*` fast-forward statistics). [`summary`]
 //! renders the aggregate view (per-span histograms, counters, drop
 //! count) as JSON, and [`summary_table`] as text for terminals.
 //!
-//! [`span_stats_from_chrome_trace`] goes the other way: it rebuilds
-//! per-span statistics from a previously exported trace file, which is
-//! what `xp trace summary <file>` runs on.
+//! [`span_stats_from_chrome_trace`] and [`counters_from_chrome_trace`]
+//! go the other way: they rebuild per-span statistics and counter
+//! values from a previously exported trace file, which is what
+//! `xp trace summary <file>` runs on.
 
 use crate::hist::HistogramSnapshot;
 use crate::ring::Phase;
@@ -46,6 +49,27 @@ pub fn chrome_trace(snapshot: &Snapshot) -> Json {
         e.insert("ts", event.ts_nanos as f64 / 1000.0);
         e.insert("pid", 1u64);
         e.insert("tid", event.tid);
+        events.push(e);
+    }
+    // Counters go last as Chrome counter events so trace files carry
+    // them (viewers chart them; `xp trace summary` tabulates them).
+    let end_ts = snapshot
+        .events
+        .iter()
+        .map(|e| e.ts_nanos)
+        .max()
+        .unwrap_or(0);
+    for (name, value) in &snapshot.counters {
+        let mut e = Json::object();
+        e.insert("name", name.as_str());
+        e.insert("cat", "mmgpu");
+        e.insert("ph", "C");
+        e.insert("ts", end_ts as f64 / 1000.0);
+        e.insert("pid", 1u64);
+        e.insert("tid", 0u64);
+        let mut args = Json::object();
+        args.insert("value", *value);
+        e.insert("args", args);
         events.push(e);
     }
     events
@@ -173,6 +197,53 @@ pub fn span_stats_from_chrome_trace(trace: &Json) -> Result<(Vec<SpanStats>, u64
     Ok((stats, unmatched))
 }
 
+/// Rebuilds final counter values from a Chrome trace-event array — the
+/// `ph: "C"` events [`chrome_trace`] appends. When a counter is sampled
+/// more than once, the latest timestamp (last in file order on ties)
+/// wins. Returns counters sorted by name; events without the expected
+/// `args.value` field are skipped rather than fatal, so traces from
+/// other producers still summarize.
+pub fn counters_from_chrome_trace(trace: &Json) -> Result<Vec<(String, u64)>, String> {
+    let events = trace
+        .as_array()
+        .ok_or_else(|| "trace file is not a JSON array of events".to_string())?;
+    let mut counters: Vec<(String, f64, u64)> = Vec::new();
+    for event in events {
+        if event.get("ph").and_then(Json::as_str) != Some("C") {
+            continue;
+        }
+        let (Some(name), Some(value)) = (
+            event.get("name").and_then(Json::as_str),
+            event
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let ts = event.get("ts").and_then(Json::as_f64).unwrap_or(0.0);
+        match counters.iter_mut().find(|(n, _, _)| n == name) {
+            Some(entry) if entry.1 <= ts => {
+                entry.1 = ts;
+                entry.2 = value as u64;
+            }
+            Some(_) => {}
+            None => counters.push((name.to_string(), ts, value as u64)),
+        }
+    }
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(counters.into_iter().map(|(n, _, v)| (n, v)).collect())
+}
+
+/// Renders counter values as an aligned text table.
+pub fn counters_table(counters: &[(String, u64)]) -> String {
+    let mut table = TextTable::new(["counter", "value"]);
+    for (name, value) in counters {
+        table.row([name.clone(), value.to_string()]);
+    }
+    table.render()
+}
+
 /// Renders span statistics as an aligned text table, sorted by total
 /// time descending.
 pub fn summary_table(stats: &[SpanStats]) -> String {
@@ -237,14 +308,47 @@ mod tests {
     fn chrome_trace_has_metadata_then_balanced_events() {
         let json = chrome_trace(&snapshot());
         let events = json.as_array().unwrap();
-        assert_eq!(events.len(), 6);
+        assert_eq!(events.len(), 7);
         assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
         assert_eq!(events[2].get("ph").unwrap().as_str(), Some("B"));
         assert_eq!(events[2].get("ts").unwrap().as_f64(), Some(1.0));
         assert_eq!(events[2].get("pid").unwrap().as_f64(), Some(1.0));
+        // Counters come last as `ph: "C"` events at the final timestamp.
+        assert_eq!(events[6].get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(events[6].get("name").unwrap().as_str(), Some("cache.hit"));
+        assert_eq!(events[6].get("ts").unwrap().as_f64(), Some(5.0));
         // Round-trips through the strict parser.
         let reparsed = Json::parse(&json.render()).unwrap();
-        assert_eq!(reparsed.as_array().unwrap().len(), 6);
+        assert_eq!(reparsed.as_array().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn counters_rebuild_from_exported_trace() {
+        let json = chrome_trace(&snapshot());
+        let counters = counters_from_chrome_trace(&json).unwrap();
+        assert_eq!(counters, vec![("cache.hit".to_string(), 42)]);
+        let table = counters_table(&counters);
+        assert!(table.contains("cache.hit"), "{table}");
+        assert!(table.contains("42"), "{table}");
+    }
+
+    #[test]
+    fn latest_counter_sample_wins() {
+        let mut trace = Json::array();
+        for (ts, value) in [(2.0, 7u64), (1.0, 3u64)] {
+            let mut c = Json::object();
+            c.insert("name", "sim.ff.jumps");
+            c.insert("ph", "C");
+            c.insert("ts", ts);
+            c.insert("pid", 1u64);
+            c.insert("tid", 0u64);
+            let mut args = Json::object();
+            args.insert("value", value);
+            c.insert("args", args);
+            trace.push(c);
+        }
+        let counters = counters_from_chrome_trace(&trace).unwrap();
+        assert_eq!(counters, vec![("sim.ff.jumps".to_string(), 7)]);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Std-only observability: span tracing, counters, latency histograms,
 //! and Chrome-trace export.

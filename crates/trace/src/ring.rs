@@ -1,6 +1,6 @@
 //! Per-thread event ring buffers.
 //!
-//! Every instrumented thread owns one [`ThreadBuffer`]: a bounded ring
+//! Every instrumented thread owns one `ThreadBuffer`: a bounded ring
 //! the thread appends span begin/end events to. The ring drops its
 //! *oldest* events when full (the most recent activity is what a trace
 //! viewer needs) and counts what it dropped, so exports can report

@@ -99,6 +99,11 @@ proptest! {
             if ph == "M" {
                 continue;
             }
+            if ph == "C" {
+                let value = e.get("args").and_then(|a| a.get("value"));
+                prop_assert!(value.and_then(Json::as_f64).is_some());
+                continue;
+            }
             prop_assert!(ph == "B" || ph == "E");
             let name = e.get("name").and_then(Json::as_str).unwrap().to_string();
             prop_assert!(e.get("ts").and_then(Json::as_f64).is_some());

@@ -56,6 +56,7 @@ enum Command {
     Run(RunOptions),
     Check { dir: PathBuf },
     TraceSummary { file: PathBuf },
+    Bench(crate::bench::BenchOptions),
 }
 
 /// Options for `xp run`.
@@ -87,7 +88,9 @@ commands:
   list                     list every artifact id and title
   run <id>... | run all    evaluate artifacts (see options below)
   check <dir>              re-parse JSON results emitted by `run --out`
-  trace summary <file>     per-span statistics from a --trace output file
+  trace summary <file>     per-span statistics + counters from a --trace file
+  bench                    time the simulator hot path (event-driven vs naive
+                           cycle loop) and write BENCH_sim.json
 
 run options:
   --smoke                  smoke-scale problems (fast; CI default)
@@ -107,6 +110,14 @@ run options:
                            Chrome trace-event JSON (perfetto / chrome://tracing)
   --metrics-out FILE       write per-span histograms, counters, and the sweep
                            report as one JSON summary
+
+bench options:
+  --quick                  short measurement budgets (CI default)
+  --out FILE               where to write the report (default: BENCH_sim.json)
+  --baseline FILE          recorded BENCH_sim.json to gate against:
+                           speedup drop >10% warns, >25% fails the run
+  --filter SUBSTR          only scenarios whose name contains SUBSTR
+                           (names are kind/gpms, e.g. memory/32gpm)
 ";
 
 /// Parsed `--faults` specification: rates for each injected fault kind
@@ -237,6 +248,34 @@ fn parse(args: &[String]) -> Result<Command, String> {
             Ok(Command::TraceSummary {
                 file: PathBuf::from(file),
             })
+        }
+        "bench" => {
+            let mut opts = crate::bench::BenchOptions::default();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--quick" => opts.quick = true,
+                    "--out" => {
+                        let file = it
+                            .next()
+                            .ok_or_else(|| "xp bench: --out: missing file".to_string())?;
+                        opts.out = Some(PathBuf::from(file));
+                    }
+                    "--baseline" => {
+                        let file = it
+                            .next()
+                            .ok_or_else(|| "xp bench: --baseline: missing file".to_string())?;
+                        opts.baseline = Some(PathBuf::from(file));
+                    }
+                    "--filter" => {
+                        let pat = it
+                            .next()
+                            .ok_or_else(|| "xp bench: --filter: missing substring".to_string())?;
+                        opts.filter = Some(pat.clone());
+                    }
+                    other => return Err(format!("xp bench: unknown option {other}\n\n{USAGE}")),
+                }
+            }
+            Ok(Command::Bench(opts))
         }
         "run" => {
             let mut opts = RunOptions {
@@ -462,13 +501,15 @@ pub fn main(args: &[String]) -> i32 {
         }
         Ok(Command::Check { dir }) => check(&dir),
         Ok(Command::TraceSummary { file }) => trace_summary(&file),
+        Ok(Command::Bench(opts)) => crate::bench::run(&opts),
         Ok(Command::Run(opts)) => run(&opts),
     }
 }
 
 /// `xp trace summary <file>`: rebuild per-span statistics (count, total,
 /// p50/p90/p99, max) from an exported Chrome trace and print them as a
-/// table, largest total first.
+/// table, largest total first, followed by a table of the trace's
+/// counters (e.g. the `sim.ff.*` fast-forward statistics).
 fn trace_summary(file: &Path) -> i32 {
     let text = match std::fs::read_to_string(file) {
         Ok(t) => t,
@@ -494,11 +535,20 @@ fn trace_summary(file: &Path) -> i32 {
             return 1;
         }
     };
-    if stats.is_empty() {
-        println!("no span events in {}", file.display());
+    let counters = trace::export::counters_from_chrome_trace(&json).unwrap_or_default();
+    if stats.is_empty() && counters.is_empty() {
+        println!("no span or counter events in {}", file.display());
         return 0;
     }
-    print!("{}", trace::export::summary_table(&stats));
+    if !stats.is_empty() {
+        print!("{}", trace::export::summary_table(&stats));
+    }
+    if !counters.is_empty() {
+        if !stats.is_empty() {
+            println!();
+        }
+        print!("{}", trace::export::counters_table(&counters));
+    }
     if unmatched > 0 {
         eprintln!(
             "xp trace summary: {unmatched} unmatched event(s) skipped \
@@ -1054,6 +1104,46 @@ mod tests {
         let b = vec![ExpConfig::baseline()];
         assert_eq!(config_digest(&a), config_digest(&b));
         assert_ne!(config_digest(&a), config_digest(&[]));
+    }
+
+    #[test]
+    fn digest_is_pinned_across_engine_changes() {
+        // The manifest digest fingerprints the *configuration*, not the
+        // machinery that ran it: engine-mode or performance work must
+        // never shift it (it gates `--resume`). If this value changes,
+        // the sweep's meaning changed — not just its speed.
+        assert_eq!(config_digest(&[ExpConfig::baseline()]), "c0388d6bd40c1e46");
+    }
+
+    #[test]
+    fn bench_parsing_accepts_documented_flags() {
+        let Ok(Command::Bench(opts)) = parse(&argv(&[
+            "bench",
+            "--quick",
+            "--out",
+            "b.json",
+            "--baseline",
+            "base.json",
+            "--filter",
+            "memory",
+        ])) else {
+            panic!("expected a bench command");
+        };
+        assert!(opts.quick);
+        assert_eq!(opts.out.as_deref(), Some(Path::new("b.json")));
+        assert_eq!(opts.baseline.as_deref(), Some(Path::new("base.json")));
+        assert_eq!(opts.filter.as_deref(), Some("memory"));
+
+        let Ok(Command::Bench(opts)) = parse(&argv(&["bench"])) else {
+            panic!("expected a bench command");
+        };
+        assert!(!opts.quick);
+        assert!(opts.out.is_none());
+
+        assert!(parse(&argv(&["bench", "--frobnicate"])).is_err());
+        assert!(parse(&argv(&["bench", "--out"])).is_err());
+        assert!(parse(&argv(&["bench", "--baseline"])).is_err());
+        assert!(parse(&argv(&["bench", "--filter"])).is_err());
     }
 
     #[test]

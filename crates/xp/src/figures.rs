@@ -8,8 +8,8 @@
 //!
 //! `run` is fallible: statistics over an empty or out-of-domain sample set
 //! (possible with a filtered suite) surface as a typed
-//! [`ArtifactError`](crate::artifact::ArtifactError) naming the artifact
-//! and sweep point instead of panicking mid-run.
+//! [`ArtifactError`] naming the artifact and sweep point instead of
+//! panicking mid-run.
 
 use crate::artifact::{geomean_of, mean_of, ArtifactError};
 use crate::configs::{ExpConfig, SCALED_GPM_COUNTS};

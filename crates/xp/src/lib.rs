@@ -14,6 +14,7 @@
 
 pub mod ablation;
 pub mod artifact;
+pub mod bench;
 pub mod cli;
 pub mod configs;
 pub mod extensions;
