@@ -1,0 +1,127 @@
+//! FNV-1a content digests: the one hashing code path behind every
+//! configuration fingerprint in the workspace.
+//!
+//! The `xp` driver journals artifact results keyed by an FNV-1a digest
+//! of the sweep plan (`--resume` freshness), and the `xpd` daemon's
+//! content-addressed result store uses the same digests as file names.
+//! Both build on this module, so a digest computed by one layer is
+//! meaningful to the other — there is exactly one definition of "the
+//! configuration fingerprint" in the codebase.
+//!
+//! FNV-1a is not cryptographic; it is a fast, stable, dependency-free
+//! fingerprint. Digests gate *freshness* (is this cached result still
+//! the same configuration?), not *integrity* against an adversary.
+//!
+//! # Examples
+//!
+//! ```
+//! use common::digest::Fnv1a;
+//!
+//! let mut h = Fnv1a::new();
+//! h.update("32-GPM 2x-BW\n");
+//! let digest = h.hex();
+//! assert_eq!(digest.len(), 16);
+//! assert_eq!(digest, Fnv1a::of("32-GPM 2x-BW\n").hex());
+//! ```
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One FNV-1a step: folds `bytes` into the running state `h`.
+pub fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// An incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// A hasher that has already absorbed `text`.
+    pub fn of(text: &str) -> Self {
+        let mut h = Fnv1a::new();
+        h.update(text);
+        h
+    }
+
+    /// Folds a string into the digest.
+    pub fn update(&mut self, text: &str) -> &mut Self {
+        self.state = fnv1a(self.state, text.as_bytes());
+        self
+    }
+
+    /// The current 64-bit state.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest rendered as 16 lowercase hex digits — the form used
+    /// in journals, manifests, and store file names.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+/// Whether `s` looks like a digest produced by [`Fnv1a::hex`]: exactly
+/// 16 lowercase hex digits. The `xpd` store uses this to recognize its
+/// own files when rebuilding the index from a directory listing.
+pub fn is_hex_digest(s: &str) -> bool {
+    s.len() == 16
+        && s.bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(Fnv1a::new().finish(), FNV_OFFSET);
+        assert_eq!(Fnv1a::of("a").finish(), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv1a::of("foobar").finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.update("foo").update("bar");
+        assert_eq!(h.finish(), Fnv1a::of("foobar").finish());
+    }
+
+    #[test]
+    fn hex_form_is_16_lowercase_digits() {
+        let hex = Fnv1a::of("fig6").hex();
+        assert_eq!(hex.len(), 16);
+        assert!(is_hex_digest(&hex), "{hex}");
+        assert!(!is_hex_digest("xyz"));
+        assert!(!is_hex_digest("ABCDEF0123456789"));
+        assert!(!is_hex_digest("0123456789abcde"));
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        assert_ne!(Fnv1a::of("ab").finish(), Fnv1a::of("ba").finish());
+    }
+}

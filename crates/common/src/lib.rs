@@ -18,8 +18,10 @@
 //! assert_eq!(e / Time::from_secs(2.0), Power::from_watts(235.0));
 //! ```
 
+pub mod digest;
 pub mod ids;
 pub mod json;
+pub mod proto;
 pub mod stats;
 pub mod table;
 pub mod units;

@@ -1,0 +1,346 @@
+//! Wire protocol of the `xpd` what-if sweep daemon: newline-delimited
+//! JSON over a Unix socket or TCP.
+//!
+//! Each request is one compact JSON object on one line; each response
+//! is one compact JSON object on one line. Artifact payloads travel as
+//! JSON *strings* (the exact pretty-rendered bytes the `xp run --out`
+//! driver would have written, trailing newline included), so a client
+//! that prints the payload verbatim is byte-identical to `xp run`
+//! output — the property the CI smoke job asserts.
+//!
+//! The structs here are the single source of truth for field names on
+//! both sides: the `xpd` server parses [`QueryRequest`] and renders
+//! [`QueryResponse`]; the `xp query` client does the reverse. Keeping
+//! them in `common` (below both crates) avoids a dependency cycle
+//! between the daemon and the experiment harness.
+
+use crate::json::Json;
+
+/// What a request asks the daemon to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOp {
+    /// Evaluate (or serve from the store) one artifact query.
+    Query,
+    /// Report live server counters: hits, misses, queue depth, store
+    /// size.
+    Stats,
+    /// Stop accepting connections and shut the daemon down cleanly.
+    Shutdown,
+}
+
+impl RequestOp {
+    fn as_str(self) -> &'static str {
+        match self {
+            RequestOp::Query => "query",
+            RequestOp::Stats => "stats",
+            RequestOp::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One client request: an operation, and for [`RequestOp::Query`] the
+/// artifact id plus any `key=value` config deltas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The requested operation.
+    pub op: RequestOp,
+    /// Artifact id (`fig6`, `fig2`, ...); empty for stats/shutdown.
+    pub artifact: String,
+    /// Config deltas applied to every configuration in the artifact's
+    /// sweep plan (`("bw", "4x")`, `("gpms", "16")`, ...). Order is
+    /// irrelevant; servers normalize by key before digesting.
+    pub sets: Vec<(String, String)>,
+}
+
+impl QueryRequest {
+    /// A plain artifact query with no config deltas.
+    pub fn query(artifact: impl Into<String>) -> Self {
+        QueryRequest {
+            op: RequestOp::Query,
+            artifact: artifact.into(),
+            sets: Vec::new(),
+        }
+    }
+
+    /// Adds one `key=value` config delta.
+    pub fn with_set(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.sets.push((key.into(), value.into()));
+        self
+    }
+
+    /// A stats request.
+    pub fn stats() -> Self {
+        QueryRequest {
+            op: RequestOp::Stats,
+            artifact: String::new(),
+            sets: Vec::new(),
+        }
+    }
+
+    /// A shutdown request.
+    pub fn shutdown() -> Self {
+        QueryRequest {
+            op: RequestOp::Shutdown,
+            artifact: String::new(),
+            sets: Vec::new(),
+        }
+    }
+
+    /// Serializes the request to its wire form.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.insert("op", self.op.as_str());
+        if self.op == RequestOp::Query {
+            o.insert("artifact", self.artifact.as_str());
+            if !self.sets.is_empty() {
+                let mut sets = Json::object();
+                for (k, v) in &self.sets {
+                    sets.insert(k.as_str(), v.as_str());
+                }
+                o.insert("set", sets);
+            }
+        }
+        o
+    }
+
+    /// Parses a request from its wire form, validating the op and the
+    /// per-op required fields.
+    pub fn from_json(j: &Json) -> Result<QueryRequest, String> {
+        let op = match j.get("op").and_then(Json::as_str) {
+            Some("query") | None => RequestOp::Query,
+            Some("stats") => return Ok(QueryRequest::stats()),
+            Some("shutdown") => return Ok(QueryRequest::shutdown()),
+            Some(other) => return Err(format!("unknown op {other:?}")),
+        };
+        let artifact = j
+            .get("artifact")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "query request missing `artifact`".to_string())?;
+        if artifact.is_empty() {
+            return Err("query request has empty `artifact`".to_string());
+        }
+        let mut sets = Vec::new();
+        if let Some(set) = j.get("set") {
+            let pairs = set
+                .as_object()
+                .ok_or_else(|| "`set` must be an object of key/value strings".to_string())?;
+            for (k, v) in pairs {
+                let v = v
+                    .as_str()
+                    .ok_or_else(|| format!("`set.{k}` must be a string"))?;
+                if sets.iter().any(|(prev, _): &(String, String)| prev == k) {
+                    return Err(format!("duplicate `set` key {k:?}"));
+                }
+                sets.push((k.clone(), v.to_string()));
+            }
+        }
+        Ok(QueryRequest {
+            op,
+            artifact: artifact.to_string(),
+            sets,
+        })
+    }
+}
+
+/// Where an answered query's payload came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Served warm from the content-addressed disk store.
+    Store,
+    /// Computed by scheduling the query through the sweep executor
+    /// (includes requests that joined another client's in-flight
+    /// computation — the digest was still executed exactly once).
+    Computed,
+}
+
+impl Source {
+    fn as_str(self) -> &'static str {
+        match self {
+            Source::Store => "store",
+            Source::Computed => "computed",
+        }
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// `"ok"`, `"busy"` (queue full — retry later), or `"error"`.
+    pub status: String,
+    /// The query's content digest (ok responses).
+    pub digest: Option<String>,
+    /// Where the payload came from (ok query responses).
+    pub source: Option<Source>,
+    /// The artifact payload: the exact bytes `xp run --out` would have
+    /// written for this query, trailing newline included.
+    pub payload: Option<String>,
+    /// Human-readable failure description (busy/error responses).
+    pub error: Option<String>,
+    /// Server counters (stats responses).
+    pub stats: Option<Json>,
+}
+
+impl QueryResponse {
+    /// A successful query answer.
+    pub fn ok(digest: impl Into<String>, source: Source, payload: impl Into<String>) -> Self {
+        QueryResponse {
+            status: "ok".to_string(),
+            digest: Some(digest.into()),
+            source: Some(source),
+            payload: Some(payload.into()),
+            error: None,
+            stats: None,
+        }
+    }
+
+    /// A backpressure response: the request queue is full.
+    pub fn busy(message: impl Into<String>) -> Self {
+        QueryResponse {
+            status: "busy".to_string(),
+            digest: None,
+            source: None,
+            payload: None,
+            error: Some(message.into()),
+            stats: None,
+        }
+    }
+
+    /// A failure response.
+    pub fn error(message: impl Into<String>) -> Self {
+        QueryResponse {
+            status: "error".to_string(),
+            digest: None,
+            source: None,
+            payload: None,
+            error: Some(message.into()),
+            stats: None,
+        }
+    }
+
+    /// A stats response carrying the server's counter object.
+    pub fn stats(stats: Json) -> Self {
+        QueryResponse {
+            status: "ok".to_string(),
+            digest: None,
+            source: None,
+            payload: None,
+            error: None,
+            stats: Some(stats),
+        }
+    }
+
+    /// Whether the payload was served from the disk store.
+    pub fn from_store(&self) -> bool {
+        self.source == Some(Source::Store)
+    }
+
+    /// Serializes the response to its wire form.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.insert("status", self.status.as_str());
+        if let Some(d) = &self.digest {
+            o.insert("digest", d.as_str());
+        }
+        if let Some(s) = self.source {
+            o.insert("source", s.as_str());
+        }
+        if let Some(p) = &self.payload {
+            o.insert("payload", p.as_str());
+        }
+        if let Some(e) = &self.error {
+            o.insert("error", e.as_str());
+        }
+        if let Some(s) = &self.stats {
+            o.insert("stats", s.clone());
+        }
+        o
+    }
+
+    /// Parses a response from its wire form.
+    pub fn from_json(j: &Json) -> Result<QueryResponse, String> {
+        let status = j
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "response missing `status`".to_string())?;
+        if !matches!(status, "ok" | "busy" | "error") {
+            return Err(format!("unknown response status {status:?}"));
+        }
+        let source = match j.get("source").and_then(Json::as_str) {
+            None => None,
+            Some("store") => Some(Source::Store),
+            Some("computed") => Some(Source::Computed),
+            Some(other) => return Err(format!("unknown response source {other:?}")),
+        };
+        Ok(QueryResponse {
+            status: status.to_string(),
+            digest: j
+                .get("digest")
+                .and_then(Json::as_str)
+                .map(|s| s.to_string()),
+            source,
+            payload: j
+                .get("payload")
+                .and_then(Json::as_str)
+                .map(|s| s.to_string()),
+            error: j.get("error").and_then(Json::as_str).map(|s| s.to_string()),
+            stats: j.get("stats").cloned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let req = QueryRequest::query("fig6")
+            .with_set("bw", "4x")
+            .with_set("gpms", "16");
+        let line = req.to_json().render_jsonl_line();
+        assert!(!line.trim_end_matches('\n').contains('\n'), "one line");
+        let back = QueryRequest::from_json(&Json::parse(line.trim()).unwrap()).unwrap();
+        assert_eq!(back, req);
+
+        for req in [QueryRequest::stats(), QueryRequest::shutdown()] {
+            let back = QueryRequest::from_json(&req.to_json()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn requests_reject_bad_forms() {
+        let bad = |text: &str| QueryRequest::from_json(&Json::parse(text).unwrap()).unwrap_err();
+        assert!(bad(r#"{"op":"frobnicate"}"#).contains("unknown op"));
+        assert!(bad(r#"{"op":"query"}"#).contains("missing `artifact`"));
+        assert!(bad(r#"{"artifact":""}"#).contains("empty"));
+        assert!(bad(r#"{"artifact":"fig6","set":[1]}"#).contains("object"));
+        assert!(bad(r#"{"artifact":"fig6","set":{"bw":7}}"#).contains("string"));
+        assert!(bad(r#"{"artifact":"fig6","set":{"bw":"2x","bw":"4x"}}"#).contains("duplicate"));
+    }
+
+    #[test]
+    fn responses_round_trip_with_multiline_payloads() {
+        let payload = "{\n  \"id\": \"fig2\"\n}\n";
+        let resp = QueryResponse::ok("0123456789abcdef", Source::Store, payload);
+        let line = resp.to_json().render_jsonl_line();
+        assert!(!line.trim_end_matches('\n').contains('\n'), "one line");
+        let back = QueryResponse::from_json(&Json::parse(line.trim()).unwrap()).unwrap();
+        assert_eq!(back, resp);
+        assert!(back.from_store());
+        assert_eq!(back.payload.as_deref(), Some(payload));
+
+        let busy = QueryResponse::busy("queue full");
+        let back = QueryResponse::from_json(&busy.to_json()).unwrap();
+        assert_eq!(back.status, "busy");
+        assert!(!back.from_store());
+    }
+
+    #[test]
+    fn responses_reject_bad_forms() {
+        let bad = |text: &str| QueryResponse::from_json(&Json::parse(text).unwrap()).unwrap_err();
+        assert!(bad(r#"{"payload":"x"}"#).contains("missing `status`"));
+        assert!(bad(r#"{"status":"teapot"}"#).contains("unknown response status"));
+        assert!(bad(r#"{"status":"ok","source":"cloud"}"#).contains("unknown response source"));
+    }
+}

@@ -235,6 +235,25 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         }
     }
 
+    /// Removes the finished entry for `key`, returning whether one was
+    /// present. In-flight computations are left alone: their owner
+    /// still publishes to waiters and installs the result when done.
+    ///
+    /// External batching layers (the `xpd` daemon) use this to keep the
+    /// cache as a pure in-flight dedup point — once a result has been
+    /// persisted to the disk store, the memory copy is dropped so the
+    /// store's LRU size cap remains the only capacity policy.
+    pub fn remove(&self, key: &K) -> bool {
+        let mut shard = self.shard_of(key).lock().unwrap();
+        match shard.get(key) {
+            Some(Slot::Ready(_)) => {
+                shard.remove(key);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Removes every entry (finished and failed alike). In-flight
     /// owners still publish to their waiters through the detached
     /// flight handle; they just no longer populate the cache.

@@ -288,6 +288,13 @@ impl SweepExecutor {
         self
     }
 
+    /// In-place form of [`Self::with_progress`]. Long-lived daemons
+    /// (the `xpd` server) disable the stderr progress line so sweep
+    /// chatter never interleaves with their own structured logging.
+    pub fn set_progress(&mut self, progress: bool) {
+        self.progress = progress;
+    }
+
     /// In-place form of [`Self::with_retry_policy`].
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.policy = RetryPolicy {

@@ -291,14 +291,12 @@ impl VirtualK40 {
     }
 }
 
-/// Tiny deterministic string hash (FxHash-style) for per-run noise seeds.
+/// Deterministic string hash for per-run noise seeds. This was a local
+/// FNV-1a copy before `common::digest` existed; it now delegates so the
+/// workspace has exactly one FNV implementation (the constants are
+/// identical, so seeds — and therefore measured noise — are unchanged).
 fn fxhash(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    common::digest::Fnv1a::of(s).finish()
 }
 
 #[cfg(test)]

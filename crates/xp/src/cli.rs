@@ -18,6 +18,7 @@ use crate::artifact::{ArtifactError, ArtifactErrorKind, SweepPlan};
 use crate::configs::ExpConfig;
 use crate::figures::default_suite;
 use crate::lab::Lab;
+use crate::query::{artifact_digest, config_digest, RegistryEngine, SET_KEYS};
 use crate::registry::{ArtifactRegistry, RegistryOptions};
 use crate::validation;
 use common::json::Json;
@@ -57,6 +58,34 @@ enum Command {
     Check { dir: PathBuf },
     TraceSummary { file: PathBuf },
     Bench(crate::bench::BenchOptions),
+    Serve(ServeOptions),
+    Query(QueryOptions),
+}
+
+/// Options for `xp serve`.
+#[derive(Debug)]
+struct ServeOptions {
+    socket: Option<PathBuf>,
+    tcp: Option<String>,
+    store: PathBuf,
+    store_cap_mb: u64,
+    queue_cap: usize,
+    batch_max: usize,
+    batch_window_ms: u64,
+    scale: Scale,
+    threads: usize,
+    validation: bool,
+    /// Record the whole serving session and write a Chrome trace here
+    /// on shutdown (`xpd.*` counters feed `xp trace summary`).
+    trace: Option<PathBuf>,
+}
+
+/// Options for `xp query`.
+#[derive(Debug)]
+struct QueryOptions {
+    endpoint: xpd::client::Endpoint,
+    request: common::proto::QueryRequest,
+    timeout: Option<Duration>,
 }
 
 /// Options for `xp run`.
@@ -91,6 +120,12 @@ commands:
   trace summary <file>     per-span statistics + counters from a --trace file
   bench                    time the simulator hot path (event-driven vs naive
                            cycle loop) and write BENCH_sim.json
+  serve                    run the xpd what-if daemon: answer artifact queries
+                           from a content-addressed disk store, computing cold
+                           ones through the sweep executor
+  query <id>               ask a running daemon for an artifact's JSON payload,
+                           optionally re-parameterized with --set key=value
+                           (exit codes: 0 ok, 1 error, 2 usage, 3 busy)
 
 run options:
   --smoke                  smoke-scale problems (fast; CI default)
@@ -110,6 +145,30 @@ run options:
                            Chrome trace-event JSON (perfetto / chrome://tracing)
   --metrics-out FILE       write per-span histograms, counters, and the sweep
                            report as one JSON summary
+
+serve options:
+  --socket PATH            listen on a Unix socket
+  --tcp ADDR               listen on a TCP address (127.0.0.1:0 = any free
+                           port; at least one of --socket/--tcp is required)
+  --store DIR              result store directory (default: xpd-store)
+  --store-cap-mb N         store size cap before LRU eviction (default: 256)
+  --queue-cap N            queued cold queries before `busy` (default: 256)
+  --batch-max N            cold queries per executor batch (default: 8)
+  --batch-window-ms MS     how long to gather a batch (default: 20)
+  --trace FILE             record the serving session; write Chrome trace JSON
+                           on shutdown (xpd.* counters feed `trace summary`)
+  --smoke, --threads N, --no-validation   as for `run`
+
+query options:
+  --socket PATH | --tcp ADDR   where the daemon listens (required)
+  --set KEY=VALUE          config delta applied to the artifact's whole sweep
+                           (repeatable); keys: gpms, bw (1x|2x|4x), topology
+                           (ring|switch|ideal), link_energy_mult,
+                           link_compression, clock_scale, mlp
+  --stats                  print the daemon's live counters instead of a query
+  --shutdown               ask the daemon to shut down cleanly
+  --timeout-ms MS          client I/O timeout (default: wait indefinitely;
+                           cold queries can take minutes)
 
 bench options:
   --quick                  short measurement budgets (CI default)
@@ -277,6 +336,176 @@ fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Bench(opts))
         }
+        "serve" => {
+            let mut opts = ServeOptions {
+                socket: None,
+                tcp: None,
+                store: PathBuf::from("xpd-store"),
+                store_cap_mb: 256,
+                queue_cap: 256,
+                batch_max: 8,
+                batch_window_ms: 20,
+                scale: Scale::Full,
+                threads: runtime::resolve_threads(None),
+                validation: true,
+                trace: None,
+            };
+            let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                         flag: &str|
+             -> Result<String, String> {
+                it.next()
+                    .map(|s| s.to_string())
+                    .ok_or_else(|| format!("xp serve: {flag}: missing value"))
+            };
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--socket" => opts.socket = Some(PathBuf::from(value(&mut it, "--socket")?)),
+                    "--tcp" => opts.tcp = Some(value(&mut it, "--tcp")?),
+                    "--store" => opts.store = PathBuf::from(value(&mut it, "--store")?),
+                    "--store-cap-mb" => {
+                        let v = value(&mut it, "--store-cap-mb")?;
+                        opts.store_cap_mb = v.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                            format!("xp serve: --store-cap-mb expects a positive integer, got {v:?}")
+                        })?;
+                    }
+                    "--queue-cap" => {
+                        let v = value(&mut it, "--queue-cap")?;
+                        opts.queue_cap = v.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                            format!("xp serve: --queue-cap expects a positive integer, got {v:?}")
+                        })?;
+                    }
+                    "--batch-max" => {
+                        let v = value(&mut it, "--batch-max")?;
+                        opts.batch_max = v.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                            format!("xp serve: --batch-max expects a positive integer, got {v:?}")
+                        })?;
+                    }
+                    "--batch-window-ms" => {
+                        let v = value(&mut it, "--batch-window-ms")?;
+                        opts.batch_window_ms = v.parse().map_err(|_| {
+                            format!("xp serve: --batch-window-ms expects milliseconds, got {v:?}")
+                        })?;
+                    }
+                    "--smoke" => opts.scale = Scale::Smoke,
+                    "--no-validation" => opts.validation = false,
+                    "--trace" => opts.trace = Some(PathBuf::from(value(&mut it, "--trace")?)),
+                    "--threads" => {
+                        let v = value(&mut it, "--threads")?;
+                        opts.threads = parse_threads(&v)?;
+                    }
+                    other if other.starts_with("--threads=") => {
+                        opts.threads = parse_threads(&other["--threads=".len()..])?;
+                    }
+                    other => return Err(format!("xp serve: unknown option {other}")),
+                }
+            }
+            if opts.socket.is_none() && opts.tcp.is_none() {
+                return Err(
+                    "xp serve: no endpoint (pass --socket PATH and/or --tcp ADDR)".to_string(),
+                );
+            }
+            Ok(Command::Serve(opts))
+        }
+        "query" => {
+            let mut socket: Option<PathBuf> = None;
+            let mut tcp: Option<String> = None;
+            let mut artifact: Option<String> = None;
+            let mut sets: Vec<(String, String)> = Vec::new();
+            let mut stats = false;
+            let mut shutdown = false;
+            let mut timeout = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--socket" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "xp query: --socket: missing path".to_string())?;
+                        socket = Some(PathBuf::from(v));
+                    }
+                    "--tcp" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "xp query: --tcp: missing address".to_string())?;
+                        tcp = Some(v.clone());
+                    }
+                    "--set" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "xp query: --set: missing KEY=VALUE".to_string())?;
+                        let (k, val) = v.split_once('=').ok_or_else(|| {
+                            format!(
+                                "xp query: --set expects KEY=VALUE, got {v:?} (keys: {SET_KEYS})"
+                            )
+                        })?;
+                        if sets.iter().any(|(prev, _)| prev == k) {
+                            return Err(format!("xp query: duplicate --set key {k:?}"));
+                        }
+                        sets.push((k.to_string(), val.to_string()));
+                    }
+                    "--stats" => stats = true,
+                    "--shutdown" => shutdown = true,
+                    "--timeout-ms" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "xp query: --timeout-ms: missing value".to_string())?;
+                        let ms: u64 = v.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                            format!(
+                                "xp query: --timeout-ms expects positive milliseconds, got {v:?}"
+                            )
+                        })?;
+                        timeout = Some(Duration::from_millis(ms));
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(format!("xp query: unknown option {other}"));
+                    }
+                    id => {
+                        if artifact.replace(id.to_string()).is_some() {
+                            return Err("xp query: more than one artifact id given".to_string());
+                        }
+                    }
+                }
+            }
+            let endpoint = match (socket, tcp) {
+                (Some(path), None) => xpd::client::Endpoint::Unix(path),
+                (None, Some(addr)) => xpd::client::Endpoint::Tcp(addr),
+                (None, None) => {
+                    return Err(
+                        "xp query: no daemon endpoint (pass --socket PATH or --tcp ADDR)"
+                            .to_string(),
+                    )
+                }
+                (Some(_), Some(_)) => {
+                    return Err("xp query: --socket and --tcp are mutually exclusive".to_string())
+                }
+            };
+            if (stats || shutdown) && !sets.is_empty() {
+                return Err("xp query: --set only applies to artifact queries".to_string());
+            }
+            let request =
+                match (stats, shutdown, artifact) {
+                    (true, false, None) => common::proto::QueryRequest::stats(),
+                    (false, true, None) => common::proto::QueryRequest::shutdown(),
+                    (false, false, Some(id)) => common::proto::QueryRequest {
+                        op: common::proto::RequestOp::Query,
+                        artifact: id,
+                        sets,
+                    },
+                    (false, false, None) => {
+                        return Err(
+                            "xp query: no artifact id (or pass --stats / --shutdown)".to_string()
+                        )
+                    }
+                    _ => return Err(
+                        "xp query: --stats, --shutdown, and an artifact id are mutually exclusive"
+                            .to_string(),
+                    ),
+                };
+            Ok(Command::Query(QueryOptions {
+                endpoint,
+                request,
+                timeout,
+            }))
+        }
         "run" => {
             let mut opts = RunOptions {
                 ids: Vec::new(),
@@ -392,41 +621,6 @@ fn parse(args: &[String]) -> Result<Command, String> {
     }
 }
 
-/// One FNV-1a step over a string.
-fn fnv1a(mut h: u64, s: &str) -> u64 {
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-
-/// FNV-1a over the Debug form of every planned config: a stable,
-/// dependency-free fingerprint of what the sweep covered.
-fn config_digest(configs: &[ExpConfig]) -> String {
-    let mut h = FNV_OFFSET;
-    for cfg in configs {
-        h = fnv1a(h, &format!("{cfg:?}\n"));
-    }
-    format!("{h:016x}")
-}
-
-/// Per-artifact fingerprint over everything its journaled result depends
-/// on: problem scale, validation mode, and the artifact's own sweep plan.
-/// `--resume` only trusts a journal record whose digest still matches.
-fn artifact_digest(plan: &SweepPlan, scale: Scale, validation: bool) -> String {
-    let mut h = fnv1a(
-        FNV_OFFSET,
-        &format!("{scale:?}|{validation}|{}\n", plan.needs_fit),
-    );
-    for cfg in &plan.configs {
-        h = fnv1a(h, &format!("{cfg:?}\n"));
-    }
-    format!("{h:016x}")
-}
-
 /// Creates the output directory and proves it is writable *before* any
 /// expensive simulation work starts, so a bad `--out` fails in
 /// milliseconds instead of after the sweep.
@@ -502,7 +696,131 @@ pub fn main(args: &[String]) -> i32 {
         Ok(Command::Check { dir }) => check(&dir),
         Ok(Command::TraceSummary { file }) => trace_summary(&file),
         Ok(Command::Bench(opts)) => crate::bench::run(&opts),
+        Ok(Command::Serve(opts)) => serve(&opts),
+        Ok(Command::Query(opts)) => query(&opts),
         Ok(Command::Run(opts)) => run(&opts),
+    }
+}
+
+/// `xp serve`: run the `xpd` daemon over the artifact registry until a
+/// client sends `--shutdown`.
+fn serve(opts: &ServeOptions) -> i32 {
+    let trace_session = opts
+        .trace
+        .is_some()
+        .then(|| trace::session(trace::TraceConfig::default()));
+    let engine = std::sync::Arc::new(RegistryEngine::new(
+        opts.scale,
+        opts.threads,
+        opts.validation,
+    ));
+    let config = xpd::server::ServerConfig {
+        socket: opts.socket.clone(),
+        tcp: opts.tcp.clone(),
+        store_dir: opts.store.clone(),
+        store_cap_bytes: opts.store_cap_mb.saturating_mul(1024 * 1024),
+        queue_cap: opts.queue_cap,
+        batch_max: opts.batch_max,
+        batch_window: Duration::from_millis(opts.batch_window_ms),
+    };
+    let server = match xpd::server::Server::bind(config, engine) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xp serve: {e}");
+            return 1;
+        }
+    };
+    if let Some(path) = &opts.socket {
+        eprintln!("xp serve: listening on {}", path.display());
+    }
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("xp serve: listening on tcp {addr}");
+    }
+    eprintln!(
+        "xp serve: store {} (cap {} MiB), scale {:?}, {} thread(s)",
+        opts.store.display(),
+        opts.store_cap_mb,
+        opts.scale,
+        opts.threads
+    );
+    let code = match server.run() {
+        Ok(()) => {
+            eprintln!("xp serve: shut down cleanly");
+            0
+        }
+        Err(e) => {
+            eprintln!("xp serve: {e}");
+            1
+        }
+    };
+    if let (Some(session), Some(path)) = (trace_session, &opts.trace) {
+        let snapshot = session.finish();
+        let body = format!("{}\n", trace::export::chrome_trace(&snapshot).render());
+        match std::fs::write(path, body) {
+            Ok(()) => eprintln!(
+                "xp serve: wrote {} trace event(s) to {}",
+                snapshot.events.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("xp serve: cannot write {}: {e}", path.display());
+                return 1;
+            }
+        }
+    }
+    code
+}
+
+/// `xp query`: one request against a running daemon. Artifact payloads
+/// go to stdout verbatim (byte-identical to the file `xp run --out`
+/// writes); digests, sources, and stats commentary go to stderr.
+fn query(opts: &QueryOptions) -> i32 {
+    let response = match xpd::client::request(&opts.endpoint, &opts.request, opts.timeout) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xp query: {e}");
+            return 1;
+        }
+    };
+    match response.status.as_str() {
+        "busy" => {
+            eprintln!(
+                "xp query: daemon busy: {}",
+                response.error.as_deref().unwrap_or("queue full")
+            );
+            3
+        }
+        "error" => {
+            eprintln!(
+                "xp query: {}",
+                response.error.as_deref().unwrap_or("unknown error")
+            );
+            1
+        }
+        _ => {
+            if let Some(stats) = &response.stats {
+                println!("{}", stats.render_pretty().trim_end());
+            } else if let Some(payload) = &response.payload {
+                let source = match response.source {
+                    Some(common::proto::Source::Store) => "store",
+                    Some(common::proto::Source::Computed) => "computed",
+                    None => "?",
+                };
+                eprintln!(
+                    "xp query: {} digest={} source={source}",
+                    opts.request.artifact,
+                    response.digest.as_deref().unwrap_or("?")
+                );
+                print!("{payload}");
+                if std::io::stdout().flush().is_err() {
+                    return 1;
+                }
+            } else {
+                // Shutdown acknowledgement.
+                eprintln!("xp query: daemon acknowledged");
+            }
+            0
+        }
     }
 }
 
@@ -548,6 +866,9 @@ fn trace_summary(file: &Path) -> i32 {
             println!();
         }
         print!("{}", trace::export::counters_table(&counters));
+        if let Some(block) = xpd_counters_block(&counters) {
+            print!("{block}");
+        }
     }
     if unmatched > 0 {
         eprintln!(
@@ -556,6 +877,59 @@ fn trace_summary(file: &Path) -> i32 {
         );
     }
     0
+}
+
+/// Derived serving statistics for traces that carry `xpd.*` counters
+/// (a daemon session recorded with `xp serve --trace`): store hit rate,
+/// in-flight dedup joins, queue pressure, and batching shape. `None`
+/// when the trace has no daemon activity.
+fn xpd_counters_block(counters: &[(String, u64)]) -> Option<String> {
+    if !counters.iter().any(|(name, _)| name.starts_with("xpd.")) {
+        return None;
+    }
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let hits = get("xpd.store.hit");
+    let misses = get("xpd.store.miss");
+    let lookups = hits + misses;
+    let batches = get("xpd.batch");
+    let points = get("xpd.batch_points");
+    let mut out = String::new();
+    out.push_str("\nserving (xpd):\n");
+    out.push_str(&format!("  requests          {:>8}\n", get("xpd.request")));
+    if lookups > 0 {
+        out.push_str(&format!(
+            "  store hit rate    {:>7.1}% ({hits} hit / {misses} miss)\n",
+            100.0 * hits as f64 / lookups as f64
+        ));
+    }
+    out.push_str(&format!(
+        "  store evictions   {:>8}\n",
+        get("xpd.store.eviction")
+    ));
+    out.push_str(&format!(
+        "  in-flight joins   {:>8}\n",
+        get("xpd.inflight_join")
+    ));
+    out.push_str(&format!(
+        "  queue peak depth  {:>8}  (enqueued {}, rejected {})\n",
+        get("xpd.queue.peak_depth"),
+        get("xpd.queue.enqueued"),
+        get("xpd.queue.rejected")
+    ));
+    if batches > 0 {
+        out.push_str(&format!(
+            "  batches           {:>8}  (mean {:.1} queries/batch)\n",
+            batches,
+            points as f64 / batches as f64
+        ));
+    }
+    Some(out)
 }
 
 fn run(opts: &RunOptions) -> i32 {
@@ -1144,6 +1518,135 @@ mod tests {
         assert!(parse(&argv(&["bench", "--out"])).is_err());
         assert!(parse(&argv(&["bench", "--baseline"])).is_err());
         assert!(parse(&argv(&["bench", "--filter"])).is_err());
+    }
+
+    #[test]
+    fn serve_parsing_covers_the_documented_flags() {
+        let Ok(Command::Serve(opts)) = parse(&argv(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--socket",
+            "/tmp/xpd.sock",
+            "--store",
+            "store-dir",
+            "--store-cap-mb",
+            "64",
+            "--queue-cap",
+            "4",
+            "--batch-max",
+            "2",
+            "--batch-window-ms",
+            "5",
+            "--smoke",
+            "--threads",
+            "2",
+            "--no-validation",
+            "--trace",
+            "serve.trace.json",
+        ])) else {
+            panic!("expected a serve command");
+        };
+        assert_eq!(opts.tcp.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.socket.as_deref(), Some(Path::new("/tmp/xpd.sock")));
+        assert_eq!(opts.store, Path::new("store-dir"));
+        assert_eq!(opts.store_cap_mb, 64);
+        assert_eq!(opts.queue_cap, 4);
+        assert_eq!(opts.batch_max, 2);
+        assert_eq!(opts.batch_window_ms, 5);
+        assert_eq!(opts.scale, Scale::Smoke);
+        assert_eq!(opts.threads, 2);
+        assert!(!opts.validation);
+        assert_eq!(opts.trace.as_deref(), Some(Path::new("serve.trace.json")));
+
+        // An endpoint is required; bad numbers are rejected.
+        assert!(parse(&argv(&["serve"])).is_err());
+        assert!(parse(&argv(&["serve", "--tcp", "x", "--store-cap-mb", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--tcp", "x", "--queue-cap", "none"])).is_err());
+        assert!(parse(&argv(&["serve", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn query_parsing_builds_requests() {
+        use common::proto::RequestOp;
+        let Ok(Command::Query(q)) = parse(&argv(&[
+            "query",
+            "fig6",
+            "--tcp",
+            "127.0.0.1:7070",
+            "--set",
+            "bw=2x",
+            "--set",
+            "gpms=16",
+            "--timeout-ms",
+            "250",
+        ])) else {
+            panic!("expected a query command");
+        };
+        assert_eq!(q.request.op, RequestOp::Query);
+        assert_eq!(q.request.artifact, "fig6");
+        assert_eq!(q.request.sets.len(), 2);
+        assert_eq!(
+            q.endpoint,
+            xpd::client::Endpoint::Tcp("127.0.0.1:7070".to_string())
+        );
+        assert_eq!(q.timeout, Some(Duration::from_millis(250)));
+
+        let Ok(Command::Query(q)) = parse(&argv(&["query", "--stats", "--socket", "/tmp/x"]))
+        else {
+            panic!("expected a stats query");
+        };
+        assert_eq!(q.request.op, RequestOp::Stats);
+        let Ok(Command::Query(q)) = parse(&argv(&["query", "--shutdown", "--tcp", "h:1"])) else {
+            panic!("expected a shutdown query");
+        };
+        assert_eq!(q.request.op, RequestOp::Shutdown);
+
+        // Usage errors: endpoint required, one artifact, exclusive modes.
+        assert!(parse(&argv(&["query", "fig6"])).is_err());
+        assert!(parse(&argv(&["query", "--tcp", "h:1"])).is_err());
+        assert!(parse(&argv(&["query", "fig6", "fig7", "--tcp", "h:1"])).is_err());
+        assert!(parse(&argv(&["query", "fig6", "--tcp", "h:1", "--socket", "s"])).is_err());
+        assert!(parse(&argv(&["query", "fig6", "--stats", "--tcp", "h:1"])).is_err());
+        assert!(parse(&argv(&[
+            "query", "--stats", "--tcp", "h:1", "--set", "bw=2x"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["query", "fig6", "--tcp", "h:1", "--set", "bw2x"])).is_err());
+        assert!(parse(&argv(&[
+            "query", "fig6", "--tcp", "h:1", "--set", "bw=2x", "--set", "bw=4x"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "query",
+            "fig6",
+            "--tcp",
+            "h:1",
+            "--timeout-ms",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn xpd_counter_block_renders_hit_rate_and_batching() {
+        let counters = vec![
+            ("xpd.request".to_string(), 10),
+            ("xpd.store.hit".to_string(), 6),
+            ("xpd.store.miss".to_string(), 2),
+            ("xpd.store.eviction".to_string(), 1),
+            ("xpd.inflight_join".to_string(), 2),
+            ("xpd.queue.enqueued".to_string(), 2),
+            ("xpd.queue.peak_depth".to_string(), 2),
+            ("xpd.batch".to_string(), 2),
+            ("xpd.batch_points".to_string(), 2),
+        ];
+        let block = xpd_counters_block(&counters).expect("xpd counters present");
+        assert!(block.contains("serving (xpd)"), "{block}");
+        assert!(block.contains("75.0%"), "{block}");
+        assert!(block.contains("mean 1.0 queries/batch"), "{block}");
+        // Traces without daemon activity stay untouched.
+        assert!(xpd_counters_block(&[("cache.hit".to_string(), 3)]).is_none());
     }
 
     #[test]

@@ -126,6 +126,15 @@ impl Lab {
         }
     }
 
+    /// Enables or disables the executor's periodic stderr progress line
+    /// in place. [`Lab::with_threads`] turns it on for parallel labs;
+    /// the `xpd` daemon turns it back off so nothing interleaves with
+    /// its per-request log lines (protocol responses go to sockets and
+    /// are never at risk, but server logs should stay line-atomic too).
+    pub fn set_progress(&mut self, progress: bool) {
+        self.executor.set_progress(progress);
+    }
+
     /// Sets the executor's retry policy for subsequent sweeps.
     pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
         self.executor.set_retry_policy(policy);

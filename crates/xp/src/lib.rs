@@ -20,6 +20,7 @@ pub mod configs;
 pub mod extensions;
 pub mod figures;
 pub mod lab;
+pub mod query;
 pub mod registry;
 pub mod report;
 pub mod validation;
@@ -30,6 +31,7 @@ pub use configs::{ExpConfig, GPM_COUNTS, SCALED_GPM_COUNTS};
 pub use extensions::{CompressionStudy, DvfsStudy, GatingStudy, MetricWeightStudy};
 pub use figures::{default_suite, Fig10, Fig2, Fig6, Fig7, Fig8, Fig9, Headline, PointStudies};
 pub use lab::{Lab, RunPoint};
+pub use query::{apply_sets, artifact_digest, config_digest, query_digest, RegistryEngine};
 pub use registry::{ArtifactRegistry, RegistryOptions};
 pub use report::{evaluate_scaling_claims, evaluate_validation_claims, render_claims, Claim};
 

@@ -1,0 +1,120 @@
+//! Client side of the daemon protocol: connect to an endpoint, write
+//! one request line, read one response line.
+//!
+//! The protocol is strict request/response lockstep over one stream,
+//! so a [`Connection`] can be reused for a whole conversation (query,
+//! stats, shutdown) and a one-shot helper ([`request`]) covers the
+//! common single-query case.
+
+use common::json::Json;
+use common::proto::{QueryRequest, QueryResponse};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix socket path.
+    Unix(PathBuf),
+    /// A TCP `host:port` address.
+    Tcp(String),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+        }
+    }
+}
+
+/// An open conversation with a daemon.
+pub struct Connection {
+    writer: Box<dyn Write>,
+    reader: BufReader<Box<dyn Read>>,
+    endpoint: Endpoint,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("endpoint", &self.endpoint)
+            .finish()
+    }
+}
+
+impl Connection {
+    /// Connects to `endpoint`. `timeout` bounds the TCP connect and
+    /// every subsequent read/write; `None` waits indefinitely (cold
+    /// queries can legitimately take minutes of simulation).
+    pub fn connect(endpoint: &Endpoint, timeout: Option<Duration>) -> Result<Connection, String> {
+        let fail = |e: std::io::Error| format!("xpd client: cannot connect to {endpoint}: {e}");
+        match endpoint {
+            Endpoint::Unix(path) => {
+                let stream = UnixStream::connect(path).map_err(fail)?;
+                stream.set_read_timeout(timeout).map_err(fail)?;
+                stream.set_write_timeout(timeout).map_err(fail)?;
+                let reader = stream.try_clone().map_err(fail)?;
+                Ok(Connection {
+                    writer: Box::new(stream),
+                    reader: BufReader::new(Box::new(reader)),
+                    endpoint: endpoint.clone(),
+                })
+            }
+            Endpoint::Tcp(addr) => {
+                let stream = match timeout {
+                    None => TcpStream::connect(addr).map_err(fail)?,
+                    Some(t) => {
+                        let resolved = addr
+                            .to_socket_addrs()
+                            .map_err(fail)?
+                            .next()
+                            .ok_or_else(|| format!("xpd client: {addr} resolves to nothing"))?;
+                        TcpStream::connect_timeout(&resolved, t).map_err(fail)?
+                    }
+                };
+                stream.set_read_timeout(timeout).map_err(fail)?;
+                stream.set_write_timeout(timeout).map_err(fail)?;
+                let reader = stream.try_clone().map_err(fail)?;
+                Ok(Connection {
+                    writer: Box::new(stream),
+                    reader: BufReader::new(Box::new(reader)),
+                    endpoint: endpoint.clone(),
+                })
+            }
+        }
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, request: &QueryRequest) -> Result<QueryResponse, String> {
+        let endpoint = self.endpoint.clone();
+        self.writer
+            .write_all(request.to_json().render_jsonl_line().as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("xpd client: cannot send to {endpoint}: {e}"))?;
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err(format!("xpd client: {endpoint} closed the connection")),
+            Ok(_) => {
+                let json = Json::parse(line.trim())
+                    .map_err(|e| format!("xpd client: bad response from {endpoint}: {e}"))?;
+                QueryResponse::from_json(&json)
+                    .map_err(|e| format!("xpd client: bad response from {endpoint}: {e}"))
+            }
+            Err(e) => Err(format!("xpd client: cannot read from {endpoint}: {e}")),
+        }
+    }
+}
+
+/// One-shot helper: connect, send `request`, return the response.
+pub fn request(
+    endpoint: &Endpoint,
+    request: &QueryRequest,
+    timeout: Option<Duration>,
+) -> Result<QueryResponse, String> {
+    Connection::connect(endpoint, timeout)?.request(request)
+}

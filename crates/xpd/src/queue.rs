@@ -1,0 +1,227 @@
+//! A bounded, per-client-fair request queue feeding the batch
+//! scheduler.
+//!
+//! Each client (connection) gets its own lane; the scheduler drains
+//! batches round-robin across lanes, one item per lane per turn, so a
+//! client flooding the daemon cannot starve a client with one pending
+//! query — its request rides in the very next batch. The total queued
+//! item count is capped; pushes beyond the cap fail immediately so the
+//! connection thread can answer `busy` (backpressure) instead of
+//! buffering unboundedly.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Push failure: the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The configured capacity that was hit.
+    pub cap: usize,
+}
+
+#[derive(Debug)]
+struct Lane<T> {
+    client: u64,
+    items: VecDeque<T>,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    lanes: Vec<Lane<T>>,
+    /// Round-robin cursor: index of the lane the next drain starts at.
+    cursor: usize,
+    len: usize,
+    closed: bool,
+}
+
+/// A bounded multi-lane queue with round-robin draining.
+#[derive(Debug)]
+pub struct FairQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    cap: usize,
+}
+
+impl<T> FairQueue<T> {
+    /// A queue holding at most `cap` items across all clients.
+    pub fn new(cap: usize) -> Self {
+        FairQueue {
+            state: Mutex::new(State {
+                lanes: Vec::new(),
+                cursor: 0,
+                len: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues `item` on `client`'s lane. Returns the total queue
+    /// depth after the push, or [`QueueFull`] at capacity (the item is
+    /// returned to the caller untouched in that case, by value drop).
+    pub fn push(&self, client: u64, item: T) -> Result<usize, QueueFull> {
+        let mut state = self.state.lock().unwrap();
+        if state.len >= self.cap {
+            return Err(QueueFull { cap: self.cap });
+        }
+        match state.lanes.iter_mut().find(|l| l.client == client) {
+            Some(lane) => lane.items.push_back(item),
+            None => state.lanes.push(Lane {
+                client,
+                items: VecDeque::from([item]),
+            }),
+        }
+        state.len += 1;
+        let depth = state.len;
+        drop(state);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Current total depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().len
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until at least one item is queued, lingers up to `window`
+    /// for more to accumulate (request batching), then drains up to
+    /// `max` items round-robin across client lanes — one item per lane
+    /// per turn. Returns `None` once the queue is closed *and* drained.
+    pub fn pop_batch(&self, max: usize, window: Duration) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut state = self.state.lock().unwrap();
+        // Wait for the first item (or close).
+        while state.len == 0 {
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap();
+        }
+        // Linger for the batch window or until the batch is full.
+        let deadline = Instant::now() + window;
+        while state.len < max && !state.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timeout) = self.available.wait_timeout(state, deadline - now).unwrap();
+            state = next;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        // Drain round-robin, one item per lane per turn.
+        let mut batch = Vec::with_capacity(max.min(state.len));
+        while batch.len() < max && state.len > 0 {
+            if state.lanes.is_empty() {
+                break;
+            }
+            let i = state.cursor % state.lanes.len();
+            let lane = &mut state.lanes[i];
+            if let Some(item) = lane.items.pop_front() {
+                batch.push(item);
+                state.len -= 1;
+            }
+            if state.lanes[i].items.is_empty() {
+                state.lanes.remove(i);
+                // Cursor now points at the lane after the removed one.
+                if !state.lanes.is_empty() {
+                    state.cursor %= state.lanes.len();
+                }
+            } else {
+                state.cursor = (i + 1) % state.lanes.len();
+            }
+        }
+        Some(batch)
+    }
+
+    /// Closes the queue: pending items still drain, new pushes still
+    /// succeed (races at shutdown resolve to a served answer, not a
+    /// hang), but `pop_batch` returns `None` once empty.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const NOW: Duration = Duration::ZERO;
+
+    #[test]
+    fn drains_round_robin_across_clients() {
+        let q: FairQueue<&str> = FairQueue::new(16);
+        for item in ["a1", "a2", "a3", "a4"] {
+            q.push(1, item).unwrap();
+        }
+        q.push(2, "b1").unwrap();
+        q.push(3, "c1").unwrap();
+        // One item per lane per turn: the flood on client 1 cannot
+        // push b1/c1 out of the first batch.
+        let batch = q.pop_batch(4, NOW).unwrap();
+        assert_eq!(batch, vec!["a1", "b1", "c1", "a2"]);
+        let batch = q.pop_batch(4, NOW).unwrap();
+        assert_eq!(batch, vec!["a3", "a4"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_rejects_with_queue_full() {
+        let q: FairQueue<u32> = FairQueue::new(2);
+        assert_eq!(q.push(1, 10), Ok(1));
+        assert_eq!(q.push(2, 20), Ok(2));
+        assert_eq!(q.push(1, 30), Err(QueueFull { cap: 2 }));
+        let batch = q.pop_batch(8, NOW).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(q.push(1, 30), Ok(1), "draining frees capacity");
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q: FairQueue<u32> = FairQueue::new(8);
+        q.push(1, 1).unwrap();
+        q.close();
+        assert_eq!(q.pop_batch(8, NOW), Some(vec![1]));
+        assert_eq!(q.pop_batch(8, NOW), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close_and_on_push() {
+        let q: Arc<FairQueue<u32>> = Arc::new(FairQueue::new(8));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop_batch(4, Duration::from_millis(50)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(7, 42).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(vec![42]));
+
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop_batch(4, Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+
+    #[test]
+    fn window_accumulates_late_arrivals() {
+        let q: Arc<FairQueue<u32>> = Arc::new(FairQueue::new(8));
+        q.push(1, 1).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            q2.push(2, 2).unwrap();
+        });
+        let batch = q.pop_batch(8, Duration::from_millis(400)).unwrap();
+        pusher.join().unwrap();
+        assert_eq!(batch.len(), 2, "late arrival joined the batch: {batch:?}");
+    }
+}

@@ -1,0 +1,566 @@
+//! The daemon itself: listeners, connection threads, the in-flight
+//! dedup point, and the batch scheduler.
+//!
+//! # Request path
+//!
+//! ```text
+//! conn thread                scheduler thread
+//! -----------                ----------------
+//! parse request
+//! digest via engine
+//! inflight.get_or_compute ─┐
+//!   leader: store.get ──hit┼─► respond (source=store)
+//!           miss: enqueue ─┼─► pop_batch (fair, batched)
+//!           wait on slot   │   engine.evaluate(batch)
+//!   joiner: wait on flight │   store.put + resolve slots
+//! respond, leader removes  │
+//! the in-flight entry      │
+//! ```
+//!
+//! The in-flight entry is removed as soon as the leader has answered:
+//! the [`ShardedCache`] is purely a dedup point, and the disk store's
+//! LRU size cap stays the only capacity policy. A request that arrives
+//! after removal simply becomes a new leader and hits the store.
+
+use crate::queue::{FairQueue, QueueFull};
+use crate::store::ResultStore;
+use crate::QueryEngine;
+use common::json::Json;
+use common::proto::{QueryRequest, QueryResponse, RequestOp, Source};
+use runtime::cache::{panic_message, ShardedCache};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How often accept loops and idle connections check the stop flag.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Where and how a [`Server`] listens and stores results.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Unix socket path to listen on (removed on clean shutdown).
+    pub socket: Option<PathBuf>,
+    /// TCP address to listen on (`127.0.0.1:0` picks a free port,
+    /// reported by [`Server::tcp_addr`]).
+    pub tcp: Option<String>,
+    /// Directory of the content-addressed result store.
+    pub store_dir: PathBuf,
+    /// Store size cap in payload bytes; LRU eviction beyond it.
+    pub store_cap_bytes: u64,
+    /// Maximum queued cold requests before clients get `busy`.
+    pub queue_cap: usize,
+    /// Maximum cold requests evaluated per engine batch.
+    pub batch_max: usize,
+    /// How long the scheduler lingers for more requests to join a
+    /// batch once the first arrives.
+    pub batch_window: Duration,
+}
+
+impl ServerConfig {
+    /// A config with serving defaults; callers set `socket` and/or
+    /// `tcp` before binding.
+    pub fn new(store_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            socket: None,
+            tcp: None,
+            store_dir: store_dir.into(),
+            store_cap_bytes: 256 * 1024 * 1024,
+            queue_cap: 256,
+            batch_max: 8,
+            batch_window: Duration::from_millis(20),
+        }
+    }
+}
+
+/// A query answer as it moves between threads. Payloads are `Arc`ed so
+/// joiners share the leader's allocation.
+#[derive(Clone)]
+enum Answer {
+    Ready(Source, Arc<String>),
+    Busy(String),
+    Failed(String),
+}
+
+/// One cold request parked in the queue: resolved by the scheduler.
+struct Job {
+    digest: String,
+    request: QueryRequest,
+    slot: Arc<Slot>,
+}
+
+/// A one-shot rendezvous between a waiting connection thread and the
+/// scheduler.
+struct Slot {
+    answer: Mutex<Option<Answer>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            answer: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn set(&self, answer: Answer) {
+        let mut slot = self.answer.lock().unwrap();
+        *slot = Some(answer);
+        drop(slot);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Answer {
+        let mut slot = self.answer.lock().unwrap();
+        loop {
+            if let Some(answer) = slot.as_ref() {
+                return answer.clone();
+            }
+            slot = self.ready.wait(slot).unwrap();
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    inflight_joins: AtomicU64,
+    enqueued: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    batch_points: AtomicU64,
+    peak_depth: AtomicU64,
+}
+
+/// State shared by connection threads, accept loops, and the
+/// scheduler.
+struct Shared {
+    engine: Arc<dyn QueryEngine>,
+    store: ResultStore,
+    queue: FairQueue<Job>,
+    queue_cap: usize,
+    inflight: ShardedCache<String, Answer>,
+    counters: Counters,
+    stop: AtomicBool,
+    next_client: AtomicU64,
+}
+
+/// A bound (but not yet running) daemon. [`Server::run`] blocks until
+/// a client sends `shutdown`; drive it from a dedicated thread when
+/// embedding (tests, `xp serve`).
+pub struct Server {
+    shared: Arc<Shared>,
+    unix: Option<(UnixListener, PathBuf)>,
+    tcp: Option<TcpListener>,
+    tcp_addr: Option<SocketAddr>,
+    batch_max: usize,
+    batch_window: Duration,
+}
+
+impl Server {
+    /// Opens the store and binds the configured listeners. At least one
+    /// of `socket`/`tcp` must be set. A stale Unix socket file left by
+    /// a crashed daemon is reclaimed; a *live* one (something answers a
+    /// connect) is an error.
+    pub fn bind(config: ServerConfig, engine: Arc<dyn QueryEngine>) -> Result<Server, String> {
+        if config.socket.is_none() && config.tcp.is_none() {
+            return Err(
+                "xpd: no endpoint configured (need a socket path and/or a TCP address)".to_string(),
+            );
+        }
+        let store = ResultStore::open(&config.store_dir, config.store_cap_bytes)?;
+
+        let unix = match &config.socket {
+            None => None,
+            Some(path) => {
+                if path.exists() {
+                    match UnixStream::connect(path) {
+                        Ok(_) => {
+                            return Err(format!(
+                                "xpd: {} is already served by a live daemon",
+                                path.display()
+                            ))
+                        }
+                        Err(_) => {
+                            let _ = std::fs::remove_file(path);
+                        }
+                    }
+                }
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| format!("xpd: cannot bind {}: {e}", path.display()))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| format!("xpd: cannot configure {}: {e}", path.display()))?;
+                Some((listener, path.clone()))
+            }
+        };
+        let (tcp, tcp_addr) = match &config.tcp {
+            None => (None, None),
+            Some(addr) => {
+                let listener =
+                    TcpListener::bind(addr).map_err(|e| format!("xpd: cannot bind {addr}: {e}"))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| format!("xpd: cannot configure {addr}: {e}"))?;
+                let local = listener
+                    .local_addr()
+                    .map_err(|e| format!("xpd: cannot resolve {addr}: {e}"))?;
+                (Some(listener), Some(local))
+            }
+        };
+
+        Ok(Server {
+            shared: Arc::new(Shared {
+                engine,
+                store,
+                queue: FairQueue::new(config.queue_cap),
+                queue_cap: config.queue_cap.max(1),
+                inflight: ShardedCache::new(16),
+                counters: Counters::default(),
+                stop: AtomicBool::new(false),
+                next_client: AtomicU64::new(1),
+            }),
+            unix,
+            tcp,
+            tcp_addr,
+            batch_max: config.batch_max,
+            batch_window: config.batch_window,
+        })
+    }
+
+    /// The bound TCP address, when a TCP endpoint was configured.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Serves until a client sends `shutdown`: accept loops and the
+    /// batch scheduler run on their own threads; pending cold requests
+    /// drain (and persist) before this returns.
+    pub fn run(self) -> Result<(), String> {
+        let scheduler = {
+            let shared = Arc::clone(&self.shared);
+            let (max, window) = (self.batch_max, self.batch_window);
+            std::thread::Builder::new()
+                .name("xpd-sched".to_string())
+                .spawn(move || scheduler_loop(&shared, max, window))
+                .map_err(|e| format!("xpd: cannot spawn scheduler: {e}"))?
+        };
+
+        let mut accepts = Vec::new();
+        let mut socket_path = None;
+        if let Some((listener, path)) = self.unix {
+            socket_path = Some(path);
+            let shared = Arc::clone(&self.shared);
+            accepts.push(
+                std::thread::Builder::new()
+                    .name("xpd-accept-unix".to_string())
+                    .spawn(move || accept_loop_unix(&shared, &listener))
+                    .map_err(|e| format!("xpd: cannot spawn acceptor: {e}"))?,
+            );
+        }
+        if let Some(listener) = self.tcp {
+            let shared = Arc::clone(&self.shared);
+            accepts.push(
+                std::thread::Builder::new()
+                    .name("xpd-accept-tcp".to_string())
+                    .spawn(move || accept_loop_tcp(&shared, &listener))
+                    .map_err(|e| format!("xpd: cannot spawn acceptor: {e}"))?,
+            );
+        }
+
+        for handle in accepts {
+            let _ = handle.join();
+        }
+        // No new work can arrive; let queued jobs drain, then stop the
+        // scheduler. Connection threads still waiting on slots get
+        // their answers and exit on their next read poll.
+        self.shared.queue.close();
+        let _ = scheduler.join();
+        if let Some(path) = socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+fn accept_loop_unix(shared: &Arc<Shared>, listener: &UnixListener) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(POLL));
+                spawn_conn(shared, move |shared, client| {
+                    serve_conn(shared, client, &stream)
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn accept_loop_tcp(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(POLL));
+                spawn_conn(shared, move |shared, client| {
+                    serve_conn(shared, client, &stream)
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn spawn_conn(shared: &Arc<Shared>, serve: impl FnOnce(&Arc<Shared>, u64) + Send + 'static) {
+    let client = shared.next_client.fetch_add(1, Ordering::SeqCst);
+    let shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name(format!("xpd-conn-{client}"))
+        .spawn(move || serve(&shared, client));
+    if let Err(e) = spawned {
+        eprintln!("xpd: cannot spawn connection thread: {e}");
+    }
+}
+
+/// One request/response line at a time until EOF, error, or shutdown.
+/// Works over `&UnixStream` and `&TcpStream` alike (both implement
+/// `Read`/`Write` by shared reference).
+fn serve_conn<S>(shared: &Arc<Shared>, client: u64, stream: &S)
+where
+    for<'a> &'a S: Read + Write,
+{
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let text = std::mem::take(&mut line);
+                let text = text.trim();
+                if text.is_empty() {
+                    continue;
+                }
+                let response = handle_line(shared, client, text);
+                let mut writer = stream;
+                let sent = writer
+                    .write_all(response.to_json().render_jsonl_line().as_bytes())
+                    .and_then(|()| writer.flush());
+                if sent.is_err() || shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            // Read timeout: `line` keeps any partial read; poll the
+            // stop flag and keep listening.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_line(shared: &Arc<Shared>, client: u64, text: &str) -> QueryResponse {
+    let request = Json::parse(text)
+        .map_err(|e| format!("bad request JSON: {e}"))
+        .and_then(|j| QueryRequest::from_json(&j));
+    let request = match request {
+        Ok(r) => r,
+        Err(e) => return QueryResponse::error(e),
+    };
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    trace::count("xpd.request", 1);
+    match request.op {
+        RequestOp::Stats => QueryResponse::stats(stats_json(shared)),
+        RequestOp::Shutdown => {
+            shared.stop.store(true, Ordering::SeqCst);
+            QueryResponse {
+                status: "ok".to_string(),
+                digest: None,
+                source: None,
+                payload: None,
+                error: None,
+                stats: None,
+            }
+        }
+        RequestOp::Query => handle_query(shared, client, &request),
+    }
+}
+
+fn handle_query(shared: &Arc<Shared>, client: u64, request: &QueryRequest) -> QueryResponse {
+    let digest = match shared.engine.digest(request) {
+        Ok(d) => d,
+        Err(e) => return QueryResponse::error(e),
+    };
+    // The dedup point: the first requester of a digest leads (checks
+    // the store, enqueues on a miss, waits); concurrent requesters of
+    // the same digest join the leader's flight and share its answer.
+    let mut led = false;
+    let outcome = shared.inflight.get_or_compute(&digest, || {
+        led = true;
+        answer_cold(shared, client, &digest, request)
+    });
+    if led {
+        // Answered: drop the memory copy so the disk store's LRU cap
+        // remains the only capacity policy. Late requesters become new
+        // leaders and hit the store.
+        shared.inflight.remove(&digest);
+    } else {
+        shared
+            .counters
+            .inflight_joins
+            .fetch_add(1, Ordering::Relaxed);
+        trace::count("xpd.inflight_join", 1);
+    }
+    match outcome {
+        Ok(Answer::Ready(source, payload)) => QueryResponse::ok(&digest, source, payload.as_str()),
+        Ok(Answer::Busy(message)) => QueryResponse::busy(message),
+        Ok(Answer::Failed(message)) => QueryResponse::error(message),
+        Err(panicked) => QueryResponse::error(panicked.to_string()),
+    }
+}
+
+/// The leader's path on an in-flight miss: serve from the store or
+/// enqueue for the scheduler and wait.
+fn answer_cold(shared: &Arc<Shared>, client: u64, digest: &str, request: &QueryRequest) -> Answer {
+    if let Some(payload) = shared.store.get(digest) {
+        shared.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+        trace::count("xpd.store.hit", 1);
+        return Answer::Ready(Source::Store, Arc::new(payload));
+    }
+    shared.counters.store_misses.fetch_add(1, Ordering::Relaxed);
+    trace::count("xpd.store.miss", 1);
+    if shared.stop.load(Ordering::SeqCst) {
+        return Answer::Busy("daemon is shutting down".to_string());
+    }
+    let slot = Arc::new(Slot::new());
+    let job = Job {
+        digest: digest.to_string(),
+        request: request.clone(),
+        slot: Arc::clone(&slot),
+    };
+    match shared.queue.push(client, job) {
+        Ok(depth) => {
+            shared.counters.enqueued.fetch_add(1, Ordering::Relaxed);
+            trace::count("xpd.queue.enqueued", 1);
+            // Peak-depth as a monotonic counter: emit only the delta
+            // over the previous peak, so the counter's final value in a
+            // trace summary *is* the peak depth.
+            let depth = depth as u64;
+            let prev = shared
+                .counters
+                .peak_depth
+                .fetch_max(depth, Ordering::Relaxed);
+            if depth > prev {
+                trace::count("xpd.queue.peak_depth", depth - prev);
+            }
+            slot.wait()
+        }
+        Err(QueueFull { cap }) => {
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            trace::count("xpd.queue.rejected", 1);
+            Answer::Busy(format!("request queue full ({cap} pending); retry later"))
+        }
+    }
+}
+
+/// Drains batches until the queue closes: evaluate, persist, resolve.
+fn scheduler_loop(shared: &Arc<Shared>, batch_max: usize, batch_window: Duration) {
+    while let Some(batch) = shared.queue.pop_batch(batch_max, batch_window) {
+        if batch.is_empty() {
+            continue;
+        }
+        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .batch_points
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        trace::count("xpd.batch", 1);
+        trace::count("xpd.batch_points", batch.len() as u64);
+        let _span = trace::span("xpd.batch");
+
+        let requests: Vec<QueryRequest> = batch.iter().map(|j| j.request.clone()).collect();
+        let results = catch_unwind(AssertUnwindSafe(|| shared.engine.evaluate(&requests)));
+        match results {
+            Ok(results) => {
+                for (i, job) in batch.iter().enumerate() {
+                    let result = results.get(i).cloned().unwrap_or_else(|| {
+                        Err(format!(
+                            "engine returned {} results for a batch of {}",
+                            results.len(),
+                            batch.len()
+                        ))
+                    });
+                    match result {
+                        Ok(payload) => {
+                            if let Err(e) = shared.store.put(&job.digest, &payload) {
+                                eprintln!("xpd: store put failed: {e}");
+                            }
+                            job.slot
+                                .set(Answer::Ready(Source::Computed, Arc::new(payload)));
+                        }
+                        Err(message) => job.slot.set(Answer::Failed(message)),
+                    }
+                }
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                for job in &batch {
+                    job.slot
+                        .set(Answer::Failed(format!("engine panicked: {message}")));
+                }
+            }
+        }
+    }
+}
+
+/// The live counter object served to `stats` requests.
+fn stats_json(shared: &Arc<Shared>) -> Json {
+    let c = &shared.counters;
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
+    let store = shared.store.stats();
+
+    let mut store_json = Json::object();
+    store_json.insert("hits", load(&c.store_hits));
+    store_json.insert("misses", load(&c.store_misses));
+    store_json.insert("entries", store.entries as f64);
+    store_json.insert("bytes", store.bytes as f64);
+    store_json.insert("evictions", store.evictions as f64);
+
+    let mut queue_json = Json::object();
+    queue_json.insert("depth", shared.queue.len() as f64);
+    queue_json.insert("cap", shared.queue_cap as f64);
+    queue_json.insert("enqueued", load(&c.enqueued));
+    queue_json.insert("rejected", load(&c.rejected));
+    queue_json.insert("peak_depth", load(&c.peak_depth));
+
+    let mut batch_json = Json::object();
+    batch_json.insert("batches", load(&c.batches));
+    batch_json.insert("points", load(&c.batch_points));
+
+    let mut o = Json::object();
+    o.insert("requests", load(&c.requests));
+    o.insert("inflight_joins", load(&c.inflight_joins));
+    o.insert("store", store_json);
+    o.insert("queue", queue_json);
+    o.insert("batch", batch_json);
+    o.insert("engine", shared.engine.describe());
+    o
+}

@@ -1,0 +1,332 @@
+//! The content-addressed on-disk result store: one file per config
+//! digest, an append-only JSONL journal for LRU order, crash-safe
+//! writes, and a size cap enforced by least-recently-used eviction.
+//!
+//! # Layout
+//!
+//! ```text
+//! <dir>/
+//!   journal.jsonl        # {"op":"put"|"touch"|"evict","digest":...}
+//!   <digest>.json        # the exact payload bytes, digest = 16 hex
+//!   <digest>.json.tmp    # in-progress write (renamed or reaped)
+//! ```
+//!
+//! The design reuses the `xp run --resume` journal idiom: every
+//! mutation appends one JSONL record and flushes, so a crash loses at
+//! most the record in flight; payload files are written to a `.tmp`
+//! sibling and atomically renamed, so a reader never observes a torn
+//! payload. On open the journal is replayed against the directory
+//! listing — files without records are adopted, records without files
+//! are dropped, a torn final record is ignored, and leftover `.tmp`
+//! files are reaped — so the store self-heals from any crash point.
+
+use common::digest::is_hex_digest;
+use common::json::Json;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Rewrite the journal once it holds this many records more than the
+/// live entry count (touch records accumulate on every hit).
+const COMPACT_SLACK: usize = 1024;
+
+/// Point-in-time store occupancy, for stats responses and logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of stored payloads.
+    pub entries: usize,
+    /// Total payload bytes (journal and tmp files excluded).
+    pub bytes: u64,
+    /// Payloads evicted since the store was opened.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    digest: String,
+    bytes: u64,
+}
+
+#[derive(Debug)]
+struct State {
+    /// LRU order: front is coldest, back is hottest.
+    entries: Vec<Entry>,
+    total_bytes: u64,
+    evictions: u64,
+    journal: File,
+    journal_records: usize,
+}
+
+/// A content-addressed payload store with a byte-size cap.
+///
+/// All methods take `&self`; an internal mutex serializes mutations, so
+/// one store can be shared across the daemon's connection threads.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    max_bytes: u64,
+    state: Mutex<State>,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store at `dir` with a total
+    /// payload cap of `max_bytes`.
+    pub fn open(dir: &Path, max_bytes: u64) -> Result<ResultStore, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("xpd store: cannot create {}: {e}", dir.display()))?;
+
+        // Reap in-progress writes from a previous crash.
+        let mut on_disk: HashMap<String, u64> = HashMap::new();
+        let listing = std::fs::read_dir(dir)
+            .map_err(|e| format!("xpd store: cannot list {}: {e}", dir.display()))?;
+        for entry in listing {
+            let entry = entry.map_err(|e| format!("xpd store: cannot list entry: {e}"))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.contains(".json.tmp") {
+                let _ = std::fs::remove_file(entry.path());
+                continue;
+            }
+            if let Some(stem) = name.strip_suffix(".json") {
+                if is_hex_digest(stem) {
+                    let len = entry
+                        .metadata()
+                        .map_err(|e| format!("xpd store: cannot stat {name}: {e}"))?
+                        .len();
+                    on_disk.insert(stem.to_string(), len);
+                }
+            }
+        }
+
+        // Replay the journal to recover LRU order. A torn final record
+        // (crash mid-append) is ignored; corruption anywhere else falls
+        // back to the directory listing — the store is a cache, so
+        // self-healing beats refusing to start.
+        let journal_path = dir.join("journal.jsonl");
+        let mut order: Vec<String> = Vec::new();
+        if let Ok(text) = std::fs::read_to_string(&journal_path) {
+            let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+            for (i, line) in lines.iter().enumerate() {
+                let Ok(rec) = Json::parse(line) else {
+                    if i + 1 == lines.len() {
+                        break; // torn final append
+                    }
+                    eprintln!(
+                        "xpd store: {} is corrupt at record {}; rebuilding index from files",
+                        journal_path.display(),
+                        i + 1
+                    );
+                    order.clear();
+                    break;
+                };
+                let (op, digest) = (
+                    rec.get("op").and_then(Json::as_str),
+                    rec.get("digest").and_then(Json::as_str),
+                );
+                let Some(digest) = digest else { continue };
+                order.retain(|d| d != digest);
+                match op {
+                    Some("put") | Some("touch") => order.push(digest.to_string()),
+                    Some("evict") => {}
+                    _ => {}
+                }
+            }
+        }
+
+        // Journal entries without files are dropped; files without
+        // journal entries are adopted (coldest, in name order, so
+        // adoption is deterministic).
+        let mut entries: Vec<Entry> = Vec::new();
+        let mut adopted: Vec<String> = on_disk
+            .keys()
+            .filter(|d| !order.contains(d))
+            .cloned()
+            .collect();
+        adopted.sort();
+        for digest in adopted.into_iter().chain(order) {
+            if let Some(&bytes) = on_disk.get(&digest) {
+                entries.push(Entry { digest, bytes });
+            }
+        }
+        let total_bytes = entries.iter().map(|e| e.bytes).sum();
+
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)
+            .map_err(|e| format!("xpd store: cannot open {}: {e}", journal_path.display()))?;
+        let store = ResultStore {
+            dir: dir.to_path_buf(),
+            max_bytes: max_bytes.max(1),
+            state: Mutex::new(State {
+                entries,
+                total_bytes,
+                evictions: 0,
+                journal,
+                journal_records: usize::MAX, // force one compaction pass
+            }),
+        };
+        {
+            // Rewrite the journal to exactly one record per live entry,
+            // and bring an over-cap store (cap lowered since last run)
+            // back under its limit.
+            let mut state = store.state.lock().unwrap();
+            store.compact(&mut state)?;
+            store.evict_over_cap(&mut state);
+        }
+        Ok(store)
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The payload for `digest`, touching its LRU slot. `None` on a
+    /// miss (including an indexed entry whose file has gone missing —
+    /// the entry is dropped and the miss reported).
+    pub fn get(&self, digest: &str) -> Option<String> {
+        let mut state = self.state.lock().unwrap();
+        let pos = state.entries.iter().position(|e| e.digest == digest)?;
+        match std::fs::read_to_string(self.payload_path(digest)) {
+            Ok(text) => {
+                let entry = state.entries.remove(pos);
+                state.entries.push(entry);
+                self.append(&mut state, "touch", digest);
+                let _ = self.compact_if_slack(&mut state);
+                Some(text)
+            }
+            Err(_) => {
+                // The file vanished under us (manual cleanup, disk
+                // trouble): drop the entry and report a miss.
+                let entry = state.entries.remove(pos);
+                state.total_bytes = state.total_bytes.saturating_sub(entry.bytes);
+                self.append(&mut state, "evict", digest);
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` under `digest` (crash-safe: tmp + rename),
+    /// then evicts least-recently-used entries until the store is back
+    /// under its size cap. Re-putting an existing digest is a touch.
+    pub fn put(&self, digest: &str, payload: &str) -> Result<(), String> {
+        let mut state = self.state.lock().unwrap();
+        if let Some(pos) = state.entries.iter().position(|e| e.digest == digest) {
+            // Content-addressed: same digest, same payload. Just touch.
+            let entry = state.entries.remove(pos);
+            state.entries.push(entry);
+            self.append(&mut state, "touch", digest);
+            return Ok(());
+        }
+        let path = self.payload_path(digest);
+        let tmp = self
+            .dir
+            .join(format!("{digest}.json.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, payload)
+            .map_err(|e| format!("xpd store: cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("xpd store: cannot rename into {}: {e}", path.display())
+        })?;
+        state.entries.push(Entry {
+            digest: digest.to_string(),
+            bytes: payload.len() as u64,
+        });
+        state.total_bytes += payload.len() as u64;
+        self.append(&mut state, "put", digest);
+        self.evict_over_cap(&mut state);
+        self.compact_if_slack(&mut state)
+    }
+
+    /// Current occupancy.
+    pub fn stats(&self) -> StoreStats {
+        let state = self.state.lock().unwrap();
+        StoreStats {
+            entries: state.entries.len(),
+            bytes: state.total_bytes,
+            evictions: state.evictions,
+        }
+    }
+
+    /// The digests currently stored, coldest first (tests and debug).
+    pub fn digests_lru_order(&self) -> Vec<String> {
+        let state = self.state.lock().unwrap();
+        state.entries.iter().map(|e| e.digest.clone()).collect()
+    }
+
+    fn payload_path(&self, digest: &str) -> PathBuf {
+        self.dir.join(format!("{digest}.json"))
+    }
+
+    /// Appends one journal record and flushes it. Journal IO failures
+    /// are logged, not fatal: the store can still serve from memory and
+    /// the index rebuilds from the directory on next open.
+    fn append(&self, state: &mut State, op: &str, digest: &str) {
+        let mut rec = Json::object();
+        rec.insert("op", op);
+        rec.insert("digest", digest);
+        if let Err(e) = state
+            .journal
+            .write_all(rec.render_jsonl_line().as_bytes())
+            .and_then(|()| state.journal.flush())
+        {
+            eprintln!("xpd store: journal append failed: {e}");
+        }
+        state.journal_records = state.journal_records.saturating_add(1);
+    }
+
+    /// Evicts coldest entries until the store fits its cap. The hottest
+    /// entry is never evicted, even if it alone exceeds the cap —
+    /// serving one oversized answer beats thrashing on it.
+    fn evict_over_cap(&self, state: &mut State) {
+        while state.total_bytes > self.max_bytes && state.entries.len() > 1 {
+            let evicted = state.entries.remove(0);
+            state.total_bytes = state.total_bytes.saturating_sub(evicted.bytes);
+            state.evictions += 1;
+            let _ = std::fs::remove_file(self.payload_path(&evicted.digest));
+            self.append(state, "evict", &evicted.digest);
+            trace::count("xpd.store.eviction", 1);
+        }
+    }
+
+    fn compact_if_slack(&self, state: &mut State) -> Result<(), String> {
+        if state.journal_records > state.entries.len().saturating_add(COMPACT_SLACK) {
+            self.compact(state)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Rewrites the journal as one `put` record per live entry in LRU
+    /// order (tmp + rename, like payloads).
+    fn compact(&self, state: &mut State) -> Result<(), String> {
+        let path = self.dir.join("journal.jsonl");
+        let tmp = self
+            .dir
+            .join(format!("journal.jsonl.tmp.{}", std::process::id()));
+        let mut body = String::new();
+        for entry in &state.entries {
+            let mut rec = Json::object();
+            rec.insert("op", "put");
+            rec.insert("digest", entry.digest.as_str());
+            rec.insert("bytes", entry.bytes as f64);
+            body.push_str(&rec.render_jsonl_line());
+        }
+        std::fs::write(&tmp, &body)
+            .map_err(|e| format!("xpd store: cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("xpd store: cannot rename into {}: {e}", path.display())
+        })?;
+        state.journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("xpd store: cannot reopen {}: {e}", path.display()))?;
+        state.journal_records = state.entries.len();
+        Ok(())
+    }
+}

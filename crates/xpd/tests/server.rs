@@ -1,0 +1,481 @@
+//! Integration tests for the daemon itself, driven through real
+//! sockets with a mock [`QueryEngine`]: compute-then-store-hit flow,
+//! restart persistence, error containment, backpressure, and a
+//! concurrent-clients property asserting exactly-once evaluation per
+//! unique digest.
+
+use common::digest::Fnv1a;
+use common::json::Json;
+use common::proto::{QueryRequest, QueryResponse, Source};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xpd::client::{self, Connection, Endpoint};
+use xpd::server::{Server, ServerConfig};
+use xpd::QueryEngine;
+
+/// A fresh, empty temp directory unique to this process and test.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xpd-server-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The canned payload the mock engine produces for an artifact query.
+fn mock_payload(request: &QueryRequest) -> String {
+    let mut sets: Vec<_> = request.sets.clone();
+    sets.sort();
+    format!(
+        "{{\n  \"artifact\": \"{}\",\n  \"sets\": {:?}\n}}\n",
+        request.artifact, sets
+    )
+}
+
+/// A gate the blocking-engine test uses to park `evaluate` calls.
+#[derive(Default)]
+struct Gate {
+    state: Mutex<(bool, usize)>, // (open, evaluate calls entered)
+    changed: Condvar,
+}
+
+impl Gate {
+    fn enter_and_wait_open(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.1 += 1;
+        self.changed.notify_all();
+        while !state.0 {
+            state = self.changed.wait(state).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.0 = true;
+        self.changed.notify_all();
+    }
+
+    fn wait_entered(&self, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut state = self.state.lock().unwrap();
+        while state.1 < n {
+            assert!(Instant::now() < deadline, "engine never entered evaluate");
+            let (next, _) = self
+                .changed
+                .wait_timeout(state, Duration::from_millis(50))
+                .unwrap();
+            state = next;
+        }
+    }
+}
+
+/// A deterministic engine: digests are content hashes of the request,
+/// payloads are canned, and every evaluation is counted per digest.
+/// `artifact == "fail-*"` evaluates to an error, `"explode"` panics,
+/// and `"bad"` fails at digest time.
+#[derive(Default)]
+struct MockEngine {
+    evaluated: Mutex<HashMap<String, usize>>,
+    gate: Option<Arc<Gate>>,
+}
+
+impl MockEngine {
+    fn evaluations(&self, digest: &str) -> usize {
+        *self.evaluated.lock().unwrap().get(digest).unwrap_or(&0)
+    }
+
+    fn digest_of(request: &QueryRequest) -> String {
+        let mut sets: Vec<_> = request.sets.clone();
+        sets.sort();
+        let mut h = Fnv1a::of("mock|");
+        h.update(&request.artifact);
+        for (k, v) in &sets {
+            h.update("|");
+            h.update(k);
+            h.update("=");
+            h.update(v);
+        }
+        h.hex()
+    }
+}
+
+impl QueryEngine for MockEngine {
+    fn digest(&self, request: &QueryRequest) -> Result<String, String> {
+        if request.artifact == "bad" {
+            return Err(format!("no such artifact {:?}", request.artifact));
+        }
+        Ok(Self::digest_of(request))
+    }
+
+    fn evaluate(&self, requests: &[QueryRequest]) -> Vec<Result<String, String>> {
+        if let Some(gate) = &self.gate {
+            gate.enter_and_wait_open();
+        }
+        requests
+            .iter()
+            .map(|request| {
+                if request.artifact == "explode" {
+                    panic!("mock engine exploded");
+                }
+                if request.artifact.starts_with("fail") {
+                    return Err(format!("cannot evaluate {:?}", request.artifact));
+                }
+                let digest = Self::digest_of(request);
+                *self.evaluated.lock().unwrap().entry(digest).or_insert(0) += 1;
+                Ok(mock_payload(request))
+            })
+            .collect()
+    }
+
+    fn describe(&self) -> Json {
+        let mut o = Json::object();
+        o.insert("kind", "mock");
+        o
+    }
+}
+
+/// Binds a TCP server on a free port and runs it on its own thread.
+fn start_tcp(
+    config: ServerConfig,
+    engine: Arc<MockEngine>,
+) -> (Endpoint, JoinHandle<Result<(), String>>) {
+    let mut config = config;
+    config.tcp = Some("127.0.0.1:0".to_string());
+    let server = Server::bind(config, engine).unwrap();
+    let addr = server.tcp_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+    (Endpoint::Tcp(addr.to_string()), handle)
+}
+
+fn shutdown(endpoint: &Endpoint, handle: JoinHandle<Result<(), String>>) {
+    let response = client::request(endpoint, &QueryRequest::shutdown(), None).unwrap();
+    assert_eq!(response.status, "ok");
+    handle.join().unwrap().unwrap();
+}
+
+fn ok_query(endpoint: &Endpoint, request: &QueryRequest) -> QueryResponse {
+    let response = client::request(endpoint, request, None).unwrap();
+    assert_eq!(response.status, "ok", "error: {:?}", response.error);
+    response
+}
+
+#[test]
+fn queries_compute_once_then_hit_the_store() {
+    let dir = temp_dir("compute-then-hit");
+    let engine = Arc::new(MockEngine::default());
+    let (endpoint, handle) = start_tcp(ServerConfig::new(dir.join("store")), Arc::clone(&engine));
+
+    let request = QueryRequest::query("fig6")
+        .with_set("bw", "2x")
+        .with_set("gpms", "8");
+    let first = ok_query(&endpoint, &request);
+    assert_eq!(first.source, Some(Source::Computed));
+    assert_eq!(
+        first.payload.as_deref(),
+        Some(mock_payload(&request).as_str())
+    );
+
+    let second = ok_query(&endpoint, &request);
+    assert_eq!(
+        second.source,
+        Some(Source::Store),
+        "second query is a store hit"
+    );
+    assert_eq!(second.payload, first.payload, "hit is byte-identical");
+    assert_eq!(second.digest, first.digest);
+    assert_eq!(engine.evaluations(first.digest.as_deref().unwrap()), 1);
+
+    // Set order does not matter: same digest, still a store hit.
+    let reordered = QueryRequest::query("fig6")
+        .with_set("gpms", "8")
+        .with_set("bw", "2x");
+    let third = ok_query(&endpoint, &reordered);
+    assert_eq!(third.source, Some(Source::Store));
+
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_store_survives_a_daemon_restart() {
+    let dir = temp_dir("restart");
+    let request = QueryRequest::query("fig2");
+    let first_payload;
+    {
+        let engine = Arc::new(MockEngine::default());
+        let (endpoint, handle) =
+            start_tcp(ServerConfig::new(dir.join("store")), Arc::clone(&engine));
+        first_payload = ok_query(&endpoint, &request).payload;
+        shutdown(&endpoint, handle);
+    }
+    // A brand-new daemon (and engine) over the same store directory
+    // serves the persisted payload without re-evaluating anything.
+    let engine = Arc::new(MockEngine::default());
+    let (endpoint, handle) = start_tcp(ServerConfig::new(dir.join("store")), Arc::clone(&engine));
+    let served = ok_query(&endpoint, &request);
+    assert_eq!(served.source, Some(Source::Store));
+    assert_eq!(served.payload, first_payload);
+    assert!(
+        engine.evaluated.lock().unwrap().is_empty(),
+        "nothing re-evaluated"
+    );
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unix_socket_round_trip() {
+    let dir = temp_dir("unix");
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("xpd.sock");
+    let mut config = ServerConfig::new(dir.join("store"));
+    config.socket = Some(socket.clone());
+    let engine = Arc::new(MockEngine::default());
+    let server = Server::bind(config, engine).unwrap();
+    let handle = std::thread::spawn(move || server.run());
+    let endpoint = Endpoint::Unix(socket.clone());
+
+    let response = ok_query(&endpoint, &QueryRequest::query("fig7"));
+    assert_eq!(response.source, Some(Source::Computed));
+    shutdown(&endpoint, handle);
+    assert!(!socket.exists(), "socket file removed on clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn engine_failures_are_contained_per_request() {
+    let dir = temp_dir("failures");
+    let engine = Arc::new(MockEngine::default());
+    let (endpoint, handle) = start_tcp(ServerConfig::new(dir.join("store")), engine);
+
+    // Digest-time rejection: fails fast, nothing enqueued.
+    let bad = client::request(&endpoint, &QueryRequest::query("bad"), None).unwrap();
+    assert_eq!(bad.status, "error");
+    assert!(bad.error.unwrap().contains("no such artifact"));
+
+    // Evaluation error: reported to the requester.
+    let failed = client::request(&endpoint, &QueryRequest::query("fail-here"), None).unwrap();
+    assert_eq!(failed.status, "error");
+    assert!(failed.error.unwrap().contains("cannot evaluate"));
+
+    // Engine panic: contained, reported, and the daemon keeps serving.
+    let panicked = client::request(&endpoint, &QueryRequest::query("explode"), None).unwrap();
+    assert_eq!(panicked.status, "error");
+    assert!(panicked.error.unwrap().contains("engine panicked"));
+
+    let after = ok_query(&endpoint, &QueryRequest::query("fig8"));
+    assert_eq!(after.source, Some(Source::Computed));
+
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_lines_get_error_responses() {
+    let dir = temp_dir("malformed");
+    let engine = Arc::new(MockEngine::default());
+    let (endpoint, handle) = start_tcp(ServerConfig::new(dir.join("store")), engine);
+
+    // Drive the raw protocol: garbage JSON, then a bad op, then a real
+    // query on the same connection.
+    use std::io::{BufRead, BufReader, Write};
+    let Endpoint::Tcp(addr) = &endpoint else {
+        unreachable!()
+    };
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let reader = stream.try_clone().unwrap();
+    let mut lines = BufReader::new(reader).lines();
+    let mut exchange = |line: &str| -> QueryResponse {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let reply = lines.next().unwrap().unwrap();
+        QueryResponse::from_json(&Json::parse(&reply).unwrap()).unwrap()
+    };
+
+    assert_eq!(exchange("{not json").status, "error");
+    assert_eq!(exchange(r#"{"op":"frobnicate"}"#).status, "error");
+    assert_eq!(exchange(r#"{"artifact":""}"#).status, "error");
+    let good = exchange(r#"{"op":"query","artifact":"fig9"}"#);
+    assert_eq!(good.status, "ok");
+    assert_eq!(good.source, Some(Source::Computed));
+    drop(stream);
+
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_reports_store_queue_and_engine_counters() {
+    let dir = temp_dir("stats");
+    let engine = Arc::new(MockEngine::default());
+    let (endpoint, handle) = start_tcp(ServerConfig::new(dir.join("store")), engine);
+
+    let request = QueryRequest::query("headline");
+    ok_query(&endpoint, &request);
+    ok_query(&endpoint, &request); // store hit
+
+    let response = client::request(&endpoint, &QueryRequest::stats(), None).unwrap();
+    assert_eq!(response.status, "ok");
+    let stats = response.stats.expect("stats payload");
+    let num = |path: &[&str]| -> f64 {
+        let mut j = &stats;
+        for p in path {
+            j = j.get(p).unwrap_or_else(|| panic!("stats missing {path:?}"));
+        }
+        j.as_f64()
+            .unwrap_or_else(|| panic!("stats {path:?} not a number"))
+    };
+    assert_eq!(num(&["requests"]), 3.0, "two queries + this stats call");
+    assert_eq!(num(&["store", "hits"]), 1.0);
+    assert_eq!(num(&["store", "misses"]), 1.0);
+    assert_eq!(num(&["store", "entries"]), 1.0);
+    assert_eq!(num(&["queue", "enqueued"]), 1.0);
+    assert_eq!(num(&["queue", "rejected"]), 0.0);
+    assert!(num(&["batch", "batches"]) >= 1.0);
+    assert_eq!(
+        stats
+            .get("engine")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("mock")
+    );
+
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_full_queue_answers_busy_instead_of_blocking() {
+    let dir = temp_dir("busy");
+    let gate = Arc::new(Gate::default());
+    let engine = Arc::new(MockEngine {
+        evaluated: Mutex::new(HashMap::new()),
+        gate: Some(Arc::clone(&gate)),
+    });
+    let mut config = ServerConfig::new(dir.join("store"));
+    config.queue_cap = 1;
+    config.batch_max = 1;
+    config.batch_window = Duration::from_millis(1);
+    let (endpoint, handle) = start_tcp(config, engine);
+
+    // First query: popped by the scheduler, parked inside `evaluate`.
+    let first = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || client::request(&endpoint, &QueryRequest::query("a"), None))
+    };
+    gate.wait_entered(1);
+
+    // Second query: enqueued (the scheduler is busy), waits its turn.
+    let second = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || client::request(&endpoint, &QueryRequest::query("b"), None))
+    };
+    // Wait until the second query occupies the queue's single slot.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client::request(&endpoint, &QueryRequest::stats(), None)
+            .unwrap()
+            .stats
+            .unwrap();
+        let depth = stats
+            .get("queue")
+            .and_then(|q| q.get("depth"))
+            .and_then(Json::as_f64);
+        if depth == Some(1.0) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "second query never reached the queue"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Third query: the queue is full — busy, immediately.
+    let third = client::request(&endpoint, &QueryRequest::query("c"), None).unwrap();
+    assert_eq!(third.status, "busy");
+    assert!(third.error.unwrap().contains("queue full"));
+
+    // Release the engine: both parked queries complete normally.
+    gate.open();
+    for parked in [first, second] {
+        let response = parked.join().unwrap().unwrap();
+        assert_eq!(response.status, "ok", "error: {:?}", response.error);
+        assert_eq!(response.source, Some(Source::Computed));
+    }
+
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Distinguishes proptest cases so each gets a fresh store directory.
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The exactly-once guarantee: any concurrent schedule of clients
+    /// querying overlapping artifacts evaluates each unique digest once
+    /// — every later answer comes from the in-flight dedup point or the
+    /// disk store.
+    #[test]
+    fn concurrent_clients_evaluate_each_digest_exactly_once(
+        schedule in prop::collection::vec((0_usize..4, 0_usize..3), 1..24),
+    ) {
+        let dir = temp_dir(&format!("once-{}", CASE.fetch_add(1, Ordering::Relaxed)));
+        let engine = Arc::new(MockEngine::default());
+        let (endpoint, handle) =
+            start_tcp(ServerConfig::new(dir.join("store")), Arc::clone(&engine));
+
+        const ARTIFACTS: [&str; 3] = ["fig2", "fig6", "headline"];
+        let mut lanes: Vec<Vec<&str>> = vec![Vec::new(); 4];
+        for &(client, artifact) in &schedule {
+            lanes[client].push(ARTIFACTS[artifact]);
+        }
+
+        let clients: Vec<_> = lanes
+            .into_iter()
+            .filter(|lane| !lane.is_empty())
+            .map(|lane| {
+                let endpoint = endpoint.clone();
+                std::thread::spawn(move || {
+                    let mut conn = Connection::connect(&endpoint, None).unwrap();
+                    lane.into_iter()
+                        .map(|artifact| {
+                            let request = QueryRequest::query(artifact);
+                            (request.clone(), conn.request(&request).unwrap())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+
+        let mut queried = std::collections::HashSet::new();
+        for client in clients {
+            for (request, response) in client.join().unwrap() {
+                prop_assert_eq!(response.status.as_str(), "ok");
+                let expected = mock_payload(&request);
+                prop_assert_eq!(
+                    response.payload.as_deref(),
+                    Some(expected.as_str()),
+                    "every answer is the exact payload, whatever its source"
+                );
+                queried.insert(MockEngine::digest_of(&request));
+            }
+        }
+        for digest in &queried {
+            prop_assert_eq!(
+                engine.evaluations(digest),
+                1,
+                "digest {} evaluated more than once",
+                digest
+            );
+        }
+
+        shutdown(&endpoint, handle);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,212 @@
+//! Integration tests for the content-addressed result store: crash-safe
+//! writes, digest round-trips, LRU eviction at the size cap, journal
+//! replay across reopens, and self-healing from torn or corrupt state.
+
+use std::path::PathBuf;
+use xpd::store::ResultStore;
+
+/// A fresh, empty temp directory unique to this process and test.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xpd-store-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic 16-hex digest for test entry `n`.
+fn digest(n: usize) -> String {
+    format!("{n:016x}")
+}
+
+#[test]
+fn payloads_round_trip_through_disk() {
+    let dir = temp_dir("roundtrip");
+    let store = ResultStore::open(&dir, 1 << 20).unwrap();
+
+    let payload = "{\n  \"id\": \"fig6\"\n}\n\n";
+    store.put(&digest(1), payload).unwrap();
+    assert_eq!(store.get(&digest(1)).as_deref(), Some(payload));
+    assert_eq!(store.get(&digest(2)), None, "unknown digest misses");
+
+    // The payload lives in a file named after its digest, byte-exact.
+    let on_disk = std::fs::read_to_string(dir.join(format!("{}.json", digest(1)))).unwrap();
+    assert_eq!(on_disk, payload);
+
+    let stats = store.stats();
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.bytes, payload.len() as u64);
+    assert_eq!(stats.evictions, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reput_is_a_touch_not_a_rewrite() {
+    let dir = temp_dir("reput");
+    let store = ResultStore::open(&dir, 1 << 20).unwrap();
+    store.put(&digest(1), "one\n").unwrap();
+    store.put(&digest(2), "two\n").unwrap();
+    // Re-putting digest 1 moves it to the hot end without growing the store.
+    store.put(&digest(1), "one\n").unwrap();
+    assert_eq!(store.stats().entries, 2);
+    assert_eq!(store.digests_lru_order(), vec![digest(2), digest(1)]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lru_eviction_holds_the_size_cap() {
+    let dir = temp_dir("lru");
+    // Cap fits two 8-byte payloads but not three.
+    let store = ResultStore::open(&dir, 16).unwrap();
+    let payload = "12345678";
+    store.put(&digest(1), payload).unwrap();
+    store.put(&digest(2), payload).unwrap();
+    // Touch 1 so 2 becomes the coldest entry.
+    assert!(store.get(&digest(1)).is_some());
+    store.put(&digest(3), payload).unwrap();
+
+    assert_eq!(store.get(&digest(2)), None, "coldest entry evicted");
+    assert!(store.get(&digest(1)).is_some(), "touched entry survives");
+    assert!(store.get(&digest(3)).is_some(), "new entry survives");
+    assert!(
+        !dir.join(format!("{}.json", digest(2))).exists(),
+        "evicted payload removed from disk"
+    );
+    let stats = store.stats();
+    assert_eq!(stats.entries, 2);
+    assert!(stats.bytes <= 16);
+    assert_eq!(stats.evictions, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_hottest_entry_survives_even_oversized() {
+    let dir = temp_dir("oversized");
+    let store = ResultStore::open(&dir, 4).unwrap();
+    store.put(&digest(1), "far too large for the cap").unwrap();
+    assert!(
+        store.get(&digest(1)).is_some(),
+        "a lone oversized entry is served, not thrashed"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reopen_recovers_entries_and_lru_order() {
+    let dir = temp_dir("reopen");
+    {
+        let store = ResultStore::open(&dir, 1 << 20).unwrap();
+        store.put(&digest(1), "one\n").unwrap();
+        store.put(&digest(2), "two\n").unwrap();
+        store.put(&digest(3), "three\n").unwrap();
+        // Touch 1: order on disk becomes [2, 3, 1] coldest-first.
+        assert!(store.get(&digest(1)).is_some());
+    }
+    let store = ResultStore::open(&dir, 1 << 20).unwrap();
+    assert_eq!(
+        store.digests_lru_order(),
+        vec![digest(2), digest(3), digest(1)],
+        "journal replay restores LRU order across restarts"
+    );
+    assert_eq!(store.get(&digest(1)).as_deref(), Some("one\n"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn leftover_tmp_files_are_reaped_on_open() {
+    let dir = temp_dir("reap");
+    {
+        let store = ResultStore::open(&dir, 1 << 20).unwrap();
+        store.put(&digest(1), "kept\n").unwrap();
+    }
+    // Simulate a crash mid-write: a .tmp sibling that never got renamed.
+    let tmp = dir.join(format!("{}.json.tmp.12345", digest(2)));
+    std::fs::write(&tmp, "torn payload").unwrap();
+
+    let store = ResultStore::open(&dir, 1 << 20).unwrap();
+    assert!(!tmp.exists(), "in-progress write reaped");
+    assert_eq!(store.stats().entries, 1);
+    assert_eq!(store.get(&digest(1)).as_deref(), Some("kept\n"));
+    assert_eq!(store.get(&digest(2)), None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_torn_final_journal_record_is_tolerated() {
+    let dir = temp_dir("torn");
+    {
+        let store = ResultStore::open(&dir, 1 << 20).unwrap();
+        store.put(&digest(1), "one\n").unwrap();
+        store.put(&digest(2), "two\n").unwrap();
+    }
+    // Simulate a crash mid-append: garbage on the journal's last line.
+    use std::io::Write;
+    let mut journal = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join("journal.jsonl"))
+        .unwrap();
+    journal.write_all(b"{\"op\":\"touch\",\"dig").unwrap();
+    drop(journal);
+
+    let store = ResultStore::open(&dir, 1 << 20).unwrap();
+    assert_eq!(
+        store.digests_lru_order(),
+        vec![digest(1), digest(2)],
+        "records before the torn tail still apply"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unjournaled_files_are_adopted_and_missing_files_dropped() {
+    let dir = temp_dir("heal");
+    {
+        let store = ResultStore::open(&dir, 1 << 20).unwrap();
+        store.put(&digest(5), "five\n").unwrap();
+        store.put(&digest(6), "six\n").unwrap();
+    }
+    // A payload written by hand (or surviving a lost journal) is adopted;
+    // a journaled payload whose file vanished is dropped.
+    std::fs::write(dir.join(format!("{}.json", digest(7))), "seven\n").unwrap();
+    std::fs::remove_file(dir.join(format!("{}.json", digest(5)))).unwrap();
+
+    let store = ResultStore::open(&dir, 1 << 20).unwrap();
+    assert_eq!(
+        store.digests_lru_order(),
+        vec![digest(7), digest(6)],
+        "adopted files index coldest; vanished files drop"
+    );
+    assert_eq!(store.get(&digest(7)).as_deref(), Some("seven\n"));
+    assert_eq!(store.get(&digest(5)), None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_file_vanishing_underneath_a_get_reports_a_miss() {
+    let dir = temp_dir("vanish");
+    let store = ResultStore::open(&dir, 1 << 20).unwrap();
+    store.put(&digest(1), "one\n").unwrap();
+    std::fs::remove_file(dir.join(format!("{}.json", digest(1)))).unwrap();
+    assert_eq!(store.get(&digest(1)), None);
+    assert_eq!(store.stats().entries, 0, "the dangling entry is dropped");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lowering_the_cap_across_restart_evicts_on_open() {
+    let dir = temp_dir("recap");
+    {
+        let store = ResultStore::open(&dir, 1 << 20).unwrap();
+        for n in 0..4 {
+            store.put(&digest(n), "12345678").unwrap();
+        }
+    }
+    let store = ResultStore::open(&dir, 16).unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.entries, 2, "open enforces the (lowered) cap");
+    assert!(stats.bytes <= 16);
+    assert_eq!(
+        store.digests_lru_order(),
+        vec![digest(2), digest(3)],
+        "the hottest entries survive the re-cap"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

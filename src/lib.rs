@@ -13,6 +13,8 @@
 //!   NVML-like power sensor used to fit and validate GPUJoule.
 //! * [`microbench`] — the microbenchmark suite and EPI/EPT derivation.
 //! * [`xp`] — the experiment harness regenerating every table and figure.
+//! * [`xpd`] — the what-if sweep daemon: serves artifact queries and
+//!   config-delta sweeps from a content-addressed result store.
 //!
 //! # Quickstart
 //!
@@ -36,3 +38,4 @@ pub use silicon;
 pub use sim;
 pub use workloads;
 pub use xp;
+pub use xpd;

@@ -1,0 +1,111 @@
+//! End-to-end daemon test over the real artifact registry: a smoke-scale
+//! `xpd` server answers `fig2` with the exact bytes `xp run --out` would
+//! write, serves the repeat from the content-addressed store, evaluates
+//! config-delta ("what-if") queries, and keeps its store across a
+//! daemon restart.
+
+use mmgpu::common::proto::{QueryRequest, Source};
+use mmgpu::workloads::Scale;
+use mmgpu::xp::query::artifact_file_bytes;
+use mmgpu::xp::registry::{ArtifactRegistry, RegistryOptions};
+use mmgpu::xp::{default_suite, Lab, RegistryEngine};
+use mmgpu::xpd::client::{self, Endpoint};
+use mmgpu::xpd::server::{Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xpd-serve-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(store_dir: &Path) -> (Endpoint, JoinHandle<Result<(), String>>) {
+    let engine = Arc::new(RegistryEngine::new(Scale::Smoke, 2, false));
+    let mut config = ServerConfig::new(store_dir.to_path_buf());
+    config.tcp = Some("127.0.0.1:0".to_string());
+    let server = Server::bind(config, engine).unwrap();
+    let addr = server.tcp_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+    (Endpoint::Tcp(addr.to_string()), handle)
+}
+
+fn shutdown(endpoint: &Endpoint, handle: JoinHandle<Result<(), String>>) {
+    let response = client::request(endpoint, &QueryRequest::shutdown(), None).unwrap();
+    assert_eq!(response.status, "ok");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn daemon_answers_match_a_local_run_and_persist() {
+    let dir = temp_dir("registry");
+    let store_dir = dir.join("store");
+    let (endpoint, handle) = start(&store_dir);
+
+    // Cold: the daemon schedules fig2 through the sweep executor.
+    let request = QueryRequest::query("fig2");
+    let first = client::request(&endpoint, &request, None).unwrap();
+    assert_eq!(first.status, "ok", "error: {:?}", first.error);
+    assert_eq!(first.source, Some(Source::Computed));
+    let payload = first.payload.clone().unwrap();
+
+    // The payload is byte-identical to what `xp run --out` writes:
+    // the artifact evaluated locally, pretty-rendered, driver newline.
+    let lab = Lab::with_threads(Scale::Smoke, 2);
+    let registry = ArtifactRegistry::standard(&RegistryOptions { validation: false });
+    let local = registry
+        .get("fig2")
+        .unwrap()
+        .evaluate(&lab, &default_suite())
+        .unwrap();
+    assert_eq!(
+        payload,
+        artifact_file_bytes(&local.json),
+        "daemon == xp run bytes"
+    );
+
+    // Warm: the repeat is a store hit with the same bytes and digest.
+    let second = client::request(&endpoint, &request, None).unwrap();
+    assert_eq!(second.source, Some(Source::Store));
+    assert_eq!(second.payload.as_deref(), Some(payload.as_str()));
+    assert_eq!(second.digest, first.digest);
+
+    // A config-delta query renders the what-if payload and is itself
+    // stored under a distinct digest.
+    let whatif = QueryRequest::query("fig2").with_set("gpms", "2");
+    let cold = client::request(&endpoint, &whatif, None).unwrap();
+    assert_eq!(cold.status, "ok", "error: {:?}", cold.error);
+    assert_ne!(cold.digest, first.digest, "deltas change the store key");
+    let body = cold.payload.unwrap();
+    assert!(
+        body.contains("\"kind\": \"whatif\""),
+        "what-if payload kind"
+    );
+    assert!(body.contains("\"gpms\": \"2\""), "echoes the applied delta");
+    let warm = client::request(&endpoint, &whatif, None).unwrap();
+    assert_eq!(warm.source, Some(Source::Store));
+    assert_eq!(warm.payload.as_deref(), Some(body.as_str()));
+
+    // Bad requests fail fast without disturbing the store.
+    let bad = client::request(
+        &endpoint,
+        &QueryRequest::query("fig2").with_set("bw", "9x"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(bad.status, "error");
+
+    shutdown(&endpoint, handle);
+
+    // A fresh daemon over the same store directory serves both answers
+    // warm: nothing is re-simulated after a restart.
+    let (endpoint, handle) = start(&store_dir);
+    let served = client::request(&endpoint, &request, None).unwrap();
+    assert_eq!(served.source, Some(Source::Store), "store survives restart");
+    assert_eq!(served.payload.as_deref(), Some(payload.as_str()));
+    let served = client::request(&endpoint, &whatif, None).unwrap();
+    assert_eq!(served.source, Some(Source::Store));
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
