@@ -96,7 +96,141 @@ impl fmt::Display for WarpInstr {
 }
 
 /// A boxed per-warp instruction stream.
-pub type WarpInstrStream = Box<dyn Iterator<Item = WarpInstr> + Send>;
+///
+/// `Sync` is required (not just `Send`) because engines park partially
+/// decoded streams in reusable scratch state that is reachable through
+/// `&GpuSim`; in practice streams are pure `map`/`range` iterators over
+/// `Copy` captures, which are automatically both.
+pub type WarpInstrStream = Box<dyn Iterator<Item = WarpInstr> + Send + Sync>;
+
+/// Instructions decoded per [`PredecodedStream`] refill window.
+///
+/// Large enough that the boxed iterator's virtual `next()` is amortized
+/// to noise in the issue loop, small enough that a 32-GPM machine full
+/// of resident warps still runs in constant memory (the property the
+/// procedural-stream design exists for).
+pub const PREDECODE_WINDOW: usize = 64;
+
+/// A pre-decoded, flat view of one warp's [`WarpInstrStream`].
+///
+/// The cycle engine's issue loop reads the *current* instruction of
+/// every resident warp on every visited cycle. Pulling that instruction
+/// through `Box<dyn Iterator>::next()` and caching it in an
+/// `Option<WarpInstr>` costs a virtual call per instruction and a
+/// 24-byte enum copy per peek. `PredecodedStream` instead decodes the
+/// stream into a flat `Vec<WarpInstr>` window indexed by a program
+/// counter: peeking is an array load, and the iterator is only touched
+/// once per [`PREDECODE_WINDOW`] instructions when the window refills.
+///
+/// The buffer is reusable: engines keep one `PredecodedStream` per warp
+/// slot and [`reset`](PredecodedStream::reset) it when a new warp lands
+/// in the slot, so steady-state execution performs no allocation.
+#[derive(Default)]
+pub struct PredecodedStream {
+    /// The tail of the stream not yet decoded (`None` once drained).
+    stream: Option<WarpInstrStream>,
+    /// The current decode window.
+    window: Vec<WarpInstr>,
+    /// A whole-kernel program shared by every warp (homogeneous kernels
+    /// via [`KernelProgram::uniform_warp_program`]); replaces `stream` +
+    /// `window` when present, so the slot holds no per-warp decode
+    /// state at all.
+    shared: Option<std::sync::Arc<[WarpInstr]>>,
+    /// Index of the current instruction within the window or shared
+    /// program.
+    pos: usize,
+}
+
+impl PredecodedStream {
+    /// An empty stream holder (no instructions; [`current`] is `None`).
+    ///
+    /// [`current`]: PredecodedStream::current
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adopts a fresh warp stream, decoding its first window. Returns
+    /// `false` when the stream is empty (a degenerate warp that retires
+    /// instantly). The window buffer's capacity is retained across
+    /// resets.
+    pub fn reset(&mut self, stream: WarpInstrStream) -> bool {
+        self.shared = None;
+        self.stream = Some(stream);
+        self.refill();
+        !self.window.is_empty()
+    }
+
+    /// Adopts a shared, fully pre-decoded program (every warp of the
+    /// kernel runs the same sequence). Returns `false` when the program
+    /// is empty. No per-warp decode happens at all: peeks index
+    /// straight into the shared array.
+    pub fn reset_shared(&mut self, program: std::sync::Arc<[WarpInstr]>) -> bool {
+        self.stream = None;
+        self.window.clear();
+        self.pos = 0;
+        let nonempty = !program.is_empty();
+        self.shared = Some(program);
+        nonempty
+    }
+
+    /// Drops the stream and decoded window (used when a warp retires, so
+    /// slot reuse never observes a stale instruction).
+    pub fn release(&mut self) {
+        self.stream = None;
+        self.window.clear();
+        self.shared = None;
+        self.pos = 0;
+    }
+
+    /// The instruction at the current program counter, or `None` when
+    /// the warp's stream is exhausted. This is the hot peek: one bounds
+    /// check and one array load.
+    #[inline]
+    pub fn current(&self) -> Option<WarpInstr> {
+        match &self.shared {
+            Some(p) => p.get(self.pos).copied(),
+            None => self.window.get(self.pos).copied(),
+        }
+    }
+
+    /// Advances the program counter past the current instruction,
+    /// refilling the decode window from the underlying iterator when it
+    /// runs dry.
+    #[inline]
+    pub fn advance(&mut self) {
+        self.pos += 1;
+        if self.shared.is_none() && self.pos >= self.window.len() && self.stream.is_some() {
+            self.refill();
+        }
+    }
+
+    fn refill(&mut self) {
+        self.window.clear();
+        self.pos = 0;
+        if let Some(stream) = &mut self.stream {
+            for _ in 0..PREDECODE_WINDOW {
+                match stream.next() {
+                    Some(instr) => self.window.push(instr),
+                    None => {
+                        self.stream = None;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for PredecodedStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PredecodedStream")
+            .field("window_len", &self.window.len())
+            .field("pos", &self.pos)
+            .field("drained", &self.stream.is_none())
+            .field("shared", &self.shared.is_some())
+            .finish()
+    }
+}
 
 /// Shape of a kernel launch grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -155,6 +289,25 @@ pub trait KernelProgram: Send + Sync {
     ///
     /// Implementations may panic if `cta`/`warp` are outside the grid.
     fn warp_instructions(&self, cta: CtaId, warp: WarpId) -> WarpInstrStream;
+
+    /// If — and only if — every warp of every CTA executes exactly the
+    /// sequence [`warp_instructions`] would yield for it, that sequence,
+    /// decoded once. The default (`None`) means "warps differ, or
+    /// unknown".
+    ///
+    /// Engines use this to decode a homogeneous kernel a single time and
+    /// share the flat array across all warp slots, instead of pulling
+    /// every warp's instructions through its own boxed iterator. The
+    /// returned sequence must match the per-warp streams instruction for
+    /// instruction; simulation results are computed from whichever
+    /// source the engine picks, so a divergent hint silently changes
+    /// results (differential tests against the iterator path catch
+    /// this).
+    ///
+    /// [`warp_instructions`]: KernelProgram::warp_instructions
+    fn uniform_warp_program(&self) -> Option<Vec<WarpInstr>> {
+        None
+    }
 
     /// Approximate bytes of the global-memory footprint, used by cache and
     /// page-placement sizing heuristics. Zero if unknown.
@@ -303,6 +456,81 @@ mod tests {
     #[should_panic(expected = "at least one warp")]
     fn zero_warps_panics() {
         let _ = GridShape::new(1, 0);
+    }
+
+    fn compute_stream(len: usize) -> WarpInstrStream {
+        Box::new((0..len).map(|_| WarpInstr::Compute(Opcode::FFma32)))
+    }
+
+    #[test]
+    fn predecoded_stream_replays_stream_exactly() {
+        // Lengths chosen to land short of, exactly on, and just past the
+        // window boundary, plus a multi-window length.
+        for len in [
+            0,
+            1,
+            PREDECODE_WINDOW - 1,
+            PREDECODE_WINDOW,
+            PREDECODE_WINDOW + 1,
+            3 * PREDECODE_WINDOW + 7,
+        ] {
+            let mut pd = PredecodedStream::new();
+            let nonempty = pd.reset(compute_stream(len));
+            assert_eq!(nonempty, len > 0, "len={len}");
+            let mut replay = Vec::new();
+            while let Some(instr) = pd.current() {
+                replay.push(instr);
+                pd.advance();
+            }
+            assert_eq!(replay.len(), len, "len={len}");
+            assert!(pd.current().is_none());
+            // Exhaustion is stable: further advances stay None.
+            pd.advance();
+            assert!(pd.current().is_none());
+        }
+    }
+
+    #[test]
+    fn predecoded_stream_reset_reuses_buffer() {
+        let mut pd = PredecodedStream::new();
+        assert!(pd.reset(compute_stream(5)));
+        for _ in 0..5 {
+            assert!(pd.current().is_some());
+            pd.advance();
+        }
+        assert!(pd.current().is_none());
+        // Adopt a fresh stream in the same holder; replay restarts cleanly.
+        assert!(pd.reset(compute_stream(2)));
+        assert!(pd.current().is_some());
+        pd.advance();
+        assert!(pd.current().is_some());
+        pd.advance();
+        assert!(pd.current().is_none());
+    }
+
+    #[test]
+    fn predecoded_stream_release_clears_state() {
+        let mut pd = PredecodedStream::new();
+        assert!(pd.reset(compute_stream(PREDECODE_WINDOW * 2)));
+        pd.advance();
+        pd.release();
+        assert!(pd.current().is_none());
+        pd.advance();
+        assert!(pd.current().is_none());
+    }
+
+    #[test]
+    fn predecoded_stream_preserves_instruction_order() {
+        let k = TinyKernel;
+        let expected: Vec<WarpInstr> = k.warp_instructions(CtaId::new(0), WarpId::new(1)).collect();
+        let mut pd = PredecodedStream::new();
+        assert!(pd.reset(k.warp_instructions(CtaId::new(0), WarpId::new(1))));
+        let mut got = Vec::new();
+        while let Some(instr) = pd.current() {
+            got.push(instr);
+            pd.advance();
+        }
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Multi-word bitmask sets scanned with `trailing_zeros`.
+//!
+//! The data-oriented engine core tracks per-SM warp populations (live
+//! warps, exhausted warps, free CTA slots) and per-simulation SM
+//! populations (SMs with pending wakeups) as dense bitmasks instead of
+//! `Vec` membership scans. A [`BitWords`] is a tiny growable array of
+//! `u64` words; all hot queries (`first_set`, `iter_set`, `any`)
+//! compile down to word loads plus a `trailing_zeros` instruction, so
+//! scanning a 64-warp SM for a free slot costs one or two instructions
+//! instead of a pointer-chasing loop.
+//!
+//! Capacity is fixed at construction (or by the highest `grow_to`
+//! call); setting a bit beyond capacity is a logic error and panics in
+//! debug builds via the underlying slice index.
+
+/// A fixed-capacity set of small integers stored as packed `u64` words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWords {
+    words: Vec<u64>,
+}
+
+impl BitWords {
+    /// An empty set able to hold members `0..bits`.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// Ensures the set can hold members `0..bits`, preserving contents.
+    pub fn grow_to(&mut self, bits: usize) {
+        let words = bits.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Removes every member (capacity is retained).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Inserts `bit` into the set.
+    #[inline]
+    pub fn set(&mut self, bit: usize) {
+        self.words[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    /// Removes `bit` from the set.
+    #[inline]
+    pub fn unset(&mut self, bit: usize) {
+        self.words[bit / 64] &= !(1u64 << (bit % 64));
+    }
+
+    /// Whether `bit` is a member.
+    #[inline]
+    pub fn get(&self, bit: usize) -> bool {
+        self.words
+            .get(bit / 64)
+            .is_some_and(|w| w & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Whether the set is non-empty.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// The smallest member, or `None` when empty. This is the
+    /// find-first-free / find-first-ready primitive: a linear scan over
+    /// words, one `trailing_zeros` on the first non-zero word.
+    #[inline]
+    pub fn first_set(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(i * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// The smallest member within `start..start + len`, or `None` when
+    /// that range holds no members. Used for per-SM sub-ranges of
+    /// GPU-global masks (e.g. the free-CTA-slot scan): only the one or
+    /// two words overlapping the range are touched.
+    #[inline]
+    pub fn first_set_in(&self, start: usize, len: usize) -> Option<usize> {
+        if len == 0 {
+            return None;
+        }
+        let end = start + len;
+        let mut wi = start / 64;
+        let last = (end - 1) / 64;
+        while wi <= last {
+            let mut w = *self.words.get(wi)?;
+            if wi == start / 64 {
+                w &= !0u64 << (start % 64);
+            }
+            if wi == last && !end.is_multiple_of(64) {
+                w &= (1u64 << (end % 64)) - 1;
+            }
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+            wi += 1;
+        }
+        None
+    }
+
+    /// Number of backing `u64` words.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The `i`-th backing word (members `i*64..(i+1)*64` as packed
+    /// bits). Lets callers iterate a snapshot of a word while unsetting
+    /// members of the live set mid-walk.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates members in ascending order by repeatedly clearing the
+    /// lowest set bit of a word copy (`w & (w - 1)`).
+    pub fn iter_set(&self) -> SetBits<'_> {
+        SetBits {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Ascending iterator over the members of a [`BitWords`].
+#[derive(Debug)]
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let b = BitWords::with_capacity(130);
+        assert!(!b.any());
+        assert_eq!(b.first_set(), None);
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.iter_set().count(), 0);
+        assert!(!b.get(0));
+        assert!(!b.get(500)); // out of capacity reads as absent
+    }
+
+    #[test]
+    fn set_unset_get_roundtrip_across_word_boundary() {
+        let mut b = BitWords::with_capacity(130);
+        // Members straddling the 64-bit word boundaries, including the
+        // exact boundary values the scheduler masks care about.
+        for bit in [0, 1, 62, 63, 64, 65, 127, 128, 129] {
+            assert!(!b.get(bit));
+            b.set(bit);
+            assert!(b.get(bit), "bit {bit}");
+        }
+        assert_eq!(b.count(), 9);
+        assert_eq!(
+            b.iter_set().collect::<Vec<_>>(),
+            vec![0, 1, 62, 63, 64, 65, 127, 128, 129]
+        );
+        b.unset(63);
+        b.unset(64);
+        assert!(!b.get(63));
+        assert!(!b.get(64));
+        assert_eq!(b.count(), 7);
+    }
+
+    #[test]
+    fn first_set_finds_lowest_member() {
+        let mut b = BitWords::with_capacity(200);
+        assert_eq!(b.first_set(), None);
+        b.set(190);
+        assert_eq!(b.first_set(), Some(190));
+        b.set(65);
+        assert_eq!(b.first_set(), Some(65));
+        b.set(3);
+        assert_eq!(b.first_set(), Some(3));
+        b.unset(3);
+        b.unset(65);
+        assert_eq!(b.first_set(), Some(190));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut b = BitWords::with_capacity(100);
+        b.set(99);
+        b.clear();
+        assert!(!b.any());
+        b.set(99); // still within capacity after clear
+        assert_eq!(b.first_set(), Some(99));
+    }
+
+    #[test]
+    fn grow_to_preserves_members() {
+        let mut b = BitWords::with_capacity(10);
+        b.set(7);
+        b.grow_to(300);
+        assert!(b.get(7));
+        b.set(299);
+        assert_eq!(b.iter_set().collect::<Vec<_>>(), vec![7, 299]);
+        // Shrinking requests are ignored.
+        b.grow_to(1);
+        assert!(b.get(299));
+    }
+
+    #[test]
+    fn first_set_in_respects_range_bounds() {
+        let mut b = BitWords::with_capacity(256);
+        for bit in [3, 63, 64, 65, 130, 200] {
+            b.set(bit);
+        }
+        assert_eq!(b.first_set_in(0, 256), Some(3));
+        assert_eq!(b.first_set_in(4, 256 - 4), Some(63));
+        assert_eq!(b.first_set_in(64, 64), Some(64));
+        assert_eq!(b.first_set_in(65, 63), Some(65));
+        assert_eq!(b.first_set_in(66, 62), None);
+        assert_eq!(b.first_set_in(66, 65), Some(130));
+        assert_eq!(b.first_set_in(131, 69), None); // 131..200 excludes 200
+        assert_eq!(b.first_set_in(131, 70), Some(200));
+        assert_eq!(b.first_set_in(0, 0), None);
+        assert_eq!(b.first_set_in(3, 1), Some(3));
+        assert_eq!(b.first_set_in(2, 1), None);
+    }
+
+    #[test]
+    fn first_set_in_matches_reference_over_dense_pattern() {
+        let mut b = BitWords::with_capacity(200);
+        for i in (0..200).filter(|i| i % 5 == 0) {
+            b.set(i);
+        }
+        for start in 0..200 {
+            for len in [0, 1, 5, 64, 65, 200 - start] {
+                let expected = (start..(start + len).min(200)).find(|&i| b.get(i));
+                assert_eq!(
+                    b.first_set_in(start, len),
+                    expected,
+                    "start={start} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iter_set_matches_reference_over_dense_pattern() {
+        let mut b = BitWords::with_capacity(256);
+        let expected: Vec<usize> = (0..256).filter(|i| i % 3 == 0 || i % 7 == 0).collect();
+        for &i in &expected {
+            b.set(i);
+        }
+        assert_eq!(b.iter_set().collect::<Vec<_>>(), expected);
+        assert_eq!(b.count(), expected.len());
+    }
+}

@@ -4,6 +4,14 @@
 //! boundaries — the paper's software coherence) and the per-GPM
 //! module-side L2s (write-back, remote lines flushed at kernel
 //! boundaries).
+//!
+//! Line metadata is stored as two parallel `u64` columns (tag word,
+//! LRU stamp) rather than an array of structs. A tag word of `0` means
+//! "invalid", with the valid and dirty flags packed into the low bits
+//! of the line-aligned address — so a fresh cache is `vec![0; n]`
+//! twice, which the allocator serves from lazily-zeroed pages.
+//! Constructing the hundreds of caches in a multi-module GPU therefore
+//! costs no memset and no page faults for sets that are never touched.
 
 /// Result of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,22 +33,13 @@ impl CacheAccess {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    lru: u64,
-}
+/// Tag-word flag: the way holds a line. Lives in bit 0, inside the
+/// line-offset bits of the stored line-aligned address.
+const VALID: u64 = 1;
+/// Tag-word flag: the held line is dirty.
+const DIRTY: u64 = 2;
 
-const INVALID: Line = Line {
-    tag: 0,
-    valid: false,
-    dirty: false,
-    lru: 0,
-};
-
-/// A set-associative, LRU, write-back cache over 128-byte lines.
+/// A set-associative, LRU, write-back cache over power-of-two lines.
 ///
 /// # Examples
 ///
@@ -53,7 +52,10 @@ const INVALID: Line = Line {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Line>,
+    /// `line_addr | VALID | (DIRTY)` per way; `0` = invalid way.
+    tags: Vec<u64>,
+    /// Last-touch tick per way.
+    lru: Vec<u64>,
     num_sets: usize,
     assoc: usize,
     line_bytes: u64,
@@ -69,11 +71,16 @@ impl Cache {
     /// # Panics
     ///
     /// Panics if the geometry is degenerate (zero sizes, capacity not a
-    /// multiple of `assoc × line_bytes`).
+    /// multiple of `assoc × line_bytes`, or `line_bytes` not a power of
+    /// two of at least 4 — the flag bits live in the line offset).
     pub fn new(capacity_bytes: u64, assoc: usize, line_bytes: u64) -> Self {
         assert!(
             line_bytes > 0 && assoc > 0 && capacity_bytes > 0,
             "degenerate cache geometry"
+        );
+        assert!(
+            line_bytes.is_power_of_two() && line_bytes >= 4,
+            "line size must be a power of two of at least 4 bytes"
         );
         let lines = capacity_bytes / line_bytes;
         assert!(
@@ -81,8 +88,10 @@ impl Cache {
             "capacity must be a whole number of sets"
         );
         let num_sets = (lines / assoc as u64) as usize;
+        let ways = num_sets * assoc;
         Cache {
-            sets: vec![INVALID; num_sets * assoc],
+            tags: vec![0; ways],
+            lru: vec![0; ways],
             num_sets,
             assoc,
             line_bytes,
@@ -104,6 +113,12 @@ impl Cache {
         ((line_addr / self.line_bytes) % self.num_sets as u64) as usize
     }
 
+    /// The stored line-aligned address of a tag word.
+    #[inline]
+    fn addr_of(tag: u64) -> u64 {
+        tag & !(VALID | DIRTY)
+    }
+
     /// Accesses the line containing byte address `addr`, allocating on
     /// miss. `is_store` marks the line dirty.
     pub fn access(&mut self, addr: u64, is_store: bool) -> CacheAccess {
@@ -111,13 +126,17 @@ impl Cache {
         let set = self.set_of(line_addr);
         let base = set * self.assoc;
         self.tick += 1;
+        let want = line_addr | VALID;
 
-        // Probe for hit.
+        // Probe for hit (the dirty bit is the only tag bit that may
+        // differ for a match).
         for i in 0..self.assoc {
-            let line = &mut self.sets[base + i];
-            if line.valid && line.tag == line_addr {
-                line.lru = self.tick;
-                line.dirty |= is_store;
+            let t = self.tags[base + i];
+            if t & !DIRTY == want {
+                self.lru[base + i] = self.tick;
+                if is_store {
+                    self.tags[base + i] = t | DIRTY;
+                }
                 self.hits += 1;
                 return CacheAccess::Hit;
             }
@@ -128,31 +147,25 @@ impl Cache {
         let mut victim = 0;
         let mut best = u64::MAX;
         for i in 0..self.assoc {
-            let line = &self.sets[base + i];
-            if !line.valid {
+            let t = self.tags[base + i];
+            if t == 0 {
                 victim = i;
                 break;
             }
-            if line.lru < best {
-                best = line.lru;
+            if self.lru[base + i] < best {
+                best = self.lru[base + i];
                 victim = i;
             }
         }
 
-        let line = &mut self.sets[base + victim];
-        // Tags store the full line-aligned address, so the write-back
-        // address is the tag itself.
-        let writeback = if line.valid && line.dirty {
-            Some(line.tag)
+        let old = self.tags[base + victim];
+        let writeback = if old & DIRTY != 0 {
+            Some(Self::addr_of(old))
         } else {
             None
         };
-        *line = Line {
-            tag: line_addr,
-            valid: true,
-            dirty: is_store,
-            lru: self.tick,
-        };
+        self.tags[base + victim] = want | if is_store { DIRTY } else { 0 };
+        self.lru[base + victim] = self.tick;
         CacheAccess::Miss { writeback }
     }
 
@@ -161,21 +174,21 @@ impl Cache {
         let line_addr = addr & !(self.line_bytes - 1);
         let set = self.set_of(line_addr);
         let base = set * self.assoc;
-        (0..self.assoc).any(|i| {
-            let line = &self.sets[base + i];
-            line.valid && line.tag == line_addr
-        })
+        let want = line_addr | VALID;
+        self.tags[base..base + self.assoc]
+            .iter()
+            .any(|&t| t & !DIRTY == want)
     }
 
     /// Invalidates everything, returning dirty line addresses that need
     /// write-back.
     pub fn flush_all(&mut self) -> Vec<u64> {
         let mut dirty = Vec::new();
-        for line in &mut self.sets {
-            if line.valid && line.dirty {
-                dirty.push(line.tag);
+        for t in &mut self.tags {
+            if *t & DIRTY != 0 {
+                dirty.push(Self::addr_of(*t));
             }
-            *line = INVALID;
+            *t = 0;
         }
         dirty
     }
@@ -185,12 +198,12 @@ impl Cache {
     /// remote-homed lines (software coherence among module-side L2s).
     pub fn flush_matching<F: FnMut(u64) -> bool>(&mut self, mut pred: F) -> Vec<u64> {
         let mut dirty = Vec::new();
-        for line in &mut self.sets {
-            if line.valid && pred(line.tag) {
-                if line.dirty {
-                    dirty.push(line.tag);
+        for t in &mut self.tags {
+            if *t & VALID != 0 && pred(Self::addr_of(*t)) {
+                if *t & DIRTY != 0 {
+                    dirty.push(Self::addr_of(*t));
                 }
-                *line = INVALID;
+                *t = 0;
             }
         }
         dirty
@@ -332,6 +345,24 @@ mod tests {
     }
 
     #[test]
+    fn address_zero_line_is_cacheable() {
+        // Line address 0 must be distinguishable from an invalid way —
+        // the VALID flag, not the address, encodes occupancy.
+        let mut c = tiny();
+        assert!(!c.access(0x000, false).is_hit());
+        assert!(c.access(0x000, false).is_hit());
+        assert!(c.probe(0x000));
+        // Dirty line 0 writes back as address 0.
+        c.access(0x000, true);
+        c.access(0x200, false);
+        match c.access(0x400, false) {
+            CacheAccess::Miss { writeback } => assert_eq!(writeback, Some(0x000)),
+            _ => panic!("expected miss"),
+        }
+        assert_eq!(c.flush_all(), Vec::<u64>::new());
+    }
+
+    #[test]
     #[should_panic(expected = "degenerate")]
     fn zero_capacity_panics() {
         let _ = Cache::new(0, 2, 128);
@@ -341,5 +372,11 @@ mod tests {
     #[should_panic(expected = "whole number of sets")]
     fn non_integral_sets_panic() {
         let _ = Cache::new(128 * 3, 2, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_panics() {
+        let _ = Cache::new(1024, 2, 96);
     }
 }

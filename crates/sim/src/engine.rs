@@ -20,7 +20,7 @@
 //!
 //! * [`EngineMode::Naive`] — the reference loop: every SM is scanned on
 //!   every visited cycle; when no warp anywhere can issue, the clock
-//!   jumps to the minimum `SmRuntime::next_ready` wake-up, charging
+//!   jumps to the minimum `WarpPool::next_ready` wake-up, charging
 //!   the skipped cycles as memory-wait (stall) time.
 //! * [`EngineMode::EventDriven`] (the default) — per-SM wake times: an
 //!   SM whose earliest ready warp lies in the future (and which cannot
@@ -38,30 +38,17 @@
 //! argument is written out in DESIGN.md §12; the `event_equivalence`
 //! proptests and the repo-level golden test pin it in CI.
 
+use crate::bits::BitWords;
 use crate::config::GpuConfig;
 use crate::memory::MemorySystem;
 use crate::results::{KernelResult, WorkloadResult};
 use common::{CtaId, GpmId, SmId, WarpId};
-use isa::{EventCounts, KernelProgram, LaunchSpec, WarpInstr, WarpInstrStream, WARP_SIZE};
+use isa::{EventCounts, KernelProgram, LaunchSpec, PredecodedStream, WarpInstr, WARP_SIZE};
+use std::sync::Arc;
 
-/// A warp in flight on an SM.
-struct WarpRun {
-    stream: WarpInstrStream,
-    pending: Option<WarpInstr>,
-    ready_at: u64,
-    slot: usize,
-    /// Launch order on this SM (for greedy-then-oldest scheduling).
-    age: u64,
-    /// Completion times of loads in flight (bounded by
-    /// [`crate::GpmConfig::mlp_per_warp`]).
-    outstanding: Vec<u64>,
-}
-
-/// A resident-CTA slot on an SM.
-#[derive(Debug, Clone, Copy)]
-struct CtaSlot {
-    live_warps: usize,
-}
+/// Sentinel for "no warp slot" in the intrusive GTO list and the greedy
+/// pointer.
+const NONE: u32 = u32::MAX;
 
 /// CTA-to-module partition under a scheduling policy.
 #[derive(Debug, Clone, Copy)]
@@ -106,42 +93,342 @@ impl CtaPartition {
     }
 }
 
-/// Per-SM runtime state.
+/// All warp and resident-CTA runtime state for every SM, as GPU-global
+/// struct-of-arrays columns.
 ///
-/// `warps` is the SM's *live* warp list: retired warps are removed
-/// eagerly (`swap_remove`), so iterating it never touches dead state.
-struct SmRuntime {
-    warps: Vec<WarpRun>,
-    slots: Vec<CtaSlot>,
-    rr: usize,
+/// A warp slot is addressed by `g = flat * stride + s`, where `flat` is
+/// the SM's flat index, `stride` is the per-SM slot capacity
+/// (`max_ctas_per_sm * warps_per_cta` — an SM can never hold more live
+/// warps than that, so slots never grow), and `s` is the SM-local slot
+/// id stored in the per-SM `order`/`free`/GTO structures. One
+/// allocation per column for the whole GPU keeps the per-cycle SM walk
+/// inside a handful of contiguous arrays instead of chasing hundreds of
+/// per-SM heap objects — the difference between an L2-resident working
+/// set and a pointer-chasing miss per touched field.
+///
+/// The columns carry no notion of liveness or ordering; the side
+/// structures do:
+///
+/// * `order` + `order_len` — per-SM slabs of slot ids in the *physical*
+///   order the historical `Vec<WarpRun>` kept them (push on launch,
+///   `swap_remove` on retire). Loose round-robin indexes this list, so
+///   preserving its exact evolution keeps LRR issue order — which is
+///   observable through memory-access ordering — bit-identical to the
+///   seed.
+/// * `gto_head`/`gto_tail`/`gto_next`/`gto_prev` — an age-ascending
+///   intrusive doubly-linked list per SM. Warp ages are unique and
+///   monotonic and new warps append at the tail, so walking the list
+///   *is* the `sort_by_key(age)` order the GTO scheduler used to
+///   compute per cycle; `greedy` (cleared on retire — ages are never
+///   reused) stands in for the old `greedy_age` match.
+/// * `exhausted` (+ per-SM `exhausted_cnt`) — warp slots whose stream
+///   is exhausted (the old `pending == None`): when an SM's count is
+///   zero, its whole retire scan is skipped.
+/// * `cta_free` (+ per-SM `cta_free_cnt`) — free resident-CTA slots;
+///   `first_set_in` over the SM's sub-range is the old find-first-free
+///   scan.
+///
+/// A warp's in-flight loads live in a fixed-capacity inline ring:
+/// `mlp_cap` contiguous entries of `out_times` per slot, with the live
+/// count in `out_len` — no per-warp heap allocation.
+///
+/// Slot ids themselves are unobservable: issue order is decided only by
+/// `order` and the GTO list, so the free-stack recycling order (which
+/// differs between a fresh pool and one reused across kernels) cannot
+/// influence results. The `event_equivalence` proptests and
+/// [`EngineMode::Shadow`] (whose reference sim always starts from a
+/// fresh pool) pin this.
+#[derive(Default)]
+struct WarpPool {
+    total_sms: usize,
+    /// Warp slots per SM.
+    stride: usize,
+    /// Resident-CTA slots per SM.
+    cta_stride: usize,
+    /// In-flight-load ring capacity per warp slot (≥ 1).
+    mlp_cap: usize,
+
+    // ---- Warp columns, global index g = flat * stride + s ----
+    /// Pre-decoded instruction stream per warp slot.
+    streams: Vec<PredecodedStream>,
+    /// The warp's next instruction (the old `pending: Option<WarpInstr>`),
+    /// cached inline so the issue scan never touches the decode window.
+    pending: Vec<Option<WarpInstr>>,
+    /// Cycle the warp can next issue (or finishes draining).
+    ready_at: Vec<u64>,
+    /// Launch order on this SM (for greedy-then-oldest scheduling).
+    age: Vec<u64>,
+    /// Resident-CTA slot the warp belongs to.
+    cta_of: Vec<u32>,
+    /// Age-order intrusive list: next/prev SM-local slot (or [`NONE`]).
+    gto_next: Vec<u32>,
+    gto_prev: Vec<u32>,
+    /// Inline rings: completion times of loads in flight, `mlp_cap`
+    /// entries per warp slot (`g * mlp_cap + r`).
+    out_times: Vec<u64>,
+    /// Live entries in each warp's ring.
+    out_len: Vec<u32>,
+    /// Warp slots whose stream is exhausted.
+    exhausted: BitWords,
+
+    // ---- Per-SM slabs, `stride` entries each at `flat * stride` ----
+    /// Live warps in historical `Vec<WarpRun>` physical order.
+    order: Vec<u32>,
+    /// Reusable warp slots (a stack growing upward).
+    free: Vec<u32>,
+
+    // ---- Per-SM scalar columns ----
+    order_len: Vec<u32>,
+    free_len: Vec<u32>,
+    exhausted_cnt: Vec<u32>,
+    /// Oldest / youngest live warp slot (or [`NONE`]).
+    gto_head: Vec<u32>,
+    gto_tail: Vec<u32>,
+    /// Slot the GTO policy is currently greedy on (or [`NONE`]).
+    greedy: Vec<u32>,
+    /// Loose-round-robin start pointer.
+    rr: Vec<u32>,
     /// Monotonic warp-launch counter (ages for GTO).
-    next_age: u64,
-    /// Age of the warp the GTO policy is currently greedy on.
-    greedy_age: Option<u64>,
-    /// Reusable iteration-order scratch buffer (GTO only).
-    scratch: Vec<usize>,
+    next_age: Vec<u64>,
+
+    // ---- CTA columns, index flat * cta_stride + c ----
+    /// Live warps per resident-CTA slot.
+    cta_live: Vec<u32>,
+    /// Resident-CTA slots with no live warps.
+    cta_free: BitWords,
+    cta_free_cnt: Vec<u32>,
 }
 
-impl WarpRun {
-    /// `true` while the warp still has instructions to issue or loads to
-    /// drain (a warp must not retire with memory in flight).
-    fn is_live(&self) -> bool {
-        self.pending.is_some() || !self.outstanding.is_empty()
+impl WarpPool {
+    /// Prepares the pool for a fresh kernel. A shape change (SM count,
+    /// slot capacity, CTA slots, or MLP ring size) rebuilds every
+    /// column; otherwise only the per-SM scheduler scalars are rewound
+    /// — every kernel retires all its warps and frees all its CTA slots
+    /// before its loop exits, so the bulk state is already clean
+    /// (debug builds verify this).
+    fn reset(&mut self, total_sms: usize, stride: usize, cta_stride: usize, mlp_cap: usize) {
+        debug_assert!(mlp_cap >= 1);
+        if self.total_sms != total_sms
+            || self.stride != stride
+            || self.cta_stride != cta_stride
+            || self.mlp_cap != mlp_cap
+        {
+            self.total_sms = total_sms;
+            self.stride = stride;
+            self.cta_stride = cta_stride;
+            self.mlp_cap = mlp_cap;
+            let slots = total_sms * stride;
+            for pd in &mut self.streams {
+                pd.release();
+            }
+            self.streams.resize_with(slots, PredecodedStream::new);
+            self.pending.clear();
+            self.pending.resize(slots, None);
+            self.ready_at.clear();
+            self.ready_at.resize(slots, 0);
+            self.age.clear();
+            self.age.resize(slots, 0);
+            self.cta_of.clear();
+            self.cta_of.resize(slots, 0);
+            self.gto_next.clear();
+            self.gto_next.resize(slots, NONE);
+            self.gto_prev.clear();
+            self.gto_prev.resize(slots, NONE);
+            self.out_times.clear();
+            self.out_times.resize(slots * mlp_cap, 0);
+            self.out_len.clear();
+            self.out_len.resize(slots, 0);
+            self.exhausted = BitWords::with_capacity(slots);
+            self.order.clear();
+            self.order.resize(slots, 0);
+            // Free stacks pop from the top: descending ids per SM make
+            // allocation hand out 0, 1, 2, … exactly like the
+            // historical `Vec` push order on first use.
+            self.free.clear();
+            self.free.reserve(slots);
+            for _ in 0..total_sms {
+                self.free.extend((0..stride as u32).rev());
+            }
+            self.order_len.clear();
+            self.order_len.resize(total_sms, 0);
+            self.free_len.clear();
+            self.free_len.resize(total_sms, stride as u32);
+            self.exhausted_cnt.clear();
+            self.exhausted_cnt.resize(total_sms, 0);
+            self.gto_head.clear();
+            self.gto_head.resize(total_sms, NONE);
+            self.gto_tail.clear();
+            self.gto_tail.resize(total_sms, NONE);
+            self.greedy.clear();
+            self.greedy.resize(total_sms, NONE);
+            self.rr.clear();
+            self.rr.resize(total_sms, 0);
+            self.next_age.clear();
+            self.next_age.resize(total_sms, 0);
+            let cta_slots = total_sms * cta_stride;
+            self.cta_live.clear();
+            self.cta_live.resize(cta_slots, 0);
+            self.cta_free = BitWords::with_capacity(cta_slots);
+            for b in 0..cta_slots {
+                self.cta_free.set(b);
+            }
+            self.cta_free_cnt.clear();
+            self.cta_free_cnt.resize(total_sms, cta_stride as u32);
+            return;
+        }
+        #[cfg(debug_assertions)]
+        for flat in 0..total_sms {
+            debug_assert_eq!(self.order_len[flat], 0, "pool reused with live warps");
+            debug_assert_eq!(self.free_len[flat] as usize, stride);
+            debug_assert_eq!(self.exhausted_cnt[flat], 0);
+            debug_assert_eq!(self.gto_head[flat], NONE);
+            debug_assert_eq!(self.cta_free_cnt[flat] as usize, cta_stride);
+        }
+        self.rr.fill(0);
+        self.next_age.fill(0);
+        self.greedy.fill(NONE);
     }
-}
 
-impl SmRuntime {
-    fn has_resident_work(&self) -> bool {
-        self.warps.iter().any(WarpRun::is_live)
+    /// Launches one warp on SM `flat`: adopts its stream into a
+    /// (reused) slot, links it at the GTO tail, and appends it to the
+    /// physical order. Returns `false` for a degenerate empty stream
+    /// (the warp retires instantly, exactly like the old
+    /// `pending == None` launch path; the slot is not consumed).
+    fn alloc_warp(
+        &mut self,
+        flat: usize,
+        reset: impl FnOnce(&mut PredecodedStream) -> bool,
+        cta: u32,
+        now: u64,
+    ) -> bool {
+        let wbase = flat * self.stride;
+        let fl = self.free_len[flat] as usize;
+        debug_assert!(fl > 0, "warp slot capacity exceeded");
+        let s = self.free[wbase + fl - 1];
+        let g = wbase + s as usize;
+        if !reset(&mut self.streams[g]) {
+            return false;
+        }
+        self.free_len[flat] = (fl - 1) as u32;
+        self.pending[g] = self.streams[g].current();
+        self.ready_at[g] = now;
+        let a = self.next_age[flat];
+        self.age[g] = a;
+        self.next_age[flat] = a + 1;
+        self.cta_of[g] = cta;
+        self.out_len[g] = 0;
+        let tail = self.gto_tail[flat];
+        self.gto_prev[g] = tail;
+        self.gto_next[g] = NONE;
+        if tail != NONE {
+            self.gto_next[wbase + tail as usize] = s;
+        } else {
+            self.gto_head[flat] = s;
+        }
+        self.gto_tail[flat] = s;
+        let ol = self.order_len[flat] as usize;
+        self.order[wbase + ol] = s;
+        self.order_len[flat] = (ol + 1) as u32;
+        true
     }
 
-    /// Earliest cycle any live warp becomes ready (or finishes draining).
-    fn next_ready(&self) -> Option<u64> {
-        self.warps
+    /// Unlinks a retiring warp from the GTO list and returns its slot
+    /// to the free stack. The caller removes it from `order`. Only
+    /// called on exhausted warps.
+    fn retire_slot(&mut self, flat: usize, s: u32) {
+        let wbase = flat * self.stride;
+        let g = wbase + s as usize;
+        let (p, n) = (self.gto_prev[g], self.gto_next[g]);
+        if p != NONE {
+            self.gto_next[wbase + p as usize] = n;
+        } else {
+            self.gto_head[flat] = n;
+        }
+        if n != NONE {
+            self.gto_prev[wbase + n as usize] = p;
+        } else {
+            self.gto_tail[flat] = p;
+        }
+        if self.greedy[flat] == s {
+            // Ages are never reused, so the old `greedy_age` could never
+            // match another warp once its owner retired; clearing the
+            // slot pointer is the exact equivalent.
+            self.greedy[flat] = NONE;
+        }
+        self.exhausted.unset(g);
+        self.exhausted_cnt[flat] -= 1;
+        self.streams[g].release();
+        self.pending[g] = None;
+        let fl = self.free_len[flat] as usize;
+        self.free[wbase + fl] = s;
+        self.free_len[flat] = (fl + 1) as u32;
+    }
+
+    /// First free resident-CTA slot on SM `flat` (SM-local index) — the
+    /// old find-first-free scan, now a masked word probe.
+    fn cta_first_free(&self, flat: usize) -> Option<usize> {
+        let cbase = flat * self.cta_stride;
+        self.cta_free
+            .first_set_in(cbase, self.cta_stride)
+            .map(|b| b - cbase)
+    }
+
+    /// Drops ring entries at or before `now` (loads that have landed),
+    /// preserving order — the old `outstanding.retain(|&t| t > now)`.
+    fn ring_retain(&mut self, g: usize, now: u64) {
+        let base = g * self.mlp_cap;
+        let len = self.out_len[g] as usize;
+        let mut w = 0;
+        for r in 0..len {
+            let t = self.out_times[base + r];
+            if t > now {
+                self.out_times[base + w] = t;
+                w += 1;
+            }
+        }
+        self.out_len[g] = w as u32;
+    }
+
+    fn ring_push(&mut self, g: usize, t: u64) {
+        let base = g * self.mlp_cap;
+        let len = self.out_len[g] as usize;
+        debug_assert!(len < self.mlp_cap, "outstanding ring overflow");
+        self.out_times[base + len] = t;
+        self.out_len[g] = (len + 1) as u32;
+    }
+
+    fn ring_min(&self, g: usize) -> Option<u64> {
+        let base = g * self.mlp_cap;
+        self.out_times[base..base + self.out_len[g] as usize]
             .iter()
-            .filter(|w| w.is_live())
-            .map(|w| w.ready_at)
+            .copied()
             .min()
+    }
+
+    fn ring_max(&self, g: usize) -> Option<u64> {
+        let base = g * self.mlp_cap;
+        self.out_times[base..base + self.out_len[g] as usize]
+            .iter()
+            .copied()
+            .max()
+    }
+
+    /// Post-step, every warp in `order` is live (the retire pass runs
+    /// each step), so residency is just non-emptiness.
+    fn resident(&self, flat: usize) -> bool {
+        self.order_len[flat] > 0
+    }
+
+    /// Earliest cycle any of SM `flat`'s live warps becomes ready (or
+    /// finishes draining); `u64::MAX` when it has none.
+    fn next_ready(&self, flat: usize) -> u64 {
+        let wbase = flat * self.stride;
+        let n = self.order_len[flat] as usize;
+        let mut m = u64::MAX;
+        for &s in &self.order[wbase..wbase + n] {
+            m = m.min(self.ready_at[wbase + s as usize]);
+        }
+        m
     }
 }
 
@@ -211,6 +498,34 @@ pub struct FastForwardStats {
     pub sm_steps: u64,
 }
 
+/// Counters describing how the data-oriented (SoA) engine core spent
+/// its effort, accumulated across every kernel a [`GpuSim`] has run.
+/// Exported to the trace layer as `sim.soa.*` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoaStats {
+    /// Bitmask scans performed (free-CTA-slot probes plus
+    /// exhausted-warp checks).
+    pub mask_scans: u64,
+    /// Retire scans skipped because the exhausted mask was empty.
+    pub retire_scans_skipped: u64,
+}
+
+/// Reusable per-kernel allocations owned by [`GpuSim`]: the warp-state
+/// columns and the event-loop bookkeeping vectors. Taken at kernel
+/// launch, reset in place, and returned at kernel end, so steady-state
+/// workloads allocate nothing per kernel.
+#[derive(Default)]
+struct EngineScratch {
+    pool: WarpPool,
+    gpm_issued: Vec<usize>,
+    ready_wake: Vec<u64>,
+    refill_eligible: Vec<bool>,
+    acct: Vec<u64>,
+    sleeping_resident: Vec<bool>,
+    last_iter: Vec<u64>,
+    live_mask: BitWords,
+}
+
 /// Immutable per-kernel parameters shared by both loop implementations.
 struct KernelCtx<'a> {
     program: &'a dyn KernelProgram,
@@ -220,11 +535,16 @@ struct KernelCtx<'a> {
     sms_per_gpm: usize,
     mlp_per_warp: usize,
     gto: bool,
+    /// The kernel's single shared instruction sequence, when every warp
+    /// runs the same one ([`KernelProgram::uniform_warp_program`]):
+    /// decoded once here, shared by every warp slot, never re-decoded
+    /// through the boxed iterators.
+    uniform: Option<Arc<[WarpInstr]>>,
 }
 
 /// Mutable per-kernel state shared by both loop implementations.
 struct KernelState {
-    sms: Vec<SmRuntime>,
+    pool: WarpPool,
     gpm_issued: Vec<usize>,
     counts: EventCounts,
     done_ctas: u32,
@@ -257,6 +577,11 @@ struct SmStep {
     cta_pending: bool,
     /// Post-step: the SM has a free resident-CTA slot.
     free_slot: bool,
+    /// Post-step: earliest cycle at which a live warp needs service
+    /// (`u64::MAX` when none). May be conservatively early — an extra
+    /// zero-issue visit charges exactly like the naive loop's — but is
+    /// never later than the true next event.
+    wake: u64,
 }
 
 /// The multi-module GPU simulator.
@@ -297,6 +622,8 @@ pub struct GpuSim {
     now: u64,
     mode: EngineMode,
     ff: FastForwardStats,
+    soa: SoaStats,
+    scratch: EngineScratch,
 }
 
 impl GpuSim {
@@ -314,6 +641,8 @@ impl GpuSim {
             now: 0,
             mode,
             ff: FastForwardStats::default(),
+            soa: SoaStats::default(),
+            scratch: EngineScratch::default(),
         }
     }
 
@@ -338,6 +667,12 @@ impl GpuSim {
         self.ff
     }
 
+    /// Data-oriented-core counters accumulated over every kernel run so
+    /// far (bitmask scans, skipped retire passes).
+    pub fn soa_stats(&self) -> SoaStats {
+        self.soa
+    }
+
     /// Runs one kernel to completion and returns its event counts.
     pub fn run_kernel(&mut self, program: &dyn KernelProgram) -> KernelResult {
         match self.mode {
@@ -352,6 +687,8 @@ impl GpuSim {
                     now: self.now,
                     mode: EngineMode::Naive,
                     ff: FastForwardStats::default(),
+                    soa: SoaStats::default(),
+                    scratch: EngineScratch::default(),
                 };
                 let expected = reference.run_kernel_with(program, true);
                 let got = self.run_kernel_with(program, false);
@@ -402,19 +739,24 @@ impl GpuSim {
             sms_per_gpm,
             mlp_per_warp: self.cfg.gpm.mlp_per_warp,
             gto: self.cfg.warp_scheduler == crate::config::WarpScheduler::GreedyThenOldest,
+            uniform: program.uniform_warp_program().map(Arc::from),
         };
+        // Reuse the per-kernel allocations owned by the sim: take the
+        // warp-state columns out of the scratch pool, reset them in
+        // place, and return them at kernel end.
+        let mut pool = std::mem::take(&mut self.scratch.pool);
+        pool.reset(
+            total_sms,
+            max_ctas_per_sm * warps_per_cta,
+            max_ctas_per_sm,
+            ctx.mlp_per_warp.max(1),
+        );
+        let mut gpm_issued = std::mem::take(&mut self.scratch.gpm_issued);
+        gpm_issued.clear();
+        gpm_issued.resize(num_gpms, 0);
         let mut st = KernelState {
-            sms: (0..total_sms)
-                .map(|_| SmRuntime {
-                    warps: Vec::with_capacity(max_ctas_per_sm * warps_per_cta),
-                    slots: vec![CtaSlot { live_warps: 0 }; max_ctas_per_sm],
-                    rr: 0,
-                    next_age: 0,
-                    greedy_age: None,
-                    scratch: Vec::new(),
-                })
-                .collect(),
-            gpm_issued: vec![0; num_gpms],
+            pool,
+            gpm_issued,
             counts: EventCounts::new(),
             done_ctas: 0,
         };
@@ -427,6 +769,7 @@ impl GpuSim {
 
         let start = self.now;
         let ff_before = self.ff;
+        let soa_before = self.soa;
         let mut now = if naive {
             self.run_loop_naive(&ctx, &mut st, start)
         } else {
@@ -444,7 +787,15 @@ impl GpuSim {
                 d.visited_cycles - ff_before.visited_cycles,
             );
             trace::count("sim.ff.sm_steps", d.sm_steps - ff_before.sm_steps);
+            let s = self.soa;
+            trace::count("sim.soa.mask_scans", s.mask_scans - soa_before.mask_scans);
+            trace::count(
+                "sim.soa.retire_scans_skipped",
+                s.retire_scans_skipped - soa_before.retire_scans_skipped,
+            );
         }
+        self.scratch.pool = std::mem::take(&mut st.pool);
+        self.scratch.gpm_issued = std::mem::take(&mut st.gpm_issued);
         let mut counts = st.counts;
 
         // Software coherence at the kernel boundary.
@@ -487,148 +838,321 @@ impl GpuSim {
     /// issue up to `issue_width` instructions, retire drained warps.
     /// Accounting is left to the caller (the two loops charge visited
     /// and slept cycles differently, but through the same rates).
+    /// One scheduler poll of a warp slot `g` (already known ready) on
+    /// SM `flat`: either issues the pending instruction (returns
+    /// `true`) or makes the bookkeeping-only transition the historical
+    /// poll made — the MLP-limit stall re-arm, or the exhausted-stream
+    /// skip (`false`).
+    ///
+    /// A free function over split borrows so both scheduler scan shapes
+    /// share it without aliasing `KernelState`.
+    #[allow(clippy::too_many_arguments)]
+    fn poll_issue(
+        pool: &mut WarpPool,
+        counts: &mut EventCounts,
+        mem: &mut MemorySystem,
+        ctx: &KernelCtx,
+        sm_id: SmId,
+        flat: usize,
+        g: usize,
+        now: u64,
+    ) -> bool {
+        let Some(instr) = pool.pending[g] else {
+            return false;
+        };
+        // Loads are pipelined per warp up to the MLP limit; a warp at
+        // the limit stalls until one of its loads returns.
+        if matches!(instr, WarpInstr::Mem(m) if !m.is_store) {
+            pool.ring_retain(g, now);
+            if pool.out_len[g] as usize >= ctx.mlp_per_warp {
+                pool.ready_at[g] = pool.ring_min(g).unwrap_or(now + 1);
+                return false;
+            }
+        }
+        match instr {
+            WarpInstr::Compute(op) => {
+                counts.instrs.add(op, WARP_SIZE as u64);
+                pool.ready_at[g] = now + op.latency_cycles() as u64;
+            }
+            WarpInstr::Mem(mref) => {
+                let out = mem.access(sm_id, mref, now);
+                if out.blocking && !mref.is_store {
+                    pool.ring_push(g, out.completion);
+                    pool.ready_at[g] = now + 1;
+                } else if out.blocking {
+                    // Write-buffer backpressure.
+                    pool.ready_at[g] = out.completion;
+                } else {
+                    pool.ready_at[g] = now + 1;
+                }
+            }
+        }
+        pool.streams[g].advance();
+        pool.pending[g] = pool.streams[g].current();
+        if pool.pending[g].is_none() {
+            // Stream exhausted: the warp drains its outstanding loads
+            // and retires in a later cleanup pass.
+            pool.ready_at[g] = pool.ring_max(g).unwrap_or(now + 1);
+            pool.exhausted.set(g);
+            pool.exhausted_cnt[flat] += 1;
+        }
+        true
+    }
+
     fn step_sm(&mut self, ctx: &KernelCtx, st: &mut KernelState, flat: usize, now: u64) -> SmStep {
         let gpm = flat / ctx.sms_per_gpm;
-        let sm_id = SmId::new(GpmId::new(gpm as u16), (flat % ctx.sms_per_gpm) as u16);
+        let sm_id = SmId::new(
+            GpmId::new(gpm as u16),
+            (flat - gpm * ctx.sms_per_gpm) as u16,
+        );
         let issue_width = ctx.issue_width;
-        let sm = &mut st.sms[flat];
+        let pool = &mut st.pool;
+        let wbase = flat * pool.stride;
 
         // Refill at most one CTA per SM per cycle (breadth-first across
         // the module's SMs, like a hardware CTA scheduler; filling one
         // SM's slots greedily would cluster small grids onto SM0).
-        if let Some(cta) = ctx.partition.nth_for(gpm, st.gpm_issued[gpm]) {
-            if let Some(slot_idx) = (0..sm.slots.len()).find(|&s| sm.slots[s].live_warps == 0) {
+        // `cta_next` doubles as the post-step `cta_pending` answer: it
+        // is re-read only when this step consumed a CTA.
+        let mut cta_next = ctx.partition.nth_for(gpm, st.gpm_issued[gpm]);
+        if let Some(cta) = cta_next {
+            self.soa.mask_scans += 1;
+            if let Some(slot_idx) = pool.cta_first_free(flat) {
                 st.gpm_issued[gpm] += 1;
-                sm.slots[slot_idx].live_warps = ctx.warps_per_cta;
+                cta_next = ctx.partition.nth_for(gpm, st.gpm_issued[gpm]);
+                let cslot = flat * pool.cta_stride + slot_idx;
+                pool.cta_live[cslot] = ctx.warps_per_cta as u32;
+                pool.cta_free.unset(cslot);
+                pool.cta_free_cnt[flat] -= 1;
                 for w in 0..ctx.warps_per_cta {
-                    let mut stream = ctx
-                        .program
-                        .warp_instructions(CtaId::new(cta as u32), WarpId::new(w as u32));
-                    let pending = stream.next();
-                    if pending.is_none() {
+                    let landed = if let Some(uni) = &ctx.uniform {
+                        pool.alloc_warp(flat, |s| s.reset_shared(uni.clone()), slot_idx as u32, now)
+                    } else {
+                        let stream = ctx
+                            .program
+                            .warp_instructions(CtaId::new(cta as u32), WarpId::new(w as u32));
+                        pool.alloc_warp(flat, |s| s.reset(stream), slot_idx as u32, now)
+                    };
+                    if !landed {
                         // Degenerate empty warp: retire instantly.
-                        sm.slots[slot_idx].live_warps -= 1;
-                        if sm.slots[slot_idx].live_warps == 0 {
+                        pool.cta_live[cslot] -= 1;
+                        if pool.cta_live[cslot] == 0 {
+                            pool.cta_free.set(cslot);
+                            pool.cta_free_cnt[flat] += 1;
                             st.done_ctas += 1;
                         }
-                        continue;
                     }
-                    let age = sm.next_age;
-                    sm.next_age += 1;
-                    sm.warps.push(WarpRun {
-                        stream,
-                        pending,
-                        ready_at: now,
-                        slot: slot_idx,
-                        age,
-                        outstanding: Vec::with_capacity(ctx.mlp_per_warp),
-                    });
                 }
             }
         }
 
         // Issue up to issue_width instructions, in policy order: loose
-        // round robin rotates; greedy-then-oldest prefers the warp it
-        // issued from last, then the oldest ready.
-        let n = sm.warps.len();
-        if ctx.gto && n > 0 {
-            sm.scratch.clear();
-            sm.scratch.extend(0..n);
-            let greedy = sm.greedy_age;
-            let warps = &sm.warps;
-            sm.scratch
-                .sort_by_key(|&i| (Some(warps[i].age) != greedy, warps[i].age));
-        }
+        // round robin rotates through the physical order; greedy-then-
+        // oldest prefers the warp it issued from last, then walks the
+        // age-ordered list — the same sequence the historical
+        // `sort_by_key((age != greedy, age))` produced, without the
+        // per-cycle sort.
+        let n = pool.order_len[flat] as usize;
         let mut issued = 0usize;
-        let mut first_issued_age = None;
+        let mut first_issued_slot = NONE;
+        // Earliest future service time, folded into the scans this step
+        // already performs; `true` forces a full end-of-step rescan on
+        // the paths that mutate `ready_at` outside that fold.
+        let mut wake = u64::MAX;
+        let mut wake_rescan = false;
         if n > 0 {
-            let start_rr = sm.rr % n;
-            for k in 0..n {
-                if issued == issue_width {
-                    break;
-                }
-                let i = if ctx.gto {
-                    sm.scratch[k]
+            let start_rr = {
+                // rr is stored already wrapped; it can only exceed the
+                // live count when warps retired since the last step.
+                let r = pool.rr[flat] as usize;
+                if r >= n {
+                    r % n
                 } else {
-                    (start_rr + k) % n
-                };
-                let warp = &mut sm.warps[i];
-                let Some(instr) = warp.pending else { continue };
-                if warp.ready_at > now {
-                    continue;
+                    r
                 }
-                // Loads are pipelined per warp up to the MLP limit; a
-                // warp at the limit stalls until one of its loads
-                // returns.
-                if matches!(instr, WarpInstr::Mem(m) if !m.is_store) {
-                    warp.outstanding.retain(|&t| t > now);
-                    if warp.outstanding.len() >= ctx.mlp_per_warp {
-                        warp.ready_at = warp.outstanding.iter().copied().min().unwrap_or(now + 1);
+            };
+            if !ctx.gto && n <= 64 {
+                // Loose-round-robin mask fast path: one branchless pass
+                // builds a position-indexed ready mask, then only the
+                // (typically zero or one) ready warps are visited — via
+                // `trailing_zeros`, in the exact rotated position order
+                // the historical poll-every-warp loop used. Warps that
+                // are not ready are pure no-op polls in that loop, so
+                // never visiting them is unobservable.
+                let mut posmask: u64 = 0;
+                for p in 0..n {
+                    let s = pool.order[wbase + p] as usize;
+                    let ra = pool.ready_at[wbase + s];
+                    let ready = ra <= now;
+                    posmask |= (ready as u64) << p;
+                    // Not-ready warps keep their ready_at through the
+                    // whole step (only the retire pass re-arms them,
+                    // and it triggers a rescan), so fold their wake
+                    // time here instead of re-scanning after issue.
+                    wake = wake.min(if ready { u64::MAX } else { ra });
+                }
+                // Split at the rotation point instead of rotating, so
+                // bit indices stay raw positions.
+                let ge_rr = (u64::MAX >> (64 - n)) << start_rr;
+                let mut hi = posmask & ge_rr;
+                let mut lo = posmask & !ge_rr;
+                while issued < issue_width {
+                    let p = if hi != 0 {
+                        let p = hi.trailing_zeros() as usize;
+                        hi &= hi - 1;
+                        p
+                    } else if lo != 0 {
+                        let p = lo.trailing_zeros() as usize;
+                        lo &= lo - 1;
+                        p
+                    } else {
+                        break;
+                    };
+                    let s = pool.order[wbase + p];
+                    let g = wbase + s as usize;
+                    if Self::poll_issue(
+                        pool,
+                        &mut st.counts,
+                        &mut self.mem,
+                        ctx,
+                        sm_id,
+                        flat,
+                        g,
+                        now,
+                    ) {
+                        if first_issued_slot == NONE {
+                            first_issued_slot = s;
+                        }
+                        issued += 1;
+                    }
+                    // Issued or stalled, the poll leaves ready_at as
+                    // this warp's next service time (an exhausted
+                    // stream additionally triggers the rescan below).
+                    wake = wake.min(pool.ready_at[g]);
+                }
+                if hi | lo != 0 {
+                    // Ready warps left unvisited by the issue-width cap
+                    // are issuable again next cycle.
+                    wake = wake.min(now + 1);
+                }
+            } else {
+                // Generic poll loop: the greedy-then-oldest list walk
+                // (any warp count), or loose round robin across more
+                // than 64 resident warps.
+                wake_rescan = true;
+                let mut rr_idx = start_rr;
+                let greedy = pool.greedy[flat];
+                let mut cursor = if greedy != NONE {
+                    greedy
+                } else {
+                    pool.gto_head[flat]
+                };
+                for _k in 0..n {
+                    if issued == issue_width {
+                        break;
+                    }
+                    let i = if ctx.gto {
+                        let cur = cursor;
+                        let mut nx = if cur == greedy {
+                            pool.gto_head[flat]
+                        } else {
+                            pool.gto_next[wbase + cur as usize]
+                        };
+                        if nx != NONE && nx == greedy {
+                            nx = pool.gto_next[wbase + nx as usize];
+                        }
+                        cursor = nx;
+                        cur as usize
+                    } else {
+                        let i = pool.order[wbase + rr_idx] as usize;
+                        rr_idx += 1;
+                        if rr_idx == n {
+                            rr_idx = 0;
+                        }
+                        i
+                    };
+                    let g = wbase + i;
+                    if pool.ready_at[g] > now {
                         continue;
                     }
-                }
-                match instr {
-                    WarpInstr::Compute(op) => {
-                        st.counts.instrs.add(op, WARP_SIZE as u64);
-                        warp.ready_at = now + op.latency_cycles() as u64;
-                    }
-                    WarpInstr::Mem(mref) => {
-                        let out = self.mem.access(sm_id, mref, now);
-                        if out.blocking && !mref.is_store {
-                            warp.outstanding.push(out.completion);
-                            warp.ready_at = now + 1;
-                        } else if out.blocking {
-                            // Write-buffer backpressure.
-                            warp.ready_at = out.completion;
-                        } else {
-                            warp.ready_at = now + 1;
+                    if Self::poll_issue(
+                        pool,
+                        &mut st.counts,
+                        &mut self.mem,
+                        ctx,
+                        sm_id,
+                        flat,
+                        g,
+                        now,
+                    ) {
+                        if first_issued_slot == NONE {
+                            first_issued_slot = i as u32;
                         }
+                        issued += 1;
                     }
                 }
-                warp.pending = warp.stream.next();
-                if warp.pending.is_none() {
-                    // Stream exhausted: the warp drains its outstanding
-                    // loads and retires in a later cleanup pass.
-                    warp.ready_at = warp.outstanding.iter().copied().max().unwrap_or(now + 1);
-                }
-                if first_issued_age.is_none() {
-                    first_issued_age = Some(warp.age);
-                }
-                issued += 1;
             }
-            sm.rr = (start_rr + 1) % n;
-            if ctx.gto && first_issued_age.is_some() {
-                sm.greedy_age = first_issued_age;
+            pool.rr[flat] = if start_rr + 1 == n {
+                0
+            } else {
+                (start_rr + 1) as u32
+            };
+            if ctx.gto && first_issued_slot != NONE {
+                pool.greedy[flat] = first_issued_slot;
             }
         }
 
         // Retire warps whose stream is exhausted once their last loads
-        // have returned (a warp never abandons in-flight memory).
-        let mut wi = 0;
-        while wi < sm.warps.len() {
-            let w = &mut sm.warps[wi];
-            if w.pending.is_none() {
-                w.outstanding.retain(|&t| t > now);
-                if w.outstanding.is_empty() {
-                    let slot = w.slot;
-                    sm.slots[slot].live_warps -= 1;
-                    if sm.slots[slot].live_warps == 0 {
-                        st.done_ctas += 1;
+        // have returned (a warp never abandons in-flight memory). The
+        // exhausted count makes the no-retirement case — every visited
+        // cycle of a compute-bound kernel's steady state — one counter
+        // test instead of a scan; removal from `order` keeps the exact
+        // `swap_remove` physical reordering.
+        self.soa.mask_scans += 1;
+        if pool.exhausted_cnt[flat] > 0 {
+            // Retirement and load-drain re-arming move ready_at under
+            // the incremental fold's feet; recompute from scratch.
+            wake_rescan = true;
+            let mut len = pool.order_len[flat] as usize;
+            let mut wi = 0;
+            while wi < len {
+                let s = pool.order[wbase + wi];
+                let g = wbase + s as usize;
+                if pool.exhausted.get(g) {
+                    pool.ring_retain(g, now);
+                    if pool.out_len[g] == 0 {
+                        let cslot = flat * pool.cta_stride + pool.cta_of[g] as usize;
+                        pool.cta_live[cslot] -= 1;
+                        if pool.cta_live[cslot] == 0 {
+                            pool.cta_free.set(cslot);
+                            pool.cta_free_cnt[flat] += 1;
+                            st.done_ctas += 1;
+                        }
+                        pool.retire_slot(flat, s);
+                        pool.order[wbase + wi] = pool.order[wbase + len - 1];
+                        len -= 1;
+                        continue;
                     }
-                    sm.warps.swap_remove(wi);
-                    continue;
+                    // Wake exactly when the last load lands.
+                    pool.ready_at[g] = pool.ring_max(g).unwrap_or(now + 1);
                 }
-                // Wake exactly when the last load lands.
-                w.ready_at = w.outstanding.iter().copied().max().unwrap_or(now + 1);
+                wi += 1;
             }
-            wi += 1;
+            pool.order_len[flat] = len as u32;
+        } else {
+            self.soa.retire_scans_skipped += 1;
         }
 
         SmStep {
             issued,
-            resident: sm.has_resident_work(),
-            cta_pending: ctx.partition.nth_for(gpm, st.gpm_issued[gpm]).is_some(),
-            free_slot: sm.slots.iter().any(|s| s.live_warps == 0),
+            resident: pool.resident(flat),
+            cta_pending: cta_next.is_some(),
+            free_slot: pool.cta_free_cnt[flat] > 0,
+            wake: if wake_rescan {
+                pool.next_ready(flat)
+            } else {
+                wake
+            },
         }
     }
 
@@ -638,7 +1162,7 @@ impl GpuSim {
     /// quantity that drives the paper's constant-energy exposure at
     /// scale. This is the historical seed behavior, kept bit-for-bit.
     fn run_loop_naive(&mut self, ctx: &KernelCtx, st: &mut KernelState, start: u64) -> u64 {
-        let total_sms = st.sms.len();
+        let total_sms = st.pool.total_sms;
         let issue_width = ctx.issue_width;
         let mut now = start;
         loop {
@@ -664,17 +1188,19 @@ impl GpuSim {
                 now += 1;
             } else {
                 // Nothing issued anywhere: jump to the next wake-up.
-                let next = st
-                    .sms
-                    .iter()
-                    .filter_map(SmRuntime::next_ready)
-                    .min()
-                    .unwrap_or(now + 1)
-                    .max(now + 1);
+                let mut min_ready = u64::MAX;
+                for flat in 0..total_sms {
+                    min_ready = min_ready.min(st.pool.next_ready(flat));
+                }
+                let next = if min_ready == u64::MAX {
+                    now + 1
+                } else {
+                    min_ready.max(now + 1)
+                };
                 let skipped = next - now - 1; // the current cycle is already accounted
                 if skipped > 0 {
-                    for sm in &st.sms {
-                        if sm.has_resident_work() {
+                    for flat in 0..total_sms {
+                        if st.pool.resident(flat) {
                             st.counts.idle_sm_cycles += skipped;
                             st.counts.stall_cycles += issue_width as u64 * skipped;
                         } else {
@@ -693,7 +1219,7 @@ impl GpuSim {
     /// cycle; the rest sleep. Per SM it tracks:
     ///
     /// * `ready_wake` — the earliest `ready_at` among its live warps
-    ///   (what `SmRuntime::next_ready` computes, maintained
+    ///   (what `WarpPool::next_ready` computes, maintained
     ///   incrementally). Valid while the SM sleeps because sleeping SMs
     ///   are exactly those whose state no cycle can change.
     /// * `refill_eligible` — a free CTA slot plus a CTA remaining for its
@@ -709,25 +1235,42 @@ impl GpuSim {
     /// `ready_wake` (debug asserts check no ready event is ever jumped
     /// over).
     fn run_loop_event(&mut self, ctx: &KernelCtx, st: &mut KernelState, start: u64) -> u64 {
-        let total_sms = st.sms.len();
+        let total_sms = st.pool.total_sms;
         let issue_width = ctx.issue_width;
         let iw = issue_width as u64;
         let mut now = start;
 
         // Earliest ready_at among live warps; u64::MAX when none.
-        let mut ready_wake: Vec<u64> = vec![u64::MAX; total_sms];
+        let mut ready_wake = std::mem::take(&mut self.scratch.ready_wake);
+        ready_wake.clear();
+        ready_wake.resize(total_sms, u64::MAX);
         // Free slot && CTA pending — processed at every visited cycle.
         // True initially so every SM is processed at `start`, as naive.
-        let mut refill_eligible: Vec<bool> = vec![true; total_sms];
+        let mut refill_eligible = std::mem::take(&mut self.scratch.refill_eligible);
+        refill_eligible.clear();
+        refill_eligible.resize(total_sms, true);
         // First cycle not yet charged to this SM.
-        let mut acct: Vec<u64> = vec![start; total_sms];
+        let mut acct = std::mem::take(&mut self.scratch.acct);
+        acct.clear();
+        acct.resize(total_sms, start);
         // Resident status while sleeping (constant between processings).
-        let mut sleeping_resident: Vec<bool> = vec![false; total_sms];
+        let mut sleeping_resident = std::mem::take(&mut self.scratch.sleeping_resident);
+        sleeping_resident.clear();
+        sleeping_resident.resize(total_sms, false);
         // Visited-cycle iteration of the SM's last processing (for
         // round-robin pointer catch-up: naive advances rr once per
         // *visited* cycle with warps resident, not per calendar cycle).
-        let mut last_iter: Vec<u64> = vec![0; total_sms];
-        let mut dead: Vec<bool> = vec![false; total_sms];
+        let mut last_iter = std::mem::take(&mut self.scratch.last_iter);
+        last_iter.clear();
+        last_iter.resize(total_sms, 0);
+        // SMs that can still make progress: the per-cycle SM walk scans
+        // this mask word by word instead of testing a dead flag per SM.
+        let mut live_mask = std::mem::take(&mut self.scratch.live_mask);
+        live_mask.clear();
+        live_mask.grow_to(total_sms);
+        for flat in 0..total_sms {
+            live_mask.set(flat);
+        }
         let mut live = total_sms;
         let mut iter: u64 = 0;
 
@@ -736,47 +1279,53 @@ impl GpuSim {
             self.ff.visited_cycles += 1;
             let mut issued_any = false;
 
-            for flat in 0..total_sms {
-                if dead[flat] || !(refill_eligible[flat] || ready_wake[flat] <= now) {
-                    continue; // dead or sleeping
-                }
-
-                // Lazy catch-up for the cycles this SM slept through.
-                let slept = now - acct[flat];
-                if slept > 0 {
-                    st.counts.idle_sm_cycles += slept;
-                    if sleeping_resident[flat] {
-                        st.counts.stall_cycles += iw * slept;
+            // Snapshotting each word keeps the walk ascending-order
+            // identical to the naive loop's `for flat in 0..total_sms`
+            // while letting the body retire (unset) the SM it is
+            // processing.
+            for wi in 0..live_mask.word_count() {
+                let mut word = live_mask.word(wi);
+                while word != 0 {
+                    let flat = wi * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    if !(refill_eligible[flat] || ready_wake[flat] <= now) {
+                        continue; // sleeping
                     }
-                    let missed_iters = iter - 1 - last_iter[flat];
-                    let n = st.sms[flat].warps.len();
-                    if n > 0 && missed_iters > 0 {
-                        let sm = &mut st.sms[flat];
-                        sm.rr = (sm.rr % n + (missed_iters % n as u64) as usize) % n;
-                    }
-                }
 
-                let step = self.step_sm(ctx, st, flat, now);
-                self.ff.sm_steps += 1;
-                if step.issued > 0 {
-                    issued_any = true;
-                }
-                st.charge_cycle(step.issued, step.resident, issue_width);
-                acct[flat] = now + 1;
-                last_iter[flat] = iter;
-                sleeping_resident[flat] = step.resident;
-                refill_eligible[flat] = step.cta_pending && step.free_slot;
-                if !step.resident && !step.cta_pending {
-                    dead[flat] = true;
-                    live -= 1;
-                    ready_wake[flat] = u64::MAX;
-                } else {
-                    ready_wake[flat] = st.sms[flat]
-                        .warps
-                        .iter()
-                        .map(|w| w.ready_at)
-                        .min()
-                        .unwrap_or(u64::MAX);
+                    // Lazy catch-up for the cycles this SM slept
+                    // through.
+                    let slept = now - acct[flat];
+                    if slept > 0 {
+                        st.counts.idle_sm_cycles += slept;
+                        if sleeping_resident[flat] {
+                            st.counts.stall_cycles += iw * slept;
+                        }
+                        let missed_iters = iter - 1 - last_iter[flat];
+                        let n = st.pool.order_len[flat] as usize;
+                        if n > 0 && missed_iters > 0 {
+                            let r = st.pool.rr[flat] as usize;
+                            st.pool.rr[flat] =
+                                ((r % n + (missed_iters % n as u64) as usize) % n) as u32;
+                        }
+                    }
+
+                    let step = self.step_sm(ctx, st, flat, now);
+                    self.ff.sm_steps += 1;
+                    if step.issued > 0 {
+                        issued_any = true;
+                    }
+                    st.charge_cycle(step.issued, step.resident, issue_width);
+                    acct[flat] = now + 1;
+                    last_iter[flat] = iter;
+                    sleeping_resident[flat] = step.resident;
+                    refill_eligible[flat] = step.cta_pending && step.free_slot;
+                    if !step.resident && !step.cta_pending {
+                        live_mask.unset(flat);
+                        live -= 1;
+                        ready_wake[flat] = u64::MAX;
+                    } else {
+                        ready_wake[flat] = step.wake;
+                    }
                 }
             }
 
@@ -804,12 +1353,14 @@ impl GpuSim {
             if next > now + 1 {
                 // Fast-forward must never skip past a ready event: every
                 // live warp's wake-up lies at or beyond the jump target.
-                for sm in st.sms.iter() {
-                    for w in sm.warps.iter().filter(|w| w.is_live()) {
+                for flat in 0..total_sms {
+                    let wbase = flat * st.pool.stride;
+                    let n = st.pool.order_len[flat] as usize;
+                    for &s in &st.pool.order[wbase..wbase + n] {
+                        let ready_at = st.pool.ready_at[wbase + s as usize];
                         debug_assert!(
-                            w.ready_at <= now || w.ready_at >= next,
-                            "fast-forward from {now} to {next} skips a warp ready at {}",
-                            w.ready_at
+                            ready_at <= now || ready_at >= next,
+                            "fast-forward from {now} to {next} skips a warp ready at {ready_at}"
                         );
                     }
                 }
@@ -830,6 +1381,14 @@ impl GpuSim {
                 st.counts.idle_sm_cycles += through - charged;
             }
         }
+
+        // Return the bookkeeping vectors to the scratch pool.
+        self.scratch.ready_wake = ready_wake;
+        self.scratch.refill_eligible = refill_eligible;
+        self.scratch.acct = acct;
+        self.scratch.sleeping_resident = sleeping_resident;
+        self.scratch.last_iter = last_iter;
+        self.scratch.live_mask = live_mask;
         now
     }
 
@@ -908,7 +1467,7 @@ impl GpuSim {
 mod tests {
     use super::*;
     use crate::config::{BwSetting, GpuConfig, Topology};
-    use isa::{GridShape, MemRef, Opcode};
+    use isa::{GridShape, MemRef, Opcode, WarpInstrStream};
 
     impl GpuSim {
         /// Test helper: prefault, run one kernel, return NUMA hop-bytes.

@@ -31,18 +31,22 @@
 //! assert_eq!(sim.config().num_gpms, 8);
 //! ```
 
+pub mod bits;
 pub mod bw;
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod inflight;
 pub mod memory;
 pub mod noc;
 pub mod pages;
 pub mod results;
 
+pub use bits::BitWords;
 pub use config::{
     BwSetting, CtaSchedule, GpmConfig, GpuConfig, L2Mode, PagePolicy, Topology, WarpScheduler,
 };
-pub use engine::{EngineMode, FastForwardStats, GpuSim};
+pub use engine::{EngineMode, FastForwardStats, GpuSim, SoaStats};
+pub use inflight::InflightTable;
 pub use memory::{MemOutcome, MemorySystem, UtilizationReport};
 pub use results::{KernelResult, WorkloadResult};

@@ -15,12 +15,12 @@
 
 use crate::bw::BwResource;
 use crate::cache::{Cache, CacheAccess};
-use crate::config::GpuConfig;
+use crate::config::{GpuConfig, L2Mode};
+use crate::inflight::InflightTable;
 use crate::noc::Noc;
 use crate::pages::PageTable;
 use common::{GpmId, SmId};
 use isa::{MemRef, MemSpace, Transaction, TxnCounts};
-use std::collections::HashMap;
 
 /// Bytes of a request message crossing the NoC (header + address).
 const REQ_BYTES: u64 = 32;
@@ -86,7 +86,52 @@ struct GpmMem {
     l2_bw: BwResource,
     dram: BwResource,
     /// Lines with an in-flight fill, for miss merging: line → ready cycle.
-    pending: HashMap<u64, u64>,
+    pending: InflightTable,
+}
+
+/// The handful of configuration scalars the memory system reads after
+/// construction, copied out of [`GpuConfig`] so every [`MemorySystem`]
+/// (and every shadow-mode clone of one) carries a few words instead of
+/// a heap-allocated config clone.
+#[derive(Debug, Clone, Copy)]
+struct MemParams {
+    /// SMs per GPM (flat SM indexing).
+    sms_per_gpm: usize,
+    /// Number of GPMs.
+    num_gpms: usize,
+    /// Module-side vs memory-side L2 placement.
+    l2_mode: L2Mode,
+    /// Shared-memory (scratchpad) access latency.
+    shared_latency: u64,
+    /// L1 hit latency.
+    l1_latency: u64,
+    /// L2 access latency.
+    l2_latency: u64,
+    /// DRAM access latency.
+    dram_latency: u64,
+    /// Per-link inter-GPM capacity in bytes/cycle (∞ for ideal NoCs).
+    link_capacity_bytes: f64,
+}
+
+impl MemParams {
+    fn new(cfg: &GpuConfig) -> Self {
+        let per_gpm = cfg.inter_gpm_bw.bytes_per_cycle(cfg.gpm.clock);
+        let link_capacity_bytes = match cfg.topology {
+            crate::config::Topology::Ring => per_gpm / 2.0,
+            crate::config::Topology::Switch => per_gpm,
+            crate::config::Topology::Ideal => f64::INFINITY,
+        };
+        MemParams {
+            sms_per_gpm: cfg.gpm.sms,
+            num_gpms: cfg.num_gpms,
+            l2_mode: cfg.l2_mode,
+            shared_latency: cfg.gpm.shared_latency,
+            l1_latency: cfg.gpm.l1_latency,
+            l2_latency: cfg.gpm.l2_latency,
+            dram_latency: cfg.gpm.dram_latency,
+            link_capacity_bytes,
+        }
+    }
 }
 
 /// The full memory system of a simulated multi-module GPU.
@@ -95,7 +140,7 @@ struct GpmMem {
 /// reference loop on an identical copy of the machine state.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
-    cfg: GpuConfig,
+    params: MemParams,
     l1: Vec<Cache>,
     lsu: Vec<BwResource>,
     gpms: Vec<GpmMem>,
@@ -103,6 +148,9 @@ pub struct MemorySystem {
     pages: PageTable,
     txns: TxnCounts,
     lat: LatencyStats,
+    /// High-water arena occupancy already emitted to the
+    /// `sim.soa.txn_inflight_peak` counter.
+    inflight_peak: u64,
 }
 
 /// Aggregate load-latency statistics (diagnostics).
@@ -154,7 +202,7 @@ impl MemorySystem {
                 l2: Cache::new(cfg.gpm.l2_bytes.count(), cfg.gpm.l2_assoc, 128),
                 l2_bw: BwResource::new(cfg.gpm.l2_bw.bytes_per_cycle(clock)),
                 dram: BwResource::new(cfg.gpm.dram_bw.bytes_per_cycle(clock)),
-                pending: HashMap::new(),
+                pending: InflightTable::new(),
             })
             .collect();
         MemorySystem {
@@ -163,9 +211,10 @@ impl MemorySystem {
             l1,
             lsu,
             gpms,
-            cfg: cfg.clone(),
+            params: MemParams::new(cfg),
             txns: TxnCounts::new(),
             lat: LatencyStats::default(),
+            inflight_peak: 0,
         }
     }
 
@@ -220,20 +269,27 @@ impl MemorySystem {
     }
 
     fn access_shared(&mut self, sm: SmId, mref: MemRef, now: u64) -> MemOutcome {
-        let flat = sm.flat_index(self.cfg.gpm.sms);
+        let flat = sm.flat_index(self.params.sms_per_gpm);
         let t0 = self.lsu[flat].acquire(128, now);
         self.txns.add(Transaction::SharedToReg, 1);
         MemOutcome {
-            completion: t0 + self.cfg.gpm.shared_latency,
+            completion: t0 + self.params.shared_latency,
             blocking: !mref.is_store,
         }
     }
 
     fn access_global(&mut self, sm: SmId, mref: MemRef, now: u64) -> MemOutcome {
-        let flat = sm.flat_index(self.cfg.gpm.sms);
+        let flat = sm.flat_index(self.params.sms_per_gpm);
         let gpm = sm.gpm;
         let line = mref.addr & !127;
         let t0 = self.lsu[flat].acquire(128, now);
+        // Retire fills that have landed; the wheel makes this O(1) when
+        // nothing is due (see `inflight` module docs for why dropping
+        // entries with `ready <= now` is behavior-identical).
+        let expired = self.gpms[gpm.index()].pending.expire(now);
+        if expired > 0 {
+            trace::count("sim.soa.txn_inflight_expired", expired as u64);
+        }
 
         if mref.is_store {
             // Write-through past the L1 (updating it if present), into an
@@ -241,9 +297,9 @@ impl MemorySystem {
             // memory-side: the page's home L2, across the NoC if remote.
             self.txns.add(Transaction::L2ToL1, SECTORS_PER_LINE);
             let home = self.pages.home_of(line, gpm);
-            let target = match self.cfg.l2_mode {
-                crate::config::L2Mode::ModuleSide => gpm,
-                crate::config::L2Mode::MemorySide => home,
+            let target = match self.params.l2_mode {
+                L2Mode::ModuleSide => gpm,
+                L2Mode::MemorySide => home,
             };
             if target != gpm {
                 self.noc.transfer(gpm, target, DATA_BYTES, t0);
@@ -270,7 +326,7 @@ impl MemorySystem {
         if self.l1[flat].access(line, false).is_hit() {
             self.txns.add(Transaction::L1ToReg, 1);
             return MemOutcome {
-                completion: t0 + self.cfg.gpm.l1_latency,
+                completion: t0 + self.params.l1_latency,
                 blocking: true,
             };
         }
@@ -282,7 +338,7 @@ impl MemorySystem {
         // Under the memory-side ablation, remote lines are never cached
         // locally: every L1 miss on a remote page probes the home L2
         // across the NoC.
-        if self.cfg.l2_mode == crate::config::L2Mode::MemorySide {
+        if self.params.l2_mode == L2Mode::MemorySide {
             let home = self.pages.home_of(line, gpm);
             if home != gpm {
                 return self.remote_memory_side_load(gpm, home, line, t0);
@@ -290,17 +346,17 @@ impl MemorySystem {
         }
 
         let t1 = self.gpms[gpm.index()].l2_bw.acquire(128, t0);
-        let l2_lat = self.cfg.gpm.l2_latency;
+        let l2_lat = self.params.l2_latency;
         match self.gpms[gpm.index()].l2.access(line, false) {
             CacheAccess::Hit => {
                 // The line may still be in flight from an earlier miss.
                 let mut completion = t1 + l2_lat;
                 let mem = &mut self.gpms[gpm.index()];
-                if let Some(&ready) = mem.pending.get(&line) {
+                if let Some(ready) = mem.pending.get(line) {
                     if ready > completion {
                         completion = ready;
                     } else {
-                        mem.pending.remove(&line);
+                        mem.pending.remove(line);
                     }
                 }
                 MemOutcome {
@@ -319,7 +375,7 @@ impl MemorySystem {
                 // the slowest queue drains plus the path's fixed latency.
                 let completion = if home == gpm {
                     let dram_t = self.gpms[gpm.index()].dram.acquire(128, t0);
-                    t1.max(dram_t) + self.cfg.gpm.dram_latency + l2_lat
+                    t1.max(dram_t) + self.params.dram_latency + l2_lat
                 } else {
                     let (req_q, req_lat) = self.noc.transfer_queued(gpm, home, REQ_BYTES, t0);
                     let dram_q = self.gpms[home.index()].dram.acquire(128, t0);
@@ -329,11 +385,11 @@ impl MemorySystem {
                     // serial.
                     t1.max(req_q).max(dram_q).max(resp_q)
                         + req_lat
-                        + self.cfg.gpm.dram_latency
+                        + self.params.dram_latency
                         + resp_lat
                         + l2_lat
                 };
-                self.gpms[gpm.index()].pending.insert(line, completion);
+                self.track_inflight(gpm, line, completion);
                 let latency = completion - now;
                 self.lat.loads += 1;
                 self.lat.total_cycles += latency;
@@ -360,17 +416,17 @@ impl MemorySystem {
         t0: u64,
     ) -> MemOutcome {
         // Merge with an in-flight fetch of the same line from this module.
-        if let Some(&ready) = self.gpms[gpm.index()].pending.get(&line) {
+        if let Some(ready) = self.gpms[gpm.index()].pending.get(line) {
             if ready > t0 {
                 return MemOutcome {
                     completion: ready,
                     blocking: true,
                 };
             }
-            self.gpms[gpm.index()].pending.remove(&line);
+            self.gpms[gpm.index()].pending.remove(line);
         }
 
-        let l2_lat = self.cfg.gpm.l2_latency;
+        let l2_lat = self.params.l2_latency;
         let (req_q, req_lat) = self.noc.transfer_queued(gpm, home, REQ_BYTES, t0);
         let l2_q = self.gpms[home.index()].l2_bw.acquire(128, t0);
         let extra = match self.gpms[home.index()].l2.access(line, false) {
@@ -384,13 +440,13 @@ impl MemorySystem {
                 }
                 self.txns.add(Transaction::DramToL2, SECTORS_PER_LINE);
                 self.gpms[home.index()].dram.acquire(128, t0);
-                self.cfg.gpm.dram_latency
+                self.params.dram_latency
             }
         };
         let (resp_q, resp_lat) = self.noc.transfer_queued(home, gpm, DATA_BYTES, t0);
         let completion = req_q.max(l2_q).max(resp_q) + req_lat + extra + l2_lat + resp_lat;
 
-        self.gpms[gpm.index()].pending.insert(line, completion);
+        self.track_inflight(gpm, line, completion);
         let latency = completion - t0;
         self.lat.loads += 1;
         self.lat.total_cycles += latency;
@@ -400,6 +456,20 @@ impl MemorySystem {
         MemOutcome {
             completion,
             blocking: true,
+        }
+    }
+
+    /// Records an in-flight fill and keeps the `sim.soa.*` arena
+    /// counters current. The peak counter is emitted as high-water-mark
+    /// *increments*, so its trace total equals the overall peak.
+    fn track_inflight(&mut self, gpm: GpmId, line: u64, completion: u64) {
+        let mem = &mut self.gpms[gpm.index()];
+        mem.pending.insert(line, completion);
+        trace::count("sim.soa.txn_inflight_inserted", 1);
+        let occ = mem.pending.occupancy() as u64;
+        if occ > self.inflight_peak {
+            trace::count("sim.soa.txn_inflight_peak", occ - self.inflight_peak);
+            self.inflight_peak = occ;
         }
     }
 
@@ -426,7 +496,7 @@ impl MemorySystem {
             debug_assert!(dirty.is_empty(), "write-through L1 had dirty lines");
         }
         let mut done = now;
-        for g in 0..self.cfg.num_gpms {
+        for g in 0..self.params.num_gpms {
             let gpm = GpmId::new(g as u16);
             let pages = &self.pages;
             let dirty_remote = self.gpms[g]
@@ -461,15 +531,7 @@ impl MemorySystem {
             .iter()
             .map(|g| g.l2_bw.utilization(elapsed_cycles)));
         let link_stats = self.noc.link_stats();
-        let link_capacity_bytes = {
-            // Reconstruct per-link capacity from config.
-            let per_gpm = self.cfg.inter_gpm_bw.bytes_per_cycle(self.cfg.gpm.clock);
-            match self.cfg.topology {
-                crate::config::Topology::Ring => per_gpm / 2.0,
-                crate::config::Topology::Switch => per_gpm,
-                crate::config::Topology::Ideal => f64::INFINITY,
-            }
-        };
+        let link_capacity_bytes = self.params.link_capacity_bytes;
         let (avg_link, max_link) =
             if link_stats.is_empty() || elapsed_cycles == 0 || !link_capacity_bytes.is_finite() {
                 (0.0, 0.0)

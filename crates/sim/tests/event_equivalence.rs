@@ -56,6 +56,50 @@ impl KernelProgram for FuzzKernel {
     }
 }
 
+/// A homogeneous kernel: every warp of every CTA runs the identical
+/// pseudo-random sequence (compute plus shared-region loads and stores —
+/// addresses must not depend on the warp for the sequence to be
+/// uniform). With `hint`, it also advertises that sequence through
+/// [`KernelProgram::uniform_warp_program`] so the engine takes the
+/// shared pre-decoded path.
+#[derive(Debug, Clone)]
+struct UniformKernel {
+    seed: u64,
+    ctas: u32,
+    warps_per_cta: u32,
+    len: u32,
+    hint: bool,
+}
+
+impl UniformKernel {
+    fn instr(&self, i: u32) -> WarpInstr {
+        let r = mix(self.seed.wrapping_add(u64::from(i)));
+        match r % 4 {
+            0 => WarpInstr::Compute(Opcode::FFma32),
+            1 => WarpInstr::Compute(Opcode::IAdd32),
+            2 => WarpInstr::Mem(MemRef::global_load(0x4000_0000 + (r >> 8) % 512 * 128)),
+            _ => WarpInstr::Mem(MemRef::global_store(0x4000_0000 + (r >> 8) % 512 * 128)),
+        }
+    }
+}
+
+impl KernelProgram for UniformKernel {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+    fn grid(&self) -> GridShape {
+        GridShape::new(self.ctas, self.warps_per_cta)
+    }
+    fn warp_instructions(&self, _cta: CtaId, _warp: WarpId) -> WarpInstrStream {
+        let k = self.clone();
+        Box::new((0..k.len).map(move |i| k.instr(i)))
+    }
+    fn uniform_warp_program(&self) -> Option<Vec<WarpInstr>> {
+        self.hint
+            .then(|| (0..self.len).map(|i| self.instr(i)).collect())
+    }
+}
+
 /// A randomized configuration drawn from the ablation space the figures
 /// actually sweep (at tiny scale so each case runs in milliseconds).
 fn fuzz_config(r: u64, gpms: usize) -> GpuConfig {
@@ -122,6 +166,92 @@ proptest! {
             event.memory().inter_gpm_hop_bytes(),
             naive.memory().inter_gpm_hop_bytes()
         );
+    }
+
+    /// Resident-warp populations that straddle the scheduler's 64-bit
+    /// mask word: with single-warp CTAs and capacity for 65 of them, an
+    /// SM ramps through exactly 63, 64 and 65 live warps, crossing the
+    /// boundary between the bitmask issue fast path (n ≤ 64) and the
+    /// generic poll loop (n > 64) in both directions as warps land and
+    /// retire. Both scheduler policies must stay bit-identical to the
+    /// naive reference across that crossing.
+    #[test]
+    fn warp_counts_straddle_the_mask_word_boundary(
+        seed in any::<u64>(),
+        cfg_bits in any::<u64>(),
+        ctas in 63u32..=66,
+        max_instrs in 1u32..24,
+    ) {
+        let mut cfg = fuzz_config(cfg_bits, 1);
+        cfg.gpm.sms = 1;
+        cfg.gpm.max_resident_warps = 65;
+        let kernel = FuzzKernel { seed, ctas, warps_per_cta: 1, max_instrs };
+
+        let mut event = GpuSim::with_mode(&cfg, EngineMode::EventDriven);
+        let mut naive = GpuSim::with_mode(&cfg, EngineMode::Naive);
+        event.prefault(&kernel);
+        naive.prefault(&kernel);
+        let re = event.run_kernel(&kernel);
+        let rn = naive.run_kernel(&kernel);
+        prop_assert_eq!(&re, &rn);
+        prop_assert_eq!(event.memory().txns(), naive.memory().txns());
+    }
+
+    /// The per-warp outstanding-load ring at its configuration extremes:
+    /// `mlp_per_warp` of 1 (every load serializes, the MLP-limit stall
+    /// path fires constantly) through values beyond any warp's load
+    /// count (the limit never fires). The ring capacity is sized from
+    /// this value, so both edges exercise its wraparound and the
+    /// stall/wake re-arming identically in both loops.
+    #[test]
+    fn mlp_limit_extremes_stay_equivalent(
+        seed in any::<u64>(),
+        cfg_bits in any::<u64>(),
+        mlp in prop_oneof![Just(1usize), Just(2usize), Just(16usize), Just(64usize)],
+        ctas in 1u32..12,
+        max_instrs in 1u32..32,
+    ) {
+        let mut cfg = fuzz_config(cfg_bits, 2);
+        cfg.gpm.mlp_per_warp = mlp;
+        let kernel = FuzzKernel { seed, ctas, warps_per_cta: 3, max_instrs };
+
+        let mut event = GpuSim::with_mode(&cfg, EngineMode::EventDriven);
+        let mut naive = GpuSim::with_mode(&cfg, EngineMode::Naive);
+        event.prefault(&kernel);
+        naive.prefault(&kernel);
+        let re = event.run_kernel(&kernel);
+        let rn = naive.run_kernel(&kernel);
+        prop_assert_eq!(&re, &rn);
+        prop_assert_eq!(event.memory().txns(), naive.memory().txns());
+    }
+
+    /// The `uniform_warp_program` hint must be invisible in results: a
+    /// homogeneous kernel simulated through the shared pre-decoded
+    /// array gives the same bits as the identical kernel decoded warp
+    /// by warp through boxed iterators (both engine loops).
+    #[test]
+    fn uniform_program_hint_is_unobservable(
+        seed in any::<u64>(),
+        cfg_bits in any::<u64>(),
+        gpms in 1usize..4,
+        ctas in 1u32..16,
+        warps in 1u32..5,
+        len in 0u32..40,
+    ) {
+        let cfg = fuzz_config(cfg_bits, gpms);
+        let hinted = UniformKernel { seed, ctas, warps_per_cta: warps, len, hint: true };
+        let plain = UniformKernel { hint: false, ..hinted.clone() };
+
+        for mode in [EngineMode::EventDriven, EngineMode::Naive] {
+            let mut with_hint = GpuSim::with_mode(&cfg, mode);
+            let mut without = GpuSim::with_mode(&cfg, mode);
+            with_hint.prefault(&hinted);
+            without.prefault(&plain);
+            let rh = with_hint.run_kernel(&hinted);
+            let rp = without.run_kernel(&plain);
+            prop_assert_eq!(&rh, &rp);
+            prop_assert_eq!(with_hint.memory().txns(), without.memory().txns());
+        }
     }
 
     /// Fast-forward must never jump past a cycle where a warp becomes

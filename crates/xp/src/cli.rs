@@ -177,6 +177,10 @@ bench options:
                            speedup drop >10% warns, >25% fails the run
   --filter SUBSTR          only scenarios whose name contains SUBSTR
                            (names are kind/gpms, e.g. memory/32gpm)
+  --baseline-update        refresh the report in place, treating the existing
+                           file as a throughput envelope: refuses to lower a
+                           recorded event-loop cycles/sec floor
+  --allow-regress          with --baseline-update, accept a lowered envelope
 ";
 
 /// Parsed `--faults` specification: rates for each injected fault kind
@@ -331,6 +335,8 @@ fn parse(args: &[String]) -> Result<Command, String> {
                             .ok_or_else(|| "xp bench: --filter: missing substring".to_string())?;
                         opts.filter = Some(pat.clone());
                     }
+                    "--baseline-update" => opts.baseline_update = true,
+                    "--allow-regress" => opts.allow_regress = true,
                     other => return Err(format!("xp bench: unknown option {other}\n\n{USAGE}")),
                 }
             }
@@ -1500,6 +1506,8 @@ mod tests {
             "base.json",
             "--filter",
             "memory",
+            "--baseline-update",
+            "--allow-regress",
         ])) else {
             panic!("expected a bench command");
         };
@@ -1507,12 +1515,16 @@ mod tests {
         assert_eq!(opts.out.as_deref(), Some(Path::new("b.json")));
         assert_eq!(opts.baseline.as_deref(), Some(Path::new("base.json")));
         assert_eq!(opts.filter.as_deref(), Some("memory"));
+        assert!(opts.baseline_update);
+        assert!(opts.allow_regress);
 
         let Ok(Command::Bench(opts)) = parse(&argv(&["bench"])) else {
             panic!("expected a bench command");
         };
         assert!(!opts.quick);
         assert!(opts.out.is_none());
+        assert!(!opts.baseline_update);
+        assert!(!opts.allow_regress);
 
         assert!(parse(&argv(&["bench", "--frobnicate"])).is_err());
         assert!(parse(&argv(&["bench", "--out"])).is_err());
