@@ -82,6 +82,18 @@ impl Fnv1a {
     }
 }
 
+/// The content checksum the `xpd` result store embeds in every payload
+/// file header and journal `put` record: FNV-1a over the payload bytes,
+/// rendered as [`Fnv1a::hex`]. A reader recomputes this over the bytes
+/// it actually loaded and quarantines the file on mismatch, so a torn
+/// or bit-flipped payload is *detected* rather than served.
+///
+/// Like every digest in this module it guards against accidental
+/// corruption (torn writes, disk rot), not adversaries.
+pub fn payload_checksum(payload: &str) -> String {
+    Fnv1a::of(payload).hex()
+}
+
 /// Whether `s` looks like a digest produced by [`Fnv1a::hex`]: exactly
 /// 16 lowercase hex digits. The `xpd` store uses this to recognize its
 /// own files when rebuilding the index from a directory listing.
@@ -118,6 +130,14 @@ mod tests {
         assert!(!is_hex_digest("xyz"));
         assert!(!is_hex_digest("ABCDEF0123456789"));
         assert!(!is_hex_digest("0123456789abcde"));
+    }
+
+    #[test]
+    fn payload_checksum_is_the_hex_fnv_of_the_bytes() {
+        let sum = payload_checksum("{\n  \"id\": \"fig6\"\n}\n");
+        assert!(is_hex_digest(&sum));
+        assert_eq!(sum, Fnv1a::of("{\n  \"id\": \"fig6\"\n}\n").hex());
+        assert_ne!(sum, payload_checksum("{\n  \"id\": \"fig6\"\n}"));
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub enum RequestOp {
     /// Report live server counters: hits, misses, queue depth, store
     /// size.
     Stats,
+    /// Report serving health for readiness probes: whether the daemon
+    /// is draining, queue depth, in-flight count, and store occupancy
+    /// (a trimmed, stable subset of `stats`).
+    Health,
     /// Stop accepting connections and shut the daemon down cleanly.
     Shutdown,
 }
@@ -33,6 +37,7 @@ impl RequestOp {
         match self {
             RequestOp::Query => "query",
             RequestOp::Stats => "stats",
+            RequestOp::Health => "health",
             RequestOp::Shutdown => "shutdown",
         }
     }
@@ -50,6 +55,12 @@ pub struct QueryRequest {
     /// sweep plan (`("bw", "4x")`, `("gpms", "16")`, ...). Order is
     /// irrelevant; servers normalize by key before digesting.
     pub sets: Vec<(String, String)>,
+    /// Time budget for answering this query, in milliseconds from the
+    /// moment the server parses it. Queued work whose deadline expires
+    /// before evaluation starts is answered `timeout`, never silently
+    /// computed. `None` waits indefinitely. Excluded from the content
+    /// digest: the answer does not depend on it.
+    pub deadline_ms: Option<u64>,
 }
 
 impl QueryRequest {
@@ -59,6 +70,7 @@ impl QueryRequest {
             op: RequestOp::Query,
             artifact: artifact.into(),
             sets: Vec::new(),
+            deadline_ms: None,
         }
     }
 
@@ -68,12 +80,29 @@ impl QueryRequest {
         self
     }
 
+    /// Sets the query's time budget in milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
     /// A stats request.
     pub fn stats() -> Self {
         QueryRequest {
             op: RequestOp::Stats,
             artifact: String::new(),
             sets: Vec::new(),
+            deadline_ms: None,
+        }
+    }
+
+    /// A health (readiness) request.
+    pub fn health() -> Self {
+        QueryRequest {
+            op: RequestOp::Health,
+            artifact: String::new(),
+            sets: Vec::new(),
+            deadline_ms: None,
         }
     }
 
@@ -83,6 +112,7 @@ impl QueryRequest {
             op: RequestOp::Shutdown,
             artifact: String::new(),
             sets: Vec::new(),
+            deadline_ms: None,
         }
     }
 
@@ -99,6 +129,9 @@ impl QueryRequest {
                 }
                 o.insert("set", sets);
             }
+            if let Some(ms) = self.deadline_ms {
+                o.insert("deadline_ms", ms as f64);
+            }
         }
         o
     }
@@ -109,6 +142,7 @@ impl QueryRequest {
         let op = match j.get("op").and_then(Json::as_str) {
             Some("query") | None => RequestOp::Query,
             Some("stats") => return Ok(QueryRequest::stats()),
+            Some("health") => return Ok(QueryRequest::health()),
             Some("shutdown") => return Ok(QueryRequest::shutdown()),
             Some(other) => return Err(format!("unknown op {other:?}")),
         };
@@ -134,10 +168,23 @@ impl QueryRequest {
                 sets.push((k.clone(), v.to_string()));
             }
         }
+        let deadline_ms = match j.get("deadline_ms") {
+            None => None,
+            Some(v) => {
+                let ms = v
+                    .as_f64()
+                    .filter(|ms| ms.is_finite() && *ms >= 1.0 && ms.fract() == 0.0)
+                    .ok_or_else(|| {
+                        "`deadline_ms` must be a positive integer of milliseconds".to_string()
+                    })?;
+                Some(ms as u64)
+            }
+        };
         Ok(QueryRequest {
             op,
             artifact: artifact.to_string(),
             sets,
+            deadline_ms,
         })
     }
 }
@@ -165,7 +212,9 @@ impl Source {
 /// One server response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResponse {
-    /// `"ok"`, `"busy"` (queue full — retry later), or `"error"`.
+    /// `"ok"`, `"busy"` (queue full — retry later), `"timeout"` (the
+    /// request's deadline expired before evaluation started), or
+    /// `"error"`.
     pub status: String,
     /// The query's content digest (ok responses).
     pub digest: Option<String>,
@@ -197,6 +246,19 @@ impl QueryResponse {
     pub fn busy(message: impl Into<String>) -> Self {
         QueryResponse {
             status: "busy".to_string(),
+            digest: None,
+            source: None,
+            payload: None,
+            error: Some(message.into()),
+            stats: None,
+        }
+    }
+
+    /// A deadline-expiry response: the request's time budget ran out
+    /// while it was still queued, so it was dropped, not computed.
+    pub fn timeout(message: impl Into<String>) -> Self {
+        QueryResponse {
+            status: "timeout".to_string(),
             digest: None,
             source: None,
             payload: None,
@@ -262,7 +324,7 @@ impl QueryResponse {
             .get("status")
             .and_then(Json::as_str)
             .ok_or_else(|| "response missing `status`".to_string())?;
-        if !matches!(status, "ok" | "busy" | "error") {
+        if !matches!(status, "ok" | "busy" | "timeout" | "error") {
             return Err(format!("unknown response status {status:?}"));
         }
         let source = match j.get("source").and_then(Json::as_str) {
@@ -302,10 +364,43 @@ mod tests {
         let back = QueryRequest::from_json(&Json::parse(line.trim()).unwrap()).unwrap();
         assert_eq!(back, req);
 
-        for req in [QueryRequest::stats(), QueryRequest::shutdown()] {
+        for req in [
+            QueryRequest::stats(),
+            QueryRequest::health(),
+            QueryRequest::shutdown(),
+        ] {
             let back = QueryRequest::from_json(&req.to_json()).unwrap();
             assert_eq!(back, req);
         }
+    }
+
+    #[test]
+    fn deadlines_round_trip_and_reject_garbage() {
+        let req = QueryRequest::query("fig6").with_deadline_ms(2500);
+        let back = QueryRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(back.deadline_ms, Some(2500));
+        assert_eq!(back, req);
+
+        let bad = |text: &str| QueryRequest::from_json(&Json::parse(text).unwrap()).unwrap_err();
+        for text in [
+            r#"{"artifact":"fig6","deadline_ms":0}"#,
+            r#"{"artifact":"fig6","deadline_ms":-5}"#,
+            r#"{"artifact":"fig6","deadline_ms":1.5}"#,
+            r#"{"artifact":"fig6","deadline_ms":"soon"}"#,
+        ] {
+            assert!(bad(text).contains("deadline_ms"), "{text}");
+        }
+    }
+
+    #[test]
+    fn timeout_responses_round_trip() {
+        let resp = QueryResponse::timeout("deadline expired after 250 ms in queue");
+        let back = QueryResponse::from_json(
+            &Json::parse(resp.to_json().render_jsonl_line().trim()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back.status, "timeout");
+        assert!(back.error.unwrap().contains("deadline"));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! PTX-level instruction abstraction for the GPUJoule study.
 //!

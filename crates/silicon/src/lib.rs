@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! A *virtual Tesla K40*: the ground-truth hardware stand-in for the
 //! GPUJoule fitting and validation experiments.

@@ -78,6 +78,11 @@ struct ServeOptions {
     /// Record the whole serving session and write a Chrome trace here
     /// on shutdown (`xpd.*` counters feed `xp trace summary`).
     trace: Option<PathBuf>,
+    /// How hard the result store pushes writes toward disk.
+    durability: xpd::store::Durability,
+    /// Seeded deterministic fault injection across the daemon's I/O
+    /// boundaries (recovery testing only).
+    chaos_seed: Option<u64>,
 }
 
 /// Options for `xp query`.
@@ -86,6 +91,10 @@ struct QueryOptions {
     endpoint: xpd::client::Endpoint,
     request: common::proto::QueryRequest,
     timeout: Option<Duration>,
+    /// Attempts beyond the first on busy/connect-refused/torn-response.
+    retries: u32,
+    /// Base of the jittered exponential backoff between attempts.
+    backoff: Duration,
 }
 
 /// Options for `xp run`.
@@ -125,7 +134,8 @@ commands:
                            ones through the sweep executor
   query <id>               ask a running daemon for an artifact's JSON payload,
                            optionally re-parameterized with --set key=value
-                           (exit codes: 0 ok, 1 error, 2 usage, 3 busy)
+                           (exit codes: 0 ok, 1 error, 2 usage, 3 busy,
+                           4 deadline expired)
 
 run options:
   --smoke                  smoke-scale problems (fast; CI default)
@@ -157,6 +167,13 @@ serve options:
   --batch-window-ms MS     how long to gather a batch (default: 20)
   --trace FILE             record the serving session; write Chrome trace JSON
                            on shutdown (xpd.* counters feed `trace summary`)
+  --durability POLICY      store write durability: none | flush | fsync
+                           (default: flush; fsync also syncs the directory so
+                           acknowledged answers survive power loss)
+  --chaos-seed N           arm seeded fault injection at the daemon's I/O
+                           boundaries (torn store writes, dropped responses,
+                           delayed accepts) — recovery testing only; same
+                           seed, same fault schedule
   --smoke, --threads N, --no-validation   as for `run`
 
 query options:
@@ -166,9 +183,18 @@ query options:
                            (ring|switch|ideal), link_energy_mult,
                            link_compression, clock_scale, mlp
   --stats                  print the daemon's live counters instead of a query
+  --health                 print the daemon's readiness probe (queue depth,
+                           in-flight count, store stats) instead of a query
   --shutdown               ask the daemon to shut down cleanly
   --timeout-ms MS          client I/O timeout (default: wait indefinitely;
                            cold queries can take minutes)
+  --deadline-ms MS         server-side deadline: work still queued when it
+                           expires is answered `timeout` (exit 4), never
+                           silently computed
+  --retries N              retry busy/connect-refused/torn-response up to N
+                           times (default: 0; safe — queries are idempotent)
+  --backoff-ms MS          base of the jittered exponential backoff between
+                           retries (default: 100)
 
 bench options:
   --quick                  short measurement budgets (CI default)
@@ -355,6 +381,8 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 threads: runtime::resolve_threads(None),
                 validation: true,
                 trace: None,
+                durability: xpd::store::Durability::default(),
+                chaos_seed: None,
             };
             let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                          flag: &str|
@@ -395,6 +423,17 @@ fn parse(args: &[String]) -> Result<Command, String> {
                     "--smoke" => opts.scale = Scale::Smoke,
                     "--no-validation" => opts.validation = false,
                     "--trace" => opts.trace = Some(PathBuf::from(value(&mut it, "--trace")?)),
+                    "--durability" => {
+                        let v = value(&mut it, "--durability")?;
+                        opts.durability = xpd::store::Durability::parse(&v)
+                            .map_err(|e| format!("xp serve: --durability: {e}"))?;
+                    }
+                    "--chaos-seed" => {
+                        let v = value(&mut it, "--chaos-seed")?;
+                        opts.chaos_seed = Some(v.parse().map_err(|_| {
+                            format!("xp serve: --chaos-seed expects an integer seed, got {v:?}")
+                        })?);
+                    }
                     "--threads" => {
                         let v = value(&mut it, "--threads")?;
                         opts.threads = parse_threads(&v)?;
@@ -418,8 +457,12 @@ fn parse(args: &[String]) -> Result<Command, String> {
             let mut artifact: Option<String> = None;
             let mut sets: Vec<(String, String)> = Vec::new();
             let mut stats = false;
+            let mut health = false;
             let mut shutdown = false;
             let mut timeout = None;
+            let mut deadline_ms: Option<u64> = None;
+            let mut retries: u32 = 0;
+            let mut backoff = Duration::from_millis(100);
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--socket" => {
@@ -449,6 +492,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
                         sets.push((k.to_string(), val.to_string()));
                     }
                     "--stats" => stats = true,
+                    "--health" => health = true,
                     "--shutdown" => shutdown = true,
                     "--timeout-ms" => {
                         let v = it
@@ -460,6 +504,36 @@ fn parse(args: &[String]) -> Result<Command, String> {
                             )
                         })?;
                         timeout = Some(Duration::from_millis(ms));
+                    }
+                    "--deadline-ms" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "xp query: --deadline-ms: missing value".to_string())?;
+                        let ms: u64 = v.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                            format!(
+                                "xp query: --deadline-ms expects positive milliseconds, got {v:?}"
+                            )
+                        })?;
+                        deadline_ms = Some(ms);
+                    }
+                    "--retries" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "xp query: --retries: missing value".to_string())?;
+                        retries = v.parse().map_err(|_| {
+                            format!("xp query: --retries expects a non-negative integer, got {v:?}")
+                        })?;
+                    }
+                    "--backoff-ms" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "xp query: --backoff-ms: missing value".to_string())?;
+                        let ms: u64 = v.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                            format!(
+                                "xp query: --backoff-ms expects positive milliseconds, got {v:?}"
+                            )
+                        })?;
+                        backoff = Duration::from_millis(ms);
                     }
                     other if other.starts_with("--") => {
                         return Err(format!("xp query: unknown option {other}"));
@@ -484,25 +558,34 @@ fn parse(args: &[String]) -> Result<Command, String> {
                     return Err("xp query: --socket and --tcp are mutually exclusive".to_string())
                 }
             };
-            if (stats || shutdown) && !sets.is_empty() {
+            if (stats || health || shutdown) && !sets.is_empty() {
                 return Err("xp query: --set only applies to artifact queries".to_string());
             }
+            if (stats || health || shutdown) && deadline_ms.is_some() {
+                return Err("xp query: --deadline-ms only applies to artifact queries".to_string());
+            }
             let request =
-                match (stats, shutdown, artifact) {
-                    (true, false, None) => common::proto::QueryRequest::stats(),
-                    (false, true, None) => common::proto::QueryRequest::shutdown(),
-                    (false, false, Some(id)) => common::proto::QueryRequest {
-                        op: common::proto::RequestOp::Query,
-                        artifact: id,
-                        sets,
-                    },
-                    (false, false, None) => {
+                match (stats, health, shutdown, artifact) {
+                    (true, false, false, None) => common::proto::QueryRequest::stats(),
+                    (false, true, false, None) => common::proto::QueryRequest::health(),
+                    (false, false, true, None) => common::proto::QueryRequest::shutdown(),
+                    (false, false, false, Some(id)) => {
+                        let mut request = common::proto::QueryRequest::query(id);
+                        request.sets = sets;
+                        if let Some(ms) = deadline_ms {
+                            request = request.with_deadline_ms(ms);
+                        }
+                        request
+                    }
+                    (false, false, false, None) => {
                         return Err(
-                            "xp query: no artifact id (or pass --stats / --shutdown)".to_string()
+                            "xp query: no artifact id (or pass --stats / --health / --shutdown)"
+                                .to_string(),
                         )
                     }
                     _ => return Err(
-                        "xp query: --stats, --shutdown, and an artifact id are mutually exclusive"
+                        "xp query: --stats, --health, --shutdown, and an artifact id are mutually \
+                     exclusive"
                             .to_string(),
                     ),
                 };
@@ -510,6 +593,8 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 endpoint,
                 request,
                 timeout,
+                retries,
+                backoff,
             }))
         }
         "run" => {
@@ -728,6 +813,8 @@ fn serve(opts: &ServeOptions) -> i32 {
         queue_cap: opts.queue_cap,
         batch_max: opts.batch_max,
         batch_window: Duration::from_millis(opts.batch_window_ms),
+        durability: opts.durability,
+        chaos_seed: opts.chaos_seed,
     };
     let server = match xpd::server::Server::bind(config, engine) {
         Ok(s) => s,
@@ -736,6 +823,11 @@ fn serve(opts: &ServeOptions) -> i32 {
             return 1;
         }
     };
+    // SIGINT/SIGTERM request the same graceful drain a client
+    // `shutdown` does: stop accepting, finish queued work, flush the
+    // store, exit 0. (`kill -9` is the crash the store's recovery path
+    // exists for — CI exercises both.)
+    install_shutdown_signals(server.stop_handle());
     if let Some(path) = &opts.socket {
         eprintln!("xp serve: listening on {}", path.display());
     }
@@ -743,9 +835,10 @@ fn serve(opts: &ServeOptions) -> i32 {
         eprintln!("xp serve: listening on tcp {addr}");
     }
     eprintln!(
-        "xp serve: store {} (cap {} MiB), scale {:?}, {} thread(s)",
+        "xp serve: store {} (cap {} MiB, durability {}), scale {:?}, {} thread(s)",
         opts.store.display(),
         opts.store_cap_mb,
+        opts.durability,
         opts.scale,
         opts.threads
     );
@@ -777,14 +870,66 @@ fn serve(opts: &ServeOptions) -> i32 {
     code
 }
 
-/// `xp query`: one request against a running daemon. Artifact payloads
-/// go to stdout verbatim (byte-identical to the file `xp run --out`
-/// writes); digests, sources, and stats commentary go to stderr.
+/// Signal-to-drain plumbing for `xp serve`: the C handler may only
+/// touch an atomic, so it trips this flag and a watcher thread performs
+/// the actual graceful stop.
+static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Routes SIGINT/SIGTERM to the server's graceful-stop handle. `std`
+/// exposes no signal API; `signal(2)` is the one C symbol needed, and
+/// declaring it directly keeps the workspace dependency-free.
+fn install_shutdown_signals(handle: xpd::server::StopHandle) {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_shutdown_signal);
+        signal(SIGTERM, on_shutdown_signal);
+    }
+    let spawned = std::thread::Builder::new()
+        .name("xp-serve-signals".to_string())
+        .spawn(move || loop {
+            if SHUTDOWN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+                eprintln!("xp serve: shutdown signal received; draining");
+                handle.stop();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        });
+    if let Err(e) = spawned {
+        eprintln!("xp serve: cannot watch for signals: {e}");
+    }
+}
+
+/// `xp query`: one request against a running daemon, with optional
+/// retries. Artifact payloads go to stdout verbatim (byte-identical to
+/// the file `xp run --out` writes); digests, sources, and stats
+/// commentary go to stderr.
 fn query(opts: &QueryOptions) -> i32 {
-    let response = match xpd::client::request(&opts.endpoint, &opts.request, opts.timeout) {
+    let policy = xpd::client::RetryPolicy {
+        retries: opts.retries,
+        backoff: opts.backoff,
+        jitter_seed: u64::from(std::process::id()),
+    };
+    let outcome =
+        xpd::client::request_with_retries(&opts.endpoint, &opts.request, opts.timeout, &policy);
+    let response = match outcome {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("xp query: {e}");
+            // Typed classification, not string matching: a retryable
+            // failure that survived every attempt still names itself.
+            if e.is_retryable() && opts.retries > 0 {
+                eprintln!("xp query: giving up after {} retries: {e}", opts.retries);
+            } else {
+                eprintln!("xp query: {e}");
+            }
             return 1;
         }
     };
@@ -795,6 +940,13 @@ fn query(opts: &QueryOptions) -> i32 {
                 response.error.as_deref().unwrap_or("queue full")
             );
             3
+        }
+        "timeout" => {
+            eprintln!(
+                "xp query: {}",
+                response.error.as_deref().unwrap_or("deadline expired")
+            );
+            4
         }
         "error" => {
             eprintln!(
@@ -918,6 +1070,12 @@ fn xpd_counters_block(counters: &[(String, u64)]) -> Option<String> {
         "  store evictions   {:>8}\n",
         get("xpd.store.eviction")
     ));
+    if get("xpd.store.corrupt") > 0 {
+        out.push_str(&format!(
+            "  store quarantined {:>8}  (checksum failures, self-healed)\n",
+            get("xpd.store.corrupt")
+        ));
+    }
     out.push_str(&format!(
         "  in-flight joins   {:>8}\n",
         get("xpd.inflight_join")
@@ -928,6 +1086,15 @@ fn xpd_counters_block(counters: &[(String, u64)]) -> Option<String> {
         get("xpd.queue.enqueued"),
         get("xpd.queue.rejected")
     ));
+    if get("xpd.timeout") > 0 {
+        out.push_str(&format!("  deadline expiries {:>8}\n", get("xpd.timeout")));
+    }
+    if get("xpd.chaos.injected") > 0 {
+        out.push_str(&format!(
+            "  chaos injections  {:>8}\n",
+            get("xpd.chaos.injected")
+        ));
+    }
     if batches > 0 {
         out.push_str(&format!(
             "  batches           {:>8}  (mean {:.1} queries/batch)\n",

@@ -1,0 +1,274 @@
+//! Deterministic chaos injection for the daemon's I/O boundaries.
+//!
+//! [`runtime::faults`] proved the shape at the sweep layer: a seeded,
+//! pure decision function consulted at every interesting point, so an
+//! injected fault fires at exactly the same place on every run and the
+//! recovery paths become testable in CI without real flakiness. This
+//! module extends that discipline up the serving stack. A
+//! [`FaultInjector`] sits at four boundaries:
+//!
+//! * **Store writes** ([`IoPoint::StoreWrite`]): the payload write is
+//!   torn — only a seeded fraction of the bytes reach disk. Half the
+//!   time the torn temp file is also renamed into place, simulating a
+//!   crash after `rename` but before the data hit the platters (the
+//!   exact failure `--durability fsync` exists to prevent). The store's
+//!   checksums must then quarantine the file instead of serving it.
+//! * **Responses** ([`IoPoint::Response`]): the connection is dropped
+//!   after a seeded prefix of the response line, so clients observe a
+//!   torn response and must retry (queries are idempotent).
+//! * **Accepts** ([`IoPoint::Accept`]): the freshly accepted connection
+//!   is served only after a delay, exercising client connect/read
+//!   timeouts.
+//! * **Reads** ([`IoPoint::Read`]): the connection is closed before the
+//!   request line is consumed, simulating a client (or middlebox) dying
+//!   mid-request.
+//!
+//! Decisions are a pure function of `(seed, op_index)` where the op
+//! index is a process-wide atomic sequence per injector: for a
+//! single-threaded driver (the tests) the schedule is exactly
+//! reproducible; under concurrency the *set* of faults stays
+//! seed-stable even though their interleaving does not — the same
+//! guarantee `runtime::faults` gives a multi-threaded sweep.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Where in the serving stack a fault decision is being made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoPoint {
+    /// A payload write in the result store.
+    StoreWrite,
+    /// A response line about to be written to a client.
+    Response,
+    /// A freshly accepted connection.
+    Accept,
+    /// A request line about to be read from a client.
+    Read,
+}
+
+/// One injected I/O fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Write only `keep_permille`/1000 of the bytes. When `rename` is
+    /// set, the torn file is still renamed into place (data loss after
+    /// a successful-looking write); otherwise the temp file is left
+    /// behind, as a crash before `rename` would.
+    TornWrite {
+        /// Thousandths of the payload that reach disk.
+        keep_permille: u32,
+        /// Whether the torn temp file is renamed over the target.
+        rename: bool,
+    },
+    /// Write only `keep_permille`/1000 of the response bytes, then drop
+    /// the connection.
+    DropResponse {
+        /// Thousandths of the response line that are sent.
+        keep_permille: u32,
+    },
+    /// Sleep before serving the accepted connection.
+    DelayAccept(Duration),
+    /// Close the connection instead of reading the next request.
+    CloseRead,
+}
+
+/// Per-boundary injection rates, in probabilities (0.0–1.0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Rate of torn store writes.
+    pub torn_write: f64,
+    /// Rate of connections dropped mid-response.
+    pub drop_response: f64,
+    /// Rate of delayed accepts.
+    pub delay_accept: f64,
+    /// Rate of connections closed before a read.
+    pub close_read: f64,
+    /// How long a delayed accept sleeps.
+    pub accept_delay: Duration,
+}
+
+impl Default for ChaosConfig {
+    /// The rates behind `xp serve --chaos-seed`: frequent enough that a
+    /// short test run hits every recovery path, rare enough that a
+    /// retrying client always converges.
+    fn default() -> Self {
+        ChaosConfig {
+            torn_write: 0.25,
+            drop_response: 0.15,
+            delay_accept: 0.10,
+            close_read: 0.05,
+            accept_delay: Duration::from_millis(30),
+        }
+    }
+}
+
+/// A seeded, deterministic injector of I/O faults.
+#[derive(Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    ops: AtomicU64,
+    injected: AtomicU64,
+    torn_write_permille: u32,
+    drop_response_permille: u32,
+    delay_accept_permille: u32,
+    close_read_permille: u32,
+    accept_delay: Duration,
+}
+
+impl FaultInjector {
+    /// An injector with the default [`ChaosConfig`] rates.
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector::with_config(seed, &ChaosConfig::default())
+    }
+
+    /// An injector with explicit rates (tests pin single boundaries by
+    /// zeroing the others).
+    pub fn with_config(seed: u64, config: &ChaosConfig) -> FaultInjector {
+        FaultInjector {
+            seed,
+            ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            torn_write_permille: permille(config.torn_write),
+            drop_response_permille: permille(config.drop_response),
+            delay_accept_permille: permille(config.delay_accept),
+            close_read_permille: permille(config.close_read),
+            accept_delay: config.accept_delay,
+        }
+    }
+
+    /// The injector's seed (logged at daemon startup).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// How many faults this injector has fired so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// The fault (if any) to inject at `point`. Consumes one op index;
+    /// the decision is a pure function of `(seed, index, point)`.
+    pub fn decide(&self, point: IoPoint) -> Option<IoFault> {
+        let index = self.ops.fetch_add(1, Ordering::Relaxed);
+        let roll = mix(self.seed, index);
+        let permille_roll = (roll % 1000) as u32;
+        let rate = match point {
+            IoPoint::StoreWrite => self.torn_write_permille,
+            IoPoint::Response => self.drop_response_permille,
+            IoPoint::Accept => self.delay_accept_permille,
+            IoPoint::Read => self.close_read_permille,
+        };
+        if permille_roll >= rate {
+            return None;
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        trace::count("xpd.chaos.injected", 1);
+        // Derived bits of the same roll shape the fault: how much of the
+        // write/response survives, and whether a torn write renames.
+        let keep_permille = ((roll >> 10) % 1000) as u32;
+        let fault = match point {
+            IoPoint::StoreWrite => IoFault::TornWrite {
+                keep_permille,
+                rename: (roll >> 20) & 1 == 1,
+            },
+            IoPoint::Response => IoFault::DropResponse { keep_permille },
+            IoPoint::Accept => IoFault::DelayAccept(self.accept_delay),
+            IoPoint::Read => IoFault::CloseRead,
+        };
+        Some(fault)
+    }
+}
+
+fn permille(rate: f64) -> u32 {
+    (rate.clamp(0.0, 1.0) * 1000.0).round() as u32
+}
+
+/// SplitMix64-style avalanche over `(seed, index)` — the same mixing
+/// idiom as `runtime::faults`.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `bytes.len() * keep_permille / 1000`, the prefix a torn write keeps.
+pub(crate) fn torn_prefix_len(total: usize, keep_permille: u32) -> usize {
+    total.saturating_mul(keep_permille as usize) / 1000
+}
+
+/// The largest char-boundary index `<= at` in `s`: torn writes and torn
+/// responses truncate byte-wise, but the buffers are `&str`, so the cut
+/// is nudged back to a boundary rather than panicking mid-UTF-8.
+pub(crate) fn floor_char_boundary(s: &str, at: usize) -> usize {
+    let mut at = at.min(s.len());
+    while at > 0 && !s.is_char_boundary(at) {
+        at -= 1;
+    }
+    at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultInjector::new(7);
+        let b = FaultInjector::new(7);
+        for _ in 0..200 {
+            assert_eq!(a.decide(IoPoint::StoreWrite), b.decide(IoPoint::StoreWrite));
+        }
+        assert_eq!(a.injected(), b.injected());
+    }
+
+    #[test]
+    fn different_seeds_differ_and_rates_roughly_hold() {
+        let config = ChaosConfig {
+            torn_write: 0.5,
+            ..ChaosConfig::default()
+        };
+        let a = FaultInjector::with_config(1, &config);
+        let b = FaultInjector::with_config(2, &config);
+        let fire = |inj: &FaultInjector| {
+            (0..2000)
+                .filter(|_| inj.decide(IoPoint::StoreWrite).is_some())
+                .count()
+        };
+        let (fa, fb) = (fire(&a), fire(&b));
+        assert!((800..1200).contains(&fa), "seed 1 fired {fa}/2000");
+        assert!((800..1200).contains(&fb), "seed 2 fired {fb}/2000");
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let config = ChaosConfig {
+            torn_write: 0.0,
+            drop_response: 0.0,
+            delay_accept: 0.0,
+            close_read: 0.0,
+            accept_delay: Duration::ZERO,
+        };
+        let inj = FaultInjector::with_config(3, &config);
+        for point in [
+            IoPoint::StoreWrite,
+            IoPoint::Response,
+            IoPoint::Accept,
+            IoPoint::Read,
+        ] {
+            for _ in 0..50 {
+                assert_eq!(inj.decide(point), None);
+            }
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn torn_prefixes_are_proper_prefixes() {
+        assert_eq!(torn_prefix_len(1000, 0), 0);
+        assert_eq!(torn_prefix_len(1000, 500), 500);
+        assert_eq!(torn_prefix_len(1000, 999), 999);
+        assert!(torn_prefix_len(123, 999) < 123);
+    }
+}

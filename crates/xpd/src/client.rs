@@ -1,14 +1,37 @@
 //! Client side of the daemon protocol: connect to an endpoint, write
-//! one request line, read one response line.
+//! one request line, read one response line — with typed error
+//! classification and an opt-in retry loop.
 //!
 //! The protocol is strict request/response lockstep over one stream,
 //! so a [`Connection`] can be reused for a whole conversation (query,
 //! stats, shutdown) and a one-shot helper ([`request`]) covers the
 //! common single-query case.
+//!
+//! # Errors and retries
+//!
+//! Every failure is a [`QueryError`], split into [`Retryable`] and
+//! [`Fatal`][QueryError::Fatal] at the point where the failure is
+//! understood — not string-matched downstream. Retrying is *safe*
+//! because queries are content-addressed and idempotent: asking twice
+//! for the same digest yields the same bytes, computed at most once
+//! (the daemon's in-flight dedup absorbs the duplicate). What is
+//! retryable:
+//!
+//! * connect refused / reset — the daemon may be restarting;
+//! * a torn response (connection closed, or a line without the
+//!   terminating newline) — the answer was lost in transit, not wrong;
+//! * a `busy` response — explicit backpressure, the queue was full.
+//!
+//! What is not: request rejections, engine failures, and `timeout`
+//! responses (the deadline was the caller's own budget).
+//! [`request_with_retries`] implements jittered exponential backoff
+//! over exactly this classification.
+//!
+//! [`Retryable`]: QueryError::Retryable
 
 use common::json::Json;
 use common::proto::{QueryRequest, QueryResponse};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
@@ -32,6 +55,65 @@ impl std::fmt::Display for Endpoint {
     }
 }
 
+/// A classified client-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Transient: the same request may succeed if sent again (daemon
+    /// restarting, connection torn mid-response, queue full). Safe to
+    /// retry because queries are idempotent.
+    Retryable(String),
+    /// Permanent: retrying the identical request cannot help (bad
+    /// address, protocol violation).
+    Fatal(String),
+}
+
+impl QueryError {
+    /// Whether a retry may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, QueryError::Retryable(_))
+    }
+
+    /// The human-readable failure message.
+    pub fn message(&self) -> &str {
+        match self {
+            QueryError::Retryable(m) | QueryError::Fatal(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+/// Classifies a connect/transport I/O failure: refused, reset, aborted,
+/// and timed-out are transient (a daemon restart or a dropped
+/// connection); everything else — unresolvable address, permission —
+/// is permanent.
+fn io_error(context: String, e: &std::io::Error) -> QueryError {
+    let transient = matches!(
+        e.kind(),
+        ErrorKind::ConnectionRefused
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::NotFound
+            | ErrorKind::TimedOut
+            | ErrorKind::WouldBlock
+            | ErrorKind::UnexpectedEof
+            | ErrorKind::Interrupted
+    );
+    // A missing Unix socket file (NotFound) counts as transient: the
+    // daemon may simply not have bound yet, the exact window a
+    // retrying client is meant to ride out.
+    if transient {
+        QueryError::Retryable(context)
+    } else {
+        QueryError::Fatal(context)
+    }
+}
+
 /// An open conversation with a daemon.
 pub struct Connection {
     writer: Box<dyn Write>,
@@ -51,8 +133,13 @@ impl Connection {
     /// Connects to `endpoint`. `timeout` bounds the TCP connect and
     /// every subsequent read/write; `None` waits indefinitely (cold
     /// queries can legitimately take minutes of simulation).
-    pub fn connect(endpoint: &Endpoint, timeout: Option<Duration>) -> Result<Connection, String> {
-        let fail = |e: std::io::Error| format!("xpd client: cannot connect to {endpoint}: {e}");
+    pub fn connect(
+        endpoint: &Endpoint,
+        timeout: Option<Duration>,
+    ) -> Result<Connection, QueryError> {
+        let fail = |e: std::io::Error| {
+            io_error(format!("xpd client: cannot connect to {endpoint}: {e}"), &e)
+        };
         match endpoint {
             Endpoint::Unix(path) => {
                 let stream = UnixStream::connect(path).map_err(fail)?;
@@ -69,11 +156,15 @@ impl Connection {
                 let stream = match timeout {
                     None => TcpStream::connect(addr).map_err(fail)?,
                     Some(t) => {
-                        let resolved = addr
-                            .to_socket_addrs()
-                            .map_err(fail)?
-                            .next()
-                            .ok_or_else(|| format!("xpd client: {addr} resolves to nothing"))?;
+                        let resolved =
+                            addr.to_socket_addrs()
+                                .map_err(fail)?
+                                .next()
+                                .ok_or_else(|| {
+                                    QueryError::Fatal(format!(
+                                        "xpd client: {addr} resolves to nothing"
+                                    ))
+                                })?;
                         TcpStream::connect_timeout(&resolved, t).map_err(fail)?
                     }
                 };
@@ -89,23 +180,42 @@ impl Connection {
         }
     }
 
-    /// Sends one request and reads its response.
-    pub fn request(&mut self, request: &QueryRequest) -> Result<QueryResponse, String> {
+    /// Sends one request and reads its response. A connection that
+    /// closes or tears mid-response is [`QueryError::Retryable`]: the
+    /// answer was lost in transit, and the content-addressed request
+    /// can safely be asked again on a fresh connection.
+    pub fn request(&mut self, request: &QueryRequest) -> Result<QueryResponse, QueryError> {
         let endpoint = self.endpoint.clone();
         self.writer
             .write_all(request.to_json().render_jsonl_line().as_bytes())
             .and_then(|()| self.writer.flush())
-            .map_err(|e| format!("xpd client: cannot send to {endpoint}: {e}"))?;
+            .map_err(|e| io_error(format!("xpd client: cannot send to {endpoint}: {e}"), &e))?;
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
-            Ok(0) => Err(format!("xpd client: {endpoint} closed the connection")),
+            Ok(0) => Err(QueryError::Retryable(format!(
+                "xpd client: {endpoint} closed the connection before responding"
+            ))),
             Ok(_) => {
-                let json = Json::parse(line.trim())
-                    .map_err(|e| format!("xpd client: bad response from {endpoint}: {e}"))?;
-                QueryResponse::from_json(&json)
-                    .map_err(|e| format!("xpd client: bad response from {endpoint}: {e}"))
+                if !line.ends_with('\n') {
+                    // The stream ended mid-line: a torn response. The
+                    // bytes we did get may even parse, but they are not
+                    // a complete answer — never trust them.
+                    return Err(QueryError::Retryable(format!(
+                        "xpd client: torn response from {endpoint} ({} bytes, no newline)",
+                        line.len()
+                    )));
+                }
+                let json = Json::parse(line.trim()).map_err(|e| {
+                    QueryError::Retryable(format!("xpd client: bad response from {endpoint}: {e}"))
+                })?;
+                QueryResponse::from_json(&json).map_err(|e| {
+                    QueryError::Retryable(format!("xpd client: bad response from {endpoint}: {e}"))
+                })
             }
-            Err(e) => Err(format!("xpd client: cannot read from {endpoint}: {e}")),
+            Err(e) => Err(io_error(
+                format!("xpd client: cannot read from {endpoint}: {e}"),
+                &e,
+            )),
         }
     }
 }
@@ -115,6 +225,130 @@ pub fn request(
     endpoint: &Endpoint,
     request: &QueryRequest,
     timeout: Option<Duration>,
-) -> Result<QueryResponse, String> {
+) -> Result<QueryResponse, QueryError> {
     Connection::connect(endpoint, timeout)?.request(request)
+}
+
+/// How [`request_with_retries`] paces itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = no retries).
+    pub retries: u32,
+    /// Base backoff: attempt `n` waits roughly `base * 2^n`, jittered.
+    pub backoff: Duration,
+    /// Seed for the deterministic jitter (callers pass the process id;
+    /// tests pass a constant).
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, failures surface immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            retries: 0,
+            backoff: Duration::ZERO,
+            jitter_seed: 0,
+        }
+    }
+
+    /// The jittered exponential delay before retry attempt `n`
+    /// (0-based): uniformly between 50% and 100% of `base * 2^n`,
+    /// capped at 30 s. Jitter decorrelates a thundering herd of
+    /// clients that all saw `busy` at the same instant.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let base = self.backoff.as_millis() as u64;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let full = base.saturating_mul(1_u64 << attempt.min(16)).min(30_000);
+        let jitter = splitmix(self.jitter_seed, attempt as u64) % (full / 2).max(1);
+        Duration::from_millis(full - jitter)
+    }
+}
+
+/// SplitMix64 avalanche — the workspace's stock deterministic mixer.
+fn splitmix(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Sends `request`, retrying [`QueryError::Retryable`] failures and
+/// `busy` responses with jittered exponential backoff. Each attempt
+/// gets a fresh connection (the torn one is useless). Returns the
+/// last response when attempts run out — a final `busy` is still a
+/// `busy` response, not an error, so callers keep their exit-code
+/// mapping. `timeout` and `error` responses return immediately:
+/// neither is improved by asking again.
+pub fn request_with_retries(
+    endpoint: &Endpoint,
+    request: &QueryRequest,
+    timeout: Option<Duration>,
+    policy: &RetryPolicy,
+) -> Result<QueryResponse, QueryError> {
+    let mut attempt = 0_u32;
+    loop {
+        let outcome = self::request(endpoint, request, timeout);
+        let retryable = match &outcome {
+            Ok(response) => response.status == "busy",
+            Err(e) => e.is_retryable(),
+        };
+        if !retryable || attempt >= policy.retries {
+            return outcome;
+        }
+        std::thread::sleep(policy.delay(attempt));
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially_with_bounded_jitter() {
+        let policy = RetryPolicy {
+            retries: 5,
+            backoff: Duration::from_millis(100),
+            jitter_seed: 42,
+        };
+        for attempt in 0..5 {
+            let full = 100 * (1 << attempt);
+            let d = policy.delay(attempt).as_millis() as u64;
+            assert!(
+                d > full / 2 && d <= full,
+                "attempt {attempt}: delay {d} outside ({}, {full}]",
+                full / 2
+            );
+        }
+        // Deterministic under a fixed seed.
+        assert_eq!(policy.delay(3), policy.delay(3));
+    }
+
+    #[test]
+    fn zero_backoff_never_sleeps() {
+        assert_eq!(RetryPolicy::none().delay(0), Duration::ZERO);
+        assert_eq!(RetryPolicy::none().delay(9), Duration::ZERO);
+    }
+
+    #[test]
+    fn classification_is_typed_not_string_matched() {
+        let busy = QueryError::Retryable("queue full".to_string());
+        let bad = QueryError::Fatal("bad address".to_string());
+        assert!(busy.is_retryable());
+        assert!(!bad.is_retryable());
+        assert_eq!(busy.message(), "queue full");
+        assert_eq!(format!("{bad}"), "bad address");
+    }
+
+    #[test]
+    fn connect_refused_is_retryable() {
+        // Nothing listens on this socket path.
+        let endpoint = Endpoint::Unix(PathBuf::from("/nonexistent/xpd-test.sock"));
+        let err = Connection::connect(&endpoint, Some(Duration::from_millis(50))).unwrap_err();
+        assert!(err.is_retryable(), "{err:?}");
+    }
 }

@@ -30,9 +30,21 @@
 //! * **Bounded everything.** The request queue is capped (excess load
 //!   answered `busy`), drained fairly across clients, and the store
 //!   evicts least-recently-used results at its size cap.
+//! * **Self-healing storage.** Every stored payload carries a content
+//!   checksum ([`common::digest::payload_checksum`]); a torn or
+//!   bit-flipped file is quarantined on read and transparently
+//!   re-evaluated, never served. Durability is a policy
+//!   ([`store::Durability`]), and the whole failure surface is
+//!   exercisable deterministically via [`chaos::FaultInjector`]
+//!   (`xp serve --chaos-seed`).
+//! * **Bounded waiting.** Requests may carry a deadline; work that
+//!   expires in the queue is answered `timeout`, not silently computed.
+//!   Shutdown is graceful: stop accepting, drain in-flight work, flush
+//!   the store, exit clean.
 
 #![deny(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod queue;
 pub mod server;

@@ -142,6 +142,31 @@ impl<T> FairQueue<T> {
         Some(batch)
     }
 
+    /// Removes `client`'s lane entirely and returns its queued items
+    /// (the caller resolves their slots as failed). Used when a
+    /// connection dies with work still queued: a dead client must not
+    /// hold queue capacity, occupy a round-robin turn, or leave its
+    /// waiters hanging. The cursor is adjusted so surviving lanes keep
+    /// their drain order — removing a lane never skips another client's
+    /// turn.
+    pub fn drop_client(&self, client: u64) -> Vec<T> {
+        let mut state = self.state.lock().unwrap();
+        let Some(i) = state.lanes.iter().position(|l| l.client == client) else {
+            return Vec::new();
+        };
+        let lane = state.lanes.remove(i);
+        state.len -= lane.items.len();
+        if i < state.cursor {
+            state.cursor -= 1;
+        }
+        if !state.lanes.is_empty() {
+            state.cursor %= state.lanes.len();
+        } else {
+            state.cursor = 0;
+        }
+        lane.items.into_iter().collect()
+    }
+
     /// Closes the queue: pending items still drain, new pushes still
     /// succeed (races at shutdown resolve to a served answer, not a
     /// hang), but `pop_batch` returns `None` once empty.
@@ -209,6 +234,52 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert_eq!(popper.join().unwrap(), None);
+    }
+
+    #[test]
+    fn drop_client_returns_items_and_frees_capacity() {
+        let q: FairQueue<&str> = FairQueue::new(3);
+        q.push(1, "a1").unwrap();
+        q.push(1, "a2").unwrap();
+        q.push(2, "b1").unwrap();
+        assert_eq!(q.push(2, "b2"), Err(QueueFull { cap: 3 }));
+        // The dead client's items come back (so their slots can be
+        // failed) and its capacity is released immediately.
+        assert_eq!(q.drop_client(1), vec!["a1", "a2"]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.push(2, "b2"), Ok(2), "dead client freed its slots");
+        assert_eq!(q.pop_batch(8, NOW).unwrap(), vec!["b1", "b2"]);
+    }
+
+    #[test]
+    fn drop_client_does_not_starve_or_skew_survivors() {
+        let q: FairQueue<&str> = FairQueue::new(16);
+        for (client, item) in [
+            (1, "a1"),
+            (2, "b1"),
+            (3, "c1"),
+            (1, "a2"),
+            (2, "b2"),
+            (3, "c2"),
+        ] {
+            q.push(client, item).unwrap();
+        }
+        // Advance the cursor past lane 1 so the drop happens below it.
+        assert_eq!(q.pop_batch(2, NOW).unwrap(), vec!["a1", "b1"]);
+        assert_eq!(q.drop_client(1), vec!["a2"]);
+        // Rotation resumes exactly where it left off: client 3 (whose
+        // turn it was) is not skipped, and clients 2/3 alternate.
+        assert_eq!(q.pop_batch(4, NOW).unwrap(), vec!["c1", "b2", "c2"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_unknown_client_is_a_noop() {
+        let q: FairQueue<u32> = FairQueue::new(4);
+        q.push(1, 10).unwrap();
+        assert_eq!(q.drop_client(99), Vec::<u32>::new());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_batch(4, NOW), Some(vec![10]));
     }
 
     #[test]

@@ -22,8 +22,11 @@
 //! LRU size cap stays the only capacity policy. A request that arrives
 //! after removal simply becomes a new leader and hits the store.
 
+use crate::chaos::{
+    floor_char_boundary, torn_prefix_len, ChaosConfig, FaultInjector, IoFault, IoPoint,
+};
 use crate::queue::{FairQueue, QueueFull};
-use crate::store::ResultStore;
+use crate::store::{Durability, ResultStore};
 use crate::QueryEngine;
 use common::json::Json;
 use common::proto::{QueryRequest, QueryResponse, RequestOp, Source};
@@ -35,7 +38,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often accept loops and idle connections check the stop flag.
 const POLL: Duration = Duration::from_millis(100);
@@ -59,6 +62,15 @@ pub struct ServerConfig {
     /// How long the scheduler lingers for more requests to join a
     /// batch once the first arrives.
     pub batch_window: Duration,
+    /// How hard store writes push toward the disk
+    /// ([`Durability::Flush`] by default).
+    pub durability: Durability,
+    /// When set, a seeded [`FaultInjector`] with the default
+    /// [`ChaosConfig`] rates is threaded through the daemon's I/O
+    /// boundaries (`xp serve --chaos-seed N`). Same seed, same fault
+    /// schedule — the knob exists for recovery testing, never for
+    /// production serving.
+    pub chaos_seed: Option<u64>,
 }
 
 impl ServerConfig {
@@ -73,6 +85,8 @@ impl ServerConfig {
             queue_cap: 256,
             batch_max: 8,
             batch_window: Duration::from_millis(20),
+            durability: Durability::default(),
+            chaos_seed: None,
         }
     }
 }
@@ -83,6 +97,7 @@ impl ServerConfig {
 enum Answer {
     Ready(Source, Arc<String>),
     Busy(String),
+    TimedOut(String),
     Failed(String),
 }
 
@@ -91,6 +106,9 @@ struct Job {
     digest: String,
     request: QueryRequest,
     slot: Arc<Slot>,
+    /// When the requester stops caring. The scheduler answers expired
+    /// jobs `timeout` instead of spending engine time on them.
+    deadline: Option<Instant>,
 }
 
 /// A one-shot rendezvous between a waiting connection thread and the
@@ -134,6 +152,7 @@ struct Counters {
     inflight_joins: AtomicU64,
     enqueued: AtomicU64,
     rejected: AtomicU64,
+    timeouts: AtomicU64,
     batches: AtomicU64,
     batch_points: AtomicU64,
     peak_depth: AtomicU64,
@@ -150,6 +169,10 @@ struct Shared {
     counters: Counters,
     stop: AtomicBool,
     next_client: AtomicU64,
+    /// Queries currently being answered (between parse and respond) —
+    /// the in-flight count `health` reports for readiness probes.
+    active: AtomicU64,
+    chaos: Option<Arc<FaultInjector>>,
 }
 
 /// A bound (but not yet running) daemon. [`Server::run`] blocks until
@@ -175,7 +198,18 @@ impl Server {
                 "xpd: no endpoint configured (need a socket path and/or a TCP address)".to_string(),
             );
         }
-        let store = ResultStore::open(&config.store_dir, config.store_cap_bytes)?;
+        let chaos = config
+            .chaos_seed
+            .map(|seed| Arc::new(FaultInjector::with_config(seed, &ChaosConfig::default())));
+        if let Some(inj) = &chaos {
+            eprintln!("xpd: chaos injection armed (seed {})", inj.seed());
+        }
+        let store = ResultStore::open_with(
+            &config.store_dir,
+            config.store_cap_bytes,
+            config.durability,
+            chaos.clone(),
+        )?;
 
         let unix = match &config.socket {
             None => None,
@@ -226,6 +260,8 @@ impl Server {
                 counters: Counters::default(),
                 stop: AtomicBool::new(false),
                 next_client: AtomicU64::new(1),
+                active: AtomicU64::new(0),
+                chaos,
             }),
             unix,
             tcp,
@@ -238,6 +274,16 @@ impl Server {
     /// The bound TCP address, when a TCP endpoint was configured.
     pub fn tcp_addr(&self) -> Option<SocketAddr> {
         self.tcp_addr
+    }
+
+    /// A handle that requests graceful shutdown from another thread —
+    /// the CLI wires SIGINT/SIGTERM to it. Equivalent to a client
+    /// sending `shutdown`: stop accepting, drain queued work, flush the
+    /// store, exit clean.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Serves until a client sends `shutdown`: accept loops and the
@@ -283,10 +329,29 @@ impl Server {
         // their answers and exit on their next read poll.
         self.shared.queue.close();
         let _ = scheduler.join();
+        // Graceful exit: the final LRU order is pushed to disk so the
+        // next open replays it instead of rebuilding from files.
+        if let Err(e) = self.shared.store.flush() {
+            eprintln!("xpd: {e}");
+        }
         if let Some(path) = socket_path {
             let _ = std::fs::remove_file(path);
         }
         Ok(())
+    }
+}
+
+/// Requests graceful shutdown of a running [`Server`] from outside its
+/// connection threads (see [`Server::stop_handle`]).
+pub struct StopHandle {
+    shared: Arc<Shared>,
+}
+
+impl StopHandle {
+    /// Flips the stop flag; accept loops exit on their next poll and
+    /// [`Server::run`] drains and returns.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
     }
 }
 
@@ -296,7 +361,11 @@ fn accept_loop_unix(shared: &Arc<Shared>, listener: &UnixListener) {
             Ok((stream, _)) => {
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_read_timeout(Some(POLL));
+                let delay = accept_delay(shared);
                 spawn_conn(shared, move |shared, client| {
+                    if let Some(d) = delay {
+                        std::thread::sleep(d);
+                    }
                     serve_conn(shared, client, &stream)
                 });
             }
@@ -312,13 +381,27 @@ fn accept_loop_tcp(shared: &Arc<Shared>, listener: &TcpListener) {
             Ok((stream, _)) => {
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_read_timeout(Some(POLL));
+                let delay = accept_delay(shared);
                 spawn_conn(shared, move |shared, client| {
+                    if let Some(d) = delay {
+                        std::thread::sleep(d);
+                    }
                     serve_conn(shared, client, &stream)
                 });
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
             Err(_) => std::thread::sleep(POLL),
         }
+    }
+}
+
+/// The chaos-injected delay (if any) before a freshly accepted
+/// connection is served. The sleep happens on the connection's own
+/// thread so a delayed client never stalls the accept loop.
+fn accept_delay(shared: &Arc<Shared>) -> Option<Duration> {
+    match shared.chaos.as_ref()?.decide(IoPoint::Accept)? {
+        IoFault::DelayAccept(d) => Some(d),
+        _ => None,
     }
 }
 
@@ -351,10 +434,39 @@ where
                 if text.is_empty() {
                     continue;
                 }
+                // Chaos: a client (or middlebox) dying mid-request — the
+                // connection closes without a response and the request
+                // is *not* processed. Clients must treat a vanished
+                // response as retryable.
+                if let Some(inj) = &shared.chaos {
+                    if inj.decide(IoPoint::Read) == Some(IoFault::CloseRead) {
+                        break;
+                    }
+                }
                 let response = handle_line(shared, client, text);
+                let body = response.to_json().render_jsonl_line();
+                // Chaos: the connection drops after a prefix of the
+                // response line — the client sees a torn (newline-less)
+                // response and must retry.
+                let body = match shared
+                    .chaos
+                    .as_ref()
+                    .and_then(|i| i.decide(IoPoint::Response))
+                {
+                    Some(IoFault::DropResponse { keep_permille }) => {
+                        let keep = torn_prefix_len(body.len(), keep_permille);
+                        let torn = &body[..floor_char_boundary(&body, keep)];
+                        let mut writer = stream;
+                        let _ = writer
+                            .write_all(torn.as_bytes())
+                            .and_then(|()| writer.flush());
+                        break;
+                    }
+                    _ => body,
+                };
                 let mut writer = stream;
                 let sent = writer
-                    .write_all(response.to_json().render_jsonl_line().as_bytes())
+                    .write_all(body.as_bytes())
                     .and_then(|()| writer.flush());
                 if sent.is_err() || shared.stop.load(Ordering::SeqCst) {
                     break;
@@ -375,6 +487,17 @@ where
             Err(_) => break,
         }
     }
+    // The connection is gone. In the lockstep request/response protocol
+    // a client with queued work is still parked in `answer_cold`, so
+    // this is usually a no-op — but if work for this client is ever
+    // left in the queue (future pipelined clients, torn requests), it
+    // must not hold capacity or a rotation turn. Resolve its slots so
+    // no waiter hangs.
+    for job in shared.queue.drop_client(client) {
+        job.slot.set(Answer::Failed(
+            "client disconnected before evaluation".to_string(),
+        ));
+    }
 }
 
 fn handle_line(shared: &Arc<Shared>, client: u64, text: &str) -> QueryResponse {
@@ -389,6 +512,7 @@ fn handle_line(shared: &Arc<Shared>, client: u64, text: &str) -> QueryResponse {
     trace::count("xpd.request", 1);
     match request.op {
         RequestOp::Stats => QueryResponse::stats(stats_json(shared)),
+        RequestOp::Health => QueryResponse::stats(health_json(shared)),
         RequestOp::Shutdown => {
             shared.stop.store(true, Ordering::SeqCst);
             QueryResponse {
@@ -400,7 +524,12 @@ fn handle_line(shared: &Arc<Shared>, client: u64, text: &str) -> QueryResponse {
                 stats: None,
             }
         }
-        RequestOp::Query => handle_query(shared, client, &request),
+        RequestOp::Query => {
+            shared.active.fetch_add(1, Ordering::SeqCst);
+            let response = handle_query(shared, client, &request);
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            response
+        }
     }
 }
 
@@ -409,13 +538,21 @@ fn handle_query(shared: &Arc<Shared>, client: u64, request: &QueryRequest) -> Qu
         Ok(d) => d,
         Err(e) => return QueryResponse::error(e),
     };
+    // The deadline clock starts when the request is parsed. Joiners
+    // share the leader's flight, so the leader's deadline governs a
+    // deduped answer — a joiner with a tighter deadline still gets the
+    // payload when the leader does (documented trade: dedup identity is
+    // the digest, and the deadline is deliberately not part of it).
+    let deadline = request
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
     // The dedup point: the first requester of a digest leads (checks
     // the store, enqueues on a miss, waits); concurrent requesters of
     // the same digest join the leader's flight and share its answer.
     let mut led = false;
     let outcome = shared.inflight.get_or_compute(&digest, || {
         led = true;
-        answer_cold(shared, client, &digest, request)
+        answer_cold(shared, client, &digest, request, deadline)
     });
     if led {
         // Answered: drop the memory copy so the disk store's LRU cap
@@ -432,6 +569,7 @@ fn handle_query(shared: &Arc<Shared>, client: u64, request: &QueryRequest) -> Qu
     match outcome {
         Ok(Answer::Ready(source, payload)) => QueryResponse::ok(&digest, source, payload.as_str()),
         Ok(Answer::Busy(message)) => QueryResponse::busy(message),
+        Ok(Answer::TimedOut(message)) => QueryResponse::timeout(message),
         Ok(Answer::Failed(message)) => QueryResponse::error(message),
         Err(panicked) => QueryResponse::error(panicked.to_string()),
     }
@@ -439,7 +577,13 @@ fn handle_query(shared: &Arc<Shared>, client: u64, request: &QueryRequest) -> Qu
 
 /// The leader's path on an in-flight miss: serve from the store or
 /// enqueue for the scheduler and wait.
-fn answer_cold(shared: &Arc<Shared>, client: u64, digest: &str, request: &QueryRequest) -> Answer {
+fn answer_cold(
+    shared: &Arc<Shared>,
+    client: u64,
+    digest: &str,
+    request: &QueryRequest,
+    deadline: Option<Instant>,
+) -> Answer {
     if let Some(payload) = shared.store.get(digest) {
         shared.counters.store_hits.fetch_add(1, Ordering::Relaxed);
         trace::count("xpd.store.hit", 1);
@@ -450,11 +594,17 @@ fn answer_cold(shared: &Arc<Shared>, client: u64, digest: &str, request: &QueryR
     if shared.stop.load(Ordering::SeqCst) {
         return Answer::Busy("daemon is shutting down".to_string());
     }
+    if let Some(d) = deadline {
+        if Instant::now() >= d {
+            return timed_out(shared, request);
+        }
+    }
     let slot = Arc::new(Slot::new());
     let job = Job {
         digest: digest.to_string(),
         request: request.clone(),
         slot: Arc::clone(&slot),
+        deadline,
     };
     match shared.queue.push(client, job) {
         Ok(depth) => {
@@ -481,9 +631,31 @@ fn answer_cold(shared: &Arc<Shared>, client: u64, digest: &str, request: &QueryR
     }
 }
 
+/// Records one expired request and builds its answer.
+fn timed_out(shared: &Arc<Shared>, request: &QueryRequest) -> Answer {
+    shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+    trace::count("xpd.timeout", 1);
+    Answer::TimedOut(format!(
+        "deadline of {} ms expired before evaluation",
+        request.deadline_ms.unwrap_or(0)
+    ))
+}
+
 /// Drains batches until the queue closes: evaluate, persist, resolve.
 fn scheduler_loop(shared: &Arc<Shared>, batch_max: usize, batch_window: Duration) {
     while let Some(batch) = shared.queue.pop_batch(batch_max, batch_window) {
+        // Requests whose deadline expired while queued are answered
+        // `timeout` here, *before* engine time is spent on them —
+        // graceful degradation under overload: the backlog sheds
+        // abandoned work instead of computing answers nobody awaits.
+        let now = Instant::now();
+        let (batch, expired): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|job| job.deadline.is_none_or(|d| now < d));
+        for job in expired {
+            let answer = timed_out(shared, &job.request);
+            job.slot.set(answer);
+        }
         if batch.is_empty() {
             continue;
         }
@@ -543,12 +715,15 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
     store_json.insert("entries", store.entries as f64);
     store_json.insert("bytes", store.bytes as f64);
     store_json.insert("evictions", store.evictions as f64);
+    store_json.insert("corrupt", store.corrupt as f64);
+    store_json.insert("durability", shared.store.durability().to_string().as_str());
 
     let mut queue_json = Json::object();
     queue_json.insert("depth", shared.queue.len() as f64);
     queue_json.insert("cap", shared.queue_cap as f64);
     queue_json.insert("enqueued", load(&c.enqueued));
     queue_json.insert("rejected", load(&c.rejected));
+    queue_json.insert("timeouts", load(&c.timeouts));
     queue_json.insert("peak_depth", load(&c.peak_depth));
 
     let mut batch_json = Json::object();
@@ -561,6 +736,29 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
     o.insert("store", store_json);
     o.insert("queue", queue_json);
     o.insert("batch", batch_json);
+    if let Some(inj) = &shared.chaos {
+        let mut chaos_json = Json::object();
+        chaos_json.insert("seed", inj.seed() as f64);
+        chaos_json.insert("injected", inj.injected() as f64);
+        o.insert("chaos", chaos_json);
+    }
     o.insert("engine", shared.engine.describe());
+    o
+}
+
+/// The readiness-probe object served to `health` requests: cheap,
+/// capacity-focused, and stable-shaped (no engine description, no
+/// cumulative counters a probe would have to diff). `ready` is false
+/// once shutdown has begun.
+fn health_json(shared: &Arc<Shared>) -> Json {
+    let store = shared.store.stats();
+    let mut o = Json::object();
+    o.insert("ready", !shared.stop.load(Ordering::SeqCst));
+    o.insert("queue_depth", shared.queue.len() as f64);
+    o.insert("queue_cap", shared.queue_cap as f64);
+    o.insert("inflight", shared.active.load(Ordering::SeqCst) as f64);
+    o.insert("store_entries", store.entries as f64);
+    o.insert("store_bytes", store.bytes as f64);
+    o.insert("store_corrupt", store.corrupt as f64);
     o
 }

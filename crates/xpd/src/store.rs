@@ -1,52 +1,137 @@
 //! The content-addressed on-disk result store: one file per config
-//! digest, an append-only JSONL journal for LRU order, crash-safe
-//! writes, and a size cap enforced by least-recently-used eviction.
+//! digest, an append-only JSONL journal for LRU order, checksummed
+//! crash-safe writes with a configurable durability policy, and a size
+//! cap enforced by least-recently-used eviction.
 //!
 //! # Layout
 //!
 //! ```text
 //! <dir>/
-//!   journal.jsonl        # {"op":"put"|"touch"|"evict","digest":...}
-//!   <digest>.json        # the exact payload bytes, digest = 16 hex
-//!   <digest>.json.tmp    # in-progress write (renamed or reaped)
+//!   journal.jsonl          # {"op":...,"digest":...,"ck":...} records
+//!   <digest>.json          # header line + the exact payload bytes
+//!   <digest>.json.tmp      # in-progress write (renamed or reaped)
+//!   <digest>.json.corrupt  # quarantined payload (kept for forensics)
 //! ```
 //!
+//! Every payload file starts with a one-line header carrying the
+//! entry's digest, payload byte count, and an FNV-1a content checksum
+//! ([`common::digest::payload_checksum`]); the payload bytes follow
+//! verbatim. Every journal record carries a checksum of its own fields.
+//! Reads verify before serving: a torn, truncated, or bit-flipped file
+//! is **quarantined** (renamed to `.corrupt`, counted in
+//! [`StoreStats::corrupt`] and the `xpd.store.corrupt` trace counter)
+//! and reported as a miss, so the daemon transparently falls through to
+//! cold re-evaluation — the store self-heals rather than serving bad
+//! bytes.
+//!
 //! The design reuses the `xp run --resume` journal idiom: every
-//! mutation appends one JSONL record and flushes, so a crash loses at
-//! most the record in flight; payload files are written to a `.tmp`
-//! sibling and atomically renamed, so a reader never observes a torn
-//! payload. On open the journal is replayed against the directory
-//! listing — files without records are adopted, records without files
-//! are dropped, a torn final record is ignored, and leftover `.tmp`
-//! files are reaped — so the store self-heals from any crash point.
+//! mutation appends one JSONL record, so a crash loses at most the
+//! record in flight; payload files are written to a `.tmp` sibling and
+//! atomically renamed, so a reader never observes a torn payload *name*
+//! (torn *contents* — rename durable but data lost in a power cut — are
+//! what the checksums catch). On open the journal is replayed against
+//! the directory listing — files without records are verified and
+//! adopted, records without files are dropped, a torn final record is
+//! ignored, corruption anywhere else rebuilds the index from the files
+//! themselves, and leftover `.tmp` files are reaped — so the store
+//! self-heals from any crash point.
+//!
+//! How hard writes push the disk is a policy, [`Durability`]: `none`
+//! leaves everything to the OS cache, `flush` syncs file *data* before
+//! rename, and `fsync` additionally syncs the directory so the rename
+//! itself survives power loss. Journal compaction always syncs the
+//! directory after its rename, at every durability level: losing a
+//! compacted journal loses LRU order for the whole store, which is a
+//! worse deal than one extra fsync per thousand mutations.
 
-use common::digest::is_hex_digest;
+use crate::chaos::{floor_char_boundary, torn_prefix_len, FaultInjector, IoFault, IoPoint};
+use common::digest::{is_hex_digest, payload_checksum, Fnv1a};
 use common::json::Json;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Rewrite the journal once it holds this many records more than the
 /// live entry count (touch records accumulate on every hit).
 const COMPACT_SLACK: usize = 1024;
+
+/// Store file format version, embedded in every payload header.
+const FORMAT_VERSION: f64 = 1.0;
+
+/// How hard the store pushes writes toward the platters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// No explicit syncing: writes reach the OS cache and the kernel
+    /// decides when they hit disk. Fastest; a power cut can lose or
+    /// tear recent entries (the checksums turn "tear" into "lose").
+    None,
+    /// `fdatasync` payload and journal data before renames, so a
+    /// renamed file's *contents* are on disk. A power cut can still
+    /// lose the rename itself (the entry vanishes, never corrupts).
+    #[default]
+    Flush,
+    /// [`Durability::Flush`] plus directory fsync after every rename
+    /// and journal-data sync after every append: an acknowledged `put`
+    /// survives power loss.
+    Fsync,
+}
+
+impl Durability {
+    /// Parses a `--durability` flag value.
+    pub fn parse(s: &str) -> Result<Durability, String> {
+        match s {
+            "none" => Ok(Durability::None),
+            "flush" => Ok(Durability::Flush),
+            "fsync" => Ok(Durability::Fsync),
+            other => Err(format!(
+                "unknown durability {other:?} (expected none, flush, or fsync)"
+            )),
+        }
+    }
+
+    fn wants_data_sync(self) -> bool {
+        !matches!(self, Durability::None)
+    }
+
+    fn wants_dir_sync(self) -> bool {
+        matches!(self, Durability::Fsync)
+    }
+}
+
+impl std::fmt::Display for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Durability::None => "none",
+            Durability::Flush => "flush",
+            Durability::Fsync => "fsync",
+        })
+    }
+}
 
 /// Point-in-time store occupancy, for stats responses and logs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreStats {
     /// Number of stored payloads.
     pub entries: usize,
-    /// Total payload bytes (journal and tmp files excluded).
+    /// Total payload bytes (headers, journal, and tmp files excluded).
     pub bytes: u64,
     /// Payloads evicted since the store was opened.
     pub evictions: u64,
+    /// Payloads quarantined for failing integrity checks since the
+    /// store was opened.
+    pub corrupt: u64,
 }
 
 #[derive(Debug)]
 struct Entry {
     digest: String,
     bytes: u64,
+    /// Content checksum recorded when the entry was written/journaled;
+    /// `None` when only a touch record survived (verified against the
+    /// file's own header on read instead).
+    sum: Option<String>,
 }
 
 #[derive(Debug)]
@@ -55,6 +140,7 @@ struct State {
     entries: Vec<Entry>,
     total_bytes: u64,
     evictions: u64,
+    corrupt: u64,
     journal: File,
     journal_records: usize,
 }
@@ -67,13 +153,95 @@ struct State {
 pub struct ResultStore {
     dir: PathBuf,
     max_bytes: u64,
+    durability: Durability,
+    chaos: Option<Arc<FaultInjector>>,
     state: Mutex<State>,
+}
+
+/// Renders the payload-file body for `digest`: the header line plus the
+/// payload bytes verbatim. Public so tests (and external tooling) can
+/// fabricate valid store files.
+pub fn encode_entry(digest: &str, payload: &str) -> String {
+    let mut header = Json::object();
+    header.insert("v", FORMAT_VERSION);
+    header.insert("digest", digest);
+    header.insert("sum", payload_checksum(payload).as_str());
+    header.insert("bytes", payload.len() as f64);
+    format!("{}{payload}", header.render_jsonl_line())
+}
+
+/// Parses and verifies a payload-file body read back for `digest`.
+/// Returns the payload and its checksum, or a description of what
+/// failed (missing/garbled header, digest mismatch, truncated payload,
+/// checksum mismatch).
+fn decode_entry(digest: &str, body: &str) -> Result<(String, String), String> {
+    let Some((header_line, payload)) = body.split_once('\n') else {
+        return Err("missing header line".to_string());
+    };
+    let header = Json::parse(header_line).map_err(|e| format!("garbled header: {e}"))?;
+    if header.get("v").and_then(Json::as_f64) != Some(FORMAT_VERSION) {
+        return Err("unknown format version".to_string());
+    }
+    if header.get("digest").and_then(Json::as_str) != Some(digest) {
+        return Err("header digest does not match file name".to_string());
+    }
+    let sum = header
+        .get("sum")
+        .and_then(Json::as_str)
+        .filter(|s| is_hex_digest(s))
+        .ok_or_else(|| "header missing checksum".to_string())?;
+    let bytes = header
+        .get("bytes")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "header missing byte count".to_string())?;
+    if payload.len() as f64 != bytes {
+        return Err(format!(
+            "payload truncated: header says {bytes} bytes, file holds {}",
+            payload.len()
+        ));
+    }
+    let actual = payload_checksum(payload);
+    if actual != sum {
+        return Err(format!("checksum mismatch: header {sum}, content {actual}"));
+    }
+    Ok((payload.to_string(), sum.to_string()))
+}
+
+/// The integrity checksum of one journal record's fields.
+fn record_ck(op: &str, digest: &str, bytes: Option<u64>, sum: Option<&str>) -> String {
+    let mut h = Fnv1a::of(op);
+    h.update("|").update(digest).update("|");
+    if let Some(b) = bytes {
+        h.update(&b.to_string());
+    }
+    h.update("|").update(sum.unwrap_or(""));
+    h.hex()
+}
+
+/// Syncs a directory's metadata so a rename inside it survives power
+/// loss. Failures are reported to the caller (who logs, not dies: the
+/// store still works, it just lost a durability rung).
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
 }
 
 impl ResultStore {
     /// Opens (creating if needed) the store at `dir` with a total
-    /// payload cap of `max_bytes`.
+    /// payload cap of `max_bytes`, the default [`Durability::Flush`]
+    /// policy, and no chaos injection.
     pub fn open(dir: &Path, max_bytes: u64) -> Result<ResultStore, String> {
+        ResultStore::open_with(dir, max_bytes, Durability::default(), None)
+    }
+
+    /// Opens the store with an explicit durability policy and an
+    /// optional chaos injector for the write path (tests, `xp serve
+    /// --chaos-seed`).
+    pub fn open_with(
+        dir: &Path,
+        max_bytes: u64,
+        durability: Durability,
+        chaos: Option<Arc<FaultInjector>>,
+    ) -> Result<ResultStore, String> {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("xpd store: cannot create {}: {e}", dir.display()))?;
 
@@ -100,16 +268,31 @@ impl ResultStore {
             }
         }
 
-        // Replay the journal to recover LRU order. A torn final record
-        // (crash mid-append) is ignored; corruption anywhere else falls
-        // back to the directory listing — the store is a cache, so
-        // self-healing beats refusing to start.
+        // Replay the journal to recover LRU order and per-entry
+        // checksums. A torn final record (crash mid-append) is ignored;
+        // corruption anywhere else — unparseable JSON or a record whose
+        // own checksum does not match — falls back to the directory
+        // listing: the store is a cache, so self-healing beats refusing
+        // to start.
         let journal_path = dir.join("journal.jsonl");
         let mut order: Vec<String> = Vec::new();
+        let mut meta: HashMap<String, (Option<u64>, Option<String>)> = HashMap::new();
         if let Ok(text) = std::fs::read_to_string(&journal_path) {
             let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
             for (i, line) in lines.iter().enumerate() {
-                let Ok(rec) = Json::parse(line) else {
+                let parsed = Json::parse(line).ok().and_then(|rec| {
+                    let op = rec.get("op").and_then(Json::as_str)?.to_string();
+                    let digest = rec.get("digest").and_then(Json::as_str)?.to_string();
+                    let bytes = rec.get("bytes").and_then(Json::as_f64).map(|b| b as u64);
+                    let sum = rec.get("sum").and_then(Json::as_str).map(String::from);
+                    if let Some(ck) = rec.get("ck").and_then(Json::as_str) {
+                        if ck != record_ck(&op, &digest, bytes, sum.as_deref()) {
+                            return None; // bit-flipped record
+                        }
+                    }
+                    Some((op, digest, bytes, sum))
+                });
+                let Some((op, digest, bytes, sum)) = parsed else {
                     if i + 1 == lines.len() {
                         break; // torn final append
                     }
@@ -119,25 +302,26 @@ impl ResultStore {
                         i + 1
                     );
                     order.clear();
+                    meta.clear();
                     break;
                 };
-                let (op, digest) = (
-                    rec.get("op").and_then(Json::as_str),
-                    rec.get("digest").and_then(Json::as_str),
-                );
-                let Some(digest) = digest else { continue };
-                order.retain(|d| d != digest);
-                match op {
-                    Some("put") | Some("touch") => order.push(digest.to_string()),
-                    Some("evict") => {}
+                order.retain(|d| d != &digest);
+                match op.as_str() {
+                    "put" => {
+                        meta.insert(digest.clone(), (bytes, sum));
+                        order.push(digest);
+                    }
+                    "touch" => order.push(digest),
                     _ => {}
                 }
             }
         }
 
         // Journal entries without files are dropped; files without
-        // journal entries are adopted (coldest, in name order, so
-        // adoption is deterministic).
+        // journal entries are verified and adopted (coldest, in name
+        // order, so adoption is deterministic) — or quarantined if they
+        // fail their own header's checksum.
+        let mut corrupt = 0_u64;
         let mut entries: Vec<Entry> = Vec::new();
         let mut adopted: Vec<String> = on_disk
             .keys()
@@ -145,10 +329,50 @@ impl ResultStore {
             .cloned()
             .collect();
         adopted.sort();
-        for digest in adopted.into_iter().chain(order) {
-            if let Some(&bytes) = on_disk.get(&digest) {
-                entries.push(Entry { digest, bytes });
+        let mut quarantine_now = |digest: &str, why: &str| {
+            eprintln!("xpd store: quarantining {digest}: {why}");
+            let from = dir.join(format!("{digest}.json"));
+            let to = dir.join(format!("{digest}.json.corrupt"));
+            if std::fs::rename(&from, &to).is_err() {
+                let _ = std::fs::remove_file(&from);
             }
+            trace::count("xpd.store.corrupt", 1);
+            corrupt += 1;
+        };
+        for digest in adopted {
+            match std::fs::read_to_string(dir.join(format!("{digest}.json"))) {
+                Ok(body) => match decode_entry(&digest, &body) {
+                    Ok((payload, sum)) => entries.push(Entry {
+                        digest,
+                        bytes: payload.len() as u64,
+                        sum: Some(sum),
+                    }),
+                    Err(why) => quarantine_now(&digest, &why),
+                },
+                Err(e) => eprintln!("xpd store: cannot adopt {digest}: {e}"),
+            }
+        }
+        for digest in order {
+            if !on_disk.contains_key(&digest) {
+                continue;
+            }
+            let (bytes, sum) = meta.remove(&digest).unwrap_or((None, None));
+            let bytes = match bytes {
+                Some(b) => b,
+                // A touch-only digest (no surviving put record): read
+                // the file's own header for the byte count.
+                None => match std::fs::read_to_string(dir.join(format!("{digest}.json")))
+                    .map_err(|e| e.to_string())
+                    .and_then(|body| decode_entry(&digest, &body))
+                {
+                    Ok((payload, _)) => payload.len() as u64,
+                    Err(why) => {
+                        quarantine_now(&digest, &why);
+                        continue;
+                    }
+                },
+            };
+            entries.push(Entry { digest, bytes, sum });
         }
         let total_bytes = entries.iter().map(|e| e.bytes).sum();
 
@@ -160,10 +384,13 @@ impl ResultStore {
         let store = ResultStore {
             dir: dir.to_path_buf(),
             max_bytes: max_bytes.max(1),
+            durability,
+            chaos,
             state: Mutex::new(State {
                 entries,
                 total_bytes,
                 evictions: 0,
+                corrupt,
                 journal,
                 journal_records: usize::MAX, // force one compaction pass
             }),
@@ -184,61 +411,99 @@ impl ResultStore {
         &self.dir
     }
 
+    /// The configured durability policy.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
     /// The payload for `digest`, touching its LRU slot. `None` on a
-    /// miss (including an indexed entry whose file has gone missing —
-    /// the entry is dropped and the miss reported).
+    /// miss — including an indexed entry whose file has gone missing
+    /// (dropped, miss reported) or fails its integrity checks
+    /// (quarantined, `xpd.store.corrupt` bumped, miss reported so the
+    /// caller transparently re-evaluates).
     pub fn get(&self, digest: &str) -> Option<String> {
         let mut state = self.state.lock().unwrap();
         let pos = state.entries.iter().position(|e| e.digest == digest)?;
-        match std::fs::read_to_string(self.payload_path(digest)) {
-            Ok(text) => {
-                let entry = state.entries.remove(pos);
-                state.entries.push(entry);
-                self.append(&mut state, "touch", digest);
-                let _ = self.compact_if_slack(&mut state);
-                Some(text)
-            }
+        let body = match std::fs::read_to_string(self.payload_path(digest)) {
+            Ok(body) => body,
             Err(_) => {
                 // The file vanished under us (manual cleanup, disk
                 // trouble): drop the entry and report a miss.
                 let entry = state.entries.remove(pos);
                 state.total_bytes = state.total_bytes.saturating_sub(entry.bytes);
-                self.append(&mut state, "evict", digest);
+                self.append(&mut state, "evict", digest, None, None);
+                return None;
+            }
+        };
+        let verified =
+            decode_entry(digest, &body).and_then(|(payload, sum)| match &state.entries[pos].sum {
+                Some(expected) if *expected != sum => Err(format!(
+                    "checksum mismatch: journal recorded {expected}, file holds {sum}"
+                )),
+                _ => Ok(payload),
+            });
+        match verified {
+            Ok(payload) => {
+                let entry = state.entries.remove(pos);
+                state.entries.push(entry);
+                self.append(&mut state, "touch", digest, None, None);
+                let _ = self.compact_if_slack(&mut state);
+                Some(payload)
+            }
+            Err(why) => {
+                self.quarantine(&mut state, pos, &why);
                 None
             }
         }
     }
 
-    /// Stores `payload` under `digest` (crash-safe: tmp + rename),
-    /// then evicts least-recently-used entries until the store is back
-    /// under its size cap. Re-putting an existing digest is a touch.
+    /// Stores `payload` under `digest` (crash-safe: tmp + rename, with
+    /// a checksummed header and the configured [`Durability`]), then
+    /// evicts least-recently-used entries until the store is back under
+    /// its size cap. Re-putting an existing digest is a touch.
     pub fn put(&self, digest: &str, payload: &str) -> Result<(), String> {
         let mut state = self.state.lock().unwrap();
         if let Some(pos) = state.entries.iter().position(|e| e.digest == digest) {
             // Content-addressed: same digest, same payload. Just touch.
             let entry = state.entries.remove(pos);
             state.entries.push(entry);
-            self.append(&mut state, "touch", digest);
+            self.append(&mut state, "touch", digest, None, None);
             return Ok(());
         }
+        let body = encode_entry(digest, payload);
+        let sum = payload_checksum(payload);
         let path = self.payload_path(digest);
         let tmp = self
             .dir
             .join(format!("{digest}.json.tmp.{}", std::process::id()));
-        std::fs::write(&tmp, payload)
-            .map_err(|e| format!("xpd store: cannot write {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &path).map_err(|e| {
-            let _ = std::fs::remove_file(&tmp);
-            format!("xpd store: cannot rename into {}: {e}", path.display())
-        })?;
+        self.write_payload(&tmp, &path, &body)?;
         state.entries.push(Entry {
             digest: digest.to_string(),
             bytes: payload.len() as u64,
+            sum: Some(sum.clone()),
         });
         state.total_bytes += payload.len() as u64;
-        self.append(&mut state, "put", digest);
+        self.append(
+            &mut state,
+            "put",
+            digest,
+            Some(payload.len() as u64),
+            Some(&sum),
+        );
         self.evict_over_cap(&mut state);
         self.compact_if_slack(&mut state)
+    }
+
+    /// Pushes the journal (and the directory holding it) to disk: the
+    /// daemon calls this once on graceful shutdown so the final LRU
+    /// state survives whatever happens to the host next.
+    pub fn flush(&self) -> Result<(), String> {
+        let state = self.state.lock().unwrap();
+        state
+            .journal
+            .sync_data()
+            .and_then(|()| sync_dir(&self.dir))
+            .map_err(|e| format!("xpd store: cannot flush {}: {e}", self.dir.display()))
     }
 
     /// Current occupancy.
@@ -248,6 +513,7 @@ impl ResultStore {
             entries: state.entries.len(),
             bytes: state.total_bytes,
             evictions: state.evictions,
+            corrupt: state.corrupt,
         }
     }
 
@@ -261,18 +527,110 @@ impl ResultStore {
         self.dir.join(format!("{digest}.json"))
     }
 
-    /// Appends one journal record and flushes it. Journal IO failures
-    /// are logged, not fatal: the store can still serve from memory and
-    /// the index rebuilds from the directory on next open.
-    fn append(&self, state: &mut State, op: &str, digest: &str) {
+    /// Writes `body` to `tmp`, syncs per the durability policy, renames
+    /// into `path`, then syncs the directory if the policy asks for it.
+    /// The chaos injector can tear the write at any of those steps.
+    fn write_payload(&self, tmp: &Path, path: &Path, body: &str) -> Result<(), String> {
+        let chaos = self
+            .chaos
+            .as_ref()
+            .and_then(|inj| inj.decide(IoPoint::StoreWrite));
+        if let Some(IoFault::TornWrite {
+            keep_permille,
+            rename,
+        }) = chaos
+        {
+            // Simulate a crash mid-write: a prefix of the bytes reaches
+            // disk. With `rename`, the rename completed but the data did
+            // not (a power cut under `--durability none`); without it,
+            // the crash hit before rename and only the tmp file remains.
+            let torn =
+                &body[..floor_char_boundary(body, torn_prefix_len(body.len(), keep_permille))];
+            let _ = std::fs::write(tmp, torn);
+            if rename {
+                let _ = std::fs::rename(tmp, path);
+            }
+            return Err(format!(
+                "chaos: torn write for {} ({} of {} bytes{})",
+                path.display(),
+                torn.len(),
+                body.len(),
+                if rename { ", renamed" } else { "" }
+            ));
+        }
+        let mut file = File::create(tmp)
+            .map_err(|e| format!("xpd store: cannot create {}: {e}", tmp.display()))?;
+        file.write_all(body.as_bytes())
+            .map_err(|e| format!("xpd store: cannot write {}: {e}", tmp.display()))?;
+        if self.durability.wants_data_sync() {
+            file.sync_data()
+                .map_err(|e| format!("xpd store: cannot sync {}: {e}", tmp.display()))?;
+        }
+        drop(file);
+        std::fs::rename(tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(tmp);
+            format!("xpd store: cannot rename into {}: {e}", path.display())
+        })?;
+        if self.durability.wants_dir_sync() {
+            if let Err(e) = sync_dir(&self.dir) {
+                eprintln!("xpd store: directory sync failed: {e}");
+            }
+        }
+        Ok(())
+    }
+
+    /// Quarantines the entry at `pos`: the payload file is renamed to
+    /// `.corrupt` (kept for forensics), the entry leaves the index, and
+    /// the corruption is counted. The caller reports a miss, so the
+    /// digest is transparently re-evaluated and re-stored.
+    fn quarantine(&self, state: &mut State, pos: usize, why: &str) {
+        let entry = state.entries.remove(pos);
+        state.total_bytes = state.total_bytes.saturating_sub(entry.bytes);
+        state.corrupt += 1;
+        eprintln!("xpd store: quarantining {}: {why}", entry.digest);
+        let from = self.payload_path(&entry.digest);
+        let to = self.dir.join(format!("{}.json.corrupt", entry.digest));
+        if std::fs::rename(&from, &to).is_err() {
+            let _ = std::fs::remove_file(&from);
+        }
+        self.append(state, "evict", &entry.digest, None, None);
+        trace::count("xpd.store.corrupt", 1);
+    }
+
+    /// Appends one journal record (with its own integrity checksum) and
+    /// flushes it. Journal IO failures are logged, not fatal: the store
+    /// can still serve from memory and the index rebuilds from the
+    /// directory on next open.
+    fn append(
+        &self,
+        state: &mut State,
+        op: &str,
+        digest: &str,
+        bytes: Option<u64>,
+        sum: Option<&str>,
+    ) {
         let mut rec = Json::object();
         rec.insert("op", op);
         rec.insert("digest", digest);
-        if let Err(e) = state
+        if let Some(b) = bytes {
+            rec.insert("bytes", b as f64);
+        }
+        if let Some(s) = sum {
+            rec.insert("sum", s);
+        }
+        rec.insert("ck", record_ck(op, digest, bytes, sum).as_str());
+        let written = state
             .journal
             .write_all(rec.render_jsonl_line().as_bytes())
             .and_then(|()| state.journal.flush())
-        {
+            .and_then(|()| {
+                if self.durability == Durability::Fsync {
+                    state.journal.sync_data()
+                } else {
+                    Ok(())
+                }
+            });
+        if let Err(e) = written {
             eprintln!("xpd store: journal append failed: {e}");
         }
         state.journal_records = state.journal_records.saturating_add(1);
@@ -287,7 +645,7 @@ impl ResultStore {
             state.total_bytes = state.total_bytes.saturating_sub(evicted.bytes);
             state.evictions += 1;
             let _ = std::fs::remove_file(self.payload_path(&evicted.digest));
-            self.append(state, "evict", &evicted.digest);
+            self.append(state, "evict", &evicted.digest, None, None);
             trace::count("xpd.store.eviction", 1);
         }
     }
@@ -301,7 +659,10 @@ impl ResultStore {
     }
 
     /// Rewrites the journal as one `put` record per live entry in LRU
-    /// order (tmp + rename, like payloads).
+    /// order (tmp + rename, like payloads). The directory is synced
+    /// after the rename **regardless of the durability policy**: a
+    /// compaction that evaporates in a power cut takes the whole LRU
+    /// order with it, so this rename is always made durable.
     fn compact(&self, state: &mut State) -> Result<(), String> {
         let path = self.dir.join("journal.jsonl");
         let tmp = self
@@ -313,14 +674,37 @@ impl ResultStore {
             rec.insert("op", "put");
             rec.insert("digest", entry.digest.as_str());
             rec.insert("bytes", entry.bytes as f64);
+            if let Some(sum) = &entry.sum {
+                rec.insert("sum", sum.as_str());
+            }
+            rec.insert(
+                "ck",
+                record_ck(
+                    "put",
+                    &entry.digest,
+                    Some(entry.bytes),
+                    entry.sum.as_deref(),
+                )
+                .as_str(),
+            );
             body.push_str(&rec.render_jsonl_line());
         }
-        std::fs::write(&tmp, &body)
+        let mut file = File::create(&tmp)
+            .map_err(|e| format!("xpd store: cannot create {}: {e}", tmp.display()))?;
+        file.write_all(body.as_bytes())
             .map_err(|e| format!("xpd store: cannot write {}: {e}", tmp.display()))?;
+        if self.durability.wants_data_sync() {
+            file.sync_data()
+                .map_err(|e| format!("xpd store: cannot sync {}: {e}", tmp.display()))?;
+        }
+        drop(file);
         std::fs::rename(&tmp, &path).map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
             format!("xpd store: cannot rename into {}: {e}", path.display())
         })?;
+        if let Err(e) = sync_dir(&self.dir) {
+            eprintln!("xpd store: directory sync after compaction failed: {e}");
+        }
         state.journal = OpenOptions::new()
             .create(true)
             .append(true)

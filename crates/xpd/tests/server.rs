@@ -411,6 +411,191 @@ fn a_full_queue_answers_busy_instead_of_blocking() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn health_reports_readiness_queue_and_store() {
+    let dir = temp_dir("health");
+    let engine = Arc::new(MockEngine::default());
+    let (endpoint, handle) = start_tcp(ServerConfig::new(dir.join("store")), engine);
+
+    ok_query(&endpoint, &QueryRequest::query("fig6"));
+    let response = client::request(&endpoint, &QueryRequest::health(), None).unwrap();
+    assert_eq!(response.status, "ok");
+    let health = response.stats.expect("health payload");
+    assert_eq!(health.get("ready").and_then(Json::as_bool), Some(true));
+    assert_eq!(health.get("queue_depth").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(
+        health.get("inflight").and_then(Json::as_f64),
+        Some(0.0),
+        "no queries in flight while health is being answered"
+    );
+    assert_eq!(
+        health.get("store_entries").and_then(Json::as_f64),
+        Some(1.0)
+    );
+    assert_eq!(
+        health.get("store_corrupt").and_then(Json::as_f64),
+        Some(0.0)
+    );
+
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_expired_deadline_is_answered_timeout_not_computed() {
+    let dir = temp_dir("deadline");
+    let gate = Arc::new(Gate::default());
+    let engine = Arc::new(MockEngine {
+        evaluated: Mutex::new(HashMap::new()),
+        gate: Some(Arc::clone(&gate)),
+    });
+    let mut config = ServerConfig::new(dir.join("store"));
+    config.batch_max = 1;
+    config.batch_window = Duration::from_millis(1);
+    let (endpoint, handle) = start_tcp(config, Arc::clone(&engine));
+
+    // Park the scheduler inside `evaluate` on an unrelated query.
+    let parked = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || client::request(&endpoint, &QueryRequest::query("a"), None))
+    };
+    gate.wait_entered(1);
+
+    // A query with a short deadline queues up behind the parked batch
+    // and expires there.
+    let doomed = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || {
+            client::request(
+                &endpoint,
+                &QueryRequest::query("b").with_deadline_ms(50),
+                None,
+            )
+        })
+    };
+    std::thread::sleep(Duration::from_millis(200));
+    gate.open();
+
+    let response = doomed.join().unwrap().unwrap();
+    assert_eq!(response.status, "timeout", "error: {:?}", response.error);
+    assert!(response.error.unwrap().contains("deadline"));
+    assert_eq!(
+        engine.evaluations(&MockEngine::digest_of(&QueryRequest::query("b"))),
+        0,
+        "expired work must be shed, not silently computed"
+    );
+    // The parked query is unaffected.
+    let ok = parked.join().unwrap().unwrap();
+    assert_eq!(ok.status, "ok");
+
+    // A generous deadline computes normally.
+    let relaxed = ok_query(
+        &endpoint,
+        &QueryRequest::query("c").with_deadline_ms(60_000),
+    );
+    assert_eq!(relaxed.source, Some(Source::Computed));
+
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_retrying_client_rides_out_busy_backpressure() {
+    let dir = temp_dir("busy-retry");
+    let gate = Arc::new(Gate::default());
+    let engine = Arc::new(MockEngine {
+        evaluated: Mutex::new(HashMap::new()),
+        gate: Some(Arc::clone(&gate)),
+    });
+    let mut config = ServerConfig::new(dir.join("store"));
+    config.queue_cap = 1;
+    config.batch_max = 1;
+    config.batch_window = Duration::from_millis(1);
+    let (endpoint, handle) = start_tcp(config, engine);
+
+    // Fill the scheduler and the queue's single slot.
+    let first = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || client::request(&endpoint, &QueryRequest::query("a"), None))
+    };
+    gate.wait_entered(1);
+    let second = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || client::request(&endpoint, &QueryRequest::query("b"), None))
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while client::request(&endpoint, &QueryRequest::stats(), None)
+        .unwrap()
+        .stats
+        .unwrap()
+        .get("queue")
+        .and_then(|q| q.get("depth"))
+        .and_then(Json::as_f64)
+        != Some(1.0)
+    {
+        assert!(Instant::now() < deadline, "queue never filled");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Open the gate shortly after the retrying client's first (busy)
+    // attempt, so one of its backoff retries lands in free capacity.
+    let opener = {
+        let gate = Arc::clone(&gate);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            gate.open();
+        })
+    };
+    let policy = client::RetryPolicy {
+        retries: 30,
+        backoff: Duration::from_millis(20),
+        jitter_seed: 7,
+    };
+    let third =
+        client::request_with_retries(&endpoint, &QueryRequest::query("c"), None, &policy).unwrap();
+    assert_eq!(
+        third.status, "ok",
+        "retries absorbed the busy window: {:?}",
+        third.error
+    );
+
+    opener.join().unwrap();
+    for parked in [first, second] {
+        assert_eq!(parked.join().unwrap().unwrap().status, "ok");
+    }
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_stop_handle_drains_and_exits_cleanly() {
+    let dir = temp_dir("stop-handle");
+    let engine = Arc::new(MockEngine::default());
+    let mut config = ServerConfig::new(dir.join("store"));
+    config.tcp = Some("127.0.0.1:0".to_string());
+    let server = Server::bind(config, engine).unwrap();
+    let addr = server.tcp_addr().unwrap();
+    let stop = server.stop_handle();
+    let handle = std::thread::spawn(move || server.run());
+
+    let endpoint = Endpoint::Tcp(addr.to_string());
+    ok_query(&endpoint, &QueryRequest::query("fig2"));
+
+    // An out-of-band stop (the CLI's signal path) drains and returns.
+    stop.stop();
+    handle.join().unwrap().unwrap();
+
+    // The store was flushed: a reopen replays the journal cleanly and
+    // serves the answer warm.
+    let engine = Arc::new(MockEngine::default());
+    let (endpoint, handle) = start_tcp(ServerConfig::new(dir.join("store")), Arc::clone(&engine));
+    let served = ok_query(&endpoint, &QueryRequest::query("fig2"));
+    assert_eq!(served.source, Some(Source::Store));
+    assert!(engine.evaluated.lock().unwrap().is_empty());
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Distinguishes proptest cases so each gets a fresh store directory.
 static CASE: AtomicUsize = AtomicUsize::new(0);
 

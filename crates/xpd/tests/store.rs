@@ -3,7 +3,7 @@
 //! replay across reopens, and self-healing from torn or corrupt state.
 
 use std::path::PathBuf;
-use xpd::store::ResultStore;
+use xpd::store::{encode_entry, ResultStore};
 
 /// A fresh, empty temp directory unique to this process and test.
 fn temp_dir(tag: &str) -> PathBuf {
@@ -27,14 +27,25 @@ fn payloads_round_trip_through_disk() {
     assert_eq!(store.get(&digest(1)).as_deref(), Some(payload));
     assert_eq!(store.get(&digest(2)), None, "unknown digest misses");
 
-    // The payload lives in a file named after its digest, byte-exact.
+    // The payload lives in a file named after its digest: one checksum
+    // header line, then the payload bytes verbatim.
     let on_disk = std::fs::read_to_string(dir.join(format!("{}.json", digest(1)))).unwrap();
-    assert_eq!(on_disk, payload);
+    assert_eq!(on_disk, encode_entry(&digest(1), payload));
+    assert_eq!(
+        on_disk.split_once('\n').unwrap().1,
+        payload,
+        "the wire payload is byte-identical after the header line"
+    );
 
     let stats = store.stats();
     assert_eq!(stats.entries, 1);
-    assert_eq!(stats.bytes, payload.len() as u64);
+    assert_eq!(
+        stats.bytes,
+        payload.len() as u64,
+        "the cap counts payload bytes, not headers"
+    );
     assert_eq!(stats.evictions, 0);
+    assert_eq!(stats.corrupt, 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -163,9 +174,14 @@ fn unjournaled_files_are_adopted_and_missing_files_dropped() {
         store.put(&digest(5), "five\n").unwrap();
         store.put(&digest(6), "six\n").unwrap();
     }
-    // A payload written by hand (or surviving a lost journal) is adopted;
-    // a journaled payload whose file vanished is dropped.
-    std::fs::write(dir.join(format!("{}.json", digest(7))), "seven\n").unwrap();
+    // A payload written by hand (or surviving a lost journal) is adopted
+    // if it carries a valid header; a journaled payload whose file
+    // vanished is dropped.
+    std::fs::write(
+        dir.join(format!("{}.json", digest(7))),
+        encode_entry(&digest(7), "seven\n"),
+    )
+    .unwrap();
     std::fs::remove_file(dir.join(format!("{}.json", digest(5)))).unwrap();
 
     let store = ResultStore::open(&dir, 1 << 20).unwrap();
@@ -188,6 +204,176 @@ fn a_file_vanishing_underneath_a_get_reports_a_miss() {
     assert_eq!(store.get(&digest(1)), None);
     assert_eq!(store.stats().entries, 0, "the dangling entry is dropped");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_corrupted_payload_is_quarantined_not_served() {
+    let dir = temp_dir("quarantine");
+    let store = ResultStore::open(&dir, 1 << 20).unwrap();
+    store.put(&digest(1), "{\"id\":\"fig6\"}\n").unwrap();
+
+    // Flip bits in the payload body behind the store's back (disk rot,
+    // torn write whose rename still landed).
+    let path = dir.join(format!("{}.json", digest(1)));
+    let body = std::fs::read_to_string(&path).unwrap();
+    let tampered = body.replace("fig6", "fig7");
+    assert_ne!(body, tampered);
+    std::fs::write(&path, tampered).unwrap();
+
+    assert_eq!(
+        store.get(&digest(1)),
+        None,
+        "a checksum mismatch is a miss, never served bytes"
+    );
+    let stats = store.stats();
+    assert_eq!(stats.corrupt, 1);
+    assert_eq!(stats.entries, 0, "the corrupt entry left the index");
+    assert!(
+        dir.join(format!("{}.json.corrupt", digest(1))).exists(),
+        "the bad file is kept for forensics"
+    );
+    assert!(!path.exists());
+
+    // Self-heal: the digest can be re-put and served again.
+    store.put(&digest(1), "{\"id\":\"fig6\"}\n").unwrap();
+    assert_eq!(
+        store.get(&digest(1)).as_deref(),
+        Some("{\"id\":\"fig6\"}\n")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_truncated_payload_is_quarantined() {
+    let dir = temp_dir("truncated");
+    let store = ResultStore::open(&dir, 1 << 20).unwrap();
+    store
+        .put(&digest(1), "a payload long enough to truncate\n")
+        .unwrap();
+
+    // Tear the file mid-payload: header intact, bytes missing — the
+    // exact shape a power cut leaves under `--durability none`.
+    let path = dir.join(format!("{}.json", digest(1)));
+    let body = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &body[..body.len() - 10]).unwrap();
+
+    assert_eq!(store.get(&digest(1)), None);
+    assert_eq!(store.stats().corrupt, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_corrupt_unjournaled_file_is_quarantined_at_open() {
+    let dir = temp_dir("adopt-corrupt");
+    {
+        let store = ResultStore::open(&dir, 1 << 20).unwrap();
+        store.put(&digest(1), "good\n").unwrap();
+    }
+    // Two hand-written strays: one valid, one with a lying checksum.
+    std::fs::write(
+        dir.join(format!("{}.json", digest(2))),
+        encode_entry(&digest(2), "also good\n"),
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join(format!("{}.json", digest(3))),
+        encode_entry(&digest(3), "original\n").replace("original", "tampered"),
+    )
+    .unwrap();
+
+    let store = ResultStore::open(&dir, 1 << 20).unwrap();
+    assert_eq!(store.stats().corrupt, 1);
+    assert_eq!(store.get(&digest(2)).as_deref(), Some("also good\n"));
+    assert_eq!(store.get(&digest(3)), None);
+    assert!(dir.join(format!("{}.json.corrupt", digest(3))).exists());
+    assert_eq!(store.get(&digest(1)).as_deref(), Some("good\n"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_file_journal_corruption_rebuilds_the_index_from_files() {
+    let dir = temp_dir("midfile");
+    {
+        let store = ResultStore::open(&dir, 1 << 20).unwrap();
+        store.put(&digest(1), "one\n").unwrap();
+        store.put(&digest(2), "two\n").unwrap();
+        store.put(&digest(3), "three\n").unwrap();
+        assert!(store.get(&digest(1)).is_some());
+    }
+    // Flip bits in the *middle* of the journal — not the torn-tail case.
+    let journal = dir.join("journal.jsonl");
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    assert!(lines.len() >= 3, "need a middle record to corrupt");
+    let mid = lines.len() / 2;
+    lines[mid] = lines[mid].replace(|c: char| c.is_ascii_hexdigit(), "Z");
+    std::fs::write(&journal, format!("{}\n", lines.join("\n"))).unwrap();
+
+    let store = ResultStore::open(&dir, 1 << 20).unwrap();
+    // LRU order is lost (rebuilt from the directory, name order), but
+    // every payload survives, verified, and is served byte-identical.
+    let mut digests = store.digests_lru_order();
+    digests.sort();
+    assert_eq!(digests, vec![digest(1), digest(2), digest(3)]);
+    assert_eq!(store.get(&digest(1)).as_deref(), Some("one\n"));
+    assert_eq!(store.get(&digest(2)).as_deref(), Some("two\n"));
+    assert_eq!(store.get(&digest(3)).as_deref(), Some("three\n"));
+    assert_eq!(store.stats().corrupt, 0, "payload files were all intact");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_bit_flipped_journal_record_is_caught_by_its_checksum() {
+    let dir = temp_dir("journal-ck");
+    {
+        let store = ResultStore::open(&dir, 1 << 20).unwrap();
+        store.put(&digest(1), "one\n").unwrap();
+        store.put(&digest(2), "two\n").unwrap();
+        store.put(&digest(3), "three\n").unwrap();
+    }
+    // A *parseable* record whose fields were altered: swap a digest in
+    // the middle of the journal. JSON-valid, checksum-invalid.
+    let journal = dir.join("journal.jsonl");
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let mid = lines.len() / 2;
+    lines[mid] = lines[mid].replace(&digest(2), &digest(9));
+    std::fs::write(&journal, format!("{}\n", lines.join("\n"))).unwrap();
+
+    let store = ResultStore::open(&dir, 1 << 20).unwrap();
+    // The record's own checksum exposes the tamper; the index rebuilds
+    // from files and every real payload is still served.
+    let mut digests = store.digests_lru_order();
+    digests.sort();
+    assert_eq!(digests, vec![digest(1), digest(2), digest(3)]);
+    assert_eq!(store.get(&digest(2)).as_deref(), Some("two\n"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durability_policies_round_trip_payloads_identically() {
+    use xpd::store::Durability;
+    for (policy, tag) in [
+        (Durability::None, "none"),
+        (Durability::Flush, "flush"),
+        (Durability::Fsync, "fsync"),
+    ] {
+        let dir = temp_dir(&format!("durability-{tag}"));
+        let store = ResultStore::open_with(&dir, 1 << 20, policy, None).unwrap();
+        assert_eq!(store.durability(), policy);
+        store.put(&digest(1), "same bytes either way\n").unwrap();
+        store.flush().unwrap();
+        drop(store);
+        let store = ResultStore::open_with(&dir, 1 << 20, policy, None).unwrap();
+        assert_eq!(
+            store.get(&digest(1)).as_deref(),
+            Some("same bytes either way\n"),
+            "durability is a syncing policy, never a format change ({tag})"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(Durability::parse("fsync"), Ok(Durability::Fsync));
+    assert!(Durability::parse("paranoid").is_err());
 }
 
 #[test]
