@@ -13,6 +13,10 @@
 //!   milliseconds, where the same constant cost vanishes entirely).
 //! * `point/recording` — with a live session, for scale: what `--trace`
 //!   itself costs.
+//! * `point/always-on` — the workload bumping a held always-on registry
+//!   handle (`trace::live`): one counter add plus one histogram record
+//!   per point, the serving daemon's continuous-telemetry cost. Same
+//!   target as the disabled path: **< 2% overhead vs. absent**.
 //! * `sweep/*` — the full executor path (pool + cache + retry loop,
 //!   every span and counter in the stack) with tracing disabled vs. the
 //!   same executor before instrumentation existed, approximated by the
@@ -39,6 +43,20 @@ fn instrumented(key: u64) -> u64 {
     let _span = trace::span("bench.point");
     trace::count("bench.points", 1);
     work(key)
+}
+
+/// The always-on registry path: the handles are held (as the daemon
+/// holds them), so each point pays exactly one relaxed counter add and
+/// one log-bucketed histogram record — no name lookups, no clock reads.
+fn live_instrumented(
+    counter: &trace::live::LiveCounter,
+    hist: &trace::live::LiveHistogram,
+    key: u64,
+) -> u64 {
+    let out = work(key);
+    counter.add(1);
+    hist.record_nanos(out | 1);
+    out
 }
 
 /// Mean nanoseconds per call of `f` over `iters` calls.
@@ -75,6 +93,28 @@ fn print_disabled_overhead() {
     );
 }
 
+/// The same guard for the always-on registry: recording is
+/// unconditional there, so the target holds with *no* session check at
+/// all — the handles themselves must be cheap enough.
+fn print_always_on_overhead() {
+    const ITERS: u64 = 200_000;
+    let counter = trace::live::counter("bench.live.points");
+    let hist = trace::live::histogram("bench.live.nanos");
+    mean_nanos(ITERS / 10, work);
+    mean_nanos(ITERS / 10, |i| live_instrumented(&counter, &hist, i));
+    let mut absent = f64::MAX;
+    let mut live = f64::MAX;
+    for _ in 0..3 {
+        absent = absent.min(mean_nanos(ITERS, work));
+        live = live.min(mean_nanos(ITERS, |i| live_instrumented(&counter, &hist, i)));
+    }
+    let overhead = (live - absent) / absent * 100.0;
+    println!(
+        "trace always-on overhead: absent {absent:.1} ns/point, \
+         live {live:.1} ns/point -> {overhead:+.2}% (target < 2%)"
+    );
+}
+
 fn sweep(threads: usize, points: u64) -> usize {
     let executor = SweepExecutor::new(threads);
     let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::for_threads(threads));
@@ -85,6 +125,7 @@ fn sweep(threads: usize, points: u64) -> usize {
 
 fn bench_trace(c: &mut Criterion) {
     print_disabled_overhead();
+    print_always_on_overhead();
 
     let mut group = c.benchmark_group("trace");
 
@@ -102,6 +143,16 @@ fn bench_trace(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(1);
             black_box(instrumented(i))
+        })
+    });
+
+    group.bench_function("point/always-on", |b| {
+        let counter = trace::live::counter("bench.live.points");
+        let hist = trace::live::histogram("bench.live.nanos");
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(live_instrumented(&counter, &hist, i))
         })
     });
 

@@ -28,17 +28,44 @@ pub enum RequestOp {
     /// is draining, queue depth, in-flight count, and store occupancy
     /// (a trimmed, stable subset of `stats`).
     Health,
+    /// Report the always-on telemetry registry — cumulative counters,
+    /// windowed rates, and latency quantiles — as JSON or Prometheus
+    /// text exposition (see [`MetricsFormat`]).
+    Metrics,
     /// Stop accepting connections and shut the daemon down cleanly.
     Shutdown,
 }
 
 impl RequestOp {
-    fn as_str(self) -> &'static str {
+    /// The op's wire name (also used as a label in logs and metrics).
+    pub fn as_str(self) -> &'static str {
         match self {
             RequestOp::Query => "query",
             RequestOp::Stats => "stats",
             RequestOp::Health => "health",
+            RequestOp::Metrics => "metrics",
             RequestOp::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// How a [`RequestOp::Metrics`] response should be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// A structured JSON object in the response's `metrics` field.
+    #[default]
+    Json,
+    /// Prometheus text exposition (version 0.0.4), carried as a JSON
+    /// string in the response's `metrics` field — printing it verbatim
+    /// yields a scrapeable document.
+    Prometheus,
+}
+
+impl MetricsFormat {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricsFormat::Json => "json",
+            MetricsFormat::Prometheus => "prometheus",
         }
     }
 }
@@ -61,16 +88,33 @@ pub struct QueryRequest {
     /// computed. `None` waits indefinitely. Excluded from the content
     /// digest: the answer does not depend on it.
     pub deadline_ms: Option<u64>,
+    /// Whether the server should attach a per-phase timing breakdown
+    /// (`queue_wait`, `batch_linger`, `eval`, `store_write`) to the
+    /// answer. Like `deadline_ms`, excluded from the content digest —
+    /// the payload bytes are identical either way.
+    pub timing: bool,
+    /// Rendering for [`RequestOp::Metrics`] responses; ignored by every
+    /// other op.
+    pub format: MetricsFormat,
 }
 
 impl QueryRequest {
+    fn bare(op: RequestOp) -> Self {
+        QueryRequest {
+            op,
+            artifact: String::new(),
+            sets: Vec::new(),
+            deadline_ms: None,
+            timing: false,
+            format: MetricsFormat::Json,
+        }
+    }
+
     /// A plain artifact query with no config deltas.
     pub fn query(artifact: impl Into<String>) -> Self {
         QueryRequest {
-            op: RequestOp::Query,
             artifact: artifact.into(),
-            sets: Vec::new(),
-            deadline_ms: None,
+            ..QueryRequest::bare(RequestOp::Query)
         }
     }
 
@@ -86,34 +130,33 @@ impl QueryRequest {
         self
     }
 
+    /// Asks the server for a per-phase timing breakdown.
+    pub fn with_timing(mut self) -> Self {
+        self.timing = true;
+        self
+    }
+
     /// A stats request.
     pub fn stats() -> Self {
-        QueryRequest {
-            op: RequestOp::Stats,
-            artifact: String::new(),
-            sets: Vec::new(),
-            deadline_ms: None,
-        }
+        QueryRequest::bare(RequestOp::Stats)
     }
 
     /// A health (readiness) request.
     pub fn health() -> Self {
+        QueryRequest::bare(RequestOp::Health)
+    }
+
+    /// A metrics request in the given rendering.
+    pub fn metrics(format: MetricsFormat) -> Self {
         QueryRequest {
-            op: RequestOp::Health,
-            artifact: String::new(),
-            sets: Vec::new(),
-            deadline_ms: None,
+            format,
+            ..QueryRequest::bare(RequestOp::Metrics)
         }
     }
 
     /// A shutdown request.
     pub fn shutdown() -> Self {
-        QueryRequest {
-            op: RequestOp::Shutdown,
-            artifact: String::new(),
-            sets: Vec::new(),
-            deadline_ms: None,
-        }
+        QueryRequest::bare(RequestOp::Shutdown)
     }
 
     /// Serializes the request to its wire form.
@@ -132,6 +175,12 @@ impl QueryRequest {
             if let Some(ms) = self.deadline_ms {
                 o.insert("deadline_ms", ms as f64);
             }
+            if self.timing {
+                o.insert("timing", true);
+            }
+        }
+        if self.op == RequestOp::Metrics && self.format != MetricsFormat::Json {
+            o.insert("format", self.format.as_str());
         }
         o
     }
@@ -143,6 +192,14 @@ impl QueryRequest {
             Some("query") | None => RequestOp::Query,
             Some("stats") => return Ok(QueryRequest::stats()),
             Some("health") => return Ok(QueryRequest::health()),
+            Some("metrics") => {
+                let format = match j.get("format").and_then(Json::as_str) {
+                    None | Some("json") => MetricsFormat::Json,
+                    Some("prometheus") => MetricsFormat::Prometheus,
+                    Some(other) => return Err(format!("unknown metrics format {other:?}")),
+                };
+                return Ok(QueryRequest::metrics(format));
+            }
             Some("shutdown") => return Ok(QueryRequest::shutdown()),
             Some(other) => return Err(format!("unknown op {other:?}")),
         };
@@ -180,11 +237,19 @@ impl QueryRequest {
                 Some(ms as u64)
             }
         };
+        let timing = match j.get("timing") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| "`timing` must be a boolean".to_string())?,
+        };
         Ok(QueryRequest {
             op,
             artifact: artifact.to_string(),
             sets,
             deadline_ms,
+            timing,
+            format: MetricsFormat::Json,
         })
     }
 }
@@ -227,30 +292,50 @@ pub struct QueryResponse {
     pub error: Option<String>,
     /// Server counters (stats responses).
     pub stats: Option<Json>,
+    /// Always-on telemetry (JSON-format metrics responses).
+    pub metrics: Option<Json>,
+    /// Per-phase timing breakdown (query responses, only when the
+    /// request asked for one). Purely observational: never part of the
+    /// content digest, and the payload bytes are identical with or
+    /// without it.
+    pub timing: Option<Json>,
 }
 
 impl QueryResponse {
+    fn bare(status: &str) -> Self {
+        QueryResponse {
+            status: status.to_string(),
+            digest: None,
+            source: None,
+            payload: None,
+            error: None,
+            stats: None,
+            metrics: None,
+            timing: None,
+        }
+    }
+
     /// A successful query answer.
     pub fn ok(digest: impl Into<String>, source: Source, payload: impl Into<String>) -> Self {
         QueryResponse {
-            status: "ok".to_string(),
             digest: Some(digest.into()),
             source: Some(source),
             payload: Some(payload.into()),
-            error: None,
-            stats: None,
+            ..QueryResponse::bare("ok")
         }
+    }
+
+    /// Attaches a per-phase timing breakdown to the response.
+    pub fn with_timing(mut self, timing: Json) -> Self {
+        self.timing = Some(timing);
+        self
     }
 
     /// A backpressure response: the request queue is full.
     pub fn busy(message: impl Into<String>) -> Self {
         QueryResponse {
-            status: "busy".to_string(),
-            digest: None,
-            source: None,
-            payload: None,
             error: Some(message.into()),
-            stats: None,
+            ..QueryResponse::bare("busy")
         }
     }
 
@@ -258,36 +343,41 @@ impl QueryResponse {
     /// while it was still queued, so it was dropped, not computed.
     pub fn timeout(message: impl Into<String>) -> Self {
         QueryResponse {
-            status: "timeout".to_string(),
-            digest: None,
-            source: None,
-            payload: None,
             error: Some(message.into()),
-            stats: None,
+            ..QueryResponse::bare("timeout")
         }
     }
 
     /// A failure response.
     pub fn error(message: impl Into<String>) -> Self {
         QueryResponse {
-            status: "error".to_string(),
-            digest: None,
-            source: None,
-            payload: None,
             error: Some(message.into()),
-            stats: None,
+            ..QueryResponse::bare("error")
         }
     }
 
     /// A stats response carrying the server's counter object.
     pub fn stats(stats: Json) -> Self {
         QueryResponse {
-            status: "ok".to_string(),
-            digest: None,
-            source: None,
-            payload: None,
-            error: None,
             stats: Some(stats),
+            ..QueryResponse::bare("ok")
+        }
+    }
+
+    /// A JSON-format metrics response.
+    pub fn metrics(metrics: Json) -> Self {
+        QueryResponse {
+            metrics: Some(metrics),
+            ..QueryResponse::bare("ok")
+        }
+    }
+
+    /// A text-format metrics response (Prometheus exposition): the text
+    /// rides the wire as a JSON string under `metrics`.
+    pub fn metrics_text(text: impl Into<String>) -> Self {
+        QueryResponse {
+            metrics: Some(Json::str(text.into())),
+            ..QueryResponse::bare("ok")
         }
     }
 
@@ -314,6 +404,12 @@ impl QueryResponse {
         }
         if let Some(s) = &self.stats {
             o.insert("stats", s.clone());
+        }
+        if let Some(m) = &self.metrics {
+            o.insert("metrics", m.clone());
+        }
+        if let Some(t) = &self.timing {
+            o.insert("timing", t.clone());
         }
         o
     }
@@ -346,6 +442,8 @@ impl QueryResponse {
                 .map(|s| s.to_string()),
             error: j.get("error").and_then(Json::as_str).map(|s| s.to_string()),
             stats: j.get("stats").cloned(),
+            metrics: j.get("metrics").cloned(),
+            timing: j.get("timing").cloned(),
         })
     }
 }
@@ -367,11 +465,73 @@ mod tests {
         for req in [
             QueryRequest::stats(),
             QueryRequest::health(),
+            QueryRequest::metrics(MetricsFormat::Json),
+            QueryRequest::metrics(MetricsFormat::Prometheus),
             QueryRequest::shutdown(),
         ] {
             let back = QueryRequest::from_json(&req.to_json()).unwrap();
             assert_eq!(back, req);
         }
+    }
+
+    #[test]
+    fn timing_requests_round_trip_and_stay_off_the_plain_wire_form() {
+        let plain = QueryRequest::query("fig6");
+        assert!(
+            !plain.to_json().render().contains("timing"),
+            "timing must not appear unless asked for"
+        );
+        let req = QueryRequest::query("fig6").with_timing();
+        let back = QueryRequest::from_json(&req.to_json()).unwrap();
+        assert!(back.timing);
+        assert_eq!(back, req);
+        let bad =
+            QueryRequest::from_json(&Json::parse(r#"{"artifact":"fig6","timing":"yes"}"#).unwrap())
+                .unwrap_err();
+        assert!(bad.contains("timing"), "{bad}");
+    }
+
+    #[test]
+    fn metrics_format_rejects_garbage() {
+        let bad =
+            QueryRequest::from_json(&Json::parse(r#"{"op":"metrics","format":"xml"}"#).unwrap())
+                .unwrap_err();
+        assert!(bad.contains("metrics format"), "{bad}");
+    }
+
+    #[test]
+    fn timing_responses_round_trip_without_touching_the_payload() {
+        let payload = "{\n  \"id\": \"fig2\"\n}\n";
+        let plain = QueryResponse::ok("d", Source::Computed, payload);
+        let mut timing = Json::object();
+        timing.insert("eval_ms", 1.5);
+        let timed = QueryResponse::ok("d", Source::Computed, payload).with_timing(timing);
+        assert_eq!(
+            plain.payload, timed.payload,
+            "timing never changes payload bytes"
+        );
+        let back =
+            QueryResponse::from_json(&Json::parse(&timed.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, timed);
+        assert_eq!(
+            back.timing.unwrap().get("eval_ms").unwrap().as_f64(),
+            Some(1.5)
+        );
+        assert!(!plain.to_json().render().contains("timing"));
+    }
+
+    #[test]
+    fn metrics_responses_round_trip() {
+        let mut m = Json::object();
+        m.insert("xpd.request", 12u64);
+        let resp = QueryResponse::metrics(m);
+        let back =
+            QueryResponse::from_json(&Json::parse(&resp.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(
+            back.metrics.unwrap().get("xpd.request").unwrap().as_f64(),
+            Some(12.0)
+        );
     }
 
     #[test]

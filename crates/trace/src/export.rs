@@ -389,6 +389,68 @@ mod tests {
     }
 
     #[test]
+    fn counter_only_traces_have_no_span_stats() {
+        // A daemon session can legitimately export counters and no
+        // spans at all (always-on registry, nothing span-instrumented
+        // fired); the summary must not invent or reject anything.
+        let mut trace = Json::array();
+        let mut meta = Json::object();
+        meta.insert("name", "process_name");
+        meta.insert("ph", "M");
+        trace.push(meta);
+        for (name, value) in [("xpd.request", 12u64), ("xpd.store.hit", 9u64)] {
+            let mut c = Json::object();
+            c.insert("name", name);
+            c.insert("ph", "C");
+            c.insert("ts", 1.0);
+            c.insert("pid", 1u64);
+            c.insert("tid", 0u64);
+            let mut args = Json::object();
+            args.insert("value", value);
+            c.insert("args", args);
+            trace.push(c);
+        }
+        let (stats, unmatched) = span_stats_from_chrome_trace(&trace).unwrap();
+        assert!(stats.is_empty());
+        assert_eq!(unmatched, 0);
+        let counters = counters_from_chrome_trace(&trace).unwrap();
+        assert_eq!(
+            counters,
+            vec![
+                ("xpd.request".to_string(), 12),
+                ("xpd.store.hit".to_string(), 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn truncated_ring_counts_leftover_opens_as_unmatched() {
+        // A ring that dropped its newest tail leaves begins with no
+        // ends: the matched inner pair still summarizes, every open
+        // begin is reported as unmatched, never as a zero-length span.
+        let event = |name: &str, ph: &str, ts: f64, tid: u64| {
+            let mut e = Json::object();
+            e.insert("name", name);
+            e.insert("ph", ph);
+            e.insert("ts", ts);
+            e.insert("pid", 1u64);
+            e.insert("tid", tid);
+            e
+        };
+        let mut trace = Json::array();
+        trace.push(event("outer", "B", 1.0, 0));
+        trace.push(event("inner", "B", 2.0, 0));
+        trace.push(event("inner", "E", 3.0, 0));
+        // `E outer` on tid 0 and `E solo` on tid 1 were lost.
+        trace.push(event("solo", "B", 4.0, 1));
+        let (stats, unmatched) = span_stats_from_chrome_trace(&trace).unwrap();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "inner");
+        assert_eq!(stats[0].hist.sum, 1_000);
+        assert_eq!(unmatched, 2);
+    }
+
+    #[test]
     fn complete_events_use_dur() {
         let mut trace = Json::array();
         let mut x = Json::object();

@@ -43,6 +43,7 @@
 
 pub mod export;
 pub mod hist;
+pub mod live;
 pub mod ring;
 
 pub use hist::{bucket_lower, bucket_of, bucket_upper, Histogram, HistogramSnapshot, NUM_BUCKETS};
@@ -95,11 +96,11 @@ fn global() -> &'static Global {
     })
 }
 
-fn now_nanos() -> u64 {
+pub(crate) fn now_nanos() -> u64 {
     global().epoch.elapsed().as_nanos() as u64
 }
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -272,12 +273,18 @@ static SESSION_LOCK: Mutex<()> = Mutex::new(());
 /// Dropping without finishing stops recording and discards the data.
 #[derive(Debug)]
 pub struct Session {
+    /// Live-registry state at session start; [`Session::finish`] folds
+    /// the delta since into the snapshot so always-on instruments (the
+    /// `xpd.*` counters) appear in session summaries too.
+    live_baseline: live::LiveSnapshot,
     _serial: MutexGuard<'static, ()>,
 }
 
 /// Starts a trace session: resets all buffers, counters, and histograms,
 /// then enables recording. Blocks if another session is still active
-/// (sessions are process-wide).
+/// (sessions are process-wide). The always-on [`live`] registry is not
+/// reset — it is cumulative by contract — but its delta over the
+/// session's lifetime is folded into the snapshot at finish.
 pub fn session(config: TraceConfig) -> Session {
     let serial = SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let g = global();
@@ -289,8 +296,12 @@ pub fn session(config: TraceConfig) -> Session {
     }
     lock(&g.counters).clear();
     lock(&g.hists).clear();
+    let live_baseline = live::cumulative();
     ENABLED.store(true, Ordering::Relaxed);
-    Session { _serial: serial }
+    Session {
+        live_baseline,
+        _serial: serial,
+    }
 }
 
 impl Session {
@@ -319,11 +330,36 @@ impl Session {
             .iter()
             .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
             .collect();
-        counters.sort();
         let mut histograms: Vec<(String, HistogramSnapshot)> = lock(&g.hists)
             .iter()
             .map(|(name, h)| (name.clone(), h.snapshot()))
             .collect();
+
+        // Fold in what the always-on registry recorded while this
+        // session ran. Instruments that live there (a daemon's request
+        // counters) would otherwise be invisible to `--trace` runs;
+        // delta-vs-baseline keeps sessions isolated from each other and
+        // from pre-session history.
+        let live_delta = live::since(&self.live_baseline);
+        for (name, delta) in live_delta.counters {
+            if delta == 0 {
+                continue;
+            }
+            match counters.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, v)) => *v += delta,
+                None => counters.push((name, delta)),
+            }
+        }
+        for (name, delta) in live_delta.histograms {
+            if delta.count == 0 {
+                continue;
+            }
+            match histograms.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, h)) => *h = h.merge(&delta),
+                None => histograms.push((name, delta)),
+            }
+        }
+        counters.sort();
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
 
         Snapshot {
@@ -486,6 +522,36 @@ mod tests {
             .tid;
         assert_ne!(main_tid, worker_tid);
         assert_eq!(snapshot.threads.len(), 2);
+    }
+
+    #[test]
+    fn sessions_fold_in_the_live_registry_delta() {
+        let c = live::counter("test.live.fold");
+        let h = live::histogram("test.live.fold_lat");
+        c.add(100); // pre-session history must not leak in
+        let s = session(TraceConfig::default());
+        c.add(7);
+        h.record_nanos(2_000);
+        count("test.fold.session_only", 1);
+        let snapshot = s.finish();
+        assert_eq!(snapshot.counter("test.live.fold"), Some(7));
+        assert_eq!(snapshot.histogram("test.live.fold_lat").unwrap().count, 1);
+        assert_eq!(snapshot.counter("test.fold.session_only"), Some(1));
+
+        // The next session starts from a fresh baseline.
+        let s = session(TraceConfig::default());
+        let snapshot = s.finish();
+        assert_eq!(snapshot.counter("test.live.fold"), None);
+    }
+
+    #[test]
+    fn live_name_colliding_with_session_counter_sums_once() {
+        let c = live::counter("test.fold.shared");
+        let s = session(TraceConfig::default());
+        count("test.fold.shared", 2);
+        c.add(3);
+        let snapshot = s.finish();
+        assert_eq!(snapshot.counter("test.fold.shared"), Some(5));
     }
 
     #[test]

@@ -60,6 +60,7 @@ enum Command {
     Bench(crate::bench::BenchOptions),
     Serve(ServeOptions),
     Query(QueryOptions),
+    Top(TopOptions),
 }
 
 /// Options for `xp serve`.
@@ -83,6 +84,21 @@ struct ServeOptions {
     /// Seeded deterministic fault injection across the daemon's I/O
     /// boundaries (recovery testing only).
     chaos_seed: Option<u64>,
+    /// Append requests slower than this to `<store>/slow.jsonl`.
+    slow_ms: Option<u64>,
+    /// Append one structured JSONL event per request here.
+    log: Option<PathBuf>,
+    /// Rotation cap for `--log`, in MiB (0 = the daemon default).
+    log_cap_mb: u64,
+}
+
+/// Options for `xp top`.
+#[derive(Debug)]
+struct TopOptions {
+    endpoint: xpd::client::Endpoint,
+    interval: Duration,
+    /// Print a single frame and exit (CI and scripting).
+    once: bool,
 }
 
 /// Options for `xp query`.
@@ -136,6 +152,8 @@ commands:
                            optionally re-parameterized with --set key=value
                            (exit codes: 0 ok, 1 error, 2 usage, 3 busy,
                            4 deadline expired)
+  top                      live view of a running daemon (queue depth, rates,
+                           hit ratio, latency quantiles), refreshed in place
 
 run options:
   --smoke                  smoke-scale problems (fast; CI default)
@@ -174,6 +192,12 @@ serve options:
                            boundaries (torn store writes, dropped responses,
                            delayed accepts) — recovery testing only; same
                            seed, same fault schedule
+  --slow-ms MS             append requests slower than MS to <store>/slow.jsonl
+                           (one JSONL record per slow request, with the same
+                           per-phase timing breakdown --timing reports)
+  --log FILE               append one structured JSONL event per request to
+                           FILE, rotating once to FILE.1 at the size cap
+  --log-cap-mb N           rotation cap for --log, in MiB (default: 4)
   --smoke, --threads N, --no-validation   as for `run`
 
 query options:
@@ -186,6 +210,15 @@ query options:
   --health                 print the daemon's readiness probe (queue depth,
                            in-flight count, store stats) instead of a query
   --shutdown               ask the daemon to shut down cleanly
+  --metrics                print the daemon's continuous metrics as JSON:
+                           gauges, cumulative counters, and a one-minute
+                           window of rates and latency quantiles
+  --prometheus             print the metrics in Prometheus text exposition
+                           format instead (implies --metrics; the same body
+                           the HTTP bridge serves at GET /metrics)
+  --timing                 report the answer's per-phase timing breakdown
+                           (queue wait, batch linger, eval, store write) on
+                           stderr; the stdout payload stays byte-identical
   --timeout-ms MS          client I/O timeout (default: wait indefinitely;
                            cold queries can take minutes)
   --deadline-ms MS         server-side deadline: work still queued when it
@@ -195,6 +228,12 @@ query options:
                            times (default: 0; safe — queries are idempotent)
   --backoff-ms MS          base of the jittered exponential backoff between
                            retries (default: 100)
+
+top options:
+  --socket PATH | --tcp ADDR   where the daemon listens (required)
+  --interval-ms MS         refresh period (default: 2000)
+  --once                   print one frame and exit (scripts and CI; plain
+                           output also under NO_COLOR or a piped stdout)
 
 bench options:
   --quick                  short measurement budgets (CI default)
@@ -383,6 +422,9 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 trace: None,
                 durability: xpd::store::Durability::default(),
                 chaos_seed: None,
+                slow_ms: None,
+                log: None,
+                log_cap_mb: 0,
             };
             let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                          flag: &str|
@@ -434,6 +476,22 @@ fn parse(args: &[String]) -> Result<Command, String> {
                             format!("xp serve: --chaos-seed expects an integer seed, got {v:?}")
                         })?);
                     }
+                    "--slow-ms" => {
+                        let v = value(&mut it, "--slow-ms")?;
+                        opts.slow_ms =
+                            Some(v.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                                format!(
+                                    "xp serve: --slow-ms expects positive milliseconds, got {v:?}"
+                                )
+                            })?);
+                    }
+                    "--log" => opts.log = Some(PathBuf::from(value(&mut it, "--log")?)),
+                    "--log-cap-mb" => {
+                        let v = value(&mut it, "--log-cap-mb")?;
+                        opts.log_cap_mb = v.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                            format!("xp serve: --log-cap-mb expects a positive integer, got {v:?}")
+                        })?;
+                    }
                     "--threads" => {
                         let v = value(&mut it, "--threads")?;
                         opts.threads = parse_threads(&v)?;
@@ -459,6 +517,9 @@ fn parse(args: &[String]) -> Result<Command, String> {
             let mut stats = false;
             let mut health = false;
             let mut shutdown = false;
+            let mut metrics = false;
+            let mut prometheus = false;
+            let mut timing = false;
             let mut timeout = None;
             let mut deadline_ms: Option<u64> = None;
             let mut retries: u32 = 0;
@@ -494,6 +555,12 @@ fn parse(args: &[String]) -> Result<Command, String> {
                     "--stats" => stats = true,
                     "--health" => health = true,
                     "--shutdown" => shutdown = true,
+                    "--metrics" => metrics = true,
+                    "--prometheus" => {
+                        metrics = true;
+                        prometheus = true;
+                    }
+                    "--timing" => timing = true,
                     "--timeout-ms" => {
                         let v = it
                             .next()
@@ -558,43 +625,108 @@ fn parse(args: &[String]) -> Result<Command, String> {
                     return Err("xp query: --socket and --tcp are mutually exclusive".to_string())
                 }
             };
-            if (stats || health || shutdown) && !sets.is_empty() {
+            if (stats || health || shutdown || metrics) && !sets.is_empty() {
                 return Err("xp query: --set only applies to artifact queries".to_string());
             }
-            if (stats || health || shutdown) && deadline_ms.is_some() {
+            if (stats || health || shutdown || metrics) && deadline_ms.is_some() {
                 return Err("xp query: --deadline-ms only applies to artifact queries".to_string());
             }
-            let request =
-                match (stats, health, shutdown, artifact) {
-                    (true, false, false, None) => common::proto::QueryRequest::stats(),
-                    (false, true, false, None) => common::proto::QueryRequest::health(),
-                    (false, false, true, None) => common::proto::QueryRequest::shutdown(),
-                    (false, false, false, Some(id)) => {
-                        let mut request = common::proto::QueryRequest::query(id);
-                        request.sets = sets;
-                        if let Some(ms) = deadline_ms {
-                            request = request.with_deadline_ms(ms);
-                        }
-                        request
+            if (stats || health || shutdown || metrics) && timing {
+                return Err("xp query: --timing only applies to artifact queries".to_string());
+            }
+            let request = match (stats, health, shutdown, metrics, artifact) {
+                (true, false, false, false, None) => common::proto::QueryRequest::stats(),
+                (false, true, false, false, None) => common::proto::QueryRequest::health(),
+                (false, false, true, false, None) => common::proto::QueryRequest::shutdown(),
+                (false, false, false, true, None) => {
+                    common::proto::QueryRequest::metrics(if prometheus {
+                        common::proto::MetricsFormat::Prometheus
+                    } else {
+                        common::proto::MetricsFormat::Json
+                    })
+                }
+                (false, false, false, false, Some(id)) => {
+                    let mut request = common::proto::QueryRequest::query(id);
+                    request.sets = sets;
+                    if let Some(ms) = deadline_ms {
+                        request = request.with_deadline_ms(ms);
                     }
-                    (false, false, false, None) => {
-                        return Err(
-                            "xp query: no artifact id (or pass --stats / --health / --shutdown)"
-                                .to_string(),
-                        )
+                    if timing {
+                        request = request.with_timing();
                     }
-                    _ => return Err(
-                        "xp query: --stats, --health, --shutdown, and an artifact id are mutually \
-                     exclusive"
+                    request
+                }
+                (false, false, false, false, None) => {
+                    return Err(
+                        "xp query: no artifact id (or pass --stats / --health / --metrics / \
+                         --shutdown)"
                             .to_string(),
-                    ),
-                };
+                    )
+                }
+                _ => return Err(
+                    "xp query: --stats, --health, --metrics, --shutdown, and an artifact id are \
+                     mutually exclusive"
+                        .to_string(),
+                ),
+            };
             Ok(Command::Query(QueryOptions {
                 endpoint,
                 request,
                 timeout,
                 retries,
                 backoff,
+            }))
+        }
+        "top" => {
+            let mut socket: Option<PathBuf> = None;
+            let mut tcp: Option<String> = None;
+            let mut interval = Duration::from_millis(2000);
+            let mut once = false;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--socket" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "xp top: --socket: missing path".to_string())?;
+                        socket = Some(PathBuf::from(v));
+                    }
+                    "--tcp" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "xp top: --tcp: missing address".to_string())?;
+                        tcp = Some(v.clone());
+                    }
+                    "--interval-ms" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "xp top: --interval-ms: missing value".to_string())?;
+                        let ms: u64 = v.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                            format!(
+                                "xp top: --interval-ms expects positive milliseconds, got {v:?}"
+                            )
+                        })?;
+                        interval = Duration::from_millis(ms);
+                    }
+                    "--once" => once = true,
+                    other => return Err(format!("xp top: unknown option {other}")),
+                }
+            }
+            let endpoint = match (socket, tcp) {
+                (Some(path), None) => xpd::client::Endpoint::Unix(path),
+                (None, Some(addr)) => xpd::client::Endpoint::Tcp(addr),
+                (None, None) => {
+                    return Err(
+                        "xp top: no daemon endpoint (pass --socket PATH or --tcp ADDR)".to_string(),
+                    )
+                }
+                (Some(_), Some(_)) => {
+                    return Err("xp top: --socket and --tcp are mutually exclusive".to_string())
+                }
+            };
+            Ok(Command::Top(TopOptions {
+                endpoint,
+                interval,
+                once,
             }))
         }
         "run" => {
@@ -770,6 +902,7 @@ fn load_journal(dir: &Path) -> Result<Vec<(String, Json)>, String> {
 /// 0 on success, 1 on evaluation/IO failure, 2 on usage errors
 /// (including unknown artifact ids).
 pub fn main(args: &[String]) -> i32 {
+    restore_default_sigpipe();
     match parse(args) {
         Err(msg) => {
             eprintln!("{msg}");
@@ -789,6 +922,7 @@ pub fn main(args: &[String]) -> i32 {
         Ok(Command::Bench(opts)) => crate::bench::run(&opts),
         Ok(Command::Serve(opts)) => serve(&opts),
         Ok(Command::Query(opts)) => query(&opts),
+        Ok(Command::Top(opts)) => top(&opts),
         Ok(Command::Run(opts)) => run(&opts),
     }
 }
@@ -815,6 +949,9 @@ fn serve(opts: &ServeOptions) -> i32 {
         batch_window: Duration::from_millis(opts.batch_window_ms),
         durability: opts.durability,
         chaos_seed: opts.chaos_seed,
+        slow_ms: opts.slow_ms,
+        log_file: opts.log.clone(),
+        log_cap_bytes: opts.log_cap_mb.saturating_mul(1024 * 1024),
     };
     let server = match xpd::server::Server::bind(config, engine) {
         Ok(s) => s,
@@ -826,8 +963,9 @@ fn serve(opts: &ServeOptions) -> i32 {
     // SIGINT/SIGTERM request the same graceful drain a client
     // `shutdown` does: stop accepting, finish queued work, flush the
     // store, exit 0. (`kill -9` is the crash the store's recovery path
-    // exists for — CI exercises both.)
-    install_shutdown_signals(server.stop_handle());
+    // exists for — CI exercises both.) SIGQUIT dumps the flight
+    // recorder and keeps serving.
+    install_shutdown_signals(server.stop_handle(), server.flight_recorder());
     if let Some(path) = &opts.socket {
         eprintln!("xp serve: listening on {}", path.display());
     }
@@ -876,26 +1014,63 @@ fn serve(opts: &ServeOptions) -> i32 {
 static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool =
     std::sync::atomic::AtomicBool::new(false);
 
+/// Trips on SIGQUIT: the watcher dumps the flight recorder and keeps
+/// serving — a diagnostic snapshot, not a shutdown.
+static FLIGHT_DUMP_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
 extern "C" fn on_shutdown_signal(_signum: i32) {
     SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
 }
 
-/// Routes SIGINT/SIGTERM to the server's graceful-stop handle. `std`
-/// exposes no signal API; `signal(2)` is the one C symbol needed, and
-/// declaring it directly keeps the workspace dependency-free.
-fn install_shutdown_signals(handle: xpd::server::StopHandle) {
+extern "C" fn on_flight_dump_signal(_signum: i32) {
+    FLIGHT_DUMP_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// The one C symbol the CLI needs: `signal(2)`. `std` exposes no signal
+/// API, and declaring the libc function directly keeps the workspace
+/// dependency-free. Handlers travel as raw addresses so one declaration
+/// covers both installing a Rust handler and restoring `SIG_DFL` (0).
+unsafe fn install_signal(signum: i32, handler: usize) {
     extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn signal(signum: i32, handler: usize) -> usize;
     }
+    signal(signum, handler);
+}
+
+/// Rust's startup ignores SIGPIPE, which turns `xp top | head` into a
+/// broken-pipe panic on the next stdout write instead of the silent
+/// exit every Unix filter gives. Restore the default disposition before
+/// any output happens.
+fn restore_default_sigpipe() {
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe { install_signal(SIGPIPE, SIG_DFL) };
+}
+
+/// Routes SIGINT/SIGTERM to the server's graceful-stop handle and
+/// SIGQUIT to an on-demand flight-recorder dump.
+fn install_shutdown_signals(
+    handle: xpd::server::StopHandle,
+    flight: std::sync::Arc<xpd::flightrec::FlightRecorder>,
+) {
     const SIGINT: i32 = 2;
+    const SIGQUIT: i32 = 3;
     const SIGTERM: i32 = 15;
     unsafe {
-        signal(SIGINT, on_shutdown_signal);
-        signal(SIGTERM, on_shutdown_signal);
+        install_signal(SIGINT, on_shutdown_signal as *const () as usize);
+        install_signal(SIGTERM, on_shutdown_signal as *const () as usize);
+        install_signal(SIGQUIT, on_flight_dump_signal as *const () as usize);
     }
     let spawned = std::thread::Builder::new()
         .name("xp-serve-signals".to_string())
         .spawn(move || loop {
+            if FLIGHT_DUMP_REQUESTED.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                match flight.dump("sigquit") {
+                    Ok(path) => eprintln!("xp serve: flight recorder dumped to {}", path.display()),
+                    Err(e) => eprintln!("xp serve: flight recorder dump failed: {e}"),
+                }
+            }
             if SHUTDOWN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
                 eprintln!("xp serve: shutdown signal received; draining");
                 handle.stop();
@@ -958,6 +1133,16 @@ fn query(opts: &QueryOptions) -> i32 {
         _ => {
             if let Some(stats) = &response.stats {
                 println!("{}", stats.render_pretty().trim_end());
+            } else if let Some(metrics) = &response.metrics {
+                // Prometheus text rides the wire as one JSON string;
+                // the JSON rendering is a structured object.
+                match metrics.as_str() {
+                    Some(text) => print!("{text}"),
+                    None => println!("{}", metrics.render_pretty().trim_end()),
+                }
+                if std::io::stdout().flush().is_err() {
+                    return 1;
+                }
             } else if let Some(payload) = &response.payload {
                 let source = match response.source {
                     Some(common::proto::Source::Store) => "store",
@@ -969,6 +1154,11 @@ fn query(opts: &QueryOptions) -> i32 {
                     opts.request.artifact,
                     response.digest.as_deref().unwrap_or("?")
                 );
+                if let Some(timing) = &response.timing {
+                    // Stderr with the other commentary: the payload on
+                    // stdout stays byte-identical to `xp run --out`.
+                    eprintln!("xp query: timing {}", timing.render());
+                }
                 print!("{payload}");
                 if std::io::stdout().flush().is_err() {
                     return 1;
@@ -979,6 +1169,154 @@ fn query(opts: &QueryOptions) -> i32 {
             }
             0
         }
+    }
+}
+
+/// `xp top`: a live, refreshing view of a running daemon built from its
+/// `metrics` and `health` ops. Redraws in place on interactive
+/// terminals; with `--once`, `NO_COLOR`, `TERM=dumb`, or a piped
+/// stdout it prints plain frames instead.
+fn top(opts: &TopOptions) -> i32 {
+    let fancy = !opts.once && top_wants_ansi();
+    let mut first = true;
+    loop {
+        let frame = match top_frame(&opts.endpoint) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("xp top: {e}");
+                return 1;
+            }
+        };
+        if fancy {
+            // Home + clear: each frame repaints over the previous one.
+            print!("\x1b[H\x1b[2J{frame}");
+        } else {
+            if !first {
+                println!();
+            }
+            print!("{frame}");
+        }
+        if std::io::stdout().flush().is_err() {
+            return 1;
+        }
+        if opts.once {
+            return 0;
+        }
+        first = false;
+        std::thread::sleep(opts.interval);
+    }
+}
+
+/// Whether `xp top` may redraw with ANSI escapes: an interactive
+/// stdout, no `NO_COLOR`, and a terminal that is not `dumb` — the same
+/// detection the runtime's progress reporting uses.
+fn top_wants_ansi() -> bool {
+    use std::io::IsTerminal;
+    std::env::var_os("NO_COLOR").is_none()
+        && std::env::var("TERM").map(|t| t != "dumb").unwrap_or(true)
+        && std::io::stdout().is_terminal()
+}
+
+/// One rendered `xp top` frame: readiness, uptime, queue/store gauges,
+/// request rate and hit ratio, and the last minute's latency quantiles.
+fn top_frame(endpoint: &xpd::client::Endpoint) -> Result<String, String> {
+    let timeout = Some(Duration::from_secs(5));
+    let mut conn =
+        xpd::client::Connection::connect(endpoint, timeout).map_err(|e| e.message().to_string())?;
+    let metrics = conn
+        .request(&common::proto::QueryRequest::metrics(
+            common::proto::MetricsFormat::Json,
+        ))
+        .map_err(|e| e.message().to_string())?;
+    let health = conn
+        .request(&common::proto::QueryRequest::health())
+        .map_err(|e| e.message().to_string())?;
+    let doc = metrics
+        .metrics
+        .ok_or_else(|| "daemon answered without a metrics document".to_string())?;
+    let ready = match health
+        .stats
+        .as_ref()
+        .and_then(|h| h.get("ready"))
+        .and_then(Json::as_bool)
+    {
+        Some(true) => "ready",
+        Some(false) => "not ready",
+        None => "?",
+    };
+
+    let num = |path: &[&str]| -> f64 {
+        let mut cur = &doc;
+        for key in path {
+            match cur.get(key) {
+                Some(next) => cur = next,
+                None => return 0.0,
+            }
+        }
+        cur.as_f64().unwrap_or(0.0)
+    };
+    let hits = num(&["counters", "xpd.store.hit"]);
+    let misses = num(&["counters", "xpd.store.miss"]);
+    let lookups = hits + misses;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "xpd {endpoint} — {ready}, up {}, pid {}\n",
+        format_uptime(num(&["uptime_secs"])),
+        num(&["pid"]) as u64
+    ));
+    out.push_str(&format!(
+        "queue {}/{}   in-flight {}   store {} entries / {:.1} MiB\n",
+        num(&["gauges", "queue_depth"]) as u64,
+        num(&["gauges", "queue_cap"]) as u64,
+        num(&["gauges", "inflight"]) as u64,
+        num(&["gauges", "store_entries"]) as u64,
+        num(&["gauges", "store_bytes"]) / (1024.0 * 1024.0)
+    ));
+    out.push_str(&format!(
+        "requests {} total   {:.2}/s (1m)",
+        num(&["counters", "xpd.request"]) as u64,
+        num(&["window_1m", "rates", "xpd.request"])
+    ));
+    if lookups > 0.0 {
+        out.push_str(&format!("   hit ratio {:.1}%", 100.0 * hits / lookups));
+    }
+    let chaos = num(&["counters", "xpd.chaos.injected"]);
+    if chaos > 0.0 {
+        out.push_str(&format!("   chaos {}", chaos as u64));
+    }
+    out.push('\n');
+    let latency = doc
+        .get("window_1m")
+        .and_then(|w| w.get("latency"))
+        .and_then(Json::as_object)
+        .unwrap_or(&[]);
+    if !latency.is_empty() {
+        out.push_str("latency, last 1m (ms):\n");
+        for (name, h) in latency {
+            let short = name.strip_prefix("xpd.").unwrap_or(name);
+            let g = |k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            out.push_str(&format!(
+                "  {short:<28} p50 {:>9.2}  p99 {:>9.2}  max {:>9.2}  (n={})\n",
+                g("p50_ms"),
+                g("p99_ms"),
+                g("max_ms"),
+                g("count") as u64
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// `4242.0` seconds → `"1h10m"`, `"7m02s"`, or `"42s"`.
+fn format_uptime(secs: f64) -> String {
+    let s = secs as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
     }
 }
 
@@ -1723,6 +2061,12 @@ mod tests {
             "--no-validation",
             "--trace",
             "serve.trace.json",
+            "--slow-ms",
+            "250",
+            "--log",
+            "events.jsonl",
+            "--log-cap-mb",
+            "8",
         ])) else {
             panic!("expected a serve command");
         };
@@ -1737,12 +2081,56 @@ mod tests {
         assert_eq!(opts.threads, 2);
         assert!(!opts.validation);
         assert_eq!(opts.trace.as_deref(), Some(Path::new("serve.trace.json")));
+        assert_eq!(opts.slow_ms, Some(250));
+        assert_eq!(opts.log.as_deref(), Some(Path::new("events.jsonl")));
+        assert_eq!(opts.log_cap_mb, 8);
 
         // An endpoint is required; bad numbers are rejected.
         assert!(parse(&argv(&["serve"])).is_err());
         assert!(parse(&argv(&["serve", "--tcp", "x", "--store-cap-mb", "0"])).is_err());
         assert!(parse(&argv(&["serve", "--tcp", "x", "--queue-cap", "none"])).is_err());
+        assert!(parse(&argv(&["serve", "--tcp", "x", "--slow-ms", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--tcp", "x", "--log-cap-mb", "no"])).is_err());
         assert!(parse(&argv(&["serve", "--frobnicate"])).is_err());
+
+        // Telemetry flags stay off by default.
+        let Ok(Command::Serve(opts)) = parse(&argv(&["serve", "--tcp", "127.0.0.1:0"])) else {
+            panic!("expected a serve command");
+        };
+        assert_eq!(opts.slow_ms, None);
+        assert!(opts.log.is_none());
+        assert_eq!(opts.log_cap_mb, 0);
+    }
+
+    #[test]
+    fn top_parsing_requires_an_endpoint() {
+        let Ok(Command::Top(opts)) = parse(&argv(&[
+            "top",
+            "--tcp",
+            "127.0.0.1:7070",
+            "--interval-ms",
+            "500",
+            "--once",
+        ])) else {
+            panic!("expected a top command");
+        };
+        assert_eq!(
+            opts.endpoint,
+            xpd::client::Endpoint::Tcp("127.0.0.1:7070".to_string())
+        );
+        assert_eq!(opts.interval, Duration::from_millis(500));
+        assert!(opts.once);
+
+        let Ok(Command::Top(opts)) = parse(&argv(&["top", "--socket", "/tmp/x"])) else {
+            panic!("expected a top command");
+        };
+        assert_eq!(opts.interval, Duration::from_millis(2000));
+        assert!(!opts.once);
+
+        assert!(parse(&argv(&["top"])).is_err());
+        assert!(parse(&argv(&["top", "--tcp", "h:1", "--socket", "s"])).is_err());
+        assert!(parse(&argv(&["top", "--tcp", "h:1", "--interval-ms", "0"])).is_err());
+        assert!(parse(&argv(&["top", "--tcp", "h:1", "--frobnicate"])).is_err());
     }
 
     #[test]
@@ -1780,6 +2168,21 @@ mod tests {
             panic!("expected a shutdown query");
         };
         assert_eq!(q.request.op, RequestOp::Shutdown);
+        let Ok(Command::Query(q)) = parse(&argv(&["query", "--metrics", "--tcp", "h:1"])) else {
+            panic!("expected a metrics query");
+        };
+        assert_eq!(q.request.op, RequestOp::Metrics);
+        assert_eq!(q.request.format, common::proto::MetricsFormat::Json);
+        let Ok(Command::Query(q)) = parse(&argv(&["query", "--prometheus", "--tcp", "h:1"])) else {
+            panic!("expected a prometheus metrics query");
+        };
+        assert_eq!(q.request.op, RequestOp::Metrics);
+        assert_eq!(q.request.format, common::proto::MetricsFormat::Prometheus);
+        let Ok(Command::Query(q)) = parse(&argv(&["query", "fig6", "--timing", "--tcp", "h:1"]))
+        else {
+            panic!("expected a timed artifact query");
+        };
+        assert!(q.request.timing);
 
         // Usage errors: endpoint required, one artifact, exclusive modes.
         assert!(parse(&argv(&["query", "fig6"])).is_err());
@@ -1787,6 +2190,17 @@ mod tests {
         assert!(parse(&argv(&["query", "fig6", "fig7", "--tcp", "h:1"])).is_err());
         assert!(parse(&argv(&["query", "fig6", "--tcp", "h:1", "--socket", "s"])).is_err());
         assert!(parse(&argv(&["query", "fig6", "--stats", "--tcp", "h:1"])).is_err());
+        assert!(parse(&argv(&["query", "fig6", "--metrics", "--tcp", "h:1"])).is_err());
+        assert!(parse(&argv(&["query", "--stats", "--timing", "--tcp", "h:1"])).is_err());
+        assert!(parse(&argv(&[
+            "query",
+            "--metrics",
+            "--tcp",
+            "h:1",
+            "--set",
+            "bw=2x"
+        ]))
+        .is_err());
         assert!(parse(&argv(&[
             "query", "--stats", "--tcp", "h:1", "--set", "bw=2x"
         ]))

@@ -107,6 +107,7 @@ pub struct FaultInjector {
     seed: u64,
     ops: AtomicU64,
     injected: AtomicU64,
+    injected_live: trace::live::LiveCounter,
     torn_write_permille: u32,
     drop_response_permille: u32,
     delay_accept_permille: u32,
@@ -127,6 +128,7 @@ impl FaultInjector {
             seed,
             ops: AtomicU64::new(0),
             injected: AtomicU64::new(0),
+            injected_live: trace::live::counter("xpd.chaos.injected"),
             torn_write_permille: permille(config.torn_write),
             drop_response_permille: permille(config.drop_response),
             delay_accept_permille: permille(config.delay_accept),
@@ -161,7 +163,7 @@ impl FaultInjector {
             return None;
         }
         self.injected.fetch_add(1, Ordering::Relaxed);
-        trace::count("xpd.chaos.injected", 1);
+        self.injected_live.add(1);
         // Derived bits of the same roll shape the fault: how much of the
         // write/response survives, and whether a torn write renames.
         let keep_permille = ((roll >> 10) % 1000) as u32;

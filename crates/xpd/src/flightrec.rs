@@ -1,0 +1,260 @@
+//! The flight recorder: an always-on bounded ring of recent
+//! request/store/chaos events, dumped to disk when something goes
+//! wrong.
+//!
+//! Continuous metrics (`trace::live`) answer *how much and how fast*;
+//! the flight recorder answers *what just happened* — the last few
+//! hundred events leading up to a panic, a quarantined store entry, or
+//! an operator's `kill -QUIT`. Recording is always on and cheap (one
+//! bounded `VecDeque` push under a mutex, at request granularity, not
+//! per byte); nothing is written to disk until a dump is triggered, at
+//! which point the ring is rendered to `<store>/flightrec-<n>.json` —
+//! `n` increments across dumps *and* restarts, so a crash loop leaves a
+//! numbered series instead of overwriting its own evidence.
+//!
+//! Dump triggers:
+//! * **panic** — [`arm_panic_dumps`] chains a process-wide panic hook
+//!   that dumps every live recorder (the daemon catches engine panics,
+//!   but the hook runs first, so contained panics still leave a
+//!   record);
+//! * **quarantine** — the server's store observer dumps when a corrupt
+//!   entry is quarantined;
+//! * **SIGQUIT** — the CLI wires `kill -QUIT` to an explicit
+//!   [`FlightRecorder::dump`], the operator's "show me what you were
+//!   doing" button (serving continues).
+
+use common::json::Json;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Events retained in the ring; older ones fall off the front.
+pub const RING_CAP: usize = 256;
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+struct FlightEvent {
+    seq: u64,
+    at_unix_ms: u64,
+    kind: &'static str,
+    detail: String,
+}
+
+/// An always-on bounded ring of recent events plus the machinery to
+/// dump it (see the module docs).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    dir: PathBuf,
+    seq: AtomicU64,
+    next_dump: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<FlightEvent>>,
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+impl FlightRecorder {
+    /// A recorder dumping into `dir`. Existing `flightrec-<n>.json`
+    /// files there are counted so new dumps continue the series.
+    pub fn new(dir: impl Into<PathBuf>) -> Arc<FlightRecorder> {
+        let dir = dir.into();
+        let mut next_dump = 0u64;
+        if let Ok(listing) = std::fs::read_dir(&dir) {
+            for entry in listing.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some(n) = name
+                    .strip_prefix("flightrec-")
+                    .and_then(|rest| rest.strip_suffix(".json"))
+                    .and_then(|n| n.parse::<u64>().ok())
+                {
+                    next_dump = next_dump.max(n + 1);
+                }
+            }
+        }
+        Arc::new(FlightRecorder {
+            dir,
+            seq: AtomicU64::new(0),
+            next_dump: AtomicU64::new(next_dump),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(RING_CAP)),
+        })
+    }
+
+    /// Appends one event, dropping (and counting) the oldest when full.
+    pub fn record(&self, kind: &'static str, detail: String) {
+        let event = FlightEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            at_unix_ms: unix_ms(),
+            kind,
+            detail,
+        };
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() >= RING_CAP {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Renders the ring as the dump document.
+    fn render(&self, reason: &str) -> Json {
+        let events: Vec<FlightEvent> = {
+            let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+            ring.iter().cloned().collect()
+        };
+        let mut list = Json::array();
+        for e in &events {
+            let mut o = Json::object();
+            o.insert("seq", e.seq as f64);
+            o.insert("at_unix_ms", e.at_unix_ms as f64);
+            o.insert("kind", e.kind);
+            o.insert("detail", e.detail.as_str());
+            list.push(o);
+        }
+        let mut doc = Json::object();
+        doc.insert("reason", reason);
+        doc.insert("dumped_at_unix_ms", unix_ms() as f64);
+        doc.insert("pid", std::process::id() as f64);
+        doc.insert("dropped", self.dropped.load(Ordering::Relaxed) as f64);
+        doc.insert("events", list);
+        doc
+    }
+
+    /// Dumps the ring to the next `flightrec-<n>.json` (tmp + rename,
+    /// so a reader never sees a torn document) and returns its path.
+    /// The ring keeps recording; a dump is a copy, not a drain.
+    pub fn dump(&self, reason: &str) -> Result<PathBuf, String> {
+        let n = self.next_dump.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("flightrec-{n}.json"));
+        let tmp = self
+            .dir
+            .join(format!("flightrec-{n}.json.tmp.{}", std::process::id()));
+        let body = self.render(reason).render();
+        std::fs::write(&tmp, body.as_bytes())
+            .map_err(|e| format!("xpd flightrec: cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("xpd flightrec: cannot rename into {}: {e}", path.display())
+        })?;
+        Ok(path)
+    }
+}
+
+static PANIC_RECORDERS: OnceLock<Mutex<Vec<Weak<FlightRecorder>>>> = OnceLock::new();
+
+/// Registers `recorder` for panic-triggered dumps, installing the
+/// process-wide panic hook on first use. The hook chains to whatever
+/// hook was installed before it, records the panic message into every
+/// registered (still-live) recorder, and dumps each one — then lets the
+/// previous hook print its usual report. Registration holds only a
+/// `Weak`, so a shut-down server's recorder ages out instead of pinning
+/// its store directory forever.
+pub fn arm_panic_dumps(recorder: &Arc<FlightRecorder>) {
+    let registry = PANIC_RECORDERS.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(registry) = PANIC_RECORDERS.get() {
+                let mut recorders = registry.lock().unwrap_or_else(|e| e.into_inner());
+                recorders.retain(|w| w.strong_count() > 0);
+                for rec in recorders.iter().filter_map(Weak::upgrade) {
+                    rec.record("panic", info.to_string());
+                    if let Err(e) = rec.dump("panic") {
+                        eprintln!("{e}");
+                    }
+                }
+            }
+            prev(info);
+        }));
+        Mutex::new(Vec::new())
+    });
+    registry
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Arc::downgrade(recorder));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xpd-flightrec-{tag}-{}-{}",
+            std::process::id(),
+            unix_ms()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn dumps_are_parseable_and_numbered_across_instances() {
+        let dir = temp_dir("dump");
+        let rec = FlightRecorder::new(&dir);
+        rec.record("request", "id=1 op=query status=ok".to_string());
+        rec.record("store", "put deadbeef".to_string());
+        let path = rec.dump("test").unwrap();
+        assert!(path.ends_with("flightrec-0.json"));
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("reason").unwrap().as_str(), Some("test"));
+        let events = doc.get("events").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("kind").unwrap().as_str(), Some("request"));
+        assert_eq!(events[1].get("seq").unwrap().as_f64(), Some(1.0));
+
+        // A second dump and a fresh recorder both continue the series.
+        assert!(rec.dump("again").unwrap().ends_with("flightrec-1.json"));
+        let rec2 = FlightRecorder::new(&dir);
+        assert!(rec2.dump("restart").unwrap().ends_with("flightrec-2.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let dir = temp_dir("ring");
+        let rec = FlightRecorder::new(&dir);
+        for i in 0..(RING_CAP + 10) {
+            rec.record("request", format!("id={i}"));
+        }
+        let path = rec.dump("overflow").unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let events = doc.get("events").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), RING_CAP);
+        assert_eq!(doc.get("dropped").unwrap().as_f64(), Some(10.0));
+        // Oldest events fell off the front: the first retained seq is 10.
+        assert_eq!(events[0].get("seq").unwrap().as_f64(), Some(10.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panic_hook_dumps_registered_recorders() {
+        let dir = temp_dir("panic");
+        let rec = FlightRecorder::new(&dir);
+        rec.record("request", "before the crash".to_string());
+        arm_panic_dumps(&rec);
+        let _ = std::panic::catch_unwind(|| panic!("test panic for flightrec"));
+        let dumped: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .collect();
+        assert!(
+            !dumped.is_empty(),
+            "panic hook left no dump in {}",
+            dir.display()
+        );
+        let doc = Json::parse(&std::fs::read_to_string(&dumped[0]).unwrap()).unwrap();
+        assert_eq!(doc.get("reason").unwrap().as_str(), Some("panic"));
+        let rendered = doc.render();
+        assert!(rendered.contains("test panic for flightrec"), "{rendered}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

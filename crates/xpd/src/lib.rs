@@ -46,11 +46,14 @@
 
 pub mod chaos;
 pub mod client;
+pub mod flightrec;
+pub mod log;
+pub mod metrics;
 pub mod queue;
 pub mod server;
 pub mod store;
 
-pub use common::proto::{QueryRequest, QueryResponse, RequestOp, Source};
+pub use common::proto::{MetricsFormat, QueryRequest, QueryResponse, RequestOp, Source};
 
 use common::json::Json;
 

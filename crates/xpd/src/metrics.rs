@@ -1,0 +1,377 @@
+//! Metrics rendering: the `metrics` request op's JSON and Prometheus
+//! text exposition formats.
+//!
+//! Both renderings read the same two sources — the process-wide
+//! always-on registry in `trace::live` (cumulative counters and
+//! latency histograms, plus a ~1 minute windowed rollup for rates and
+//! recent quantiles) and a [`Gauges`] of instantaneous server state
+//! sampled by the caller (queue depth, store size, uptime). The
+//! Prometheus exposition follows the text format version 0.0.4, so a
+//! real scraper pointed at a TCP daemon's `/metrics` just works:
+//! counters become `_total` families, per-op request latency becomes
+//! one `summary` family with `op` labels whose quantiles come from the
+//! last-minute window (and whose `_sum`/`_count` stay cumulative, the
+//! standard summary semantics), and phase latencies become a second
+//! summary family with `phase` labels.
+
+use common::json::Json;
+use std::time::Duration;
+use trace::hist::HistogramSnapshot;
+use trace::live::{self, LiveSnapshot, Window};
+
+/// Instantaneous server state the registry cannot know: sampled by the
+/// server at render time and exported as Prometheus gauges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Requests currently queued.
+    pub queue_depth: u64,
+    /// Configured queue capacity.
+    pub queue_cap: u64,
+    /// Digests currently being computed (single-flight leaders).
+    pub inflight: u64,
+    /// Entries resident in the store.
+    pub store_entries: u64,
+    /// Payload bytes resident in the store.
+    pub store_bytes: u64,
+    /// Seconds since the server started (monotonic clock).
+    pub uptime_secs: f64,
+    /// The daemon's process ID.
+    pub pid: u32,
+}
+
+/// The window quantiles are computed over.
+pub const WINDOW: Duration = Duration::from_secs(60);
+
+fn is_exported(name: &str) -> bool {
+    name.starts_with("xpd.")
+}
+
+/// `xpd.request_duration.query` → `("xpd_request_duration", Some(("op", "query")))`;
+/// plain counters/histograms get a mangled name and no label.
+fn prom_family(name: &str) -> (String, Option<(&'static str, String)>) {
+    if let Some(op) = name.strip_prefix("xpd.request_duration.") {
+        return (
+            "xpd_request_duration".to_string(),
+            Some(("op", op.to_string())),
+        );
+    }
+    if let Some(phase) = name.strip_prefix("xpd.phase.") {
+        return (
+            "xpd_phase_duration".to_string(),
+            Some(("phase", phase.to_string())),
+        );
+    }
+    let mangled: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    (mangled, None)
+}
+
+/// Counter families whose Prometheus name is not the mechanical
+/// mangling of the registry name.
+fn prom_counter_family(name: &str) -> String {
+    if name == "xpd.request" {
+        // The canonical "how many requests" family scrapers look for.
+        return "xpd_requests".to_string();
+    }
+    prom_family(name).0
+}
+
+fn secs(nanos: u64) -> f64 {
+    nanos as f64 / 1e9
+}
+
+fn ms(nanos: u64) -> f64 {
+    nanos as f64 / 1e6
+}
+
+fn latency_json(h: &HistogramSnapshot) -> Json {
+    let mut o = Json::object();
+    o.insert("count", h.count as f64);
+    o.insert("mean_ms", ms(h.mean() as u64));
+    o.insert("p50_ms", ms(h.quantile(0.5)));
+    o.insert("p99_ms", ms(h.quantile(0.99)));
+    o.insert("max_ms", ms(h.max));
+    o
+}
+
+/// The `metrics` op's JSON payload: gauges, cumulative counters, and a
+/// last-minute window of rates and latency quantiles.
+pub fn metrics_json(g: &Gauges) -> Json {
+    let cum = live::cumulative();
+    let win = live::window(WINDOW);
+    render_json(g, &cum, &win)
+}
+
+fn render_json(g: &Gauges, cum: &LiveSnapshot, win: &Window) -> Json {
+    let mut doc = Json::object();
+    doc.insert("uptime_secs", g.uptime_secs);
+    doc.insert("pid", g.pid as f64);
+
+    let mut gauges = Json::object();
+    gauges.insert("queue_depth", g.queue_depth as f64);
+    gauges.insert("queue_cap", g.queue_cap as f64);
+    gauges.insert("inflight", g.inflight as f64);
+    gauges.insert("store_entries", g.store_entries as f64);
+    gauges.insert("store_bytes", g.store_bytes as f64);
+    doc.insert("gauges", gauges);
+
+    let mut counters = Json::object();
+    for (name, v) in cum.counters.iter().filter(|(n, _)| is_exported(n)) {
+        counters.insert(name, *v as f64);
+    }
+    doc.insert("counters", counters);
+
+    let mut window = Json::object();
+    window.insert("elapsed_secs", secs(win.elapsed_nanos));
+    let mut rates = Json::object();
+    for (name, _) in win.counters.iter().filter(|(n, _)| is_exported(n)) {
+        rates.insert(name, win.rate(name));
+    }
+    window.insert("rates", rates);
+    let mut latency = Json::object();
+    for (name, h) in win.histograms.iter().filter(|(n, _)| is_exported(n)) {
+        if h.count > 0 {
+            latency.insert(name, latency_json(h));
+        }
+    }
+    window.insert("latency", latency);
+    doc.insert("window_1m", window);
+    doc
+}
+
+/// The `metrics` op's Prometheus text payload (exposition format
+/// 0.0.4), served to real scrapers over the HTTP bridge.
+pub fn prometheus_text(g: &Gauges) -> String {
+    let cum = live::cumulative();
+    let win = live::window(WINDOW);
+    render_prometheus(g, &cum, &win)
+}
+
+fn push_gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+    ));
+}
+
+fn render_prometheus(g: &Gauges, cum: &LiveSnapshot, win: &Window) -> String {
+    let mut out = String::new();
+
+    for (name, v) in cum.counters.iter().filter(|(n, _)| is_exported(n)) {
+        let family = prom_counter_family(name);
+        out.push_str(&format!(
+            "# HELP {family}_total Cumulative count of `{name}` since process start.\n\
+             # TYPE {family}_total counter\n\
+             {family}_total {v}\n"
+        ));
+    }
+
+    push_gauge(
+        &mut out,
+        "xpd_queue_depth",
+        "Requests currently queued.",
+        g.queue_depth as f64,
+    );
+    push_gauge(
+        &mut out,
+        "xpd_queue_cap",
+        "Configured queue capacity.",
+        g.queue_cap as f64,
+    );
+    push_gauge(
+        &mut out,
+        "xpd_inflight",
+        "Digests currently being computed.",
+        g.inflight as f64,
+    );
+    push_gauge(
+        &mut out,
+        "xpd_store_entries",
+        "Entries resident in the store.",
+        g.store_entries as f64,
+    );
+    push_gauge(
+        &mut out,
+        "xpd_store_bytes",
+        "Payload bytes resident in the store.",
+        g.store_bytes as f64,
+    );
+    push_gauge(
+        &mut out,
+        "xpd_uptime_seconds",
+        "Seconds since the server started.",
+        g.uptime_secs,
+    );
+
+    // Summaries: group histograms by family so each family gets one
+    // HELP/TYPE header, with quantiles from the recent window and
+    // cumulative _sum/_count (the standard summary semantics).
+    let mut last_family: Option<String> = None;
+    for (name, cum_h) in cum.histograms.iter().filter(|(n, _)| is_exported(n)) {
+        let (family, label) = prom_family(name);
+        if last_family.as_deref() != Some(&family) {
+            out.push_str(&format!(
+                "# HELP {family} Latency in seconds (quantiles over the last minute).\n\
+                 # TYPE {family} summary\n"
+            ));
+            last_family = Some(family.clone());
+        }
+        let sel = |q: &str| match &label {
+            Some((k, v)) => format!("{{{k}=\"{v}\",quantile=\"{q}\"}}"),
+            None => format!("{{quantile=\"{q}\"}}"),
+        };
+        let bare = match &label {
+            Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
+            None => String::new(),
+        };
+        if let Some(win_h) = win.histogram(name).filter(|h| h.count > 0) {
+            for (q, label_q) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                out.push_str(&format!(
+                    "{family}{} {}\n",
+                    sel(label_q),
+                    secs(win_h.quantile(q))
+                ));
+            }
+        }
+        out.push_str(&format!("{family}_sum{bare} {}\n", secs(cum_h.sum)));
+        out.push_str(&format!("{family}_count{bare} {}\n", cum_h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Gauges, LiveSnapshot, Window) {
+        let gauges = Gauges {
+            queue_depth: 2,
+            queue_cap: 256,
+            inflight: 1,
+            store_entries: 5,
+            store_bytes: 1234,
+            uptime_secs: 42.5,
+            pid: 777,
+        };
+        let mut query_lat = HistogramSnapshot::default();
+        for nanos in [1_000_000, 2_000_000, 150_000_000] {
+            query_lat.record(nanos);
+        }
+        let mut queue_wait = HistogramSnapshot::default();
+        queue_wait.record(500_000);
+        let cum = LiveSnapshot {
+            at_nanos: 90_000_000_000,
+            counters: vec![
+                ("not.exported".to_string(), 9),
+                ("xpd.request".to_string(), 120),
+                ("xpd.store.hit".to_string(), 80),
+            ],
+            histograms: vec![
+                ("xpd.phase.queue_wait".to_string(), queue_wait.clone()),
+                ("xpd.request_duration.query".to_string(), query_lat.clone()),
+            ],
+        };
+        let win = Window {
+            elapsed_nanos: 60_000_000_000,
+            counters: vec![
+                ("not.exported".to_string(), 9),
+                ("xpd.request".to_string(), 30),
+                ("xpd.store.hit".to_string(), 20),
+            ],
+            histograms: vec![
+                ("xpd.phase.queue_wait".to_string(), queue_wait),
+                ("xpd.request_duration.query".to_string(), query_lat),
+            ],
+        };
+        (gauges, cum, win)
+    }
+
+    #[test]
+    fn json_reports_gauges_cumulative_counters_and_windowed_latency() {
+        let (g, cum, win) = fixture();
+        let doc = render_json(&g, &cum, &win);
+        assert_eq!(doc.get("uptime_secs").unwrap().as_f64(), Some(42.5));
+        assert_eq!(doc.get("pid").unwrap().as_f64(), Some(777.0));
+        let gauges = doc.get("gauges").unwrap();
+        assert_eq!(gauges.get("queue_depth").unwrap().as_f64(), Some(2.0));
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(counters.get("xpd.request").unwrap().as_f64(), Some(120.0));
+        assert!(
+            counters.get("not.exported").is_none(),
+            "foreign names stay out"
+        );
+        let window = doc.get("window_1m").unwrap();
+        assert_eq!(window.get("elapsed_secs").unwrap().as_f64(), Some(60.0));
+        assert_eq!(
+            window
+                .get("rates")
+                .unwrap()
+                .get("xpd.request")
+                .unwrap()
+                .as_f64(),
+            Some(0.5)
+        );
+        let lat = window
+            .get("latency")
+            .unwrap()
+            .get("xpd.request_duration.query")
+            .unwrap();
+        assert_eq!(lat.get("count").unwrap().as_f64(), Some(3.0));
+        assert!(lat.get("p99_ms").unwrap().as_f64().unwrap() >= 100.0);
+    }
+
+    #[test]
+    fn prometheus_text_has_counter_gauge_and_summary_families() {
+        let (g, cum, win) = fixture();
+        let text = render_prometheus(&g, &cum, &win);
+        assert!(text.contains("# TYPE xpd_requests_total counter"), "{text}");
+        assert!(text.contains("xpd_requests_total 120"), "{text}");
+        assert!(text.contains("xpd_store_hit_total 80"), "{text}");
+        assert!(!text.contains("not_exported"), "{text}");
+        assert!(text.contains("# TYPE xpd_queue_depth gauge"), "{text}");
+        assert!(text.contains("xpd_queue_depth 2"), "{text}");
+        assert!(text.contains("xpd_uptime_seconds 42.5"), "{text}");
+        assert!(
+            text.contains("# TYPE xpd_request_duration summary"),
+            "{text}"
+        );
+        assert!(
+            text.contains("xpd_request_duration{op=\"query\",quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("xpd_request_duration_count{op=\"query\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("xpd_phase_duration{phase=\"queue_wait\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        // Every line is a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_windows_skip_quantiles_but_keep_cumulative_sums() {
+        let (g, cum, mut win) = fixture();
+        win.histograms.clear();
+        let text = render_prometheus(&g, &cum, &win);
+        assert!(!text.contains("quantile="), "{text}");
+        assert!(
+            text.contains("xpd_request_duration_count{op=\"query\"} 3"),
+            "{text}"
+        );
+    }
+}

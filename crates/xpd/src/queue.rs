@@ -95,6 +95,13 @@ impl<T> FairQueue<T> {
     /// `max` items round-robin across client lanes — one item per lane
     /// per turn. Returns `None` once the queue is closed *and* drained.
     pub fn pop_batch(&self, max: usize, window: Duration) -> Option<Vec<T>> {
+        self.pop_batch_timed(max, window).map(|(batch, _)| batch)
+    }
+
+    /// [`pop_batch`](Self::pop_batch), plus how long the call lingered
+    /// for batch-mates after the first item was available — the
+    /// `batch_linger` phase of every job in the returned batch.
+    pub fn pop_batch_timed(&self, max: usize, window: Duration) -> Option<(Vec<T>, Duration)> {
         let max = max.max(1);
         let mut state = self.state.lock().unwrap();
         // Wait for the first item (or close).
@@ -105,7 +112,8 @@ impl<T> FairQueue<T> {
             state = self.available.wait(state).unwrap();
         }
         // Linger for the batch window or until the batch is full.
-        let deadline = Instant::now() + window;
+        let linger_start = Instant::now();
+        let deadline = linger_start + window;
         while state.len < max && !state.closed {
             let now = Instant::now();
             if now >= deadline {
@@ -117,6 +125,7 @@ impl<T> FairQueue<T> {
                 break;
             }
         }
+        let linger = linger_start.elapsed();
         // Drain round-robin, one item per lane per turn.
         let mut batch = Vec::with_capacity(max.min(state.len));
         while batch.len() < max && state.len > 0 {
@@ -139,7 +148,7 @@ impl<T> FairQueue<T> {
                 state.cursor = (i + 1) % state.lanes.len();
             }
         }
-        Some(batch)
+        Some((batch, linger))
     }
 
     /// Removes `client`'s lane entirely and returns its queued items
@@ -294,5 +303,20 @@ mod tests {
         let batch = q.pop_batch(8, Duration::from_millis(400)).unwrap();
         pusher.join().unwrap();
         assert_eq!(batch.len(), 2, "late arrival joined the batch: {batch:?}");
+    }
+
+    #[test]
+    fn timed_pop_reports_the_linger_spent_waiting_for_batch_mates() {
+        let q: FairQueue<u32> = FairQueue::new(8);
+        q.push(1, 1).unwrap();
+        // A full batch returns immediately: no measurable linger.
+        let (batch, linger) = q.pop_batch_timed(1, Duration::from_millis(400)).unwrap();
+        assert_eq!(batch, vec![1]);
+        assert!(linger < Duration::from_millis(100), "linger {linger:?}");
+        // An underfull batch waits out the window, and says so.
+        q.push(1, 2).unwrap();
+        let (batch, linger) = q.pop_batch_timed(4, Duration::from_millis(40)).unwrap();
+        assert_eq!(batch, vec![2]);
+        assert!(linger >= Duration::from_millis(40), "linger {linger:?}");
     }
 }

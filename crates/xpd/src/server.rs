@@ -25,11 +25,14 @@
 use crate::chaos::{
     floor_char_boundary, torn_prefix_len, ChaosConfig, FaultInjector, IoFault, IoPoint,
 };
+use crate::flightrec::{self, FlightRecorder};
+use crate::log::EventLog;
+use crate::metrics::{self, Gauges};
 use crate::queue::{FairQueue, QueueFull};
-use crate::store::{Durability, ResultStore};
+use crate::store::{Durability, ResultStore, StoreEvent};
 use crate::QueryEngine;
 use common::json::Json;
-use common::proto::{QueryRequest, QueryResponse, RequestOp, Source};
+use common::proto::{MetricsFormat, QueryRequest, QueryResponse, RequestOp, Source};
 use runtime::cache::{panic_message, ShardedCache};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener};
@@ -38,7 +41,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use trace::live::{LiveHistogram, ScopedCounter};
 
 /// How often accept loops and idle connections check the stop flag.
 const POLL: Duration = Duration::from_millis(100);
@@ -71,6 +75,17 @@ pub struct ServerConfig {
     /// schedule — the knob exists for recovery testing, never for
     /// production serving.
     pub chaos_seed: Option<u64>,
+    /// When set, requests slower than this many milliseconds are
+    /// appended (with their phase breakdown) to `<store>/slow.jsonl`
+    /// (`xp serve --slow-ms N`).
+    pub slow_ms: Option<u64>,
+    /// When set, every request is appended as one JSONL record to this
+    /// file (`xp serve --log FILE`), rotated once at
+    /// [`log_cap_bytes`](Self::log_cap_bytes).
+    pub log_file: Option<PathBuf>,
+    /// Rotation threshold for [`log_file`](Self::log_file); 0 means
+    /// [`crate::log::DEFAULT_CAP_BYTES`].
+    pub log_cap_bytes: u64,
 }
 
 impl ServerConfig {
@@ -87,15 +102,35 @@ impl ServerConfig {
             batch_window: Duration::from_millis(20),
             durability: Durability::default(),
             chaos_seed: None,
+            slow_ms: None,
+            log_file: None,
+            log_cap_bytes: 0,
         }
     }
+}
+
+/// Where an answered request's time went, in nanoseconds. All zero for
+/// answers that never reached the scheduler (store hits, errors).
+/// Joiners share the leader's flight, so a deduped answer carries the
+/// *leader's* phases — the work that actually produced the bytes.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseNanos {
+    /// Queued before the scheduler began assembling the answering batch.
+    queue_wait: u64,
+    /// The batch window spent waiting for batch-mates.
+    batch_linger: u64,
+    /// Engine evaluation wall time of the whole batch (the requester
+    /// waits for all of it, so that is the honest per-request number).
+    eval: u64,
+    /// Persisting this answer to the store.
+    store_write: u64,
 }
 
 /// A query answer as it moves between threads. Payloads are `Arc`ed so
 /// joiners share the leader's allocation.
 #[derive(Clone)]
 enum Answer {
-    Ready(Source, Arc<String>),
+    Ready(Source, Arc<String>, PhaseNanos),
     Busy(String),
     TimedOut(String),
     Failed(String),
@@ -103,12 +138,18 @@ enum Answer {
 
 /// One cold request parked in the queue: resolved by the scheduler.
 struct Job {
+    /// The request ID minted at accept, for logs and the flight
+    /// recorder.
+    id: u64,
     digest: String,
     request: QueryRequest,
     slot: Arc<Slot>,
     /// When the requester stops caring. The scheduler answers expired
     /// jobs `timeout` instead of spending engine time on them.
     deadline: Option<Instant>,
+    /// When the job entered the queue — the start of its `queue_wait`
+    /// phase.
+    enqueued_at: Instant,
 }
 
 /// A one-shot rendezvous between a waiting connection thread and the
@@ -144,18 +185,83 @@ impl Slot {
     }
 }
 
-#[derive(Default)]
+/// The daemon's counters, as instance-scoped views over the always-on
+/// `xpd.*` registry ([`trace::live`]): one write serves `stats`
+/// responses (instance-exact, via [`ScopedCounter::local`] — tests run
+/// several servers in one process), the `metrics` op and Prometheus
+/// exposition (the process-wide registry), and `xp trace summary`
+/// (sessions fold the registry delta in). The names are the same ones
+/// the pre-registry `trace::count` calls used, so existing summaries
+/// and dashboards keep reading.
 struct Counters {
-    requests: AtomicU64,
-    store_hits: AtomicU64,
-    store_misses: AtomicU64,
-    inflight_joins: AtomicU64,
-    enqueued: AtomicU64,
-    rejected: AtomicU64,
-    timeouts: AtomicU64,
-    batches: AtomicU64,
-    batch_points: AtomicU64,
-    peak_depth: AtomicU64,
+    requests: ScopedCounter,
+    store_hits: ScopedCounter,
+    store_misses: ScopedCounter,
+    inflight_joins: ScopedCounter,
+    enqueued: ScopedCounter,
+    rejected: ScopedCounter,
+    timeouts: ScopedCounter,
+    batches: ScopedCounter,
+    batch_points: ScopedCounter,
+    peak_depth: ScopedCounter,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            requests: ScopedCounter::new("xpd.request"),
+            store_hits: ScopedCounter::new("xpd.store.hit"),
+            store_misses: ScopedCounter::new("xpd.store.miss"),
+            inflight_joins: ScopedCounter::new("xpd.inflight_join"),
+            enqueued: ScopedCounter::new("xpd.queue.enqueued"),
+            rejected: ScopedCounter::new("xpd.queue.rejected"),
+            timeouts: ScopedCounter::new("xpd.timeout"),
+            batches: ScopedCounter::new("xpd.batch"),
+            batch_points: ScopedCounter::new("xpd.batch_points"),
+            peak_depth: ScopedCounter::new("xpd.queue.peak_depth"),
+        }
+    }
+}
+
+/// Always-on latency histograms: request durations per op, and the
+/// cold path's phase breakdown. Handles are obtained once at bind and
+/// held, so the hot path pays only the histogram's relaxed increments.
+struct Latency {
+    query: LiveHistogram,
+    stats: LiveHistogram,
+    health: LiveHistogram,
+    metrics: LiveHistogram,
+    shutdown: LiveHistogram,
+    queue_wait: LiveHistogram,
+    batch_linger: LiveHistogram,
+    eval: LiveHistogram,
+    store_write: LiveHistogram,
+}
+
+impl Latency {
+    fn new() -> Latency {
+        Latency {
+            query: trace::live::histogram("xpd.request_duration.query"),
+            stats: trace::live::histogram("xpd.request_duration.stats"),
+            health: trace::live::histogram("xpd.request_duration.health"),
+            metrics: trace::live::histogram("xpd.request_duration.metrics"),
+            shutdown: trace::live::histogram("xpd.request_duration.shutdown"),
+            queue_wait: trace::live::histogram("xpd.phase.queue_wait"),
+            batch_linger: trace::live::histogram("xpd.phase.batch_linger"),
+            eval: trace::live::histogram("xpd.phase.eval"),
+            store_write: trace::live::histogram("xpd.phase.store_write"),
+        }
+    }
+
+    fn for_op(&self, op: RequestOp) -> &LiveHistogram {
+        match op {
+            RequestOp::Query => &self.query,
+            RequestOp::Stats => &self.stats,
+            RequestOp::Health => &self.health,
+            RequestOp::Metrics => &self.metrics,
+            RequestOp::Shutdown => &self.shutdown,
+        }
+    }
 }
 
 /// State shared by connection threads, accept loops, and the
@@ -167,12 +273,23 @@ struct Shared {
     queue_cap: usize,
     inflight: ShardedCache<String, Answer>,
     counters: Counters,
+    latency: Latency,
     stop: AtomicBool,
     next_client: AtomicU64,
+    /// Request IDs, minted when a request line parses.
+    next_request: AtomicU64,
     /// Queries currently being answered (between parse and respond) —
     /// the in-flight count `health` reports for readiness probes.
     active: AtomicU64,
     chaos: Option<Arc<FaultInjector>>,
+    flight: Arc<FlightRecorder>,
+    slow_ms: Option<u64>,
+    slow_log: Option<EventLog>,
+    event_log: Option<EventLog>,
+    /// When the server was bound (monotonic — uptime arithmetic).
+    started: Instant,
+    /// When the server was bound (wall clock, for `health` reporting).
+    started_unix_ms: u64,
 }
 
 /// A bound (but not yet running) daemon. [`Server::run`] blocks until
@@ -210,6 +327,42 @@ impl Server {
             config.durability,
             chaos.clone(),
         )?;
+
+        // The flight recorder lives in the store directory (it is the
+        // daemon's one guaranteed-writable place; the store only adopts
+        // hex-digest names, so `flightrec-*.json` is invisible to it).
+        // Store mutations feed it via the observer, and a quarantine —
+        // the "something on disk lied" moment — triggers a dump.
+        let flight = FlightRecorder::new(&config.store_dir);
+        flightrec::arm_panic_dumps(&flight);
+        {
+            let flight = Arc::clone(&flight);
+            store.set_observer(move |event| match event {
+                StoreEvent::Put { digest, bytes } => {
+                    flight.record("store", format!("put {digest} ({bytes} bytes)"));
+                }
+                StoreEvent::Evicted { digest } => {
+                    flight.record("store", format!("evict {digest}"));
+                }
+                StoreEvent::Quarantined { digest, why } => {
+                    flight.record("store", format!("quarantine {digest}: {why}"));
+                    match flight.dump("quarantine") {
+                        Ok(path) => {
+                            eprintln!("xpd: flight recorder dumped to {}", path.display());
+                        }
+                        Err(e) => eprintln!("{e}"),
+                    }
+                }
+            });
+        }
+        let slow_log = match config.slow_ms {
+            Some(_) => Some(EventLog::open(config.store_dir.join("slow.jsonl"), 0)?),
+            None => None,
+        };
+        let event_log = match &config.log_file {
+            Some(path) => Some(EventLog::open(path, config.log_cap_bytes)?),
+            None => None,
+        };
 
         let unix = match &config.socket {
             None => None,
@@ -257,11 +410,22 @@ impl Server {
                 queue: FairQueue::new(config.queue_cap),
                 queue_cap: config.queue_cap.max(1),
                 inflight: ShardedCache::new(16),
-                counters: Counters::default(),
+                counters: Counters::new(),
+                latency: Latency::new(),
                 stop: AtomicBool::new(false),
                 next_client: AtomicU64::new(1),
+                next_request: AtomicU64::new(1),
                 active: AtomicU64::new(0),
                 chaos,
+                flight,
+                slow_ms: config.slow_ms,
+                slow_log,
+                event_log,
+                started: Instant::now(),
+                started_unix_ms: SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0),
             }),
             unix,
             tcp,
@@ -274,6 +438,13 @@ impl Server {
     /// The bound TCP address, when a TCP endpoint was configured.
     pub fn tcp_addr(&self) -> Option<SocketAddr> {
         self.tcp_addr
+    }
+
+    /// The server's flight recorder — grab it before [`Server::run`]
+    /// consumes the server, to wire external dump triggers (the CLI's
+    /// SIGQUIT handler).
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.flight)
     }
 
     /// A handle that requests graceful shutdown from another thread —
@@ -290,6 +461,22 @@ impl Server {
     /// batch scheduler run on their own threads; pending cold requests
     /// drain (and persist) before this returns.
     pub fn run(self) -> Result<(), String> {
+        // The rollup ticker keeps the live registry's 1 s / 1 min rings
+        // advancing even when nobody queries, so the first `metrics`
+        // request after a quiet hour still has a well-matched window
+        // baseline to diff against.
+        let ticker = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("xpd-tick".to_string())
+                .spawn(move || {
+                    while !shared.stop.load(Ordering::SeqCst) {
+                        trace::live::tick();
+                        std::thread::sleep(Duration::from_millis(250));
+                    }
+                })
+                .map_err(|e| format!("xpd: cannot spawn ticker: {e}"))?
+        };
         let scheduler = {
             let shared = Arc::clone(&self.shared);
             let (max, window) = (self.batch_max, self.batch_window);
@@ -329,6 +516,7 @@ impl Server {
         // their answers and exit on their next read poll.
         self.shared.queue.close();
         let _ = scheduler.join();
+        let _ = ticker.join();
         // Graceful exit: the final LRU order is pushed to disk so the
         // next open replays it instead of rebuilding from files.
         if let Err(e) = self.shared.store.flush() {
@@ -434,12 +622,36 @@ where
                 if text.is_empty() {
                     continue;
                 }
+                // HTTP bridge: a plain `GET` (curl, a Prometheus
+                // scraper) gets a one-shot HTTP/1.0 response and the
+                // connection closes, so real scrapers work against a
+                // TCP daemon without speaking the JSONL protocol.
+                if let Some(rest) = text.strip_prefix("GET ") {
+                    let path = rest.split_whitespace().next().unwrap_or("/");
+                    shared
+                        .flight
+                        .record("http", format!("GET {path} client={client}"));
+                    let (status, content_type, body) = http_get(shared, path);
+                    let response = format!(
+                        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
+                         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let mut writer = stream;
+                    let _ = writer
+                        .write_all(response.as_bytes())
+                        .and_then(|()| writer.flush());
+                    break;
+                }
                 // Chaos: a client (or middlebox) dying mid-request — the
                 // connection closes without a response and the request
                 // is *not* processed. Clients must treat a vanished
                 // response as retryable.
                 if let Some(inj) = &shared.chaos {
                     if inj.decide(IoPoint::Read) == Some(IoFault::CloseRead) {
+                        shared
+                            .flight
+                            .record("chaos", format!("close_read client={client}"));
                         break;
                     }
                 }
@@ -454,6 +666,9 @@ where
                     .and_then(|i| i.decide(IoPoint::Response))
                 {
                     Some(IoFault::DropResponse { keep_permille }) => {
+                        shared
+                            .flight
+                            .record("chaos", format!("drop_response client={client}"));
                         let keep = torn_prefix_len(body.len(), keep_permille);
                         let torn = &body[..floor_char_boundary(&body, keep)];
                         let mut writer = stream;
@@ -508,35 +723,173 @@ fn handle_line(shared: &Arc<Shared>, client: u64, text: &str) -> QueryResponse {
         Ok(r) => r,
         Err(e) => return QueryResponse::error(e),
     };
-    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-    trace::count("xpd.request", 1);
-    match request.op {
-        RequestOp::Stats => QueryResponse::stats(stats_json(shared)),
-        RequestOp::Health => QueryResponse::stats(health_json(shared)),
+    // The request ID is minted here — the moment the request becomes a
+    // request — and rides through the queue, scheduler, and logs.
+    let id = shared.next_request.fetch_add(1, Ordering::Relaxed);
+    let begun = Instant::now();
+    shared.counters.requests.add(1);
+    let (response, phases) = match request.op {
+        RequestOp::Stats => (
+            QueryResponse::stats(stats_json(shared)),
+            PhaseNanos::default(),
+        ),
+        RequestOp::Health => (
+            QueryResponse::stats(health_json(shared)),
+            PhaseNanos::default(),
+        ),
+        RequestOp::Metrics => (
+            metrics_response(shared, request.format),
+            PhaseNanos::default(),
+        ),
         RequestOp::Shutdown => {
             shared.stop.store(true, Ordering::SeqCst);
-            QueryResponse {
-                status: "ok".to_string(),
-                digest: None,
-                source: None,
-                payload: None,
-                error: None,
-                stats: None,
-            }
+            (
+                QueryResponse {
+                    status: "ok".to_string(),
+                    digest: None,
+                    source: None,
+                    payload: None,
+                    error: None,
+                    stats: None,
+                    metrics: None,
+                    timing: None,
+                },
+                PhaseNanos::default(),
+            )
         }
         RequestOp::Query => {
             shared.active.fetch_add(1, Ordering::SeqCst);
-            let response = handle_query(shared, client, &request);
+            let answered = handle_query(shared, client, id, &request);
             shared.active.fetch_sub(1, Ordering::SeqCst);
-            response
+            answered
         }
+    };
+    let elapsed = begun.elapsed();
+    shared.latency.for_op(request.op).record(elapsed);
+    finish_request(shared, client, id, &request, response, phases, elapsed)
+}
+
+/// Post-dispatch bookkeeping shared by every op: feeds the flight
+/// recorder, the `--log` event log, and the `--slow-ms` slow-query log,
+/// and attaches the optional `timing` breakdown (response metadata
+/// only — the payload bytes are untouched, so digests and byte-identity
+/// guarantees are unaffected).
+fn finish_request(
+    shared: &Arc<Shared>,
+    client: u64,
+    id: u64,
+    request: &QueryRequest,
+    response: QueryResponse,
+    phases: PhaseNanos,
+    elapsed: Duration,
+) -> QueryResponse {
+    let total_ms = elapsed.as_secs_f64() * 1e3;
+    let op = request.op.as_str();
+    shared.flight.record(
+        "request",
+        format!(
+            "id={id} client={client} op={op} status={} ms={total_ms:.3}",
+            response.status
+        ),
+    );
+    if let Some(log) = &shared.event_log {
+        let mut event = Json::object();
+        event.insert("kind", "request");
+        event.insert("id", id as f64);
+        event.insert("client", client as f64);
+        event.insert("op", op);
+        event.insert("status", response.status.as_str());
+        event.insert("ms", total_ms);
+        if let Err(e) = log.append(event) {
+            eprintln!("xpd: {e}");
+        }
+    }
+    if let (Some(slow_ms), Some(log)) = (shared.slow_ms, &shared.slow_log) {
+        if total_ms >= slow_ms as f64 {
+            let mut event = timing_json(total_ms, phases);
+            event.insert("kind", "slow");
+            event.insert("id", id as f64);
+            event.insert("op", op);
+            event.insert("status", response.status.as_str());
+            if let Some(digest) = &response.digest {
+                event.insert("digest", digest.as_str());
+            }
+            if let Err(e) = log.append(event) {
+                eprintln!("xpd: {e}");
+            }
+        }
+    }
+    if request.timing {
+        return response.with_timing(timing_json(total_ms, phases));
+    }
+    response
+}
+
+/// The phase-breakdown object carried by `timing` responses and
+/// slow-query log records.
+fn timing_json(total_ms: f64, phases: PhaseNanos) -> Json {
+    let ms = |nanos: u64| nanos as f64 / 1e6;
+    let mut o = Json::object();
+    o.insert("total_ms", total_ms);
+    o.insert("queue_wait_ms", ms(phases.queue_wait));
+    o.insert("batch_linger_ms", ms(phases.batch_linger));
+    o.insert("eval_ms", ms(phases.eval));
+    o.insert("store_write_ms", ms(phases.store_write));
+    o
+}
+
+/// Serves the `metrics` op in the asked rendering.
+fn metrics_response(shared: &Arc<Shared>, format: MetricsFormat) -> QueryResponse {
+    let g = gauges(shared);
+    match format {
+        MetricsFormat::Json => QueryResponse::metrics(metrics::metrics_json(&g)),
+        MetricsFormat::Prometheus => QueryResponse::metrics_text(metrics::prometheus_text(&g)),
     }
 }
 
-fn handle_query(shared: &Arc<Shared>, client: u64, request: &QueryRequest) -> QueryResponse {
+/// Samples the instantaneous state the metrics renderers export as
+/// gauges.
+fn gauges(shared: &Arc<Shared>) -> Gauges {
+    let store = shared.store.stats();
+    Gauges {
+        queue_depth: shared.queue.len() as u64,
+        queue_cap: shared.queue_cap as u64,
+        inflight: shared.active.load(Ordering::SeqCst),
+        store_entries: store.entries as u64,
+        store_bytes: store.bytes,
+        uptime_secs: shared.started.elapsed().as_secs_f64(),
+        pid: std::process::id(),
+    }
+}
+
+/// The HTTP bridge's GET dispatch: `/metrics` serves the Prometheus
+/// text exposition, `/stats` and `/health` serve their JSON objects.
+fn http_get(shared: &Arc<Shared>, path: &str) -> (&'static str, &'static str, String) {
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics::prometheus_text(&gauges(shared)),
+        ),
+        "/stats" => ("200 OK", "application/json", stats_json(shared).render()),
+        "/health" => ("200 OK", "application/json", health_json(shared).render()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found (try /metrics, /stats, or /health)\n".to_string(),
+        ),
+    }
+}
+
+fn handle_query(
+    shared: &Arc<Shared>,
+    client: u64,
+    id: u64,
+    request: &QueryRequest,
+) -> (QueryResponse, PhaseNanos) {
     let digest = match shared.engine.digest(request) {
         Ok(d) => d,
-        Err(e) => return QueryResponse::error(e),
+        Err(e) => return (QueryResponse::error(e), PhaseNanos::default()),
     };
     // The deadline clock starts when the request is parsed. Joiners
     // share the leader's flight, so the leader's deadline governs a
@@ -552,7 +905,7 @@ fn handle_query(shared: &Arc<Shared>, client: u64, request: &QueryRequest) -> Qu
     let mut led = false;
     let outcome = shared.inflight.get_or_compute(&digest, || {
         led = true;
-        answer_cold(shared, client, &digest, request, deadline)
+        answer_cold(shared, client, id, &digest, request, deadline)
     });
     if led {
         // Answered: drop the memory copy so the disk store's LRU cap
@@ -560,18 +913,17 @@ fn handle_query(shared: &Arc<Shared>, client: u64, request: &QueryRequest) -> Qu
         // leaders and hit the store.
         shared.inflight.remove(&digest);
     } else {
-        shared
-            .counters
-            .inflight_joins
-            .fetch_add(1, Ordering::Relaxed);
-        trace::count("xpd.inflight_join", 1);
+        shared.counters.inflight_joins.add(1);
     }
+    let zero = PhaseNanos::default();
     match outcome {
-        Ok(Answer::Ready(source, payload)) => QueryResponse::ok(&digest, source, payload.as_str()),
-        Ok(Answer::Busy(message)) => QueryResponse::busy(message),
-        Ok(Answer::TimedOut(message)) => QueryResponse::timeout(message),
-        Ok(Answer::Failed(message)) => QueryResponse::error(message),
-        Err(panicked) => QueryResponse::error(panicked.to_string()),
+        Ok(Answer::Ready(source, payload, phases)) => {
+            (QueryResponse::ok(&digest, source, payload.as_str()), phases)
+        }
+        Ok(Answer::Busy(message)) => (QueryResponse::busy(message), zero),
+        Ok(Answer::TimedOut(message)) => (QueryResponse::timeout(message), zero),
+        Ok(Answer::Failed(message)) => (QueryResponse::error(message), zero),
+        Err(panicked) => (QueryResponse::error(panicked.to_string()), zero),
     }
 }
 
@@ -580,17 +932,16 @@ fn handle_query(shared: &Arc<Shared>, client: u64, request: &QueryRequest) -> Qu
 fn answer_cold(
     shared: &Arc<Shared>,
     client: u64,
+    id: u64,
     digest: &str,
     request: &QueryRequest,
     deadline: Option<Instant>,
 ) -> Answer {
     if let Some(payload) = shared.store.get(digest) {
-        shared.counters.store_hits.fetch_add(1, Ordering::Relaxed);
-        trace::count("xpd.store.hit", 1);
-        return Answer::Ready(Source::Store, Arc::new(payload));
+        shared.counters.store_hits.add(1);
+        return Answer::Ready(Source::Store, Arc::new(payload), PhaseNanos::default());
     }
-    shared.counters.store_misses.fetch_add(1, Ordering::Relaxed);
-    trace::count("xpd.store.miss", 1);
+    shared.counters.store_misses.add(1);
     if shared.stop.load(Ordering::SeqCst) {
         return Answer::Busy("daemon is shutting down".to_string());
     }
@@ -601,31 +952,25 @@ fn answer_cold(
     }
     let slot = Arc::new(Slot::new());
     let job = Job {
+        id,
         digest: digest.to_string(),
         request: request.clone(),
         slot: Arc::clone(&slot),
         deadline,
+        enqueued_at: Instant::now(),
     };
     match shared.queue.push(client, job) {
         Ok(depth) => {
-            shared.counters.enqueued.fetch_add(1, Ordering::Relaxed);
-            trace::count("xpd.queue.enqueued", 1);
-            // Peak-depth as a monotonic counter: emit only the delta
-            // over the previous peak, so the counter's final value in a
-            // trace summary *is* the peak depth.
-            let depth = depth as u64;
-            let prev = shared
-                .counters
-                .peak_depth
-                .fetch_max(depth, Ordering::Relaxed);
-            if depth > prev {
-                trace::count("xpd.queue.peak_depth", depth - prev);
-            }
+            shared.counters.enqueued.add(1);
+            // Peak-depth as a monotone counter: `raise_to` emits only
+            // the delta over the previous peak into the shared
+            // registry, so the counter's final value in a trace summary
+            // *is* the peak depth.
+            shared.counters.peak_depth.raise_to(depth as u64);
             slot.wait()
         }
         Err(QueueFull { cap }) => {
-            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            trace::count("xpd.queue.rejected", 1);
+            shared.counters.rejected.add(1);
             Answer::Busy(format!("request queue full ({cap} pending); retry later"))
         }
     }
@@ -633,8 +978,7 @@ fn answer_cold(
 
 /// Records one expired request and builds its answer.
 fn timed_out(shared: &Arc<Shared>, request: &QueryRequest) -> Answer {
-    shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-    trace::count("xpd.timeout", 1);
+    shared.counters.timeouts.add(1);
     Answer::TimedOut(format!(
         "deadline of {} ms expired before evaluation",
         request.deadline_ms.unwrap_or(0)
@@ -643,7 +987,7 @@ fn timed_out(shared: &Arc<Shared>, request: &QueryRequest) -> Answer {
 
 /// Drains batches until the queue closes: evaluate, persist, resolve.
 fn scheduler_loop(shared: &Arc<Shared>, batch_max: usize, batch_window: Duration) {
-    while let Some(batch) = shared.queue.pop_batch(batch_max, batch_window) {
+    while let Some((batch, linger)) = shared.queue.pop_batch_timed(batch_max, batch_window) {
         // Requests whose deadline expired while queued are answered
         // `timeout` here, *before* engine time is spent on them —
         // graceful degradation under overload: the backlog sheds
@@ -659,17 +1003,40 @@ fn scheduler_loop(shared: &Arc<Shared>, batch_max: usize, batch_window: Duration
         if batch.is_empty() {
             continue;
         }
-        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
-        shared
-            .counters
-            .batch_points
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        trace::count("xpd.batch", 1);
-        trace::count("xpd.batch_points", batch.len() as u64);
+        shared.counters.batches.add(1);
+        shared.counters.batch_points.add(batch.len() as u64);
         let _span = trace::span("xpd.batch");
 
+        // Phase attribution: a job's total queued time splits into the
+        // wait before the scheduler began assembling this batch and the
+        // shared linger for batch-mates.
+        let linger_nanos = linger.as_nanos() as u64;
+        let waits: Vec<u64> = batch
+            .iter()
+            .map(|job| {
+                let queued = now.duration_since(job.enqueued_at).as_nanos() as u64;
+                queued.saturating_sub(linger_nanos)
+            })
+            .collect();
+        for wait in &waits {
+            shared.latency.queue_wait.record_nanos(*wait);
+        }
+        shared.latency.batch_linger.record_nanos(linger_nanos);
+
         let requests: Vec<QueryRequest> = batch.iter().map(|j| j.request.clone()).collect();
+        let eval_begun = Instant::now();
         let results = catch_unwind(AssertUnwindSafe(|| shared.engine.evaluate(&requests)));
+        let eval_nanos = eval_begun.elapsed().as_nanos() as u64;
+        shared.latency.eval.record_nanos(eval_nanos);
+        shared.flight.record(
+            "batch",
+            format!(
+                "points={} ids={:?} eval_ms={:.3}",
+                batch.len(),
+                batch.iter().map(|j| j.id).collect::<Vec<_>>(),
+                eval_nanos as f64 / 1e6
+            ),
+        );
         match results {
             Ok(results) => {
                 for (i, job) in batch.iter().enumerate() {
@@ -682,11 +1049,23 @@ fn scheduler_loop(shared: &Arc<Shared>, batch_max: usize, batch_window: Duration
                     });
                     match result {
                         Ok(payload) => {
+                            let put_begun = Instant::now();
                             if let Err(e) = shared.store.put(&job.digest, &payload) {
                                 eprintln!("xpd: store put failed: {e}");
                             }
-                            job.slot
-                                .set(Answer::Ready(Source::Computed, Arc::new(payload)));
+                            let store_write = put_begun.elapsed().as_nanos() as u64;
+                            shared.latency.store_write.record_nanos(store_write);
+                            let phases = PhaseNanos {
+                                queue_wait: waits[i],
+                                batch_linger: linger_nanos,
+                                eval: eval_nanos,
+                                store_write,
+                            };
+                            job.slot.set(Answer::Ready(
+                                Source::Computed,
+                                Arc::new(payload),
+                                phases,
+                            ));
                         }
                         Err(message) => job.slot.set(Answer::Failed(message)),
                     }
@@ -706,7 +1085,10 @@ fn scheduler_loop(shared: &Arc<Shared>, batch_max: usize, batch_window: Duration
 /// The live counter object served to `stats` requests.
 fn stats_json(shared: &Arc<Shared>) -> Json {
     let c = &shared.counters;
-    let load = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
+    // `stats` reports *this server's* numbers: the scoped counters'
+    // local cells, not the process-wide registry (tests run several
+    // servers in one process; `metrics` serves the global view).
+    let load = |sc: &ScopedCounter| sc.local() as f64;
     let store = shared.store.stats();
 
     let mut store_json = Json::object();
@@ -754,6 +1136,9 @@ fn health_json(shared: &Arc<Shared>) -> Json {
     let store = shared.store.stats();
     let mut o = Json::object();
     o.insert("ready", !shared.stop.load(Ordering::SeqCst));
+    o.insert("uptime_secs", shared.started.elapsed().as_secs_f64());
+    o.insert("pid", std::process::id() as f64);
+    o.insert("started_unix_ms", shared.started_unix_ms as f64);
     o.insert("queue_depth", shared.queue.len() as f64);
     o.insert("queue_cap", shared.queue_cap as f64);
     o.insert("inflight", shared.active.load(Ordering::SeqCst) as f64);

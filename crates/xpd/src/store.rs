@@ -51,7 +51,7 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Rewrite the journal once it holds this many records more than the
 /// live entry count (touch records accumulate on every hit).
@@ -124,6 +124,35 @@ pub struct StoreStats {
     pub corrupt: u64,
 }
 
+/// A mutation on the store's write path, reported to the observer the
+/// server installs (flight recorder, event log). Quarantines matter
+/// most — they are the store's "something on disk lied to me" signal —
+/// so the server dumps the flight recorder when one fires.
+#[derive(Debug, Clone)]
+pub enum StoreEvent {
+    /// A new payload was persisted.
+    Put {
+        /// The stored digest.
+        digest: String,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// An entry was evicted at the size cap.
+    Evicted {
+        /// The evicted digest.
+        digest: String,
+    },
+    /// An entry failed verification and was quarantined.
+    Quarantined {
+        /// The quarantined digest.
+        digest: String,
+        /// What the verification found.
+        why: String,
+    },
+}
+
+type Observer = Box<dyn Fn(&StoreEvent) + Send + Sync>;
+
 #[derive(Debug)]
 struct Entry {
     digest: String,
@@ -149,13 +178,23 @@ struct State {
 ///
 /// All methods take `&self`; an internal mutex serializes mutations, so
 /// one store can be shared across the daemon's connection threads.
-#[derive(Debug)]
 pub struct ResultStore {
     dir: PathBuf,
     max_bytes: u64,
     durability: Durability,
     chaos: Option<Arc<FaultInjector>>,
+    observer: OnceLock<Observer>,
     state: Mutex<State>,
+}
+
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("dir", &self.dir)
+            .field("max_bytes", &self.max_bytes)
+            .field("durability", &self.durability)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Renders the payload-file body for `digest`: the header line plus the
@@ -336,7 +375,7 @@ impl ResultStore {
             if std::fs::rename(&from, &to).is_err() {
                 let _ = std::fs::remove_file(&from);
             }
-            trace::count("xpd.store.corrupt", 1);
+            trace::live::counter("xpd.store.corrupt").add(1);
             corrupt += 1;
         };
         for digest in adopted {
@@ -386,6 +425,7 @@ impl ResultStore {
             max_bytes: max_bytes.max(1),
             durability,
             chaos,
+            observer: OnceLock::new(),
             state: Mutex::new(State {
                 entries,
                 total_bytes,
@@ -409,6 +449,20 @@ impl ResultStore {
     /// The store's directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Installs the mutation observer (at most one per store; later
+    /// calls are ignored). The server uses it to feed the flight
+    /// recorder and event log. Called with the store lock held, so
+    /// observers must not call back into the store.
+    pub fn set_observer(&self, observer: impl Fn(&StoreEvent) + Send + Sync + 'static) {
+        let _ = self.observer.set(Box::new(observer));
+    }
+
+    fn notify(&self, event: StoreEvent) {
+        if let Some(observer) = self.observer.get() {
+            observer(&event);
+        }
     }
 
     /// The configured durability policy.
@@ -490,6 +544,10 @@ impl ResultStore {
             Some(payload.len() as u64),
             Some(&sum),
         );
+        self.notify(StoreEvent::Put {
+            digest: digest.to_string(),
+            bytes: payload.len() as u64,
+        });
         self.evict_over_cap(&mut state);
         self.compact_if_slack(&mut state)
     }
@@ -594,7 +652,11 @@ impl ResultStore {
             let _ = std::fs::remove_file(&from);
         }
         self.append(state, "evict", &entry.digest, None, None);
-        trace::count("xpd.store.corrupt", 1);
+        trace::live::counter("xpd.store.corrupt").add(1);
+        self.notify(StoreEvent::Quarantined {
+            digest: entry.digest,
+            why: why.to_string(),
+        });
     }
 
     /// Appends one journal record (with its own integrity checksum) and
@@ -646,7 +708,10 @@ impl ResultStore {
             state.evictions += 1;
             let _ = std::fs::remove_file(self.payload_path(&evicted.digest));
             self.append(state, "evict", &evicted.digest, None, None);
-            trace::count("xpd.store.eviction", 1);
+            trace::live::counter("xpd.store.eviction").add(1);
+            self.notify(StoreEvent::Evicted {
+                digest: evicted.digest,
+            });
         }
     }
 

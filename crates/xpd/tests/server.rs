@@ -436,6 +436,22 @@ fn health_reports_readiness_queue_and_store() {
         health.get("store_corrupt").and_then(Json::as_f64),
         Some(0.0)
     );
+    assert!(
+        health.get("uptime_secs").and_then(Json::as_f64).unwrap() >= 0.0,
+        "uptime from the monotonic start instant"
+    );
+    assert_eq!(
+        health.get("pid").and_then(Json::as_f64),
+        Some(f64::from(std::process::id()))
+    );
+    assert!(
+        health
+            .get("started_unix_ms")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0,
+        "wall-clock start timestamp present"
+    );
 
     shutdown(&endpoint, handle);
     let _ = std::fs::remove_dir_all(&dir);
@@ -593,6 +609,254 @@ fn the_stop_handle_drains_and_exits_cleanly() {
     assert_eq!(served.source, Some(Source::Store));
     assert!(engine.evaluated.lock().unwrap().is_empty());
     shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_serves_json_and_prometheus_renderings() {
+    let dir = temp_dir("metrics");
+    let engine = Arc::new(MockEngine::default());
+    let (endpoint, handle) = start_tcp(ServerConfig::new(dir.join("store")), engine);
+
+    let request = QueryRequest::query("metrics-art");
+    ok_query(&endpoint, &request);
+    ok_query(&endpoint, &request); // store hit
+
+    let response = client::request(
+        &endpoint,
+        &QueryRequest::metrics(common::proto::MetricsFormat::Json),
+        None,
+    )
+    .unwrap();
+    assert_eq!(response.status, "ok");
+    let doc = response.metrics.expect("metrics payload");
+    assert!(doc.get("uptime_secs").and_then(Json::as_f64).unwrap() >= 0.0);
+    assert_eq!(
+        doc.get("pid").and_then(Json::as_f64),
+        Some(f64::from(std::process::id()))
+    );
+    let gauges = doc.get("gauges").expect("gauges object");
+    assert_eq!(gauges.get("queue_depth").and_then(Json::as_f64), Some(0.0));
+    assert!(gauges.get("store_entries").and_then(Json::as_f64).unwrap() >= 1.0);
+    // The registry is process-cumulative and shared with every other
+    // test in this binary, so only lower bounds are stable.
+    let requests = doc
+        .get("counters")
+        .and_then(|c| c.get("xpd.request"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    assert!(requests >= 3.0, "saw {requests} cumulative requests");
+    let window = doc.get("window_1m").expect("windowed rollup");
+    assert!(window.get("elapsed_secs").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(
+        window
+            .get("latency")
+            .and_then(|l| l.get("xpd.request_duration.query"))
+            .and_then(|h| h.get("p99_ms"))
+            .and_then(Json::as_f64)
+            .is_some(),
+        "recent per-op latency quantiles present"
+    );
+
+    let response = client::request(
+        &endpoint,
+        &QueryRequest::metrics(common::proto::MetricsFormat::Prometheus),
+        None,
+    )
+    .unwrap();
+    assert_eq!(response.status, "ok");
+    let text = response
+        .metrics
+        .as_ref()
+        .and_then(Json::as_str)
+        .expect("prometheus text rides as one JSON string")
+        .to_string();
+    assert!(text.contains("# TYPE xpd_requests_total counter"), "{text}");
+    assert!(text.contains("# TYPE xpd_queue_depth gauge"), "{text}");
+    assert!(
+        text.contains("# TYPE xpd_request_duration summary"),
+        "{text}"
+    );
+    assert!(
+        text.contains("xpd_request_duration{op=\"query\",quantile=\"0.99\"}"),
+        "{text}"
+    );
+    for line in text.lines() {
+        assert!(
+            line.starts_with('#') || line.split_whitespace().count() == 2,
+            "malformed exposition line: {line}"
+        );
+    }
+
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn timing_is_opt_in_and_leaves_payloads_byte_identical() {
+    let dir = temp_dir("timing");
+    let engine = Arc::new(MockEngine::default());
+    let (endpoint, handle) = start_tcp(ServerConfig::new(dir.join("store")), engine);
+
+    let plain = QueryRequest::query("fig-timing");
+    let timed = QueryRequest::query("fig-timing").with_timing();
+
+    let cold = ok_query(&endpoint, &timed);
+    assert_eq!(cold.source, Some(Source::Computed));
+    let timing = cold.timing.as_ref().expect("cold timing breakdown");
+    for key in [
+        "total_ms",
+        "queue_wait_ms",
+        "batch_linger_ms",
+        "eval_ms",
+        "store_write_ms",
+    ] {
+        assert!(
+            timing.get(key).and_then(Json::as_f64).is_some(),
+            "timing missing {key}: {}",
+            timing.render()
+        );
+    }
+
+    // The same artifact without `timing` is a store hit: the timing
+    // flag never reached the digest, and the payload is byte-identical.
+    let warm = ok_query(&endpoint, &plain);
+    assert_eq!(warm.source, Some(Source::Store));
+    assert!(warm.timing.is_none(), "timing is strictly opt-in");
+    assert_eq!(warm.payload, cold.payload);
+    assert_eq!(warm.digest, cold.digest);
+
+    let warm_timed = ok_query(&endpoint, &timed);
+    assert_eq!(warm_timed.source, Some(Source::Store));
+    assert!(
+        warm_timed.timing.is_some(),
+        "store hits carry a breakdown too"
+    );
+
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_http_bridge_serves_scrapers_on_the_same_port() {
+    use std::io::{Read, Write};
+    let dir = temp_dir("http");
+    let engine = Arc::new(MockEngine::default());
+    let (endpoint, handle) = start_tcp(ServerConfig::new(dir.join("store")), engine);
+    let Endpoint::Tcp(addr) = endpoint.clone() else {
+        panic!("tcp endpoint expected");
+    };
+
+    let fetch = |path: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        body
+    };
+
+    let metrics = fetch("/metrics");
+    assert!(metrics.starts_with("HTTP/1.0 200 OK\r\n"), "{metrics}");
+    assert!(
+        metrics.contains("Content-Type: text/plain; version=0.0.4"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("xpd_queue_depth"), "{metrics}");
+
+    let health = fetch("/health");
+    assert!(health.starts_with("HTTP/1.0 200 OK\r\n"), "{health}");
+    assert!(health.contains("application/json"), "{health}");
+    assert!(health.contains("\"ready\""), "{health}");
+
+    let missing = fetch("/frobnicate");
+    assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+
+    // The JSON protocol still works on the same port afterwards.
+    ok_query(&endpoint, &QueryRequest::query("fig2"));
+
+    shutdown(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_requests_land_in_the_slow_query_log() {
+    let dir = temp_dir("slow");
+    let engine = Arc::new(MockEngine::default());
+    let mut config = ServerConfig::new(dir.join("store"));
+    config.slow_ms = Some(0); // every request counts as slow
+    let (endpoint, handle) = start_tcp(config, engine);
+
+    ok_query(&endpoint, &QueryRequest::query("tortoise"));
+    shutdown(&endpoint, handle);
+
+    let text = std::fs::read_to_string(dir.join("store").join("slow.jsonl")).unwrap();
+    let records = Json::parse_jsonl(&text).unwrap();
+    let slow_query = records
+        .iter()
+        .find(|r| {
+            r.get("kind").and_then(Json::as_str) == Some("slow")
+                && r.get("op").and_then(Json::as_str) == Some("query")
+        })
+        .expect("the artifact query was logged as slow");
+    assert_eq!(slow_query.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(slow_query.get("total_ms").and_then(Json::as_f64).is_some());
+    assert!(slow_query
+        .get("queue_wait_ms")
+        .and_then(Json::as_f64)
+        .is_some());
+    assert!(slow_query
+        .get("at_unix_ms")
+        .and_then(Json::as_f64)
+        .is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_quarantined_payload_dumps_the_flight_recorder() {
+    let dir = temp_dir("flight");
+    let store_dir = dir.join("store");
+    let engine = Arc::new(MockEngine::default());
+    let (endpoint, handle) = start_tcp(ServerConfig::new(store_dir.clone()), Arc::clone(&engine));
+
+    let request = QueryRequest::query("flighty");
+    let first = ok_query(&endpoint, &request);
+    let digest = first.digest.clone().unwrap();
+
+    // Corrupt the stored payload behind the daemon's back: the next
+    // read must quarantine it, re-evaluate, and dump the flight
+    // recorder for forensics.
+    let payload_path = store_dir.join(format!("{digest}.json"));
+    let mut body = std::fs::read_to_string(&payload_path).unwrap();
+    body.push_str("garbage\n");
+    std::fs::write(&payload_path, body).unwrap();
+
+    let healed = ok_query(&endpoint, &request);
+    assert_eq!(healed.source, Some(Source::Computed), "re-evaluated");
+    assert_eq!(healed.payload, first.payload);
+    shutdown(&endpoint, handle);
+
+    let dump = std::fs::read_dir(&store_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().starts_with("flightrec-"))
+        .expect("quarantine produced a flight-recorder dump");
+    let doc = Json::parse(&std::fs::read_to_string(dump.path()).unwrap()).unwrap();
+    assert_eq!(doc.get("reason").and_then(Json::as_str), Some("quarantine"));
+    let events = doc.get("events").unwrap().as_array().unwrap();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("kind").and_then(Json::as_str) == Some("store")),
+        "dump contains store events"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("kind").and_then(Json::as_str) == Some("request")),
+        "dump contains request events"
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 
