@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Shared helpers for the Criterion benchmark harness.
 //!
 //! Each paper table/figure has a bench target that regenerates it at

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! The GPUJoule microbenchmark suite and EPI/EPT derivation pipeline
 //! (paper §IV and Fig. 3).

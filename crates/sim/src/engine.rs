@@ -50,12 +50,48 @@ use std::sync::Arc;
 /// pointer.
 const NONE: u32 = u32::MAX;
 
+/// A memory access recorded — not performed — by a shard running under
+/// [`MemSink::Defer`]: warp slot `g` of the shard's local pool issued
+/// `mref` this cycle. The parallel coordinator replays these against
+/// the one true [`MemorySystem`] in canonical order (ascending shard,
+/// then the shard's recorded poll order), which is exactly the order
+/// the serial engine performs them — so every memory-side state
+/// transition is bit-identical (DESIGN.md §17).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DeferredAccess {
+    /// Warp-slot index into the *shard-local* pool (`flat * stride + s`).
+    pub(crate) g: u32,
+    /// The access itself.
+    pub(crate) mref: isa::MemRef,
+}
+
+/// Placeholder ring entry for a deferred load: real completion times
+/// are always strictly greater than `now` and far below `u64::MAX`, so
+/// the placeholder keeps the ring occupancy (the MLP limit, the
+/// cannot-retire-with-loads-in-flight rule) exact while being
+/// recognizable for replacement during the merge.
+pub(crate) const DEFER_PLACEHOLDER: u64 = u64::MAX;
+
+/// Where the issue path sends memory accesses: straight into the memory
+/// system (the serial engines), or into a per-shard queue the parallel
+/// coordinator replays in canonical order at the end of the epoch's
+/// compute phase.
+pub(crate) enum MemSink<'a> {
+    /// Perform each access immediately (serial loops).
+    Direct(&'a mut MemorySystem),
+    /// Record each access for the end-of-epoch ordered replay (parallel
+    /// shards). The warp state written alongside is provisional; the
+    /// replay ([`merge_deferred`]) fixes it up before anything can
+    /// observe it.
+    Defer(&'a mut Vec<DeferredAccess>),
+}
+
 /// CTA-to-module partition under a scheduling policy.
 #[derive(Debug, Clone, Copy)]
-struct CtaPartition {
+pub(crate) struct CtaPartition {
     schedule: crate::config::CtaSchedule,
     ctas: usize,
-    num_gpms: usize,
+    pub(crate) num_gpms: usize,
     per_gpm: usize,
 }
 
@@ -397,6 +433,22 @@ impl WarpPool {
         self.out_len[g] = (len + 1) as u32;
     }
 
+    /// Replaces the single [`DEFER_PLACEHOLDER`] entry in warp `g`'s
+    /// ring with the real completion time the merge just learned. A
+    /// warp issues at most one instruction per cycle, so at most one
+    /// placeholder ever exists per ring.
+    fn ring_replace_placeholder(&mut self, g: usize, t: u64) {
+        debug_assert!(t < DEFER_PLACEHOLDER);
+        let base = g * self.mlp_cap;
+        for r in 0..self.out_len[g] as usize {
+            if self.out_times[base + r] == DEFER_PLACEHOLDER {
+                self.out_times[base + r] = t;
+                return;
+            }
+        }
+        debug_assert!(false, "deferred load left no placeholder in the ring");
+    }
+
     fn ring_min(&self, g: usize) -> Option<u64> {
         let base = g * self.mlp_cap;
         self.out_times[base..base + self.out_len[g] as usize]
@@ -436,12 +488,14 @@ impl WarpPool {
 ///
 /// All modes produce bit-identical [`KernelResult`]s; they differ only in
 /// wall-clock cost. The default is read once per process from the
-/// `MMGPU_SIM_ENGINE` environment variable (`event`, `naive`, or
-/// `shadow`), falling back to [`EngineMode::EventDriven`].
+/// `MMGPU_SIM_ENGINE` environment variable (`event`, `naive`, `shadow`,
+/// `parallel`, or `shadow-par`), falling back to
+/// [`EngineMode::EventDriven`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineMode {
     /// Per-SM wake times with fast-forward over sleeping SMs (the
-    /// default; fastest, especially for memory-bound multi-GPM runs).
+    /// default; fastest single-threaded, especially for memory-bound
+    /// multi-GPM runs).
     #[default]
     EventDriven,
     /// The reference per-cycle loop that scans every SM on every visited
@@ -452,6 +506,27 @@ pub enum EngineMode {
     /// results and memory-side counters are identical (slowest; for
     /// validation runs and CI equivalence smokes).
     Shadow,
+    /// Shards the GPMs of *one* simulation across worker threads in
+    /// lockstep epochs, merging memory traffic in canonical order at an
+    /// epoch barrier — bit-identical to [`EngineMode::EventDriven`] by
+    /// construction (the determinism contract is DESIGN.md §17). Thread
+    /// count comes from [`GpuSim::set_sim_threads`] or
+    /// `MMGPU_SIM_THREADS`.
+    Parallel,
+    /// Runs the parallel engine on `self` and the naive reference on
+    /// cloned machine state, asserting results and memory-side counters
+    /// are identical (validation runs and CI smokes for the parallel
+    /// engine).
+    ShadowPar,
+}
+
+/// The concrete cycle loop [`GpuSim::run_kernel_with`] dispatches to —
+/// the shadow modes resolve to one of these plus a reference run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopKind {
+    Naive,
+    Event,
+    Parallel,
 }
 
 impl EngineMode {
@@ -465,10 +540,12 @@ impl EngineMode {
                 "event" | "event-driven" => EngineMode::EventDriven,
                 "naive" => EngineMode::Naive,
                 "shadow" => EngineMode::Shadow,
+                "parallel" => EngineMode::Parallel,
+                "shadow-par" | "shadow_par" => EngineMode::ShadowPar,
                 other => {
                     eprintln!(
                         "sim: ignoring unknown MMGPU_SIM_ENGINE={other:?} \
-                         (expected event, naive, or shadow)"
+                         (expected event, naive, shadow, parallel, or shadow-par)"
                     );
                     EngineMode::EventDriven
                 }
@@ -510,6 +587,226 @@ pub struct SoaStats {
     pub retire_scans_skipped: u64,
 }
 
+/// Event-loop bookkeeping for one contiguous run of SMs — the whole GPU
+/// under the serial event-driven loop, one shard's GPM range under the
+/// parallel engine. Holding it outside [`KernelState`] lets the epoch
+/// coordinator patch wake times after the merge without aliasing the
+/// warp pool, and lets each shard carry its own copy.
+#[derive(Default)]
+pub(crate) struct EventLoopState {
+    /// Earliest `ready_at` among the SM's live warps; `u64::MAX` when
+    /// none. Valid while the SM sleeps because sleeping SMs are exactly
+    /// those whose state no cycle can change.
+    pub(crate) ready_wake: Vec<u64>,
+    /// Free CTA slot && CTA pending — processed at every visited cycle
+    /// (the naive loop refills on visited cycles only, so refill times
+    /// must not influence which cycles are visited — see DESIGN.md §12).
+    refill_eligible: Vec<bool>,
+    /// First cycle not yet charged to this SM (lazy idle/stall
+    /// accounting for sleeping SMs).
+    acct: Vec<u64>,
+    /// Resident status while sleeping (constant between processings).
+    sleeping_resident: Vec<bool>,
+    /// Visited-cycle iteration of the SM's last processing (for
+    /// round-robin pointer catch-up: naive advances rr once per
+    /// *visited* cycle with warps resident, not per calendar cycle).
+    last_iter: Vec<u64>,
+    /// SMs that can still make progress: the per-cycle SM walk scans
+    /// this mask word by word instead of testing a dead flag per SM.
+    live_mask: BitWords,
+    /// Count of members in `live_mask`; the kernel (or shard) is
+    /// drained when it reaches zero.
+    pub(crate) live: usize,
+    /// Visited-cycle counter. Under the parallel engine every shard
+    /// visits every epoch, so shard-local iteration counts equal the
+    /// serial loop's global count — which keeps the rr catch-up above
+    /// bit-exact.
+    iter: u64,
+}
+
+impl EventLoopState {
+    /// Re-arms the bookkeeping for a kernel over `total_sms` SMs
+    /// starting at cycle `start`. Every SM begins refill-eligible so the
+    /// first visited cycle processes all of them, exactly like the
+    /// naive loop.
+    pub(crate) fn reset(&mut self, total_sms: usize, start: u64) {
+        self.ready_wake.clear();
+        self.ready_wake.resize(total_sms, u64::MAX);
+        self.refill_eligible.clear();
+        self.refill_eligible.resize(total_sms, true);
+        self.acct.clear();
+        self.acct.resize(total_sms, start);
+        self.sleeping_resident.clear();
+        self.sleeping_resident.resize(total_sms, false);
+        self.last_iter.clear();
+        self.last_iter.resize(total_sms, 0);
+        self.live_mask.clear();
+        self.live_mask.grow_to(total_sms);
+        for flat in 0..total_sms {
+            self.live_mask.set(flat);
+        }
+        self.live = total_sms;
+        self.iter = 0;
+    }
+
+    /// Processes one visited cycle: wakes every SM that can make
+    /// progress at `now`, applies its lazy sleep accounting, steps it,
+    /// and refreshes its wake/refill state. Returns whether any warp
+    /// anywhere issued. The walk is ascending-SM-order identical to the
+    /// naive loop's `for flat in 0..total_sms` (each mask word is
+    /// snapshotted so the body may retire the SM it is processing).
+    pub(crate) fn visit(
+        &mut self,
+        ctx: &KernelCtx<'_>,
+        st: &mut KernelState,
+        sink: &mut MemSink<'_>,
+        soa: &mut SoaStats,
+        sm_steps: &mut u64,
+        now: u64,
+    ) -> bool {
+        self.iter += 1;
+        let iter = self.iter;
+        let issue_width = ctx.issue_width;
+        let iw = issue_width as u64;
+        let mut issued_any = false;
+
+        for wi in 0..self.live_mask.word_count() {
+            let mut word = self.live_mask.word(wi);
+            while word != 0 {
+                let flat = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                if !(self.refill_eligible[flat] || self.ready_wake[flat] <= now) {
+                    continue; // sleeping
+                }
+
+                // Lazy catch-up for the cycles this SM slept through.
+                let slept = now - self.acct[flat];
+                if slept > 0 {
+                    st.counts.idle_sm_cycles += slept;
+                    if self.sleeping_resident[flat] {
+                        st.counts.stall_cycles += iw * slept;
+                    }
+                    let missed_iters = iter - 1 - self.last_iter[flat];
+                    let n = st.pool.order_len[flat] as usize;
+                    if n > 0 && missed_iters > 0 {
+                        let r = st.pool.rr[flat] as usize;
+                        st.pool.rr[flat] =
+                            ((r % n + (missed_iters % n as u64) as usize) % n) as u32;
+                    }
+                }
+
+                let step = GpuSim::step_sm(ctx, st, sink, soa, flat, now);
+                *sm_steps += 1;
+                if step.issued > 0 {
+                    issued_any = true;
+                }
+                st.charge_cycle(step.issued, step.resident, issue_width);
+                self.acct[flat] = now + 1;
+                self.last_iter[flat] = iter;
+                self.sleeping_resident[flat] = step.resident;
+                self.refill_eligible[flat] = step.cta_pending && step.free_slot;
+                if !step.resident && !step.cta_pending {
+                    self.live_mask.unset(flat);
+                    self.live -= 1;
+                    self.ready_wake[flat] = u64::MAX;
+                } else {
+                    self.ready_wake[flat] = step.wake;
+                }
+            }
+        }
+        issued_any
+    }
+
+    /// The earliest wake time across all SMs (`u64::MAX` when nothing
+    /// is pending) — the fast-forward jump target when no warp issued.
+    pub(crate) fn min_wake(&self) -> u64 {
+        self.ready_wake.iter().copied().min().unwrap_or(u64::MAX)
+    }
+
+    /// Final flush: the naive loop keeps charging drained SMs one idle
+    /// cycle per visited cycle until the whole kernel drains; `through`
+    /// is one past the final visited cycle.
+    pub(crate) fn flush_idle(&self, st: &mut KernelState, through: u64) {
+        for &charged in &self.acct {
+            if charged < through {
+                st.counts.idle_sm_cycles += through - charged;
+            }
+        }
+    }
+}
+
+/// Applies one shard's deferred memory accesses in their recorded
+/// (SM-then-poll) order — with shards merged in ascending order by the
+/// caller, exactly the order the serial engine issues them at cycle
+/// `now` — and patches the shard's warp state with the real outcomes:
+/// placeholder ring entries become true completions, write-buffer
+/// backpressure lands on `ready_at`, exhausted warps re-arm to their
+/// true drain time, and each touched SM's wake time is recomputed
+/// exactly (DESIGN.md §17 shows the exact recompute is unobservable).
+/// Returns the number of accesses merged.
+pub(crate) fn merge_deferred(
+    mem: &mut MemorySystem,
+    ctx: &KernelCtx<'_>,
+    st: &mut KernelState,
+    els: &mut EventLoopState,
+    queue: &mut Vec<DeferredAccess>,
+    now: u64,
+) -> u64 {
+    let merged = queue.len() as u64;
+    for acc in queue.drain(..) {
+        let g = acc.g as usize;
+        let flat = g / st.pool.stride;
+        let flat_global = st.sm_base + flat;
+        let gpm = flat_global / ctx.sms_per_gpm;
+        let sm_id = SmId::new(
+            GpmId::new(gpm as u16),
+            (flat_global - gpm * ctx.sms_per_gpm) as u16,
+        );
+        let out = mem.access(sm_id, acc.mref, now);
+        if !acc.mref.is_store {
+            st.pool.ring_replace_placeholder(g, out.completion);
+        } else if out.blocking && !st.pool.exhausted.get(g) {
+            // Write-buffer backpressure, exactly where the direct path
+            // applies it. An exhausted warp discards it in favor of its
+            // drain time (below), as the direct path's ring_max
+            // overwrite does; a warp that already retired this cycle
+            // (store with no loads in flight) has a freed slot whose
+            // `ready_at` the next allocation resets.
+            st.pool.ready_at[g] = out.completion;
+        }
+        if st.pool.exhausted.get(g) {
+            st.pool.ready_at[g] = st.pool.ring_max(g).unwrap_or(now + 1);
+        }
+        // The shard's folded wake time saw placeholders; recompute it
+        // exactly for still-live SMs.
+        if els.live_mask.get(flat) {
+            els.ready_wake[flat] = st.pool.next_ready(flat);
+        }
+    }
+    merged
+}
+
+/// Debug build check that fast-forwarding from `now` to `next` jumps
+/// over no ready event: every live warp's wake-up lies at or beyond the
+/// target. Compiled to nothing in release builds.
+#[allow(unused_variables)]
+pub(crate) fn debug_assert_no_skip(st: &KernelState, now: u64, next: u64) {
+    #[cfg(debug_assertions)]
+    if next > now + 1 {
+        for flat in 0..st.pool.total_sms {
+            let wbase = flat * st.pool.stride;
+            let n = st.pool.order_len[flat] as usize;
+            for &s in &st.pool.order[wbase..wbase + n] {
+                let ready_at = st.pool.ready_at[wbase + s as usize];
+                debug_assert!(
+                    ready_at <= now || ready_at >= next,
+                    "fast-forward from {now} to {next} skips a warp ready at {ready_at}"
+                );
+            }
+        }
+    }
+}
+
 /// Reusable per-kernel allocations owned by [`GpuSim`]: the warp-state
 /// columns and the event-loop bookkeeping vectors. Taken at kernel
 /// launch, reset in place, and returned at kernel end, so steady-state
@@ -518,22 +815,17 @@ pub struct SoaStats {
 struct EngineScratch {
     pool: WarpPool,
     gpm_issued: Vec<usize>,
-    ready_wake: Vec<u64>,
-    refill_eligible: Vec<bool>,
-    acct: Vec<u64>,
-    sleeping_resident: Vec<bool>,
-    last_iter: Vec<u64>,
-    live_mask: BitWords,
+    els: EventLoopState,
 }
 
-/// Immutable per-kernel parameters shared by both loop implementations.
-struct KernelCtx<'a> {
+/// Immutable per-kernel parameters shared by every loop implementation.
+pub(crate) struct KernelCtx<'a> {
     program: &'a dyn KernelProgram,
-    partition: CtaPartition,
-    warps_per_cta: usize,
-    issue_width: usize,
-    sms_per_gpm: usize,
-    mlp_per_warp: usize,
+    pub(crate) partition: CtaPartition,
+    pub(crate) warps_per_cta: usize,
+    pub(crate) issue_width: usize,
+    pub(crate) sms_per_gpm: usize,
+    pub(crate) mlp_per_warp: usize,
     gto: bool,
     /// The kernel's single shared instruction sequence, when every warp
     /// runs the same one ([`KernelProgram::uniform_warp_program`]):
@@ -542,12 +834,47 @@ struct KernelCtx<'a> {
     uniform: Option<Arc<[WarpInstr]>>,
 }
 
-/// Mutable per-kernel state shared by both loop implementations.
-struct KernelState {
+/// Mutable per-kernel state for one contiguous run of SMs: the whole
+/// GPU for the serial loops (`sm_base == 0`), one shard's GPM range for
+/// the parallel engine. Warp-pool and `gpm_issued` indices are local to
+/// the range; `sm_base`/`gpm_base` locate it globally.
+pub(crate) struct KernelState {
     pool: WarpPool,
     gpm_issued: Vec<usize>,
-    counts: EventCounts,
-    done_ctas: u32,
+    pub(crate) counts: EventCounts,
+    pub(crate) done_ctas: u32,
+    /// Global flat index of this state's first SM. Always a multiple of
+    /// `sms_per_gpm` (shards own whole GPMs).
+    sm_base: usize,
+    /// First GPM this state owns (`sm_base / sms_per_gpm`).
+    gpm_base: usize,
+}
+
+/// Builds the shard-local [`KernelState`] for GPMs `gpm_lo..gpm_hi`
+/// with a freshly shaped warp pool. Slot ids are unobservable (see
+/// [`WarpPool`]), so a fresh pool per shard cannot perturb results.
+pub(crate) fn shard_state(
+    ctx: &KernelCtx<'_>,
+    max_ctas_per_sm: usize,
+    gpm_lo: usize,
+    gpm_hi: usize,
+) -> KernelState {
+    let shard_sms = (gpm_hi - gpm_lo) * ctx.sms_per_gpm;
+    let mut pool = WarpPool::default();
+    pool.reset(
+        shard_sms,
+        max_ctas_per_sm * ctx.warps_per_cta,
+        max_ctas_per_sm,
+        ctx.mlp_per_warp.max(1),
+    );
+    KernelState {
+        pool,
+        gpm_issued: vec![0; gpm_hi - gpm_lo],
+        counts: EventCounts::new(),
+        done_ctas: 0,
+        sm_base: gpm_lo * ctx.sms_per_gpm,
+        gpm_base: gpm_lo,
+    }
 }
 
 impl KernelState {
@@ -568,7 +895,7 @@ impl KernelState {
 }
 
 /// Outcome of processing one SM at one visited cycle.
-struct SmStep {
+pub(crate) struct SmStep {
     /// Instructions issued this cycle (0..=issue_width).
     issued: usize,
     /// Post-step: the SM still holds live warps.
@@ -623,6 +950,10 @@ pub struct GpuSim {
     mode: EngineMode,
     ff: FastForwardStats,
     soa: SoaStats,
+    par: crate::par::ParStats,
+    /// Worker-thread budget for [`EngineMode::Parallel`]; `None` defers
+    /// to `MMGPU_SIM_THREADS` / the machine's available parallelism.
+    sim_threads: Option<usize>,
     scratch: EngineScratch,
 }
 
@@ -642,6 +973,8 @@ impl GpuSim {
             mode,
             ff: FastForwardStats::default(),
             soa: SoaStats::default(),
+            par: crate::par::ParStats::default(),
+            sim_threads: None,
             scratch: EngineScratch::default(),
         }
     }
@@ -673,52 +1006,85 @@ impl GpuSim {
         self.soa
     }
 
+    /// Parallel-engine counters accumulated over every kernel run so
+    /// far (all zero unless [`EngineMode::Parallel`] /
+    /// [`EngineMode::ShadowPar`] ran).
+    pub fn par_stats(&self) -> crate::par::ParStats {
+        self.par
+    }
+
+    /// Overrides the worker-thread budget the parallel engine may use.
+    /// `None` (the default) defers to `MMGPU_SIM_THREADS`, then to the
+    /// machine's available parallelism. The effective shard count is
+    /// `min(threads, num_gpms)` — shards own whole GPMs, so extra
+    /// threads beyond the GPM count are simply not used.
+    pub fn set_sim_threads(&mut self, threads: Option<usize>) {
+        self.sim_threads = threads;
+    }
+
+    fn resolved_threads(&self) -> usize {
+        self.sim_threads
+            .unwrap_or_else(crate::par::default_threads)
+            .max(1)
+    }
+
     /// Runs one kernel to completion and returns its event counts.
     pub fn run_kernel(&mut self, program: &dyn KernelProgram) -> KernelResult {
         match self.mode {
-            EngineMode::EventDriven => self.run_kernel_with(program, false),
-            EngineMode::Naive => self.run_kernel_with(program, true),
-            EngineMode::Shadow => {
-                // Run the naive reference on a clone of the machine so
-                // the event-driven run (on `self`) stays authoritative.
-                let mut reference = GpuSim {
-                    cfg: self.cfg.clone(),
-                    mem: self.mem.clone(),
-                    now: self.now,
-                    mode: EngineMode::Naive,
-                    ff: FastForwardStats::default(),
-                    soa: SoaStats::default(),
-                    scratch: EngineScratch::default(),
-                };
-                let expected = reference.run_kernel_with(program, true);
-                let got = self.run_kernel_with(program, false);
-                assert_eq!(
-                    got, expected,
-                    "shadow mode: event-driven result diverged from the naive reference"
-                );
-                assert_eq!(
-                    self.now,
-                    reference.now,
-                    "shadow mode: clocks diverged after kernel {:?}",
-                    program.name()
-                );
-                assert_eq!(
-                    self.mem.txns(),
-                    reference.mem.txns(),
-                    "shadow mode: memory-side transaction counts diverged"
-                );
-                assert_eq!(
-                    self.mem.inter_gpm_hop_bytes(),
-                    reference.mem.inter_gpm_hop_bytes(),
-                    "shadow mode: NoC hop-byte counters diverged"
-                );
-                got
-            }
+            EngineMode::EventDriven => self.run_kernel_with(program, LoopKind::Event),
+            EngineMode::Naive => self.run_kernel_with(program, LoopKind::Naive),
+            EngineMode::Parallel => self.run_kernel_with(program, LoopKind::Parallel),
+            EngineMode::Shadow => self.run_shadowed(program, LoopKind::Event),
+            EngineMode::ShadowPar => self.run_shadowed(program, LoopKind::Parallel),
         }
     }
 
+    /// Runs the naive reference on a clone of the machine, then the
+    /// checked loop on `self` (which stays authoritative), asserting
+    /// bit-identical results and memory-side counters.
+    fn run_shadowed(&mut self, program: &dyn KernelProgram, kind: LoopKind) -> KernelResult {
+        let mut reference = GpuSim {
+            cfg: self.cfg.clone(),
+            mem: self.mem.clone(),
+            now: self.now,
+            mode: EngineMode::Naive,
+            ff: FastForwardStats::default(),
+            soa: SoaStats::default(),
+            par: crate::par::ParStats::default(),
+            sim_threads: self.sim_threads,
+            scratch: EngineScratch::default(),
+        };
+        let expected = reference.run_kernel_with(program, LoopKind::Naive);
+        let got = self.run_kernel_with(program, kind);
+        let label = match kind {
+            LoopKind::Parallel => "parallel",
+            _ => "event-driven",
+        };
+        assert_eq!(
+            got, expected,
+            "shadow mode: {label} result diverged from the naive reference"
+        );
+        assert_eq!(
+            self.now,
+            reference.now,
+            "shadow mode: clocks diverged after kernel {:?}",
+            program.name()
+        );
+        assert_eq!(
+            self.mem.txns(),
+            reference.mem.txns(),
+            "shadow mode: memory-side transaction counts diverged"
+        );
+        assert_eq!(
+            self.mem.inter_gpm_hop_bytes(),
+            reference.mem.inter_gpm_hop_bytes(),
+            "shadow mode: NoC hop-byte counters diverged"
+        );
+        got
+    }
+
     /// Shared kernel setup/teardown around the selected cycle loop.
-    fn run_kernel_with(&mut self, program: &dyn KernelProgram, naive: bool) -> KernelResult {
+    fn run_kernel_with(&mut self, program: &dyn KernelProgram, kind: LoopKind) -> KernelResult {
         let _span = trace::span("sim.kernel");
         let grid = program.grid();
         let num_gpms = self.cfg.num_gpms;
@@ -741,25 +1107,6 @@ impl GpuSim {
             gto: self.cfg.warp_scheduler == crate::config::WarpScheduler::GreedyThenOldest,
             uniform: program.uniform_warp_program().map(Arc::from),
         };
-        // Reuse the per-kernel allocations owned by the sim: take the
-        // warp-state columns out of the scratch pool, reset them in
-        // place, and return them at kernel end.
-        let mut pool = std::mem::take(&mut self.scratch.pool);
-        pool.reset(
-            total_sms,
-            max_ctas_per_sm * warps_per_cta,
-            max_ctas_per_sm,
-            ctx.mlp_per_warp.max(1),
-        );
-        let mut gpm_issued = std::mem::take(&mut self.scratch.gpm_issued);
-        gpm_issued.clear();
-        gpm_issued.resize(num_gpms, 0);
-        let mut st = KernelState {
-            pool,
-            gpm_issued,
-            counts: EventCounts::new(),
-            done_ctas: 0,
-        };
 
         // Event accumulation (memory-side counts snapshot for deltas).
         let txns_before = self.mem.txns().clone();
@@ -770,12 +1117,67 @@ impl GpuSim {
         let start = self.now;
         let ff_before = self.ff;
         let soa_before = self.soa;
-        let mut now = if naive {
-            self.run_loop_naive(&ctx, &mut st, start)
+        let par_before = self.par;
+
+        // The parallel engine runs on shard-local state; it falls back
+        // to the serial event loop (identical results) when the shard
+        // worker pool is held by another simulation in this process.
+        let sharded = if kind == LoopKind::Parallel {
+            let threads = self.resolved_threads();
+            let out = crate::par::run_shards(
+                &mut self.mem,
+                &mut self.par,
+                &mut self.ff,
+                &mut self.soa,
+                &ctx,
+                max_ctas_per_sm,
+                threads,
+                start,
+            );
+            if out.is_none() {
+                self.par.serial_fallbacks += 1;
+            }
+            out
         } else {
-            self.run_loop_event(&ctx, &mut st, start)
+            None
         };
-        if !naive {
+
+        let (mut now, mut counts, done_ctas) = match sharded {
+            Some(out) => out,
+            None => {
+                // Reuse the per-kernel allocations owned by the sim:
+                // take the warp-state columns out of the scratch pool,
+                // reset them in place, and return them at kernel end.
+                let mut pool = std::mem::take(&mut self.scratch.pool);
+                pool.reset(
+                    total_sms,
+                    max_ctas_per_sm * warps_per_cta,
+                    max_ctas_per_sm,
+                    ctx.mlp_per_warp.max(1),
+                );
+                let mut gpm_issued = std::mem::take(&mut self.scratch.gpm_issued);
+                gpm_issued.clear();
+                gpm_issued.resize(num_gpms, 0);
+                let mut st = KernelState {
+                    pool,
+                    gpm_issued,
+                    counts: EventCounts::new(),
+                    done_ctas: 0,
+                    sm_base: 0,
+                    gpm_base: 0,
+                };
+                let now = if kind == LoopKind::Naive {
+                    self.run_loop_naive(&ctx, &mut st, start)
+                } else {
+                    self.run_loop_event(&ctx, &mut st, start)
+                };
+                self.scratch.pool = std::mem::take(&mut st.pool);
+                self.scratch.gpm_issued = std::mem::take(&mut st.gpm_issued);
+                (now, st.counts, st.done_ctas)
+            }
+        };
+
+        if kind != LoopKind::Naive {
             let d = self.ff;
             trace::count("sim.ff.jumps", d.jumps - ff_before.jumps);
             trace::count(
@@ -794,9 +1196,22 @@ impl GpuSim {
                 s.retire_scans_skipped - soa_before.retire_scans_skipped,
             );
         }
-        self.scratch.pool = std::mem::take(&mut st.pool);
-        self.scratch.gpm_issued = std::mem::take(&mut st.gpm_issued);
-        let mut counts = st.counts;
+        if kind == LoopKind::Parallel {
+            let p = self.par;
+            trace::count("sim.par.epochs", p.epochs - par_before.epochs);
+            trace::count(
+                "sim.par.merged_accesses",
+                p.merged_accesses - par_before.merged_accesses,
+            );
+            trace::count(
+                "sim.par.barrier_waits",
+                p.barrier_waits - par_before.barrier_waits,
+            );
+            trace::count(
+                "sim.par.serial_fallbacks",
+                p.serial_fallbacks - par_before.serial_fallbacks,
+            );
+        }
 
         // Software coherence at the kernel boundary.
         now = self.mem.kernel_boundary(now).max(now);
@@ -830,27 +1245,28 @@ impl GpuSim {
             name: program.name().to_string(),
             counts,
             cycles,
-            ctas: st.done_ctas,
+            ctas: done_ctas,
         }
     }
 
-    /// Processes one SM for one visited cycle: refill at most one CTA,
-    /// issue up to `issue_width` instructions, retire drained warps.
-    /// Accounting is left to the caller (the two loops charge visited
-    /// and slept cycles differently, but through the same rates).
     /// One scheduler poll of a warp slot `g` (already known ready) on
     /// SM `flat`: either issues the pending instruction (returns
     /// `true`) or makes the bookkeeping-only transition the historical
     /// poll made — the MLP-limit stall re-arm, or the exhausted-stream
     /// skip (`false`).
     ///
-    /// A free function over split borrows so both scheduler scan shapes
-    /// share it without aliasing `KernelState`.
+    /// An associated function over split borrows so both scheduler scan
+    /// shapes share it without aliasing `KernelState`. Memory traffic
+    /// goes through `sink`: the serial loops pass the memory system
+    /// directly; the parallel engine defers the access to the epoch
+    /// merge and parks a [`DEFER_PLACEHOLDER`] in the outstanding-load
+    /// ring so every occupancy-dependent decision this cycle is
+    /// unchanged (see DESIGN.md §17 for why that is exact).
     #[allow(clippy::too_many_arguments)]
     fn poll_issue(
         pool: &mut WarpPool,
         counts: &mut EventCounts,
-        mem: &mut MemorySystem,
+        sink: &mut MemSink<'_>,
         ctx: &KernelCtx,
         sm_id: SmId,
         flat: usize,
@@ -874,18 +1290,33 @@ impl GpuSim {
                 counts.instrs.add(op, WARP_SIZE as u64);
                 pool.ready_at[g] = now + op.latency_cycles() as u64;
             }
-            WarpInstr::Mem(mref) => {
-                let out = mem.access(sm_id, mref, now);
-                if out.blocking && !mref.is_store {
-                    pool.ring_push(g, out.completion);
-                    pool.ready_at[g] = now + 1;
-                } else if out.blocking {
-                    // Write-buffer backpressure.
-                    pool.ready_at[g] = out.completion;
-                } else {
+            WarpInstr::Mem(mref) => match sink {
+                MemSink::Direct(mem) => {
+                    let out = mem.access(sm_id, mref, now);
+                    if out.blocking && !mref.is_store {
+                        pool.ring_push(g, out.completion);
+                        pool.ready_at[g] = now + 1;
+                    } else if out.blocking {
+                        // Write-buffer backpressure.
+                        pool.ready_at[g] = out.completion;
+                    } else {
+                        pool.ready_at[g] = now + 1;
+                    }
+                }
+                MemSink::Defer(queue) => {
+                    // Every load blocks with a future completion, so a
+                    // placeholder ring entry plus the load's universal
+                    // `ready_at = now + 1` reproduces the direct path's
+                    // observable state; stores get the same `now + 1`
+                    // and the merge re-applies write-buffer
+                    // backpressure exactly where the direct path would.
+                    queue.push(DeferredAccess { g: g as u32, mref });
+                    if !mref.is_store {
+                        pool.ring_push(g, DEFER_PLACEHOLDER);
+                    }
                     pool.ready_at[g] = now + 1;
                 }
-            }
+            },
         }
         pool.streams[g].advance();
         pool.pending[g] = pool.streams[g].current();
@@ -899,12 +1330,30 @@ impl GpuSim {
         true
     }
 
-    fn step_sm(&mut self, ctx: &KernelCtx, st: &mut KernelState, flat: usize, now: u64) -> SmStep {
-        let gpm = flat / ctx.sms_per_gpm;
+    /// Processes one SM for one visited cycle: refill at most one CTA,
+    /// issue up to `issue_width` instructions, retire drained warps.
+    /// Accounting is left to the caller (the two loops charge visited
+    /// and slept cycles differently, but through the same rates).
+    ///
+    /// `flat` is local to `st`; `st.sm_base`/`st.gpm_base` translate to
+    /// global SM/GPM ids so CTA partitioning and NoC addressing are
+    /// identical whether `st` spans the whole GPU (serial loops) or one
+    /// shard's GPM range (parallel engine).
+    pub(crate) fn step_sm(
+        ctx: &KernelCtx,
+        st: &mut KernelState,
+        sink: &mut MemSink<'_>,
+        soa: &mut SoaStats,
+        flat: usize,
+        now: u64,
+    ) -> SmStep {
+        let flat_global = st.sm_base + flat;
+        let gpm = flat_global / ctx.sms_per_gpm;
         let sm_id = SmId::new(
             GpmId::new(gpm as u16),
-            (flat - gpm * ctx.sms_per_gpm) as u16,
+            (flat_global - gpm * ctx.sms_per_gpm) as u16,
         );
+        let gpm_local = gpm - st.gpm_base;
         let issue_width = ctx.issue_width;
         let pool = &mut st.pool;
         let wbase = flat * pool.stride;
@@ -914,12 +1363,12 @@ impl GpuSim {
         // SM's slots greedily would cluster small grids onto SM0).
         // `cta_next` doubles as the post-step `cta_pending` answer: it
         // is re-read only when this step consumed a CTA.
-        let mut cta_next = ctx.partition.nth_for(gpm, st.gpm_issued[gpm]);
+        let mut cta_next = ctx.partition.nth_for(gpm, st.gpm_issued[gpm_local]);
         if let Some(cta) = cta_next {
-            self.soa.mask_scans += 1;
+            soa.mask_scans += 1;
             if let Some(slot_idx) = pool.cta_first_free(flat) {
-                st.gpm_issued[gpm] += 1;
-                cta_next = ctx.partition.nth_for(gpm, st.gpm_issued[gpm]);
+                st.gpm_issued[gpm_local] += 1;
+                cta_next = ctx.partition.nth_for(gpm, st.gpm_issued[gpm_local]);
                 let cslot = flat * pool.cta_stride + slot_idx;
                 pool.cta_live[cslot] = ctx.warps_per_cta as u32;
                 pool.cta_free.unset(cslot);
@@ -1010,16 +1459,7 @@ impl GpuSim {
                     };
                     let s = pool.order[wbase + p];
                     let g = wbase + s as usize;
-                    if Self::poll_issue(
-                        pool,
-                        &mut st.counts,
-                        &mut self.mem,
-                        ctx,
-                        sm_id,
-                        flat,
-                        g,
-                        now,
-                    ) {
+                    if Self::poll_issue(pool, &mut st.counts, sink, ctx, sm_id, flat, g, now) {
                         if first_issued_slot == NONE {
                             first_issued_slot = s;
                         }
@@ -1075,16 +1515,7 @@ impl GpuSim {
                     if pool.ready_at[g] > now {
                         continue;
                     }
-                    if Self::poll_issue(
-                        pool,
-                        &mut st.counts,
-                        &mut self.mem,
-                        ctx,
-                        sm_id,
-                        flat,
-                        g,
-                        now,
-                    ) {
+                    if Self::poll_issue(pool, &mut st.counts, sink, ctx, sm_id, flat, g, now) {
                         if first_issued_slot == NONE {
                             first_issued_slot = i as u32;
                         }
@@ -1108,7 +1539,7 @@ impl GpuSim {
         // cycle of a compute-bound kernel's steady state — one counter
         // test instead of a scan; removal from `order` keeps the exact
         // `swap_remove` physical reordering.
-        self.soa.mask_scans += 1;
+        soa.mask_scans += 1;
         if pool.exhausted_cnt[flat] > 0 {
             // Retirement and load-drain re-arming move ready_at under
             // the incremental fold's feet; recompute from scratch.
@@ -1140,7 +1571,7 @@ impl GpuSim {
             }
             pool.order_len[flat] = len as u32;
         } else {
-            self.soa.retire_scans_skipped += 1;
+            soa.retire_scans_skipped += 1;
         }
 
         SmStep {
@@ -1170,7 +1601,8 @@ impl GpuSim {
             let mut all_drained = true;
 
             for flat in 0..total_sms {
-                let step = self.step_sm(ctx, st, flat, now);
+                let mut sink = MemSink::Direct(&mut self.mem);
+                let step = Self::step_sm(ctx, st, &mut sink, &mut self.soa, flat, now);
                 if step.issued > 0 {
                     issued_any = true;
                 }
@@ -1235,101 +1667,23 @@ impl GpuSim {
     /// `ready_wake` (debug asserts check no ready event is ever jumped
     /// over).
     fn run_loop_event(&mut self, ctx: &KernelCtx, st: &mut KernelState, start: u64) -> u64 {
-        let total_sms = st.pool.total_sms;
-        let issue_width = ctx.issue_width;
-        let iw = issue_width as u64;
         let mut now = start;
-
-        // Earliest ready_at among live warps; u64::MAX when none.
-        let mut ready_wake = std::mem::take(&mut self.scratch.ready_wake);
-        ready_wake.clear();
-        ready_wake.resize(total_sms, u64::MAX);
-        // Free slot && CTA pending — processed at every visited cycle.
-        // True initially so every SM is processed at `start`, as naive.
-        let mut refill_eligible = std::mem::take(&mut self.scratch.refill_eligible);
-        refill_eligible.clear();
-        refill_eligible.resize(total_sms, true);
-        // First cycle not yet charged to this SM.
-        let mut acct = std::mem::take(&mut self.scratch.acct);
-        acct.clear();
-        acct.resize(total_sms, start);
-        // Resident status while sleeping (constant between processings).
-        let mut sleeping_resident = std::mem::take(&mut self.scratch.sleeping_resident);
-        sleeping_resident.clear();
-        sleeping_resident.resize(total_sms, false);
-        // Visited-cycle iteration of the SM's last processing (for
-        // round-robin pointer catch-up: naive advances rr once per
-        // *visited* cycle with warps resident, not per calendar cycle).
-        let mut last_iter = std::mem::take(&mut self.scratch.last_iter);
-        last_iter.clear();
-        last_iter.resize(total_sms, 0);
-        // SMs that can still make progress: the per-cycle SM walk scans
-        // this mask word by word instead of testing a dead flag per SM.
-        let mut live_mask = std::mem::take(&mut self.scratch.live_mask);
-        live_mask.clear();
-        live_mask.grow_to(total_sms);
-        for flat in 0..total_sms {
-            live_mask.set(flat);
-        }
-        let mut live = total_sms;
-        let mut iter: u64 = 0;
+        let mut els = std::mem::take(&mut self.scratch.els);
+        els.reset(st.pool.total_sms, start);
 
         loop {
-            iter += 1;
             self.ff.visited_cycles += 1;
-            let mut issued_any = false;
+            let mut sink = MemSink::Direct(&mut self.mem);
+            let issued_any = els.visit(
+                ctx,
+                st,
+                &mut sink,
+                &mut self.soa,
+                &mut self.ff.sm_steps,
+                now,
+            );
 
-            // Snapshotting each word keeps the walk ascending-order
-            // identical to the naive loop's `for flat in 0..total_sms`
-            // while letting the body retire (unset) the SM it is
-            // processing.
-            for wi in 0..live_mask.word_count() {
-                let mut word = live_mask.word(wi);
-                while word != 0 {
-                    let flat = wi * 64 + word.trailing_zeros() as usize;
-                    word &= word - 1;
-                    if !(refill_eligible[flat] || ready_wake[flat] <= now) {
-                        continue; // sleeping
-                    }
-
-                    // Lazy catch-up for the cycles this SM slept
-                    // through.
-                    let slept = now - acct[flat];
-                    if slept > 0 {
-                        st.counts.idle_sm_cycles += slept;
-                        if sleeping_resident[flat] {
-                            st.counts.stall_cycles += iw * slept;
-                        }
-                        let missed_iters = iter - 1 - last_iter[flat];
-                        let n = st.pool.order_len[flat] as usize;
-                        if n > 0 && missed_iters > 0 {
-                            let r = st.pool.rr[flat] as usize;
-                            st.pool.rr[flat] =
-                                ((r % n + (missed_iters % n as u64) as usize) % n) as u32;
-                        }
-                    }
-
-                    let step = self.step_sm(ctx, st, flat, now);
-                    self.ff.sm_steps += 1;
-                    if step.issued > 0 {
-                        issued_any = true;
-                    }
-                    st.charge_cycle(step.issued, step.resident, issue_width);
-                    acct[flat] = now + 1;
-                    last_iter[flat] = iter;
-                    sleeping_resident[flat] = step.resident;
-                    refill_eligible[flat] = step.cta_pending && step.free_slot;
-                    if !step.resident && !step.cta_pending {
-                        live_mask.unset(flat);
-                        live -= 1;
-                        ready_wake[flat] = u64::MAX;
-                    } else {
-                        ready_wake[flat] = step.wake;
-                    }
-                }
-            }
-
-            if live == 0 {
+            if els.live == 0 {
                 break;
             }
 
@@ -1341,7 +1695,7 @@ impl GpuSim {
             let next = if issued_any {
                 now + 1
             } else {
-                let min_ready = ready_wake.iter().copied().min().unwrap_or(u64::MAX);
+                let min_ready = els.min_wake();
                 if min_ready == u64::MAX {
                     now + 1
                 } else {
@@ -1349,22 +1703,7 @@ impl GpuSim {
                 }
             };
 
-            #[cfg(debug_assertions)]
-            if next > now + 1 {
-                // Fast-forward must never skip past a ready event: every
-                // live warp's wake-up lies at or beyond the jump target.
-                for flat in 0..total_sms {
-                    let wbase = flat * st.pool.stride;
-                    let n = st.pool.order_len[flat] as usize;
-                    for &s in &st.pool.order[wbase..wbase + n] {
-                        let ready_at = st.pool.ready_at[wbase + s as usize];
-                        debug_assert!(
-                            ready_at <= now || ready_at >= next,
-                            "fast-forward from {now} to {next} skips a warp ready at {ready_at}"
-                        );
-                    }
-                }
-            }
+            debug_assert_no_skip(st, now, next);
 
             if next > now + 1 {
                 self.ff.jumps += 1;
@@ -1373,22 +1712,10 @@ impl GpuSim {
             now = next;
         }
 
-        // Final flush: the naive loop keeps charging drained SMs one
-        // idle cycle per visited cycle until the whole kernel drains.
-        let through = now + 1;
-        for &charged in acct.iter().take(total_sms) {
-            if charged < through {
-                st.counts.idle_sm_cycles += through - charged;
-            }
-        }
+        els.flush_idle(st, now + 1);
 
         // Return the bookkeeping vectors to the scratch pool.
-        self.scratch.ready_wake = ready_wake;
-        self.scratch.refill_eligible = refill_eligible;
-        self.scratch.acct = acct;
-        self.scratch.sleeping_resident = sleeping_resident;
-        self.scratch.last_iter = last_iter;
-        self.scratch.live_mask = live_mask;
+        self.scratch.els = els;
         now
     }
 
@@ -1978,5 +2305,167 @@ mod tests {
         let rn = naive.run_kernel(&EmptyKernel);
         assert_eq!(re, rn);
         assert_eq!(re.ctas, 3);
+    }
+
+    /// Runs `k` under the event-driven and the parallel engine (with
+    /// `threads` shard workers) on `cfg`, asserting bit-identical
+    /// results and memory-side counters.
+    fn assert_parallel_matches(cfg: &GpuConfig, threads: usize, k: &dyn KernelProgram) {
+        let mut event = GpuSim::with_mode(cfg, EngineMode::EventDriven);
+        let mut par = GpuSim::with_mode(cfg, EngineMode::Parallel);
+        par.set_sim_threads(Some(threads));
+        event.prefault(k);
+        par.prefault(k);
+        assert_eq!(par.run_kernel(k), event.run_kernel(k));
+        assert_eq!(par.now, event.now, "clocks diverged");
+        assert_eq!(par.memory().txns(), event.memory().txns());
+        assert_eq!(
+            par.memory().inter_gpm_hop_bytes(),
+            event.memory().inter_gpm_hop_bytes()
+        );
+        // The kernel ran sharded or fell back serially (pool held by a
+        // concurrent test); either way it was accounted exactly once.
+        let p = par.par_stats();
+        assert_eq!(p.kernels + p.serial_fallbacks, 1);
+    }
+
+    #[test]
+    fn parallel_matches_event_driven_on_streams() {
+        let k = StreamKernel {
+            ctas: 24,
+            warps: 4,
+            lines_per_warp: 32,
+        };
+        assert_parallel_matches(&GpuConfig::tiny(4), 4, &k);
+    }
+
+    #[test]
+    fn parallel_matches_event_driven_on_compute() {
+        let k = ComputeKernel {
+            ctas: 32,
+            warps: 8,
+            len: 64,
+        };
+        assert_parallel_matches(&GpuConfig::tiny(8), 4, &k);
+    }
+
+    #[test]
+    fn parallel_matches_event_driven_under_gto() {
+        let k = StreamKernel {
+            ctas: 16,
+            warps: 4,
+            lines_per_warp: 24,
+        };
+        let cfg = GpuConfig {
+            warp_scheduler: crate::config::WarpScheduler::GreedyThenOldest,
+            ..GpuConfig::tiny(4)
+        };
+        assert_parallel_matches(&cfg, 2, &k);
+    }
+
+    #[test]
+    fn parallel_single_gpm_runs_inline_without_pool() {
+        // One GPM => one shard: the defer/merge machinery runs on the
+        // caller thread, cannot fall back, and must still be exact.
+        let k = StreamKernel {
+            ctas: 8,
+            warps: 4,
+            lines_per_warp: 16,
+        };
+        let cfg = GpuConfig::tiny(1);
+        let mut event = GpuSim::with_mode(&cfg, EngineMode::EventDriven);
+        let mut par = GpuSim::with_mode(&cfg, EngineMode::Parallel);
+        par.set_sim_threads(Some(8));
+        assert_eq!(par.run_kernel(&k), event.run_kernel(&k));
+        let p = par.par_stats();
+        assert_eq!(p.kernels, 1, "single-shard runs never fall back");
+        assert_eq!(p.serial_fallbacks, 0);
+        assert_eq!(p.barrier_waits, 0, "no pool engaged for one shard");
+        assert!(p.epochs > 0);
+        assert!(p.merged_accesses > 0, "stream kernel defers loads");
+    }
+
+    #[test]
+    fn parallel_thread_count_exceeding_gpms_degenerates_cleanly() {
+        // More threads than GPMs: shard count clamps to the GPM count.
+        let k = StreamKernel {
+            ctas: 12,
+            warps: 4,
+            lines_per_warp: 16,
+        };
+        assert_parallel_matches(&GpuConfig::tiny(2), 16, &k);
+    }
+
+    #[test]
+    fn parallel_holds_across_multi_kernel_workloads() {
+        // Persistent state (L2 contents, page placements, clock) must
+        // stay bit-equal launch after launch under the parallel engine.
+        let cfg = GpuConfig::tiny(4);
+        let launches = vec![
+            LaunchSpec::repeated(
+                Box::new(StreamKernel {
+                    ctas: 16,
+                    warps: 4,
+                    lines_per_warp: 16,
+                }),
+                2,
+            ),
+            LaunchSpec::repeated(
+                Box::new(ComputeKernel {
+                    ctas: 8,
+                    warps: 4,
+                    len: 40,
+                }),
+                1,
+            ),
+        ];
+        let mut event = GpuSim::with_mode(&cfg, EngineMode::EventDriven);
+        let mut par = GpuSim::with_mode(&cfg, EngineMode::Parallel);
+        par.set_sim_threads(Some(4));
+        assert_eq!(par.run_workload(&launches), event.run_workload(&launches));
+        assert_eq!(par.now, event.now);
+    }
+
+    #[test]
+    fn shadow_par_mode_asserts_against_naive_internally() {
+        let k = StreamKernel {
+            ctas: 8,
+            warps: 4,
+            lines_per_warp: 16,
+        };
+        let cfg = GpuConfig::tiny(2);
+        let mut shadow = GpuSim::with_mode(&cfg, EngineMode::ShadowPar);
+        shadow.set_sim_threads(Some(2));
+        let mut event = GpuSim::with_mode(&cfg, EngineMode::EventDriven);
+        assert_eq!(shadow.run_kernel(&k), event.run_kernel(&k));
+        assert_eq!(shadow.mode(), EngineMode::ShadowPar);
+    }
+
+    #[test]
+    fn parallel_empty_grid_degenerates_cleanly() {
+        struct EmptyKernel;
+        impl KernelProgram for EmptyKernel {
+            fn name(&self) -> &str {
+                "empty"
+            }
+            fn grid(&self) -> GridShape {
+                GridShape::new(3, 2)
+            }
+            fn warp_instructions(&self, _cta: CtaId, _warp: WarpId) -> WarpInstrStream {
+                Box::new(std::iter::empty())
+            }
+        }
+        assert_parallel_matches(&GpuConfig::tiny(4), 4, &EmptyKernel);
+    }
+
+    #[test]
+    fn serial_modes_leave_parallel_stats_untouched() {
+        let mut sim = GpuSim::with_mode(&GpuConfig::tiny(2), EngineMode::EventDriven);
+        sim.run_kernel(&ComputeKernel {
+            ctas: 4,
+            warps: 2,
+            len: 16,
+        });
+        assert_eq!(sim.par_stats(), crate::par::ParStats::default());
     }
 }

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Synthetic surrogates for the Rodinia/CORAL benchmark suite (Table II).
 //!

@@ -144,7 +144,8 @@ commands:
   check <dir>              re-parse JSON results emitted by `run --out`
   trace summary <file>     per-span statistics + counters from a --trace file
   bench                    time the simulator hot path (event-driven vs naive
-                           cycle loop) and write BENCH_sim.json
+                           cycle loop vs the sharded parallel engine) and
+                           write BENCH_sim.json
   serve                    run the xpd what-if daemon: answer artifact queries
                            from a content-addressed disk store, computing cold
                            ones through the sweep executor
@@ -246,6 +247,9 @@ bench options:
                            file as a throughput envelope: refuses to lower a
                            recorded event-loop cycles/sec floor
   --allow-regress          with --baseline-update, accept a lowered envelope
+  --threads N              worker threads for the parallel-engine side
+                           (default: MMGPU_SIM_THREADS, else host parallelism;
+                           serial modes are unaffected)
 ";
 
 /// Parsed `--faults` specification: rates for each injected fault kind
@@ -402,6 +406,15 @@ fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     "--baseline-update" => opts.baseline_update = true,
                     "--allow-regress" => opts.allow_regress = true,
+                    "--threads" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "xp bench: --threads: missing value".to_string())?;
+                        opts.threads = Some(parse_threads(v)?);
+                    }
+                    other if other.starts_with("--threads=") => {
+                        opts.threads = Some(parse_threads(&other["--threads=".len()..])?);
+                    }
                     other => return Err(format!("xp bench: unknown option {other}\n\n{USAGE}")),
                 }
             }
@@ -2013,6 +2026,8 @@ mod tests {
             "memory",
             "--baseline-update",
             "--allow-regress",
+            "--threads",
+            "4",
         ])) else {
             panic!("expected a bench command");
         };
@@ -2022,6 +2037,7 @@ mod tests {
         assert_eq!(opts.filter.as_deref(), Some("memory"));
         assert!(opts.baseline_update);
         assert!(opts.allow_regress);
+        assert_eq!(opts.threads, Some(4));
 
         let Ok(Command::Bench(opts)) = parse(&argv(&["bench"])) else {
             panic!("expected a bench command");
@@ -2030,11 +2046,19 @@ mod tests {
         assert!(opts.out.is_none());
         assert!(!opts.baseline_update);
         assert!(!opts.allow_regress);
+        assert_eq!(opts.threads, None);
+
+        let Ok(Command::Bench(opts)) = parse(&argv(&["bench", "--threads=8"])) else {
+            panic!("expected a bench command");
+        };
+        assert_eq!(opts.threads, Some(8));
 
         assert!(parse(&argv(&["bench", "--frobnicate"])).is_err());
         assert!(parse(&argv(&["bench", "--out"])).is_err());
         assert!(parse(&argv(&["bench", "--baseline"])).is_err());
         assert!(parse(&argv(&["bench", "--filter"])).is_err());
+        assert!(parse(&argv(&["bench", "--threads", "0"])).is_err());
+        assert!(parse(&argv(&["bench", "--threads", "x"])).is_err());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Experiment harness: regenerates every table and figure of the paper's
 //! evaluation.
